@@ -1,0 +1,152 @@
+// Figure-3 operation microbenchmarks (google-benchmark): fragment join,
+// pairwise fragment join, and powerset fragment join as functions of
+// fragment size, set cardinality, and tree shape. Establishes the raw
+// operator costs that the strategy-level benches build on.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "algebra/ops.h"
+#include "bench_util.h"
+#include "common/rng.h"
+
+using namespace xfrag;
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+namespace {
+
+// Deterministic random tree shared across iterations.
+const doc::Document& SharedTree(size_t nodes) {
+  static std::map<size_t, std::unique_ptr<doc::Document>> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    Rng rng(nodes * 2654435761u + 17);
+    std::vector<doc::NodeId> parents{doc::kNoNode};
+    std::vector<doc::NodeId> path{0};  // Rightmost path: legal parents.
+    for (size_t i = 1; i < nodes; ++i) {
+      size_t w = std::min<size_t>(32, path.size());
+      size_t index = path.size() - 1 - static_cast<size_t>(rng.Uniform(w));
+      parents.push_back(path[index]);
+      path.resize(index + 1);
+      path.push_back(static_cast<doc::NodeId>(i));
+    }
+    std::vector<std::string> tags(nodes, "n"), texts(nodes, "");
+    auto d = doc::Document::FromParents(parents, tags, texts);
+    it = cache.emplace(nodes, std::make_unique<doc::Document>(
+                                  std::move(d).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+Fragment RandomFragment(const doc::Document& d, size_t joins, Rng* rng) {
+  Fragment f =
+      Fragment::Single(static_cast<doc::NodeId>(rng->Uniform(d.size())));
+  for (size_t i = 0; i < joins; ++i) {
+    f = algebra::Join(
+        d, f, Fragment::Single(static_cast<doc::NodeId>(rng->Uniform(d.size()))));
+  }
+  return f;
+}
+
+void BM_FragmentJoin(benchmark::State& state) {
+  const doc::Document& d = SharedTree(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  std::vector<std::pair<Fragment, Fragment>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.emplace_back(RandomFragment(d, static_cast<size_t>(state.range(1)), &rng),
+                       RandomFragment(d, static_cast<size_t>(state.range(1)), &rng));
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const auto& [f1, f2] = pairs[cursor++ & 63];
+    benchmark::DoNotOptimize(algebra::Join(d, f1, f2));
+  }
+  state.SetLabel("nodes=" + std::to_string(state.range(0)) +
+                 " frag_joins=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_FragmentJoin)
+    ->Args({1000, 0})
+    ->Args({1000, 3})
+    ->Args({1000, 8})
+    ->Args({100000, 0})
+    ->Args({100000, 3})
+    ->Args({100000, 8});
+
+void BM_Lca(benchmark::State& state) {
+  const doc::Document& d = SharedTree(static_cast<size_t>(state.range(0)));
+  Rng rng(11);
+  for (auto _ : state) {
+    doc::NodeId a = static_cast<doc::NodeId>(rng.Uniform(d.size()));
+    doc::NodeId b = static_cast<doc::NodeId>(rng.Uniform(d.size()));
+    benchmark::DoNotOptimize(d.Lca(a, b));
+  }
+}
+BENCHMARK(BM_Lca)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_PairwiseJoin(benchmark::State& state) {
+  const doc::Document& d = SharedTree(10000);
+  Rng rng(13);
+  FragmentSet f1, f2;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    f1.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+    f2.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::PairwiseJoin(d, f1, f2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PairwiseJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_PowersetJoinBruteForce(benchmark::State& state) {
+  const doc::Document& d = SharedTree(10000);
+  Rng rng(17);
+  FragmentSet f1, f2;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    f1.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+    f2.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+  }
+  for (auto _ : state) {
+    auto result = algebra::PowersetJoinBruteForce(d, f1, f2);
+    if (!result.ok()) state.SkipWithError("guard triggered");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("exponential in set size");
+}
+BENCHMARK(BM_PowersetJoinBruteForce)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_PowersetJoinViaFixedPoint(benchmark::State& state) {
+  const doc::Document& d = SharedTree(10000);
+  Rng rng(17);  // Same seed as brute force: identical inputs.
+  FragmentSet f1, f2;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    f1.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+    f2.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::PowersetJoinViaFixedPoint(d, f1, f2));
+  }
+  state.SetLabel("Theorem-2 form of the same inputs");
+}
+BENCHMARK(BM_PowersetJoinViaFixedPoint)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_Reduce(benchmark::State& state) {
+  const doc::Document& d = SharedTree(10000);
+  Rng rng(19);
+  FragmentSet f;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    f.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::Reduce(d, f));
+  }
+}
+BENCHMARK(BM_Reduce)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Figure 5 / Theorem 3: value of pushing anti-monotonic selection below the
+// joins. Sweeps (a) the size filter beta at fixed corpus, and (b) the corpus
+// size at fixed beta, comparing late filtering (fixed point + final sigma)
+// against the push-down plan, in joins performed and wall-clock time.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/engine.h"
+
+using namespace xfrag;
+
+namespace {
+
+struct Measurement {
+  double ms = 0;
+  algebra::OpMetrics metrics;
+  size_t answers = 0;
+};
+
+Measurement Run(query::QueryEngine& engine, const query::Query& q,
+                query::Strategy strategy) {
+  Measurement m;
+  query::EvalOptions options;
+  options.strategy = strategy;
+  m.ms = bench::MedianMillis(
+      [&] {
+        auto result = engine.Evaluate(q, options);
+        if (!result.ok()) std::abort();
+        m.metrics = result->metrics;
+        m.answers = result->answers.size();
+      },
+      5);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Push-down vs late filtering: sweep of beta (size filter)");
+  {
+    bench::PlantedCorpus corpus =
+        bench::MakePlantedCorpus(6000, 10, gen::PlantMode::kClustered, 10,
+                                 gen::PlantMode::kClustered, 42);
+    query::QueryEngine engine(*corpus.document, *corpus.index);
+    bench::TablePrinter table({"beta", "late joins", "late ms", "push joins",
+                               "push ms", "speedup", "answers", "equal"});
+    for (uint32_t beta : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      q.filter = algebra::filters::SizeAtMost(beta);
+      Measurement late = Run(engine, q, query::Strategy::kFixedPointNaive);
+      Measurement push = Run(engine, q, query::Strategy::kPushDown);
+      table.AddRow({bench::Cell(static_cast<uint64_t>(beta)),
+                    bench::Cell(late.metrics.fragment_joins),
+                    bench::Cell(late.ms, 3),
+                    bench::Cell(push.metrics.fragment_joins),
+                    bench::Cell(push.ms, 3),
+                    bench::Cell(late.ms / (push.ms > 0 ? push.ms : 1e-9), 1),
+                    bench::Cell(push.answers),
+                    late.answers == push.answers ? "yes" : "NO"});
+    }
+    table.Print();
+    std::printf("\nExpected shape (Theorem 3, §4.3): the smaller beta is, "
+                "the more joins the pushed\nselection prunes and the larger "
+                "the speedup; at very loose beta the two converge.\n");
+  }
+
+  bench::Banner("Push-down vs late filtering: sweep of corpus size (beta=4)");
+  {
+    bench::TablePrinter table({"nodes", "|Fi|", "late joins", "late ms",
+                               "push joins", "push ms", "speedup",
+                               "answers"});
+    for (size_t nodes : {500u, 1000u, 2000u, 4000u, 8000u, 16000u}) {
+      // Posting counts grow logarithmically with document size, as keyword
+      // frequency does in real corpora; the unfiltered baseline's fixed
+      // points are exponential in this count, so the late side's work
+      // explodes with size while the pushed side stays flat.
+      size_t count = 3;
+      for (size_t scale = nodes / 500; scale > 1; scale /= 2) ++count;
+      bench::PlantedCorpus corpus =
+          bench::MakePlantedCorpus(nodes, count, gen::PlantMode::kScattered,
+                                   count, gen::PlantMode::kScattered, 7);
+      query::QueryEngine engine(*corpus.document, *corpus.index);
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      q.filter = algebra::filters::SizeAtMost(4);
+      Measurement late = Run(engine, q, query::Strategy::kFixedPointNaive);
+      Measurement push = Run(engine, q, query::Strategy::kPushDown);
+      table.AddRow({bench::Cell(nodes), bench::Cell(count),
+                    bench::Cell(late.metrics.fragment_joins),
+                    bench::Cell(late.ms, 3),
+                    bench::Cell(push.metrics.fragment_joins),
+                    bench::Cell(push.ms, 3),
+                    bench::Cell(late.ms / (push.ms > 0 ? push.ms : 1e-9), 1),
+                    bench::Cell(push.answers)});
+    }
+    table.Print();
+    std::printf("\nExpected shape (§4.3): \"particularly in a large XML tree "
+                "... this strategy will\nplay a crucial role\" — the gap "
+                "widens with document size because scattered\nkeywords make "
+                "ever-larger (hence filtered) join results. Zero answers at "
+                "beta=4\nis the correct result for fully scattered keywords; "
+                "both plans agree on it while\ndoing vastly different "
+                "amounts of work.\n");
+  }
+
+  bench::Banner("Composite anti-monotonic filters (size & height pushed)");
+  {
+    bench::PlantedCorpus corpus =
+        bench::MakePlantedCorpus(6000, 10, gen::PlantMode::kClustered, 8,
+                                 gen::PlantMode::kScattered, 11);
+    query::QueryEngine engine(*corpus.document, *corpus.index);
+    bench::TablePrinter table(
+        {"filter", "late ms", "push ms", "speedup", "answers"});
+    for (const char* expr :
+         {"size<=4", "height<=2", "span<=16", "size<=6 & height<=2",
+          "size<=6 & height<=2 & span<=32"}) {
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      auto filter = query::ParseFilterExpression(expr);
+      if (!filter.ok()) return 1;
+      q.filter = *filter;
+      Measurement late = Run(engine, q, query::Strategy::kFixedPointNaive);
+      Measurement push = Run(engine, q, query::Strategy::kPushDown);
+      table.AddRow({expr, bench::Cell(late.ms, 3), bench::Cell(push.ms, 3),
+                    bench::Cell(late.ms / (push.ms > 0 ? push.ms : 1e-9), 1),
+                    bench::Cell(push.answers)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Figure 8 / Section 1 effectiveness claim: the algebraic model retrieves
+// the self-contained "fragment of interest" that smallest-subtree (SLCA)
+// semantics cannot return. Measures target recall and answer-set sizes for
+// xfrag vs SLCA/ELCA/smallest-subtree on (a) the Figure-1 document and
+// (b) planted-target corpora where the true answer is a subsection whose
+// two paragraphs split the query keywords.
+
+#include <cstdio>
+
+#include "baseline/lca_baselines.h"
+#include "bench_util.h"
+#include "gen/corpus.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+
+using namespace xfrag;
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+namespace {
+
+// Builds a corpus with one planted target: a parent with two child
+// paragraphs, one containing kwone, the other kwtwo, plus `noise`
+// occurrences of each keyword elsewhere. Returns (document ready corpus,
+// target fragment nodes).
+struct TargetInstance {
+  std::unique_ptr<doc::Document> document;
+  std::unique_ptr<text::InvertedIndex> index;
+  std::vector<doc::NodeId> target;
+};
+
+TargetInstance MakeTargetInstance(size_t nodes, size_t noise, uint64_t seed) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = nodes;
+  profile.seed = seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(seed ^ 0xf18);
+
+  // Find a parent with >= 2 children to host the split target.
+  std::vector<std::vector<doc::NodeId>> children(raw.size());
+  for (size_t i = 1; i < raw.size(); ++i) {
+    children[raw.parents[i]].push_back(static_cast<doc::NodeId>(i));
+  }
+  doc::NodeId host = 0;
+  for (size_t i = raw.size(); i-- > 0;) {
+    if (children[i].size() >= 2) {
+      host = static_cast<doc::NodeId>(i);
+      // Prefer a deep host: keep scanning smaller ids only if none found.
+      if (rng.Chance(0.7)) break;
+    }
+  }
+  doc::NodeId left = children[host][0];
+  doc::NodeId right = children[host][1];
+  raw.texts[left] += " kwone";
+  raw.texts[right] += " kwtwo";
+
+  // Noise occurrences, scattered, away from the host subtree.
+  std::vector<doc::NodeId> pool;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i == host || i == left || i == right) continue;
+    pool.push_back(static_cast<doc::NodeId>(i));
+  }
+  rng.Shuffle(&pool);
+  for (size_t i = 0; i < noise && 2 * i + 1 < pool.size(); ++i) {
+    raw.texts[pool[2 * i]] += " kwone";
+    raw.texts[pool[2 * i + 1]] += " kwtwo";
+  }
+
+  TargetInstance instance;
+  auto document = gen::Materialize(raw);
+  if (!document.ok()) std::abort();
+  instance.document =
+      std::make_unique<doc::Document>(std::move(document).value());
+  instance.index = std::make_unique<text::InvertedIndex>(
+      text::InvertedIndex::Build(*instance.document));
+  instance.target = {host, left, right};
+  return instance;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 8 on the paper's own document");
+  {
+    auto document = gen::BuildPaperDocument();
+    if (!document.ok()) return 1;
+    auto index = text::InvertedIndex::Build(*document);
+    Fragment target = Fragment::FromSortedUnchecked({16, 17, 18});
+
+    query::QueryEngine engine(*document, index);
+    query::Query q;
+    q.terms = {"xquery", "optimization"};
+    q.filter = algebra::filters::SizeAtMost(3);
+    auto xfrag_result = engine.Evaluate(q);
+    baseline::LcaBaselines baselines(*document, index);
+    auto subtree_answers =
+        baselines.SmallestSubtreeAnswers({"xquery", "optimization"});
+    if (!xfrag_result.ok() || !subtree_answers.ok()) return 1;
+
+    bench::TablePrinter table(
+        {"system", "answers", "returns <n16,n17,n18>?"});
+    table.AddRow({"xfrag (beta=3)", bench::Cell(xfrag_result->answers.size()),
+                  xfrag_result->answers.Contains(target) ? "yes" : "no"});
+    table.AddRow({"smallest-subtree (SLCA)",
+                  bench::Cell(subtree_answers->size()),
+                  subtree_answers->Contains(target) ? "yes" : "no"});
+    table.Print();
+  }
+
+  bench::Banner(
+      "Planted split-keyword targets: recall of the self-contained fragment");
+  {
+    bench::TablePrinter table({"nodes", "noise", "xfrag recall",
+                               "xfrag answers", "slca recall", "slca answers",
+                               "elca answers", "xfrag ms", "slca ms"});
+    for (auto [nodes, noise] : {std::pair<size_t, size_t>{500, 2},
+                                {2000, 4},
+                                {8000, 6},
+                                {20000, 8}}) {
+      int trials = 5;
+      int xfrag_hits = 0, slca_hits = 0;
+      double xfrag_answers = 0, slca_answers = 0, elca_answers = 0;
+      double xfrag_ms = 0, slca_ms = 0;
+      for (int t = 0; t < trials; ++t) {
+        TargetInstance instance =
+            MakeTargetInstance(nodes, noise, 1000 + static_cast<uint64_t>(t));
+        Fragment target = Fragment::FromSortedUnchecked(
+            std::vector<doc::NodeId>(instance.target.begin(),
+                                     instance.target.end()));
+
+        query::QueryEngine engine(*instance.document, *instance.index);
+        query::Query q;
+        q.terms = {"kwone", "kwtwo"};
+        q.filter = algebra::filters::SizeAtMost(3);
+        query::EvalOptions options;
+        options.strategy = query::Strategy::kPushDown;
+        FragmentSet answers;
+        xfrag_ms += bench::MedianMillis(
+            [&] {
+              auto result = engine.Evaluate(q, options);
+              if (!result.ok()) std::abort();
+              answers = result->answers;
+            },
+            3);
+        if (answers.Contains(target)) ++xfrag_hits;
+        xfrag_answers += static_cast<double>(answers.size());
+
+        baseline::LcaBaselines baselines(*instance.document, *instance.index);
+        FragmentSet subtree_answers;
+        slca_ms += bench::MedianMillis(
+            [&] {
+              auto result =
+                  baselines.SmallestSubtreeAnswers({"kwone", "kwtwo"});
+              if (!result.ok()) std::abort();
+              subtree_answers = *result;
+            },
+            3);
+        if (subtree_answers.Contains(target)) ++slca_hits;
+        slca_answers += static_cast<double>(subtree_answers.size());
+        auto elca = baselines.Elca({"kwone", "kwtwo"});
+        if (elca.ok()) elca_answers += static_cast<double>(elca->size());
+      }
+      table.AddRow(
+          {bench::Cell(nodes), bench::Cell(noise),
+           bench::Cell(static_cast<double>(xfrag_hits) / trials, 2),
+           bench::Cell(xfrag_answers / trials, 1),
+           bench::Cell(static_cast<double>(slca_hits) / trials, 2),
+           bench::Cell(slca_answers / trials, 1),
+           bench::Cell(elca_answers / trials, 1),
+           bench::Cell(xfrag_ms / trials, 2),
+           bench::Cell(slca_ms / trials, 2)});
+    }
+    table.Print();
+    std::printf(
+        "\nExpected shape (§1): xfrag recall 1.00 — the parent+two-paragraph "
+        "target is an\nalgebraic join answer. SLCA recall ~0: the baseline "
+        "returns whole subtrees rooted\nat LCA nodes, which equal the target "
+        "only when the host has exactly two children\n(and never returns the "
+        "paper's intermediate self-contained fragments).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// The [13] claim: the algebra runs on a relational platform. Compares the
+// native engine against the relational backend (shredded node/kw tables, all
+// structural access through index scans) on the paper document and generated
+// corpora, reporting time, fragment joins, and row fetches (a proxy for the
+// page accesses a real DBMS would pay).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+#include "rel/engine.h"
+
+using namespace xfrag;
+
+int main() {
+  bench::Banner("Native vs relational backend: paper document, beta = 3");
+  {
+    auto document = gen::BuildPaperDocument();
+    if (!document.ok()) return 1;
+    auto index = text::InvertedIndex::Build(*document);
+
+    query::QueryEngine native(*document, index);
+    query::Query q;
+    q.terms = {"xquery", "optimization"};
+    q.filter = algebra::filters::SizeAtMost(3);
+    query::EvalOptions options;
+    options.strategy = query::Strategy::kPushDown;
+    size_t native_answers = 0;
+    double native_ms = bench::MedianMillis(
+        [&] {
+          auto result = native.Evaluate(q, options);
+          if (!result.ok()) std::abort();
+          native_answers = result->answers.size();
+        },
+        9);
+
+    auto rel_engine = rel::RelationalEngine::Create(*document, index);
+    if (!rel_engine.ok()) return 1;
+    rel::RelFilter filter;
+    filter.size_at_most = 3;
+    size_t rel_answers = 0;
+    double rel_ms = bench::MedianMillis(
+        [&] {
+          auto result = rel_engine->Evaluate({"xquery", "optimization"},
+                                             filter);
+          if (!result.ok()) std::abort();
+          rel_answers = result->size();
+        },
+        9);
+
+    bench::TablePrinter table({"backend", "ms", "answers", "node fetches",
+                               "kw probes"});
+    table.AddRow({"native", bench::Cell(native_ms, 4),
+                  bench::Cell(native_answers), "-", "-"});
+    table.AddRow({"relational", bench::Cell(rel_ms, 4),
+                  bench::Cell(rel_answers),
+                  bench::Cell(rel_engine->metrics().node_fetches),
+                  bench::Cell(rel_engine->metrics().kw_probes)});
+    table.Print();
+  }
+
+  bench::Banner("Native vs relational: corpus sweep (beta = 5, push-down)");
+  {
+    bench::TablePrinter table({"nodes", "native ms", "rel ms", "slowdown",
+                               "node fetches", "answers equal"});
+    for (size_t nodes : {500u, 1500u, 4000u, 10000u}) {
+      bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+          nodes, 8, gen::PlantMode::kClustered, 8, gen::PlantMode::kScattered,
+          40 + nodes);
+      query::QueryEngine native(*corpus.document, *corpus.index);
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      q.filter = algebra::filters::SizeAtMost(5);
+      query::EvalOptions options;
+      options.strategy = query::Strategy::kPushDown;
+      algebra::FragmentSet native_answers;
+      double native_ms = bench::MedianMillis(
+          [&] {
+            auto result = native.Evaluate(q, options);
+            if (!result.ok()) std::abort();
+            native_answers = result->answers;
+          },
+          5);
+
+      auto rel_engine =
+          rel::RelationalEngine::Create(*corpus.document, *corpus.index);
+      if (!rel_engine.ok()) return 1;
+      rel::RelFilter filter;
+      filter.size_at_most = 5;
+      algebra::FragmentSet rel_answers;
+      double rel_ms = bench::MedianMillis(
+          [&] {
+            auto result = rel_engine->Evaluate(
+                {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2},
+                filter);
+            if (!result.ok()) std::abort();
+            rel_answers = *result;
+          },
+          5);
+
+      table.AddRow(
+          {bench::Cell(nodes), bench::Cell(native_ms, 3),
+           bench::Cell(rel_ms, 3),
+           bench::Cell(rel_ms / (native_ms > 0 ? native_ms : 1e-9), 1),
+           bench::Cell(rel_engine->metrics().node_fetches),
+           rel_answers.SetEquals(native_answers) ? "yes" : "NO"});
+    }
+    table.Print();
+    std::printf(
+        "\nExpected shape: identical answers; the relational backend pays a "
+        "constant\nfactor for per-row index probes (the paper's [13] "
+        "implementability claim, not a\nperformance one). Fetch counts are "
+        "what a DBMS cost model would estimate.\n");
+  }
+  return 0;
+}

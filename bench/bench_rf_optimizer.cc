@@ -1,0 +1,110 @@
+// Section 5: the reduction factor RF and the optimizer built on it.
+// (a) Sweeps true RF and reports the sampled estimate's accuracy;
+// (b) compares the optimizer's strategy choice against an oracle that times
+//     every strategy, reporting the regret of choosing by estimated RF.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/engine.h"
+
+using namespace xfrag;
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+int main() {
+  bench::Banner("RF estimation accuracy (sample size 12 vs exact)");
+  {
+    bench::TablePrinter table({"placement", "|F|", "exact RF", "estimated RF",
+                               "abs error", "estimate ms", "exact ms"});
+    for (auto [label, mode, count] :
+         {std::tuple{"clustered", gen::PlantMode::kClustered, size_t{24}},
+          std::tuple{"clustered", gen::PlantMode::kClustered, size_t{48}},
+          std::tuple{"siblings", gen::PlantMode::kSiblings, size_t{24}},
+          std::tuple{"scattered", gen::PlantMode::kScattered, size_t{24}},
+          std::tuple{"scattered", gen::PlantMode::kScattered, size_t{48}}}) {
+      bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+          6000, count, mode, 2, gen::PlantMode::kScattered,
+          500 + count);
+      FragmentSet base;
+      for (doc::NodeId n : corpus.postings1) base.Insert(Fragment::Single(n));
+
+      double exact = 0, estimate = 0;
+      double exact_ms = bench::MedianMillis(
+          [&] { exact = query::ReductionFactor(*corpus.document, base); }, 3);
+      double estimate_ms = bench::MedianMillis(
+          [&] {
+            estimate = query::EstimateReductionFactor(*corpus.document, base,
+                                                      12, 9);
+          },
+          3);
+      table.AddRow({label, bench::Cell(base.size()), bench::Cell(exact, 2),
+                    bench::Cell(estimate, 2),
+                    bench::Cell(std::abs(exact - estimate), 2),
+                    bench::Cell(estimate_ms, 3), bench::Cell(exact_ms, 3)});
+    }
+    table.Print();
+    std::printf("\nExpected shape (§5): sampling is much cheaper than exact "
+                "⊖ on large posting\nlists and separates high-RF (clustered) "
+                "from low-RF (scattered) reliably; the\nestimate is what the "
+                "optimizer's v-threshold test consumes.\n");
+  }
+
+  bench::Banner("Optimizer choice vs oracle (no filter, so push-down is out)");
+  {
+    bench::TablePrinter table({"placement", "|Fi|", "naive ms", "reduced ms",
+                               "optimizer chose", "oracle best", "regret %"});
+    for (auto [label, mode, count] :
+         {std::tuple{"clustered", gen::PlantMode::kClustered, size_t{8}},
+          std::tuple{"clustered", gen::PlantMode::kClustered, size_t{12}},
+          std::tuple{"siblings", gen::PlantMode::kSiblings, size_t{10}},
+          std::tuple{"scattered", gen::PlantMode::kScattered, size_t{8}},
+          std::tuple{"scattered", gen::PlantMode::kScattered, size_t{10}}}) {
+      bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+          4000, count, mode, count, mode, 700 + count);
+      query::QueryEngine engine(*corpus.document, *corpus.index);
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      // No filter: the optimizer must decide naive vs reduced via RF.
+
+      auto time_strategy = [&](query::Strategy strategy) {
+        query::EvalOptions options;
+        options.strategy = strategy;
+        return bench::MedianMillis(
+            [&] {
+              auto result = engine.Evaluate(q, options);
+              if (!result.ok()) std::abort();
+            },
+            3);
+      };
+      double naive_ms = time_strategy(query::Strategy::kFixedPointNaive);
+      double reduced_ms = time_strategy(query::Strategy::kFixedPointReduced);
+
+      query::PlanDecision decision =
+          query::ChooseStrategy(q, *corpus.document, *corpus.index);
+      query::Strategy oracle = naive_ms <= reduced_ms
+                                   ? query::Strategy::kFixedPointNaive
+                                   : query::Strategy::kFixedPointReduced;
+      double chosen_ms = decision.strategy == query::Strategy::kFixedPointNaive
+                             ? naive_ms
+                             : decision.strategy ==
+                                       query::Strategy::kFixedPointReduced
+                                   ? reduced_ms
+                                   : std::min(naive_ms, reduced_ms);
+      double best_ms = std::min(naive_ms, reduced_ms);
+      double regret =
+          best_ms > 0 ? (chosen_ms - best_ms) / best_ms * 100.0 : 0.0;
+      table.AddRow({label, bench::Cell(count), bench::Cell(naive_ms, 3),
+                    bench::Cell(reduced_ms, 3),
+                    std::string(query::StrategyName(decision.strategy)),
+                    std::string(query::StrategyName(oracle)),
+                    bench::Cell(regret, 1)});
+    }
+    table.Print();
+    std::printf("\nExpected shape (§5): the RF-threshold rule tracks the "
+                "oracle on clearly\nclustered or clearly scattered data; "
+                "regret concentrates near the threshold,\nmotivating the "
+                "paper's call for a full cost model.\n");
+  }
+  return 0;
+}

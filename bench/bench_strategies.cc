@@ -1,0 +1,186 @@
+// Section-4 strategy comparison at scale: brute force (§4.1), naive fixed
+// point (§3.1.1), Theorem-1 set reduction (§4.2) and anti-monotonic
+// push-down (§4.3) across posting-list sizes and keyword placements.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/engine.h"
+
+using namespace xfrag;
+
+namespace {
+
+struct Measurement {
+  bool ok = false;
+  double ms = 0;
+  uint64_t joins = 0;
+  size_t answers = 0;
+};
+
+Measurement Run(query::QueryEngine& engine, const query::Query& q,
+                query::Strategy strategy) {
+  Measurement m;
+  query::EvalOptions options;
+  options.strategy = strategy;
+  options.executor.powerset.max_set_size = 12;
+  auto probe = engine.Evaluate(q, options);
+  if (!probe.ok()) return m;  // Brute force may refuse (guarded).
+  m.ok = true;
+  m.ms = bench::MedianMillis(
+      [&] {
+        auto result = engine.Evaluate(q, options);
+        if (!result.ok()) std::abort();
+        m.joins = result->metrics.fragment_joins;
+        m.answers = result->answers.size();
+      },
+      3);
+  return m;
+}
+
+std::string CellOrDash(const Measurement& m, bool time) {
+  if (!m.ok) return "-";
+  return time ? bench::Cell(m.ms, 3) : bench::Cell(m.joins);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Strategy comparison: sweep |F_i| (clustered placement, beta = 6, "
+      "4000-node corpus)");
+  {
+    bench::TablePrinter table({"|Fi|", "brute ms", "naive ms", "reduced ms",
+                               "push ms", "brute joins", "naive joins",
+                               "reduced joins", "push joins", "answers"});
+    for (size_t count : {3u, 5u, 7u, 9u, 11u, 14u}) {
+      bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+          4000, count, gen::PlantMode::kClustered, count,
+          gen::PlantMode::kClustered, 300 + count);
+      query::QueryEngine engine(*corpus.document, *corpus.index);
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      q.filter = algebra::filters::SizeAtMost(6);
+
+      Measurement brute = Run(engine, q, query::Strategy::kBruteForce);
+      Measurement naive = Run(engine, q, query::Strategy::kFixedPointNaive);
+      Measurement reduced =
+          Run(engine, q, query::Strategy::kFixedPointReduced);
+      Measurement push = Run(engine, q, query::Strategy::kPushDown);
+      table.AddRow({bench::Cell(count), CellOrDash(brute, true),
+                    CellOrDash(naive, true), CellOrDash(reduced, true),
+                    CellOrDash(push, true), CellOrDash(brute, false),
+                    CellOrDash(naive, false), CellOrDash(reduced, false),
+                    CellOrDash(push, false), bench::Cell(push.answers)});
+    }
+    table.Print();
+    std::printf(
+        "\nExpected shape (§4): brute force degrades exponentially and is "
+        "refused ('-')\nbeyond the guard; set reduction beats naive checking "
+        "on clustered (high-RF) data;\npush-down wins overall. All answer "
+        "counts agree across strategies.\n");
+  }
+
+  bench::Banner(
+      "Strategy comparison: clustered vs scattered placement (|Fi| = 8, "
+      "beta = 6)");
+  {
+    bench::TablePrinter table({"placement", "naive ms", "reduced ms",
+                               "push ms", "naive joins", "reduced joins",
+                               "push joins", "answers"});
+    for (auto [label, mode] :
+         {std::pair{"clustered", gen::PlantMode::kClustered},
+          std::pair{"siblings", gen::PlantMode::kSiblings},
+          std::pair{"scattered", gen::PlantMode::kScattered}}) {
+      bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+          4000, 8, mode, 8, mode, 77);
+      query::QueryEngine engine(*corpus.document, *corpus.index);
+      query::Query q;
+      q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+      q.filter = algebra::filters::SizeAtMost(6);
+      Measurement naive = Run(engine, q, query::Strategy::kFixedPointNaive);
+      Measurement reduced =
+          Run(engine, q, query::Strategy::kFixedPointReduced);
+      Measurement push = Run(engine, q, query::Strategy::kPushDown);
+      table.AddRow({label, CellOrDash(naive, true), CellOrDash(reduced, true),
+                    CellOrDash(push, true), CellOrDash(naive, false),
+                    CellOrDash(reduced, false), CellOrDash(push, false),
+                    bench::Cell(push.answers)});
+    }
+    table.Print();
+  }
+
+  bench::Banner("Three-keyword queries (m = 3), beta = 8");
+  {
+    gen::CorpusProfile profile;
+    profile.target_nodes = 3000;
+    profile.seed = 55;
+    gen::RawCorpus raw = gen::GenerateRaw(profile);
+    Rng rng(56);
+    gen::PlantKeyword(&raw, "kwone", 6, gen::PlantMode::kClustered, &rng);
+    gen::PlantKeyword(&raw, "kwtwo", 6, gen::PlantMode::kClustered, &rng);
+    gen::PlantKeyword(&raw, "kwthree", 5, gen::PlantMode::kScattered, &rng);
+    auto document = gen::Materialize(raw);
+    if (!document.ok()) return 1;
+    auto index = text::InvertedIndex::Build(*document);
+    query::QueryEngine engine(*document, index);
+    query::Query q;
+    q.terms = {"kwone", "kwtwo", "kwthree"};
+    q.filter = algebra::filters::And(algebra::filters::SizeAtMost(8),
+                                     algebra::filters::HeightAtMost(3));
+    bench::TablePrinter table({"strategy", "ms", "joins", "answers"});
+    for (auto strategy :
+         {query::Strategy::kFixedPointNaive, query::Strategy::kPushDown}) {
+      Measurement m = Run(engine, q, strategy);
+      table.AddRow({std::string(query::StrategyName(strategy)),
+                    CellOrDash(m, true), CellOrDash(m, false),
+                    bench::Cell(m.answers)});
+    }
+    table.Print();
+  }
+
+  bench::Banner(
+      "Cross-query fixed-point cache (repeated push-down queries)");
+  {
+    bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+        4000, 10, gen::PlantMode::kClustered, 10, gen::PlantMode::kClustered,
+        88);
+    query::QueryEngine engine(*corpus.document, *corpus.index);
+    query::Query q;
+    q.terms = {bench::PlantedCorpus::kTerm1, bench::PlantedCorpus::kTerm2};
+    q.filter = algebra::filters::SizeAtMost(6);
+
+    query::EvalOptions cold_options;
+    cold_options.strategy = query::Strategy::kPushDown;
+    double cold_ms = bench::MedianMillis(
+        [&] {
+          auto result = engine.Evaluate(q, cold_options);
+          if (!result.ok()) std::abort();
+        },
+        5);
+
+    query::FixedPointCache cache;
+    query::EvalOptions warm_options = cold_options;
+    warm_options.executor.fixed_point_cache = &cache;
+    // Prime once, then measure warm evaluations.
+    if (!engine.Evaluate(q, warm_options).ok()) std::abort();
+    double warm_ms = bench::MedianMillis(
+        [&] {
+          auto result = engine.Evaluate(q, warm_options);
+          if (!result.ok()) std::abort();
+        },
+        5);
+
+    bench::TablePrinter table({"mode", "ms", "speedup"});
+    table.AddRow({"no cache", bench::Cell(cold_ms, 3), "1.0"});
+    table.AddRow({"warm cache", bench::Cell(warm_ms, 3),
+                  bench::Cell(cold_ms / (warm_ms > 0 ? warm_ms : 1e-9), 1)});
+    table.Print();
+    std::printf("\nRepeated queries over an immutable document skip the "
+                "per-term closures\nentirely (%llu cache hits recorded) — "
+                "the §5 implementation-level complement\nto the algebraic "
+                "optimizations.\n",
+                static_cast<unsigned long long>(cache.hits()));
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace xfrag::bench {
+
+PlantedCorpus MakePlantedCorpus(size_t nodes, size_t count1,
+                                gen::PlantMode mode1, size_t count2,
+                                gen::PlantMode mode2, uint64_t seed) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = nodes;
+  profile.seed = seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(seed ^ 0xbeac0);
+  PlantedCorpus corpus;
+  corpus.postings1 =
+      gen::PlantKeyword(&raw, PlantedCorpus::kTerm1, count1, mode1, &rng);
+  corpus.postings2 =
+      gen::PlantKeyword(&raw, PlantedCorpus::kTerm2, count2, mode2, &rng);
+  auto document = gen::Materialize(raw);
+  if (!document.ok()) {
+    std::fprintf(stderr, "corpus materialization failed: %s\n",
+                 document.status().ToString().c_str());
+    std::abort();
+  }
+  corpus.document = std::make_unique<doc::Document>(std::move(document).value());
+  corpus.index = std::make_unique<text::InvertedIndex>(
+      text::InvertedIndex::Build(*corpus.document));
+  return corpus;
+}
+
+double MedianMillis(const std::function<void()>& fn, int repeats) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    Timer timer;
+    fn();
+    samples.push_back(timer.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      if (c == 0) {
+        std::printf("%-*s", static_cast<int>(widths[c]) + 2, cell.c_str());
+      } else {
+        std::printf("%*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 2;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Cell(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string Cell(uint64_t value) {
+  return StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace xfrag::bench

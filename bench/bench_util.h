@@ -1,0 +1,64 @@
+// Shared helpers for the paper-reproduction bench binaries: planted-corpus
+// construction, median-of-N timing, and fixed-width table printing that
+// mirrors the paper's presentation.
+
+#ifndef XFRAG_BENCH_BENCH_UTIL_H_
+#define XFRAG_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "gen/corpus.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::bench {
+
+/// A generated corpus with two planted query keywords, ready to query.
+struct PlantedCorpus {
+  std::unique_ptr<doc::Document> document;
+  std::unique_ptr<text::InvertedIndex> index;
+  std::vector<doc::NodeId> postings1;
+  std::vector<doc::NodeId> postings2;
+  /// The planted terms are always "kwone" and "kwtwo".
+  static constexpr const char* kTerm1 = "kwone";
+  static constexpr const char* kTerm2 = "kwtwo";
+};
+
+/// \brief Generates a corpus of ~`nodes` nodes and plants the two benchmark
+/// keywords with the given counts/modes. Deterministic in `seed`.
+PlantedCorpus MakePlantedCorpus(size_t nodes, size_t count1,
+                                gen::PlantMode mode1, size_t count2,
+                                gen::PlantMode mode2, uint64_t seed);
+
+/// \brief Median wall-clock milliseconds of `fn` over `repeats` runs.
+double MedianMillis(const std::function<void()>& fn, int repeats = 5);
+
+/// \brief Fixed-width console table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cells are printed right-aligned except the first column.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders everything to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style cell helpers. (size_t is uint64_t on this platform.)
+std::string Cell(double value, int precision = 2);
+std::string Cell(uint64_t value);
+
+/// \brief Prints the "== <title> ==" banner used by all bench binaries.
+void Banner(const std::string& title);
+
+}  // namespace xfrag::bench
+
+#endif  // XFRAG_BENCH_BENCH_UTIL_H_

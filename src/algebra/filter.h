@@ -1,0 +1,138 @@
+// Selection predicates — the paper's "filters" (Definition 3, §3.3, §3.4).
+//
+// Each filter knows whether it is anti-monotonic (Definition 11:
+// P(f) = true implies P(f') = true for every sub-fragment f' ⊆ f). The
+// query optimizer relies on this flag for Theorem 3's selection push-down,
+// so the flag is conservative: a composite filter only claims
+// anti-monotonicity when the paper's closure results guarantee it
+// (conjunction and disjunction preserve it; negation does not).
+
+#ifndef XFRAG_ALGEBRA_FILTER_H_
+#define XFRAG_ALGEBRA_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/fragment.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::algebra {
+
+/// Evaluation context handed to every filter.
+struct FilterContext {
+  /// The document the fragments belong to. Never null.
+  const Document* document = nullptr;
+  /// Keyword index; may be null for purely structural filters.
+  const text::InvertedIndex* index = nullptr;
+};
+
+class Filter;
+/// Filters are immutable and shared.
+using FilterPtr = std::shared_ptr<const Filter>;
+
+/// \brief Abstract selection predicate over fragments.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// True iff `fragment` satisfies the predicate.
+  virtual bool Matches(const Fragment& fragment,
+                       const FilterContext& context) const = 0;
+
+  /// True iff the filter is anti-monotonic (Definition 11). Conservative:
+  /// false means "not guaranteed", not "provably monotone".
+  virtual bool anti_monotonic() const = 0;
+
+  /// Human-readable form, e.g. "size<=3 & height<=2".
+  virtual std::string ToString() const = 0;
+
+  /// \brief Appends this filter's top-level conjuncts to `out`.
+  ///
+  /// The default appends `this`; conjunctions recurse, letting the optimizer
+  /// split a filter into its anti-monotonic part and a residue.
+  virtual void CollectConjuncts(std::vector<FilterPtr>* out,
+                                const FilterPtr& self) const;
+};
+
+namespace filters {
+
+/// Filter that accepts every fragment. Anti-monotonic (vacuously).
+FilterPtr True();
+
+/// size(f) <= beta (§3.3.1). Anti-monotonic.
+FilterPtr SizeAtMost(uint32_t beta);
+
+/// height(f) <= h (§3.3.2). Anti-monotonic.
+FilterPtr HeightAtMost(uint32_t h);
+
+/// Pre-order span of f <= w — the paper's horizontal "width" (§3.3.2).
+/// Anti-monotonic.
+FilterPtr SpanAtMost(uint32_t w);
+
+/// size(f) >= beta — the paper's first non-anti-monotonic example (§3.4:
+/// "fragments consisting of nodes whose number is greater than a certain
+/// value").
+FilterPtr SizeAtLeast(uint32_t beta);
+
+/// Maximum tree distance (edges) between any two nodes of f is <= d. §3.3.2
+/// motivates distance between nodes as a proximity measure; the maximum over
+/// a subset can only shrink, so this is anti-monotonic. Evaluated in O(|f|)
+/// as the diameter of the induced subtree.
+FilterPtr DistanceAtMost(uint32_t d);
+
+/// Every node of f has a tag in `allowed`. Anti-monotonic (node subsets keep
+/// the property) — an example of a structural vocabulary filter ("only
+/// sections and paragraphs").
+FilterPtr TagsWithin(std::vector<std::string> allowed);
+
+/// The fragment root's depth in the document is >= d ("answers no shallower
+/// than a subsection"). Anti-monotonic: every member of a fragment — hence
+/// every sub-fragment's root — is a descendant-or-self of its root, so root
+/// depth can only grow when shrinking a fragment.
+FilterPtr RootDepthAtLeast(uint32_t d);
+
+/// The fragment root's depth is <= d. NOT anti-monotonic (the mirror image:
+/// sub-fragments are rooted deeper, so a passing fragment can have failing
+/// sub-fragments).
+FilterPtr RootDepthAtMost(uint32_t d);
+
+/// The paper's "equal depth filter" (§3.4, Figure 7): every node of f
+/// containing `term1` lies at the same depth (relative to the fragment root)
+/// as every node containing `term2`. Requires an index in the context.
+/// NOT anti-monotonic — Figure 7's counterexample is reproduced in the tests.
+FilterPtr EqualDepth(std::string term1, std::string term2);
+
+/// Some node of f contains `term` (k ∈ keywords(n) for some n ∈ f). This is
+/// the paper's 'keyword = k' selection when applied to single-node fragments.
+/// Monotone rather than anti-monotonic, hence not push-down-safe.
+FilterPtr ContainsKeyword(std::string term);
+
+/// The fragment root's tag equals `tag`. Not anti-monotonic (sub-fragments
+/// have different roots).
+FilterPtr RootTagIs(std::string tag);
+
+/// Conjunction; anti-monotonic iff both operands are (paper §3.3).
+FilterPtr And(FilterPtr a, FilterPtr b);
+
+/// Disjunction; anti-monotonic iff both operands are (paper §3.3).
+FilterPtr Or(FilterPtr a, FilterPtr b);
+
+/// Negation; never claims anti-monotonicity (paper §3.3 excludes it).
+FilterPtr Not(FilterPtr inner);
+
+/// Conjunction of all `conjuncts` (True() when empty).
+FilterPtr AndAll(const std::vector<FilterPtr>& conjuncts);
+
+}  // namespace filters
+
+/// \brief Splits `filter` into its anti-monotonic top-level conjuncts and the
+/// rest. `anti_monotonic` receives True() when no conjunct qualifies, and
+/// likewise for `residue`; (anti ∧ residue) ≡ filter.
+void SplitAntiMonotonic(const FilterPtr& filter, FilterPtr* anti_monotonic,
+                        FilterPtr* residue);
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_FILTER_H_

@@ -1,0 +1,89 @@
+#include "algebra/fragment.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xfrag::algebra {
+
+StatusOr<Fragment> Fragment::Create(const Document& document,
+                                    std::vector<NodeId> nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("a fragment must contain at least one node");
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  if (nodes.back() >= document.size()) {
+    return Status::OutOfRange(
+        StrFormat("node id %u out of range (document has %zu nodes)",
+                  nodes.back(), document.size()));
+  }
+  // Connectivity: every member except the root (minimal pre-order id) must
+  // have its parent inside the set; then the induced subgraph is a tree
+  // rooted at nodes[0].
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    NodeId parent = document.parent(nodes[i]);
+    if (parent == doc::kNoNode ||
+        !std::binary_search(nodes.begin(), nodes.end(), parent)) {
+      return Status::InvalidArgument(
+          StrFormat("fragment is not connected: parent of node %u is outside "
+                    "the node set",
+                    nodes[i]));
+    }
+  }
+  return Fragment(std::move(nodes));
+}
+
+uint64_t Fragment::Hash() const {
+  // FNV-1a over node ids with a 64-bit avalanche finisher.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (NodeId n : nodes_) {
+    h ^= n;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::string Fragment::ToString() const {
+  std::string out = "⟨";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("n%u", nodes_[i]);
+  }
+  out += "⟩";
+  return out;
+}
+
+uint32_t FragmentHeight(const Fragment& fragment, const Document& document) {
+  uint32_t root_depth = document.depth(fragment.root());
+  uint32_t max_depth = root_depth;
+  for (NodeId n : fragment.nodes()) {
+    max_depth = std::max(max_depth, document.depth(n));
+  }
+  return max_depth - root_depth;
+}
+
+uint32_t FragmentSpan(const Fragment& fragment) {
+  return fragment.nodes().back() - fragment.nodes().front();
+}
+
+std::vector<NodeId> FragmentLeaves(const Fragment& fragment,
+                                   const Document& document) {
+  // A member is a leaf of the fragment iff no member has it as parent.
+  std::unordered_set<NodeId> internal;
+  internal.reserve(fragment.size());
+  for (NodeId n : fragment.nodes()) {
+    if (n != fragment.root()) internal.insert(document.parent(n));
+  }
+  std::vector<NodeId> leaves;
+  for (NodeId n : fragment.nodes()) {
+    if (internal.find(n) == internal.end()) leaves.push_back(n);
+  }
+  return leaves;
+}
+
+}  // namespace xfrag::algebra

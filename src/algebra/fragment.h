@@ -1,0 +1,105 @@
+// The paper's Definition 2: a document fragment is a subset of document nodes
+// whose induced subgraph is a rooted (connected) tree. Fragments are the value
+// type of the whole algebra; they are immutable and canonical (sorted
+// pre-order ids), so equality and hashing are structural.
+
+#ifndef XFRAG_ALGEBRA_FRAGMENT_H_
+#define XFRAG_ALGEBRA_FRAGMENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "doc/document.h"
+
+namespace xfrag::algebra {
+
+using doc::Document;
+using doc::NodeId;
+
+/// \brief An immutable, canonical document fragment.
+///
+/// Invariants: node ids are sorted ascending and unique; the induced subgraph
+/// is connected. Because ids are pre-order ranks, the fragment's root (the
+/// unique member that is an ancestor-or-self of all members) is always the
+/// first id.
+class Fragment {
+ public:
+  /// \brief Validates connectivity and builds a fragment.
+  ///
+  /// Returns InvalidArgument when `nodes` is empty, contains an id out of
+  /// range, or induces a disconnected subgraph.
+  static StatusOr<Fragment> Create(const Document& document,
+                                   std::vector<NodeId> nodes);
+
+  /// \brief Single-node fragment (the paper calls these simply "nodes").
+  static Fragment Single(NodeId node) {
+    return Fragment(std::vector<NodeId>{node});
+  }
+
+  /// \brief Builds from nodes already known to be sorted, unique, and
+  /// connected (used by the join kernels). Not validated in release builds.
+  static Fragment FromSortedUnchecked(std::vector<NodeId> nodes) {
+    return Fragment(std::move(nodes));
+  }
+
+  /// Sorted member node ids.
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  /// Number of nodes — the paper's size(f) (§3.3.1).
+  size_t size() const { return nodes_.size(); }
+
+  /// The fragment's root node.
+  NodeId root() const { return nodes_.front(); }
+
+  /// True iff `node` is a member.
+  bool ContainsNode(NodeId node) const {
+    return std::binary_search(nodes_.begin(), nodes_.end(), node);
+  }
+
+  /// True iff every node of `other` is a member (f' ⊆ f).
+  bool ContainsFragment(const Fragment& other) const {
+    return std::includes(nodes_.begin(), nodes_.end(), other.nodes_.begin(),
+                         other.nodes_.end());
+  }
+
+  /// Structural equality.
+  bool operator==(const Fragment& other) const {
+    return nodes_ == other.nodes_;
+  }
+  bool operator!=(const Fragment& other) const { return !(*this == other); }
+
+  /// Deterministic ordering (lexicographic on node ids), for stable output.
+  bool operator<(const Fragment& other) const { return nodes_ < other.nodes_; }
+
+  /// 64-bit structural hash.
+  uint64_t Hash() const;
+
+  /// "⟨n16,n17,n18⟩" — the paper's fragment notation.
+  std::string ToString() const;
+
+ private:
+  explicit Fragment(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+  std::vector<NodeId> nodes_;
+};
+
+/// \brief Vertical distance between the fragment root and its deepest node —
+/// the paper's height(f) (§3.3.2).
+uint32_t FragmentHeight(const Fragment& fragment, const Document& document);
+
+/// \brief Horizontal extent of the fragment, formalised as the pre-order span
+/// `max_pre − min_pre` between the leftmost and rightmost member (§3.3.2;
+/// see DESIGN.md on this substitution).
+uint32_t FragmentSpan(const Fragment& fragment);
+
+/// \brief The member nodes that are leaves of the fragment's induced tree
+/// (no member is their child). Used by Definition 8's leaf condition.
+std::vector<NodeId> FragmentLeaves(const Fragment& fragment,
+                                   const Document& document);
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_FRAGMENT_H_

@@ -1,0 +1,60 @@
+#include "algebra/fragment_set.h"
+
+#include <algorithm>
+
+namespace xfrag::algebra {
+
+bool FragmentSet::Insert(Fragment fragment) {
+  uint64_t hash = fragment.Hash();
+  auto it = by_hash_.find(hash);
+  if (it != by_hash_.end()) {
+    for (size_t index : it->second) {
+      if (fragments_[index] == fragment) return false;
+    }
+  }
+  by_hash_[hash].push_back(fragments_.size());
+  fragments_.push_back(std::move(fragment));
+  return true;
+}
+
+bool FragmentSet::Contains(const Fragment& fragment) const {
+  auto it = by_hash_.find(fragment.Hash());
+  if (it == by_hash_.end()) return false;
+  for (size_t index : it->second) {
+    if (fragments_[index] == fragment) return true;
+  }
+  return false;
+}
+
+bool FragmentSet::SetEquals(const FragmentSet& other) const {
+  if (size() != other.size()) return false;
+  for (const auto& f : fragments_) {
+    if (!other.Contains(f)) return false;
+  }
+  return true;
+}
+
+FragmentSet FragmentSet::Union(const FragmentSet& other) const {
+  FragmentSet out = *this;
+  for (const auto& f : other) out.Insert(f);
+  return out;
+}
+
+std::vector<Fragment> FragmentSet::Sorted() const {
+  std::vector<Fragment> out = fragments_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FragmentSet::ToString() const {
+  std::string out = "{";
+  std::vector<Fragment> sorted = Sorted();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sorted[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xfrag::algebra

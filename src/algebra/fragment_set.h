@@ -1,0 +1,78 @@
+// A deduplicating set of fragments. The paper's operators are set-valued
+// (duplicates produced by joins "will be removed from the set", §4.1), so the
+// container enforces set semantics while preserving deterministic iteration
+// order (insertion order) for reproducible output.
+
+#ifndef XFRAG_ALGEBRA_FRAGMENT_SET_H_
+#define XFRAG_ALGEBRA_FRAGMENT_SET_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/fragment.h"
+
+namespace xfrag::algebra {
+
+/// \brief An ordered, deduplicating collection of fragments.
+class FragmentSet {
+ public:
+  FragmentSet() = default;
+
+  /// Builds from a list of fragments, deduplicating.
+  FragmentSet(std::initializer_list<Fragment> fragments) {
+    for (const auto& f : fragments) Insert(f);
+  }
+
+  /// Builds from a vector of fragments, deduplicating.
+  static FragmentSet FromVector(std::vector<Fragment> fragments) {
+    FragmentSet out;
+    for (auto& f : fragments) out.Insert(std::move(f));
+    return out;
+  }
+
+  /// \brief Inserts a fragment. Returns true when it was not yet present.
+  bool Insert(Fragment fragment);
+
+  /// True iff `fragment` is a member.
+  bool Contains(const Fragment& fragment) const;
+
+  /// Number of distinct fragments.
+  size_t size() const { return fragments_.size(); }
+  bool empty() const { return fragments_.empty(); }
+
+  /// Insertion-ordered access.
+  const Fragment& operator[](size_t i) const { return fragments_[i]; }
+  std::vector<Fragment>::const_iterator begin() const {
+    return fragments_.begin();
+  }
+  std::vector<Fragment>::const_iterator end() const { return fragments_.end(); }
+
+  /// Set equality (order-independent).
+  bool SetEquals(const FragmentSet& other) const;
+
+  /// Union of this set and `other` (new set; insertion order: this, then
+  /// unseen members of other).
+  FragmentSet Union(const FragmentSet& other) const;
+
+  /// Members in a fresh vector, sorted by Fragment::operator< (canonical
+  /// order for golden tests and printed tables).
+  std::vector<Fragment> Sorted() const;
+
+  /// "{⟨n1⟩, ⟨n3,n4⟩}" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  struct HashEntry {
+    size_t index;
+  };
+
+  std::vector<Fragment> fragments_;
+  // Hash → indexes with that hash (collision chain kept tiny in practice).
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash_;
+};
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_FRAGMENT_SET_H_

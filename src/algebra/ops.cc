@@ -1,0 +1,219 @@
+#include "algebra/ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xfrag::algebra {
+
+namespace {
+
+// Merges two sorted unique id vectors plus extra path nodes into a sorted
+// unique vector.
+std::vector<NodeId> MergeNodes(const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b,
+                               std::vector<NodeId> extra) {
+  std::vector<NodeId> out;
+  out.reserve(a.size() + b.size() + extra.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.insert(out.end(), extra.begin(), extra.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void CountJoin(OpMetrics* metrics) {
+  if (metrics != nullptr) {
+    ++metrics->fragment_joins;
+    ++metrics->fragments_produced;
+  }
+}
+
+bool PassesFilter(const Fragment& f, const FilterPtr& filter,
+                  const FilterContext& context, OpMetrics* metrics) {
+  if (metrics != nullptr) ++metrics->filter_evals;
+  bool ok = filter->Matches(f, context);
+  if (!ok && metrics != nullptr) ++metrics->filter_rejections;
+  return ok;
+}
+
+}  // namespace
+
+Fragment Join(const Document& document, const Fragment& f1, const Fragment& f2,
+              OpMetrics* metrics) {
+  CountJoin(metrics);
+  // Absorption fast paths (f1 ⋈ f2 = f1 when f2 ⊆ f1).
+  if (f1.ContainsFragment(f2)) return f1;
+  if (f2.ContainsFragment(f1)) return f2;
+  NodeId r1 = f1.root();
+  NodeId r2 = f2.root();
+  NodeId lca = document.Lca(r1, r2);
+  std::vector<NodeId> extra = document.PathToAncestor(r1, lca);
+  std::vector<NodeId> path2 = document.PathToAncestor(r2, lca);
+  extra.insert(extra.end(), path2.begin(), path2.end());
+  return Fragment::FromSortedUnchecked(
+      MergeNodes(f1.nodes(), f2.nodes(), std::move(extra)));
+}
+
+FragmentSet PairwiseJoin(const Document& document, const FragmentSet& set1,
+                         const FragmentSet& set2, OpMetrics* metrics) {
+  FragmentSet out;
+  for (const Fragment& f1 : set1) {
+    for (const Fragment& f2 : set2) {
+      out.Insert(Join(document, f1, f2, metrics));
+    }
+  }
+  return out;
+}
+
+FragmentSet PairwiseJoinFiltered(const Document& document,
+                                 const FragmentSet& set1,
+                                 const FragmentSet& set2,
+                                 const FilterPtr& filter,
+                                 const FilterContext& context,
+                                 OpMetrics* metrics) {
+  FragmentSet out;
+  for (const Fragment& f1 : set1) {
+    for (const Fragment& f2 : set2) {
+      Fragment joined = Join(document, f1, f2, metrics);
+      if (PassesFilter(joined, filter, context, metrics)) {
+        out.Insert(std::move(joined));
+      }
+    }
+  }
+  return out;
+}
+
+FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
+                   const FilterContext& context, OpMetrics* metrics) {
+  FragmentSet out;
+  for (const Fragment& f : set) {
+    if (PassesFilter(f, filter, context, metrics)) out.Insert(f);
+  }
+  return out;
+}
+
+StatusOr<FragmentSet> PowersetJoinBruteForce(
+    const Document& document, const FragmentSet& set1, const FragmentSet& set2,
+    const PowersetJoinOptions& options, OpMetrics* metrics) {
+  if (set1.size() > options.max_set_size ||
+      set2.size() > options.max_set_size) {
+    return Status::ResourceExhausted(StrFormat(
+        "brute-force powerset join over sets of %zu and %zu fragments "
+        "exceeds the configured limit of %zu",
+        set1.size(), set2.size(), options.max_set_size));
+  }
+  if (set1.empty() || set2.empty()) return FragmentSet();
+
+  // join_of_subset[mask] = ⋈ of the fragments selected by mask, built
+  // incrementally from mask-with-lowest-bit-cleared.
+  auto subset_joins = [&](const FragmentSet& set) {
+    std::vector<Fragment> joins;
+    size_t total = size_t{1} << set.size();
+    joins.reserve(total);
+    joins.push_back(Fragment::Single(0));  // Placeholder for mask 0 (unused).
+    for (size_t mask = 1; mask < total; ++mask) {
+      size_t low = mask & (~mask + 1);
+      size_t low_index = static_cast<size_t>(__builtin_ctzll(mask));
+      size_t rest = mask ^ low;
+      if (rest == 0) {
+        joins.push_back(set[low_index]);
+      } else {
+        joins.push_back(Join(document, joins[rest], set[low_index], metrics));
+      }
+    }
+    return joins;
+  };
+
+  std::vector<Fragment> joins1 = subset_joins(set1);
+  std::vector<Fragment> joins2 = subset_joins(set2);
+
+  FragmentSet out;
+  for (size_t m1 = 1; m1 < joins1.size(); ++m1) {
+    for (size_t m2 = 1; m2 < joins2.size(); ++m2) {
+      out.Insert(Join(document, joins1[m1], joins2[m2], metrics));
+    }
+  }
+  return out;
+}
+
+FragmentSet Reduce(const Document& document, const FragmentSet& set,
+                   OpMetrics* metrics) {
+  // A member survives unless two other distinct members join to a fragment
+  // that subsumes it.
+  const size_t n = set.size();
+  std::vector<bool> eliminated(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Fragment joined = Join(document, set[i], set[j], metrics);
+      for (size_t t = 0; t < n; ++t) {
+        if (t == i || t == j || eliminated[t]) continue;
+        if (joined.ContainsFragment(set[t])) eliminated[t] = true;
+      }
+    }
+  }
+  FragmentSet out;
+  for (size_t t = 0; t < n; ++t) {
+    if (!eliminated[t]) out.Insert(set[t]);
+  }
+  return out;
+}
+
+FragmentSet FixedPointNaive(const Document& document, const FragmentSet& set,
+                            OpMetrics* metrics) {
+  FragmentSet current = set;
+  while (true) {
+    if (metrics != nullptr) ++metrics->fixed_point_iterations;
+    FragmentSet joined = PairwiseJoin(document, current, set, metrics);
+    // Fixed-point check: has anything new appeared?
+    size_t before = current.size();
+    current = current.Union(joined);
+    if (current.size() == before) return current;
+  }
+}
+
+FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
+                              OpMetrics* metrics) {
+  if (set.size() <= 1) return set;
+  FragmentSet reduced = Reduce(document, set, metrics);
+  size_t k = std::max<size_t>(reduced.size(), 1);
+  // ⋈_k(F): pairwise join of k copies of F, i.e. k−1 join operations,
+  // with no fixed-point checking (Theorem 1).
+  FragmentSet current = set;
+  for (size_t i = 1; i < k; ++i) {
+    if (metrics != nullptr) ++metrics->fixed_point_iterations;
+    current = PairwiseJoin(document, current, set, metrics);
+  }
+  // ⋈_k(F) ⊇ F because f ⋈ f = f (idempotency), so this is F⁺ itself.
+  return current;
+}
+
+FragmentSet FixedPointFiltered(const Document& document, const FragmentSet& set,
+                               const FilterPtr& filter,
+                               const FilterContext& context,
+                               OpMetrics* metrics) {
+  // Base selection first (Theorem 3 pushed all the way down).
+  FragmentSet current = Select(set, filter, context, metrics);
+  FragmentSet base = current;
+  while (true) {
+    if (metrics != nullptr) ++metrics->fixed_point_iterations;
+    FragmentSet joined =
+        PairwiseJoinFiltered(document, current, base, filter, context, metrics);
+    size_t before = current.size();
+    current = current.Union(joined);
+    if (current.size() == before) return current;
+  }
+}
+
+FragmentSet PowersetJoinViaFixedPoint(const Document& document,
+                                      const FragmentSet& set1,
+                                      const FragmentSet& set2,
+                                      OpMetrics* metrics) {
+  if (set1.empty() || set2.empty()) return FragmentSet();
+  FragmentSet fp1 = FixedPointReduced(document, set1, metrics);
+  FragmentSet fp2 = FixedPointReduced(document, set2, metrics);
+  return PairwiseJoin(document, fp1, fp2, metrics);
+}
+
+}  // namespace xfrag::algebra

@@ -1,0 +1,120 @@
+// The algebra's operators (paper §2.2, §3.1):
+//
+//   Join            f1 ⋈ f2       Definition 4 (minimal containing fragment)
+//   PairwiseJoin    F1 ⋈ F2       Definition 5
+//   PowersetJoin    F1 ⋈* F2      Definition 6 (brute-force subset form and
+//                                  the Theorem-2 fixed-point form)
+//   FixedPoint      F⁺            Definition 9 (naive §3.1.1 and the
+//                                  Theorem-1 reduced-count variant §3.1.2)
+//   Reduce          ⊖(F)          Definition 10
+//   Select          σ_P(F)        Definition 3
+//
+// Each operator optionally reports work done through OpMetrics, which the
+// bench harness uses to show *why* one strategy beats another (join counts,
+// filter rejections) independently of wall-clock noise.
+
+#ifndef XFRAG_ALGEBRA_OPS_H_
+#define XFRAG_ALGEBRA_OPS_H_
+
+#include <cstdint>
+
+#include "algebra/filter.h"
+#include "algebra/fragment_set.h"
+#include "common/status.h"
+
+namespace xfrag::algebra {
+
+/// Work counters accumulated by the operators.
+struct OpMetrics {
+  /// Number of binary fragment-join evaluations.
+  uint64_t fragment_joins = 0;
+  /// Number of filter evaluations.
+  uint64_t filter_evals = 0;
+  /// Fragments rejected by a pushed-down filter before further joins.
+  uint64_t filter_rejections = 0;
+  /// Pairwise-join iterations executed by fixed-point computations.
+  uint64_t fixed_point_iterations = 0;
+  /// Fragments produced (pre-dedup) across all join operators.
+  uint64_t fragments_produced = 0;
+
+  void Reset() { *this = OpMetrics(); }
+};
+
+/// \brief Definition 4: the minimal fragment of `document` containing both
+/// `f1` and `f2`.
+///
+/// For connected inputs rooted at r1 and r2 this is
+/// f1 ∪ f2 ∪ path(r1, lca(r1,r2)) ∪ path(r2, lca(r1,r2)): every connecting
+/// path between two disjoint subtrees passes through both roots and their
+/// LCA, and minimal containing node sets in a tree are unique.
+Fragment Join(const Document& document, const Fragment& f1, const Fragment& f2,
+              OpMetrics* metrics = nullptr);
+
+/// \brief Definition 5: { f1 ⋈ f2 | f1 ∈ set1, f2 ∈ set2 }, deduplicated.
+FragmentSet PairwiseJoin(const Document& document, const FragmentSet& set1,
+                         const FragmentSet& set2, OpMetrics* metrics = nullptr);
+
+/// \brief Pairwise join with an anti-monotonic filter applied to every
+/// produced fragment — the push-down building block (Theorem 3). Fragments
+/// failing `filter` are dropped immediately.
+FragmentSet PairwiseJoinFiltered(const Document& document,
+                                 const FragmentSet& set1,
+                                 const FragmentSet& set2,
+                                 const FilterPtr& filter,
+                                 const FilterContext& context,
+                                 OpMetrics* metrics = nullptr);
+
+/// \brief Definition 3: members of `set` satisfying `filter`.
+FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
+                   const FilterContext& context, OpMetrics* metrics = nullptr);
+
+/// Options for brute-force powerset join.
+struct PowersetJoinOptions {
+  /// Upper bound on |set1| and |set2|; 2^|set| subsets are enumerated per
+  /// side, so this guards against runaway exponential work.
+  size_t max_set_size = 20;
+};
+
+/// \brief Definition 6, literally: fragment join over every pair of non-empty
+/// subsets (F1', F2'). Exponential; the oracle for tests and the paper's
+/// "brute-force evaluation" strategy (§4.1).
+StatusOr<FragmentSet> PowersetJoinBruteForce(
+    const Document& document, const FragmentSet& set1, const FragmentSet& set2,
+    const PowersetJoinOptions& options = {}, OpMetrics* metrics = nullptr);
+
+/// \brief Definition 10: the reduced set ⊖(F).
+///
+/// Drops every fragment f for which two *other distinct* members f', f''
+/// exist with f ⊆ f' ⋈ f''. (The paper's Definition 10 literally defines the
+/// eliminated set; the prose and the Figure-4 example make the complement the
+/// intended result — see DESIGN.md.)
+FragmentSet Reduce(const Document& document, const FragmentSet& set,
+                   OpMetrics* metrics = nullptr);
+
+/// \brief Definition 9 via §3.1.1: iterate F ← F ∪ (F ⋈ F) with fixed-point
+/// checking until no new fragment appears.
+FragmentSet FixedPointNaive(const Document& document, const FragmentSet& set,
+                            OpMetrics* metrics = nullptr);
+
+/// \brief Definition 9 via Theorem 1: compute k = |⊖(F)| first, then run
+/// exactly k−1 unchecked pairwise self-joins (⋈_k(F) = ⋈_n(F) = F⁺).
+FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
+                              OpMetrics* metrics = nullptr);
+
+/// \brief Fixed point with an anti-monotonic filter pushed inside every
+/// iteration (Theorem 3 applied to the expansion in §3.3): equals
+/// σ_Pa(F⁺) when `filter` is anti-monotonic.
+FragmentSet FixedPointFiltered(const Document& document, const FragmentSet& set,
+                               const FilterPtr& filter,
+                               const FilterContext& context,
+                               OpMetrics* metrics = nullptr);
+
+/// \brief Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺, using the Theorem-1 fixed point.
+FragmentSet PowersetJoinViaFixedPoint(const Document& document,
+                                      const FragmentSet& set1,
+                                      const FragmentSet& set2,
+                                      OpMetrics* metrics = nullptr);
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_OPS_H_

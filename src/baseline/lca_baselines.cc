@@ -1,0 +1,159 @@
+#include "baseline/lca_baselines.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xfrag::baseline {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+using doc::NodeId;
+
+StatusOr<std::vector<bool>> LcaBaselines::ContainsAllMask(
+    const std::vector<std::string>& terms) const {
+  if (terms.empty()) {
+    return Status::InvalidArgument("query must contain at least one term");
+  }
+  std::vector<bool> mask(document_.size(), false);
+  // Seed: a node contains all terms when every posting list intersects its
+  // subtree range [n, n + subtree_size).
+  for (NodeId n = 0; n < document_.size(); ++n) {
+    bool all = true;
+    for (const auto& term : terms) {
+      const auto& postings = index_.Lookup(term);
+      auto it = std::lower_bound(postings.begin(), postings.end(), n);
+      if (it == postings.end() || *it >= n + document_.subtree_size(n)) {
+        all = false;
+        break;
+      }
+    }
+    mask[n] = all;
+  }
+  return mask;
+}
+
+StatusOr<std::vector<NodeId>> LcaBaselines::Slca(
+    const std::vector<std::string>& terms) const {
+  auto mask = ContainsAllMask(terms);
+  if (!mask.ok()) return mask.status();
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < document_.size(); ++n) {
+    if (!(*mask)[n]) continue;
+    bool child_contains = false;
+    for (NodeId child : document_.children(n)) {
+      if ((*mask)[child]) {
+        child_contains = true;
+        break;
+      }
+    }
+    if (!child_contains) out.push_back(n);
+  }
+  return out;
+}
+
+StatusOr<std::vector<NodeId>> LcaBaselines::SlcaBruteForce(
+    const std::vector<std::string>& terms, size_t max_combinations) const {
+  if (terms.empty()) {
+    return Status::InvalidArgument("query must contain at least one term");
+  }
+  size_t combinations = 1;
+  std::vector<const std::vector<NodeId>*> lists;
+  for (const auto& term : terms) {
+    const auto& postings = index_.Lookup(term);
+    if (postings.empty()) return std::vector<NodeId>{};
+    combinations *= postings.size();
+    if (combinations > max_combinations) {
+      return Status::ResourceExhausted(
+          StrFormat("brute-force SLCA would enumerate > %zu combinations",
+                    max_combinations));
+    }
+    lists.push_back(&postings);
+  }
+  // Enumerate the cross product with a mixed-radix counter.
+  std::vector<size_t> counter(lists.size(), 0);
+  std::vector<NodeId> lcas;
+  while (true) {
+    NodeId lca = (*lists[0])[counter[0]];
+    for (size_t i = 1; i < lists.size(); ++i) {
+      lca = document_.Lca(lca, (*lists[i])[counter[i]]);
+    }
+    lcas.push_back(lca);
+    size_t digit = 0;
+    while (digit < counter.size()) {
+      if (++counter[digit] < lists[digit]->size()) break;
+      counter[digit] = 0;
+      ++digit;
+    }
+    if (digit == counter.size()) break;
+  }
+  std::sort(lcas.begin(), lcas.end());
+  lcas.erase(std::unique(lcas.begin(), lcas.end()), lcas.end());
+  // Keep minimal elements: drop any LCA that is a strict ancestor of another.
+  std::vector<NodeId> out;
+  for (NodeId candidate : lcas) {
+    bool has_descendant = false;
+    for (NodeId other : lcas) {
+      if (other != candidate && document_.IsAncestor(candidate, other)) {
+        has_descendant = true;
+        break;
+      }
+    }
+    if (!has_descendant) out.push_back(candidate);
+  }
+  return out;
+}
+
+StatusOr<std::vector<NodeId>> LcaBaselines::Elca(
+    const std::vector<std::string>& terms) const {
+  auto mask = ContainsAllMask(terms);
+  if (!mask.ok()) return mask.status();
+  // The mask is upward-closed, so the deepest masked ancestor-or-self of a
+  // posting p is found by walking up from p until the mask holds.
+  auto lowest_masked_ancestor = [&](NodeId p) -> NodeId {
+    NodeId cur = p;
+    while (!(*mask)[cur]) cur = document_.parent(cur);
+    return cur;  // Root is masked whenever any candidate exists.
+  };
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < document_.size(); ++n) {
+    if (!(*mask)[n]) continue;
+    bool elca = true;
+    for (const auto& term : terms) {
+      const auto& postings = index_.Lookup(term);
+      auto it = std::lower_bound(postings.begin(), postings.end(), n);
+      NodeId end = n + document_.subtree_size(n);
+      bool witness = false;
+      for (; it != postings.end() && *it < end; ++it) {
+        if (lowest_masked_ancestor(*it) == n) {
+          witness = true;
+          break;
+        }
+      }
+      if (!witness) {
+        elca = false;
+        break;
+      }
+    }
+    if (elca) out.push_back(n);
+  }
+  return out;
+}
+
+StatusOr<FragmentSet> LcaBaselines::SmallestSubtreeAnswers(
+    const std::vector<std::string>& terms) const {
+  auto slca = Slca(terms);
+  if (!slca.ok()) return slca.status();
+  FragmentSet out;
+  for (NodeId root : *slca) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(document_.subtree_size(root));
+    for (NodeId n = root; n < root + document_.subtree_size(root); ++n) {
+      nodes.push_back(n);
+    }
+    out.Insert(Fragment::FromSortedUnchecked(std::move(nodes)));
+  }
+  return out;
+}
+
+}  // namespace xfrag::baseline

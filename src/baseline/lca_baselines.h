@@ -1,0 +1,71 @@
+// Baseline keyword-search semantics from the literature the paper argues
+// against (§1, §6):
+//
+//  * SLCA — smallest lowest common ancestors (Xu & Papakonstantinou,
+//    SIGMOD'05, the paper's [20]): nodes whose subtree contains all query
+//    keywords and none of whose children's subtrees do.
+//  * ELCA — exclusive LCAs (XRank, the paper's [7]): nodes that still contain
+//    all keywords after excluding occurrences that belong to a descendant
+//    which itself contains all keywords.
+//  * Smallest-containing-subtree answers — the "conventional query
+//    semantics" of the introduction: each SLCA's full subtree as one answer.
+//
+// These implement the effectiveness comparison: on the paper's Figure-1
+// document, none of them can return the target fragment ⟨n16,n17,n18⟩.
+
+#ifndef XFRAG_BASELINE_LCA_BASELINES_H_
+#define XFRAG_BASELINE_LCA_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/fragment_set.h"
+#include "common/status.h"
+#include "doc/document.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::baseline {
+
+/// \brief LCA-family baselines over one document + index.
+class LcaBaselines {
+ public:
+  LcaBaselines(const doc::Document& document, const text::InvertedIndex& index)
+      : document_(document), index_(index) {}
+
+  /// \brief SLCA nodes for the conjunctive keyword query `terms`.
+  ///
+  /// Runs in O(N·m·log P) over document size N, m terms, posting sizes P —
+  /// a scan over the containment-closed candidate set (ancestors of an SLCA
+  /// always contain all keywords, so the set is upward-closed and minimal
+  /// elements are exactly nodes with no qualifying child).
+  /// Empty result when any term has no postings. Sorted by node id.
+  StatusOr<std::vector<doc::NodeId>> Slca(
+      const std::vector<std::string>& terms) const;
+
+  /// \brief Brute-force SLCA oracle: enumerates every match combination,
+  /// takes LCAs, keeps the minimal ones. Exponential in m; for tests.
+  StatusOr<std::vector<doc::NodeId>> SlcaBruteForce(
+      const std::vector<std::string>& terms, size_t max_combinations) const;
+
+  /// \brief ELCA nodes for the conjunctive keyword query `terms`.
+  StatusOr<std::vector<doc::NodeId>> Elca(
+      const std::vector<std::string>& terms) const;
+
+  /// \brief The smallest-containing-subtree answer set: for each SLCA node,
+  /// the fragment consisting of its entire subtree.
+  StatusOr<algebra::FragmentSet> SmallestSubtreeAnswers(
+      const std::vector<std::string>& terms) const;
+
+ private:
+  /// Nodes whose subtree contains at least one posting of every term
+  /// (upward-closed), as a boolean mask over node ids.
+  StatusOr<std::vector<bool>> ContainsAllMask(
+      const std::vector<std::string>& terms) const;
+
+  const doc::Document& document_;
+  const text::InvertedIndex& index_;
+};
+
+}  // namespace xfrag::baseline
+
+#endif  // XFRAG_BASELINE_LCA_BASELINES_H_

@@ -1,0 +1,57 @@
+#include "collection/collection.h"
+
+#include "xml/parser.h"
+
+namespace xfrag::collection {
+
+Status Collection::Add(std::string name, doc::Document document) {
+  if (by_name_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate document name '" + name + "'");
+  }
+  text::InvertedIndex index =
+      text::InvertedIndex::Build(document, index_options_);
+  by_name_[name] = entries_.size();
+  entries_.push_back(std::make_unique<CollectionEntry>(
+      std::move(name), std::move(document), std::move(index)));
+  return Status::OK();
+}
+
+Status Collection::AddXml(std::string name, std::string_view xml_text) {
+  auto dom = xml::Parse(xml_text);
+  if (!dom.ok()) return dom.status();
+  auto document = doc::Document::FromDom(*dom);
+  if (!document.ok()) return document.status();
+  return Add(std::move(name), std::move(document).value());
+}
+
+StatusOr<const CollectionEntry*> Collection::Find(
+    std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + std::string(name) + "'");
+  }
+  return const_cast<const CollectionEntry*>(entries_[it->second].get());
+}
+
+std::vector<std::string> Collection::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->name);
+  return out;
+}
+
+size_t Collection::DocumentFrequency(std::string_view term) const {
+  size_t count = 0;
+  for (const auto& entry : entries_) {
+    if (!entry->index.Lookup(term).empty()) ++count;
+  }
+  return count;
+}
+
+size_t Collection::TotalNodes() const {
+  size_t total = 0;
+  for (const auto& entry : entries_) total += entry->document.size();
+  return total;
+}
+
+}  // namespace xfrag::collection

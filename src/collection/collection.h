@@ -1,0 +1,75 @@
+// A collection of named XML documents with per-document keyword indexes —
+// the deployment shape the paper claims for the model ("can accommodate a
+// very large collection of XML documents", §7). Documents are independent
+// retrieval units: a fragment never spans documents, so collection-level
+// evaluation is per-document evaluation plus a merge, which the engine
+// parallelizes across documents.
+
+#ifndef XFRAG_COLLECTION_COLLECTION_H_
+#define XFRAG_COLLECTION_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "doc/document.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::collection {
+
+/// \brief One member document with its index.
+struct CollectionEntry {
+  std::string name;
+  doc::Document document;
+  text::InvertedIndex index;
+
+  CollectionEntry(std::string n, doc::Document d, text::InvertedIndex i)
+      : name(std::move(n)), document(std::move(d)), index(std::move(i)) {}
+};
+
+/// \brief An ordered, name-addressable set of documents.
+class Collection {
+ public:
+  Collection() = default;
+
+  /// Indexing configuration applied to documents added afterwards.
+  explicit Collection(text::IndexOptions index_options)
+      : index_options_(index_options) {}
+
+  /// \brief Adds a document under `name` (must be unique). Builds its index.
+  Status Add(std::string name, doc::Document document);
+
+  /// \brief Parses `xml_text` and adds it under `name`.
+  Status AddXml(std::string name, std::string_view xml_text);
+
+  /// Number of documents.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries in insertion order.
+  const CollectionEntry& entry(size_t i) const { return *entries_[i]; }
+
+  /// Entry by name, or NotFound.
+  StatusOr<const CollectionEntry*> Find(std::string_view name) const;
+
+  /// Document names in insertion order.
+  std::vector<std::string> Names() const;
+
+  /// Number of member documents whose index contains `term`.
+  size_t DocumentFrequency(std::string_view term) const;
+
+  /// Total nodes across all documents.
+  size_t TotalNodes() const;
+
+ private:
+  text::IndexOptions index_options_;
+  std::vector<std::unique_ptr<CollectionEntry>> entries_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace xfrag::collection
+
+#endif  // XFRAG_COLLECTION_COLLECTION_H_

@@ -1,0 +1,96 @@
+#include "collection/collection_engine.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/timer.h"
+
+namespace xfrag::collection {
+
+namespace {
+
+// Outcome of evaluating one document.
+struct PerDocumentOutcome {
+  bool skipped = false;
+  Status status;
+  algebra::FragmentSet answers;
+  algebra::OpMetrics metrics;
+};
+
+PerDocumentOutcome EvaluateOne(const CollectionEntry& entry,
+                               const query::Query& query,
+                               const query::EvalOptions& options) {
+  PerDocumentOutcome outcome;
+  // Conjunctive pre-check: skip documents missing any term.
+  for (const auto& term : query.terms) {
+    if (entry.index.Lookup(term).empty()) {
+      outcome.skipped = true;
+      return outcome;
+    }
+  }
+  query::QueryEngine engine(entry.document, entry.index);
+  auto result = engine.Evaluate(query, options);
+  if (!result.ok()) {
+    outcome.status = result.status();
+    return outcome;
+  }
+  outcome.answers = std::move(result->answers);
+  outcome.metrics = result->metrics;
+  return outcome;
+}
+
+}  // namespace
+
+StatusOr<CollectionResult> CollectionEngine::Evaluate(
+    const query::Query& query, const CollectionEvalOptions& options) const {
+  Timer timer;
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query must contain at least one term");
+  }
+  const size_t n = collection_.size();
+  std::vector<PerDocumentOutcome> outcomes(n);
+
+  unsigned workers = std::max(1u, options.parallelism);
+  if (workers == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      outcomes[i] =
+          EvaluateOne(collection_.entry(i), query, options.per_document);
+    }
+  } else {
+    // Static interleaved partitioning keeps the merge deterministic.
+    std::vector<std::future<void>> futures;
+    for (unsigned w = 0; w < workers; ++w) {
+      futures.push_back(std::async(std::launch::async, [&, w] {
+        for (size_t i = w; i < n; i += workers) {
+          outcomes[i] =
+              EvaluateOne(collection_.entry(i), query, options.per_document);
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+  CollectionResult result;
+  for (size_t i = 0; i < n; ++i) {
+    PerDocumentOutcome& outcome = outcomes[i];
+    if (outcome.skipped) {
+      ++result.documents_skipped;
+      continue;
+    }
+    if (!outcome.status.ok()) return outcome.status;
+    ++result.documents_evaluated;
+    result.metrics.fragment_joins += outcome.metrics.fragment_joins;
+    result.metrics.filter_evals += outcome.metrics.filter_evals;
+    result.metrics.filter_rejections += outcome.metrics.filter_rejections;
+    result.metrics.fixed_point_iterations +=
+        outcome.metrics.fixed_point_iterations;
+    result.metrics.fragments_produced += outcome.metrics.fragments_produced;
+    for (const algebra::Fragment& fragment : outcome.answers.Sorted()) {
+      result.answers.emplace_back(i, collection_.entry(i).name, fragment);
+    }
+  }
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace xfrag::collection

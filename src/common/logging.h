@@ -1,0 +1,38 @@
+// Assertion and check macros. XFRAG_CHECK is active in all build types and is
+// reserved for invariant violations that indicate a bug in this library; it
+// never fires on bad user input (which is reported through Status).
+
+#ifndef XFRAG_COMMON_LOGGING_H_
+#define XFRAG_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xfrag::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "XFRAG_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace xfrag::internal
+
+/// Aborts with a diagnostic when `cond` is false. Enabled in release builds.
+#define XFRAG_CHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::xfrag::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                            \
+  } while (false)
+
+/// Debug-only check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define XFRAG_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define XFRAG_DCHECK(cond) XFRAG_CHECK(cond)
+#endif
+
+#endif  // XFRAG_COMMON_LOGGING_H_

@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for workload generators,
+// property tests and benchmarks. A fixed algorithm (xoshiro256++) keeps
+// generated corpora and test inputs bit-identical across platforms and
+// standard-library versions, unlike std::mt19937 + distribution objects.
+
+#ifndef XFRAG_COMMON_RNG_H_
+#define XFRAG_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xfrag {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256++).
+///
+/// All derived draws (ranges, doubles, Zipf) are implemented in-library so
+/// that a given seed yields an identical stream everywhere.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Reseeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit draw.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); slight bias is
+    // irrelevant at our bounds and keeps the stream platform-stable.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// \brief Zipf-distributed integer sampler over {0, ..., n-1}.
+///
+/// Rank 0 is the most frequent value. Uses the classic precomputed-CDF
+/// method; construction is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  /// \param n universe size (> 0)
+  /// \param skew the Zipf exponent s >= 0; s = 0 is uniform
+  ZipfSampler(size_t n, double skew);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Universe size.
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace xfrag
+
+#endif  // XFRAG_COMMON_RNG_H_

@@ -1,0 +1,161 @@
+// Lightweight Status / StatusOr error model, in the style of Apache Arrow and
+// RocksDB: library code on query paths reports recoverable failures through
+// return values rather than exceptions.
+
+#ifndef XFRAG_COMMON_STATUS_H_
+#define XFRAG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xfrag {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kParseError,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. The class is cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// \brief Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored StatusOr is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Dereference sugar.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status from an expression returning Status.
+#define XFRAG_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::xfrag::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define XFRAG_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto XFRAG_CONCAT_(_statusor_, __LINE__) = (expr);                      \
+  if (!XFRAG_CONCAT_(_statusor_, __LINE__).ok())                          \
+    return XFRAG_CONCAT_(_statusor_, __LINE__).status();                  \
+  lhs = std::move(XFRAG_CONCAT_(_statusor_, __LINE__)).value()
+
+#define XFRAG_CONCAT_IMPL_(a, b) a##b
+#define XFRAG_CONCAT_(a, b) XFRAG_CONCAT_IMPL_(a, b)
+
+}  // namespace xfrag
+
+#endif  // XFRAG_COMMON_STATUS_H_

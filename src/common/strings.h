@@ -1,0 +1,44 @@
+// Small string helpers shared across modules. Kept dependency-free.
+
+#ifndef XFRAG_COMMON_STRINGS_H_
+#define XFRAG_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xfrag {
+
+/// \brief Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+/// \brief Splits `input` on any ASCII whitespace, dropping empty pieces.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+/// \brief Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// \brief ASCII lowercases a copy of `s`.
+std::string AsciiToLower(std::string_view s);
+
+/// \brief True iff `s` starts with `prefix`.
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// \brief True iff `s` ends with `suffix`.
+inline bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace xfrag
+
+#endif  // XFRAG_COMMON_STRINGS_H_

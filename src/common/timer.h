@@ -1,0 +1,44 @@
+// Wall-clock timing helper for the bench harness and the optimizer's
+// measurement hooks.
+
+#ifndef XFRAG_COMMON_TIMER_H_
+#define XFRAG_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xfrag {
+
+/// \brief Monotonic stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xfrag
+
+#endif  // XFRAG_COMMON_TIMER_H_

@@ -1,0 +1,178 @@
+#include "doc/document.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xfrag::doc {
+
+namespace {
+
+// Collects one document node per DOM element, numbering by pre-order.
+void FlattenElement(const xml::XmlElement& element, NodeId parent,
+                    std::vector<NodeId>* parents,
+                    std::vector<std::string>* tags,
+                    std::vector<std::string>* texts) {
+  NodeId id = static_cast<NodeId>(parents->size());
+  parents->push_back(parent);
+  tags->push_back(element.tag());
+  std::string text = element.DirectText();
+  for (const auto& attr : element.attributes()) {
+    if (!text.empty()) text.push_back(' ');
+    text += attr.value;
+  }
+  texts->push_back(std::move(text));
+  for (const auto& child : element.children()) {
+    if (child->IsElement()) {
+      FlattenElement(child->AsElement(), id, parents, tags, texts);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Document> Document::FromDom(const xml::XmlDocument& dom) {
+  if (!dom.has_root()) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  std::vector<NodeId> parents;
+  std::vector<std::string> tags;
+  std::vector<std::string> texts;
+  FlattenElement(dom.root(), kNoNode, &parents, &tags, &texts);
+  return FromParents(std::move(parents), std::move(tags), std::move(texts));
+}
+
+StatusOr<Document> Document::FromParents(std::vector<NodeId> parents,
+                                         std::vector<std::string> tags,
+                                         std::vector<std::string> texts) {
+  if (parents.empty()) {
+    return Status::InvalidArgument("document must have at least one node");
+  }
+  if (parents.size() != tags.size() || parents.size() != texts.size()) {
+    return Status::InvalidArgument("parents/tags/texts sizes differ");
+  }
+  if (parents[0] != kNoNode) {
+    return Status::InvalidArgument("node 0 must be the root (parent kNoNode)");
+  }
+  // Pre-order validity: node i's parent must lie on the current rightmost
+  // path (otherwise subtrees would not be contiguous id ranges, breaking
+  // the interval-based ancestor tests).
+  {
+    std::vector<NodeId> path{0};
+    for (size_t i = 1; i < parents.size(); ++i) {
+      if (parents[i] >= i) {
+        return Status::InvalidArgument(StrFormat(
+            "parent of node %zu is %u; pre-order requires parent < node", i,
+            parents[i]));
+      }
+      while (!path.empty() && path.back() != parents[i]) path.pop_back();
+      if (path.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "node %zu has parent %u, which is not on the rightmost path; "
+            "the numbering is not a depth-first pre-order",
+            i, parents[i]));
+      }
+      path.push_back(static_cast<NodeId>(i));
+    }
+  }
+  Document docm;
+  docm.parent_ = std::move(parents);
+  docm.tag_ = std::move(tags);
+  docm.text_ = std::move(texts);
+  docm.BuildIndexes();
+  return docm;
+}
+
+void Document::BuildIndexes() {
+  const size_t n = parent_.size();
+  children_.assign(n, {});
+  depth_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+  height_ = 0;
+  for (NodeId i = 1; i < n; ++i) {
+    children_[parent_[i]].push_back(i);
+    depth_[i] = depth_[parent_[i]] + 1;
+    height_ = std::max(height_, depth_[i]);
+  }
+  for (NodeId i = static_cast<NodeId>(n); i-- > 1;) {
+    subtree_size_[parent_[i]] += subtree_size_[i];
+  }
+
+  // Euler tour (iterative DFS): 2n-1 entries.
+  euler_.clear();
+  euler_.reserve(2 * n);
+  first_visit_.assign(n, 0);
+  std::vector<std::pair<NodeId, size_t>> stack;  // (node, next child index)
+  stack.emplace_back(0, 0);
+  first_visit_[0] = 0;
+  euler_.push_back(0);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < children_[node].size()) {
+      NodeId child = children_[node][next_child++];
+      first_visit_[child] = static_cast<uint32_t>(euler_.size());
+      euler_.push_back(child);
+      stack.emplace_back(child, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) euler_.push_back(stack.back().first);
+    }
+  }
+
+  // Sparse table of argmin-by-depth over the Euler sequence.
+  const size_t m = euler_.size();
+  log2_.assign(m + 1, 0);
+  for (size_t i = 2; i <= m; ++i) log2_[i] = log2_[i / 2] + 1;
+  size_t levels = static_cast<size_t>(log2_[m]) + 1;
+  sparse_.assign(levels, std::vector<uint32_t>(m));
+  for (size_t i = 0; i < m; ++i) sparse_[0][i] = static_cast<uint32_t>(i);
+  for (size_t level = 1; level < levels; ++level) {
+    size_t half = size_t{1} << (level - 1);
+    for (size_t i = 0; i + (size_t{1} << level) <= m; ++i) {
+      uint32_t left = sparse_[level - 1][i];
+      uint32_t right = sparse_[level - 1][i + half];
+      sparse_[level][i] =
+          depth_[euler_[left]] <= depth_[euler_[right]] ? left : right;
+    }
+  }
+}
+
+NodeId Document::Lca(NodeId a, NodeId b) const {
+  XFRAG_DCHECK(a < size() && b < size());
+  if (a == b) return a;
+  uint32_t i = first_visit_[a];
+  uint32_t j = first_visit_[b];
+  if (i > j) std::swap(i, j);
+  uint32_t level = log2_[j - i + 1];
+  uint32_t left = sparse_[level][i];
+  uint32_t right = sparse_[level][j - (uint32_t{1} << level) + 1];
+  uint32_t arg = depth_[euler_[left]] <= depth_[euler_[right]] ? left : right;
+  return euler_[arg];
+}
+
+NodeId Document::Lca(const std::vector<NodeId>& nodes) const {
+  XFRAG_CHECK(!nodes.empty());
+  NodeId acc = nodes[0];
+  for (size_t i = 1; i < nodes.size(); ++i) acc = Lca(acc, nodes[i]);
+  return acc;
+}
+
+std::vector<NodeId> Document::PathToAncestor(NodeId a, NodeId b) const {
+  XFRAG_DCHECK(IsAncestorOrSelf(b, a));
+  std::vector<NodeId> path;
+  NodeId cur = a;
+  while (true) {
+    path.push_back(cur);
+    if (cur == b) break;
+    cur = parent_[cur];
+  }
+  return path;
+}
+
+uint32_t Document::Distance(NodeId a, NodeId b) const {
+  NodeId l = Lca(a, b);
+  return depth_[a] + depth_[b] - 2 * depth_[l];
+}
+
+}  // namespace xfrag::doc

@@ -1,0 +1,123 @@
+// The paper's Definition 1: an XML document as a rooted ordered tree whose
+// nodes carry representative keywords. This module flattens a parsed DOM into
+// immutable pre-order arrays and provides the structural primitives the
+// fragment algebra needs: parent/depth lookups, ancestor tests in O(1) via
+// pre/post intervals, O(1) LCA via an Euler tour + sparse table, and
+// root-to-node path extraction.
+
+#ifndef XFRAG_DOC_DOCUMENT_H_
+#define XFRAG_DOC_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace xfrag::doc {
+
+/// Identifier of a document node; equals the node's pre-order rank, so the
+/// paper's `n17` is NodeId 17 in the reconstructed Figure-1 document.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (the root's parent).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// \brief Immutable tree model of one XML document.
+///
+/// Only element nodes become document nodes (the paper's logical components:
+/// <section>, <par>, ...). The text beneath an element — direct text children
+/// plus attribute values — forms that node's textual content, from which
+/// `keywords(n)` is derived by the text module's indexer.
+class Document {
+ public:
+  /// \brief Builds a Document from a parsed DOM.
+  ///
+  /// Nodes are numbered by depth-first pre-order, preserving document
+  /// topology as Definition 1 requires.
+  static StatusOr<Document> FromDom(const xml::XmlDocument& dom);
+
+  /// \brief Builds a Document directly from parallel arrays (for tests and
+  /// synthetic corpora). `parents[i]` must be kNoNode for i == 0 and < i
+  /// otherwise (pre-order consistency).
+  static StatusOr<Document> FromParents(std::vector<NodeId> parents,
+                                        std::vector<std::string> tags,
+                                        std::vector<std::string> texts);
+
+  /// Number of nodes.
+  size_t size() const { return parent_.size(); }
+
+  /// The root node id (always 0).
+  NodeId root() const { return 0; }
+
+  /// Parent of `n`; kNoNode for the root.
+  NodeId parent(NodeId n) const { return parent_[n]; }
+
+  /// Depth of `n`; the root has depth 0.
+  uint32_t depth(NodeId n) const { return depth_[n]; }
+
+  /// Tag name of `n`.
+  const std::string& tag(NodeId n) const { return tag_[n]; }
+
+  /// Direct textual content of `n` (own text + attribute values, not
+  /// descendants' text).
+  const std::string& text(NodeId n) const { return text_[n]; }
+
+  /// Ids of `n`'s children, in document order.
+  const std::vector<NodeId>& children(NodeId n) const { return children_[n]; }
+
+  /// Number of nodes in the subtree rooted at `n` (including `n`).
+  uint32_t subtree_size(NodeId n) const { return subtree_size_[n]; }
+
+  /// True iff `a` is an ancestor of `d` or a == d. O(1).
+  bool IsAncestorOrSelf(NodeId a, NodeId d) const {
+    return a <= d && d < a + subtree_size_[a];
+  }
+
+  /// True iff `a` is a strict ancestor of `d`. O(1).
+  bool IsAncestor(NodeId a, NodeId d) const {
+    return a != d && IsAncestorOrSelf(a, d);
+  }
+
+  /// Lowest common ancestor of `a` and `b`. O(1).
+  NodeId Lca(NodeId a, NodeId b) const;
+
+  /// Lowest common ancestor of all nodes in `nodes` (must be non-empty).
+  NodeId Lca(const std::vector<NodeId>& nodes) const;
+
+  /// Nodes on the path from `a` up to `b` inclusive; `b` must be an ancestor
+  /// of (or equal to) `a`. Returned bottom-up (a first).
+  std::vector<NodeId> PathToAncestor(NodeId a, NodeId b) const;
+
+  /// Distance (number of edges) between `a` and `b`.
+  uint32_t Distance(NodeId a, NodeId b) const;
+
+  /// Height of the whole tree (max depth).
+  uint32_t height() const { return height_; }
+
+ private:
+  Document() = default;
+
+  // Builds derived structures (children lists, subtree sizes, Euler/LCA).
+  void BuildIndexes();
+
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> depth_;
+  std::vector<std::string> tag_;
+  std::vector<std::string> text_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<uint32_t> subtree_size_;
+  uint32_t height_ = 0;
+
+  // Euler tour + sparse table for O(1) LCA.
+  std::vector<uint32_t> euler_;        // Node ids in Euler-tour order.
+  std::vector<uint32_t> first_visit_;  // First index of node in euler_.
+  std::vector<std::vector<uint32_t>> sparse_;  // Min-depth index table.
+  std::vector<uint32_t> log2_;                 // Floor log2 lookup.
+};
+
+}  // namespace xfrag::doc
+
+#endif  // XFRAG_DOC_DOCUMENT_H_

@@ -1,0 +1,204 @@
+#include "gen/corpus.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "xml/serializer.h"
+
+namespace xfrag::gen {
+
+using doc::NodeId;
+
+namespace {
+
+constexpr const char* kTagsByDepth[] = {"book",       "chapter", "section",
+                                        "subsection", "block",   "par"};
+constexpr size_t kTagLevels = sizeof(kTagsByDepth) / sizeof(kTagsByDepth[0]);
+
+const char* TagForDepth(uint32_t depth) {
+  return kTagsByDepth[std::min<size_t>(depth, kTagLevels - 1)];
+}
+
+}  // namespace
+
+std::string VocabularyWord(size_t rank) {
+  // Syllable-concatenation encoding of the rank: bijective, pronounceable,
+  // and collision-free (each word decodes uniquely to its rank).
+  static constexpr const char* kSyllables[] = {
+      "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo",
+      "mu", "na", "pe", "ri", "so", "tu", "va", "ze"};
+  std::string word;
+  size_t value = rank;
+  do {
+    word += kSyllables[value % 16];
+    value /= 16;
+  } while (value > 0);
+  // Three-syllable minimum keeps planted keywords visually distinct from
+  // short function words.
+  while (word.size() < 6) word += "xa";
+  return word;
+}
+
+RawCorpus GenerateRaw(const CorpusProfile& profile) {
+  XFRAG_CHECK(profile.min_fanout >= 1);
+  XFRAG_CHECK(profile.min_fanout <= profile.max_fanout);
+  XFRAG_CHECK(profile.min_words <= profile.max_words);
+  Rng rng(profile.seed);
+  ZipfSampler zipf(std::max<size_t>(profile.vocabulary_size, 1),
+                   profile.zipf_skew);
+
+  RawCorpus corpus;
+  auto emit_node = [&corpus](NodeId parent, std::string tag,
+                             std::string text) {
+    corpus.parents.push_back(parent);
+    corpus.tags.push_back(std::move(tag));
+    corpus.texts.push_back(std::move(text));
+    return static_cast<NodeId>(corpus.parents.size() - 1);
+  };
+
+  auto paragraph_text = [&]() {
+    uint32_t words = static_cast<uint32_t>(
+        rng.UniformInt(profile.min_words, profile.max_words));
+    std::string text;
+    for (uint32_t w = 0; w < words; ++w) {
+      if (w > 0) text.push_back(' ');
+      text += VocabularyWord(zipf.Sample(&rng));
+    }
+    text.push_back('.');
+    return text;
+  };
+
+  // Depth-first construction: a node's whole subtree is emitted before its
+  // next sibling, so ids are pre-order ranks by construction. Recursion
+  // depth is bounded by profile.max_depth.
+  auto grow = [&](auto&& self, NodeId node, uint32_t depth) -> void {
+    if (depth + 1 >= profile.max_depth) return;
+    if (corpus.size() >= profile.target_nodes) return;
+    uint32_t fanout = static_cast<uint32_t>(
+        rng.UniformInt(profile.min_fanout, profile.max_fanout));
+    for (uint32_t c = 0; c < fanout && corpus.size() < profile.target_nodes;
+         ++c) {
+      NodeId child =
+          emit_node(node, TagForDepth(depth + 1), paragraph_text());
+      self(self, child, depth + 1);
+    }
+  };
+  NodeId root = emit_node(doc::kNoNode, TagForDepth(0), paragraph_text());
+  grow(grow, root, 0);
+  return corpus;
+}
+
+std::vector<NodeId> PlantKeyword(RawCorpus* corpus, const std::string& keyword,
+                                 size_t count, PlantMode mode, Rng* rng) {
+  XFRAG_CHECK(corpus != nullptr && rng != nullptr);
+  const size_t n = corpus->size();
+  XFRAG_CHECK(n > 0);
+  std::vector<NodeId> chosen;
+
+  switch (mode) {
+    case PlantMode::kScattered: {
+      std::vector<NodeId> all(n);
+      for (size_t i = 0; i < n; ++i) all[i] = static_cast<NodeId>(i);
+      rng->Shuffle(&all);
+      for (size_t i = 0; i < std::min(count, n); ++i) chosen.push_back(all[i]);
+      break;
+    }
+    case PlantMode::kClustered: {
+      // Occurrences are structurally related: plant along root-to-leaf
+      // paths inside one host subtree. Chains of ancestors make interior
+      // members subsumable by joins of their extremes, so these sets have a
+      // high reduction factor — the regime where Theorem 1 shines.
+      std::vector<uint32_t> subtree_size(n, 1);
+      for (size_t i = n; i-- > 1;) {
+        subtree_size[corpus->parents[i]] += subtree_size[i];
+      }
+      std::vector<std::vector<NodeId>> children(n);
+      for (size_t i = 1; i < n; ++i) {
+        children[corpus->parents[i]].push_back(static_cast<NodeId>(i));
+      }
+      std::vector<NodeId> hosts;
+      for (size_t i = 0; i < n; ++i) {
+        if (subtree_size[i] >= count && subtree_size[i] <= 4 * count + 8) {
+          hosts.push_back(static_cast<NodeId>(i));
+        }
+      }
+      NodeId host = hosts.empty() ? 0 : hosts[rng->Uniform(hosts.size())];
+      std::vector<bool> taken(n, false);
+      size_t guard = 0;
+      while (chosen.size() < count && guard++ < count * 8) {
+        // One random root-to-leaf walk from the host.
+        NodeId cur = host;
+        while (true) {
+          if (!taken[cur]) {
+            taken[cur] = true;
+            chosen.push_back(cur);
+            if (chosen.size() >= count) break;
+          }
+          if (children[cur].empty()) break;
+          cur = children[cur][rng->Uniform(children[cur].size())];
+        }
+      }
+      break;
+    }
+    case PlantMode::kSiblings: {
+      // Pick a parent with many children; plant on its children first, then
+      // overflow onto a neighbouring family.
+      std::vector<std::vector<NodeId>> children(n);
+      for (size_t i = 1; i < n; ++i) {
+        children[corpus->parents[i]].push_back(static_cast<NodeId>(i));
+      }
+      std::vector<NodeId> parents_by_fanout;
+      for (size_t i = 0; i < n; ++i) {
+        if (!children[i].empty()) parents_by_fanout.push_back(
+            static_cast<NodeId>(i));
+      }
+      std::sort(parents_by_fanout.begin(), parents_by_fanout.end(),
+                [&](NodeId a, NodeId b) {
+                  return children[a].size() > children[b].size();
+                });
+      for (NodeId parent : parents_by_fanout) {
+        for (NodeId child : children[parent]) {
+          if (chosen.size() >= count) break;
+          chosen.push_back(child);
+        }
+        if (chosen.size() >= count) break;
+      }
+      break;
+    }
+  }
+
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  for (NodeId node : chosen) {
+    corpus->texts[node] += " " + keyword;
+  }
+  return chosen;
+}
+
+StatusOr<doc::Document> Materialize(const RawCorpus& corpus) {
+  return doc::Document::FromParents(corpus.parents, corpus.tags, corpus.texts);
+}
+
+std::string ToXml(const RawCorpus& corpus) {
+  XFRAG_CHECK(!corpus.parents.empty());
+  // Rebuild a DOM from the arrays (children grouped by parent, pre-order).
+  std::vector<std::vector<NodeId>> children(corpus.size());
+  for (size_t i = 1; i < corpus.size(); ++i) {
+    children[corpus.parents[i]].push_back(static_cast<NodeId>(i));
+  }
+  std::vector<std::unique_ptr<xml::XmlElement>> elements(corpus.size());
+  // Build bottom-up (reverse pre-order) so children exist before parents.
+  for (size_t i = corpus.size(); i-- > 0;) {
+    auto element = std::make_unique<xml::XmlElement>(corpus.tags[i]);
+    if (!corpus.texts[i].empty()) element->AddText(corpus.texts[i]);
+    for (NodeId child : children[i]) {
+      element->AddChild(std::move(elements[child]));
+    }
+    elements[i] = std::move(element);
+  }
+  xml::XmlDocument dom;
+  dom.set_root(std::move(elements[0]));
+  return xml::Serialize(dom);
+}
+
+}  // namespace xfrag::gen

@@ -1,0 +1,91 @@
+// Synthetic document-centric XML corpora. The generator builds trees with a
+// structural profile typical of the paper's target data (article → chapter →
+// section → subsection → par, long textual leaves, no meaningful schema),
+// draws the vocabulary from a Zipf distribution, and then *plants* query
+// keywords at controlled positions so that benchmarks can dial the exact
+// variables the algebra is sensitive to: posting-list sizes |Fi|, keyword
+// dispersion (which drives the reduction factor RF of §5), and the
+// distance between keyword regions (which drives fragment sizes and hence
+// filter selectivity).
+
+#ifndef XFRAG_GEN_CORPUS_H_
+#define XFRAG_GEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "doc/document.h"
+#include "xml/dom.h"
+
+namespace xfrag::gen {
+
+/// Structural and textual shape of a generated corpus.
+struct CorpusProfile {
+  /// Approximate number of element nodes to generate (the generator stops
+  /// opening new containers once the budget is reached).
+  size_t target_nodes = 1000;
+  /// Children per container node, drawn uniformly from [min, max].
+  uint32_t min_fanout = 2;
+  uint32_t max_fanout = 6;
+  /// Maximum tree depth (root is depth 0; leaves are paragraphs).
+  uint32_t max_depth = 7;
+  /// Number of distinct vocabulary words.
+  size_t vocabulary_size = 2000;
+  /// Zipf skew of word frequencies (0 = uniform).
+  double zipf_skew = 1.0;
+  /// Words per paragraph, drawn uniformly from [min, max].
+  uint32_t min_words = 8;
+  uint32_t max_words = 24;
+  /// RNG seed; equal seeds produce identical corpora.
+  uint64_t seed = 1;
+};
+
+/// A corpus before materialization: parallel pre-order arrays that keyword
+/// planting can still mutate.
+struct RawCorpus {
+  std::vector<doc::NodeId> parents;
+  std::vector<std::string> tags;
+  std::vector<std::string> texts;
+
+  size_t size() const { return parents.size(); }
+};
+
+/// How planted keyword occurrences are distributed over the tree.
+enum class PlantMode {
+  /// Uniformly over all nodes — maximal dispersion, RF near zero.
+  kScattered,
+  /// All occurrences inside one randomly chosen subtree — occurrences are
+  /// structurally related, so joins subsume each other and RF is high.
+  kClustered,
+  /// Occurrences on children of one parent (sibling runs) — the paper's
+  /// Figure-4 shape.
+  kSiblings,
+};
+
+/// \brief Generates the structural skeleton and Zipfian text of a corpus.
+RawCorpus GenerateRaw(const CorpusProfile& profile);
+
+/// \brief Appends `count` occurrences of `keyword` to node texts, choosing
+/// target nodes per `mode`. Returns the chosen node ids (sorted, unique —
+/// the expected posting list). `count` is capped at the number of available
+/// distinct nodes.
+std::vector<doc::NodeId> PlantKeyword(RawCorpus* corpus,
+                                      const std::string& keyword, size_t count,
+                                      PlantMode mode, Rng* rng);
+
+/// \brief Materializes a RawCorpus as a doc::Document.
+StatusOr<doc::Document> Materialize(const RawCorpus& corpus);
+
+/// \brief Materializes a RawCorpus as XML text (exercises the XML pipeline).
+std::string ToXml(const RawCorpus& corpus);
+
+/// \brief Deterministic pronounceable word for vocabulary rank `rank`
+/// ("word0" .. are avoided; words look like natural tokens, e.g. "tibuna").
+std::string VocabularyWord(size_t rank);
+
+}  // namespace xfrag::gen
+
+#endif  // XFRAG_GEN_CORPUS_H_

@@ -1,0 +1,171 @@
+#include "gen/paper_document.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace xfrag::gen {
+
+namespace {
+
+// Filler sentences; none of them contains "xquery" or "optimization", so the
+// posting lists the running example depends on stay exact.
+constexpr const char* kFiller[] = {
+    "Storage layout and access paths determine the latency of scans.",
+    "A cost estimate guides the planner toward cheaper alternatives.",
+    "Semistructured data rarely conforms to a rigid schema.",
+    "Path expressions navigate element hierarchies in document trees.",
+    "Indexes on element content accelerate selective predicates.",
+    "The algebra of nested relations inspired many tree models.",
+    "Materialized views trade storage for repeated computation.",
+    "Join ordering dominates plan quality in large search spaces.",
+    "Textual content in documents is long and loosely structured.",
+    "Recursive descent over child axes enumerates candidate nodes.",
+    "Cardinality estimation errors propagate through deep plans.",
+    "Buffer management policies interact with sequential scans.",
+    "Logical rewrites preserve equivalence of relational expressions.",
+    "Histograms summarize value distributions for the estimator.",
+    "Fragmentation of documents follows editorial boundaries.",
+    "Concurrency control is orthogonal to retrieval semantics.",
+    "Vocabularies of markup differ across editorial pipelines.",
+    "Serialization order of siblings encodes the reading sequence.",
+    "A selective predicate prunes most of the candidate space.",
+    "Ranking functions belong to information retrieval systems.",
+};
+
+constexpr size_t kFillerCount = sizeof(kFiller) / sizeof(kFiller[0]);
+
+// Appends `count` filler <par> children to `parent`, cycling the sentences
+// and stamping a unique marker word so every node's text differs.
+void AddFillerPars(xml::XmlElement* parent, int count, int* next_id) {
+  for (int i = 0; i < count; ++i) {
+    xml::XmlElement* par = parent->AddElement("par");
+    par->AddAttribute("id", StrFormat("n%d", *next_id));
+    par->AddText(StrFormat("%s marker%d.", kFiller[static_cast<size_t>(*next_id) %
+                                                   kFillerCount],
+                           *next_id));
+    ++*next_id;
+  }
+}
+
+}  // namespace
+
+xml::XmlDocument BuildPaperDom() {
+  xml::XmlDocument dom;
+  int id = 0;
+
+  auto stamp = [&id](xml::XmlElement* e) {
+    e->AddAttribute("id", StrFormat("n%d", id));
+    ++id;
+  };
+
+  auto root = std::make_unique<xml::XmlElement>("article");
+  stamp(root.get());  // n0
+  root->AddText("Advanced Topics in Data Management.");
+
+  // n1: first chapter — holds the running example's target fragment.
+  xml::XmlElement* ch1 = root->AddElement("chapter");
+  stamp(ch1);
+  ch1->AddText("Query Languages for Semistructured Data.");
+
+  xml::XmlElement* ch1_title = ch1->AddElement("title");
+  stamp(ch1_title);  // n2
+  ch1_title->AddText("Declarative Querying of Documents.");
+
+  xml::XmlElement* sec_found = ch1->AddElement("section");
+  stamp(sec_found);  // n3
+  sec_found->AddText("Foundations of tree structured data.");
+  AddFillerPars(sec_found, 10, &id);  // n4 .. n13
+
+  XFRAG_CHECK(id == 14);
+  xml::XmlElement* sec_proc = ch1->AddElement("section");
+  stamp(sec_proc);  // n14
+  sec_proc->AddText("Processing and rewriting of declarative queries.");
+
+  xml::XmlElement* sec_proc_title = sec_proc->AddElement("title");
+  stamp(sec_proc_title);  // n15
+  sec_proc_title->AddText("Rewriting techniques for query plans.");
+
+  xml::XmlElement* subsec = sec_proc->AddElement("subsection");
+  stamp(subsec);  // n16
+  subsec->AddText("Cost based optimization strategies for query engines.");
+
+  xml::XmlElement* par17 = subsec->AddElement("par");
+  stamp(par17);  // n17
+  par17->AddText(
+      "Static analysis of XQuery expressions enables algebraic optimization "
+      "before execution begins.");
+
+  xml::XmlElement* par18 = subsec->AddElement("par");
+  stamp(par18);  // n18
+  par18->AddText(
+      "The XQuery data model represents documents as ordered node "
+      "sequences with stable identities.");
+
+  XFRAG_CHECK(id == 19);
+  xml::XmlElement* sec_storage = ch1->AddElement("section");
+  stamp(sec_storage);  // n19
+  sec_storage->AddText("Storage models for hierarchical content.");
+  AddFillerPars(sec_storage, 11, &id);  // n20 .. n30
+
+  XFRAG_CHECK(id == 31);
+  xml::XmlElement* sec_index = ch1->AddElement("section");
+  stamp(sec_index);  // n31
+  sec_index->AddText("Indexing element content at scale.");
+  AddFillerPars(sec_index, 9, &id);  // n32 .. n40
+
+  // n41: second chapter — pure filler separating the two keyword regions.
+  XFRAG_CHECK(id == 41);
+  xml::XmlElement* ch2 = root->AddElement("chapter");
+  stamp(ch2);
+  ch2->AddText("Engines for Document Collections.");
+
+  xml::XmlElement* ch2_title = ch2->AddElement("title");
+  stamp(ch2_title);  // n42
+  ch2_title->AddText("Architecture of retrieval engines.");
+
+  xml::XmlElement* sec_arch = ch2->AddElement("section");
+  stamp(sec_arch);  // n43
+  sec_arch->AddText("Components of a retrieval pipeline.");
+  AddFillerPars(sec_arch, 15, &id);  // n44 .. n58
+
+  XFRAG_CHECK(id == 59);
+  xml::XmlElement* sec_eval = ch2->AddElement("section");
+  stamp(sec_eval);  // n59
+  sec_eval->AddText("Evaluation of retrieval quality.");
+  AddFillerPars(sec_eval, 19, &id);  // n60 .. n78
+
+  // n79: third chapter — the distant 'optimization' occurrence.
+  XFRAG_CHECK(id == 79);
+  xml::XmlElement* ch3 = root->AddElement("chapter");
+  stamp(ch3);
+  ch3->AddText("Relational Query Processing.");
+
+  xml::XmlElement* sec_rel = ch3->AddElement("section");
+  stamp(sec_rel);  // n80
+  sec_rel->AddText("Plan selection in relational engines.");
+
+  xml::XmlElement* par81 = sec_rel->AddElement("par");
+  stamp(par81);  // n81
+  par81->AddText(
+      "Index selection remains central to the optimization of relational "
+      "execution plans.");
+
+  XFRAG_CHECK(id == 82);
+  dom.set_root(std::move(root));
+  return dom;
+}
+
+StatusOr<doc::Document> BuildPaperDocument() {
+  xml::XmlDocument dom = BuildPaperDom();
+  return doc::Document::FromDom(dom);
+}
+
+std::string PaperDocumentXml() {
+  xml::XmlDocument dom = BuildPaperDom();
+  xml::SerializeOptions options;
+  options.pretty = true;
+  return xml::Serialize(dom, options);
+}
+
+}  // namespace xfrag::gen

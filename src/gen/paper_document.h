@@ -1,0 +1,38 @@
+// Node-for-node reconstruction of the paper's Figure-1 example document.
+//
+// The paper never prints the full 82-node tree, but it pins down everything
+// the running example depends on, and this reconstruction satisfies all of
+// it (verified by tests/gen/paper_document_test):
+//
+//  * node ids are pre-order ranks, n0 (root) .. n81 (last);
+//  * σ_{keyword=XQuery}(nodes(D))       = {n17, n18}
+//  * σ_{keyword=optimization}(nodes(D)) = {n16, n17, n81}
+//  * ancestor chains: n17, n18 under n16 under n14 under n1 under n0;
+//    n81 under n80 under n79 under n0 — so that the joins of Table 1
+//    produce exactly the fragments the paper lists (e.g. f17 ⋈ f81 =
+//    ⟨n0,n1,n14,n16,n17,n79,n80,n81⟩).
+
+#ifndef XFRAG_GEN_PAPER_DOCUMENT_H_
+#define XFRAG_GEN_PAPER_DOCUMENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "doc/document.h"
+#include "xml/dom.h"
+
+namespace xfrag::gen {
+
+/// \brief Builds the Figure-1 document as a DOM (for serialization tests and
+/// the examples that print XML).
+xml::XmlDocument BuildPaperDom();
+
+/// \brief Builds the Figure-1 document directly as a doc::Document.
+StatusOr<doc::Document> BuildPaperDocument();
+
+/// \brief The Figure-1 document as serialized XML text.
+std::string PaperDocumentXml();
+
+}  // namespace xfrag::gen
+
+#endif  // XFRAG_GEN_PAPER_DOCUMENT_H_

@@ -1,0 +1,105 @@
+#include "query/answers.h"
+
+#include <algorithm>
+
+#include "xml/serializer.h"
+
+namespace xfrag::query {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+FragmentSet MaximalAnswers(const FragmentSet& answers) {
+  FragmentSet out;
+  for (const Fragment& candidate : answers) {
+    bool dominated = false;
+    for (const Fragment& other : answers) {
+      if (&other != &candidate && other != candidate &&
+          other.ContainsFragment(candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.Insert(candidate);
+  }
+  return out;
+}
+
+std::vector<AnswerGroup> GroupOverlappingAnswers(const FragmentSet& answers) {
+  FragmentSet maximal = MaximalAnswers(answers);
+  std::vector<Fragment> targets = maximal.Sorted();
+  std::vector<AnswerGroup> groups;
+  groups.reserve(targets.size());
+  for (Fragment& target : targets) {
+    groups.emplace_back(std::move(target));
+  }
+  // Attach each non-maximal answer to the first target containing it.
+  std::vector<Fragment> rest;
+  for (const Fragment& f : answers) {
+    if (!maximal.Contains(f)) rest.push_back(f);
+  }
+  // Largest first within each group.
+  std::sort(rest.begin(), rest.end(),
+            [](const Fragment& a, const Fragment& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  for (const Fragment& f : rest) {
+    for (AnswerGroup& group : groups) {
+      if (group.target.ContainsFragment(f)) {
+        group.overlaps.push_back(f);
+        break;
+      }
+    }
+  }
+  return groups;
+}
+
+namespace {
+
+void RenderNode(const Fragment& fragment, const doc::Document& document,
+                doc::NodeId node, bool mark_elisions, int depth,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->push_back('<');
+  out->append(document.tag(node));
+  out->push_back('>');
+  const std::string& text = document.text(node);
+  if (!text.empty()) {
+    out->append(xml::EscapeText(text));
+  }
+  // Member children, in document order; non-member children are elided.
+  std::vector<doc::NodeId> member_children;
+  bool elided = false;
+  for (doc::NodeId child : document.children(node)) {
+    if (fragment.ContainsNode(child)) {
+      member_children.push_back(child);
+    } else {
+      elided = true;
+    }
+  }
+  if (elided && mark_elisions) {
+    out->append("<!-- ... -->");
+  }
+  if (!member_children.empty()) {
+    out->push_back('\n');
+    for (doc::NodeId child : member_children) {
+      RenderNode(fragment, document, child, mark_elisions, depth + 1, out);
+    }
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  out->append("</");
+  out->append(document.tag(node));
+  out->append(">\n");
+}
+
+}  // namespace
+
+std::string FragmentToXml(const Fragment& fragment,
+                          const doc::Document& document, bool mark_elisions) {
+  std::string out;
+  RenderNode(fragment, document, fragment.root(), mark_elisions, 0, &out);
+  return out;
+}
+
+}  // namespace xfrag::query

@@ -1,0 +1,51 @@
+// Answer presentation (paper §5, "overlapping answers"): in this model,
+// overlapping answers are simply sub-fragments of larger answers. The paper
+// proposes either hiding them or presenting them grouped under their target
+// fragments "in a visually pleasing way to show their structural
+// relationships". Both are implemented here, plus extraction of an answer
+// fragment back to XML text.
+
+#ifndef XFRAG_QUERY_ANSWERS_H_
+#define XFRAG_QUERY_ANSWERS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/fragment_set.h"
+#include "doc/document.h"
+
+namespace xfrag::query {
+
+/// One maximal answer together with the answers it subsumes.
+struct AnswerGroup {
+  /// A maximal fragment (not contained in any other answer).
+  algebra::Fragment target;
+  /// Answers strictly contained in `target`, largest first.
+  std::vector<algebra::Fragment> overlaps;
+
+  AnswerGroup(algebra::Fragment t) : target(std::move(t)) {}  // NOLINT
+};
+
+/// \brief The maximal answers only — every fragment of `answers` that is not
+/// a strict sub-fragment of another (the "hide overlaps" policy of §5).
+algebra::FragmentSet MaximalAnswers(const algebra::FragmentSet& answers);
+
+/// \brief Groups `answers` by structural containment: one group per maximal
+/// fragment, with its sub-fragment answers attached (the "present together"
+/// policy of §5). A non-maximal answer contained in several targets is
+/// attached to the first (smallest canonical) one. Groups are ordered by
+/// their target's canonical order.
+std::vector<AnswerGroup> GroupOverlappingAnswers(
+    const algebra::FragmentSet& answers);
+
+/// \brief Renders an answer fragment as an XML snippet: the fragment's nodes
+/// with their own text, preserving document structure; descendants of a
+/// member that are not themselves members are elided (marked with an
+/// ellipsis comment when `mark_elisions` is set).
+std::string FragmentToXml(const algebra::Fragment& fragment,
+                          const doc::Document& document,
+                          bool mark_elisions = false);
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_ANSWERS_H_

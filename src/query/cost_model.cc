@@ -1,0 +1,252 @@
+#include "query/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "algebra/ops.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace xfrag::query {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+CostParameters CostModel::Calibrate(const doc::Document& document,
+                                    uint64_t seed) {
+  CostParameters parameters;
+  Rng rng(seed);
+  constexpr int kOps = 512;
+
+  // Join cost: random node pairs, realistic path-filling joins.
+  std::vector<std::pair<Fragment, Fragment>> pairs;
+  pairs.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    pairs.emplace_back(
+        Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(document.size()))),
+        Fragment::Single(
+            static_cast<doc::NodeId>(rng.Uniform(document.size()))));
+  }
+  Timer join_timer;
+  size_t sink = 0;
+  for (const auto& [f1, f2] : pairs) {
+    sink += algebra::Join(document, f1, f2).size();
+  }
+  parameters.join_ns =
+      std::max(1.0, static_cast<double>(join_timer.ElapsedNanos()) / kOps);
+
+  // Filter cost: size filter on the fragments just produced.
+  algebra::FilterContext context{&document, nullptr};
+  auto filter = algebra::filters::SizeAtMost(4);
+  Timer filter_timer;
+  for (const auto& [f1, f2] : pairs) {
+    Fragment joined = algebra::Join(document, f1, f2);
+    if (filter->Matches(joined, context)) ++sink;
+  }
+  double joined_ns = static_cast<double>(filter_timer.ElapsedNanos()) / kOps;
+  parameters.filter_ns = std::max(1.0, joined_ns - parameters.join_ns);
+  // Keep the compiler from discarding the measurement loops.
+  if (sink == static_cast<size_t>(-1)) parameters.join_ns += 1;
+  return parameters;
+}
+
+double CostModel::EstimateFixedPointSize(size_t n, double rf) const {
+  if (n <= 1) return static_cast<double>(n);
+  // k independent members generate up to 2^k − 1 distinct subset joins; the
+  // n − k eliminated members are absorbed into joins of the independent
+  // ones, contributing only themselves.
+  double k = std::max(1.0, static_cast<double>(n) * (1.0 - rf));
+  double independent = std::pow(2.0, std::min(k, 40.0)) - 1.0;
+  double absorbed = static_cast<double>(n) - k;
+  return std::min(independent + absorbed, parameters_.fixed_point_cap);
+}
+
+CostInputs CostModel::GatherInputs(const Query& query,
+                                   const doc::Document& document,
+                                   const text::InvertedIndex& index,
+                                   const OptimizerOptions& options) const {
+  CostInputs inputs;
+  algebra::FilterPtr anti, residue;
+  algebra::SplitAntiMonotonic(query.filter, &anti, &residue);
+  inputs.has_anti_monotonic =
+      anti.get() != algebra::filters::True().get();
+
+  std::vector<std::vector<doc::NodeId>> postings;
+  for (const auto& term : query.terms) {
+    const auto& list = index.Lookup(term);
+    postings.push_back(list);
+    inputs.base_sizes.push_back(list.size());
+    FragmentSet base;
+    for (doc::NodeId n : list) base.Insert(Fragment::Single(n));
+    inputs.rf_estimates.push_back(EstimateReductionFactor(
+        document, base, options.rf_sample_size, options.seed));
+  }
+
+  // Filter selectivity: evaluate the anti-monotonic part on the joins of a
+  // sample of random cross-term posting pairs.
+  if (inputs.has_anti_monotonic && postings.size() >= 1) {
+    Rng rng(options.seed ^ 0x5e1ec7);
+    algebra::FilterContext context{&document, &index};
+    int accepted = 0;
+    constexpr int kSamples = 24;
+    const auto& left = postings.front();
+    const auto& right = postings.back();
+    if (!left.empty() && !right.empty()) {
+      for (int i = 0; i < kSamples; ++i) {
+        Fragment f1 = Fragment::Single(left[rng.Uniform(left.size())]);
+        Fragment f2 = Fragment::Single(right[rng.Uniform(right.size())]);
+        Fragment joined = algebra::Join(document, f1, f2);
+        if (anti->Matches(joined, context)) ++accepted;
+      }
+      inputs.anti_monotonic_selectivity =
+          static_cast<double>(accepted) / kSamples;
+    }
+  }
+  return inputs;
+}
+
+std::vector<StrategyCost> CostModel::EstimateAll(
+    const CostInputs& inputs, size_t brute_force_limit) const {
+  const double join_ns = parameters_.join_ns + parameters_.dedup_ns;
+  std::vector<StrategyCost> out;
+
+  auto chain_cost = [&](const std::vector<double>& fp_sizes) {
+    // Pairwise-join chain of the fixed points: m1·m2 + (m1·m2)·m3 + ...
+    // Intermediate results shrink with dedup; we price them undeduplicated
+    // (upper bound).
+    double acc = fp_sizes.empty() ? 0.0 : fp_sizes[0];
+    double joins = 0.0;
+    for (size_t i = 1; i < fp_sizes.size(); ++i) {
+      joins += acc * fp_sizes[i];
+      acc = std::min(acc * fp_sizes[i], parameters_.fixed_point_cap);
+    }
+    return joins;
+  };
+
+  // ---- Brute force -------------------------------------------------------
+  {
+    StrategyCost cost;
+    cost.strategy = Strategy::kBruteForce;
+    bool feasible = true;
+    double subset_joins = 0.0, cross = 1.0;
+    for (size_t n : inputs.base_sizes) {
+      if (n > brute_force_limit) feasible = false;
+      double subsets = std::pow(2.0, std::min<double>(
+                                         static_cast<double>(n), 50.0));
+      subset_joins += subsets;
+      cross *= subsets;
+    }
+    if (!feasible || inputs.base_sizes.empty()) {
+      cost.nanos = std::numeric_limits<double>::infinity();
+      cost.detail = "refused: base set exceeds subset-enumeration guard";
+    } else {
+      double joins = subset_joins + cross;
+      cost.nanos = joins * join_ns;
+      cost.detail = StrFormat("~%.0f joins (exponential)", joins);
+    }
+    out.push_back(cost);
+  }
+
+  // ---- Fixed point, naive and reduced ------------------------------------
+  auto fixed_point_cost = [&](bool reduced) {
+    double joins = 0.0;
+    std::vector<double> fp_sizes;
+    for (size_t i = 0; i < inputs.base_sizes.size(); ++i) {
+      double n = static_cast<double>(inputs.base_sizes[i]);
+      double rf = inputs.rf_estimates.size() > i ? inputs.rf_estimates[i] : 0;
+      double k = std::max(1.0, n * (1.0 - rf));
+      double m = EstimateFixedPointSize(inputs.base_sizes[i], rf);
+      fp_sizes.push_back(m);
+      double iterations = reduced ? std::max(0.0, k - 1.0) : k;
+      joins += iterations * m * n;
+      if (reduced) joins += n * n / 2.0;  // The ⊖ pass.
+    }
+    joins += chain_cost(fp_sizes);
+    return joins;
+  };
+  {
+    StrategyCost cost;
+    cost.strategy = Strategy::kFixedPointNaive;
+    double joins = fixed_point_cost(/*reduced=*/false);
+    cost.nanos = joins * join_ns;
+    cost.detail = StrFormat("~%.0f joins incl. convergence checks", joins);
+    out.push_back(cost);
+  }
+  {
+    StrategyCost cost;
+    cost.strategy = Strategy::kFixedPointReduced;
+    double joins = fixed_point_cost(/*reduced=*/true);
+    cost.nanos = joins * join_ns;
+    cost.detail = StrFormat("~%.0f joins incl. the reduce pass", joins);
+    out.push_back(cost);
+  }
+
+  // ---- Push-down ----------------------------------------------------------
+  {
+    StrategyCost cost;
+    cost.strategy = Strategy::kPushDown;
+    if (!inputs.has_anti_monotonic) {
+      cost.nanos = std::numeric_limits<double>::infinity();
+      cost.detail = "inapplicable: no anti-monotonic conjunct";
+    } else {
+      double s = std::clamp(inputs.anti_monotonic_selectivity, 0.01, 1.0);
+      double joins = 0.0, filters = 0.0;
+      std::vector<double> fp_sizes;
+      for (size_t i = 0; i < inputs.base_sizes.size(); ++i) {
+        double n = static_cast<double>(inputs.base_sizes[i]);
+        double rf =
+            inputs.rf_estimates.size() > i ? inputs.rf_estimates[i] : 0;
+        // Filtered fixed point: surviving join results scale by s, so the
+        // closure size shrinks to s·m (floored at the base size).
+        double m = std::max(n, s * EstimateFixedPointSize(
+                                       inputs.base_sizes[i], rf));
+        fp_sizes.push_back(m);
+        double k = std::max(1.0, n * (1.0 - rf));
+        joins += k * m * n;
+        filters += k * m * n;  // Every produced fragment is filtered.
+      }
+      joins += chain_cost(fp_sizes);
+      filters += chain_cost(fp_sizes);
+      cost.nanos = joins * join_ns + filters * parameters_.filter_ns;
+      cost.detail = StrFormat("~%.0f joins at selectivity %.2f", joins, s);
+    }
+    out.push_back(cost);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const StrategyCost& a, const StrategyCost& b) {
+              return a.nanos < b.nanos;
+            });
+  return out;
+}
+
+StrategyCost CostModel::Choose(const CostInputs& inputs,
+                               size_t brute_force_limit) const {
+  return EstimateAll(inputs, brute_force_limit).front();
+}
+
+PlanDecision ChooseStrategyCostBased(const Query& query,
+                                     const doc::Document& document,
+                                     const text::InvertedIndex& index,
+                                     const CostModel& model,
+                                     const OptimizerOptions& options) {
+  PlanDecision decision;
+  algebra::SplitAntiMonotonic(query.filter, &decision.anti_monotonic,
+                              &decision.residue);
+  CostInputs inputs = model.GatherInputs(query, document, index, options);
+  decision.estimated_rf = inputs.rf_estimates;
+  std::vector<StrategyCost> costs =
+      model.EstimateAll(inputs, options.brute_force_limit);
+  decision.strategy = costs.front().strategy;
+  decision.rationale = "cost model ranking:";
+  for (const StrategyCost& cost : costs) {
+    decision.rationale += StrFormat(
+        " [%s %.0fus: %s]", std::string(StrategyName(cost.strategy)).c_str(),
+        cost.nanos / 1000.0, cost.detail.c_str());
+  }
+  return decision;
+}
+
+}  // namespace xfrag::query

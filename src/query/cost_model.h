@@ -1,0 +1,115 @@
+// A concrete cost model for the paper's §5 discussion ("to prove the
+// viability of our query model, simply presenting the techniques of logical
+// query optimization may be inadequate... we plan to develop a cost model").
+//
+// The model prices the four evaluation strategies for a query from four
+// observable inputs, all obtainable cheaply before execution:
+//   n_i — base posting-list sizes |F_i|
+//   rf_i — sampled reduction factors (→ estimated reduced-set sizes k_i)
+//   s    — sampled anti-monotonic-filter selectivity on joined pairs
+//   unit costs — calibrated by timing a few hundred real joins/filters
+//
+// Size heuristics (documented with their derivations in cost_model.cc):
+//   fixed-point size  m_i ≈ min(2^{k_i} − 1 + (n_i − k_i), cap)
+//   naive FP joins    ≈ k_i · m_i · n_i      (k_i iterations incl. check)
+//   reduced FP joins  ≈ (k_i − 1) · m_i · n_i + n_i²/2 (the ⊖ pass)
+//   push-down         ≈ the same recurrences with filtered sizes s·m_i
+//   brute force       ≈ 2^{n1} + 2^{n2} + 2^{n1}·2^{n2}
+//
+// The model is intentionally coarse — its job is to *rank* strategies, and
+// the bench (bench_rf_optimizer) and tests validate ranking agreement on
+// clear-cut inputs, not absolute accuracy.
+
+#ifndef XFRAG_QUERY_COST_MODEL_H_
+#define XFRAG_QUERY_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "query/optimizer.h"
+#include "query/query.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::query {
+
+/// Calibratable unit costs (nanoseconds).
+struct CostParameters {
+  /// Cost of one fragment join of typical answer-sized fragments.
+  double join_ns = 400.0;
+  /// Cost of one filter evaluation.
+  double filter_ns = 60.0;
+  /// Hash-set insert/dedup per produced fragment.
+  double dedup_ns = 120.0;
+  /// Cap on estimated fixed-point cardinality (mirrors practical limits).
+  double fixed_point_cap = 1e7;
+};
+
+/// Pre-execution observations about one query.
+struct CostInputs {
+  /// |F_i| per term.
+  std::vector<size_t> base_sizes;
+  /// Estimated reduction factor per term (0 when unknown).
+  std::vector<double> rf_estimates;
+  /// Estimated probability that the anti-monotonic part of the filter
+  /// accepts the join of two random base nodes (1.0 without such a filter).
+  double anti_monotonic_selectivity = 1.0;
+  /// True when the filter has a non-trivial anti-monotonic conjunct.
+  bool has_anti_monotonic = false;
+};
+
+/// One strategy's estimated cost.
+struct StrategyCost {
+  Strategy strategy = Strategy::kFixedPointNaive;
+  /// Estimated nanoseconds; infinity when the strategy is inapplicable
+  /// (e.g. brute force beyond the subset-enumeration guard).
+  double nanos = 0.0;
+  /// Breakdown for EXPLAIN.
+  std::string detail;
+};
+
+/// \brief The §5 cost model.
+class CostModel {
+ public:
+  explicit CostModel(CostParameters parameters = {})
+      : parameters_(parameters) {}
+
+  /// \brief Measures real join and filter costs on `document` (a few hundred
+  /// deterministic operations) and returns calibrated parameters.
+  static CostParameters Calibrate(const doc::Document& document,
+                                  uint64_t seed = 7);
+
+  /// \brief Gathers CostInputs for `query`: posting sizes, sampled RF per
+  /// term, and sampled filter selectivity.
+  CostInputs GatherInputs(const Query& query, const doc::Document& document,
+                          const text::InvertedIndex& index,
+                          const OptimizerOptions& options = {}) const;
+
+  /// \brief Estimated costs of all four strategies, cheapest first.
+  std::vector<StrategyCost> EstimateAll(const CostInputs& inputs,
+                                        size_t brute_force_limit = 12) const;
+
+  /// \brief argmin of EstimateAll.
+  StrategyCost Choose(const CostInputs& inputs,
+                      size_t brute_force_limit = 12) const;
+
+  /// \brief Estimated fixed-point cardinality for a base set of size `n`
+  /// with reduction factor `rf` (exposed for tests).
+  double EstimateFixedPointSize(size_t n, double rf) const;
+
+  const CostParameters& parameters() const { return parameters_; }
+
+ private:
+  CostParameters parameters_;
+};
+
+/// \brief Cost-based variant of ChooseStrategy: gathers inputs, prices all
+/// strategies, and returns a decision whose rationale lists the estimates.
+PlanDecision ChooseStrategyCostBased(const Query& query,
+                                     const doc::Document& document,
+                                     const text::InvertedIndex& index,
+                                     const CostModel& model,
+                                     const OptimizerOptions& options = {});
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_COST_MODEL_H_

@@ -1,0 +1,131 @@
+#include "query/engine.h"
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "query/cost_model.h"
+
+namespace xfrag::query {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+namespace {
+
+// Definition 8's leaf condition: every term occurs in some *leaf* of f.
+bool SatisfiesLeafCondition(const Fragment& fragment,
+                            const std::vector<std::string>& terms,
+                            const doc::Document& document,
+                            const text::InvertedIndex& index) {
+  std::vector<doc::NodeId> leaves = algebra::FragmentLeaves(fragment, document);
+  for (const auto& term : terms) {
+    bool found = false;
+    for (doc::NodeId leaf : leaves) {
+      if (index.Contains(term, leaf)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<PlanNode>> QueryEngine::BuildPlan(
+    const Query& query, Strategy strategy) const {
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query must contain at least one term");
+  }
+  if (strategy == Strategy::kAuto) {
+    return Status::InvalidArgument(
+        "kAuto must be resolved by Evaluate; BuildPlan needs a concrete "
+        "strategy");
+  }
+  std::unique_ptr<PlanNode> plan = BuildInitialPlan(query.terms, query.filter);
+  switch (strategy) {
+    case Strategy::kBruteForce:
+      // Initial plan already evaluates powerset joins literally. A
+      // single-term brute-force query still uses the (naive) fixed point,
+      // which is the subset enumeration's set equivalent.
+      break;
+    case Strategy::kFixedPointNaive:
+      plan = RewritePowersetToFixedPoint(std::move(plan),
+                                         /*reduced_fixed_point=*/false);
+      break;
+    case Strategy::kFixedPointReduced:
+      plan = RewritePowersetToFixedPoint(std::move(plan),
+                                         /*reduced_fixed_point=*/true);
+      break;
+    case Strategy::kPushDown:
+      plan = RewritePowersetToFixedPoint(std::move(plan),
+                                         /*reduced_fixed_point=*/false);
+      plan = PushDownSelection(std::move(plan));
+      break;
+    case Strategy::kAuto:
+      break;  // Unreachable; handled above.
+  }
+  return plan;
+}
+
+StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
+                                           const EvalOptions& options) const {
+  Timer timer;
+  EvalResult result;
+
+  Strategy strategy = options.strategy;
+  std::string rationale;
+  if (strategy == Strategy::kAuto) {
+    PlanDecision decision =
+        options.optimizer.use_cost_model
+            ? ChooseStrategyCostBased(query, document_, index_, CostModel(),
+                                      options.optimizer)
+            : ChooseStrategy(query, document_, index_, options.optimizer);
+    strategy = decision.strategy;
+    rationale = decision.rationale;
+  }
+  result.strategy_used = strategy;
+
+  auto plan = BuildPlan(query, strategy);
+  if (!plan.ok()) return plan.status();
+
+  std::vector<NodeCardinality> cardinalities;
+  auto answers = ExecutePlan(*plan.value(), document_, index_,
+                             options.executor, &result.metrics,
+                             options.analyze ? &cardinalities : nullptr);
+  if (!answers.ok()) return answers.status();
+  result.answers = std::move(answers).value();
+
+  if (options.answer_mode == AnswerMode::kLeafStrict) {
+    FragmentSet strict;
+    for (const Fragment& f : result.answers) {
+      if (SatisfiesLeafCondition(f, query.terms, document_, index_)) {
+        strict.Insert(f);
+      }
+    }
+    result.answers = std::move(strict);
+  }
+
+  result.explain = StrFormat("strategy: %s\n",
+                             std::string(StrategyName(strategy)).c_str());
+  if (!rationale.empty()) {
+    result.explain += "rationale: " + rationale + "\n";
+  }
+  if (options.analyze) {
+    result.explain += plan.value()->ToStringAnnotated(
+        [&cardinalities](const PlanNode& node) -> std::string {
+          for (const NodeCardinality& entry : cardinalities) {
+            if (entry.node == &node) {
+              return StrFormat("(rows=%zu)", entry.rows);
+            }
+          }
+          return "";
+        });
+  } else {
+    result.explain += plan.value()->ToString();
+  }
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace xfrag::query

@@ -1,0 +1,87 @@
+// QueryEngine — the library's public facade. Transforms a keyword query into
+// an algebraic plan (paper §2.3), applies the requested strategy's rewrites
+// (§3, §4), executes it, and returns the answer fragments plus work metrics
+// and an EXPLAIN rendering of the executed plan.
+
+#ifndef XFRAG_QUERY_ENGINE_H_
+#define XFRAG_QUERY_ENGINE_H_
+
+#include <string>
+
+#include "algebra/fragment_set.h"
+#include "algebra/ops.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::query {
+
+/// Which answer definition to apply (see DESIGN.md on the Def. 8 vs Table 1
+/// discrepancy).
+enum class AnswerMode {
+  /// The algebraic formula σ_P(F1 ⋈* ... ⋈* Fm) as-is. Matches Table 1.
+  kAlgebraic,
+  /// Definition 8 literally: additionally require every query term to occur
+  /// in a *leaf* node of each answer fragment.
+  kLeafStrict,
+};
+
+/// Per-query evaluation options.
+struct EvalOptions {
+  Strategy strategy = Strategy::kAuto;
+  AnswerMode answer_mode = AnswerMode::kAlgebraic;
+  ExecutorOptions executor;
+  OptimizerOptions optimizer;
+  /// When true, the EXPLAIN output is annotated with each plan node's
+  /// actual output cardinality (EXPLAIN ANALYZE).
+  bool analyze = false;
+};
+
+/// The result of evaluating one query.
+struct EvalResult {
+  /// The answer set A (Definition 8 under the chosen AnswerMode).
+  algebra::FragmentSet answers;
+  /// Operator work counters.
+  algebra::OpMetrics metrics;
+  /// The strategy that actually ran (resolved from kAuto).
+  Strategy strategy_used = Strategy::kFixedPointNaive;
+  /// EXPLAIN: the executed plan, plus the optimizer rationale for kAuto.
+  std::string explain;
+  /// Wall-clock evaluation time in milliseconds (plan build + execute).
+  double elapsed_ms = 0.0;
+};
+
+/// \brief Query evaluation facade over one document + index.
+///
+/// The document and index must outlive the engine.
+class QueryEngine {
+ public:
+  QueryEngine(const doc::Document& document, const text::InvertedIndex& index)
+      : document_(document), index_(index) {}
+
+  /// \brief Evaluates `query` with the given options.
+  ///
+  /// Terms absent from the document yield an empty answer set (conjunctive
+  /// semantics). An error is returned for empty queries or when the
+  /// brute-force strategy exceeds its subset-enumeration limits.
+  StatusOr<EvalResult> Evaluate(const Query& query,
+                                const EvalOptions& options = {}) const;
+
+  /// \brief Builds (but does not run) the plan a strategy would execute;
+  /// useful for EXPLAIN-only inspection and the plan-shape tests.
+  StatusOr<std::unique_ptr<PlanNode>> BuildPlan(const Query& query,
+                                                Strategy strategy) const;
+
+  const doc::Document& document() const { return document_; }
+  const text::InvertedIndex& index() const { return index_; }
+
+ private:
+  const doc::Document& document_;
+  const text::InvertedIndex& index_;
+};
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_ENGINE_H_

@@ -1,0 +1,149 @@
+#include "query/executor.h"
+
+#include "common/logging.h"
+
+namespace xfrag::query {
+
+using algebra::FilterContext;
+using algebra::Fragment;
+using algebra::FragmentSet;
+using algebra::OpMetrics;
+
+namespace {
+
+StatusOr<FragmentSet> Execute(const PlanNode& node,
+                              const doc::Document& document,
+                              const text::InvertedIndex& index,
+                              const ExecutorOptions& options,
+                              const FilterContext& context,
+                              OpMetrics* metrics,
+                              std::vector<NodeCardinality>* cardinalities);
+
+// Runs one node and records its output cardinality.
+StatusOr<FragmentSet> ExecuteRecorded(
+    const PlanNode& node, const doc::Document& document,
+    const text::InvertedIndex& index, const ExecutorOptions& options,
+    const FilterContext& context, OpMetrics* metrics,
+    std::vector<NodeCardinality>* cardinalities) {
+  auto result = Execute(node, document, index, options, context, metrics,
+                        cardinalities);
+  if (result.ok() && cardinalities != nullptr) {
+    cardinalities->push_back({&node, result->size()});
+  }
+  return result;
+}
+
+StatusOr<FragmentSet> Execute(const PlanNode& node,
+                              const doc::Document& document,
+                              const text::InvertedIndex& index,
+                              const ExecutorOptions& options,
+                              const FilterContext& context,
+                              OpMetrics* metrics,
+                              std::vector<NodeCardinality>* cardinalities) {
+  switch (node.kind) {
+    case PlanNodeKind::kScanKeyword: {
+      FragmentSet out;
+      for (doc::NodeId n : index.Lookup(node.term)) {
+        Fragment f = Fragment::Single(n);
+        if (node.filter != nullptr) {
+          if (metrics != nullptr) ++metrics->filter_evals;
+          if (!node.filter->Matches(f, context)) {
+            if (metrics != nullptr) ++metrics->filter_rejections;
+            continue;
+          }
+        }
+        out.Insert(std::move(f));
+      }
+      return out;
+    }
+    case PlanNodeKind::kSelect: {
+      XFRAG_CHECK(node.children.size() == 1);
+      auto child = ExecuteRecorded(*node.children[0], document, index,
+                                   options, context, metrics, cardinalities);
+      if (!child.ok()) return child;
+      return algebra::Select(child.value(), node.filter, context, metrics);
+    }
+    case PlanNodeKind::kPairwiseJoin: {
+      XFRAG_CHECK(node.children.size() == 2);
+      auto left = ExecuteRecorded(*node.children[0], document, index,
+                                  options, context, metrics, cardinalities);
+      if (!left.ok()) return left;
+      auto right = ExecuteRecorded(*node.children[1], document, index,
+                                   options, context, metrics, cardinalities);
+      if (!right.ok()) return right;
+      if (node.filter != nullptr) {
+        return algebra::PairwiseJoinFiltered(document, left.value(),
+                                             right.value(), node.filter,
+                                             context, metrics);
+      }
+      return algebra::PairwiseJoin(document, left.value(), right.value(),
+                                   metrics);
+    }
+    case PlanNodeKind::kPowersetJoin: {
+      XFRAG_CHECK(node.children.size() == 2);
+      auto left = ExecuteRecorded(*node.children[0], document, index,
+                                  options, context, metrics, cardinalities);
+      if (!left.ok()) return left;
+      auto right = ExecuteRecorded(*node.children[1], document, index,
+                                   options, context, metrics, cardinalities);
+      if (!right.ok()) return right;
+      return algebra::PowersetJoinBruteForce(document, left.value(),
+                                             right.value(), options.powerset,
+                                             metrics);
+    }
+    case PlanNodeKind::kFixedPoint: {
+      XFRAG_CHECK(node.children.size() == 1);
+      // Cross-query memoization: a FixedPoint directly over a Scan depends
+      // only on the term and the attached filters, so its closure can be
+      // reused between queries against the same document.
+      std::string cache_key;
+      if (options.fixed_point_cache != nullptr &&
+          node.children[0]->kind == PlanNodeKind::kScanKeyword) {
+        const PlanNode& scan = *node.children[0];
+        cache_key = scan.term;
+        cache_key += '\x1f';
+        cache_key += scan.filter ? scan.filter->ToString() : "";
+        cache_key += '\x1f';
+        cache_key += node.filter ? node.filter->ToString() : "";
+        cache_key += node.fixed_point_reduced ? "\x1fR" : "\x1fN";
+        if (const algebra::FragmentSet* cached =
+                options.fixed_point_cache->Find(cache_key)) {
+          return *cached;
+        }
+      }
+      auto child = ExecuteRecorded(*node.children[0], document, index,
+                                   options, context, metrics, cardinalities);
+      if (!child.ok()) return child;
+      StatusOr<FragmentSet> closure = [&]() -> StatusOr<FragmentSet> {
+        if (node.filter != nullptr) {
+          return algebra::FixedPointFiltered(document, child.value(),
+                                             node.filter, context, metrics);
+        }
+        if (node.fixed_point_reduced) {
+          return algebra::FixedPointReduced(document, child.value(), metrics);
+        }
+        return algebra::FixedPointNaive(document, child.value(), metrics);
+      }();
+      if (closure.ok() && !cache_key.empty()) {
+        options.fixed_point_cache->Insert(cache_key, closure.value());
+      }
+      return closure;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+StatusOr<FragmentSet> ExecutePlan(const PlanNode& plan,
+                                  const doc::Document& document,
+                                  const text::InvertedIndex& index,
+                                  const ExecutorOptions& options,
+                                  OpMetrics* metrics,
+                                  std::vector<NodeCardinality>* cardinalities) {
+  FilterContext context{&document, &index};
+  return ExecuteRecorded(plan, document, index, options, context, metrics,
+                         cardinalities);
+}
+
+}  // namespace xfrag::query

@@ -1,0 +1,46 @@
+// Bottom-up evaluation of logical plans against a document + keyword index.
+
+#ifndef XFRAG_QUERY_EXECUTOR_H_
+#define XFRAG_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "algebra/fragment_set.h"
+#include "algebra/ops.h"
+#include "query/fixed_point_cache.h"
+#include "query/plan.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::query {
+
+/// Executor configuration.
+struct ExecutorOptions {
+  /// Limits for literal powerset-join nodes (brute-force strategy).
+  algebra::PowersetJoinOptions powerset;
+  /// Optional cross-query memo table for FixedPoint-over-Scan plan
+  /// fragments. The pointed-to cache must outlive the execution and must
+  /// only ever be used with one (document, index) pair. Not thread-safe.
+  FixedPointCache* fixed_point_cache = nullptr;
+};
+
+/// Per-node observation recorded during execution (EXPLAIN ANALYZE).
+struct NodeCardinality {
+  const PlanNode* node = nullptr;
+  /// Output fragments of this node.
+  size_t rows = 0;
+};
+
+/// \brief Evaluates `plan` and returns the resulting fragment set.
+///
+/// `metrics`, when non-null, accumulates operator work counters.
+/// `cardinalities`, when non-null, receives one entry per executed plan
+/// node with its output size (EXPLAIN ANALYZE support).
+StatusOr<algebra::FragmentSet> ExecutePlan(
+    const PlanNode& plan, const doc::Document& document,
+    const text::InvertedIndex& index, const ExecutorOptions& options = {},
+    algebra::OpMetrics* metrics = nullptr,
+    std::vector<NodeCardinality>* cardinalities = nullptr);
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_EXECUTOR_H_

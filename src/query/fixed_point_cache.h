@@ -1,0 +1,60 @@
+// Cross-query memoization of keyword fixed points — an implementation-level
+// optimization of the kind §5 anticipates ("other optimization issues at
+// implementation level to complement our algebraic optimization"). The
+// expensive part of most queries is the per-term closure F_i⁺, which depends
+// only on (term, scan filter, fixed-point filter, variant) — not on the
+// other query terms — so an engine serving many queries over one immutable
+// document can reuse it.
+
+#ifndef XFRAG_QUERY_FIXED_POINT_CACHE_H_
+#define XFRAG_QUERY_FIXED_POINT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "algebra/fragment_set.h"
+
+namespace xfrag::query {
+
+/// \brief A memo table for per-term fixed points.
+///
+/// Keys encode everything the closure depends on; the executor consults the
+/// cache for FixedPoint-over-Scan plan fragments. The cache holds fragment
+/// sets by value (documents are immutable, so entries never invalidate).
+/// Not thread-safe: use one cache per thread, or none.
+class FixedPointCache {
+ public:
+  FixedPointCache() = default;
+
+  /// Looks up `key`; returns nullptr on miss.
+  const algebra::FragmentSet* Find(const std::string& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    ++hits_;
+    return &it->second;
+  }
+
+  /// Stores `value` under `key` (overwrites).
+  void Insert(const std::string& key, algebra::FragmentSet value) {
+    entries_[key] = std::move(value);
+  }
+
+  /// Number of cached closures.
+  size_t size() const { return entries_.size(); }
+  /// Lookup hits since construction.
+  uint64_t hits() const { return hits_; }
+
+  void Clear() {
+    entries_.clear();
+    hits_ = 0;
+  }
+
+ private:
+  std::unordered_map<std::string, algebra::FragmentSet> entries_;
+  mutable uint64_t hits_ = 0;
+};
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_FIXED_POINT_CACHE_H_

@@ -1,0 +1,215 @@
+#include "query/plan.h"
+
+#include "common/logging.h"
+
+namespace xfrag::query {
+
+using algebra::FilterPtr;
+namespace filters = algebra::filters;
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->term = term;
+  copy->filter = filter;
+  copy->fixed_point_reduced = fixed_point_reduced;
+  for (const auto& child : children) {
+    copy->children.push_back(child->Clone());
+  }
+  return copy;
+}
+
+namespace {
+
+using Annotator = std::function<std::string(const PlanNode&)>;
+
+void Render(const PlanNode& node, int depth, const Annotator* annotate,
+            std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.kind) {
+    case PlanNodeKind::kScanKeyword:
+      out->append("Scan[keyword=" + node.term + "]");
+      if (node.filter) out->append("[push=" + node.filter->ToString() + "]");
+      break;
+    case PlanNodeKind::kSelect:
+      out->append("Select[" + node.filter->ToString() + "]");
+      break;
+    case PlanNodeKind::kPairwiseJoin:
+      out->append("PairwiseJoin");
+      if (node.filter) out->append("[push=" + node.filter->ToString() + "]");
+      break;
+    case PlanNodeKind::kPowersetJoin:
+      out->append("PowersetJoin");
+      break;
+    case PlanNodeKind::kFixedPoint:
+      out->append(node.fixed_point_reduced && !node.filter
+                      ? "FixedPoint[reduced]"
+                      : "FixedPoint[naive]");
+      if (node.filter) out->append("[push=" + node.filter->ToString() + "]");
+      break;
+  }
+  if (annotate != nullptr) {
+    std::string suffix = (*annotate)(node);
+    if (!suffix.empty()) {
+      out->push_back(' ');
+      out->append(suffix);
+    }
+  }
+  out->push_back('\n');
+  for (const auto& child : node.children) {
+    Render(*child, depth + 1, annotate, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(*this, 0, nullptr, &out);
+  return out;
+}
+
+std::string PlanNode::ToStringAnnotated(
+    const std::function<std::string(const PlanNode&)>& annotate) const {
+  std::string out;
+  Render(*this, 0, &annotate, &out);
+  return out;
+}
+
+std::unique_ptr<PlanNode> MakeScan(std::string term) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kScanKeyword;
+  node->term = std::move(term);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeSelect(FilterPtr filter,
+                                     std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kSelect;
+  node->filter = std::move(filter);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakePairwiseJoin(std::unique_ptr<PlanNode> left,
+                                           std::unique_ptr<PlanNode> right) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kPairwiseJoin;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakePowersetJoin(std::unique_ptr<PlanNode> left,
+                                           std::unique_ptr<PlanNode> right) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kPowersetJoin;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeFixedPoint(std::unique_ptr<PlanNode> child,
+                                         bool reduced) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kFixedPoint;
+  node->fixed_point_reduced = reduced;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> BuildInitialPlan(
+    const std::vector<std::string>& terms, const FilterPtr& filter) {
+  XFRAG_CHECK(!terms.empty());
+  std::unique_ptr<PlanNode> plan;
+  if (terms.size() == 1) {
+    // Single-term queries: σ_P(F1⁺) — every fragment composable from the
+    // keyword's nodes (see DESIGN.md; the paper only spells out m >= 2).
+    plan = MakeFixedPoint(MakeScan(terms[0]), /*reduced=*/false);
+  } else {
+    plan = MakeScan(terms[0]);
+    for (size_t i = 1; i < terms.size(); ++i) {
+      plan = MakePowersetJoin(std::move(plan), MakeScan(terms[i]));
+    }
+  }
+  return MakeSelect(filter, std::move(plan));
+}
+
+std::unique_ptr<PlanNode> RewritePowersetToFixedPoint(
+    std::unique_ptr<PlanNode> plan, bool reduced_fixed_point) {
+  for (auto& child : plan->children) {
+    child = RewritePowersetToFixedPoint(std::move(child), reduced_fixed_point);
+  }
+  if (plan->kind == PlanNodeKind::kPowersetJoin) {
+    XFRAG_CHECK(plan->children.size() == 2);
+    auto left = std::move(plan->children[0]);
+    auto right = std::move(plan->children[1]);
+    // Theorem 2: A ⋈* B = A⁺ ⋈ B⁺. A chain of powerset joins
+    // ((F1 ⋈* F2) ⋈* F3) needs no re-closure of the intermediate result:
+    // the chained pairwise join of fixed points generates the same m-ary
+    // powerset join (associativity of ⋈; see DESIGN.md). So a child that is
+    // itself a rewritten join is left bare, while leaves get fixed points.
+    auto close = [&](std::unique_ptr<PlanNode> node) {
+      if (node->kind == PlanNodeKind::kPairwiseJoin) return node;
+      return MakeFixedPoint(std::move(node), reduced_fixed_point);
+    };
+    plan = MakePairwiseJoin(close(std::move(left)), close(std::move(right)));
+  }
+  if (plan->kind == PlanNodeKind::kFixedPoint) {
+    plan->fixed_point_reduced = reduced_fixed_point;
+  }
+  return plan;
+}
+
+namespace {
+
+// Attaches anti-monotonic filter `pa` to `node` and its descendants.
+void PushFilterInto(PlanNode* node, const FilterPtr& pa) {
+  switch (node->kind) {
+    case PlanNodeKind::kScanKeyword: {
+      // Base sets are single-node fragments; σ_Pa applies to them directly
+      // (Theorem 3 pushed all the way down, Figure 5).
+      // The scan node itself gains the filter; the executor applies it.
+      node->filter = node->filter ? filters::And(node->filter, pa) : pa;
+      return;
+    }
+    case PlanNodeKind::kSelect: {
+      node->filter = filters::And(node->filter, pa);
+      PushFilterInto(node->children[0].get(), pa);
+      return;
+    }
+    case PlanNodeKind::kPairwiseJoin: {
+      node->filter = node->filter ? filters::And(node->filter, pa) : pa;
+      PushFilterInto(node->children[0].get(), pa);
+      PushFilterInto(node->children[1].get(), pa);
+      return;
+    }
+    case PlanNodeKind::kPowersetJoin: {
+      // Push-down is only defined on the fixed-point form; leave the brute
+      // node alone (the final selection still guarantees correctness).
+      return;
+    }
+    case PlanNodeKind::kFixedPoint: {
+      node->filter = node->filter ? filters::And(node->filter, pa) : pa;
+      PushFilterInto(node->children[0].get(), pa);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> PushDownSelection(std::unique_ptr<PlanNode> plan) {
+  if (plan->kind != PlanNodeKind::kSelect) return plan;
+  FilterPtr anti, residue;
+  algebra::SplitAntiMonotonic(plan->filter, &anti, &residue);
+  if (anti.get() == filters::True().get()) return plan;  // Nothing to push.
+  PushFilterInto(plan->children[0].get(), anti);
+  // The pushed Pa guarantees every produced fragment satisfies it; only the
+  // residue must still be checked at the top.
+  plan->filter = residue;
+  return plan;
+}
+
+}  // namespace xfrag::query

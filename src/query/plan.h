@@ -1,0 +1,103 @@
+// Logical query plans. A plan is a tree of algebraic operator nodes; the
+// rewriter transforms it (Theorem 2: powerset join → fixed points + pairwise
+// join; Theorem 3: anti-monotonic selection push-down, the paper's Figure 5),
+// and the executor evaluates it bottom-up.
+
+#ifndef XFRAG_QUERY_PLAN_H_
+#define XFRAG_QUERY_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/filter.h"
+#include "algebra/ops.h"
+
+namespace xfrag::query {
+
+/// Operator kinds in a logical plan.
+enum class PlanNodeKind {
+  /// Base keyword selection σ_{keyword=k}(nodes(D)): the posting list of
+  /// `term` as single-node fragments.
+  kScanKeyword,
+  /// σ_filter(child).
+  kSelect,
+  /// Pairwise fragment join of the two children; when `filter` is set, each
+  /// produced fragment is tested immediately (push-down form).
+  kPairwiseJoin,
+  /// Powerset fragment join of the two children, evaluated literally by
+  /// subset enumeration (the brute-force strategy).
+  kPowersetJoin,
+  /// Fixed point of the child; `fixed_point_reduced` selects the Theorem-1
+  /// variant; when `filter` is set, the filter is applied inside every
+  /// iteration (push-down form).
+  kFixedPoint,
+};
+
+/// \brief A node in a logical plan tree.
+struct PlanNode {
+  PlanNodeKind kind;
+
+  /// For kScanKeyword.
+  std::string term;
+
+  /// For kSelect (required) and kPairwiseJoin / kFixedPoint (optional
+  /// pushed-down anti-monotonic filter; null when absent).
+  algebra::FilterPtr filter;
+
+  /// For kFixedPoint: use the Theorem-1 reduced-iteration algorithm instead
+  /// of naive convergence checking. Ignored when `filter` is set (the
+  /// filtered fixed point always runs with convergence checking).
+  bool fixed_point_reduced = false;
+
+  /// Children (0 for scans, 1 for select/fixed point, 2 for joins).
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Multi-line indented rendering (EXPLAIN output).
+  std::string ToString() const;
+
+  /// Rendering with a per-node suffix (EXPLAIN ANALYZE output); `annotate`
+  /// returns the suffix for each node (may be empty).
+  std::string ToStringAnnotated(
+      const std::function<std::string(const PlanNode&)>& annotate) const;
+};
+
+/// Convenience constructors.
+std::unique_ptr<PlanNode> MakeScan(std::string term);
+std::unique_ptr<PlanNode> MakeSelect(algebra::FilterPtr filter,
+                                     std::unique_ptr<PlanNode> child);
+std::unique_ptr<PlanNode> MakePairwiseJoin(std::unique_ptr<PlanNode> left,
+                                           std::unique_ptr<PlanNode> right);
+std::unique_ptr<PlanNode> MakePowersetJoin(std::unique_ptr<PlanNode> left,
+                                           std::unique_ptr<PlanNode> right);
+std::unique_ptr<PlanNode> MakeFixedPoint(std::unique_ptr<PlanNode> child,
+                                         bool reduced);
+
+/// \brief Builds the canonical initial plan for a query (paper §2.3):
+/// σ_P(F1 ⋈* F2 ⋈* ... ⋈* Fm); for m == 1 the plan is σ_P(F1⁺).
+std::unique_ptr<PlanNode> BuildInitialPlan(
+    const std::vector<std::string>& terms, const algebra::FilterPtr& filter);
+
+/// \brief Theorem 2 rewrite: every kPowersetJoin(A, B) becomes
+/// kPairwiseJoin(kFixedPoint(A), kFixedPoint(B)).
+///
+/// \param reduced_fixed_point chooses the Theorem-1 fixed-point algorithm.
+std::unique_ptr<PlanNode> RewritePowersetToFixedPoint(
+    std::unique_ptr<PlanNode> plan, bool reduced_fixed_point);
+
+/// \brief Theorem 3 rewrite (Figure 5): splits the top-level selection into
+/// its anti-monotonic part Pa and residue, attaches Pa to every join and
+/// fixed-point node and inserts σ_Pa over every scan; the residue remains as
+/// the final selection.
+///
+/// Only sound when applied after RewritePowersetToFixedPoint. Filters that
+/// are not anti-monotonic are never pushed.
+std::unique_ptr<PlanNode> PushDownSelection(std::unique_ptr<PlanNode> plan);
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_PLAN_H_

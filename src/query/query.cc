@@ -1,0 +1,241 @@
+#include "query/query.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace xfrag::query {
+
+using algebra::FilterPtr;
+namespace filters = algebra::filters;
+
+std::string Query::ToString() const {
+  std::string out = "Q_{" + filter->ToString() + "}{";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i];
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser for the filter mini-language.
+class FilterParser {
+ public:
+  explicit FilterParser(std::string_view input) : input_(input) {}
+
+  StatusOr<FilterPtr> Parse() {
+    auto expr = ParseOr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu in filter expression", message.c_str(),
+                  pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    SkipSpace();
+    if (input_.substr(pos_, symbol.size()) == symbol) {
+      pos_ += symbol.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Consumes a keyword (identifier followed by a non-identifier char).
+  bool ConsumeWordToken(std::string_view word) {
+    SkipSpace();
+    size_t end = pos_ + word.size();
+    if (AsciiToLower(input_.substr(pos_, word.size())) != word) return false;
+    if (end < input_.size() &&
+        (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+         input_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  StatusOr<std::string> ParseWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_' || input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected word");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  StatusOr<uint32_t> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    uint64_t value = 0;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      value = value * 10 + static_cast<uint64_t>(input_[pos_] - '0');
+      if (value > UINT32_MAX) return Error("number too large");
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    return static_cast<uint32_t>(value);
+  }
+
+  StatusOr<FilterPtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left;
+    FilterPtr acc = std::move(left).value();
+    while (true) {
+      if (ConsumeSymbol("|") || ConsumeWordToken("or")) {
+        auto right = ParseAnd();
+        if (!right.ok()) return right;
+        acc = filters::Or(acc, std::move(right).value());
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  StatusOr<FilterPtr> ParseAnd() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    FilterPtr acc = std::move(left).value();
+    while (true) {
+      if (ConsumeSymbol("&") || ConsumeWordToken("and")) {
+        auto right = ParseUnary();
+        if (!right.ok()) return right;
+        acc = filters::And(acc, std::move(right).value());
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  StatusOr<FilterPtr> ParseUnary() {
+    if (ConsumeSymbol("!") || ConsumeWordToken("not")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return filters::Not(std::move(inner).value());
+    }
+    if (ConsumeSymbol("(")) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (!ConsumeSymbol(")")) return Error("expected ')'");
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  StatusOr<FilterPtr> ParseAtom() {
+    if (ConsumeWordToken("true")) return filters::True();
+    if (ConsumeWordToken("size")) {
+      if (ConsumeSymbol("<=")) {
+        auto n = ParseNumber();
+        if (!n.ok()) return n.status();
+        return filters::SizeAtMost(n.value());
+      }
+      if (ConsumeSymbol(">=")) {
+        auto n = ParseNumber();
+        if (!n.ok()) return n.status();
+        return filters::SizeAtLeast(n.value());
+      }
+      return Error("expected '<=' or '>=' after 'size'");
+    }
+    if (ConsumeWordToken("height")) {
+      if (!ConsumeSymbol("<=")) return Error("expected '<=' after 'height'");
+      auto n = ParseNumber();
+      if (!n.ok()) return n.status();
+      return filters::HeightAtMost(n.value());
+    }
+    if (ConsumeWordToken("span")) {
+      if (!ConsumeSymbol("<=")) return Error("expected '<=' after 'span'");
+      auto n = ParseNumber();
+      if (!n.ok()) return n.status();
+      return filters::SpanAtMost(n.value());
+    }
+    if (ConsumeWordToken("distance")) {
+      if (!ConsumeSymbol("<=")) return Error("expected '<=' after 'distance'");
+      auto n = ParseNumber();
+      if (!n.ok()) return n.status();
+      return filters::DistanceAtMost(n.value());
+    }
+    if (ConsumeWordToken("root_depth")) {
+      bool at_least = ConsumeSymbol(">=");
+      if (!at_least && !ConsumeSymbol("<=")) {
+        return Error("expected '<=' or '>=' after 'root_depth'");
+      }
+      auto n = ParseNumber();
+      if (!n.ok()) return n.status();
+      return at_least ? filters::RootDepthAtLeast(n.value())
+                      : filters::RootDepthAtMost(n.value());
+    }
+    if (ConsumeWordToken("tags_within")) {
+      if (!ConsumeSymbol("(")) return Error("expected '(' after 'tags_within'");
+      std::vector<std::string> tags;
+      while (true) {
+        auto word = ParseWord();
+        if (!word.ok()) return word.status();
+        tags.push_back(std::move(word).value());
+        if (ConsumeSymbol(",")) continue;
+        if (ConsumeSymbol(")")) break;
+        return Error("expected ',' or ')' in tags_within");
+      }
+      return filters::TagsWithin(std::move(tags));
+    }
+    if (ConsumeWordToken("keyword")) {
+      if (!ConsumeSymbol("=")) return Error("expected '=' after 'keyword'");
+      auto word = ParseWord();
+      if (!word.ok()) return word.status();
+      return filters::ContainsKeyword(std::move(word).value());
+    }
+    if (ConsumeWordToken("root_tag")) {
+      if (!ConsumeSymbol("=")) return Error("expected '=' after 'root_tag'");
+      auto word = ParseWord();
+      if (!word.ok()) return word.status();
+      return filters::RootTagIs(std::move(word).value());
+    }
+    if (ConsumeWordToken("equal_depth")) {
+      if (!ConsumeSymbol("(")) {
+        return Error("expected '(' after 'equal_depth'");
+      }
+      auto first = ParseWord();
+      if (!first.ok()) return first.status();
+      if (!ConsumeSymbol(",")) return Error("expected ','");
+      auto second = ParseWord();
+      if (!second.ok()) return second.status();
+      if (!ConsumeSymbol(")")) return Error("expected ')'");
+      return filters::EqualDepth(std::move(first).value(),
+                                 std::move(second).value());
+    }
+    return Error("expected filter atom");
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<FilterPtr> ParseFilterExpression(std::string_view input) {
+  return FilterParser(input).Parse();
+}
+
+}  // namespace xfrag::query

@@ -1,0 +1,52 @@
+// The paper's Definition 7: a query Q_P{k1, ..., km} is a set of query terms
+// plus a selection predicate P.
+
+#ifndef XFRAG_QUERY_QUERY_H_
+#define XFRAG_QUERY_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/filter.h"
+#include "common/status.h"
+
+namespace xfrag::query {
+
+/// \brief A keyword query with a selection predicate.
+struct Query {
+  /// Query terms k1..km (conjunctive semantics, Definition 8). Terms are
+  /// folded to lowercase by the engine before index lookup.
+  std::vector<std::string> terms;
+
+  /// The selection predicate P. Defaults to the always-true filter.
+  algebra::FilterPtr filter = algebra::filters::True();
+
+  /// "Q_{size<=3}{xquery, optimization}" for diagnostics.
+  std::string ToString() const;
+};
+
+/// \brief Parses a filter expression in the mini-language used by the CLI and
+/// the examples.
+///
+/// Grammar (case-insensitive keywords, '&'/'and', '|'/'or', '!'/'not'):
+///
+///   expr     := or_expr
+///   or_expr  := and_expr (('|' | 'or') and_expr)*
+///   and_expr := unary (('&' | 'and') unary)*
+///   unary    := '!' unary | 'not' unary | '(' expr ')' | atom
+///   atom     := 'true'
+///            | 'size'     ('<=' | '>=') NUMBER
+///            | 'height'   '<=' NUMBER
+///            | 'span'     '<=' NUMBER
+///            | 'distance' '<=' NUMBER
+///            | 'root_depth' ('<=' | '>=') NUMBER
+///            | 'tags_within' '(' WORD (',' WORD)* ')'
+///            | 'keyword' '=' WORD
+///            | 'root_tag' '=' WORD
+///            | 'equal_depth' '(' WORD ',' WORD ')'
+StatusOr<algebra::FilterPtr> ParseFilterExpression(std::string_view input);
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_QUERY_H_

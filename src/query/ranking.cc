@@ -1,0 +1,61 @@
+#include "query/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace xfrag::query {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+std::vector<RankedAnswer> RankAnswers(const FragmentSet& answers,
+                                      const std::vector<std::string>& terms,
+                                      const doc::Document& document,
+                                      const text::InvertedIndex& index,
+                                      const RankingOptions& options) {
+  const double n = static_cast<double>(document.size());
+  // idf per term (case-folded once).
+  std::vector<std::pair<std::string, double>> term_idf;
+  term_idf.reserve(terms.size());
+  for (const auto& term : terms) {
+    std::string folded = AsciiToLower(term);
+    double df = static_cast<double>(index.DocumentFrequency(folded));
+    double idf = std::log(1.0 + n / std::max(df, 1.0));
+    term_idf.emplace_back(std::move(folded), idf);
+  }
+
+  std::vector<RankedAnswer> ranked;
+  ranked.reserve(answers.size());
+  for (const Fragment& fragment : answers) {
+    double evidence = 0.0;
+    for (const auto& [term, idf] : term_idf) {
+      // Count member nodes containing the term; iterate the smaller side.
+      const auto& postings = index.Lookup(term);
+      size_t hits = 0;
+      if (postings.size() < fragment.size()) {
+        for (doc::NodeId p : postings) {
+          if (fragment.ContainsNode(p)) ++hits;
+        }
+      } else {
+        for (doc::NodeId member : fragment.nodes()) {
+          if (index.Contains(term, member)) ++hits;
+        }
+      }
+      evidence += idf * static_cast<double>(hits);
+    }
+    double penalty =
+        1.0 + options.size_penalty *
+                  std::log(1.0 + static_cast<double>(fragment.size()));
+    ranked.emplace_back(fragment, evidence / penalty);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedAnswer& a, const RankedAnswer& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.fragment < b.fragment;
+            });
+  return ranked;
+}
+
+}  // namespace xfrag::query

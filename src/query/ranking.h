@@ -1,0 +1,53 @@
+// IR-style ranking of answer fragments. The paper deliberately stays within
+// database-style filtering but notes that "ranking techniques described in
+// those studies can be easily incorporated into our work" (§6) — this module
+// is that incorporation point: a small, deterministic TF-IDF-flavoured
+// scorer over the answer set, orthogonal to the algebra (it never changes
+// *which* fragments are answers, only their presentation order).
+
+#ifndef XFRAG_QUERY_RANKING_H_
+#define XFRAG_QUERY_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/fragment_set.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::query {
+
+/// Scoring knobs.
+struct RankingOptions {
+  /// Weight of the size penalty: larger fragments dilute their keyword
+  /// evidence. 0 disables the penalty.
+  double size_penalty = 1.0;
+};
+
+/// An answer with its score.
+struct RankedAnswer {
+  algebra::Fragment fragment;
+  double score = 0.0;
+
+  RankedAnswer(algebra::Fragment f, double s)
+      : fragment(std::move(f)), score(s) {}
+};
+
+/// \brief Scores and orders `answers` for the query `terms`, best first.
+///
+/// score(f) = Σ_t idf(t) · |{n ∈ f : t ∈ keywords(n)}|
+///            ──────────────────────────────────────────
+///                 1 + size_penalty · ln(1 + |f|)
+///
+/// with idf(t) = ln(1 + N / df(t)) over the document's N nodes. Dense,
+/// focused fragments outrank sprawling ones; rare terms count more than
+/// ubiquitous ones. Ties break on the canonical fragment order, so the
+/// result is fully deterministic.
+std::vector<RankedAnswer> RankAnswers(const algebra::FragmentSet& answers,
+                                      const std::vector<std::string>& terms,
+                                      const doc::Document& document,
+                                      const text::InvertedIndex& index,
+                                      const RankingOptions& options = {});
+
+}  // namespace xfrag::query
+
+#endif  // XFRAG_QUERY_RANKING_H_

@@ -1,0 +1,259 @@
+#include "rel/engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xfrag::rel {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+using doc::NodeId;
+
+StatusOr<RelationalEngine> RelationalEngine::Create(
+    const doc::Document& document, const text::InvertedIndex& index) {
+  auto shredded = Shred(document, index);
+  if (!shredded.ok()) return shredded.status();
+  return RelationalEngine(std::move(shredded).value());
+}
+
+StatusOr<RelationalEngine::NodeRow> RelationalEngine::FetchNode(int64_t id) {
+  ++metrics_.node_fetches;
+  OperatorPtr scan = IndexScan(*shredded_.node, "id", Value(id));
+  auto rows = Collect(scan.get());
+  if (!rows.ok()) return rows.status();
+  if (rows->size() != 1) {
+    return Status::Internal(
+        StrFormat("node table has %zu rows for id %lld", rows->size(),
+                  static_cast<long long>(id)));
+  }
+  const Row& row = (*rows)[0];
+  return NodeRow{row[1].AsInt64(), row[2].AsInt64()};
+}
+
+StatusOr<std::vector<NodeId>> RelationalEngine::FetchPostings(
+    const std::string& term) {
+  ++metrics_.kw_probes;
+  OperatorPtr scan =
+      Project(IndexScan(*shredded_.kw, "term", Value(term)), {"node"});
+  auto rows = Collect(scan.get());
+  if (!rows.ok()) return rows.status();
+  std::vector<NodeId> out;
+  out.reserve(rows->size());
+  for (const Row& row : *rows) {
+    out.push_back(static_cast<NodeId>(row[0].AsInt64()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<Fragment> RelationalEngine::JoinRel(const Fragment& f1,
+                                             const Fragment& f2) {
+  ++metrics_.fragment_joins;
+  if (f1.ContainsFragment(f2)) return f1;
+  if (f2.ContainsFragment(f1)) return f2;
+  // Walk the two roots up to their LCA, fetching (parent, depth) rows
+  // through the relational engine only.
+  int64_t a = f1.root();
+  int64_t b = f2.root();
+  std::vector<NodeId> path;
+  auto a_row = FetchNode(a);
+  if (!a_row.ok()) return a_row.status();
+  auto b_row = FetchNode(b);
+  if (!b_row.ok()) return b_row.status();
+  int64_t depth_a = a_row->depth;
+  int64_t depth_b = b_row->depth;
+  int64_t parent_a = a_row->parent;
+  int64_t parent_b = b_row->parent;
+  path.push_back(static_cast<NodeId>(a));
+  path.push_back(static_cast<NodeId>(b));
+  while (depth_a > depth_b) {
+    a = parent_a;
+    path.push_back(static_cast<NodeId>(a));
+    auto row = FetchNode(a);
+    if (!row.ok()) return row.status();
+    parent_a = row->parent;
+    --depth_a;
+  }
+  while (depth_b > depth_a) {
+    b = parent_b;
+    path.push_back(static_cast<NodeId>(b));
+    auto row = FetchNode(b);
+    if (!row.ok()) return row.status();
+    parent_b = row->parent;
+    --depth_b;
+  }
+  while (a != b) {
+    a = parent_a;
+    b = parent_b;
+    path.push_back(static_cast<NodeId>(a));
+    path.push_back(static_cast<NodeId>(b));
+    auto row_a = FetchNode(a);
+    if (!row_a.ok()) return row_a.status();
+    auto row_b = FetchNode(b);
+    if (!row_b.ok()) return row_b.status();
+    parent_a = row_a->parent;
+    parent_b = row_b->parent;
+  }
+  std::vector<NodeId> nodes = f1.nodes();
+  nodes.insert(nodes.end(), f2.nodes().begin(), f2.nodes().end());
+  nodes.insert(nodes.end(), path.begin(), path.end());
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return Fragment::FromSortedUnchecked(std::move(nodes));
+}
+
+StatusOr<bool> RelationalEngine::MatchesRel(const Fragment& f,
+                                            const RelFilter& filter) {
+  if (filter.size_at_most && f.size() > *filter.size_at_most) return false;
+  if (filter.span_at_most &&
+      f.nodes().back() - f.nodes().front() > *filter.span_at_most) {
+    return false;
+  }
+  if (filter.height_at_most) {
+    auto root_row = FetchNode(f.root());
+    if (!root_row.ok()) return root_row.status();
+    int64_t max_depth = root_row->depth;
+    for (NodeId n : f.nodes()) {
+      auto row = FetchNode(n);
+      if (!row.ok()) return row.status();
+      max_depth = std::max(max_depth, row->depth);
+    }
+    if (max_depth - root_row->depth >
+        static_cast<int64_t>(*filter.height_at_most)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<FragmentSet> RelationalEngine::ReduceRel(const FragmentSet& set) {
+  const size_t n = set.size();
+  std::vector<bool> eliminated(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      auto joined = JoinRel(set[i], set[j]);
+      if (!joined.ok()) return joined.status();
+      for (size_t t = 0; t < n; ++t) {
+        if (t == i || t == j || eliminated[t]) continue;
+        if (joined->ContainsFragment(set[t])) eliminated[t] = true;
+      }
+    }
+  }
+  FragmentSet out;
+  for (size_t t = 0; t < n; ++t) {
+    if (!eliminated[t]) out.Insert(set[t]);
+  }
+  return out;
+}
+
+StatusOr<FragmentSet> RelationalEngine::FixedPointRel(
+    const FragmentSet& base, const RelFilter& filter,
+    const RelEvalOptions& options) {
+  FragmentSet current = base;
+  if (options.push_down) {
+    FragmentSet selected;
+    for (const Fragment& f : current) {
+      auto ok = MatchesRel(f, filter);
+      if (!ok.ok()) return ok.status();
+      if (*ok) selected.Insert(f);
+    }
+    current = std::move(selected);
+  }
+  FragmentSet seed = current;
+
+  // Theorem-1 variant: k − 1 unchecked pairwise self-joins over the
+  // unfiltered base (sound only without per-iteration filtering).
+  if (!options.push_down && options.use_reduced_fixed_point) {
+    if (seed.size() <= 1) return seed;
+    auto reduced = ReduceRel(seed);
+    if (!reduced.ok()) return reduced.status();
+    size_t k = std::max<size_t>(reduced->size(), 1);
+    for (size_t i = 1; i < k; ++i) {
+      FragmentSet next;
+      for (const Fragment& f1 : current) {
+        for (const Fragment& f2 : seed) {
+          auto joined = JoinRel(f1, f2);
+          if (!joined.ok()) return joined.status();
+          next.Insert(std::move(*joined));
+        }
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  while (true) {
+    FragmentSet next = current;
+    for (const Fragment& f1 : current) {
+      for (const Fragment& f2 : seed) {
+        auto joined = JoinRel(f1, f2);
+        if (!joined.ok()) return joined.status();
+        if (options.push_down) {
+          auto ok = MatchesRel(*joined, filter);
+          if (!ok.ok()) return ok.status();
+          if (!*ok) continue;
+        }
+        next.Insert(std::move(*joined));
+      }
+    }
+    if (next.size() == current.size()) return next;
+    current = std::move(next);
+  }
+}
+
+StatusOr<FragmentSet> RelationalEngine::Evaluate(
+    const std::vector<std::string>& terms, const RelFilter& filter,
+    const RelEvalOptions& options) {
+  metrics_ = RelMetrics();
+  if (terms.empty()) {
+    return Status::InvalidArgument("query must contain at least one term");
+  }
+  // Base selections via kw-index probes.
+  std::vector<FragmentSet> bases;
+  for (const std::string& term : terms) {
+    auto postings = FetchPostings(AsciiToLower(term));
+    if (!postings.ok()) return postings.status();
+    FragmentSet base;
+    for (NodeId n : *postings) base.Insert(Fragment::Single(n));
+    if (base.empty()) return FragmentSet();  // Conjunctive semantics.
+    bases.push_back(std::move(base));
+  }
+
+  // Fixed points, then the pairwise-join chain (Theorem 2 generalized).
+  std::vector<FragmentSet> fixed_points;
+  for (const FragmentSet& base : bases) {
+    auto fp = FixedPointRel(base, filter, options);
+    if (!fp.ok()) return fp.status();
+    fixed_points.push_back(std::move(*fp));
+  }
+  FragmentSet acc = fixed_points[0];
+  for (size_t i = 1; i < fixed_points.size(); ++i) {
+    FragmentSet joined;
+    for (const Fragment& f1 : acc) {
+      for (const Fragment& f2 : fixed_points[i]) {
+        auto j = JoinRel(f1, f2);
+        if (!j.ok()) return j.status();
+        if (options.push_down) {
+          auto ok = MatchesRel(*j, filter);
+          if (!ok.ok()) return ok.status();
+          if (!*ok) continue;
+        }
+        joined.Insert(std::move(*j));
+      }
+    }
+    acc = std::move(joined);
+  }
+
+  // Final selection (no-op when pushed down, but keeps the two paths
+  // equivalent even for future non-anti-monotonic members of RelFilter).
+  FragmentSet answers;
+  for (const Fragment& f : acc) {
+    auto ok = MatchesRel(f, filter);
+    if (!ok.ok()) return ok.status();
+    if (*ok) answers.Insert(f);
+  }
+  return answers;
+}
+
+}  // namespace xfrag::rel

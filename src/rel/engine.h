@@ -1,0 +1,109 @@
+// Relational evaluation of the fragment algebra, per the paper's claim that
+// "the model can be easily implemented on top of an existing relational
+// database" (§7, citing [13]). All structural accesses — posting lookups,
+// parent-chain walks for fragment joins, depth fetches for filters — go
+// through the relational operators over the shredded tables; the native
+// doc::Document is never touched after shredding. Integration tests check
+// answer equality against the native engine.
+
+#ifndef XFRAG_REL_ENGINE_H_
+#define XFRAG_REL_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/fragment_set.h"
+#include "rel/operator.h"
+#include "rel/shredder.h"
+
+namespace xfrag::rel {
+
+/// Structural filter with anti-monotonic members only (the push-down-safe
+/// subset of the native filter library, expressed relationally).
+struct RelFilter {
+  std::optional<uint32_t> size_at_most;
+  std::optional<uint32_t> height_at_most;
+  std::optional<uint32_t> span_at_most;
+
+  bool IsTrivial() const {
+    return !size_at_most && !height_at_most && !span_at_most;
+  }
+};
+
+/// Evaluation options.
+struct RelEvalOptions {
+  /// Apply the filter inside every join iteration (Theorem 3 push-down)
+  /// rather than only on the final result.
+  bool push_down = true;
+  /// Compute unfiltered fixed points via the Theorem-1 reduced iteration
+  /// count (a relational ⊖ pass) instead of convergence checking. Only
+  /// used when push_down is false (the filtered closure needs checking).
+  bool use_reduced_fixed_point = false;
+};
+
+/// Work counters (row fetches approximate page accesses a DBMS would do).
+struct RelMetrics {
+  uint64_t node_fetches = 0;
+  uint64_t kw_probes = 0;
+  uint64_t fragment_joins = 0;
+};
+
+/// \brief Fragment-algebra evaluator over shredded relations.
+class RelationalEngine {
+ public:
+  /// \brief Shreds `document` + `index` and builds the engine.
+  static StatusOr<RelationalEngine> Create(const doc::Document& document,
+                                           const text::InvertedIndex& index);
+
+  /// \brief Evaluates the conjunctive keyword query `terms` with `filter`:
+  /// σ_filter(F1 ⋈* ... ⋈* Fm), fixed points via convergence checking.
+  StatusOr<algebra::FragmentSet> Evaluate(
+      const std::vector<std::string>& terms, const RelFilter& filter,
+      const RelEvalOptions& options = {});
+
+  /// Work counters of the last Evaluate call.
+  const RelMetrics& metrics() const { return metrics_; }
+
+  /// Access to the shredded tables (for the examples and tests).
+  const Table& node_table() const { return *shredded_.node; }
+  const Table& kw_table() const { return *shredded_.kw; }
+
+ private:
+  explicit RelationalEngine(ShreddedDocument shredded)
+      : shredded_(std::move(shredded)) {}
+
+  struct NodeRow {
+    int64_t parent;
+    int64_t depth;
+  };
+
+  /// Fetches (parent, depth) of `id` through an index scan on node.id.
+  StatusOr<NodeRow> FetchNode(int64_t id);
+
+  /// Posting list of `term` through an index scan on kw.term.
+  StatusOr<std::vector<doc::NodeId>> FetchPostings(const std::string& term);
+
+  /// Fragment join via relational parent-chain walks.
+  StatusOr<algebra::Fragment> JoinRel(const algebra::Fragment& f1,
+                                      const algebra::Fragment& f2);
+
+  /// Filter evaluation using relational depth fetches.
+  StatusOr<bool> MatchesRel(const algebra::Fragment& f,
+                            const RelFilter& filter);
+
+  StatusOr<algebra::FragmentSet> FixedPointRel(
+      const algebra::FragmentSet& base, const RelFilter& filter,
+      const RelEvalOptions& options);
+
+  /// ⊖ via relational joins only (Definition 10).
+  StatusOr<algebra::FragmentSet> ReduceRel(const algebra::FragmentSet& set);
+
+  ShreddedDocument shredded_;
+  RelMetrics metrics_;
+};
+
+}  // namespace xfrag::rel
+
+#endif  // XFRAG_REL_ENGINE_H_

@@ -1,0 +1,200 @@
+#include "rel/expr.h"
+
+#include "common/logging.h"
+
+namespace xfrag::rel {
+
+namespace expr {
+
+namespace {
+
+std::string_view OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ApplyOp(const Value& left, CompareOp op, const Value& right) {
+  switch (op) {
+    case CompareOp::kEq:
+      return left == right;
+    case CompareOp::kNe:
+      return left != right;
+    case CompareOp::kLt:
+      return left < right;
+    case CompareOp::kLe:
+      return left <= right;
+    case CompareOp::kGt:
+      return left > right;
+    case CompareOp::kGe:
+      return left >= right;
+  }
+  return false;
+}
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  Status Bind(const Schema& schema) const override {
+    auto index = schema.IndexOf(column_);
+    if (!index.ok()) return index.status();
+    column_index_ = index.value();
+    return Status::OK();
+  }
+
+  bool EvaluateBool(const Row& row) const override {
+    XFRAG_DCHECK(column_index_ != kUnbound);
+    return ApplyOp(row[column_index_], op_, literal_);
+  }
+
+  std::string ToString() const override {
+    return column_ + std::string(OpName(op_)) + literal_.ToString();
+  }
+
+ private:
+  static constexpr size_t kUnbound = static_cast<size_t>(-1);
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+  mutable size_t column_index_ = kUnbound;
+};
+
+class CompareColumnsExpr final : public Expr {
+ public:
+  CompareColumnsExpr(std::string left, CompareOp op, std::string right)
+      : left_(std::move(left)), op_(op), right_(std::move(right)) {}
+
+  Status Bind(const Schema& schema) const override {
+    auto l = schema.IndexOf(left_);
+    if (!l.ok()) return l.status();
+    auto r = schema.IndexOf(right_);
+    if (!r.ok()) return r.status();
+    left_index_ = l.value();
+    right_index_ = r.value();
+    return Status::OK();
+  }
+
+  bool EvaluateBool(const Row& row) const override {
+    return ApplyOp(row[left_index_], op_, row[right_index_]);
+  }
+
+  std::string ToString() const override {
+    return left_ + std::string(OpName(op_)) + right_;
+  }
+
+ private:
+  std::string left_;
+  CompareOp op_;
+  std::string right_;
+  mutable size_t left_index_ = 0;
+  mutable size_t right_index_ = 0;
+};
+
+class AndExpr final : public Expr {
+ public:
+  AndExpr(ExprPtr left, ExprPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+  Status Bind(const Schema& schema) const override {
+    XFRAG_RETURN_NOT_OK(left_->Bind(schema));
+    return right_->Bind(schema);
+  }
+  bool EvaluateBool(const Row& row) const override {
+    return left_->EvaluateBool(row) && right_->EvaluateBool(row);
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class OrExpr final : public Expr {
+ public:
+  OrExpr(ExprPtr left, ExprPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+  Status Bind(const Schema& schema) const override {
+    XFRAG_RETURN_NOT_OK(left_->Bind(schema));
+    return right_->Bind(schema);
+  }
+  bool EvaluateBool(const Row& row) const override {
+    return left_->EvaluateBool(row) || right_->EvaluateBool(row);
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Status Bind(const Schema& schema) const override {
+    return inner_->Bind(schema);
+  }
+  bool EvaluateBool(const Row& row) const override {
+    return !inner_->EvaluateBool(row);
+  }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+class TrueExpr final : public Expr {
+ public:
+  Status Bind(const Schema&) const override { return Status::OK(); }
+  bool EvaluateBool(const Row&) const override { return true; }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+}  // namespace
+
+ExprPtr Compare(std::string column, CompareOp op, Value literal) {
+  return std::make_shared<CompareExpr>(std::move(column), op,
+                                       std::move(literal));
+}
+
+ExprPtr CompareColumns(std::string left, CompareOp op, std::string right) {
+  return std::make_shared<CompareColumnsExpr>(std::move(left), op,
+                                              std::move(right));
+}
+
+ExprPtr And(ExprPtr left, ExprPtr right) {
+  return std::make_shared<AndExpr>(std::move(left), std::move(right));
+}
+
+ExprPtr Or(ExprPtr left, ExprPtr right) {
+  return std::make_shared<OrExpr>(std::move(left), std::move(right));
+}
+
+ExprPtr Not(ExprPtr inner) { return std::make_shared<NotExpr>(std::move(inner)); }
+
+ExprPtr True() {
+  static const ExprPtr instance = std::make_shared<TrueExpr>();
+  return instance;
+}
+
+}  // namespace expr
+
+}  // namespace xfrag::rel

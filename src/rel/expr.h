@@ -1,0 +1,58 @@
+// Scalar expressions over rows: column references, literals, comparisons,
+// and boolean connectives. Used by the Filter and HashJoin operators.
+
+#ifndef XFRAG_REL_EXPR_H_
+#define XFRAG_REL_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rel/table.h"
+
+namespace xfrag::rel {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief An immutable scalar expression.
+///
+/// Expressions are built unbound (column references by name) and bound to a
+/// schema once before evaluation; binding resolves names to positions so the
+/// per-row evaluation path does no string work.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Resolves column references against `schema`. Must be called (on the
+  /// root) before Evaluate; returns an error for unknown columns.
+  virtual Status Bind(const Schema& schema) const = 0;
+
+  /// Evaluates to a boolean (predicates). Requires a successful Bind.
+  virtual bool EvaluateBool(const Row& row) const = 0;
+
+  /// Display form.
+  virtual std::string ToString() const = 0;
+};
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+namespace expr {
+
+/// column <op> literal.
+ExprPtr Compare(std::string column, CompareOp op, Value literal);
+/// column1 <op> column2.
+ExprPtr CompareColumns(std::string left, CompareOp op, std::string right);
+/// Boolean connectives.
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Not(ExprPtr inner);
+/// Constant truth.
+ExprPtr True();
+
+}  // namespace expr
+
+}  // namespace xfrag::rel
+
+#endif  // XFRAG_REL_EXPR_H_

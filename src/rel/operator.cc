@@ -1,0 +1,279 @@
+#include "rel/operator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace xfrag::rel {
+
+namespace {
+
+class SeqScanOp final : public Operator {
+ public:
+  explicit SeqScanOp(const Table& table) : table_(table) {}
+  const Schema& schema() const override { return table_.schema(); }
+  Status Open() override {
+    cursor_ = 0;
+    return Status::OK();
+  }
+  std::optional<Row> Next() override {
+    if (cursor_ >= table_.row_count()) return std::nullopt;
+    return table_.row(cursor_++);
+  }
+  void Close() override {}
+
+ private:
+  const Table& table_;
+  size_t cursor_ = 0;
+};
+
+class IndexScanOp final : public Operator {
+ public:
+  IndexScanOp(const Table& table, std::string column, Value key)
+      : table_(table), column_(std::move(column)), key_(std::move(key)) {}
+  const Schema& schema() const override { return table_.schema(); }
+  Status Open() override {
+    if (!table_.HasIndex(column_)) {
+      return Status::InvalidArgument("no index on column '" + column_ +
+                                     "' of table '" + table_.name() + "'");
+    }
+    matches_ = table_.IndexLookup(column_, key_);
+    cursor_ = 0;
+    return Status::OK();
+  }
+  std::optional<Row> Next() override {
+    if (cursor_ >= matches_.size()) return std::nullopt;
+    return table_.row(matches_[cursor_++]);
+  }
+  void Close() override { matches_.clear(); }
+
+ private:
+  const Table& table_;
+  std::string column_;
+  Value key_;
+  std::vector<size_t> matches_;
+  size_t cursor_ = 0;
+};
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override {
+    XFRAG_RETURN_NOT_OK(child_->Open());
+    return predicate_->Bind(child_->schema());
+  }
+  std::optional<Row> Next() override {
+    while (true) {
+      std::optional<Row> row = child_->Next();
+      if (!row.has_value()) return std::nullopt;
+      if (predicate_->EvaluateBool(*row)) return row;
+    }
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<std::string> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+  const Schema& schema() const override { return output_schema_; }
+  Status Open() override {
+    XFRAG_RETURN_NOT_OK(child_->Open());
+    indexes_.clear();
+    std::vector<Column> out_columns;
+    for (const std::string& name : columns_) {
+      auto index = child_->schema().IndexOf(name);
+      if (!index.ok()) return index.status();
+      indexes_.push_back(index.value());
+      out_columns.push_back(child_->schema().column(index.value()));
+    }
+    output_schema_ = Schema(std::move(out_columns));
+    return Status::OK();
+  }
+  std::optional<Row> Next() override {
+    std::optional<Row> row = child_->Next();
+    if (!row.has_value()) return std::nullopt;
+    Row out;
+    out.reserve(indexes_.size());
+    for (size_t index : indexes_) out.push_back((*row)[index]);
+    return out;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> columns_;
+  std::vector<size_t> indexes_;
+  Schema output_schema_;
+};
+
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, std::string left_key,
+             std::string right_key)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(std::move(left_key)),
+        right_key_(std::move(right_key)) {}
+
+  const Schema& schema() const override { return output_schema_; }
+
+  Status Open() override {
+    XFRAG_RETURN_NOT_OK(left_->Open());
+    XFRAG_RETURN_NOT_OK(right_->Open());
+    output_schema_ = Schema::Concat(left_->schema(), right_->schema());
+    auto left_index = left_->schema().IndexOf(left_key_);
+    if (!left_index.ok()) return left_index.status();
+    left_key_index_ = left_index.value();
+    auto right_index = right_->schema().IndexOf(right_key_);
+    if (!right_index.ok()) return right_index.status();
+    right_key_index_ = right_index.value();
+
+    // Build side: right input.
+    build_.clear();
+    while (true) {
+      std::optional<Row> row = right_->Next();
+      if (!row.has_value()) break;
+      build_[(*row)[right_key_index_].Hash()].push_back(std::move(*row));
+    }
+    pending_.clear();
+    pending_cursor_ = 0;
+    return Status::OK();
+  }
+
+  std::optional<Row> Next() override {
+    while (true) {
+      if (pending_cursor_ < pending_.size()) return pending_[pending_cursor_++];
+      std::optional<Row> left_row = left_->Next();
+      if (!left_row.has_value()) return std::nullopt;
+      pending_.clear();
+      pending_cursor_ = 0;
+      auto it = build_.find((*left_row)[left_key_index_].Hash());
+      if (it == build_.end()) continue;
+      for (const Row& right_row : it->second) {
+        if (right_row[right_key_index_] != (*left_row)[left_key_index_]) {
+          continue;  // Hash collision.
+        }
+        Row joined = *left_row;
+        joined.insert(joined.end(), right_row.begin(), right_row.end());
+        pending_.push_back(std::move(joined));
+      }
+    }
+  }
+
+  void Close() override {
+    left_->Close();
+    right_->Close();
+    build_.clear();
+    pending_.clear();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::string left_key_;
+  std::string right_key_;
+  size_t left_key_index_ = 0;
+  size_t right_key_index_ = 0;
+  Schema output_schema_;
+  std::unordered_map<uint64_t, std::vector<Row>> build_;
+  std::vector<Row> pending_;
+  size_t pending_cursor_ = 0;
+};
+
+class SortOp final : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<std::string> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override {
+    XFRAG_RETURN_NOT_OK(child_->Open());
+    std::vector<size_t> key_indexes;
+    for (const std::string& name : columns_) {
+      auto index = child_->schema().IndexOf(name);
+      if (!index.ok()) return index.status();
+      key_indexes.push_back(index.value());
+    }
+    rows_.clear();
+    while (true) {
+      std::optional<Row> row = child_->Next();
+      if (!row.has_value()) break;
+      rows_.push_back(std::move(*row));
+    }
+    std::sort(rows_.begin(), rows_.end(),
+              [&key_indexes](const Row& a, const Row& b) {
+                for (size_t k : key_indexes) {
+                  if (a[k] < b[k]) return true;
+                  if (b[k] < a[k]) return false;
+                }
+                return false;
+              });
+    cursor_ = 0;
+    return Status::OK();
+  }
+  std::optional<Row> Next() override {
+    if (cursor_ >= rows_.size()) return std::nullopt;
+    return rows_[cursor_++];
+  }
+  void Close() override {
+    child_->Close();
+    rows_.clear();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr SeqScan(const Table& table) {
+  return std::make_unique<SeqScanOp>(table);
+}
+
+OperatorPtr IndexScan(const Table& table, std::string column, Value key) {
+  return std::make_unique<IndexScanOp>(table, std::move(column),
+                                       std::move(key));
+}
+
+OperatorPtr Filter(OperatorPtr child, ExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+
+OperatorPtr Project(OperatorPtr child, std::vector<std::string> columns) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(columns));
+}
+
+OperatorPtr HashJoin(OperatorPtr left, OperatorPtr right, std::string left_key,
+                     std::string right_key) {
+  return std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                      std::move(left_key),
+                                      std::move(right_key));
+}
+
+OperatorPtr Sort(OperatorPtr child, std::vector<std::string> columns) {
+  return std::make_unique<SortOp>(std::move(child), std::move(columns));
+}
+
+StatusOr<std::vector<Row>> Collect(Operator* op) {
+  XFRAG_RETURN_NOT_OK(op->Open());
+  std::vector<Row> out;
+  while (true) {
+    std::optional<Row> row = op->Next();
+    if (!row.has_value()) break;
+    out.push_back(std::move(*row));
+  }
+  op->Close();
+  return out;
+}
+
+}  // namespace xfrag::rel

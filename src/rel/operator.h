@@ -1,0 +1,62 @@
+// Volcano-style physical operators over the row-store tables: sequential
+// scan, index scan, filter, projection, hash join, and sort.
+
+#ifndef XFRAG_REL_OPERATOR_H_
+#define XFRAG_REL_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/expr.h"
+#include "rel/table.h"
+
+namespace xfrag::rel {
+
+/// \brief Iterator-model operator: Open / Next / Close.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Output schema; valid after construction.
+  virtual const Schema& schema() const = 0;
+
+  /// Prepares the operator (binds expressions, builds hash tables).
+  virtual Status Open() = 0;
+
+  /// Returns the next row, or nullopt when exhausted.
+  virtual std::optional<Row> Next() = 0;
+
+  /// Releases resources; the operator may be re-Opened afterwards.
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full scan of `table` (which must outlive the operator).
+OperatorPtr SeqScan(const Table& table);
+
+/// Index-assisted scan: rows of `table` whose `column` equals `key`.
+OperatorPtr IndexScan(const Table& table, std::string column, Value key);
+
+/// Rows of `child` satisfying `predicate`.
+OperatorPtr Filter(OperatorPtr child, ExprPtr predicate);
+
+/// Column subset/reorder of `child` by name.
+OperatorPtr Project(OperatorPtr child, std::vector<std::string> columns);
+
+/// Hash equi-join of the children on left.`left_key` = right.`right_key`.
+/// The right input is built into the hash table (should be the smaller one).
+OperatorPtr HashJoin(OperatorPtr left, OperatorPtr right, std::string left_key,
+                     std::string right_key);
+
+/// Sorts `child` ascending by the named columns.
+OperatorPtr Sort(OperatorPtr child, std::vector<std::string> columns);
+
+/// \brief Drains `op` into a vector (Open → Next* → Close).
+StatusOr<std::vector<Row>> Collect(Operator* op);
+
+}  // namespace xfrag::rel
+
+#endif  // XFRAG_REL_OPERATOR_H_

@@ -1,0 +1,43 @@
+#include "rel/shredder.h"
+
+#include <algorithm>
+
+namespace xfrag::rel {
+
+StatusOr<ShreddedDocument> Shred(const doc::Document& document,
+                                 const text::InvertedIndex& index) {
+  ShreddedDocument out;
+  out.node = std::make_unique<Table>(
+      "node", Schema({{"id", ValueType::kInt64},
+                      {"parent", ValueType::kInt64},
+                      {"depth", ValueType::kInt64},
+                      {"subtree", ValueType::kInt64},
+                      {"tag", ValueType::kString}}));
+  for (doc::NodeId n = 0; n < document.size(); ++n) {
+    int64_t parent = document.parent(n) == doc::kNoNode
+                         ? -1
+                         : static_cast<int64_t>(document.parent(n));
+    XFRAG_RETURN_NOT_OK(out.node->Insert(
+        {Value(static_cast<int64_t>(n)), Value(parent),
+         Value(static_cast<int64_t>(document.depth(n))),
+         Value(static_cast<int64_t>(document.subtree_size(n))),
+         Value(document.tag(n))}));
+  }
+  XFRAG_RETURN_NOT_OK(out.node->CreateIndex("id"));
+
+  out.kw = std::make_unique<Table>(
+      "kw",
+      Schema({{"term", ValueType::kString}, {"node", ValueType::kInt64}}));
+  std::vector<std::string> terms = index.Terms();
+  std::sort(terms.begin(), terms.end());  // Deterministic row order.
+  for (const std::string& term : terms) {
+    for (doc::NodeId n : index.Lookup(term)) {
+      XFRAG_RETURN_NOT_OK(
+          out.kw->Insert({Value(term), Value(static_cast<int64_t>(n))}));
+    }
+  }
+  XFRAG_RETURN_NOT_OK(out.kw->CreateIndex("term"));
+  return out;
+}
+
+}  // namespace xfrag::rel

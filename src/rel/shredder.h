@@ -1,0 +1,34 @@
+// Shredding of a doc::Document into relations, following the mapping the
+// paper's companion work [13] describes for a relational implementation:
+//
+//   node(id INT64, parent INT64, depth INT64, subtree INT64, tag STRING)
+//   kw(term STRING, node INT64)
+//
+// `parent` is -1 for the root; `subtree` is the pre-order subtree size, so
+// descendant tests become range predicates (id <= x < id + subtree).
+
+#ifndef XFRAG_REL_SHREDDER_H_
+#define XFRAG_REL_SHREDDER_H_
+
+#include <memory>
+
+#include "doc/document.h"
+#include "rel/table.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::rel {
+
+/// The shredded form of one document.
+struct ShreddedDocument {
+  std::unique_ptr<Table> node;
+  std::unique_ptr<Table> kw;
+};
+
+/// \brief Shreds `document` (+ its keyword index) into relations, with hash
+/// indexes on node.id and kw.term.
+StatusOr<ShreddedDocument> Shred(const doc::Document& document,
+                                 const text::InvertedIndex& index);
+
+}  // namespace xfrag::rel
+
+#endif  // XFRAG_REL_SHREDDER_H_

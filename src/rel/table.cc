@@ -1,0 +1,109 @@
+#include "rel/table.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xfrag::rel {
+
+StatusOr<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> columns = left.columns();
+  for (const Column& column : right.columns()) {
+    bool duplicate = false;
+    for (const Column& existing : left.columns()) {
+      if (existing.name == column.name) {
+        duplicate = true;
+        break;
+      }
+    }
+    columns.push_back(
+        {duplicate ? "right." + column.name : column.name, column.type});
+  }
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += columns_[i].type == ValueType::kInt64 ? " INT64" : " STRING";
+  }
+  out += ")";
+  return out;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.column_count()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %zu", row.size(),
+                  schema_.column_count()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name + "'");
+    }
+  }
+  for (HashIndex& index : indexes_) {
+    index.buckets[row[index.column].Hash()].push_back(rows_.size());
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateIndex(std::string_view column_name) {
+  auto column = schema_.IndexOf(column_name);
+  if (!column.ok()) return column.status();
+  // Rebuild if already present.
+  for (HashIndex& index : indexes_) {
+    if (index.column == column.value()) {
+      index.buckets.clear();
+      for (size_t r = 0; r < rows_.size(); ++r) {
+        index.buckets[rows_[r][index.column].Hash()].push_back(r);
+      }
+      return Status::OK();
+    }
+  }
+  HashIndex index;
+  index.column = column.value();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    index.buckets[rows_[r][index.column].Hash()].push_back(r);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const Table::HashIndex* Table::FindIndex(std::string_view column_name) const {
+  auto column = schema_.IndexOf(column_name);
+  if (!column.ok()) return nullptr;
+  for (const HashIndex& index : indexes_) {
+    if (index.column == column.value()) return &index;
+  }
+  return nullptr;
+}
+
+bool Table::HasIndex(std::string_view column_name) const {
+  return FindIndex(column_name) != nullptr;
+}
+
+std::vector<size_t> Table::IndexLookup(std::string_view column_name,
+                                       const Value& key) const {
+  const HashIndex* index = FindIndex(column_name);
+  XFRAG_CHECK(index != nullptr);
+  auto it = index->buckets.find(key.Hash());
+  if (it == index->buckets.end()) return {};
+  std::vector<size_t> out;
+  for (size_t r : it->second) {
+    if (rows_[r][index->column] == key) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace xfrag::rel

@@ -1,0 +1,89 @@
+// Schema and row-store table with optional hash indexes.
+
+#ifndef XFRAG_REL_TABLE_H_
+#define XFRAG_REL_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace xfrag::rel {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// \brief An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t column_count() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of column `name`, or an error when absent.
+  StatusOr<size_t> IndexOf(std::string_view name) const;
+
+  /// Concatenation of two schemas (for join outputs); duplicate names get a
+  /// "right." prefix on the right side.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(id INT64, tag STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// \brief A row-store table with optional per-column hash indexes.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// \brief Appends a row; validates arity and column types.
+  Status Insert(Row row);
+
+  /// \brief Builds (or rebuilds) a hash index on column `column_name`.
+  Status CreateIndex(std::string_view column_name);
+
+  /// True iff an index exists on `column_name`.
+  bool HasIndex(std::string_view column_name) const;
+
+  /// \brief Row indexes whose `column_name` equals `key` (hash probe with
+  /// equality verification). Requires an index on that column.
+  std::vector<size_t> IndexLookup(std::string_view column_name,
+                                  const Value& key) const;
+
+ private:
+  struct HashIndex {
+    size_t column;
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  };
+
+  const HashIndex* FindIndex(std::string_view column_name) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<HashIndex> indexes_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace xfrag::rel
+
+#endif  // XFRAG_REL_TABLE_H_

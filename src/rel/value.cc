@@ -1,0 +1,27 @@
+#include "rel/value.h"
+
+namespace xfrag::rel {
+
+uint64_t Value::Hash() const {
+  uint64_t h;
+  if (type() == ValueType::kInt64) {
+    h = static_cast<uint64_t>(AsInt64()) * 0x9e3779b97f4a7c15ULL;
+  } else {
+    h = 0xcbf29ce484222325ULL;
+    for (char c : AsString()) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::string Value::ToString() const {
+  if (type() == ValueType::kInt64) return std::to_string(AsInt64());
+  return "'" + AsString() + "'";
+}
+
+}  // namespace xfrag::rel

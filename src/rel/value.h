@@ -1,0 +1,58 @@
+// Value, type, and row primitives for the miniature relational engine the
+// document shredder targets (paper §5/[13]: "the model can be easily
+// implemented on top of an existing relational database").
+
+#ifndef XFRAG_REL_VALUE_H_
+#define XFRAG_REL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xfrag::rel {
+
+/// Column data types.
+enum class ValueType {
+  kInt64,
+  kString,
+};
+
+/// \brief A single relational value (int64 or string).
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(data_) ? ValueType::kInt64
+                                                  : ValueType::kString;
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return data_ != other.data_; }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator<=(const Value& other) const { return data_ <= other.data_; }
+  bool operator>(const Value& other) const { return data_ > other.data_; }
+  bool operator>=(const Value& other) const { return data_ >= other.data_; }
+
+  /// Hash for join/index keys.
+  uint64_t Hash() const;
+
+  /// Display form ("42", "'abc'").
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+/// A tuple of values.
+using Row = std::vector<Value>;
+
+}  // namespace xfrag::rel
+
+#endif  // XFRAG_REL_VALUE_H_

@@ -1,0 +1,74 @@
+#include "storage/format.h"
+
+namespace xfrag::storage {
+
+void PutVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutString(std::string_view value, std::string* out) {
+  PutVarint(value.size(), out);
+  out->append(value);
+}
+
+void PutFixed64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+StatusOr<uint64_t> Reader::ReadVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) {
+      return Status::ParseError("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 63 && byte > 1) {
+      return Status::ParseError("varint overflows 64 bits");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+StatusOr<std::string> Reader::ReadString() {
+  auto length = ReadVarint();
+  if (!length.ok()) return length.status();
+  if (*length > remaining()) {
+    return Status::ParseError("truncated string payload");
+  }
+  std::string out(data_.substr(pos_, *length));
+  pos_ += *length;
+  return out;
+}
+
+StatusOr<uint64_t> Reader::ReadFixed64() {
+  if (remaining() < 8) return Status::ParseError("truncated fixed64");
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+             << (8 * i);
+  }
+  return value;
+}
+
+uint64_t Checksum(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace xfrag::storage

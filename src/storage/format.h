@@ -1,0 +1,54 @@
+// Low-level binary encoding primitives for the storage module: LEB128
+// varints, length-prefixed strings, and a 64-bit payload checksum. The
+// encoding is little-endian-independent (byte-oriented) and fully covered by
+// round-trip tests.
+
+#ifndef XFRAG_STORAGE_FORMAT_H_
+#define XFRAG_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xfrag::storage {
+
+/// \brief Appends an unsigned LEB128 varint.
+void PutVarint(uint64_t value, std::string* out);
+
+/// \brief Appends a length-prefixed string.
+void PutString(std::string_view value, std::string* out);
+
+/// \brief Appends a fixed 8-byte little-endian value.
+void PutFixed64(uint64_t value, std::string* out);
+
+/// \brief Sequential decoder over a byte buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  /// Reads one varint.
+  StatusOr<uint64_t> ReadVarint();
+
+  /// Reads one length-prefixed string.
+  StatusOr<std::string> ReadString();
+
+  /// Reads a fixed 8-byte value.
+  StatusOr<uint64_t> ReadFixed64();
+
+  /// Bytes remaining.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// \brief 64-bit checksum (FNV-1a with avalanche) of `data`.
+uint64_t Checksum(std::string_view data);
+
+}  // namespace xfrag::storage
+
+#endif  // XFRAG_STORAGE_FORMAT_H_

@@ -1,0 +1,249 @@
+#include "storage/storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "storage/format.h"
+
+namespace xfrag::storage {
+
+namespace {
+
+constexpr std::string_view kMagic = "XFRAGDB";
+constexpr uint64_t kFormatVersion = 1;
+constexpr uint64_t kDocumentSection = 1;
+constexpr uint64_t kIndexSection = 2;
+
+void EncodeDocument(const doc::Document& document, std::string* out) {
+  PutVarint(document.size(), out);
+  // Parents, shifted so the root's kNoNode encodes as 0.
+  for (doc::NodeId n = 0; n < document.size(); ++n) {
+    uint64_t encoded =
+        document.parent(n) == doc::kNoNode
+            ? 0
+            : static_cast<uint64_t>(document.parent(n)) + 1;
+    PutVarint(encoded, out);
+  }
+  // Tag dictionary.
+  std::vector<std::string> dictionary;
+  std::unordered_map<std::string, uint64_t> tag_ids;
+  std::vector<uint64_t> node_tags;
+  node_tags.reserve(document.size());
+  for (doc::NodeId n = 0; n < document.size(); ++n) {
+    auto [it, inserted] = tag_ids.emplace(document.tag(n), dictionary.size());
+    if (inserted) dictionary.push_back(document.tag(n));
+    node_tags.push_back(it->second);
+  }
+  PutVarint(dictionary.size(), out);
+  for (const std::string& tag : dictionary) PutString(tag, out);
+  for (uint64_t id : node_tags) PutVarint(id, out);
+  // Texts.
+  for (doc::NodeId n = 0; n < document.size(); ++n) {
+    PutString(document.text(n), out);
+  }
+}
+
+StatusOr<doc::Document> DecodeDocument(std::string_view payload) {
+  Reader reader(payload);
+  auto count = reader.ReadVarint();
+  if (!count.ok()) return count.status();
+  if (*count == 0) return Status::ParseError("document with zero nodes");
+  if (*count > (uint64_t{1} << 32)) {
+    return Status::ParseError("implausible node count");
+  }
+  std::vector<doc::NodeId> parents;
+  parents.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto encoded = reader.ReadVarint();
+    if (!encoded.ok()) return encoded.status();
+    parents.push_back(*encoded == 0
+                          ? doc::kNoNode
+                          : static_cast<doc::NodeId>(*encoded - 1));
+  }
+  auto dictionary_size = reader.ReadVarint();
+  if (!dictionary_size.ok()) return dictionary_size.status();
+  std::vector<std::string> dictionary;
+  for (uint64_t i = 0; i < *dictionary_size; ++i) {
+    auto tag = reader.ReadString();
+    if (!tag.ok()) return tag.status();
+    dictionary.push_back(std::move(*tag));
+  }
+  std::vector<std::string> tags;
+  tags.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto id = reader.ReadVarint();
+    if (!id.ok()) return id.status();
+    if (*id >= dictionary.size()) {
+      return Status::ParseError("tag id out of dictionary range");
+    }
+    tags.push_back(dictionary[*id]);
+  }
+  std::vector<std::string> texts;
+  texts.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto text = reader.ReadString();
+    if (!text.ok()) return text.status();
+    texts.push_back(std::move(*text));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("trailing bytes in document section");
+  }
+  return doc::Document::FromParents(std::move(parents), std::move(tags),
+                                    std::move(texts));
+}
+
+void EncodeIndex(const text::InvertedIndex& index, std::string* out) {
+  std::vector<std::string> terms = index.Terms();
+  std::sort(terms.begin(), terms.end());  // Deterministic encoding.
+  PutVarint(terms.size(), out);
+  for (const std::string& term : terms) {
+    PutString(term, out);
+    const auto& postings = index.Lookup(term);
+    PutVarint(postings.size(), out);
+    doc::NodeId previous = 0;
+    for (doc::NodeId n : postings) {
+      PutVarint(n - previous, out);  // Delta encoding; lists are sorted.
+      previous = n;
+    }
+  }
+}
+
+StatusOr<text::InvertedIndex> DecodeIndex(std::string_view payload) {
+  Reader reader(payload);
+  auto term_count = reader.ReadVarint();
+  if (!term_count.ok()) return term_count.status();
+  std::unordered_map<std::string, std::vector<doc::NodeId>> postings;
+  postings.reserve(*term_count);
+  for (uint64_t t = 0; t < *term_count; ++t) {
+    auto term = reader.ReadString();
+    if (!term.ok()) return term.status();
+    auto posting_count = reader.ReadVarint();
+    if (!posting_count.ok()) return posting_count.status();
+    std::vector<doc::NodeId> list;
+    list.reserve(*posting_count);
+    uint64_t current = 0;
+    for (uint64_t i = 0; i < *posting_count; ++i) {
+      auto delta = reader.ReadVarint();
+      if (!delta.ok()) return delta.status();
+      current += *delta;
+      if (current > (uint64_t{1} << 32)) {
+        return Status::ParseError("posting id out of range");
+      }
+      list.push_back(static_cast<doc::NodeId>(current));
+    }
+    postings.emplace(std::move(*term), std::move(list));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("trailing bytes in index section");
+  }
+  return text::InvertedIndex::FromPostings(std::move(postings));
+}
+
+void AppendSection(uint64_t kind, std::string payload, std::string* out) {
+  PutVarint(kind, out);
+  PutString(payload, out);
+}
+
+}  // namespace
+
+std::string WriteBundle(const doc::Document& document,
+                        const text::InvertedIndex* index) {
+  std::string sections;
+  std::string document_payload;
+  EncodeDocument(document, &document_payload);
+  AppendSection(kDocumentSection, std::move(document_payload), &sections);
+  if (index != nullptr) {
+    std::string index_payload;
+    EncodeIndex(*index, &index_payload);
+    AppendSection(kIndexSection, std::move(index_payload), &sections);
+  }
+  std::string out;
+  out.append(kMagic);
+  PutVarint(kFormatVersion, &out);
+  PutString(sections, &out);
+  PutFixed64(Checksum(sections), &out);
+  return out;
+}
+
+StatusOr<Bundle> ReadBundle(std::string_view data) {
+  if (data.substr(0, kMagic.size()) != kMagic) {
+    return Status::ParseError("not an xfrag bundle (bad magic)");
+  }
+  Reader reader(data.substr(kMagic.size()));
+  auto version = reader.ReadVarint();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported bundle version %llu",
+                  static_cast<unsigned long long>(*version)));
+  }
+  auto sections = reader.ReadString();
+  if (!sections.ok()) return sections.status();
+  auto checksum = reader.ReadFixed64();
+  if (!checksum.ok()) return checksum.status();
+  if (*checksum != Checksum(*sections)) {
+    return Status::ParseError("bundle checksum mismatch (corrupt file)");
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("trailing bytes after bundle checksum");
+  }
+
+  Reader section_reader(*sections);
+  std::optional<doc::Document> document;
+  std::optional<text::InvertedIndex> index;
+  while (!section_reader.AtEnd()) {
+    auto kind = section_reader.ReadVarint();
+    if (!kind.ok()) return kind.status();
+    auto payload = section_reader.ReadString();
+    if (!payload.ok()) return payload.status();
+    if (*kind == kDocumentSection) {
+      auto decoded = DecodeDocument(*payload);
+      if (!decoded.ok()) return decoded.status();
+      document.emplace(std::move(*decoded));
+    } else if (*kind == kIndexSection) {
+      auto decoded = DecodeIndex(*payload);
+      if (!decoded.ok()) return decoded.status();
+      index.emplace(std::move(*decoded));
+    }
+    // Unknown sections are skipped (forward compatibility).
+  }
+  if (!document.has_value()) {
+    return Status::ParseError("bundle has no document section");
+  }
+  Bundle bundle(std::move(*document));
+  bundle.index = std::move(index);
+  return bundle;
+}
+
+Status SaveBundleToFile(const std::string& path,
+                        const doc::Document& document,
+                        const text::InvertedIndex* index) {
+  std::string data = WriteBundle(document, index);
+  std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open '" + temp + "' for writing");
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::Internal("short write to '" + temp + "'");
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<Bundle> LoadBundleFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadBundle(buffer.str());
+}
+
+}  // namespace xfrag::storage

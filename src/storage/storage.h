@@ -1,0 +1,52 @@
+// Binary persistence of documents and indexes ("bundles"): parse/index once,
+// reload instantly. Format (all multi-byte integers are LEB128 varints):
+//
+//   bundle  := MAGIC version sections checksum(fixed64, over all sections)
+//   section := kind(varint) payload-length(varint) payload
+//     kind 1 — document: node-count, parents (+1 so the root's "no parent"
+//              encodes as 0), tag dictionary + per-node tag ids, texts
+//     kind 2 — index: term-count, then per term: term, posting-count,
+//              delta-encoded node ids
+//
+// The checksum covers every section byte; LoadBundle verifies it before
+// decoding, so corrupt or truncated files are rejected with ParseError.
+
+#ifndef XFRAG_STORAGE_STORAGE_H_
+#define XFRAG_STORAGE_STORAGE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "doc/document.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::storage {
+
+/// A loaded bundle: a document plus (optionally) its persisted index.
+struct Bundle {
+  doc::Document document;
+  std::optional<text::InvertedIndex> index;
+
+  explicit Bundle(doc::Document d) : document(std::move(d)) {}
+};
+
+/// \brief Serializes a document (and optionally its index) into a bundle.
+std::string WriteBundle(const doc::Document& document,
+                        const text::InvertedIndex* index = nullptr);
+
+/// \brief Parses and validates a bundle.
+StatusOr<Bundle> ReadBundle(std::string_view data);
+
+/// \brief Writes a bundle to `path` (atomically via rename).
+Status SaveBundleToFile(const std::string& path,
+                        const doc::Document& document,
+                        const text::InvertedIndex* index = nullptr);
+
+/// \brief Loads a bundle from `path`.
+StatusOr<Bundle> LoadBundleFromFile(const std::string& path);
+
+}  // namespace xfrag::storage
+
+#endif  // XFRAG_STORAGE_STORAGE_H_

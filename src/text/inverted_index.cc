@@ -1,0 +1,74 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xfrag::text {
+
+InvertedIndex InvertedIndex::Build(const doc::Document& document,
+                                   const IndexOptions& options) {
+  InvertedIndex index;
+  index.normalization_ = options.tokenizer;
+  for (doc::NodeId n = 0; n < document.size(); ++n) {
+    std::vector<std::string> tokens =
+        Tokenize(document.text(n), options.tokenizer);
+    if (options.index_tag_names) {
+      auto tag_tokens = Tokenize(document.tag(n), options.tokenizer);
+      tokens.insert(tokens.end(), tag_tokens.begin(), tag_tokens.end());
+    }
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (auto& token : tokens) {
+      index.postings_[std::move(token)].push_back(n);
+      ++index.posting_count_;
+    }
+  }
+  // Postings are built in increasing n, hence already sorted.
+  return index;
+}
+
+StatusOr<InvertedIndex> InvertedIndex::FromPostings(
+    std::unordered_map<std::string, std::vector<doc::NodeId>> postings) {
+  InvertedIndex index;
+  for (auto& [term, list] : postings) {
+    if (term.empty()) {
+      return Status::InvalidArgument("empty term in posting map");
+    }
+    if (term != AsciiToLower(term)) {
+      return Status::InvalidArgument("term '" + term + "' is not lowercase");
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i > 0 && list[i] <= list[i - 1]) {
+        return Status::InvalidArgument("posting list for '" + term +
+                                       "' is not sorted and unique");
+      }
+    }
+    index.posting_count_ += list.size();
+  }
+  index.postings_ = std::move(postings);
+  return index;
+}
+
+const std::vector<doc::NodeId>& InvertedIndex::Lookup(
+    std::string_view term) const {
+  std::string folded = AsciiToLower(term);
+  if (normalization_.fold_plurals) folded = FoldPlural(std::move(folded));
+  auto it = postings_.find(folded);
+  if (it == postings_.end()) return empty_;
+  return it->second;
+}
+
+bool InvertedIndex::Contains(std::string_view term, doc::NodeId node) const {
+  const auto& list = Lookup(term);
+  return std::binary_search(list.begin(), list.end(), node);
+}
+
+std::vector<std::string> InvertedIndex::Terms() const {
+  std::vector<std::string> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, _] : postings_) out.push_back(term);
+  return out;
+}
+
+}  // namespace xfrag::text

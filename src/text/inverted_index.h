@@ -1,0 +1,78 @@
+// Inverted index mapping each term to the sorted list of document nodes whose
+// own textual content contains it. This implements the paper's base keyword
+// selection σ_{keyword=k}(nodes(D)) (Definition 3) and the membership test
+// k ∈ keywords(n) used by Definition 8.
+//
+// The paper performs no other preprocessing ("no preprocessing of data is
+// carried out and all answer fragments are computed dynamically", §6) — the
+// index only materialises keywords(n), not fragments.
+
+#ifndef XFRAG_TEXT_INVERTED_INDEX_H_
+#define XFRAG_TEXT_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "doc/document.h"
+#include "text/tokenizer.h"
+
+namespace xfrag::text {
+
+/// Indexing configuration. Tag names are optionally indexed as terms too
+/// (the paper "does not distinguish between tag/attribute names and text
+/// contents", §2.1).
+struct IndexOptions {
+  TokenizerOptions tokenizer;
+  bool index_tag_names = true;
+};
+
+/// \brief Term → posting-list index over one Document.
+class InvertedIndex {
+ public:
+  /// \brief Indexes every node of `document`. The document must outlive the
+  /// index.
+  static InvertedIndex Build(const doc::Document& document,
+                             const IndexOptions& options = {});
+
+  /// \brief Reconstructs an index from term → sorted posting list pairs
+  /// (the storage module's deserialization path). Lists must be sorted and
+  /// duplicate-free; returns InvalidArgument otherwise.
+  static StatusOr<InvertedIndex> FromPostings(
+      std::unordered_map<std::string, std::vector<doc::NodeId>> postings);
+
+  /// Sorted node ids whose keywords(n) contains `term`. The term is
+  /// normalized exactly as the index's tokenizer normalized node text
+  /// (lowercasing, and plural folding when enabled), so query terms match
+  /// regardless of surface form. Empty vector when the term is absent.
+  const std::vector<doc::NodeId>& Lookup(std::string_view term) const;
+
+  /// True iff `term` appears in keywords(node).
+  bool Contains(std::string_view term, doc::NodeId node) const;
+
+  /// Number of distinct terms.
+  size_t term_count() const { return postings_.size(); }
+
+  /// Total number of postings.
+  size_t posting_count() const { return posting_count_; }
+
+  /// Document frequency of `term` (size of its posting list).
+  size_t DocumentFrequency(std::string_view term) const {
+    return Lookup(term).size();
+  }
+
+  /// All indexed terms (unsorted).
+  std::vector<std::string> Terms() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<doc::NodeId>> postings_;
+  size_t posting_count_ = 0;
+  TokenizerOptions normalization_;
+  std::vector<doc::NodeId> empty_;
+};
+
+}  // namespace xfrag::text
+
+#endif  // XFRAG_TEXT_INVERTED_INDEX_H_

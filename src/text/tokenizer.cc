@@ -1,0 +1,67 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace xfrag::text {
+
+namespace {
+
+constexpr std::array<std::string_view, 32> kStopwords = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",
+    "for",  "from", "has",  "he",  "in",   "is",   "it",   "its",
+    "of",   "on",   "or",   "that", "the", "this", "to",   "was",
+    "were", "will", "with", "not", "but",  "they", "she",  "we",
+};
+
+bool IsTokenChar(unsigned char c) {
+  return std::isalnum(c) || c >= 0x80;
+}
+
+}  // namespace
+
+std::string FoldPlural(std::string token) {
+  if (token.size() > 3 && token.back() == 's' &&
+      token[token.size() - 2] != 's') {
+    token.pop_back();
+  }
+  return token;
+}
+
+bool IsStopword(std::string_view word) {
+  for (std::string_view sw : kStopwords) {
+    if (sw == word) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() &&
+           !IsTokenChar(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < input.size() &&
+           IsTokenChar(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    if (i == start) continue;
+    std::string token;
+    token.reserve(i - start);
+    for (size_t j = start; j < i; ++j) {
+      token.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(input[j]))));
+    }
+    if (token.size() < options.min_token_length) continue;
+    if (options.remove_stopwords && IsStopword(token)) continue;
+    if (options.fold_plurals) token = FoldPlural(std::move(token));
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace xfrag::text

@@ -1,0 +1,42 @@
+// Tokenization of element text into the representative keywords of a node —
+// the paper's keywords(n) function (Definition 1). ASCII lowercasing,
+// alphanumeric token boundaries, optional stop-word removal.
+
+#ifndef XFRAG_TEXT_TOKENIZER_H_
+#define XFRAG_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xfrag::text {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Drop common English stop words ("the", "of", ...).
+  bool remove_stopwords = false;
+  /// Minimum token length; shorter tokens are dropped.
+  size_t min_token_length = 1;
+  /// Fold simple English plurals: a trailing 's' is stripped from tokens
+  /// longer than 3 characters unless they end in "ss" ("plans" → "plan",
+  /// "class" stays). Applied identically at index and query time.
+  bool fold_plurals = false;
+};
+
+/// \brief Applies the plural-folding rule to one lowercase token.
+std::string FoldPlural(std::string token);
+
+/// \brief Splits `input` into lowercase alphanumeric tokens.
+///
+/// A token is a maximal run of ASCII letters and digits; all other bytes are
+/// separators. Multi-byte UTF-8 sequences are treated as token characters so
+/// non-ASCII words survive intact (unfolded).
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options = {});
+
+/// \brief True iff `word` (already lowercase) is in the stop-word list.
+bool IsStopword(std::string_view word);
+
+}  // namespace xfrag::text
+
+#endif  // XFRAG_TEXT_TOKENIZER_H_

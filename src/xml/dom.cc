@@ -1,0 +1,83 @@
+#include "xml/dom.h"
+
+#include "common/logging.h"
+
+namespace xfrag::xml {
+
+const XmlElement& XmlNode::AsElement() const {
+  XFRAG_CHECK(IsElement());
+  return static_cast<const XmlElement&>(*this);
+}
+
+XmlElement& XmlNode::AsElement() {
+  XFRAG_CHECK(IsElement());
+  return static_cast<XmlElement&>(*this);
+}
+
+const std::string* XmlElement::FindAttribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+XmlElement* XmlElement::AddElement(std::string tag) {
+  auto child = std::make_unique<XmlElement>(std::move(tag));
+  XmlElement* raw = child.get();
+  children_.push_back(std::move(child));
+  return raw;
+}
+
+void XmlElement::AddText(std::string text) {
+  children_.push_back(std::make_unique<XmlCharacterData>(XmlNodeKind::kText,
+                                                         std::move(text)));
+}
+
+std::vector<const XmlElement*> XmlElement::ChildElements() const {
+  std::vector<const XmlElement*> out;
+  for (const auto& child : children_) {
+    if (child->IsElement()) out.push_back(&child->AsElement());
+  }
+  return out;
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->IsElement() && child->AsElement().tag() == tag) {
+      return &child->AsElement();
+    }
+  }
+  return nullptr;
+}
+
+std::string XmlElement::DirectText() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->IsTextual()) {
+      out += static_cast<const XmlCharacterData&>(*child).data();
+    }
+  }
+  return out;
+}
+
+std::string XmlElement::DeepText() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->IsTextual()) {
+      out += static_cast<const XmlCharacterData&>(*child).data();
+    } else if (child->IsElement()) {
+      out += child->AsElement().DeepText();
+    }
+  }
+  return out;
+}
+
+size_t XmlElement::SubtreeElementCount() const {
+  size_t count = 1;
+  for (const auto& child : children_) {
+    if (child->IsElement()) count += child->AsElement().SubtreeElementCount();
+  }
+  return count;
+}
+
+}  // namespace xfrag::xml

@@ -1,0 +1,163 @@
+// A minimal in-memory DOM for parsed XML. Nodes are owned by their parent
+// through unique_ptr; the tree shape is immutable from the outside except
+// through XmlElement's builder-style mutators, which the corpus generator
+// uses to synthesize documents.
+
+#ifndef XFRAG_XML_DOM_H_
+#define XFRAG_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xfrag::xml {
+
+/// Kind of a DOM node.
+enum class XmlNodeKind {
+  kElement,
+  kText,
+  kCData,
+  kComment,
+  kProcessingInstruction,
+};
+
+class XmlElement;
+
+/// \brief Base class of all DOM nodes.
+class XmlNode {
+ public:
+  virtual ~XmlNode() = default;
+
+  /// The node kind.
+  virtual XmlNodeKind kind() const = 0;
+
+  /// True iff this node is an element.
+  bool IsElement() const { return kind() == XmlNodeKind::kElement; }
+  /// True iff this node is a text or CDATA node.
+  bool IsTextual() const {
+    return kind() == XmlNodeKind::kText || kind() == XmlNodeKind::kCData;
+  }
+
+  /// Downcasts to XmlElement; requires IsElement().
+  const XmlElement& AsElement() const;
+  XmlElement& AsElement();
+};
+
+/// \brief A text, CDATA, comment, or processing-instruction node.
+class XmlCharacterData : public XmlNode {
+ public:
+  XmlCharacterData(XmlNodeKind kind, std::string data)
+      : kind_(kind), data_(std::move(data)) {}
+
+  XmlNodeKind kind() const override { return kind_; }
+
+  /// The (entity-decoded) character content.
+  const std::string& data() const { return data_; }
+
+  /// For processing instructions, the target name ("xml-stylesheet" in
+  /// `<?xml-stylesheet ...?>`); empty otherwise.
+  const std::string& pi_target() const { return pi_target_; }
+  void set_pi_target(std::string target) { pi_target_ = std::move(target); }
+
+ private:
+  XmlNodeKind kind_;
+  std::string data_;
+  std::string pi_target_;
+};
+
+/// \brief A single name="value" attribute.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// \brief An element node with a tag, attributes, and ordered children.
+class XmlElement : public XmlNode {
+ public:
+  explicit XmlElement(std::string tag) : tag_(std::move(tag)) {}
+
+  XmlNodeKind kind() const override { return XmlNodeKind::kElement; }
+
+  /// The element's tag name.
+  const std::string& tag() const { return tag_; }
+
+  /// All attributes, in document order.
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+
+  /// Returns the value of attribute `name`, or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  /// Appends an attribute (no duplicate checking; parser enforces that).
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+
+  /// Ordered child nodes.
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child node and returns a reference to it.
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child) {
+    children_.push_back(std::move(child));
+    return children_.back().get();
+  }
+
+  /// Convenience: appends and returns a child element with tag `tag`.
+  XmlElement* AddElement(std::string tag);
+
+  /// Convenience: appends a text child.
+  void AddText(std::string text);
+
+  /// Child elements only (skipping text/comments), in order.
+  std::vector<const XmlElement*> ChildElements() const;
+
+  /// First child element with tag `tag`, or nullptr.
+  const XmlElement* FindChild(std::string_view tag) const;
+
+  /// Concatenation of all directly-contained text/CDATA children.
+  std::string DirectText() const;
+
+  /// Concatenation of all text in this element's entire subtree.
+  std::string DeepText() const;
+
+  /// Number of element nodes in this subtree, including this one.
+  size_t SubtreeElementCount() const;
+
+ private:
+  std::string tag_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// \brief A parsed XML document: prolog metadata plus a root element.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+
+  /// The root element; never null for a successfully parsed document.
+  const XmlElement& root() const { return *root_; }
+  XmlElement& root() { return *root_; }
+  bool has_root() const { return root_ != nullptr; }
+
+  /// Installs the root element.
+  void set_root(std::unique_ptr<XmlElement> root) { root_ = std::move(root); }
+
+  /// The declared XML version (default "1.0").
+  const std::string& version() const { return version_; }
+  void set_version(std::string v) { version_ = std::move(v); }
+
+  /// The declared encoding; empty when not declared.
+  const std::string& encoding() const { return encoding_; }
+  void set_encoding(std::string e) { encoding_ = std::move(e); }
+
+ private:
+  std::unique_ptr<XmlElement> root_;
+  std::string version_ = "1.0";
+  std::string encoding_;
+};
+
+}  // namespace xfrag::xml
+
+#endif  // XFRAG_XML_DOM_H_

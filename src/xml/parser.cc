@@ -1,0 +1,415 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xfrag::xml {
+
+namespace {
+
+// Appends the UTF-8 encoding of `cp` to `out`. Returns false for invalid
+// code points (surrogates, out of range).
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+bool IsNameStartChar(unsigned char c) {
+  return std::isalpha(c) || c == '_' || c == ':' || c >= 0x80;
+}
+
+bool IsNameChar(unsigned char c) {
+  return IsNameStartChar(c) || std::isdigit(c) || c == '-' || c == '.';
+}
+
+// Recursive-descent parser with explicit position tracking.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  StatusOr<XmlDocument> ParseDocument() {
+    XmlDocument doc;
+    XFRAG_RETURN_NOT_OK(ParseProlog(&doc));
+    SkipMisc();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    auto root = ParseElement(0);
+    if (!root.ok()) return root.status();
+    doc.set_root(std::move(root).value());
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("unexpected content after root element");
+    }
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t p = pos_ + offset;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.substr(pos_, prefix.size()) != prefix) return false;
+    AdvanceBy(prefix.size());
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError(StrFormat("%s at %zu:%zu", message.c_str(),
+                                        line_, column_));
+  }
+
+  // Skips comments, PIs and whitespace outside the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (ConsumePrefixAtComment()) continue;
+      if (input_.substr(pos_, 2) == "<?") {
+        // Processing instruction outside root: skip to "?>".
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          AdvanceBy(input_.size() - pos_);
+        } else {
+          AdvanceBy(end + 2 - pos_);
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool ConsumePrefixAtComment() {
+    if (input_.substr(pos_, 4) != "<!--") return false;
+    size_t end = input_.find("-->", pos_ + 4);
+    if (end == std::string_view::npos) {
+      AdvanceBy(input_.size() - pos_);
+    } else {
+      AdvanceBy(end + 3 - pos_);
+    }
+    return true;
+  }
+
+  Status ParseProlog(XmlDocument* doc) {
+    // Optional XML declaration.
+    if (input_.substr(pos_, 5) == "<?xml" &&
+        std::isspace(static_cast<unsigned char>(PeekAt(5)))) {
+      size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) {
+        return Error("unterminated XML declaration");
+      }
+      std::string_view decl = input_.substr(pos_ + 5, end - pos_ - 5);
+      ExtractPseudoAttribute(decl, "version", doc, /*is_version=*/true);
+      ExtractPseudoAttribute(decl, "encoding", doc, /*is_version=*/false);
+      AdvanceBy(end + 2 - pos_);
+    }
+    SkipMisc();
+    // Optional DOCTYPE: skipped, balancing brackets for an internal subset.
+    if (input_.substr(pos_, 9) == "<!DOCTYPE") {
+      int bracket_depth = 0;
+      while (!AtEnd()) {
+        char c = Peek();
+        Advance();
+        if (c == '[') {
+          ++bracket_depth;
+        } else if (c == ']') {
+          --bracket_depth;
+        } else if (c == '>' && bracket_depth == 0) {
+          return Status::OK();
+        }
+      }
+      return Error("unterminated DOCTYPE");
+    }
+    return Status::OK();
+  }
+
+  static void ExtractPseudoAttribute(std::string_view decl,
+                                     std::string_view name, XmlDocument* doc,
+                                     bool is_version) {
+    size_t p = decl.find(name);
+    if (p == std::string_view::npos) return;
+    p = decl.find_first_of("\"'", p);
+    if (p == std::string_view::npos) return;
+    char quote = decl[p];
+    size_t end = decl.find(quote, p + 1);
+    if (end == std::string_view::npos) return;
+    std::string value(decl.substr(p + 1, end - p - 1));
+    if (is_version) {
+      doc->set_version(std::move(value));
+    } else {
+      doc->set_encoding(std::move(value));
+    }
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(static_cast<unsigned char>(Peek()))) {
+      return Error("expected name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::unique_ptr<XmlElement>> ParseElement(int depth) {
+    // `depth` is zero-based, so max_depth counts allowed nesting levels.
+    if (depth >= options_.max_depth) {
+      return Error("maximum element nesting depth exceeded");
+    }
+    if (!ConsumePrefix("<")) return Error("expected '<'");
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto element = std::make_unique<XmlElement>(std::move(name).value());
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      char c = Peek();
+      if (c == '>' || c == '/') break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (!ConsumePrefix("=")) return Error("expected '=' in attribute");
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '<') return Error("'<' in attribute value");
+        Advance();
+      }
+      if (AtEnd()) return Error("unterminated attribute value");
+      auto decoded = DecodeEntities(input_.substr(start, pos_ - start));
+      if (!decoded.ok()) return decoded.status();
+      Advance();  // Closing quote.
+      if (element->FindAttribute(attr_name.value()) != nullptr) {
+        return Error("duplicate attribute '" + attr_name.value() + "'");
+      }
+      element->AddAttribute(std::move(attr_name).value(),
+                            std::move(decoded).value());
+    }
+
+    if (ConsumePrefix("/>")) return element;
+    if (!ConsumePrefix(">")) return Error("malformed start tag");
+
+    // Content until the matching end tag.
+    XFRAG_RETURN_NOT_OK(ParseContent(element.get(), depth));
+
+    // End tag.
+    if (!ConsumePrefix("</")) return Error("expected end tag");
+    auto end_name = ParseName();
+    if (!end_name.ok()) return end_name.status();
+    if (end_name.value() != element->tag()) {
+      return Error("mismatched end tag '" + end_name.value() +
+                   "' (expected '" + element->tag() + "')");
+    }
+    SkipWhitespace();
+    if (!ConsumePrefix(">")) return Error("malformed end tag");
+    return element;
+  }
+
+  Status ParseContent(XmlElement* element, int depth) {
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      if (pending_text.empty()) return Status::OK();
+      bool only_space = true;
+      for (char c : pending_text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          only_space = false;
+          break;
+        }
+      }
+      if (!(only_space && options_.drop_ignorable_whitespace)) {
+        auto decoded = DecodeEntities(pending_text);
+        if (!decoded.ok()) return decoded.status();
+        element->AddChild(std::make_unique<XmlCharacterData>(
+            XmlNodeKind::kText, std::move(decoded).value()));
+      }
+      pending_text.clear();
+      return Status::OK();
+    };
+
+    while (true) {
+      if (AtEnd()) return Error("unterminated element '" + element->tag() + "'");
+      char c = Peek();
+      if (c != '<') {
+        pending_text.push_back(c);
+        Advance();
+        continue;
+      }
+      if (input_.substr(pos_, 2) == "</") {
+        return flush_text();
+      }
+      if (input_.substr(pos_, 4) == "<!--") {
+        XFRAG_RETURN_NOT_OK(flush_text());
+        size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        std::string body(input_.substr(pos_ + 4, end - pos_ - 4));
+        element->AddChild(std::make_unique<XmlCharacterData>(
+            XmlNodeKind::kComment, std::move(body)));
+        AdvanceBy(end + 3 - pos_);
+        continue;
+      }
+      if (input_.substr(pos_, 9) == "<![CDATA[") {
+        XFRAG_RETURN_NOT_OK(flush_text());
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Error("unterminated CDATA section");
+        }
+        std::string body(input_.substr(pos_ + 9, end - pos_ - 9));
+        element->AddChild(std::make_unique<XmlCharacterData>(
+            XmlNodeKind::kCData, std::move(body)));
+        AdvanceBy(end + 3 - pos_);
+        continue;
+      }
+      if (input_.substr(pos_, 2) == "<?") {
+        XFRAG_RETURN_NOT_OK(flush_text());
+        AdvanceBy(2);
+        auto target = ParseName();
+        if (!target.ok()) return target.status();
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Error("unterminated processing instruction");
+        }
+        std::string body(
+            StripAsciiWhitespace(input_.substr(pos_, end - pos_)));
+        auto pi = std::make_unique<XmlCharacterData>(
+            XmlNodeKind::kProcessingInstruction, std::move(body));
+        pi->set_pi_target(std::move(target).value());
+        element->AddChild(std::move(pi));
+        AdvanceBy(end + 2 - pos_);
+        continue;
+      }
+      // Child element.
+      XFRAG_RETURN_NOT_OK(flush_text());
+      auto child = ParseElement(depth + 1);
+      if (!child.ok()) return child.status();
+      element->AddChild(std::move(child).value());
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+StatusOr<std::string> DecodeEntities(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = input.find(';', i + 1);
+    if (semi == std::string_view::npos || semi == i + 1) {
+      return Status::ParseError("malformed entity reference");
+    }
+    std::string_view entity = input.substr(i + 1, semi - i - 1);
+    if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity[0] == '#') {
+      uint32_t cp = 0;
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      std::string_view digits = entity.substr(hex ? 2 : 1);
+      if (digits.empty()) {
+        return Status::ParseError("empty character reference");
+      }
+      for (char d : digits) {
+        uint32_t v;
+        if (d >= '0' && d <= '9') {
+          v = static_cast<uint32_t>(d - '0');
+        } else if (hex && d >= 'a' && d <= 'f') {
+          v = static_cast<uint32_t>(d - 'a' + 10);
+        } else if (hex && d >= 'A' && d <= 'F') {
+          v = static_cast<uint32_t>(d - 'A' + 10);
+        } else {
+          return Status::ParseError("invalid character reference '&" +
+                                    std::string(entity) + ";'");
+        }
+        cp = cp * (hex ? 16 : 10) + v;
+        if (cp > 0x10FFFF) break;
+      }
+      if (!AppendUtf8(cp, &out)) {
+        return Status::ParseError("character reference out of range");
+      }
+    } else {
+      return Status::ParseError("unknown entity '&" + std::string(entity) +
+                                ";'");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+StatusOr<XmlDocument> Parse(std::string_view input,
+                            const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.ParseDocument();
+}
+
+}  // namespace xfrag::xml

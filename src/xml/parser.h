@@ -1,0 +1,41 @@
+// Non-validating XML 1.0 parser. Supports the subset needed for
+// document-centric corpora: prolog, DOCTYPE (skipped), elements, attributes,
+// text, CDATA sections, comments, processing instructions, the five
+// predefined entities, and numeric character references (decimal and hex,
+// encoded back as UTF-8). Namespaces are treated lexically (prefix kept as
+// part of the tag name). DTD-defined entities are not supported.
+
+#ifndef XFRAG_XML_PARSER_H_
+#define XFRAG_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace xfrag::xml {
+
+/// Parser configuration.
+struct ParseOptions {
+  /// When true, text nodes that consist solely of whitespace between two
+  /// element siblings are dropped (typical for pretty-printed documents).
+  bool drop_ignorable_whitespace = true;
+
+  /// Upper bound on element nesting depth, to guard against stack abuse.
+  int max_depth = 512;
+};
+
+/// \brief Parses `input` into an XmlDocument.
+///
+/// Errors carry a one-based line:column position of the offending byte.
+StatusOr<XmlDocument> Parse(std::string_view input,
+                            const ParseOptions& options = {});
+
+/// \brief Decodes predefined entities and character references in `input`.
+///
+/// Exposed for tests; the parser calls this on text and attribute content.
+StatusOr<std::string> DecodeEntities(std::string_view input);
+
+}  // namespace xfrag::xml
+
+#endif  // XFRAG_XML_PARSER_H_

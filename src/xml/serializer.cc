@@ -1,0 +1,157 @@
+#include "xml/serializer.h"
+
+namespace xfrag::xml {
+
+namespace {
+
+void AppendEscaped(std::string_view text, bool for_attribute,
+                   std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '"':
+        if (for_attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void SerializeNode(const XmlNode& node, const SerializeOptions& options,
+                   int depth, std::string* out);
+
+void Indent(const SerializeOptions& options, int depth, std::string* out) {
+  if (!options.pretty) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth * options.indent), ' ');
+}
+
+void SerializeElementAt(const XmlElement& element,
+                        const SerializeOptions& options, int depth,
+                        std::string* out) {
+  out->push_back('<');
+  out->append(element.tag());
+  for (const auto& attr : element.attributes()) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    AppendEscaped(attr.value, /*for_attribute=*/true, out);
+    out->push_back('"');
+  }
+  if (element.children().empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool any_child_element = false;
+  bool any_textual_child = false;
+  for (const auto& child : element.children()) {
+    if (child->IsElement()) any_child_element = true;
+    if (child->IsTextual()) any_textual_child = true;
+  }
+  // Mixed content (text + elements) must not be indented: inserted
+  // whitespace would change the text and break round-tripping.
+  bool indent_children =
+      options.pretty && any_child_element && !any_textual_child;
+  for (const auto& child : element.children()) {
+    if (indent_children) Indent(options, depth + 1, out);
+    SerializeNode(*child, options, depth + 1, out);
+  }
+  if (indent_children) Indent(options, depth, out);
+  out->append("</");
+  out->append(element.tag());
+  out->push_back('>');
+}
+
+void SerializeNode(const XmlNode& node, const SerializeOptions& options,
+                   int depth, std::string* out) {
+  switch (node.kind()) {
+    case XmlNodeKind::kElement:
+      SerializeElementAt(node.AsElement(), options, depth, out);
+      break;
+    case XmlNodeKind::kText:
+      AppendEscaped(static_cast<const XmlCharacterData&>(node).data(),
+                    /*for_attribute=*/false, out);
+      break;
+    case XmlNodeKind::kCData:
+      out->append("<![CDATA[");
+      out->append(static_cast<const XmlCharacterData&>(node).data());
+      out->append("]]>");
+      break;
+    case XmlNodeKind::kComment:
+      out->append("<!--");
+      out->append(static_cast<const XmlCharacterData&>(node).data());
+      out->append("-->");
+      break;
+    case XmlNodeKind::kProcessingInstruction: {
+      const auto& pi = static_cast<const XmlCharacterData&>(node);
+      out->append("<?");
+      out->append(pi.pi_target());
+      if (!pi.data().empty()) {
+        out->push_back(' ');
+        out->append(pi.data());
+      }
+      out->append("?>");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  AppendEscaped(text, /*for_attribute=*/false, &out);
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  AppendEscaped(value, /*for_attribute=*/true, &out);
+  return out;
+}
+
+std::string Serialize(const XmlDocument& doc, const SerializeOptions& options) {
+  std::string out;
+  if (options.emit_declaration) {
+    out.append("<?xml version=\"");
+    out.append(doc.version());
+    out.push_back('"');
+    if (!doc.encoding().empty()) {
+      out.append(" encoding=\"");
+      out.append(doc.encoding());
+      out.push_back('"');
+    }
+    out.append("?>");
+    if (options.pretty) out.push_back('\n');
+  }
+  if (doc.has_root()) {
+    SerializeElementAt(doc.root(), options, 0, &out);
+  }
+  if (options.pretty) out.push_back('\n');
+  return out;
+}
+
+std::string SerializeElement(const XmlElement& element,
+                             const SerializeOptions& options) {
+  std::string out;
+  SerializeElementAt(element, options, 0, &out);
+  return out;
+}
+
+}  // namespace xfrag::xml

@@ -1,0 +1,40 @@
+// Serializes a DOM back to XML text. Round-tripping a parsed document
+// through Serialize + Parse yields an equal tree (modulo ignorable
+// whitespace), which the tests verify.
+
+#ifndef XFRAG_XML_SERIALIZER_H_
+#define XFRAG_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.h"
+
+namespace xfrag::xml {
+
+/// Serializer configuration.
+struct SerializeOptions {
+  /// When true, children are placed on indented lines.
+  bool pretty = false;
+  /// Indentation width when pretty-printing.
+  int indent = 2;
+  /// When true, an `<?xml version=...?>` declaration is emitted.
+  bool emit_declaration = true;
+};
+
+/// \brief Escapes text content (&, <, >).
+std::string EscapeText(std::string_view text);
+
+/// \brief Escapes an attribute value (&, <, >, ").
+std::string EscapeAttribute(std::string_view value);
+
+/// \brief Serializes a whole document.
+std::string Serialize(const XmlDocument& doc, const SerializeOptions& options = {});
+
+/// \brief Serializes a single element subtree.
+std::string SerializeElement(const XmlElement& element,
+                             const SerializeOptions& options = {});
+
+}  // namespace xfrag::xml
+
+#endif  // XFRAG_XML_SERIALIZER_H_

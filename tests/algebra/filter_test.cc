@@ -1,0 +1,349 @@
+// Filters (§3.3, §3.4): concrete semantics, anti-monotonicity flags, the
+// closure of anti-monotonicity under ∧/∨, the Figure-7 counterexample for
+// the equal-depth filter, and a randomized check that every filter claiming
+// anti-monotonicity actually satisfies Definition 11.
+
+#include "algebra/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+doc::Document Fixture() {
+  //        0
+  //       / \.
+  //      1   5
+  //     /|\   \.
+  //    2 3 4   6
+  //            |
+  //            7
+  return TreeFromParents({doc::kNoNode, 0, 1, 1, 1, 0, 5, 6});
+}
+
+TEST(FilterTest, TrueAcceptsEverything) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  EXPECT_TRUE(filters::True()->Matches(Fragment::Single(0), ctx));
+  EXPECT_TRUE(filters::True()->Matches(Frag(d, {0, 1, 2, 3, 4, 5, 6, 7}), ctx));
+  EXPECT_TRUE(filters::True()->anti_monotonic());
+}
+
+TEST(FilterTest, SizeAtMost) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::SizeAtMost(3);
+  EXPECT_TRUE(filter->Matches(Frag(d, {1, 2, 3}), ctx));
+  EXPECT_FALSE(filter->Matches(Frag(d, {1, 2, 3, 4}), ctx));
+  EXPECT_TRUE(filter->anti_monotonic());
+  EXPECT_EQ(filter->ToString(), "size<=3");
+  // Boundary: β = 0 rejects everything (fragments are non-empty).
+  EXPECT_FALSE(filters::SizeAtMost(0)->Matches(Fragment::Single(1), ctx));
+}
+
+TEST(FilterTest, HeightAtMost) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::HeightAtMost(1);
+  EXPECT_TRUE(filter->Matches(Frag(d, {1, 2}), ctx));
+  EXPECT_TRUE(filter->Matches(Fragment::Single(7), ctx));
+  EXPECT_FALSE(filter->Matches(Frag(d, {5, 6, 7}), ctx));
+  EXPECT_TRUE(filter->anti_monotonic());
+}
+
+TEST(FilterTest, SpanAtMost) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::SpanAtMost(2);
+  EXPECT_TRUE(filter->Matches(Frag(d, {1, 2, 3}), ctx));
+  EXPECT_FALSE(filter->Matches(Frag(d, {0, 1, 5}), ctx));  // Span 5.
+  EXPECT_TRUE(filter->anti_monotonic());
+}
+
+TEST(FilterTest, SizeAtLeastIsNotAntiMonotonic) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::SizeAtLeast(3);
+  EXPECT_FALSE(filter->anti_monotonic());
+  // Counterexample to Definition 11: the super-fragment passes, the
+  // sub-fragment fails.
+  Fragment super = Frag(d, {1, 2, 3});
+  Fragment sub = Frag(d, {1, 2});
+  EXPECT_TRUE(filter->Matches(super, ctx));
+  EXPECT_FALSE(filter->Matches(sub, ctx));
+}
+
+TEST(FilterTest, ContainsKeyword) {
+  auto dsor = doc::Document::FromParents(
+      {doc::kNoNode, 0, 0}, {"r", "a", "b"},
+      {"", "alpha beta", "gamma"});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  text::InvertedIndex index = text::InvertedIndex::Build(d);
+  FilterContext ctx{&d, &index};
+  auto filter = filters::ContainsKeyword("alpha");
+  EXPECT_TRUE(filter->Matches(Fragment::Single(1), ctx));
+  EXPECT_FALSE(filter->Matches(Fragment::Single(2), ctx));
+  EXPECT_TRUE(filter->Matches(Frag(d, {0, 1, 2}), ctx));
+  // Monotone, not anti-monotonic.
+  EXPECT_FALSE(filter->anti_monotonic());
+}
+
+TEST(FilterTest, RootTagIs) {
+  auto dsor = doc::Document::FromParents({doc::kNoNode, 0}, {"sec", "par"},
+                                         {"", ""});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::RootTagIs("sec");
+  EXPECT_TRUE(filter->Matches(Frag(d, {0, 1}), ctx));
+  EXPECT_FALSE(filter->Matches(Fragment::Single(1), ctx));
+  EXPECT_FALSE(filter->anti_monotonic());
+}
+
+TEST(FilterTest, EqualDepthFigure7Counterexample) {
+  // Figure 7: f' fails the equal-depth predicate while its super-fragment f
+  // satisfies it, so the filter is not anti-monotonic.
+  //
+  //        0
+  //       / \.
+  //      1   3
+  //      |   |
+  //      2   4
+  // k1 at node 2 (depth 2), k2 at nodes 3 (depth 1) and 4 (depth 2).
+  auto dsor = doc::Document::FromParents(
+      {doc::kNoNode, 0, 1, 0, 3}, {"r", "a", "b", "c", "d"},
+      {"", "", "k1", "k2", "k2"});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  text::InvertedIndex index = text::InvertedIndex::Build(d);
+  FilterContext ctx{&d, &index};
+  auto filter = filters::EqualDepth("k1", "k2");
+  EXPECT_FALSE(filter->anti_monotonic());
+
+  // f = whole tree: k1@2 has depth 2; k2@4 has depth 2... but k2@3 has
+  // depth 1, so restrict f to the subtree {0,1,2,3,4} minus nothing —
+  // instead use f' = ⟨0,1,2,3⟩ (k2 at depth 1 ≠ k1 at depth 2: fails) and
+  // f = ⟨0,1,2,3,4⟩ without node 3's occurrence? Node 3 still carries k2,
+  // so build the counterexample with uniform-depth occurrences:
+  Fragment f_prime = Frag(d, {0, 1, 2, 3});     // k2 only at depth 1: fails.
+  EXPECT_FALSE(filter->Matches(f_prime, ctx));
+  // A fragment where all k2 nodes sit at k1's depth: drop node 3 from the
+  // keyword view by using a tree where 4 hangs under 0 directly.
+  auto dsor2 = doc::Document::FromParents(
+      {doc::kNoNode, 0, 1, 0, 3}, {"r", "a", "b", "c", "d"},
+      {"", "", "k1", "", "k2"});
+  ASSERT_TRUE(dsor2.ok());
+  doc::Document d2 = std::move(dsor2).value();
+  text::InvertedIndex index2 = text::InvertedIndex::Build(d2);
+  FilterContext ctx2{&d2, &index2};
+  Fragment f_super = Frag(d2, {0, 1, 2, 3, 4});  // k1@2, k2@2: passes.
+  Fragment f_sub = Frag(d2, {0, 1, 2, 3});       // k2 lost: fails.
+  EXPECT_TRUE(filter->Matches(f_super, ctx2));
+  EXPECT_FALSE(filter->Matches(f_sub, ctx2));
+}
+
+TEST(FilterTest, DistanceAtMost) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::DistanceAtMost(2);
+  EXPECT_TRUE(filter->Matches(Fragment::Single(7), ctx));
+  EXPECT_TRUE(filter->Matches(Frag(d, {1, 2, 3}), ctx));     // Diameter 2.
+  EXPECT_TRUE(filter->Matches(Frag(d, {5, 6, 7}), ctx));     // Chain: 2.
+  EXPECT_FALSE(filter->Matches(Frag(d, {0, 1, 2, 5}), ctx)); // 2..5 = 3.
+  EXPECT_FALSE(filter->Matches(Frag(d, {0, 5, 6, 7}), ctx)); // Chain: 3.
+  EXPECT_TRUE(filter->anti_monotonic());
+}
+
+TEST(FilterTest, DistanceAgreesWithPairwiseMaximum) {
+  doc::Document d = testutil::RandomTree(60, 5, 314);
+  FilterContext ctx{&d, nullptr};
+  Rng rng(315);
+  for (int trial = 0; trial < 40; ++trial) {
+    Fragment f = Fragment::Single(
+        static_cast<doc::NodeId>(rng.Uniform(d.size())));
+    for (int j = 0; j < 3; ++j) {
+      f = Join(d, f, Fragment::Single(
+                         static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+    }
+    uint32_t diameter = 0;
+    for (doc::NodeId a : f.nodes()) {
+      for (doc::NodeId b : f.nodes()) {
+        diameter = std::max(diameter, d.Distance(a, b));
+      }
+    }
+    // The filter's double-sweep diameter must match the O(n^2) oracle:
+    // accept at the exact diameter, reject one below (unless zero).
+    EXPECT_TRUE(filters::DistanceAtMost(diameter)->Matches(f, ctx));
+    if (diameter > 0) {
+      EXPECT_FALSE(filters::DistanceAtMost(diameter - 1)->Matches(f, ctx));
+    }
+  }
+}
+
+TEST(FilterTest, TagsWithin) {
+  auto dsor = doc::Document::FromParents(
+      {doc::kNoNode, 0, 0}, {"sec", "par", "fig"}, {"", "", ""});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  FilterContext ctx{&d, nullptr};
+  auto filter = filters::TagsWithin({"sec", "par"});
+  EXPECT_TRUE(filter->Matches(Frag(d, {0, 1}), ctx));
+  EXPECT_FALSE(filter->Matches(Frag(d, {0, 2}), ctx));  // "fig" not allowed.
+  EXPECT_TRUE(filter->anti_monotonic());
+}
+
+TEST(FilterTest, RootDepthBounds) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto deep = filters::RootDepthAtLeast(1);
+  EXPECT_TRUE(deep->Matches(Frag(d, {1, 2}), ctx));
+  EXPECT_FALSE(deep->Matches(Frag(d, {0, 1}), ctx));  // Root at depth 0.
+  EXPECT_TRUE(deep->anti_monotonic());
+
+  auto shallow = filters::RootDepthAtMost(0);
+  EXPECT_TRUE(shallow->Matches(Frag(d, {0, 1}), ctx));
+  EXPECT_FALSE(shallow->Matches(Frag(d, {1, 2}), ctx));
+  EXPECT_FALSE(shallow->anti_monotonic());
+  // Non-anti-monotonicity witness: ⟨0,1⟩ passes root_depth<=0, its
+  // sub-fragment ⟨1⟩ does not.
+  EXPECT_FALSE(shallow->Matches(Fragment::Single(1), ctx));
+}
+
+TEST(FilterTest, ConjunctionAndDisjunctionPreserveAntiMonotonicity) {
+  auto size2 = filters::SizeAtMost(2);
+  auto height1 = filters::HeightAtMost(1);
+  auto min3 = filters::SizeAtLeast(3);
+  EXPECT_TRUE(filters::And(size2, height1)->anti_monotonic());
+  EXPECT_TRUE(filters::Or(size2, height1)->anti_monotonic());
+  EXPECT_FALSE(filters::And(size2, min3)->anti_monotonic());
+  EXPECT_FALSE(filters::Or(size2, min3)->anti_monotonic());
+}
+
+TEST(FilterTest, NegationNeverClaimsAntiMonotonicity) {
+  EXPECT_FALSE(filters::Not(filters::SizeAtMost(2))->anti_monotonic());
+  // ¬(size<=2) ≡ size>=3: genuinely not anti-monotonic, confirming the
+  // paper's exclusion of negation.
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  auto neg = filters::Not(filters::SizeAtMost(2));
+  EXPECT_TRUE(neg->Matches(Frag(d, {1, 2, 3}), ctx));
+  EXPECT_FALSE(neg->Matches(Frag(d, {1, 2}), ctx));
+}
+
+TEST(FilterTest, CompositeSemantics) {
+  doc::Document d = Fixture();
+  FilterContext ctx{&d, nullptr};
+  Fragment small = Frag(d, {1, 2});            // size 2, height 1.
+  Fragment tall = Frag(d, {0, 5, 6, 7});       // size 4, height 3.
+  auto both = filters::And(filters::SizeAtMost(3), filters::HeightAtMost(2));
+  auto either = filters::Or(filters::SizeAtMost(3), filters::HeightAtMost(3));
+  EXPECT_TRUE(both->Matches(small, ctx));
+  EXPECT_FALSE(both->Matches(tall, ctx));
+  EXPECT_TRUE(either->Matches(tall, ctx));  // Height 3 satisfies the Or.
+}
+
+TEST(FilterTest, AndAllOfEmptyIsTrue) {
+  EXPECT_EQ(filters::AndAll({}).get(), filters::True().get());
+  auto one = filters::SizeAtMost(5);
+  EXPECT_EQ(filters::AndAll({one}).get(), one.get());
+}
+
+TEST(FilterTest, SplitAntiMonotonicSeparatesConjuncts) {
+  auto size3 = filters::SizeAtMost(3);
+  auto height2 = filters::HeightAtMost(2);
+  auto min2 = filters::SizeAtLeast(2);
+  FilterPtr anti, residue;
+
+  SplitAntiMonotonic(filters::And(filters::And(size3, min2), height2), &anti,
+                     &residue);
+  EXPECT_TRUE(anti->anti_monotonic());
+  EXPECT_NE(anti->ToString().find("size<=3"), std::string::npos);
+  EXPECT_NE(anti->ToString().find("height<=2"), std::string::npos);
+  EXPECT_EQ(residue->ToString(), "size>=2");
+
+  // All anti-monotonic: residue is True.
+  SplitAntiMonotonic(filters::And(size3, height2), &anti, &residue);
+  EXPECT_EQ(residue.get(), filters::True().get());
+
+  // None anti-monotonic: anti is True.
+  SplitAntiMonotonic(min2, &anti, &residue);
+  EXPECT_EQ(anti.get(), filters::True().get());
+  EXPECT_EQ(residue.get(), min2.get());
+
+  // A disjunction is a single conjunct: an anti-monotonic Or is pushed whole.
+  SplitAntiMonotonic(filters::Or(size3, height2), &anti, &residue);
+  EXPECT_NE(anti.get(), filters::True().get());
+  EXPECT_EQ(residue.get(), filters::True().get());
+}
+
+// Randomized Definition-11 check: every filter whose anti_monotonic() flag is
+// true must satisfy P(f) ⇒ P(f') for node-removal sub-fragments.
+class AntiMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AntiMonotonicityTest, FlagImpliesDefinition11) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  doc::Document d = testutil::RandomTree(60, 6, seed);
+  text::InvertedIndex index = text::InvertedIndex::Build(d);
+  FilterContext ctx{&d, &index};
+  std::vector<FilterPtr> candidates = {
+      filters::True(),
+      filters::SizeAtMost(3),
+      filters::HeightAtMost(2),
+      filters::SpanAtMost(10),
+      filters::And(filters::SizeAtMost(4), filters::HeightAtMost(3)),
+      filters::Or(filters::SizeAtMost(2), filters::SpanAtMost(4)),
+      filters::DistanceAtMost(3),
+      filters::TagsWithin({"n"}),
+      filters::RootDepthAtLeast(1),
+      filters::And(filters::DistanceAtMost(4),
+                   filters::RootDepthAtLeast(2)),
+  };
+  Rng rng(seed ^ 0x5555);
+  for (const auto& filter : candidates) {
+    ASSERT_TRUE(filter->anti_monotonic());
+    for (int trial = 0; trial < 40; ++trial) {
+      // Random fragment via joins.
+      Fragment f = Fragment::Single(
+          static_cast<doc::NodeId>(rng.Uniform(d.size())));
+      for (int j = 0; j < 3; ++j) {
+        f = Join(d, f,
+                 Fragment::Single(
+                     static_cast<doc::NodeId>(rng.Uniform(d.size()))));
+      }
+      if (!filter->Matches(f, ctx)) continue;
+      // Every connected one-node-removal sub-fragment must also match, and
+      // recursively to singletons via leaf pruning.
+      Fragment current = f;
+      while (current.size() > 1) {
+        // Remove a leaf of the fragment (keeps connectivity).
+        auto leaves = FragmentLeaves(current, d);
+        doc::NodeId drop = leaves[rng.Uniform(leaves.size())];
+        std::vector<doc::NodeId> rest;
+        for (doc::NodeId n : current.nodes()) {
+          if (n != drop) rest.push_back(n);
+        }
+        if (rest.empty()) break;
+        auto sub = Fragment::Create(d, rest);
+        ASSERT_TRUE(sub.ok());
+        EXPECT_TRUE(filter->Matches(*sub, ctx))
+            << filter->ToString() << " failed on sub-fragment "
+            << sub->ToString() << " of " << f.ToString();
+        current = *sub;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AntiMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace xfrag::algebra

@@ -1,0 +1,156 @@
+// Fixed point F⁺ (Definition 9): naive iteration vs the Theorem-1
+// reduced-iteration algorithm, with exact cases and randomized equivalence.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+doc::Document Fig4Tree() {
+  return TreeFromParents({doc::kNoNode, 0, 0, 2, 3, 3, 2, 6});
+}
+
+// Oracle: F⁺ by literal subset enumeration (Definition 9).
+FragmentSet FixedPointBySubsets(const doc::Document& d, const FragmentSet& f) {
+  FragmentSet out;
+  size_t total = size_t{1} << f.size();
+  for (size_t mask = 1; mask < total; ++mask) {
+    Fragment acc = Fragment::Single(0);
+    bool first = true;
+    for (size_t i = 0; i < f.size(); ++i) {
+      if (!(mask & (size_t{1} << i))) continue;
+      acc = first ? f[i] : Join(d, acc, f[i]);
+      first = false;
+    }
+    out.Insert(acc);
+  }
+  return out;
+}
+
+TEST(FixedPointTest, SingleFragmentIsItsOwnFixedPoint) {
+  doc::Document d = Fig4Tree();
+  FragmentSet f{Frag(d, {2, 3})};
+  EXPECT_TRUE(FixedPointNaive(d, f).SetEquals(f));
+  EXPECT_TRUE(FixedPointReduced(d, f).SetEquals(f));
+  EXPECT_TRUE(FixedPointNaive(d, FragmentSet()).SetEquals(FragmentSet()));
+  EXPECT_TRUE(FixedPointReduced(d, FragmentSet()).SetEquals(FragmentSet()));
+}
+
+TEST(FixedPointTest, TwoSiblingsCloseOverParentPath) {
+  doc::Document d = Fig4Tree();
+  FragmentSet f = testutil::Singles({4, 5});
+  FragmentSet expected{Fragment::Single(4), Fragment::Single(5),
+                       Frag(d, {3, 4, 5})};
+  EXPECT_TRUE(FixedPointNaive(d, f).SetEquals(expected));
+  EXPECT_TRUE(FixedPointReduced(d, f).SetEquals(expected));
+}
+
+TEST(FixedPointTest, Figure4FixedPointMatchesOracle) {
+  doc::Document d = Fig4Tree();
+  FragmentSet f = testutil::Singles({1, 3, 5, 6, 7});
+  FragmentSet oracle = FixedPointBySubsets(d, f);
+  EXPECT_TRUE(FixedPointNaive(d, f).SetEquals(oracle));
+  EXPECT_TRUE(FixedPointReduced(d, f).SetEquals(oracle));
+}
+
+TEST(FixedPointTest, Theorem1IterationCount) {
+  // |⊖(F)| = 3 for the Figure-4 set, so ⋈_3(F) = ((F ⋈ F) ⋈ F) must reach
+  // the fixed point: joining once more adds nothing.
+  doc::Document d = Fig4Tree();
+  FragmentSet f = testutil::Singles({1, 3, 5, 6, 7});
+  FragmentSet reduced = Reduce(d, f);
+  ASSERT_EQ(reduced.size(), 3u);
+  FragmentSet join2 = PairwiseJoin(d, f, f);
+  FragmentSet join3 = PairwiseJoin(d, join2, f);
+  FragmentSet join4 = PairwiseJoin(d, join3, f);
+  EXPECT_TRUE(join3.SetEquals(join4));
+  EXPECT_TRUE(join3.SetEquals(FixedPointNaive(d, f)));
+  // Two iterations are NOT enough here (the theorem's bound is tight on
+  // this example): the 3-way join of {1,5,7} appears only at level 3.
+  EXPECT_FALSE(join2.SetEquals(join3));
+}
+
+TEST(FixedPointTest, FixedPointIsClosedUnderJoin) {
+  doc::Document d = testutil::RandomTree(60, 8, 41);
+  Rng rng(42);
+  FragmentSet f = testutil::RandomSingles(d, 6, &rng);
+  FragmentSet fp = FixedPointNaive(d, f);
+  for (const Fragment& a : fp) {
+    for (const Fragment& b : fp) {
+      EXPECT_TRUE(fp.Contains(Join(d, a, b)));
+    }
+  }
+}
+
+TEST(FixedPointTest, MetricsReportIterations) {
+  doc::Document d = Fig4Tree();
+  FragmentSet f = testutil::Singles({1, 3, 5, 6, 7});
+  OpMetrics naive_metrics;
+  FixedPointNaive(d, f, &naive_metrics);
+  EXPECT_GE(naive_metrics.fixed_point_iterations, 3u);  // Includes the check.
+  OpMetrics reduced_metrics;
+  FixedPointReduced(d, f, &reduced_metrics);
+  EXPECT_EQ(reduced_metrics.fixed_point_iterations, 2u);  // k−1 = 2 joins.
+}
+
+struct FixedPointCase {
+  size_t nodes;
+  size_t window;
+  size_t set_size;
+  uint64_t seed;
+};
+
+class FixedPointPropertyTest
+    : public ::testing::TestWithParam<FixedPointCase> {};
+
+TEST_P(FixedPointPropertyTest, NaiveEqualsReducedEqualsOracle) {
+  const auto& param = GetParam();
+  doc::Document d =
+      testutil::RandomTree(param.nodes, param.window, param.seed);
+  Rng rng(param.seed ^ 0xbead);
+  FragmentSet f = testutil::RandomSingles(d, param.set_size, &rng);
+  FragmentSet naive = FixedPointNaive(d, f);
+  FragmentSet reduced = FixedPointReduced(d, f);
+  EXPECT_TRUE(naive.SetEquals(reduced))
+      << "naive " << naive.size() << " vs reduced " << reduced.size();
+  if (f.size() <= 10) {
+    FragmentSet oracle = FixedPointBySubsets(d, f);
+    EXPECT_TRUE(naive.SetEquals(oracle));
+  }
+}
+
+TEST_P(FixedPointPropertyTest, Theorem1BoundHolds) {
+  // ⋈_k(F) with k = |⊖(F)| equals ⋈_{k+1}(F) on random inputs.
+  const auto& param = GetParam();
+  doc::Document d =
+      testutil::RandomTree(param.nodes, param.window, param.seed ^ 5);
+  Rng rng(param.seed ^ 0xcafe);
+  FragmentSet f = testutil::RandomSingles(d, param.set_size, &rng);
+  if (f.size() < 2) return;
+  size_t k = Reduce(d, f).size();
+  ASSERT_GE(k, 1u);
+  FragmentSet level = f;  // ⋈_1(F).
+  for (size_t i = 1; i < k; ++i) level = PairwiseJoin(d, level, f);
+  FragmentSet next = PairwiseJoin(d, level, f);
+  EXPECT_TRUE(level.SetEquals(next))
+      << "k=" << k << " |F|=" << f.size() << " level=" << level.size()
+      << " next=" << next.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, FixedPointPropertyTest,
+    ::testing::Values(FixedPointCase{20, 2, 3, 51}, FixedPointCase{20, 20, 5, 52},
+                      FixedPointCase{50, 5, 6, 53}, FixedPointCase{50, 50, 7, 54},
+                      FixedPointCase{120, 10, 8, 55},
+                      FixedPointCase{120, 3, 9, 56},
+                      FixedPointCase{200, 150, 10, 57},
+                      FixedPointCase{40, 1, 6, 58}));  // Chain tree.
+
+}  // namespace
+}  // namespace xfrag::algebra

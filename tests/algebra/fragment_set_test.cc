@@ -1,0 +1,120 @@
+#include "algebra/fragment_set.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+doc::Document Fixture() {
+  return TreeFromParents({doc::kNoNode, 0, 1, 1, 1, 0, 5, 6});
+}
+
+TEST(FragmentSetTest, InsertDeduplicates) {
+  doc::Document d = Fixture();
+  FragmentSet set;
+  EXPECT_TRUE(set.Insert(Frag(d, {1, 2})));
+  EXPECT_FALSE(set.Insert(Frag(d, {2, 1})));  // Same canonical fragment.
+  EXPECT_TRUE(set.Insert(Frag(d, {1, 3})));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FragmentSetTest, ContainsAfterInsert) {
+  doc::Document d = Fixture();
+  FragmentSet set;
+  set.Insert(Frag(d, {0, 1}));
+  EXPECT_TRUE(set.Contains(Frag(d, {0, 1})));
+  EXPECT_FALSE(set.Contains(Frag(d, {0, 5})));
+  EXPECT_FALSE(FragmentSet().Contains(Frag(d, {0, 1})));
+}
+
+TEST(FragmentSetTest, PreservesInsertionOrder) {
+  doc::Document d = Fixture();
+  FragmentSet set;
+  set.Insert(Fragment::Single(5));
+  set.Insert(Fragment::Single(1));
+  set.Insert(Fragment::Single(3));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0].root(), 5u);
+  EXPECT_EQ(set[1].root(), 1u);
+  EXPECT_EQ(set[2].root(), 3u);
+}
+
+TEST(FragmentSetTest, InitializerListAndFromVector) {
+  doc::Document d = Fixture();
+  FragmentSet a{Fragment::Single(1), Fragment::Single(1), Fragment::Single(2)};
+  EXPECT_EQ(a.size(), 2u);
+  FragmentSet b = FragmentSet::FromVector(
+      {Fragment::Single(2), Fragment::Single(1), Fragment::Single(2)});
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_TRUE(a.SetEquals(b));
+}
+
+TEST(FragmentSetTest, SetEqualsIsOrderIndependent) {
+  doc::Document d = Fixture();
+  FragmentSet a{Fragment::Single(1), Fragment::Single(2)};
+  FragmentSet b{Fragment::Single(2), Fragment::Single(1)};
+  FragmentSet c{Fragment::Single(2)};
+  EXPECT_TRUE(a.SetEquals(b));
+  EXPECT_FALSE(a.SetEquals(c));
+  EXPECT_FALSE(c.SetEquals(a));
+  EXPECT_TRUE(FragmentSet().SetEquals(FragmentSet()));
+}
+
+TEST(FragmentSetTest, UnionDeduplicates) {
+  doc::Document d = Fixture();
+  FragmentSet a{Fragment::Single(1), Fragment::Single(2)};
+  FragmentSet b{Fragment::Single(2), Fragment::Single(3)};
+  FragmentSet u = a.Union(b);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_TRUE(u.Contains(Fragment::Single(1)));
+  EXPECT_TRUE(u.Contains(Fragment::Single(2)));
+  EXPECT_TRUE(u.Contains(Fragment::Single(3)));
+  // Operands untouched.
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(FragmentSetTest, SortedIsCanonical) {
+  doc::Document d = Fixture();
+  FragmentSet set;
+  set.Insert(Frag(d, {5, 6}));
+  set.Insert(Frag(d, {0, 1}));
+  set.Insert(Frag(d, {1, 2}));
+  auto sorted = set.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], Frag(d, {0, 1}));
+  EXPECT_EQ(sorted[1], Frag(d, {1, 2}));
+  EXPECT_EQ(sorted[2], Frag(d, {5, 6}));
+}
+
+TEST(FragmentSetTest, ToString) {
+  doc::Document d = Fixture();
+  FragmentSet set{Fragment::Single(2), Fragment::Single(1)};
+  EXPECT_EQ(set.ToString(), "{⟨n1⟩, ⟨n2⟩}");
+  EXPECT_EQ(FragmentSet().ToString(), "{}");
+}
+
+TEST(FragmentSetTest, ManyInsertionsStaySet) {
+  doc::Document d = testutil::RandomTree(500, 20, 99);
+  Rng rng(1);
+  FragmentSet set;
+  size_t inserted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    doc::NodeId n = static_cast<doc::NodeId>(rng.Uniform(d.size()));
+    if (set.Insert(Fragment::Single(n))) ++inserted;
+  }
+  EXPECT_EQ(set.size(), inserted);
+  EXPECT_LE(set.size(), 500u);
+  // Every element present exactly once.
+  for (const Fragment& f : set) {
+    EXPECT_TRUE(set.Contains(f));
+  }
+}
+
+}  // namespace
+}  // namespace xfrag::algebra

@@ -1,0 +1,174 @@
+// Parameterized property suites for the algebraic laws of §2.2 over random
+// trees and random fragments: fragment join is idempotent, commutative,
+// associative, absorptive; pairwise join is commutative, associative,
+// monotone, and distributes over union.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::RandomSingles;
+using testutil::RandomTree;
+
+struct TreeCase {
+  size_t nodes;
+  size_t window;
+  uint64_t seed;
+};
+
+class JoinLawTest : public ::testing::TestWithParam<TreeCase> {
+ protected:
+  void SetUp() override {
+    document_ = std::make_unique<doc::Document>(
+        RandomTree(GetParam().nodes, GetParam().window, GetParam().seed));
+    rng_ = std::make_unique<Rng>(GetParam().seed ^ 0xfeed);
+  }
+
+  // A random connected fragment: a random node joined with up to `extra`
+  // other random nodes (joins always produce valid fragments).
+  Fragment RandomFragment(size_t extra) {
+    Fragment f = Fragment::Single(
+        static_cast<doc::NodeId>(rng_->Uniform(document_->size())));
+    for (size_t i = 0; i < extra; ++i) {
+      f = Join(*document_, f,
+               Fragment::Single(static_cast<doc::NodeId>(
+                   rng_->Uniform(document_->size()))));
+    }
+    return f;
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(JoinLawTest, Idempotency) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Fragment f = RandomFragment(trial % 4);
+    EXPECT_EQ(Join(*document_, f, f), f);
+  }
+}
+
+TEST_P(JoinLawTest, Commutativity) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Fragment a = RandomFragment(trial % 3);
+    Fragment b = RandomFragment(trial % 2);
+    EXPECT_EQ(Join(*document_, a, b), Join(*document_, b, a));
+  }
+}
+
+TEST_P(JoinLawTest, Associativity) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Fragment a = RandomFragment(trial % 3);
+    Fragment b = RandomFragment(trial % 2);
+    Fragment c = RandomFragment(trial % 4);
+    EXPECT_EQ(Join(*document_, Join(*document_, a, b), c),
+              Join(*document_, a, Join(*document_, b, c)));
+  }
+}
+
+TEST_P(JoinLawTest, Absorption) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Fragment a = RandomFragment(3);
+    // Pick a sub-fragment of a: a connected subset built from a member node.
+    Fragment sub = Fragment::Single(
+        a.nodes()[rng_->Uniform(a.nodes().size())]);
+    ASSERT_TRUE(a.ContainsFragment(sub));
+    EXPECT_EQ(Join(*document_, a, sub), a);
+  }
+}
+
+TEST_P(JoinLawTest, Lemma1InputsContained) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Fragment a = RandomFragment(2);
+    Fragment b = RandomFragment(2);
+    Fragment joined = Join(*document_, a, b);
+    EXPECT_TRUE(joined.ContainsFragment(a));
+    EXPECT_TRUE(joined.ContainsFragment(b));
+  }
+}
+
+TEST_P(JoinLawTest, JoinResultIsValidFragment) {
+  for (int trial = 0; trial < 50; ++trial) {
+    Fragment a = RandomFragment(2);
+    Fragment b = RandomFragment(2);
+    Fragment joined = Join(*document_, a, b);
+    // Re-validate through the checked constructor.
+    auto checked = Fragment::Create(*document_, joined.nodes());
+    ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+    EXPECT_EQ(*checked, joined);
+  }
+}
+
+TEST_P(JoinLawTest, JoinMinimality) {
+  // No strict sub-fragment of a ⋈ b contains both a and b (Definition 4,
+  // condition 3). It suffices to check one-node removals: if a smaller
+  // containing fragment existed, some single node would be removable.
+  for (int trial = 0; trial < 20; ++trial) {
+    Fragment a = RandomFragment(1);
+    Fragment b = RandomFragment(1);
+    Fragment joined = Join(*document_, a, b);
+    for (doc::NodeId n : joined.nodes()) {
+      if (a.ContainsNode(n) || b.ContainsNode(n)) continue;
+      std::vector<doc::NodeId> without;
+      for (doc::NodeId m : joined.nodes()) {
+        if (m != n) without.push_back(m);
+      }
+      EXPECT_FALSE(Fragment::Create(*document_, without).ok())
+          << "removable node in join result";
+    }
+  }
+}
+
+TEST_P(JoinLawTest, PairwiseCommutativity) {
+  Rng rng(GetParam().seed ^ 1);
+  FragmentSet f1 = RandomSingles(*document_, 5, &rng);
+  FragmentSet f2 = RandomSingles(*document_, 4, &rng);
+  EXPECT_TRUE(PairwiseJoin(*document_, f1, f2)
+                  .SetEquals(PairwiseJoin(*document_, f2, f1)));
+}
+
+TEST_P(JoinLawTest, PairwiseAssociativity) {
+  Rng rng(GetParam().seed ^ 2);
+  FragmentSet f1 = RandomSingles(*document_, 4, &rng);
+  FragmentSet f2 = RandomSingles(*document_, 3, &rng);
+  FragmentSet f3 = RandomSingles(*document_, 3, &rng);
+  FragmentSet left =
+      PairwiseJoin(*document_, PairwiseJoin(*document_, f1, f2), f3);
+  FragmentSet right =
+      PairwiseJoin(*document_, f1, PairwiseJoin(*document_, f2, f3));
+  EXPECT_TRUE(left.SetEquals(right));
+}
+
+TEST_P(JoinLawTest, PairwiseMonotonicity) {
+  Rng rng(GetParam().seed ^ 3);
+  FragmentSet f = RandomSingles(*document_, 6, &rng);
+  FragmentSet self = PairwiseJoin(*document_, f, f);
+  for (const Fragment& member : f) {
+    EXPECT_TRUE(self.Contains(member));
+  }
+}
+
+TEST_P(JoinLawTest, PairwiseDistributesOverUnion) {
+  Rng rng(GetParam().seed ^ 4);
+  FragmentSet f1 = RandomSingles(*document_, 4, &rng);
+  FragmentSet f2 = RandomSingles(*document_, 3, &rng);
+  FragmentSet f3 = RandomSingles(*document_, 3, &rng);
+  FragmentSet left = PairwiseJoin(*document_, f1, f2.Union(f3));
+  FragmentSet right =
+      PairwiseJoin(*document_, f1, f2).Union(PairwiseJoin(*document_, f1, f3));
+  EXPECT_TRUE(left.SetEquals(right));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trees, JoinLawTest,
+    ::testing::Values(TreeCase{2, 1, 11}, TreeCase{10, 1, 12},
+                      TreeCase{30, 30, 13}, TreeCase{60, 5, 14},
+                      TreeCase{200, 20, 15}, TreeCase{500, 3, 16},
+                      TreeCase{500, 400, 17}));
+
+}  // namespace
+}  // namespace xfrag::algebra

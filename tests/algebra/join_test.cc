@@ -1,0 +1,190 @@
+// Fragment join (Definition 4): the paper's Figure-3 example reproduced
+// exactly, plus the algebraic laws stated in §2.2 on fixed cases.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+// The Figure-3 document tree (ids are pre-order):
+//          0
+//         / \.
+//        1   3
+//        |  / \.
+//        2 4   6
+//          |   |
+//          5   7
+//             / \.
+//            8   9
+doc::Document Fig3Tree() {
+  return TreeFromParents({doc::kNoNode, 0, 1, 0, 3, 4, 3, 6, 7, 7});
+}
+
+TEST(JoinTest, Figure3FragmentJoin) {
+  doc::Document d = Fig3Tree();
+  // The paper: ⟨n4,n5⟩ ⋈ ⟨n7,n9⟩ = ⟨n3,n4,n5,n6,n7,n9⟩.
+  Fragment joined = Join(d, Frag(d, {4, 5}), Frag(d, {7, 9}));
+  EXPECT_EQ(joined, Frag(d, {3, 4, 5, 6, 7, 9}));
+}
+
+TEST(JoinTest, JoinOfNestedFragmentsAbsorbs) {
+  doc::Document d = Fig3Tree();
+  Fragment outer = Frag(d, {3, 4, 5, 6});
+  Fragment inner = Frag(d, {4, 5});
+  EXPECT_EQ(Join(d, outer, inner), outer);
+  EXPECT_EQ(Join(d, inner, outer), outer);
+}
+
+TEST(JoinTest, JoinOfSiblingsClimbsToParent) {
+  doc::Document d = Fig3Tree();
+  EXPECT_EQ(Join(d, Fragment::Single(8), Fragment::Single(9)),
+            Frag(d, {7, 8, 9}));
+  EXPECT_EQ(Join(d, Fragment::Single(1), Fragment::Single(3)),
+            Frag(d, {0, 1, 3}));
+}
+
+TEST(JoinTest, JoinOfAncestorDescendantFillsPath) {
+  doc::Document d = Fig3Tree();
+  EXPECT_EQ(Join(d, Fragment::Single(3), Fragment::Single(9)),
+            Frag(d, {3, 6, 7, 9}));
+  EXPECT_EQ(Join(d, Fragment::Single(0), Fragment::Single(5)),
+            Frag(d, {0, 3, 4, 5}));
+}
+
+TEST(JoinTest, ResultContainsBothInputs) {
+  doc::Document d = Fig3Tree();
+  Fragment f1 = Frag(d, {1, 2});
+  Fragment f2 = Frag(d, {6, 8, 7});
+  Fragment joined = Join(d, f1, f2);
+  EXPECT_TRUE(joined.ContainsFragment(f1));  // Lemma 1.
+  EXPECT_TRUE(joined.ContainsFragment(f2));
+}
+
+TEST(JoinTest, MinimalityNoRemovableNode) {
+  // Removing any node that is in the join but in neither input must
+  // disconnect the fragment (otherwise the join was not minimal).
+  doc::Document d = Fig3Tree();
+  Fragment f1 = Frag(d, {4, 5});
+  Fragment f2 = Frag(d, {7, 9});
+  Fragment joined = Join(d, f1, f2);
+  for (doc::NodeId n : joined.nodes()) {
+    if (f1.ContainsNode(n) || f2.ContainsNode(n)) continue;
+    std::vector<doc::NodeId> without;
+    for (doc::NodeId m : joined.nodes()) {
+      if (m != n) without.push_back(m);
+    }
+    EXPECT_FALSE(Fragment::Create(d, without).ok())
+        << "node n" << n << " is removable: join not minimal";
+  }
+}
+
+TEST(JoinTest, AlgebraicLawsOnFixedCases) {
+  doc::Document d = Fig3Tree();
+  Fragment a = Frag(d, {4, 5});
+  Fragment b = Frag(d, {7, 9});
+  Fragment c = Frag(d, {1, 2});
+  // Idempotency.
+  EXPECT_EQ(Join(d, a, a), a);
+  // Commutativity.
+  EXPECT_EQ(Join(d, a, b), Join(d, b, a));
+  // Associativity.
+  EXPECT_EQ(Join(d, Join(d, a, b), c), Join(d, a, Join(d, b, c)));
+  // Absorption: f1 ⋈ f2 = f1 when f2 ⊆ f1.
+  Fragment super = Frag(d, {3, 4, 5});
+  EXPECT_EQ(Join(d, super, a), super);
+}
+
+TEST(JoinTest, MetricsCountJoins) {
+  doc::Document d = Fig3Tree();
+  OpMetrics metrics;
+  Join(d, Fragment::Single(2), Fragment::Single(5), &metrics);
+  Join(d, Fragment::Single(8), Fragment::Single(9), &metrics);
+  EXPECT_EQ(metrics.fragment_joins, 2u);
+  EXPECT_EQ(metrics.fragments_produced, 2u);
+}
+
+TEST(PairwiseJoinTest, Figure3PairwiseJoin) {
+  doc::Document d = Fig3Tree();
+  // F1 = {f11, f12}, F2 = {f21, f22} ⇒ all four combinations.
+  FragmentSet f1{Frag(d, {4, 5}), Fragment::Single(2)};
+  FragmentSet f2{Frag(d, {7, 9}), Fragment::Single(8)};
+  FragmentSet joined = PairwiseJoin(d, f1, f2);
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_TRUE(joined.Contains(Frag(d, {3, 4, 5, 6, 7, 9})));
+  EXPECT_TRUE(joined.Contains(Frag(d, {3, 4, 5, 6, 7, 8})));
+  EXPECT_TRUE(joined.Contains(Frag(d, {0, 1, 2, 3, 6, 7, 9})));
+  EXPECT_TRUE(joined.Contains(Frag(d, {0, 1, 2, 3, 6, 7, 8})));
+}
+
+TEST(PairwiseJoinTest, DeduplicatesCoincidingJoins) {
+  doc::Document d = Fig3Tree();
+  // Joining either of {8}, {9} with {7} yields different results, but
+  // joining {8} and {9} each with {7,8,9} both yield {7,8,9}.
+  FragmentSet f1{Fragment::Single(8), Fragment::Single(9)};
+  FragmentSet f2{Frag(d, {7, 8, 9})};
+  FragmentSet joined = PairwiseJoin(d, f1, f2);
+  EXPECT_EQ(joined.size(), 1u);
+  EXPECT_TRUE(joined.Contains(Frag(d, {7, 8, 9})));
+}
+
+TEST(PairwiseJoinTest, EmptyOperandYieldsEmpty) {
+  doc::Document d = Fig3Tree();
+  FragmentSet f1{Fragment::Single(1)};
+  EXPECT_TRUE(PairwiseJoin(d, f1, FragmentSet()).empty());
+  EXPECT_TRUE(PairwiseJoin(d, FragmentSet(), f1).empty());
+}
+
+TEST(PairwiseJoinTest, MonotonicityOnSelfJoin) {
+  // F ⊆ F ⋈ F (§2.2): idempotency of ⋈ keeps every original member.
+  doc::Document d = Fig3Tree();
+  FragmentSet f{Fragment::Single(2), Frag(d, {7, 9}), Frag(d, {0, 3})};
+  FragmentSet self = PairwiseJoin(d, f, f);
+  for (const Fragment& member : f) {
+    EXPECT_TRUE(self.Contains(member));
+  }
+  EXPECT_GE(self.size(), f.size());
+}
+
+TEST(PairwiseJoinTest, NotIdempotentInGeneral) {
+  // The paper notes pairwise join is NOT idempotent: F ⋈ F can exceed F.
+  doc::Document d = Fig3Tree();
+  FragmentSet f{Fragment::Single(8), Fragment::Single(9)};
+  FragmentSet self = PairwiseJoin(d, f, f);
+  EXPECT_GT(self.size(), f.size());
+  EXPECT_TRUE(self.Contains(Frag(d, {7, 8, 9})));
+}
+
+TEST(PairwiseJoinFilteredTest, DropsFailingFragmentsEagerly) {
+  doc::Document d = Fig3Tree();
+  FragmentSet f1{Fragment::Single(2), Fragment::Single(8)};
+  FragmentSet f2{Fragment::Single(9)};
+  FilterContext context{&d, nullptr};
+  OpMetrics metrics;
+  FragmentSet joined = PairwiseJoinFiltered(d, f1, f2, filters::SizeAtMost(3),
+                                            context, &metrics);
+  // 2⋈9 = {0,1,2,3,6,7,9}: size 7, dropped. 8⋈9 = {7,8,9}: kept.
+  EXPECT_EQ(joined.size(), 1u);
+  EXPECT_TRUE(joined.Contains(Frag(d, {7, 8, 9})));
+  EXPECT_EQ(metrics.filter_rejections, 1u);
+  EXPECT_EQ(metrics.filter_evals, 2u);
+}
+
+TEST(SelectTest, KeepsOnlyMatching) {
+  doc::Document d = Fig3Tree();
+  FragmentSet set{Fragment::Single(1), Frag(d, {3, 4, 5}), Frag(d, {7, 8, 9})};
+  FilterContext context{&d, nullptr};
+  FragmentSet selected = Select(set, filters::SizeAtMost(1), context);
+  EXPECT_EQ(selected.size(), 1u);
+  EXPECT_TRUE(selected.Contains(Fragment::Single(1)));
+  // σ_true is identity.
+  EXPECT_TRUE(Select(set, filters::True(), context).SetEquals(set));
+}
+
+}  // namespace
+}  // namespace xfrag::algebra

@@ -1,0 +1,120 @@
+// Powerset fragment join ⋈* (Definition 6) and its Theorem-2 equivalence
+// F1 ⋈* F2 = F1⁺ ⋈ F2⁺.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+doc::Document Fig3Tree() {
+  return TreeFromParents({doc::kNoNode, 0, 1, 0, 3, 4, 3, 6, 7, 7});
+}
+
+TEST(PowersetJoinTest, ProducesMoreThanPairwise) {
+  // The paper highlights (Figure 3 (c) vs (d)) that ⋈* yields more
+  // fragments than ⋈ for the same operands.
+  doc::Document d = Fig3Tree();
+  FragmentSet f1{Fragment::Single(2), Fragment::Single(5)};
+  FragmentSet f2{Fragment::Single(8), Fragment::Single(9)};
+  FragmentSet pairwise = PairwiseJoin(d, f1, f2);
+  auto powerset = PowersetJoinBruteForce(d, f1, f2);
+  ASSERT_TRUE(powerset.ok());
+  EXPECT_GT(powerset->size(), pairwise.size());
+  // Every pairwise result is a powerset result (singleton subsets).
+  for (const Fragment& f : pairwise) {
+    EXPECT_TRUE(powerset->Contains(f));
+  }
+}
+
+TEST(PowersetJoinTest, EmptyOperandsYieldEmpty) {
+  doc::Document d = Fig3Tree();
+  FragmentSet f{Fragment::Single(1)};
+  auto r1 = PowersetJoinBruteForce(d, f, FragmentSet());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->empty());
+  auto r2 = PowersetJoinBruteForce(d, FragmentSet(), f);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST(PowersetJoinTest, SizeGuardTriggersResourceExhausted) {
+  doc::Document d = testutil::RandomTree(64, 8, 61);
+  Rng rng(62);
+  FragmentSet big = testutil::RandomSingles(d, 30, &rng);
+  PowersetJoinOptions options;
+  options.max_set_size = 20;
+  auto result = PowersetJoinBruteForce(d, big, big, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PowersetJoinTest, SingletonOperands) {
+  doc::Document d = Fig3Tree();
+  FragmentSet f1{Fragment::Single(5)};
+  FragmentSet f2{Fragment::Single(9)};
+  auto result = PowersetJoinBruteForce(d, f1, f2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->Contains(Join(d, Fragment::Single(5),
+                                    Fragment::Single(9))));
+}
+
+struct PowersetCase {
+  size_t nodes;
+  size_t window;
+  size_t size1;
+  size_t size2;
+  uint64_t seed;
+};
+
+class PowersetPropertyTest : public ::testing::TestWithParam<PowersetCase> {};
+
+TEST_P(PowersetPropertyTest, Theorem2FixedPointFormEqualsBruteForce) {
+  const auto& param = GetParam();
+  doc::Document d =
+      testutil::RandomTree(param.nodes, param.window, param.seed);
+  Rng rng(param.seed ^ 0x99);
+  FragmentSet f1 = testutil::RandomSingles(d, param.size1, &rng);
+  FragmentSet f2 = testutil::RandomSingles(d, param.size2, &rng);
+  auto brute = PowersetJoinBruteForce(d, f1, f2);
+  ASSERT_TRUE(brute.ok());
+  FragmentSet via_fp = PowersetJoinViaFixedPoint(d, f1, f2);
+  EXPECT_TRUE(brute->SetEquals(via_fp))
+      << "brute " << brute->size() << " vs fixed-point " << via_fp.size();
+}
+
+TEST_P(PowersetPropertyTest, EveryResultContainsOneFragmentFromEachSide) {
+  const auto& param = GetParam();
+  doc::Document d =
+      testutil::RandomTree(param.nodes, param.window, param.seed ^ 7);
+  Rng rng(param.seed ^ 0xaa);
+  FragmentSet f1 = testutil::RandomSingles(d, param.size1, &rng);
+  FragmentSet f2 = testutil::RandomSingles(d, param.size2, &rng);
+  auto result = PowersetJoinBruteForce(d, f1, f2);
+  ASSERT_TRUE(result.ok());
+  for (const Fragment& f : *result) {
+    bool has1 = false, has2 = false;
+    for (const Fragment& a : f1) has1 = has1 || f.ContainsFragment(a);
+    for (const Fragment& b : f2) has2 = has2 || f.ContainsFragment(b);
+    EXPECT_TRUE(has1 && has2) << f.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, PowersetPropertyTest,
+    ::testing::Values(PowersetCase{20, 2, 2, 2, 71},
+                      PowersetCase{30, 30, 3, 3, 72},
+                      PowersetCase{50, 5, 4, 3, 73},
+                      PowersetCase{80, 10, 5, 4, 74},
+                      PowersetCase{80, 2, 4, 4, 75},
+                      PowersetCase{150, 100, 6, 5, 76},
+                      PowersetCase{25, 1, 4, 4, 77}));  // Chain tree.
+
+}  // namespace
+}  // namespace xfrag::algebra

@@ -1,0 +1,107 @@
+// Fragment set reduce ⊖ (Definition 10), including the paper's Figure-4
+// example reproduced exactly.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+// The Figure-4 document tree (ids are pre-order):
+//          0
+//         / \.
+//        1   2
+//           / \.
+//          3   6
+//         /|   |
+//        4 5   7
+doc::Document Fig4Tree() {
+  return TreeFromParents({doc::kNoNode, 0, 0, 2, 3, 3, 2, 6});
+}
+
+TEST(ReduceTest, Figure4Example) {
+  doc::Document d = Fig4Tree();
+  // The paper: ⊖({⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩}) = {⟨n1⟩,⟨n5⟩,⟨n7⟩}, because
+  // n3 ⊆ n1 ⋈ n5 and n6 ⊆ n1 ⋈ n7.
+  FragmentSet f = testutil::Singles({1, 3, 5, 6, 7});
+  // Sanity of the premises first.
+  EXPECT_TRUE(Join(d, Fragment::Single(1), Fragment::Single(5))
+                  .ContainsNode(3));
+  EXPECT_TRUE(Join(d, Fragment::Single(1), Fragment::Single(7))
+                  .ContainsNode(6));
+  FragmentSet reduced = Reduce(d, f);
+  EXPECT_TRUE(reduced.SetEquals(testutil::Singles({1, 5, 7})))
+      << reduced.ToString();
+}
+
+TEST(ReduceTest, SmallSetsAreAlreadyReduced) {
+  doc::Document d = Fig4Tree();
+  FragmentSet empty;
+  EXPECT_TRUE(Reduce(d, empty).SetEquals(empty));
+  FragmentSet one = testutil::Singles({4});
+  EXPECT_TRUE(Reduce(d, one).SetEquals(one));
+  // Two elements: elimination needs two *other* members, impossible.
+  FragmentSet two = testutil::Singles({4, 5});
+  EXPECT_TRUE(Reduce(d, two).SetEquals(two));
+}
+
+TEST(ReduceTest, IndependentFragmentsSurvive) {
+  doc::Document d = Fig4Tree();
+  // Siblings 4, 5 and node 1: no join of two of them covers the third.
+  FragmentSet f = testutil::Singles({1, 4, 5});
+  EXPECT_TRUE(Join(d, Fragment::Single(4), Fragment::Single(5))
+                  .ContainsNode(3));  // 4 ⋈ 5 = ⟨3,4,5⟩; no member inside.
+  FragmentSet reduced = Reduce(d, f);
+  EXPECT_TRUE(reduced.SetEquals(f));
+}
+
+TEST(ReduceTest, NonSingletonFragmentsReduceToo) {
+  doc::Document d = Fig4Tree();
+  // ⟨2,3⟩ ⊆ ⟨3,4⟩ ⋈ ⟨2,6⟩ = ⟨2,3,4,6⟩, so ⟨2,3⟩ is eliminated.
+  FragmentSet f{Frag(d, {2, 3}), Frag(d, {3, 4}), Frag(d, {2, 6})};
+  FragmentSet reduced = Reduce(d, f);
+  EXPECT_EQ(reduced.size(), 2u);
+  EXPECT_FALSE(reduced.Contains(Frag(d, {2, 3})));
+}
+
+TEST(ReduceTest, ReducedSetIsSubsetOfInput) {
+  doc::Document d = testutil::RandomTree(100, 10, 21);
+  Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    FragmentSet f = testutil::RandomSingles(d, 8, &rng);
+    FragmentSet reduced = Reduce(d, f);
+    EXPECT_LE(reduced.size(), f.size());
+    for (const Fragment& member : reduced) {
+      EXPECT_TRUE(f.Contains(member));
+    }
+  }
+}
+
+TEST(ReduceTest, EliminationConditionHolds) {
+  // Every eliminated member must indeed be subsumed by the join of two other
+  // distinct members (soundness of ⊖).
+  doc::Document d = testutil::RandomTree(80, 6, 31);
+  Rng rng(32);
+  FragmentSet f = testutil::RandomSingles(d, 7, &rng);
+  FragmentSet reduced = Reduce(d, f);
+  for (const Fragment& member : f) {
+    if (reduced.Contains(member)) continue;
+    bool witnessed = false;
+    for (size_t i = 0; i < f.size() && !witnessed; ++i) {
+      for (size_t j = i + 1; j < f.size() && !witnessed; ++j) {
+        if (f[i] == member || f[j] == member) continue;
+        if (Join(d, f[i], f[j]).ContainsFragment(member)) witnessed = true;
+      }
+    }
+    EXPECT_TRUE(witnessed) << "eliminated without witness: "
+                           << member.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xfrag::algebra

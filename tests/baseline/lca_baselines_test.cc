@@ -1,0 +1,193 @@
+// SLCA / ELCA / smallest-subtree baselines: exact cases, the brute-force
+// oracle cross-check, and the paper's effectiveness argument (the target
+// fragment ⟨n16,n17,n18⟩ is unreachable for the baselines).
+
+#include "baseline/lca_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/corpus.h"
+#include "gen/paper_document.h"
+
+namespace xfrag::baseline {
+namespace {
+
+using doc::NodeId;
+
+// Fixture:
+//          0 "x"
+//         /    \.
+//        1      4 "x y"
+//       / \      \.
+//  "x" 2   3 "y"  5 "y"
+doc::Document MakeDoc() {
+  auto d = doc::Document::FromParents(
+      {doc::kNoNode, 0, 1, 1, 0, 4}, {"r", "a", "b", "c", "d", "e"},
+      {"x", "", "x", "y", "x y", "y"});
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    document_ = std::make_unique<doc::Document>(MakeDoc());
+    text::IndexOptions options;
+    options.index_tag_names = false;
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_, options));
+    baselines_ = std::make_unique<LcaBaselines>(*document_, *index_);
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<LcaBaselines> baselines_;
+};
+
+TEST_F(BaselineTest, SlcaTwoTerms) {
+  // x: {0, 2, 4}; y: {3, 4, 5}.
+  // Subtrees containing both: 0 (all), 1 (x@2, y@3), 4 (x@4, y@5).
+  // Minimal: 1 and 4.
+  auto slca = baselines_->Slca({"x", "y"});
+  ASSERT_TRUE(slca.ok());
+  EXPECT_EQ(*slca, (std::vector<NodeId>{1, 4}));
+}
+
+TEST_F(BaselineTest, SlcaSingleTermIsPostings) {
+  auto slca = baselines_->Slca({"y"});
+  ASSERT_TRUE(slca.ok());
+  // Minimal subtrees containing y: exactly the posting nodes... except
+  // ancestors of postings are non-minimal: y@{3,4,5}: 4 contains y itself
+  // but child 5 also contains y ⇒ 4 not minimal.
+  EXPECT_EQ(*slca, (std::vector<NodeId>{3, 5}));
+}
+
+TEST_F(BaselineTest, SlcaMissingTermEmpty) {
+  auto slca = baselines_->Slca({"x", "zzz"});
+  ASSERT_TRUE(slca.ok());
+  EXPECT_TRUE(slca->empty());
+}
+
+TEST_F(BaselineTest, SlcaRejectsEmptyQuery) {
+  EXPECT_FALSE(baselines_->Slca({}).ok());
+}
+
+TEST_F(BaselineTest, SlcaMatchesBruteForceOracle) {
+  auto fast = baselines_->Slca({"x", "y"});
+  auto oracle = baselines_->SlcaBruteForce({"x", "y"}, 10000);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*fast, *oracle);
+}
+
+TEST_F(BaselineTest, BruteForceGuard) {
+  auto result = baselines_->SlcaBruteForce({"x", "y"}, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BaselineTest, ElcaIncludesExclusiveAncestors) {
+  // ELCA for {x, y}: node 1 (x@2, y@3 exclusively), node 4 (x@4, y@5).
+  // Node 0: its x-witnesses are 0 itself (not under 1 or 4)... x@0 has
+  // lowest masked ancestor 0, but every y occurrence lies under a masked
+  // descendant (3 under 1; 4,5 under 4) ⇒ 0 is NOT an ELCA.
+  auto elca = baselines_->Elca({"x", "y"});
+  ASSERT_TRUE(elca.ok());
+  EXPECT_EQ(*elca, (std::vector<NodeId>{1, 4}));
+}
+
+TEST_F(BaselineTest, ElcaSupersetOfSlca) {
+  auto slca = baselines_->Slca({"x", "y"});
+  auto elca = baselines_->Elca({"x", "y"});
+  ASSERT_TRUE(slca.ok());
+  ASSERT_TRUE(elca.ok());
+  for (NodeId n : *slca) {
+    EXPECT_NE(std::find(elca->begin(), elca->end(), n), elca->end());
+  }
+}
+
+TEST_F(BaselineTest, ElcaDetectsRootWithOwnWitness) {
+  // Root text has both terms ⇒ root is an ELCA even though descendants
+  // also contain them.
+  auto d = doc::Document::FromParents({doc::kNoNode, 0}, {"r", "a"},
+                                      {"x y", "x y"});
+  ASSERT_TRUE(d.ok());
+  text::IndexOptions options;
+  options.index_tag_names = false;
+  auto index = text::InvertedIndex::Build(*d, options);
+  LcaBaselines baselines(*d, index);
+  auto elca = baselines.Elca({"x", "y"});
+  ASSERT_TRUE(elca.ok());
+  EXPECT_EQ(*elca, (std::vector<NodeId>{0, 1}));
+  auto slca = baselines.Slca({"x", "y"});
+  ASSERT_TRUE(slca.ok());
+  EXPECT_EQ(*slca, (std::vector<NodeId>{1}));
+}
+
+TEST_F(BaselineTest, SmallestSubtreeAnswersAreFullSubtrees) {
+  auto answers = baselines_->SmallestSubtreeAnswers({"x", "y"});
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 2u);
+  algebra::FragmentSet expected;
+  expected.Insert(algebra::Fragment::FromSortedUnchecked({1, 2, 3}));
+  expected.Insert(algebra::Fragment::FromSortedUnchecked({4, 5}));
+  EXPECT_TRUE(answers->SetEquals(expected)) << answers->ToString();
+}
+
+TEST(BaselinePaperTest, SmallestSubtreeSemanticsMissesTheTargetFragment) {
+  // The introduction's argument: for {XQuery, optimization} on Figure 1,
+  // smallest-subtree semantics returns n17 alone; the self-contained target
+  // ⟨n16,n17,n18⟩ is unreachable for SLCA-based baselines.
+  auto document = gen::BuildPaperDocument();
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  LcaBaselines baselines(*document, index);
+
+  auto slca = baselines.Slca({"xquery", "optimization"});
+  ASSERT_TRUE(slca.ok());
+  EXPECT_EQ(*slca, (std::vector<NodeId>{17}));
+
+  auto answers = baselines.SmallestSubtreeAnswers({"xquery", "optimization"});
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0], algebra::Fragment::Single(17));
+  algebra::Fragment target =
+      algebra::Fragment::FromSortedUnchecked({16, 17, 18});
+  EXPECT_FALSE(answers->Contains(target));
+}
+
+struct OracleCase {
+  size_t nodes;
+  uint64_t seed;
+};
+
+class SlcaOracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(SlcaOracleTest, FastSlcaMatchesBruteForceOnRandomCorpora) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = GetParam().nodes;
+  profile.seed = GetParam().seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(GetParam().seed ^ 0x51ca);
+  gen::PlantKeyword(&raw, "kwone", 6, gen::PlantMode::kScattered, &rng);
+  gen::PlantKeyword(&raw, "kwtwo", 5, gen::PlantMode::kClustered, &rng);
+  auto document = gen::Materialize(raw);
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  LcaBaselines baselines(*document, index);
+
+  auto fast = baselines.Slca({"kwone", "kwtwo"});
+  auto oracle = baselines.SlcaBruteForce({"kwone", "kwtwo"}, 100000);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*fast, *oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SlcaOracleTest,
+                         ::testing::Values(OracleCase{50, 1}, OracleCase{120, 2},
+                                           OracleCase{300, 3},
+                                           OracleCase{600, 4}));
+
+}  // namespace
+}  // namespace xfrag::baseline

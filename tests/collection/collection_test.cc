@@ -1,0 +1,187 @@
+// Collection container + collection-wide query evaluation, including the
+// parallel path and determinism of merged results.
+
+#include "collection/collection_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/corpus.h"
+#include "gen/paper_document.h"
+
+namespace xfrag::collection {
+namespace {
+
+Collection MakeSmallCollection() {
+  Collection collection;
+  EXPECT_TRUE(collection
+                  .AddXml("alpha.xml",
+                          "<doc><sec><par>apples and oranges</par>"
+                          "<par>oranges only</par></sec></doc>")
+                  .ok());
+  EXPECT_TRUE(collection
+                  .AddXml("beta.xml",
+                          "<doc><par>apples alone here</par></doc>")
+                  .ok());
+  EXPECT_TRUE(collection
+                  .AddXml("gamma.xml",
+                          "<doc><sec>apples<par>oranges</par></sec></doc>")
+                  .ok());
+  return collection;
+}
+
+TEST(CollectionTest, AddAndLookup) {
+  Collection collection = MakeSmallCollection();
+  EXPECT_EQ(collection.size(), 3u);
+  EXPECT_EQ(collection.Names(),
+            (std::vector<std::string>{"alpha.xml", "beta.xml", "gamma.xml"}));
+  auto found = collection.Find("beta.xml");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name, "beta.xml");
+  EXPECT_FALSE(collection.Find("missing.xml").ok());
+}
+
+TEST(CollectionTest, DuplicateNameRejected) {
+  Collection collection;
+  ASSERT_TRUE(collection.AddXml("a", "<r>x</r>").ok());
+  auto status = collection.AddXml("a", "<r>y</r>");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CollectionTest, MalformedXmlRejected) {
+  Collection collection;
+  EXPECT_FALSE(collection.AddXml("bad", "<r><unclosed></r>").ok());
+  EXPECT_EQ(collection.size(), 0u);
+}
+
+TEST(CollectionTest, DocumentFrequency) {
+  Collection collection = MakeSmallCollection();
+  EXPECT_EQ(collection.DocumentFrequency("apples"), 3u);
+  EXPECT_EQ(collection.DocumentFrequency("oranges"), 2u);
+  EXPECT_EQ(collection.DocumentFrequency("nothing"), 0u);
+}
+
+TEST(CollectionTest, TotalNodes) {
+  Collection collection = MakeSmallCollection();
+  // alpha: doc,sec,par,par = 4; beta: doc,par = 2; gamma: doc,sec,par = 3.
+  EXPECT_EQ(collection.TotalNodes(), 9u);
+}
+
+TEST(CollectionEngineTest, EvaluatesOnlyDocumentsWithAllTerms) {
+  Collection collection = MakeSmallCollection();
+  CollectionEngine engine(collection);
+  query::Query q;
+  q.terms = {"apples", "oranges"};
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // beta.xml lacks 'oranges'.
+  EXPECT_EQ(result->documents_evaluated, 2u);
+  EXPECT_EQ(result->documents_skipped, 1u);
+  ASSERT_FALSE(result->answers.empty());
+  for (const auto& answer : result->answers) {
+    EXPECT_NE(answer.document_name, "beta.xml");
+  }
+}
+
+TEST(CollectionEngineTest, AnswersCarryProvenanceInDocumentOrder) {
+  Collection collection = MakeSmallCollection();
+  CollectionEngine engine(collection);
+  query::Query q;
+  q.terms = {"apples"};
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->documents_evaluated, 3u);
+  // Document indexes are non-decreasing in the merged answer list.
+  for (size_t i = 1; i < result->answers.size(); ++i) {
+    EXPECT_LE(result->answers[i - 1].document_index,
+              result->answers[i].document_index);
+  }
+}
+
+TEST(CollectionEngineTest, EmptyQueryRejected) {
+  Collection collection = MakeSmallCollection();
+  CollectionEngine engine(collection);
+  EXPECT_FALSE(engine.Evaluate(query::Query{}).ok());
+}
+
+TEST(CollectionEngineTest, EmptyCollectionYieldsEmptyResult) {
+  Collection collection;
+  CollectionEngine engine(collection);
+  query::Query q;
+  q.terms = {"anything"};
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answers.empty());
+  EXPECT_EQ(result->documents_evaluated, 0u);
+}
+
+TEST(CollectionEngineTest, ParallelMatchesSequential) {
+  // A larger generated collection exercises the parallel path.
+  Collection collection;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    gen::CorpusProfile profile;
+    profile.target_nodes = 300;
+    profile.seed = seed;
+    gen::RawCorpus raw = gen::GenerateRaw(profile);
+    Rng rng(seed ^ 0xc0);
+    gen::PlantKeyword(&raw, "kwone", 5, gen::PlantMode::kClustered, &rng);
+    if (seed % 2 == 0) {  // Half the documents have both terms.
+      gen::PlantKeyword(&raw, "kwtwo", 4, gen::PlantMode::kScattered, &rng);
+    }
+    auto document = gen::Materialize(raw);
+    ASSERT_TRUE(document.ok());
+    ASSERT_TRUE(collection
+                    .Add("doc" + std::to_string(seed),
+                         std::move(document).value())
+                    .ok());
+  }
+  CollectionEngine engine(collection);
+  query::Query q;
+  q.terms = {"kwone", "kwtwo"};
+  q.filter = algebra::filters::SizeAtMost(6);
+
+  CollectionEvalOptions sequential;
+  sequential.parallelism = 1;
+  auto seq = engine.Evaluate(q, sequential);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq->documents_skipped, 4u);
+
+  CollectionEvalOptions parallel;
+  parallel.parallelism = 4;
+  auto par = engine.Evaluate(q, parallel);
+  ASSERT_TRUE(par.ok());
+
+  ASSERT_EQ(seq->answers.size(), par->answers.size());
+  for (size_t i = 0; i < seq->answers.size(); ++i) {
+    EXPECT_EQ(seq->answers[i].document_index, par->answers[i].document_index);
+    EXPECT_EQ(seq->answers[i].fragment, par->answers[i].fragment);
+  }
+  EXPECT_EQ(seq->metrics.fragment_joins, par->metrics.fragment_joins);
+}
+
+TEST(CollectionEngineTest, PaperDocumentInACollection) {
+  Collection collection;
+  auto paper = gen::BuildPaperDocument();
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(collection.Add("figure1.xml", std::move(paper).value()).ok());
+  ASSERT_TRUE(
+      collection.AddXml("other.xml", "<doc><par>nothing relevant</par></doc>")
+          .ok());
+
+  CollectionEngine engine(collection);
+  query::Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = algebra::filters::SizeAtMost(3);
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->documents_evaluated, 1u);
+  EXPECT_EQ(result->documents_skipped, 1u);
+  ASSERT_EQ(result->answers.size(), 4u);
+  for (const auto& answer : result->answers) {
+    EXPECT_EQ(answer.document_name, "figure1.xml");
+  }
+}
+
+}  // namespace
+}  // namespace xfrag::collection

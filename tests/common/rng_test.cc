@@ -1,0 +1,109 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace xfrag {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversWholeRange) {
+  Rng rng(11);
+  std::map<int64_t, int> seen;
+  for (int i = 0; i < 2000; ++i) ++seen[rng.UniformInt(0, 9)];
+  EXPECT_EQ(seen.size(), 10u);
+  for (const auto& [value, count] : seen) {
+    EXPECT_GT(count, 100) << "value " << value << " under-sampled";
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(13);
+  ZipfSampler zipf(10, 0.0);
+  std::map<size_t, int> seen;
+  for (int i = 0; i < 10000; ++i) ++seen[zipf.Sample(&rng)];
+  for (const auto& [rank, count] : seen) {
+    EXPECT_NEAR(count, 1000, 250) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.2);
+  int rank0 = 0, rank50plus = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t r = zipf.Sample(&rng);
+    if (r == 0) ++rank0;
+    if (r >= 50) ++rank50plus;
+  }
+  EXPECT_GT(rank0, rank50plus);
+}
+
+TEST(ZipfTest, SamplesWithinUniverse) {
+  Rng rng(19);
+  ZipfSampler zipf(7, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace xfrag

@@ -1,0 +1,69 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag {
+namespace {
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  auto pieces = Split("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(SplitTest, SingleField) {
+  auto pieces = Split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyPieces) {
+  auto pieces = SplitWhitespace("  alpha\t beta\n\ngamma ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "alpha");
+  EXPECT_EQ(pieces[1], "beta");
+  EXPECT_EQ(pieces[2], "gamma");
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StripTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  x  "), "x");
+  EXPECT_EQ(StripAsciiWhitespace("x"), "x");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace("\t a b \n"), "a b");
+}
+
+TEST(CaseTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("XQuery"), "xquery");
+  EXPECT_EQ(AsciiToLower("ABC123"), "abc123");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("fragment", "frag"));
+  EXPECT_FALSE(StartsWith("frag", "fragment"));
+  EXPECT_TRUE(EndsWith("fragment", "ment"));
+  EXPECT_FALSE(EndsWith("ment", "fragment"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("n%u", 17u), "n17");
+  EXPECT_EQ(StrFormat("%s=%d", "beta", 3), "beta=3");
+  EXPECT_EQ(StrFormat("%.2f", 0.5), "0.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace xfrag

@@ -1,0 +1,44 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag {
+namespace {
+
+// Burns a little CPU; the EXPECT keeps the loop from being optimized away.
+void BurnTime(int iterations) {
+  uint64_t sink = 0;
+  for (int i = 0; i < iterations; ++i) sink += static_cast<uint64_t>(i);
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(TimerTest, ElapsedIsMonotonicNonNegative) {
+  Timer timer;
+  int64_t first = timer.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  BurnTime(100000);
+  int64_t second = timer.ElapsedNanos();
+  EXPECT_GE(second, first);
+}
+
+TEST(TimerTest, UnitsAreConsistent) {
+  Timer timer;
+  BurnTime(100000);
+  int64_t nanos = timer.ElapsedNanos();
+  double micros = timer.ElapsedMicros();
+  double millis = timer.ElapsedMillis();
+  EXPECT_GE(micros, static_cast<double>(nanos) / 1e3);
+  EXPECT_GE(millis * 1000.0 + 1.0, micros);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  BurnTime(200000);
+  int64_t before = timer.ElapsedNanos();
+  timer.Reset();
+  int64_t after = timer.ElapsedNanos();
+  EXPECT_LT(after, before + 1000000);  // Fresh start (1ms slack).
+}
+
+}  // namespace
+}  // namespace xfrag

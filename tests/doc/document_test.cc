@@ -1,0 +1,193 @@
+#include "doc/document.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xfrag::doc {
+namespace {
+
+// Fixture tree (ids are pre-order):
+//        0
+//       / \.
+//      1   5
+//     /|\   \.
+//    2 3 4   6
+//            |
+//            7
+Document MakeFixture() {
+  auto doc = Document::FromParents(
+      {kNoNode, 0, 1, 1, 1, 0, 5, 6},
+      {"r", "a", "b", "c", "d", "e", "f", "g"},
+      {"", "", "", "", "", "", "", ""});
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+TEST(DocumentTest, BasicShape) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_EQ(d.root(), 0u);
+  EXPECT_EQ(d.parent(0), kNoNode);
+  EXPECT_EQ(d.parent(3), 1u);
+  EXPECT_EQ(d.parent(7), 6u);
+  EXPECT_EQ(d.depth(0), 0u);
+  EXPECT_EQ(d.depth(2), 2u);
+  EXPECT_EQ(d.depth(7), 3u);
+  EXPECT_EQ(d.height(), 3u);
+  EXPECT_EQ(d.tag(5), "e");
+}
+
+TEST(DocumentTest, ChildrenInOrder) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.children(0), (std::vector<NodeId>{1, 5}));
+  EXPECT_EQ(d.children(1), (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_TRUE(d.children(2).empty());
+}
+
+TEST(DocumentTest, SubtreeSizes) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.subtree_size(0), 8u);
+  EXPECT_EQ(d.subtree_size(1), 4u);
+  EXPECT_EQ(d.subtree_size(5), 3u);
+  EXPECT_EQ(d.subtree_size(7), 1u);
+}
+
+TEST(DocumentTest, AncestorTests) {
+  Document d = MakeFixture();
+  EXPECT_TRUE(d.IsAncestorOrSelf(0, 7));
+  EXPECT_TRUE(d.IsAncestorOrSelf(3, 3));
+  EXPECT_FALSE(d.IsAncestor(3, 3));
+  EXPECT_TRUE(d.IsAncestor(1, 4));
+  EXPECT_FALSE(d.IsAncestor(1, 5));
+  EXPECT_FALSE(d.IsAncestor(4, 1));
+  EXPECT_TRUE(d.IsAncestor(5, 7));
+}
+
+TEST(DocumentTest, Lca) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.Lca(2, 4), 1u);
+  EXPECT_EQ(d.Lca(2, 7), 0u);
+  EXPECT_EQ(d.Lca(6, 7), 6u);
+  EXPECT_EQ(d.Lca(3, 3), 3u);
+  EXPECT_EQ(d.Lca(0, 5), 0u);
+}
+
+TEST(DocumentTest, LcaOfMany) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.Lca(std::vector<NodeId>{2, 3, 4}), 1u);
+  EXPECT_EQ(d.Lca(std::vector<NodeId>{2, 7}), 0u);
+  EXPECT_EQ(d.Lca(std::vector<NodeId>{6}), 6u);
+}
+
+TEST(DocumentTest, PathToAncestor) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.PathToAncestor(7, 0), (std::vector<NodeId>{7, 6, 5, 0}));
+  EXPECT_EQ(d.PathToAncestor(3, 3), (std::vector<NodeId>{3}));
+  EXPECT_EQ(d.PathToAncestor(4, 1), (std::vector<NodeId>{4, 1}));
+}
+
+TEST(DocumentTest, Distance) {
+  Document d = MakeFixture();
+  EXPECT_EQ(d.Distance(2, 4), 2u);
+  EXPECT_EQ(d.Distance(2, 7), 5u);
+  EXPECT_EQ(d.Distance(0, 0), 0u);
+  EXPECT_EQ(d.Distance(6, 7), 1u);
+}
+
+TEST(DocumentTest, SingleNodeDocument) {
+  auto d = Document::FromParents({kNoNode}, {"only"}, {"text"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+  EXPECT_EQ(d->Lca(0, 0), 0u);
+  EXPECT_EQ(d->subtree_size(0), 1u);
+  EXPECT_EQ(d->height(), 0u);
+}
+
+TEST(DocumentTest, RejectsEmpty) {
+  EXPECT_FALSE(Document::FromParents({}, {}, {}).ok());
+}
+
+TEST(DocumentTest, RejectsMismatchedArrays) {
+  EXPECT_FALSE(Document::FromParents({kNoNode}, {"a", "b"}, {""}).ok());
+}
+
+TEST(DocumentTest, RejectsNonPreOrderParent) {
+  // Node 1's parent is 2 (> 1): not a pre-order numbering.
+  EXPECT_FALSE(
+      Document::FromParents({kNoNode, 2, 0}, {"a", "b", "c"}, {"", "", ""})
+          .ok());
+}
+
+TEST(DocumentTest, RejectsNonContiguousSubtreeNumbering) {
+  // parents {-, 0, 0, 1}: node 3 claims parent 1, but node 2 (1's sibling)
+  // was emitted in between, so subtree(1) would be {1, 3} — not a
+  // contiguous id range, hence not a pre-order numbering.
+  auto d = Document::FromParents({kNoNode, 0, 0, 1},
+                                 {"a", "b", "c", "d"}, {"", "", "", ""});
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("rightmost path"), std::string::npos);
+}
+
+TEST(DocumentTest, RejectsRootWithParent) {
+  EXPECT_FALSE(Document::FromParents({0}, {"a"}, {""}).ok());
+}
+
+TEST(DocumentTest, FromDomFlattensElementsOnly) {
+  auto dom = xml::Parse(
+      "<a id=\"r\">head<b>x<!-- note --></b>mid<c><d/></c>tail</a>");
+  ASSERT_TRUE(dom.ok());
+  auto d = Document::FromDom(*dom);
+  ASSERT_TRUE(d.ok());
+  // Elements: a(0), b(1), c(2), d(3).
+  ASSERT_EQ(d->size(), 4u);
+  EXPECT_EQ(d->tag(0), "a");
+  EXPECT_EQ(d->tag(1), "b");
+  EXPECT_EQ(d->tag(2), "c");
+  EXPECT_EQ(d->tag(3), "d");
+  EXPECT_EQ(d->parent(3), 2u);
+  // Node text: direct text plus attribute values.
+  EXPECT_EQ(d->text(0), "headmidtail r");
+  EXPECT_EQ(d->text(1), "x");
+}
+
+TEST(DocumentTest, FromDomRejectsEmptyDom) {
+  xml::XmlDocument empty;
+  EXPECT_FALSE(Document::FromDom(empty).ok());
+}
+
+TEST(DocumentTest, DeepChainDocument) {
+  // A pathological chain: 0 -> 1 -> 2 -> ... -> 99.
+  std::vector<NodeId> parents{kNoNode};
+  std::vector<std::string> tags{"n"}, texts{""};
+  for (NodeId i = 1; i < 100; ++i) {
+    parents.push_back(i - 1);
+    tags.push_back("n");
+    texts.push_back("");
+  }
+  auto d = Document::FromParents(parents, tags, texts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->height(), 99u);
+  EXPECT_EQ(d->Lca(99, 50), 50u);
+  EXPECT_EQ(d->Distance(99, 0), 99u);
+  EXPECT_EQ(d->subtree_size(0), 100u);
+}
+
+TEST(DocumentTest, WideFlatDocument) {
+  // Root with 200 leaf children.
+  std::vector<NodeId> parents{kNoNode};
+  std::vector<std::string> tags{"r"}, texts{""};
+  for (NodeId i = 1; i <= 200; ++i) {
+    parents.push_back(0);
+    tags.push_back("leaf");
+    texts.push_back("");
+  }
+  auto d = Document::FromParents(parents, tags, texts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->height(), 1u);
+  EXPECT_EQ(d->Lca(1, 200), 0u);
+  EXPECT_EQ(d->children(0).size(), 200u);
+}
+
+}  // namespace
+}  // namespace xfrag::doc

@@ -1,0 +1,110 @@
+// Property tests: the O(1) sparse-table LCA agrees with a reference
+// parent-walking implementation on randomly generated trees.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "doc/document.h"
+
+namespace xfrag::doc {
+namespace {
+
+// Reference LCA by walking parents upward.
+NodeId ReferenceLca(const Document& d, NodeId a, NodeId b) {
+  while (a != b) {
+    if (d.depth(a) >= d.depth(b)) {
+      a = d.parent(a);
+    } else {
+      b = d.parent(b);
+    }
+  }
+  return a;
+}
+
+// Random tree in pre-order numbering: node i attaches to one of the last
+// `window` nodes of the current rightmost path (the set of legal pre-order
+// parents); window=1 gives chains, large windows give bushy shapes.
+Document RandomTree(size_t n, size_t window, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> parents{kNoNode};
+  std::vector<NodeId> path{0};
+  std::vector<std::string> tags{"n"}, texts{""};
+  for (size_t i = 1; i < n; ++i) {
+    size_t w = std::min(window, path.size());
+    size_t index = path.size() - 1 - static_cast<size_t>(rng.Uniform(w));
+    parents.push_back(path[index]);
+    path.resize(index + 1);
+    path.push_back(static_cast<NodeId>(i));
+    tags.push_back("n");
+    texts.push_back("");
+  }
+  auto doc = Document::FromParents(parents, tags, texts);
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+struct LcaCase {
+  size_t nodes;
+  size_t window;
+  uint64_t seed;
+};
+
+class LcaPropertyTest : public ::testing::TestWithParam<LcaCase> {};
+
+TEST_P(LcaPropertyTest, MatchesReferenceOnRandomPairs) {
+  const LcaCase& param = GetParam();
+  Document d = RandomTree(param.nodes, param.window, param.seed);
+  Rng rng(param.seed ^ 0xabcdef);
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(d.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(d.size()));
+    EXPECT_EQ(d.Lca(a, b), ReferenceLca(d, a, b))
+        << "a=" << a << " b=" << b << " n=" << param.nodes;
+  }
+}
+
+TEST_P(LcaPropertyTest, LcaIsCommonAncestorAndDeepest) {
+  const LcaCase& param = GetParam();
+  Document d = RandomTree(param.nodes, param.window, param.seed);
+  Rng rng(param.seed ^ 0x123456);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(d.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(d.size()));
+    NodeId l = d.Lca(a, b);
+    EXPECT_TRUE(d.IsAncestorOrSelf(l, a));
+    EXPECT_TRUE(d.IsAncestorOrSelf(l, b));
+    // No strict descendant of l is a common ancestor.
+    for (NodeId child : d.children(l)) {
+      EXPECT_FALSE(d.IsAncestorOrSelf(child, a) && d.IsAncestorOrSelf(child, b));
+    }
+  }
+}
+
+TEST_P(LcaPropertyTest, AncestorIntervalMatchesParentWalk) {
+  const LcaCase& param = GetParam();
+  Document d = RandomTree(param.nodes, param.window, param.seed);
+  Rng rng(param.seed ^ 0x777);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(d.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(d.size()));
+    bool walk = false;
+    for (NodeId cur = b;; cur = d.parent(cur)) {
+      if (cur == a) {
+        walk = true;
+        break;
+      }
+      if (cur == d.root()) break;
+    }
+    EXPECT_EQ(d.IsAncestorOrSelf(a, b), walk) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LcaPropertyTest,
+    ::testing::Values(LcaCase{2, 1, 1}, LcaCase{17, 1, 2},    // Chain-ish.
+                      LcaCase{64, 64, 3}, LcaCase{64, 4, 4},  // Star / bushy.
+                      LcaCase{257, 16, 5}, LcaCase{1000, 50, 6},
+                      LcaCase{1000, 2, 7}, LcaCase{4096, 1000, 8}));
+
+}  // namespace
+}  // namespace xfrag::doc

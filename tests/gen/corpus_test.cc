@@ -1,0 +1,176 @@
+#include "gen/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "text/inverted_index.h"
+
+namespace xfrag::gen {
+namespace {
+
+using doc::NodeId;
+
+TEST(VocabularyWordTest, DeterministicAndDistinct) {
+  std::set<std::string> words;
+  for (size_t i = 0; i < 2000; ++i) {
+    std::string w = VocabularyWord(i);
+    EXPECT_GE(w.size(), 6u);
+    EXPECT_TRUE(words.insert(w).second) << "duplicate word " << w;
+  }
+  EXPECT_EQ(VocabularyWord(42), VocabularyWord(42));
+}
+
+TEST(GenerateRawTest, DeterministicForSeed) {
+  CorpusProfile profile;
+  profile.target_nodes = 200;
+  profile.seed = 3;
+  RawCorpus a = GenerateRaw(profile);
+  RawCorpus b = GenerateRaw(profile);
+  EXPECT_EQ(a.parents, b.parents);
+  EXPECT_EQ(a.texts, b.texts);
+  profile.seed = 4;
+  RawCorpus c = GenerateRaw(profile);
+  EXPECT_NE(a.parents, c.parents);
+}
+
+TEST(GenerateRawTest, RespectsNodeBudgetAndDepth) {
+  CorpusProfile profile;
+  profile.target_nodes = 500;
+  profile.max_depth = 5;
+  profile.seed = 9;
+  RawCorpus corpus = GenerateRaw(profile);
+  EXPECT_GE(corpus.size(), 100u);         // Grew substantially.
+  EXPECT_LE(corpus.size(), 520u);         // Budget respected (± last family).
+  auto document = Materialize(corpus);
+  ASSERT_TRUE(document.ok());
+  EXPECT_LT(document->height(), 5u);
+}
+
+TEST(GenerateRawTest, ParentsArePreOrder) {
+  CorpusProfile profile;
+  profile.target_nodes = 300;
+  profile.seed = 5;
+  RawCorpus corpus = GenerateRaw(profile);
+  ASSERT_EQ(corpus.parents[0], doc::kNoNode);
+  for (size_t i = 1; i < corpus.size(); ++i) {
+    EXPECT_LT(corpus.parents[i], i);
+  }
+}
+
+TEST(GenerateRawTest, TagsFollowDepthProfile) {
+  CorpusProfile profile;
+  profile.target_nodes = 100;
+  profile.seed = 6;
+  RawCorpus corpus = GenerateRaw(profile);
+  auto document = Materialize(corpus);
+  ASSERT_TRUE(document.ok());
+  EXPECT_EQ(document->tag(0), "book");
+  for (NodeId n = 1; n < document->size(); ++n) {
+    if (document->depth(n) == 1) {
+      EXPECT_EQ(document->tag(n), "chapter");
+    }
+    if (document->depth(n) == 2) {
+      EXPECT_EQ(document->tag(n), "section");
+    }
+  }
+}
+
+TEST(PlantKeywordTest, ScatteredPlantsExactCount) {
+  CorpusProfile profile;
+  profile.target_nodes = 400;
+  profile.seed = 7;
+  RawCorpus corpus = GenerateRaw(profile);
+  Rng rng(8);
+  auto planted =
+      PlantKeyword(&corpus, "plantedkw", 25, PlantMode::kScattered, &rng);
+  EXPECT_EQ(planted.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(planted.begin(), planted.end()));
+
+  auto document = Materialize(corpus);
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  EXPECT_EQ(index.Lookup("plantedkw"), planted);
+}
+
+TEST(PlantKeywordTest, ClusteredStaysInsideOneSubtree) {
+  CorpusProfile profile;
+  profile.target_nodes = 500;
+  profile.seed = 11;
+  RawCorpus corpus = GenerateRaw(profile);
+  Rng rng(12);
+  auto planted =
+      PlantKeyword(&corpus, "clusterkw", 20, PlantMode::kClustered, &rng);
+  ASSERT_GE(planted.size(), 10u);
+  auto document = Materialize(corpus);
+  ASSERT_TRUE(document.ok());
+  // All planted nodes lie under their collective LCA, and that LCA subtree
+  // is much smaller than the document.
+  NodeId lca = document->Lca(planted);
+  EXPECT_LT(document->subtree_size(lca), document->size() / 2);
+}
+
+TEST(PlantKeywordTest, SiblingsShareParents) {
+  CorpusProfile profile;
+  profile.target_nodes = 400;
+  profile.seed = 13;
+  RawCorpus corpus = GenerateRaw(profile);
+  Rng rng(14);
+  auto planted =
+      PlantKeyword(&corpus, "sibkw", 8, PlantMode::kSiblings, &rng);
+  ASSERT_GE(planted.size(), 4u);
+  std::set<NodeId> parents;
+  for (NodeId n : planted) parents.insert(corpus.parents[n]);
+  EXPECT_LE(parents.size(), 2u);  // At most one overflow family.
+}
+
+TEST(PlantKeywordTest, CountCappedAtCorpusSize) {
+  CorpusProfile profile;
+  profile.target_nodes = 30;
+  profile.max_depth = 3;
+  profile.seed = 15;
+  RawCorpus corpus = GenerateRaw(profile);
+  Rng rng(16);
+  auto planted = PlantKeyword(&corpus, "capkw", 10000,
+                              PlantMode::kScattered, &rng);
+  EXPECT_EQ(planted.size(), corpus.size());
+}
+
+TEST(PlantKeywordTest, DistinctKeywordsIndependent) {
+  CorpusProfile profile;
+  profile.target_nodes = 300;
+  profile.seed = 17;
+  RawCorpus corpus = GenerateRaw(profile);
+  Rng rng(18);
+  auto one = PlantKeyword(&corpus, "kwalpha", 10, PlantMode::kScattered, &rng);
+  auto two = PlantKeyword(&corpus, "kwbeta", 10, PlantMode::kScattered, &rng);
+  auto document = Materialize(corpus);
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  EXPECT_EQ(index.Lookup("kwalpha"), one);
+  EXPECT_EQ(index.Lookup("kwbeta"), two);
+}
+
+TEST(ZipfTextTest, HighSkewConcentratesVocabulary) {
+  CorpusProfile skewed;
+  skewed.target_nodes = 300;
+  skewed.zipf_skew = 1.5;
+  skewed.seed = 19;
+  CorpusProfile flat = skewed;
+  flat.zipf_skew = 0.0;
+
+  auto count_terms = [](const CorpusProfile& profile) {
+    RawCorpus corpus = GenerateRaw(profile);
+    auto document = Materialize(corpus);
+    EXPECT_TRUE(document.ok());
+    text::IndexOptions options;
+    options.index_tag_names = false;
+    auto index = text::InvertedIndex::Build(*document, options);
+    return index.term_count();
+  };
+  // Skewed text re-uses frequent words, so its vocabulary is smaller.
+  EXPECT_LT(count_terms(skewed), count_terms(flat));
+}
+
+}  // namespace
+}  // namespace xfrag::gen

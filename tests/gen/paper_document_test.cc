@@ -1,0 +1,95 @@
+// The Figure-1 reconstruction must satisfy every structural fact the paper's
+// running example depends on.
+
+#include "gen/paper_document.h"
+
+#include <gtest/gtest.h>
+
+#include "text/inverted_index.h"
+#include "xml/parser.h"
+
+namespace xfrag::gen {
+namespace {
+
+using doc::NodeId;
+
+class PaperDocumentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = BuildPaperDocument();
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    document_ = std::make_unique<doc::Document>(std::move(d).value());
+  }
+
+  std::unique_ptr<doc::Document> document_;
+};
+
+TEST_F(PaperDocumentTest, HasExactly82Nodes) {
+  EXPECT_EQ(document_->size(), 82u);
+}
+
+TEST_F(PaperDocumentTest, IdAttributesMatchPreOrderRanks) {
+  // Every node carries an id attribute "n<k>" equal to its pre-order rank;
+  // it ends up in the node's text via attribute flattening.
+  for (NodeId n = 0; n < document_->size(); ++n) {
+    std::string marker = "n" + std::to_string(n);
+    EXPECT_NE(document_->text(n).find(marker), std::string::npos)
+        << "node " << n << " text: " << document_->text(n);
+  }
+}
+
+TEST_F(PaperDocumentTest, AncestorChains) {
+  // n17, n18 under n16 under n14 under n1 under n0.
+  EXPECT_EQ(document_->parent(17), 16u);
+  EXPECT_EQ(document_->parent(18), 16u);
+  EXPECT_EQ(document_->parent(16), 14u);
+  EXPECT_EQ(document_->parent(14), 1u);
+  EXPECT_EQ(document_->parent(1), 0u);
+  // n81 under n80 under n79 under n0.
+  EXPECT_EQ(document_->parent(81), 80u);
+  EXPECT_EQ(document_->parent(80), 79u);
+  EXPECT_EQ(document_->parent(79), 0u);
+}
+
+TEST_F(PaperDocumentTest, TagsAreDocumentCentric) {
+  EXPECT_EQ(document_->tag(0), "article");
+  EXPECT_EQ(document_->tag(1), "chapter");
+  EXPECT_EQ(document_->tag(14), "section");
+  EXPECT_EQ(document_->tag(16), "subsection");
+  EXPECT_EQ(document_->tag(17), "par");
+  EXPECT_EQ(document_->tag(18), "par");
+  EXPECT_EQ(document_->tag(81), "par");
+}
+
+TEST_F(PaperDocumentTest, KeywordPostingsAreExact) {
+  auto index = text::InvertedIndex::Build(*document_);
+  EXPECT_EQ(index.Lookup("xquery"), (std::vector<NodeId>{17, 18}));
+  EXPECT_EQ(index.Lookup("optimization"), (std::vector<NodeId>{16, 17, 81}));
+}
+
+TEST_F(PaperDocumentTest, Lcas) {
+  EXPECT_EQ(document_->Lca(17, 18), 16u);
+  EXPECT_EQ(document_->Lca(17, 81), 0u);
+  EXPECT_EQ(document_->Lca(16, 17), 16u);
+}
+
+TEST_F(PaperDocumentTest, XmlFormParsesBackToSameShape) {
+  std::string xml_text = PaperDocumentXml();
+  auto dom = xml::Parse(xml_text);
+  ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+  auto reparsed = doc::Document::FromDom(*dom);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), document_->size());
+  for (NodeId n = 0; n < document_->size(); ++n) {
+    EXPECT_EQ(reparsed->parent(n), document_->parent(n)) << "node " << n;
+    EXPECT_EQ(reparsed->tag(n), document_->tag(n)) << "node " << n;
+  }
+}
+
+TEST_F(PaperDocumentTest, DomAndDocumentAgree) {
+  xml::XmlDocument dom = BuildPaperDom();
+  EXPECT_EQ(dom.root().SubtreeElementCount(), 82u);
+}
+
+}  // namespace
+}  // namespace xfrag::gen

@@ -1,0 +1,29 @@
+// The umbrella header must compile standalone and expose the documented
+// five-minute-tour workflow.
+
+#include "xfrag.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(FacadeTest, FiveMinuteTourCompilesAndRuns) {
+  auto dom = xfrag::xml::Parse(
+      "<article><par>XQuery plans benefit from optimization.</par>"
+      "<par>unrelated</par></article>");
+  ASSERT_TRUE(dom.ok());
+  auto document = xfrag::doc::Document::FromDom(*dom);
+  ASSERT_TRUE(document.ok());
+  auto index = xfrag::text::InvertedIndex::Build(*document);
+  xfrag::query::QueryEngine engine(*document, index);
+
+  xfrag::query::Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = *xfrag::query::ParseFilterExpression("size<=3");
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 1u);
+  EXPECT_EQ(result->answers[0], xfrag::algebra::Fragment::Single(1));
+}
+
+}  // namespace

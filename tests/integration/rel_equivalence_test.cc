@@ -1,0 +1,103 @@
+// The relational backend must return exactly the same answers as the native
+// engine for the anti-monotonic structural filters it supports.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/corpus.h"
+#include "query/engine.h"
+#include "rel/engine.h"
+
+namespace xfrag {
+namespace {
+
+struct RelCase {
+  size_t nodes;
+  size_t count1;
+  size_t count2;
+  uint32_t beta;
+  uint64_t seed;
+};
+
+class RelEquivalenceTest : public ::testing::TestWithParam<RelCase> {};
+
+TEST_P(RelEquivalenceTest, NativeAndRelationalAnswersMatch) {
+  const auto& param = GetParam();
+  gen::CorpusProfile profile;
+  profile.target_nodes = param.nodes;
+  profile.seed = param.seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(param.seed ^ 0x12e1);
+  gen::PlantKeyword(&raw, "kwone", param.count1, gen::PlantMode::kClustered,
+                    &rng);
+  gen::PlantKeyword(&raw, "kwtwo", param.count2, gen::PlantMode::kScattered,
+                    &rng);
+  auto document = gen::Materialize(raw);
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+
+  // Native.
+  query::QueryEngine native(*document, index);
+  query::Query q;
+  q.terms = {"kwone", "kwtwo"};
+  q.filter = algebra::filters::SizeAtMost(param.beta);
+  query::EvalOptions options;
+  options.strategy = query::Strategy::kPushDown;
+  auto native_result = native.Evaluate(q, options);
+  ASSERT_TRUE(native_result.ok()) << native_result.status().ToString();
+
+  // Relational.
+  auto rel_engine = rel::RelationalEngine::Create(*document, index);
+  ASSERT_TRUE(rel_engine.ok());
+  rel::RelFilter filter;
+  filter.size_at_most = param.beta;
+  auto rel_result = rel_engine->Evaluate({"kwone", "kwtwo"}, filter);
+  ASSERT_TRUE(rel_result.ok()) << rel_result.status().ToString();
+
+  EXPECT_TRUE(rel_result->SetEquals(native_result->answers))
+      << "native " << native_result->answers.size() << " vs relational "
+      << rel_result->size();
+}
+
+TEST_P(RelEquivalenceTest, HeightFilterAgreesAcrossBackends) {
+  const auto& param = GetParam();
+  gen::CorpusProfile profile;
+  profile.target_nodes = param.nodes;
+  profile.seed = param.seed ^ 0xbeef;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(param.seed ^ 0x5e5e);
+  gen::PlantKeyword(&raw, "kwone", param.count1, gen::PlantMode::kSiblings,
+                    &rng);
+  gen::PlantKeyword(&raw, "kwtwo", param.count2, gen::PlantMode::kClustered,
+                    &rng);
+  auto document = gen::Materialize(raw);
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+
+  query::QueryEngine native(*document, index);
+  query::Query q;
+  q.terms = {"kwone", "kwtwo"};
+  q.filter = algebra::filters::HeightAtMost(3);
+  query::EvalOptions options;
+  options.strategy = query::Strategy::kPushDown;
+  auto native_result = native.Evaluate(q, options);
+  ASSERT_TRUE(native_result.ok());
+
+  auto rel_engine = rel::RelationalEngine::Create(*document, index);
+  ASSERT_TRUE(rel_engine.ok());
+  rel::RelFilter filter;
+  filter.height_at_most = 3;
+  auto rel_result = rel_engine->Evaluate({"kwone", "kwtwo"}, filter);
+  ASSERT_TRUE(rel_result.ok());
+
+  EXPECT_TRUE(rel_result->SetEquals(native_result->answers));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, RelEquivalenceTest,
+                         ::testing::Values(RelCase{120, 4, 4, 6, 201},
+                                           RelCase{200, 5, 4, 8, 202},
+                                           RelCase{300, 6, 5, 5, 203},
+                                           RelCase{400, 6, 6, 10, 204}));
+
+}  // namespace
+}  // namespace xfrag

@@ -1,0 +1,174 @@
+// Cross-strategy equivalence on generated corpora: all four evaluation
+// strategies must return identical answer sets for identical queries, over a
+// sweep of corpus shapes, keyword placements and filters.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/corpus.h"
+#include "query/engine.h"
+
+namespace xfrag::query {
+namespace {
+
+struct EquivalenceCase {
+  size_t nodes;
+  size_t count1;
+  size_t count2;
+  gen::PlantMode mode1;
+  gen::PlantMode mode2;
+  const char* filter;
+  uint64_t seed;
+};
+
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(StrategyEquivalenceTest, AllStrategiesAgree) {
+  const auto& param = GetParam();
+  gen::CorpusProfile profile;
+  profile.target_nodes = param.nodes;
+  profile.seed = param.seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(param.seed ^ 0xeeee);
+  auto planted1 =
+      gen::PlantKeyword(&raw, "kwone", param.count1, param.mode1, &rng);
+  auto planted2 =
+      gen::PlantKeyword(&raw, "kwtwo", param.count2, param.mode2, &rng);
+  ASSERT_FALSE(planted1.empty());
+  ASSERT_FALSE(planted2.empty());
+  auto document = gen::Materialize(raw);
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  QueryEngine engine(*document, index);
+
+  Query q;
+  q.terms = {"kwone", "kwtwo"};
+  auto filter = ParseFilterExpression(param.filter);
+  ASSERT_TRUE(filter.ok()) << filter.status().ToString();
+  q.filter = *filter;
+
+  algebra::FragmentSet reference;
+  bool first = true;
+  for (Strategy strategy :
+       {Strategy::kBruteForce, Strategy::kFixedPointNaive,
+        Strategy::kFixedPointReduced, Strategy::kPushDown}) {
+    EvalOptions options;
+    options.strategy = strategy;
+    options.executor.powerset.max_set_size = 14;
+    auto result = engine.Evaluate(q, options);
+    if (!result.ok() &&
+        result.status().code() == StatusCode::kResourceExhausted) {
+      continue;  // Brute force legitimately refuses very large bases.
+    }
+    ASSERT_TRUE(result.ok())
+        << StrategyName(strategy) << ": " << result.status().ToString();
+    if (first) {
+      reference = result->answers;
+      first = false;
+    } else {
+      EXPECT_TRUE(result->answers.SetEquals(reference))
+          << StrategyName(strategy) << " got " << result->answers.size()
+          << " answers, reference " << reference.size();
+    }
+  }
+  ASSERT_FALSE(first) << "no strategy produced a result";
+
+  // Invariant: every answer satisfies the filter and contains both keywords.
+  algebra::FilterContext ctx{document.operator->(), &index};
+  for (const algebra::Fragment& f : reference) {
+    EXPECT_TRUE(q.filter->Matches(f, ctx));
+    bool has1 = false, has2 = false;
+    for (doc::NodeId n : f.nodes()) {
+      has1 = has1 || index.Contains("kwone", n);
+      has2 = has2 || index.Contains("kwtwo", n);
+    }
+    EXPECT_TRUE(has1 && has2) << f.ToString();
+  }
+}
+
+TEST(ThreeTermEquivalenceTest, AllStrategiesAgreeOnThreeTerms) {
+  for (uint64_t seed : {301ull, 302ull, 303ull}) {
+    gen::CorpusProfile profile;
+    profile.target_nodes = 250;
+    profile.seed = seed;
+    gen::RawCorpus raw = gen::GenerateRaw(profile);
+    Rng rng(seed ^ 0x333);
+    gen::PlantKeyword(&raw, "kwone", 4, gen::PlantMode::kClustered, &rng);
+    gen::PlantKeyword(&raw, "kwtwo", 3, gen::PlantMode::kScattered, &rng);
+    gen::PlantKeyword(&raw, "kwthree", 3, gen::PlantMode::kSiblings, &rng);
+    auto document = gen::Materialize(raw);
+    ASSERT_TRUE(document.ok());
+    auto index = text::InvertedIndex::Build(*document);
+    QueryEngine engine(*document, index);
+
+    Query q;
+    q.terms = {"kwone", "kwtwo", "kwthree"};
+    q.filter = algebra::filters::SizeAtMost(10);
+
+    algebra::FragmentSet reference;
+    bool first = true;
+    for (Strategy strategy :
+         {Strategy::kBruteForce, Strategy::kFixedPointNaive,
+          Strategy::kFixedPointReduced, Strategy::kPushDown}) {
+      EvalOptions options;
+      options.strategy = strategy;
+      auto result = engine.Evaluate(q, options);
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kResourceExhausted) {
+        // Brute force legitimately refuses: the *intermediate* powerset
+        // result of the first two terms can exceed the subset guard.
+        continue;
+      }
+      ASSERT_TRUE(result.ok())
+          << StrategyName(strategy) << " seed " << seed << ": "
+          << result.status().ToString();
+      if (first) {
+        reference = result->answers;
+        first = false;
+      } else {
+        EXPECT_TRUE(result->answers.SetEquals(reference))
+            << StrategyName(strategy) << " seed " << seed;
+      }
+    }
+    // Every answer contains all three keywords.
+    for (const algebra::Fragment& f : reference) {
+      int covered = 0;
+      for (const char* term : {"kwone", "kwtwo", "kwthree"}) {
+        for (doc::NodeId n : f.nodes()) {
+          if (index.Contains(term, n)) {
+            ++covered;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(covered, 3) << f.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpora, StrategyEquivalenceTest,
+    ::testing::Values(
+        EquivalenceCase{150, 4, 4, gen::PlantMode::kScattered,
+                        gen::PlantMode::kScattered, "size<=5", 101},
+        EquivalenceCase{150, 5, 3, gen::PlantMode::kClustered,
+                        gen::PlantMode::kScattered, "size<=8", 102},
+        EquivalenceCase{250, 6, 6, gen::PlantMode::kClustered,
+                        gen::PlantMode::kClustered, "size<=10 & height<=4",
+                        103},
+        EquivalenceCase{250, 5, 5, gen::PlantMode::kSiblings,
+                        gen::PlantMode::kSiblings, "span<=40", 104},
+        EquivalenceCase{400, 7, 4, gen::PlantMode::kClustered,
+                        gen::PlantMode::kSiblings,
+                        "size<=6 & size>=2", 105},
+        EquivalenceCase{400, 8, 8, gen::PlantMode::kClustered,
+                        gen::PlantMode::kClustered, "true", 106},
+        EquivalenceCase{120, 3, 3, gen::PlantMode::kScattered,
+                        gen::PlantMode::kScattered, "height<=2", 107},
+        EquivalenceCase{300, 6, 5, gen::PlantMode::kScattered,
+                        gen::PlantMode::kClustered,
+                        "size<=12 | height<=1", 108}));
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,178 @@
+// Overlap-aware answer presentation (§5) and fragment-to-XML extraction.
+
+#include "query/answers.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/corpus.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+doc::Document Fixture() {
+  //        0
+  //       / \.
+  //      1   5
+  //     /|\   \.
+  //    2 3 4   6
+  return TreeFromParents({doc::kNoNode, 0, 1, 1, 1, 0, 5});
+}
+
+TEST(MaximalAnswersTest, DropsContainedAnswers) {
+  doc::Document d = Fixture();
+  FragmentSet answers{Frag(d, {1, 2, 3}), Frag(d, {1, 2}),
+                      Fragment::Single(2), Frag(d, {5, 6})};
+  FragmentSet maximal = MaximalAnswers(answers);
+  EXPECT_EQ(maximal.size(), 2u);
+  EXPECT_TRUE(maximal.Contains(Frag(d, {1, 2, 3})));
+  EXPECT_TRUE(maximal.Contains(Frag(d, {5, 6})));
+}
+
+TEST(MaximalAnswersTest, IncomparableAnswersAllKept) {
+  doc::Document d = Fixture();
+  FragmentSet answers{Frag(d, {1, 2}), Frag(d, {1, 3}), Frag(d, {1, 4})};
+  EXPECT_TRUE(MaximalAnswers(answers).SetEquals(answers));
+}
+
+TEST(MaximalAnswersTest, EmptyAndSingleton) {
+  doc::Document d = Fixture();
+  EXPECT_TRUE(MaximalAnswers(FragmentSet()).empty());
+  FragmentSet one{Fragment::Single(3)};
+  EXPECT_TRUE(MaximalAnswers(one).SetEquals(one));
+}
+
+TEST(GroupOverlappingAnswersTest, AttachesSubFragmentsToTargets) {
+  doc::Document d = Fixture();
+  FragmentSet answers{Frag(d, {1, 2, 3}), Frag(d, {1, 2}),
+                      Fragment::Single(3), Frag(d, {5, 6}),
+                      Fragment::Single(6)};
+  auto groups = GroupOverlappingAnswers(answers);
+  ASSERT_EQ(groups.size(), 2u);
+  // Canonical target order: ⟨1,2,3⟩ then ⟨5,6⟩.
+  EXPECT_EQ(groups[0].target, Frag(d, {1, 2, 3}));
+  ASSERT_EQ(groups[0].overlaps.size(), 2u);
+  EXPECT_EQ(groups[0].overlaps[0], Frag(d, {1, 2}));  // Largest first.
+  EXPECT_EQ(groups[0].overlaps[1], Fragment::Single(3));
+  EXPECT_EQ(groups[1].target, Frag(d, {5, 6}));
+  ASSERT_EQ(groups[1].overlaps.size(), 1u);
+  EXPECT_EQ(groups[1].overlaps[0], Fragment::Single(6));
+}
+
+TEST(GroupOverlappingAnswersTest, AnswerInMultipleTargetsAttachedOnce) {
+  doc::Document d = Fixture();
+  // ⟨1,2⟩ and ⟨1,3⟩ both contain ⟨1⟩.
+  FragmentSet answers{Frag(d, {1, 2}), Frag(d, {1, 3}), Fragment::Single(1)};
+  auto groups = GroupOverlappingAnswers(answers);
+  ASSERT_EQ(groups.size(), 2u);
+  size_t attachments = groups[0].overlaps.size() + groups[1].overlaps.size();
+  EXPECT_EQ(attachments, 1u);
+}
+
+TEST(GroupOverlappingAnswersTest, PaperExampleGroupsUnderTarget) {
+  auto document = gen::BuildPaperDocument();
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  QueryEngine engine(*document, index);
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = algebra::filters::SizeAtMost(3);
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  // The four Table-1 answers collapse into one group: the target
+  // ⟨n16,n17,n18⟩ with its three overlapping sub-answers (§4.1/§5).
+  auto groups = GroupOverlappingAnswers(result->answers);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].target,
+            Fragment::FromSortedUnchecked({16, 17, 18}));
+  EXPECT_EQ(groups[0].overlaps.size(), 3u);
+}
+
+TEST(GroupOverlappingAnswersTest, GroupsPartitionTheAnswerSet) {
+  // Property on random corpora: targets + overlaps contain every answer
+  // exactly once, targets are maximal, overlaps lie inside their target.
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    gen::CorpusProfile profile;
+    profile.target_nodes = 250;
+    profile.seed = seed;
+    gen::RawCorpus raw = gen::GenerateRaw(profile);
+    Rng rng(seed ^ 0x6e);
+    gen::PlantKeyword(&raw, "kwone", 5, gen::PlantMode::kClustered, &rng);
+    gen::PlantKeyword(&raw, "kwtwo", 4, gen::PlantMode::kClustered, &rng);
+    auto dsor = gen::Materialize(raw);
+    ASSERT_TRUE(dsor.ok());
+    auto index = text::InvertedIndex::Build(*dsor);
+    QueryEngine engine(*dsor, index);
+    Query q;
+    q.terms = {"kwone", "kwtwo"};
+    q.filter = algebra::filters::SizeAtMost(8);
+    auto result = engine.Evaluate(q);
+    ASSERT_TRUE(result.ok());
+
+    auto groups = GroupOverlappingAnswers(result->answers);
+    size_t counted = 0;
+    FragmentSet seen;
+    for (const auto& group : groups) {
+      EXPECT_TRUE(result->answers.Contains(group.target));
+      EXPECT_TRUE(seen.Insert(group.target));
+      ++counted;
+      for (const auto& overlap : group.overlaps) {
+        EXPECT_TRUE(group.target.ContainsFragment(overlap));
+        EXPECT_NE(overlap, group.target);
+        EXPECT_TRUE(result->answers.Contains(overlap));
+        EXPECT_TRUE(seen.Insert(overlap));
+        ++counted;
+      }
+    }
+    EXPECT_EQ(counted, result->answers.size()) << "seed " << seed;
+  }
+}
+
+TEST(FragmentToXmlTest, RendersMemberNodesOnly) {
+  auto dsor = doc::Document::FromParents(
+      {doc::kNoNode, 0, 0, 2}, {"sec", "par", "par", "em"},
+      {"", "first", "second", "x"});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  Fragment f = Frag(d, {0, 1});
+  std::string xml_text = FragmentToXml(f, d);
+  EXPECT_NE(xml_text.find("<sec>"), std::string::npos);
+  EXPECT_NE(xml_text.find("<par>first</par>"), std::string::npos);
+  EXPECT_EQ(xml_text.find("second"), std::string::npos);  // Elided.
+  EXPECT_EQ(xml_text.find("<!--"), std::string::npos);    // No marks.
+}
+
+TEST(FragmentToXmlTest, MarksElisionsWhenRequested) {
+  auto dsor = doc::Document::FromParents(
+      {doc::kNoNode, 0, 0}, {"sec", "par", "par"}, {"", "kept", "dropped"});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  Fragment f = Frag(d, {0, 1});
+  std::string xml_text = FragmentToXml(f, d, /*mark_elisions=*/true);
+  EXPECT_NE(xml_text.find("<!-- ... -->"), std::string::npos);
+}
+
+TEST(FragmentToXmlTest, EscapesText) {
+  auto dsor = doc::Document::FromParents({doc::kNoNode}, {"p"}, {"a < b & c"});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  std::string xml_text = FragmentToXml(Fragment::Single(0), d);
+  EXPECT_NE(xml_text.find("a &lt; b &amp; c"), std::string::npos);
+}
+
+TEST(FragmentToXmlTest, SingleNode) {
+  auto dsor = doc::Document::FromParents({doc::kNoNode}, {"par"}, {"text"});
+  ASSERT_TRUE(dsor.ok());
+  doc::Document d = std::move(dsor).value();
+  EXPECT_EQ(FragmentToXml(Fragment::Single(0), d), "<par>text</par>\n");
+}
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,297 @@
+// QueryEngine behaviour beyond the paper example: error handling, missing
+// terms, single/multi-term queries, answer-mode semantics, metrics.
+
+#include "query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "xml/parser.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::Fragment;
+using testutil::Frag;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dom = xml::Parse(R"(
+      <book>
+        <chapter>alpha
+          <section>beta gamma
+            <par>alpha delta</par>
+            <par>beta</par>
+          </section>
+          <section>delta
+            <par>gamma</par>
+          </section>
+        </chapter>
+        <chapter>epsilon
+          <par>alpha epsilon</par>
+        </chapter>
+      </book>)");
+    ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+    auto d = doc::Document::FromDom(*dom);
+    ASSERT_TRUE(d.ok());
+    document_ = std::make_unique<doc::Document>(std::move(d).value());
+    // Node ids (pre-order): book=0, chapter=1, section=2, par=3, par=4,
+    // section=5, par=6, chapter=7, par=8.
+    text::IndexOptions options;
+    options.index_tag_names = false;
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_, options));
+    engine_ = std::make_unique<QueryEngine>(*document_, *index_);
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(EngineTest, EmptyQueryRejected) {
+  Query q;
+  auto result = engine_->Evaluate(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, UnknownTermYieldsEmptyAnswer) {
+  Query q;
+  q.terms = {"alpha", "nonexistent"};
+  auto result = engine_->Evaluate(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->answers.empty());
+}
+
+TEST_F(EngineTest, SingleTermQueryReturnsFixedPointOfPostings) {
+  Query q;
+  q.terms = {"gamma"};  // Nodes 2 and 6.
+  auto result = engine_->Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  // F⁺ of {⟨2⟩, ⟨6⟩}: both singles plus their join ⟨1,2,5,6⟩.
+  EXPECT_EQ(result->answers.size(), 3u);
+  EXPECT_TRUE(result->answers.Contains(Fragment::Single(2)));
+  EXPECT_TRUE(result->answers.Contains(Fragment::Single(6)));
+  EXPECT_TRUE(result->answers.Contains(Frag(*document_, {1, 2, 5, 6})));
+}
+
+TEST_F(EngineTest, TermsAreCaseFolded) {
+  Query q;
+  q.terms = {"ALPHA", "Beta"};
+  auto result = engine_->Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answers.empty());
+}
+
+TEST_F(EngineTest, ThreeTermQueryAllStrategiesAgree) {
+  Query q;
+  q.terms = {"alpha", "beta", "gamma"};
+  q.filter = algebra::filters::SizeAtMost(4);
+  algebra::FragmentSet reference;
+  bool first = true;
+  for (Strategy strategy :
+       {Strategy::kBruteForce, Strategy::kFixedPointNaive,
+        Strategy::kFixedPointReduced, Strategy::kPushDown}) {
+    EvalOptions options;
+    options.strategy = strategy;
+    auto result = engine_->Evaluate(q, options);
+    ASSERT_TRUE(result.ok())
+        << StrategyName(strategy) << ": " << result.status().ToString();
+    if (first) {
+      reference = result->answers;
+      first = false;
+    } else {
+      EXPECT_TRUE(result->answers.SetEquals(reference))
+          << StrategyName(strategy);
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST_F(EngineTest, EveryAnswerContainsAllTerms) {
+  Query q;
+  q.terms = {"alpha", "delta"};
+  auto result = engine_->Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->answers.empty());
+  for (const Fragment& f : result->answers) {
+    for (const auto& term : q.terms) {
+      bool found = false;
+      for (doc::NodeId n : f.nodes()) {
+        if (index_->Contains(term, n)) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << term << " missing from " << f.ToString();
+    }
+  }
+}
+
+TEST_F(EngineTest, AnswersAreValidFragments) {
+  Query q;
+  q.terms = {"alpha", "epsilon"};
+  auto result = engine_->Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  for (const Fragment& f : result->answers) {
+    EXPECT_TRUE(algebra::Fragment::Create(*document_, f.nodes()).ok());
+  }
+}
+
+TEST_F(EngineTest, LeafStrictFiltersInternalOnlyWitnesses) {
+  Query q;
+  q.terms = {"beta", "delta"};  // beta: 2, 4; delta: 3, 5.
+  EvalOptions strict;
+  strict.answer_mode = AnswerMode::kLeafStrict;
+  strict.strategy = Strategy::kFixedPointNaive;
+  auto result = engine_->Evaluate(q, strict);
+  ASSERT_TRUE(result.ok());
+  for (const Fragment& f : result->answers) {
+    auto leaves = algebra::FragmentLeaves(f, *document_);
+    for (const auto& term : q.terms) {
+      bool on_leaf = false;
+      for (doc::NodeId leaf : leaves) {
+        if (index_->Contains(term, leaf)) on_leaf = true;
+      }
+      EXPECT_TRUE(on_leaf) << term << " not on a leaf of " << f.ToString();
+    }
+  }
+}
+
+TEST_F(EngineTest, BruteForceGuardSurfacesResourceExhausted) {
+  Query q;
+  q.terms = {"alpha", "beta"};
+  EvalOptions options;
+  options.strategy = Strategy::kBruteForce;
+  options.executor.powerset.max_set_size = 1;  // alpha has 3 postings.
+  auto result = engine_->Evaluate(q, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EngineTest, MetricsAccumulate) {
+  Query q;
+  q.terms = {"alpha", "beta"};
+  q.filter = algebra::filters::SizeAtMost(3);
+  EvalOptions options;
+  options.strategy = Strategy::kPushDown;
+  auto result = engine_->Evaluate(q, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.fragment_joins, 0u);
+  EXPECT_GT(result->metrics.filter_evals, 0u);
+  EXPECT_GE(result->elapsed_ms, 0.0);
+}
+
+TEST_F(EngineTest, ExplainAnalyzeReportsCardinalities) {
+  Query q;
+  q.terms = {"alpha", "beta"};
+  q.filter = algebra::filters::SizeAtMost(3);
+  EvalOptions options;
+  options.strategy = Strategy::kPushDown;
+  options.analyze = true;
+  auto result = engine_->Evaluate(q, options);
+  ASSERT_TRUE(result.ok());
+  // Every line of the plan rendering carries a rows= annotation.
+  EXPECT_NE(result->explain.find("Scan[keyword=alpha]"), std::string::npos);
+  EXPECT_NE(result->explain.find("(rows="), std::string::npos);
+  // The scans' cardinalities equal the filtered posting counts (alpha has
+  // 3 postings, all size-1 so none filtered).
+  EXPECT_NE(result->explain.find("Scan[keyword=alpha][push=size<=3] (rows=3)"),
+            std::string::npos)
+      << result->explain;
+  // Without analyze, no annotations.
+  options.analyze = false;
+  auto plain = engine_->Evaluate(q, options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->explain.find("(rows="), std::string::npos);
+}
+
+TEST_F(EngineTest, BuildPlanRejectsAuto) {
+  Query q;
+  q.terms = {"alpha"};
+  EXPECT_FALSE(engine_->BuildPlan(q, Strategy::kAuto).ok());
+}
+
+TEST_F(EngineTest, SingleNodeDocument) {
+  auto d = doc::Document::FromParents({doc::kNoNode}, {"root"},
+                                      {"alpha beta"});
+  ASSERT_TRUE(d.ok());
+  auto index = text::InvertedIndex::Build(*d);
+  QueryEngine engine(*d, index);
+  Query q;
+  q.terms = {"alpha", "beta"};
+  for (Strategy strategy :
+       {Strategy::kBruteForce, Strategy::kFixedPointNaive,
+        Strategy::kPushDown}) {
+    EvalOptions options;
+    options.strategy = strategy;
+    auto result = engine.Evaluate(q, options);
+    ASSERT_TRUE(result.ok()) << StrategyName(strategy);
+    ASSERT_EQ(result->answers.size(), 1u);
+    EXPECT_EQ(result->answers[0], Fragment::Single(0));
+  }
+}
+
+TEST_F(EngineTest, UbiquitousTermWithTightFilter) {
+  // A term present in every node: the filtered closure must stay bounded
+  // and every answer respects the filter.
+  // Chain of 40 nodes, every node contains 'common', the root also
+  // contains 'special'.
+  std::vector<doc::NodeId> parents{doc::kNoNode};
+  std::vector<std::string> tags{"n"}, texts{"common special"};
+  for (doc::NodeId i = 1; i < 40; ++i) {
+    parents.push_back(i - 1);
+    tags.push_back("n");
+    texts.push_back("common");
+  }
+  auto d = doc::Document::FromParents(parents, tags, texts);
+  ASSERT_TRUE(d.ok());
+  auto index = text::InvertedIndex::Build(*d);
+  ASSERT_EQ(index.Lookup("common").size(), 40u);
+  QueryEngine engine(*d, index);
+  Query q;
+  q.terms = {"common", "special"};
+  q.filter = algebra::filters::SizeAtMost(2);
+  EvalOptions options;
+  options.strategy = Strategy::kPushDown;
+  auto result = engine.Evaluate(q, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 'special' only at the root (node 0); answers: ⟨0⟩ and ⟨0,1⟩.
+  EXPECT_EQ(result->answers.size(), 2u);
+  for (const Fragment& f : result->answers) {
+    EXPECT_LE(f.size(), 2u);
+    EXPECT_TRUE(f.ContainsNode(0));
+  }
+}
+
+TEST_F(EngineTest, WholeDocumentAsAnswer) {
+  // Keywords at the extreme leaves force the root-spanning fragment.
+  auto dom = xml::Parse("<r><a><b>left</b></a><c><d>right</d></c></r>");
+  ASSERT_TRUE(dom.ok());
+  auto d = doc::Document::FromDom(*dom);
+  ASSERT_TRUE(d.ok());
+  text::IndexOptions idx_options;
+  idx_options.index_tag_names = false;
+  auto index = text::InvertedIndex::Build(*d, idx_options);
+  QueryEngine engine(*d, index);
+  Query q;
+  q.terms = {"left", "right"};
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 1u);
+  EXPECT_EQ(result->answers[0].size(), 5u);  // The whole document.
+}
+
+TEST_F(EngineTest, DuplicateTermBehavesLikeSelfJoin) {
+  Query q;
+  q.terms = {"gamma", "gamma"};
+  auto result = engine_->Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  // F ⋈* F over gamma's postings {2, 6} = F⁺.
+  EXPECT_EQ(result->answers.size(), 3u);
+}
+
+}  // namespace
+}  // namespace xfrag::query

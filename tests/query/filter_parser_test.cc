@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "query/query.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::FilterContext;
+using algebra::Fragment;
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+TEST(FilterParserTest, Atoms) {
+  EXPECT_EQ((*ParseFilterExpression("size<=3"))->ToString(), "size<=3");
+  EXPECT_EQ((*ParseFilterExpression("size>=2"))->ToString(), "size>=2");
+  EXPECT_EQ((*ParseFilterExpression("height<=1"))->ToString(), "height<=1");
+  EXPECT_EQ((*ParseFilterExpression("span<=9"))->ToString(), "span<=9");
+  EXPECT_EQ((*ParseFilterExpression("true"))->ToString(), "true");
+  EXPECT_EQ((*ParseFilterExpression("keyword=xquery"))->ToString(),
+            "keyword=xquery");
+  EXPECT_EQ((*ParseFilterExpression("root_tag=section"))->ToString(),
+            "root_tag=section");
+  EXPECT_EQ((*ParseFilterExpression("equal_depth(a,b)"))->ToString(),
+            "equal_depth(a,b)");
+  EXPECT_EQ((*ParseFilterExpression("distance<=4"))->ToString(),
+            "distance<=4");
+  EXPECT_EQ((*ParseFilterExpression("root_depth>=2"))->ToString(),
+            "root_depth>=2");
+  EXPECT_EQ((*ParseFilterExpression("root_depth<=2"))->ToString(),
+            "root_depth<=2");
+  EXPECT_EQ((*ParseFilterExpression("tags_within(sec,par)"))->ToString(),
+            "tags_within(par,sec)");
+}
+
+TEST(FilterParserTest, NewAtomAntiMonotonicity) {
+  EXPECT_TRUE((*ParseFilterExpression("distance<=4"))->anti_monotonic());
+  EXPECT_TRUE((*ParseFilterExpression("root_depth>=2"))->anti_monotonic());
+  EXPECT_FALSE((*ParseFilterExpression("root_depth<=2"))->anti_monotonic());
+  EXPECT_TRUE(
+      (*ParseFilterExpression("tags_within(sec,par)"))->anti_monotonic());
+}
+
+TEST(FilterParserTest, NewAtomErrors) {
+  EXPECT_FALSE(ParseFilterExpression("distance>=4").ok());
+  EXPECT_FALSE(ParseFilterExpression("root_depth=2").ok());
+  EXPECT_FALSE(ParseFilterExpression("tags_within()").ok());
+  EXPECT_FALSE(ParseFilterExpression("tags_within(a,)").ok());
+  EXPECT_FALSE(ParseFilterExpression("tags_within(a").ok());
+}
+
+TEST(FilterParserTest, WhitespaceAndCaseInsensitiveKeywords) {
+  auto f = ParseFilterExpression("  SIZE <= 3  AND  Height <= 2 ");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->ToString(), "(size<=3 & height<=2)");
+}
+
+TEST(FilterParserTest, OperatorsAndPrecedence) {
+  // '&' binds tighter than '|'.
+  auto f = ParseFilterExpression("size<=1 | size<=2 & height<=3");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(), "(size<=1 | (size<=2 & height<=3))");
+}
+
+TEST(FilterParserTest, ParenthesesOverridePrecedence) {
+  auto f = ParseFilterExpression("(size<=1 | size<=2) & height<=3");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(), "((size<=1 | size<=2) & height<=3)");
+}
+
+TEST(FilterParserTest, Negation) {
+  auto f = ParseFilterExpression("!size<=2");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(), "!size<=2");
+  auto g = ParseFilterExpression("not (size<=2 & true)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->ToString(), "!(size<=2 & true)");
+}
+
+TEST(FilterParserTest, WordOperators) {
+  auto f = ParseFilterExpression("size<=3 and height<=2 or true");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(), "((size<=3 & height<=2) | true)");
+}
+
+TEST(FilterParserTest, ParsedFilterEvaluates) {
+  doc::Document d = TreeFromParents({doc::kNoNode, 0, 1, 1});
+  FilterContext ctx{&d, nullptr};
+  auto f = ParseFilterExpression("size<=2 & height<=1");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Matches(Frag(d, {1, 2}), ctx));
+  EXPECT_FALSE((*f)->Matches(Frag(d, {0, 1, 2}), ctx));
+}
+
+TEST(FilterParserTest, Errors) {
+  EXPECT_FALSE(ParseFilterExpression("").ok());
+  EXPECT_FALSE(ParseFilterExpression("size<3").ok());
+  EXPECT_FALSE(ParseFilterExpression("size<=").ok());
+  EXPECT_FALSE(ParseFilterExpression("size<=x").ok());
+  EXPECT_FALSE(ParseFilterExpression("height>=1").ok());
+  EXPECT_FALSE(ParseFilterExpression("(size<=1").ok());
+  EXPECT_FALSE(ParseFilterExpression("size<=1 size<=2").ok());
+  EXPECT_FALSE(ParseFilterExpression("bogus<=1").ok());
+  EXPECT_FALSE(ParseFilterExpression("equal_depth(a)").ok());
+  EXPECT_FALSE(ParseFilterExpression("size<=99999999999").ok());
+  EXPECT_FALSE(ParseFilterExpression("keyword=").ok());
+}
+
+TEST(FilterParserTest, AntiMonotonicityFlagsSurviveParsing) {
+  EXPECT_TRUE((*ParseFilterExpression("size<=3 & height<=2"))
+                  ->anti_monotonic());
+  EXPECT_FALSE((*ParseFilterExpression("size>=3"))->anti_monotonic());
+  EXPECT_FALSE((*ParseFilterExpression("!size<=3"))->anti_monotonic());
+}
+
+TEST(QueryToStringTest, Rendering) {
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = *ParseFilterExpression("size<=3");
+  EXPECT_EQ(q.ToString(), "Q_{size<=3}{xquery, optimization}");
+}
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,150 @@
+// Cross-query fixed-point memoization: hits skip the closure computation
+// entirely, keys distinguish filters and variants, and cached answers are
+// identical to cold ones.
+
+#include "query/fixed_point_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+
+namespace xfrag::query {
+namespace {
+
+class FixedPointCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto document = gen::BuildPaperDocument();
+    ASSERT_TRUE(document.ok());
+    document_ = std::make_unique<doc::Document>(std::move(document).value());
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_));
+    engine_ = std::make_unique<QueryEngine>(*document_, *index_);
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(FixedPointCacheTest, SecondEvaluationSkipsJoins) {
+  FixedPointCache cache;
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = algebra::filters::SizeAtMost(3);
+  EvalOptions options;
+  options.strategy = Strategy::kPushDown;
+  options.executor.fixed_point_cache = &cache;
+
+  auto cold = engine_->Evaluate(q, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cache.size(), 2u);  // One closure per term.
+  EXPECT_EQ(cache.hits(), 0u);
+  uint64_t cold_joins = cold->metrics.fragment_joins;
+
+  auto warm = engine_->Evaluate(q, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_TRUE(warm->answers.SetEquals(cold->answers));
+  // Warm run only performs the final chain joins, strictly fewer.
+  EXPECT_LT(warm->metrics.fragment_joins, cold_joins);
+}
+
+TEST_F(FixedPointCacheTest, SharedTermsReuseAcrossDifferentQueries) {
+  FixedPointCache cache;
+  EvalOptions options;
+  options.strategy = Strategy::kFixedPointNaive;
+  options.executor.fixed_point_cache = &cache;
+
+  Query q1;
+  q1.terms = {"xquery", "optimization"};
+  ASSERT_TRUE(engine_->Evaluate(q1, options).ok());
+  size_t after_first = cache.size();
+
+  Query q2;
+  q2.terms = {"xquery", "relational"};  // Shares 'xquery'.
+  ASSERT_TRUE(engine_->Evaluate(q2, options).ok());
+  EXPECT_EQ(cache.hits(), 1u);  // The shared term hit.
+  EXPECT_GT(cache.size(), after_first);
+}
+
+TEST_F(FixedPointCacheTest, DifferentFiltersUseDifferentEntries) {
+  FixedPointCache cache;
+  EvalOptions options;
+  options.strategy = Strategy::kPushDown;
+  options.executor.fixed_point_cache = &cache;
+
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = algebra::filters::SizeAtMost(3);
+  auto beta3 = engine_->Evaluate(q, options);
+  ASSERT_TRUE(beta3.ok());
+
+  q.filter = algebra::filters::SizeAtMost(8);
+  auto beta8 = engine_->Evaluate(q, options);
+  ASSERT_TRUE(beta8.ok());
+  // No false sharing: the filtered closures differ, so the second query
+  // must not have hit the first query's entries.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_GT(beta8->answers.size(), beta3->answers.size());
+}
+
+TEST_F(FixedPointCacheTest, VariantsUseDifferentEntries) {
+  FixedPointCache cache;
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  EvalOptions naive;
+  naive.strategy = Strategy::kFixedPointNaive;
+  naive.executor.fixed_point_cache = &cache;
+  ASSERT_TRUE(engine_->Evaluate(q, naive).ok());
+
+  EvalOptions reduced;
+  reduced.strategy = Strategy::kFixedPointReduced;
+  reduced.executor.fixed_point_cache = &cache;
+  auto result = engine_->Evaluate(q, reduced);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(cache.hits(), 0u);  // Different variant, different keys.
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST_F(FixedPointCacheTest, CachedAnswersEqualUncached) {
+  FixedPointCache cache;
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  q.filter = algebra::filters::And(algebra::filters::SizeAtMost(4),
+                                   algebra::filters::HeightAtMost(2));
+  EvalOptions with_cache;
+  with_cache.strategy = Strategy::kPushDown;
+  with_cache.executor.fixed_point_cache = &cache;
+  EvalOptions without_cache;
+  without_cache.strategy = Strategy::kPushDown;
+
+  auto cached_cold = engine_->Evaluate(q, with_cache);
+  auto cached_warm = engine_->Evaluate(q, with_cache);
+  auto plain = engine_->Evaluate(q, without_cache);
+  ASSERT_TRUE(cached_cold.ok());
+  ASSERT_TRUE(cached_warm.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(cached_warm->answers.SetEquals(plain->answers));
+  EXPECT_TRUE(cached_cold->answers.SetEquals(plain->answers));
+}
+
+TEST_F(FixedPointCacheTest, ClearResets) {
+  FixedPointCache cache;
+  Query q;
+  q.terms = {"xquery"};
+  EvalOptions options;
+  options.strategy = Strategy::kFixedPointNaive;
+  options.executor.fixed_point_cache = &cache;
+  ASSERT_TRUE(engine_->Evaluate(q, options).ok());
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,192 @@
+// Optimizer: reduction-factor computation/estimation and strategy choice
+// (the paper's §5 sketch).
+
+#include "query/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/corpus.h"
+#include "query/engine.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+using testutil::TreeFromParents;
+
+doc::Document Fig4Tree() {
+  return TreeFromParents({doc::kNoNode, 0, 0, 2, 3, 3, 2, 6});
+}
+
+TEST(ReductionFactorTest, Figure4SetReducesByTwoFifths) {
+  doc::Document d = Fig4Tree();
+  FragmentSet f = testutil::Singles({1, 3, 5, 6, 7});
+  // |F| = 5, |⊖(F)| = 3 ⇒ RF = (5 − 3) / 5 = 0.4.
+  EXPECT_DOUBLE_EQ(ReductionFactor(d, f), 0.4);
+}
+
+TEST(ReductionFactorTest, DegenerateSets) {
+  doc::Document d = Fig4Tree();
+  EXPECT_DOUBLE_EQ(ReductionFactor(d, FragmentSet()), 0.0);
+  EXPECT_DOUBLE_EQ(ReductionFactor(d, testutil::Singles({4})), 0.0);
+  EXPECT_DOUBLE_EQ(ReductionFactor(d, testutil::Singles({4, 5})), 0.0);
+}
+
+TEST(ReductionFactorTest, ScatteredSiblingsDoNotReduce) {
+  // Leaves of a star tree: no join of two subsumes a third (all joins pass
+  // only through the root).
+  std::vector<doc::NodeId> parents{doc::kNoNode, 0, 0, 0, 0, 0};
+  doc::Document d = TreeFromParents(std::move(parents));
+  FragmentSet f = testutil::Singles({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ReductionFactor(d, f), 0.0);
+}
+
+TEST(ReductionFactorTest, ChainInteriorFullyReduces) {
+  // On a chain 0-1-2-...-9, nodes {2,...,7} ⊆ 1 ⋈ 8, so only the extremes
+  // survive: RF = (k − 2) / k.
+  std::vector<doc::NodeId> parents{doc::kNoNode};
+  for (doc::NodeId i = 1; i < 10; ++i) parents.push_back(i - 1);
+  doc::Document d = TreeFromParents(std::move(parents));
+  FragmentSet f = testutil::Singles({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(ReductionFactor(d, f), 6.0 / 8.0);
+}
+
+TEST(EstimateReductionFactorTest, ExactWhenSampleCoversSet) {
+  doc::Document d = Fig4Tree();
+  FragmentSet f = testutil::Singles({1, 3, 5, 6, 7});
+  EXPECT_DOUBLE_EQ(EstimateReductionFactor(d, f, 10, 1), 0.4);
+}
+
+TEST(EstimateReductionFactorTest, SampledEstimateTracksClusteredCorpora) {
+  // Clustered keyword placement should estimate a high RF; scattered
+  // placement a low one.
+  gen::CorpusProfile profile;
+  profile.target_nodes = 400;
+  profile.seed = 5;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(6);
+  auto clustered = gen::PlantKeyword(&raw, "clusterkw", 40,
+                                     gen::PlantMode::kClustered, &rng);
+  auto scattered = gen::PlantKeyword(&raw, "scatterkw", 40,
+                                     gen::PlantMode::kScattered, &rng);
+  ASSERT_GE(clustered.size(), 10u);
+  ASSERT_GE(scattered.size(), 10u);
+  auto document = gen::Materialize(raw);
+  ASSERT_TRUE(document.ok());
+
+  FragmentSet clustered_set, scattered_set;
+  for (doc::NodeId n : clustered) clustered_set.Insert(Fragment::Single(n));
+  for (doc::NodeId n : scattered) scattered_set.Insert(Fragment::Single(n));
+  double rf_clustered = EstimateReductionFactor(*document, clustered_set, 12, 9);
+  double rf_scattered = EstimateReductionFactor(*document, scattered_set, 12, 9);
+  EXPECT_GT(rf_clustered, rf_scattered);
+}
+
+class ChooseStrategyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen::CorpusProfile profile;
+    profile.target_nodes = 300;
+    profile.seed = 11;
+    raw_ = gen::GenerateRaw(profile);
+    Rng rng(12);
+    gen::PlantKeyword(&raw_, "clusterkw", 30, gen::PlantMode::kClustered,
+                      &rng);
+    gen::PlantKeyword(&raw_, "scatterkw", 30, gen::PlantMode::kScattered,
+                      &rng);
+    gen::PlantKeyword(&raw_, "rarekw", 2, gen::PlantMode::kScattered, &rng);
+    gen::PlantKeyword(&raw_, "midkw", 5, gen::PlantMode::kScattered, &rng);
+    auto document = gen::Materialize(raw_);
+    ASSERT_TRUE(document.ok());
+    document_ = std::make_unique<doc::Document>(std::move(document).value());
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_));
+  }
+
+  gen::RawCorpus raw_;
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+};
+
+TEST_F(ChooseStrategyTest, AntiMonotonicFilterTriggersPushDown) {
+  Query q;
+  q.terms = {"clusterkw", "scatterkw"};
+  q.filter = algebra::filters::SizeAtMost(4);
+  PlanDecision decision = ChooseStrategy(q, *document_, *index_);
+  EXPECT_EQ(decision.strategy, Strategy::kPushDown);
+  EXPECT_NE(decision.rationale.find("Theorem 3"), std::string::npos);
+  EXPECT_EQ(decision.anti_monotonic->ToString(), "size<=4");
+}
+
+TEST_F(ChooseStrategyTest, MixedFilterStillPushesAntiPart) {
+  Query q;
+  q.terms = {"clusterkw"};
+  q.filter = algebra::filters::And(algebra::filters::SizeAtMost(4),
+                                   algebra::filters::SizeAtLeast(2));
+  PlanDecision decision = ChooseStrategy(q, *document_, *index_);
+  EXPECT_EQ(decision.strategy, Strategy::kPushDown);
+  EXPECT_EQ(decision.residue->ToString(), "size>=2");
+}
+
+TEST_F(ChooseStrategyTest, TinyBaseSetsChooseBruteForce) {
+  Query q;
+  q.terms = {"rarekw"};
+  PlanDecision decision = ChooseStrategy(q, *document_, *index_);
+  EXPECT_EQ(decision.strategy, Strategy::kBruteForce);
+}
+
+TEST_F(ChooseStrategyTest, HighRfChoosesReducedFixedPoint) {
+  Query q;
+  q.terms = {"clusterkw"};
+  OptimizerOptions options;
+  options.rf_threshold = 0.2;
+  PlanDecision decision = ChooseStrategy(q, *document_, *index_, options);
+  EXPECT_EQ(decision.strategy, Strategy::kFixedPointReduced)
+      << decision.rationale;
+  ASSERT_FALSE(decision.estimated_rf.empty());
+  EXPECT_GE(decision.estimated_rf[0], options.rf_threshold);
+}
+
+TEST_F(ChooseStrategyTest, LowRfChoosesNaiveFixedPoint) {
+  Query q;
+  q.terms = {"scatterkw"};
+  OptimizerOptions options;
+  options.rf_threshold = 0.9;  // Force the threshold above the estimate.
+  PlanDecision decision = ChooseStrategy(q, *document_, *index_, options);
+  EXPECT_EQ(decision.strategy, Strategy::kFixedPointNaive)
+      << decision.rationale;
+}
+
+TEST_F(ChooseStrategyTest, AutoStrategyProducesSameAnswersAsExplicit) {
+  QueryEngine engine(*document_, *index_);
+  Query q;
+  // Small posting lists: the explicit reference strategy runs an
+  // *unfiltered* naive fixed point, which is exponential in |Fi|.
+  q.terms = {"midkw", "rarekw"};
+  q.filter = algebra::filters::SizeAtMost(6);
+
+  EvalOptions automatic;  // Defaults to kAuto.
+  auto auto_result = engine.Evaluate(q, automatic);
+  ASSERT_TRUE(auto_result.ok()) << auto_result.status().ToString();
+  EXPECT_NE(auto_result->strategy_used, Strategy::kAuto);
+
+  EvalOptions manual;
+  manual.strategy = Strategy::kFixedPointNaive;
+  auto manual_result = engine.Evaluate(q, manual);
+  ASSERT_TRUE(manual_result.ok());
+  EXPECT_TRUE(auto_result->answers.SetEquals(manual_result->answers));
+}
+
+TEST(StrategyNameTest, AllNamesStable) {
+  EXPECT_EQ(StrategyName(Strategy::kBruteForce), "brute-force");
+  EXPECT_EQ(StrategyName(Strategy::kFixedPointNaive), "fixed-point-naive");
+  EXPECT_EQ(StrategyName(Strategy::kFixedPointReduced),
+            "fixed-point-reduced");
+  EXPECT_EQ(StrategyName(Strategy::kPushDown), "push-down");
+  EXPECT_EQ(StrategyName(Strategy::kAuto), "auto");
+}
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,209 @@
+// End-to-end reproduction of the paper's Section 4 running example and
+// Table 1 on the reconstructed Figure-1 document.
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+using testutil::Frag;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto document = gen::BuildPaperDocument();
+    ASSERT_TRUE(document.ok()) << document.status().ToString();
+    document_ = std::make_unique<doc::Document>(std::move(document).value());
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_));
+    engine_ = std::make_unique<QueryEngine>(*document_, *index_);
+  }
+
+  Query PaperQuery(uint32_t beta = 3) const {
+    Query q;
+    q.terms = {"xquery", "optimization"};
+    q.filter = algebra::filters::SizeAtMost(beta);
+    return q;
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(PaperExampleTest, BaseSelectionsMatchSection4) {
+  // F1 = σ_{keyword=XQuery}(F) = {⟨n17⟩, ⟨n18⟩}
+  EXPECT_EQ(index_->Lookup("xquery"), (std::vector<doc::NodeId>{17, 18}));
+  // F2 = σ_{keyword=optimization}(F) = {⟨n16⟩, ⟨n17⟩, ⟨n81⟩}
+  EXPECT_EQ(index_->Lookup("optimization"),
+            (std::vector<doc::NodeId>{16, 17, 81}));
+}
+
+TEST_F(PaperExampleTest, Table1CandidateFragments) {
+  // The 7 unique fragments of Table 1 (rows 1–7), produced by F1 ⋈* F2.
+  const doc::Document& d = *document_;
+  FragmentSet f1 = testutil::Singles({17, 18});
+  FragmentSet f2 = testutil::Singles({16, 17, 81});
+  auto result = algebra::PowersetJoinBruteForce(d, f1, f2);
+  ASSERT_TRUE(result.ok());
+
+  FragmentSet expected{
+      Frag(d, {16, 17, 18}),                          // Row 1: f17 ⋈ f18.
+      Frag(d, {16, 17}),                              // Row 2: f16 ⋈ f17.
+      Frag(d, {16, 18}),                              // Row 3: f16 ⋈ f18.
+      Fragment::Single(17),                           // Row 4: f17.
+      Frag(d, {0, 1, 14, 16, 17, 79, 80, 81}),        // Row 5: f17 ⋈ f81.
+      Frag(d, {0, 1, 14, 16, 18, 79, 80, 81}),        // Row 6: f18 ⋈ f81.
+      Frag(d, {0, 1, 14, 16, 17, 18, 79, 80, 81}),    // Row 7: f17⋈f18⋈f81.
+  };
+  EXPECT_TRUE(result->SetEquals(expected))
+      << "got " << result->ToString();
+}
+
+TEST_F(PaperExampleTest, Table1RowByRowJoins) {
+  const doc::Document& d = *document_;
+  auto single = [](doc::NodeId n) { return Fragment::Single(n); };
+  // Row 1.
+  EXPECT_EQ(algebra::Join(d, single(17), single(18)), Frag(d, {16, 17, 18}));
+  // Row 2.
+  EXPECT_EQ(algebra::Join(d, single(16), single(17)), Frag(d, {16, 17}));
+  // Row 3.
+  EXPECT_EQ(algebra::Join(d, single(16), single(18)), Frag(d, {16, 18}));
+  // Row 5.
+  EXPECT_EQ(algebra::Join(d, single(17), single(81)),
+            Frag(d, {0, 1, 14, 16, 17, 79, 80, 81}));
+  // Row 6.
+  EXPECT_EQ(algebra::Join(d, single(18), single(81)),
+            Frag(d, {0, 1, 14, 16, 18, 79, 80, 81}));
+  // Row 7.
+  EXPECT_EQ(
+      algebra::Join(d, algebra::Join(d, single(17), single(18)), single(81)),
+      Frag(d, {0, 1, 14, 16, 17, 18, 79, 80, 81}));
+  // Row 8 duplicates row 1 (f16 ⋈ f17 ⋈ f18 absorbs f16).
+  EXPECT_EQ(
+      algebra::Join(d, algebra::Join(d, single(16), single(17)), single(18)),
+      Frag(d, {16, 17, 18}));
+  // §4.3: f16 ⋈ f81 — the join the push-down strategy prunes early.
+  EXPECT_EQ(algebra::Join(d, single(16), single(81)),
+            Frag(d, {0, 1, 14, 16, 79, 80, 81}));
+}
+
+TEST_F(PaperExampleTest, FinalAnswerUnderSizeFilter) {
+  // With β = 3, exactly rows 1–4 survive; the target ⟨n16,n17,n18⟩ is
+  // among them.
+  const doc::Document& d = *document_;
+  FragmentSet expected{
+      Frag(d, {16, 17, 18}),
+      Frag(d, {16, 17}),
+      Frag(d, {16, 18}),
+      Fragment::Single(17),
+  };
+  for (Strategy strategy :
+       {Strategy::kBruteForce, Strategy::kFixedPointNaive,
+        Strategy::kFixedPointReduced, Strategy::kPushDown}) {
+    EvalOptions options;
+    options.strategy = strategy;
+    auto result = engine_->Evaluate(PaperQuery(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->answers.SetEquals(expected))
+        << "strategy " << StrategyName(strategy) << ": "
+        << result->answers.ToString();
+  }
+}
+
+TEST_F(PaperExampleTest, SetReductionSection42) {
+  // §4.2: ⊖(F2) = {f17, f81}; F1 is already reduced (cardinality 2).
+  const doc::Document& d = *document_;
+  FragmentSet f2 = testutil::Singles({16, 17, 81});
+  FragmentSet reduced2 = algebra::Reduce(d, f2);
+  EXPECT_TRUE(reduced2.SetEquals(testutil::Singles({17, 81})))
+      << reduced2.ToString();
+  FragmentSet f1 = testutil::Singles({17, 18});
+  EXPECT_TRUE(algebra::Reduce(d, f1).SetEquals(f1));
+
+  // F1⁺ = {f17, f18, f17 ⋈ f18}.
+  FragmentSet fp1 = algebra::FixedPointReduced(d, f1);
+  FragmentSet expected_fp1{Fragment::Single(17), Fragment::Single(18),
+                           Frag(d, {16, 17, 18})};
+  EXPECT_TRUE(fp1.SetEquals(expected_fp1)) << fp1.ToString();
+
+  // F2⁺ = {f16, f17, f81, f16⋈f17, f16⋈f81, f17⋈f81} (f16⋈f17⋈f81 coincides
+  // with f16 ⋈ f81 ∪ ... — six distinct fragments in total).
+  FragmentSet fp2 = algebra::FixedPointReduced(d, f2);
+  FragmentSet expected_fp2{
+      Fragment::Single(16),
+      Fragment::Single(17),
+      Fragment::Single(81),
+      Frag(d, {16, 17}),
+      Frag(d, {0, 1, 14, 16, 79, 80, 81}),
+      Frag(d, {0, 1, 14, 16, 17, 79, 80, 81}),
+  };
+  EXPECT_TRUE(fp2.SetEquals(expected_fp2)) << fp2.ToString();
+
+  // Theorem 2 on the running example: F1⁺ ⋈ F2⁺ = F1 ⋈* F2.
+  auto brute = algebra::PowersetJoinBruteForce(d, f1, f2);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_TRUE(algebra::PairwiseJoin(d, fp1, fp2).SetEquals(*brute));
+}
+
+TEST_F(PaperExampleTest, PushDownPrunesTheF16F81Join) {
+  // §4.3: with size ≤ 3 pushed down, the expensive joins through n0 (rows
+  // 5–7, 9–11 of Table 1) are never materialized into the join inputs —
+  // the pushed-down run performs strictly fewer joins than the late-filter
+  // run and rejects fragments eagerly.
+  EvalOptions pushed;
+  pushed.strategy = Strategy::kPushDown;
+  auto with_push = engine_->Evaluate(PaperQuery(), pushed);
+  ASSERT_TRUE(with_push.ok());
+
+  EvalOptions late;
+  late.strategy = Strategy::kFixedPointNaive;
+  auto without_push = engine_->Evaluate(PaperQuery(), late);
+  ASSERT_TRUE(without_push.ok());
+
+  EXPECT_TRUE(with_push->answers.SetEquals(without_push->answers));
+  EXPECT_LT(with_push->metrics.fragment_joins,
+            without_push->metrics.fragment_joins);
+  EXPECT_GT(with_push->metrics.filter_rejections, 0u);
+}
+
+TEST_F(PaperExampleTest, LeafStrictModeIsSubsetOfAlgebraic) {
+  EvalOptions algebraic;
+  algebraic.strategy = Strategy::kFixedPointNaive;
+  auto a = engine_->Evaluate(PaperQuery(), algebraic);
+  ASSERT_TRUE(a.ok());
+
+  EvalOptions strict = algebraic;
+  strict.answer_mode = AnswerMode::kLeafStrict;
+  auto s = engine_->Evaluate(PaperQuery(), strict);
+  ASSERT_TRUE(s.ok());
+
+  for (const Fragment& f : s->answers) {
+    EXPECT_TRUE(a->answers.Contains(f));
+  }
+  // Row 3, ⟨n16,n18⟩, violates Definition 8's leaf condition: its only leaf
+  // n18 lacks 'optimization'. Row 4, ⟨n17⟩, satisfies it (n17 has both).
+  EXPECT_FALSE(s->answers.Contains(Frag(*document_, {16, 18})));
+  EXPECT_TRUE(s->answers.Contains(Fragment::Single(17)));
+  EXPECT_TRUE(s->answers.Contains(Frag(*document_, {16, 17, 18})));
+}
+
+TEST_F(PaperExampleTest, ExplainDescribesStrategy) {
+  EvalOptions options;
+  options.strategy = Strategy::kPushDown;
+  auto result = engine_->Evaluate(PaperQuery(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->explain.find("push-down"), std::string::npos);
+  EXPECT_NE(result->explain.find("Scan[keyword=xquery]"), std::string::npos);
+  EXPECT_EQ(result->strategy_used, Strategy::kPushDown);
+}
+
+}  // namespace
+}  // namespace xfrag::query

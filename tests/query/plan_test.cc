@@ -1,0 +1,130 @@
+// Plan construction and the two rewrites: Theorem 2 (powerset → fixed
+// points) and Theorem 3 (Figure 5's selection push-down).
+
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag::query {
+namespace {
+
+namespace filters = algebra::filters;
+
+TEST(PlanBuildTest, TwoTermInitialPlanShape) {
+  auto plan = BuildInitialPlan({"a", "b"}, filters::SizeAtMost(3));
+  ASSERT_EQ(plan->kind, PlanNodeKind::kSelect);
+  ASSERT_EQ(plan->children.size(), 1u);
+  const PlanNode& join = *plan->children[0];
+  EXPECT_EQ(join.kind, PlanNodeKind::kPowersetJoin);
+  EXPECT_EQ(join.children[0]->kind, PlanNodeKind::kScanKeyword);
+  EXPECT_EQ(join.children[0]->term, "a");
+  EXPECT_EQ(join.children[1]->term, "b");
+}
+
+TEST(PlanBuildTest, SingleTermUsesFixedPoint) {
+  auto plan = BuildInitialPlan({"solo"}, filters::True());
+  ASSERT_EQ(plan->kind, PlanNodeKind::kSelect);
+  EXPECT_EQ(plan->children[0]->kind, PlanNodeKind::kFixedPoint);
+  EXPECT_EQ(plan->children[0]->children[0]->kind, PlanNodeKind::kScanKeyword);
+}
+
+TEST(PlanBuildTest, ThreeTermChain) {
+  auto plan = BuildInitialPlan({"a", "b", "c"}, filters::True());
+  // σ(((a ⋈* b) ⋈* c)).
+  const PlanNode& outer = *plan->children[0];
+  ASSERT_EQ(outer.kind, PlanNodeKind::kPowersetJoin);
+  EXPECT_EQ(outer.children[1]->term, "c");
+  const PlanNode& inner = *outer.children[0];
+  ASSERT_EQ(inner.kind, PlanNodeKind::kPowersetJoin);
+  EXPECT_EQ(inner.children[0]->term, "a");
+  EXPECT_EQ(inner.children[1]->term, "b");
+}
+
+TEST(PlanRewriteTest, PowersetBecomesFixedPointsAndPairwiseJoin) {
+  auto plan = BuildInitialPlan({"a", "b"}, filters::True());
+  plan = RewritePowersetToFixedPoint(std::move(plan), /*reduced=*/true);
+  const PlanNode& join = *plan->children[0];
+  ASSERT_EQ(join.kind, PlanNodeKind::kPairwiseJoin);
+  ASSERT_EQ(join.children[0]->kind, PlanNodeKind::kFixedPoint);
+  EXPECT_TRUE(join.children[0]->fixed_point_reduced);
+  ASSERT_EQ(join.children[1]->kind, PlanNodeKind::kFixedPoint);
+  EXPECT_EQ(join.children[0]->children[0]->term, "a");
+}
+
+TEST(PlanRewriteTest, ChainedPowersetNeedsNoIntermediateClosure) {
+  // ((F1 ⋈* F2) ⋈* F3) = F1⁺ ⋈ F2⁺ ⋈ F3⁺: the middle pairwise join is
+  // already closed, so no fixed point is inserted above it (DESIGN.md).
+  auto plan = BuildInitialPlan({"a", "b", "c"}, filters::True());
+  plan = RewritePowersetToFixedPoint(std::move(plan), /*reduced=*/false);
+  const PlanNode& outer = *plan->children[0];
+  ASSERT_EQ(outer.kind, PlanNodeKind::kPairwiseJoin);
+  EXPECT_EQ(outer.children[0]->kind, PlanNodeKind::kPairwiseJoin);
+  EXPECT_EQ(outer.children[1]->kind, PlanNodeKind::kFixedPoint);
+}
+
+TEST(PlanRewriteTest, PushDownAttachesAntiMonotonicConjunct) {
+  auto filter = filters::And(filters::SizeAtMost(3), filters::SizeAtLeast(2));
+  auto plan = BuildInitialPlan({"a", "b"}, filter);
+  plan = RewritePowersetToFixedPoint(std::move(plan), false);
+  plan = PushDownSelection(std::move(plan));
+
+  // Top select keeps only the residue.
+  ASSERT_EQ(plan->kind, PlanNodeKind::kSelect);
+  EXPECT_EQ(plan->filter->ToString(), "size>=2");
+
+  const PlanNode& join = *plan->children[0];
+  ASSERT_EQ(join.kind, PlanNodeKind::kPairwiseJoin);
+  ASSERT_NE(join.filter, nullptr);
+  EXPECT_EQ(join.filter->ToString(), "size<=3");
+  for (const auto& child : join.children) {
+    ASSERT_EQ(child->kind, PlanNodeKind::kFixedPoint);
+    ASSERT_NE(child->filter, nullptr);
+    EXPECT_EQ(child->filter->ToString(), "size<=3");
+    // Scans also filtered (Figure 5's lowest σ level).
+    ASSERT_NE(child->children[0]->filter, nullptr);
+  }
+}
+
+TEST(PlanRewriteTest, NoPushDownWithoutAntiMonotonicConjunct) {
+  auto plan = BuildInitialPlan({"a", "b"}, filters::SizeAtLeast(2));
+  plan = RewritePowersetToFixedPoint(std::move(plan), false);
+  plan = PushDownSelection(std::move(plan));
+  EXPECT_EQ(plan->filter->ToString(), "size>=2");
+  EXPECT_EQ(plan->children[0]->filter, nullptr);
+}
+
+TEST(PlanCloneTest, DeepCopyIsIndependent) {
+  auto plan = BuildInitialPlan({"a", "b"}, filters::SizeAtMost(3));
+  auto copy = plan->Clone();
+  EXPECT_EQ(copy->ToString(), plan->ToString());
+  copy = RewritePowersetToFixedPoint(std::move(copy), false);
+  EXPECT_NE(copy->ToString(), plan->ToString());
+  EXPECT_EQ(plan->children[0]->kind, PlanNodeKind::kPowersetJoin);
+}
+
+TEST(PlanToStringTest, AnnotatedRenderingAppendsSuffixes) {
+  auto plan = BuildInitialPlan({"a", "b"}, filters::SizeAtMost(3));
+  std::string annotated = plan->ToStringAnnotated([](const PlanNode& node) {
+    return node.kind == PlanNodeKind::kScanKeyword
+               ? "(rows=7)"
+               : std::string();
+  });
+  EXPECT_NE(annotated.find("Scan[keyword=a] (rows=7)"), std::string::npos);
+  EXPECT_NE(annotated.find("Scan[keyword=b] (rows=7)"), std::string::npos);
+  // Non-scan lines carry no suffix.
+  EXPECT_EQ(annotated.find("PowersetJoin (rows"), std::string::npos);
+  // The un-annotated rendering is unchanged by the feature.
+  EXPECT_EQ(plan->ToString().find("(rows"), std::string::npos);
+}
+
+TEST(PlanToStringTest, RendersTree) {
+  auto plan = BuildInitialPlan({"a", "b"}, filters::SizeAtMost(3));
+  std::string repr = plan->ToString();
+  EXPECT_NE(repr.find("Select[size<=3]"), std::string::npos);
+  EXPECT_NE(repr.find("PowersetJoin"), std::string::npos);
+  EXPECT_NE(repr.find("Scan[keyword=a]"), std::string::npos);
+  EXPECT_NE(repr.find("Scan[keyword=b]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,146 @@
+// Ranking (§6 incorporation point): density beats sprawl, rare terms beat
+// common ones, determinism, and the paper example's target ordering.
+
+#include "query/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+#include "xml/parser.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+using testutil::Frag;
+
+struct RankFixture {
+  std::unique_ptr<doc::Document> document;
+  std::unique_ptr<text::InvertedIndex> index;
+
+  static RankFixture FromXml(std::string_view xml_text) {
+    RankFixture fixture;
+    auto dom = xml::Parse(xml_text);
+    EXPECT_TRUE(dom.ok());
+    auto d = doc::Document::FromDom(*dom);
+    EXPECT_TRUE(d.ok());
+    fixture.document = std::make_unique<doc::Document>(std::move(d).value());
+    text::IndexOptions options;
+    options.index_tag_names = false;
+    fixture.index = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*fixture.document, options));
+    return fixture;
+  }
+};
+
+TEST(RankingTest, DenseSmallFragmentOutranksPaddedSprawl) {
+  // Node 1 carries both terms; the sprawling fragment has the *same*
+  // keyword evidence plus padding nodes, so normalization must demote it.
+  RankFixture f = RankFixture::FromXml(
+      "<r><a>k1 k2</a><b>pad</b><c>pad</c><d>pad</d></r>");
+  FragmentSet answers{Fragment::Single(1),
+                      Frag(*f.document, {0, 1, 2, 3, 4})};
+  auto ranked = RankAnswers(answers, {"k1", "k2"}, *f.document, *f.index);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].fragment, Fragment::Single(1));
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(RankingTest, RareTermsWeighMore) {
+  // 'rare' occurs once; 'common' occurs in four nodes. Fragments matching
+  // only one term each: the rare match should score higher.
+  RankFixture f = RankFixture::FromXml(
+      "<r><a>rare</a><b>common</b><c>common</c><d>common</d>"
+      "<e>common</e></r>");
+  FragmentSet answers{Fragment::Single(1), Fragment::Single(2)};
+  auto ranked =
+      RankAnswers(answers, {"rare", "common"}, *f.document, *f.index);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].fragment, Fragment::Single(1));
+}
+
+TEST(RankingTest, MoreMatchingNodesScoreHigher) {
+  RankFixture f = RankFixture::FromXml(
+      "<r><a><b>k1</b><c>k1</c></a><d><e>k1</e><f>pad</f></d></r>");
+  // Both fragments have 3 nodes; the first contains two k1 nodes.
+  FragmentSet answers{Frag(*f.document, {1, 2, 3}),
+                      Frag(*f.document, {4, 5, 6})};
+  auto ranked = RankAnswers(answers, {"k1"}, *f.document, *f.index);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].fragment, Frag(*f.document, {1, 2, 3}));
+}
+
+TEST(RankingTest, SizePenaltyZeroDisablesNormalization) {
+  RankFixture f = RankFixture::FromXml(
+      "<r><a>k1</a><b><c>k1</c><d>k1</d></b></r>");
+  FragmentSet answers{Fragment::Single(1), Frag(*f.document, {2, 3, 4})};
+  RankingOptions no_penalty;
+  no_penalty.size_penalty = 0.0;
+  auto ranked =
+      RankAnswers(answers, {"k1"}, *f.document, *f.index, no_penalty);
+  // Without a size penalty, two matching nodes beat one.
+  EXPECT_EQ(ranked[0].fragment, Frag(*f.document, {2, 3, 4}));
+  // With the default penalty the compact single node wins or ties; either
+  // way the ordering must flip or stay deterministic — assert the scores
+  // are computed differently.
+  auto penalized = RankAnswers(answers, {"k1"}, *f.document, *f.index);
+  EXPECT_NE(ranked[0].score, penalized[0].score);
+}
+
+TEST(RankingTest, DeterministicTieBreaking) {
+  RankFixture f = RankFixture::FromXml(
+      "<r><a>k1</a><b>k1</b><c>k1</c></r>");
+  FragmentSet answers{Fragment::Single(3), Fragment::Single(1),
+                      Fragment::Single(2)};
+  auto first = RankAnswers(answers, {"k1"}, *f.document, *f.index);
+  auto second = RankAnswers(answers, {"k1"}, *f.document, *f.index);
+  ASSERT_EQ(first.size(), 3u);
+  // Equal scores: canonical fragment order.
+  EXPECT_EQ(first[0].fragment, Fragment::Single(1));
+  EXPECT_EQ(first[1].fragment, Fragment::Single(2));
+  EXPECT_EQ(first[2].fragment, Fragment::Single(3));
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].fragment, second[i].fragment);
+    EXPECT_EQ(first[i].score, second[i].score);
+  }
+}
+
+TEST(RankingTest, EmptyAnswersYieldEmptyRanking) {
+  RankFixture f = RankFixture::FromXml("<r>k1</r>");
+  EXPECT_TRUE(
+      RankAnswers(FragmentSet(), {"k1"}, *f.document, *f.index).empty());
+}
+
+TEST(RankingTest, PaperExampleTargetRanksAboveDistantJoins) {
+  auto document = gen::BuildPaperDocument();
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  QueryEngine engine(*document, index);
+  Query q;
+  q.terms = {"xquery", "optimization"};
+  // No size filter: all 7 unique Table-1 fragments are answers.
+  auto result = engine.Evaluate(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 7u);
+  auto ranked = RankAnswers(result->answers, q.terms, *document, index);
+  // The self-contained target ⟨n16,n17,n18⟩ — the fragment the paper calls
+  // "more intuitive and more appropriate" — must rank first: it has the
+  // most keyword-dense compact evidence.
+  Fragment target = Fragment::FromSortedUnchecked({16, 17, 18});
+  EXPECT_EQ(ranked.front().fragment, target);
+  // Every root-spanning distant join scores below the target, and the
+  // bottom of the ranking is one of them (weak evidence spread over the
+  // whole document path).
+  for (const auto& answer : ranked) {
+    if (answer.fragment.size() >= 8) {
+      EXPECT_LT(answer.score, ranked.front().score);
+    }
+  }
+  EXPECT_GE(ranked.back().fragment.size(), 8u);
+}
+
+}  // namespace
+}  // namespace xfrag::query

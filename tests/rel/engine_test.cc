@@ -1,0 +1,203 @@
+// Shredder and relational fragment-algebra engine.
+
+#include "rel/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "gen/paper_document.h"
+
+namespace xfrag::rel {
+namespace {
+
+using algebra::Fragment;
+
+class RelEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = gen::BuildPaperDocument();
+    ASSERT_TRUE(d.ok());
+    document_ = std::make_unique<doc::Document>(std::move(d).value());
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_));
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+};
+
+TEST_F(RelEngineTest, ShredProducesConsistentTables) {
+  auto shredded = Shred(*document_, *index_);
+  ASSERT_TRUE(shredded.ok());
+  EXPECT_EQ(shredded->node->row_count(), document_->size());
+  EXPECT_EQ(shredded->kw->row_count(), index_->posting_count());
+  EXPECT_TRUE(shredded->node->HasIndex("id"));
+  EXPECT_TRUE(shredded->kw->HasIndex("term"));
+
+  // Spot-check a node row: n17 (par under n16).
+  auto rows = shredded->node->IndexLookup("id", Value(int64_t{17}));
+  ASSERT_EQ(rows.size(), 1u);
+  const Row& row = shredded->node->row(rows[0]);
+  EXPECT_EQ(row[1].AsInt64(), 16);  // parent.
+  EXPECT_EQ(row[2].AsInt64(), 4);   // depth: article/chapter/section/subsec/par.
+  EXPECT_EQ(row[3].AsInt64(), 1);   // subtree size.
+  EXPECT_EQ(row[4].AsString(), "par");
+
+  // Root row has parent -1.
+  auto root_rows = shredded->node->IndexLookup("id", Value(int64_t{0}));
+  ASSERT_EQ(root_rows.size(), 1u);
+  EXPECT_EQ(shredded->node->row(root_rows[0])[1].AsInt64(), -1);
+
+  // kw rows for 'xquery'.
+  auto kw_rows = shredded->kw->IndexLookup("term", Value(std::string("xquery")));
+  EXPECT_EQ(kw_rows.size(), 2u);
+}
+
+TEST_F(RelEngineTest, EvaluatePaperQueryMatchesTable1) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  RelFilter filter;
+  filter.size_at_most = 3;
+  auto answers = engine->Evaluate({"xquery", "optimization"}, filter);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  algebra::FragmentSet expected{
+      Fragment::FromSortedUnchecked({16, 17, 18}),
+      Fragment::FromSortedUnchecked({16, 17}),
+      Fragment::FromSortedUnchecked({16, 18}),
+      Fragment::Single(17),
+  };
+  EXPECT_TRUE(answers->SetEquals(expected)) << answers->ToString();
+  EXPECT_GT(engine->metrics().node_fetches, 0u);
+  EXPECT_EQ(engine->metrics().kw_probes, 2u);
+}
+
+TEST_F(RelEngineTest, PushDownAndLateFilterAgree) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  RelFilter filter;
+  filter.size_at_most = 3;
+
+  RelEvalOptions pushed;
+  pushed.push_down = true;
+  auto with_push = engine->Evaluate({"xquery", "optimization"}, filter, pushed);
+  ASSERT_TRUE(with_push.ok());
+  uint64_t pushed_joins = engine->metrics().fragment_joins;
+
+  RelEvalOptions late;
+  late.push_down = false;
+  auto without_push =
+      engine->Evaluate({"xquery", "optimization"}, filter, late);
+  ASSERT_TRUE(without_push.ok());
+  uint64_t late_joins = engine->metrics().fragment_joins;
+
+  EXPECT_TRUE(with_push->SetEquals(*without_push));
+  EXPECT_LT(pushed_joins, late_joins);
+}
+
+TEST_F(RelEngineTest, HeightAndSpanFilters) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+
+  RelFilter height_filter;
+  height_filter.height_at_most = 1;
+  auto answers = engine->Evaluate({"xquery", "optimization"}, height_filter);
+  ASSERT_TRUE(answers.ok());
+  // ⟨n16,n17⟩, ⟨n16,n18⟩, ⟨n16,n17,n18⟩ (height 1) and ⟨n17⟩ (height 0).
+  EXPECT_EQ(answers->size(), 4u);
+
+  RelFilter span_filter;
+  span_filter.span_at_most = 1;
+  auto narrow = engine->Evaluate({"xquery", "optimization"}, span_filter);
+  ASSERT_TRUE(narrow.ok());
+  // Span ≤ 1: ⟨n17⟩ (0) and ⟨n16,n17⟩ (1).
+  EXPECT_EQ(narrow->size(), 2u);
+}
+
+TEST_F(RelEngineTest, TrivialFilterReturnsFullAnswerSet) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  RelFilter trivial;
+  ASSERT_TRUE(trivial.IsTrivial());
+  auto answers = engine->Evaluate({"xquery", "optimization"}, trivial);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 7u);  // All unique Table-1 fragments.
+}
+
+TEST_F(RelEngineTest, ThreeTermQuery) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  RelFilter filter;
+  filter.size_at_most = 4;
+  // 'subsection' is the tag of n16, indexed as a term.
+  auto answers =
+      engine->Evaluate({"xquery", "optimization", "subsection"}, filter);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // Every answer contains n16 (the only 'subsection' node) and both
+  // keyword witnesses, within 4 nodes.
+  ASSERT_FALSE(answers->empty());
+  for (const algebra::Fragment& f : *answers) {
+    EXPECT_TRUE(f.ContainsNode(16)) << f.ToString();
+    EXPECT_LE(f.size(), 4u);
+  }
+  EXPECT_TRUE(answers->Contains(
+      algebra::Fragment::FromSortedUnchecked({16, 17, 18})));
+}
+
+TEST_F(RelEngineTest, CombinedSizeAndHeightFilter) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  RelFilter combined;
+  combined.size_at_most = 3;
+  combined.height_at_most = 1;
+  auto answers = engine->Evaluate({"xquery", "optimization"}, combined);
+  ASSERT_TRUE(answers.ok());
+  // Same as the β=3 answer set: all four fragments have height ≤ 1.
+  EXPECT_EQ(answers->size(), 4u);
+
+  combined.height_at_most = 0;
+  auto flat = engine->Evaluate({"xquery", "optimization"}, combined);
+  ASSERT_TRUE(flat.ok());
+  // Only the single node ⟨n17⟩ has height 0.
+  ASSERT_EQ(flat->size(), 1u);
+  EXPECT_EQ((*flat)[0], algebra::Fragment::Single(17));
+}
+
+TEST_F(RelEngineTest, ReducedFixedPointMatchesNaive) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  RelFilter trivial;
+
+  RelEvalOptions naive;
+  naive.push_down = false;
+  naive.use_reduced_fixed_point = false;
+  auto naive_answers = engine->Evaluate({"xquery", "optimization"}, trivial,
+                                        naive);
+  ASSERT_TRUE(naive_answers.ok());
+
+  RelEvalOptions reduced;
+  reduced.push_down = false;
+  reduced.use_reduced_fixed_point = true;
+  auto reduced_answers =
+      engine->Evaluate({"xquery", "optimization"}, trivial, reduced);
+  ASSERT_TRUE(reduced_answers.ok());
+
+  EXPECT_TRUE(naive_answers->SetEquals(*reduced_answers));
+  EXPECT_EQ(reduced_answers->size(), 7u);  // The Table-1 unique fragments.
+}
+
+TEST_F(RelEngineTest, MissingTermYieldsEmpty) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  auto answers = engine->Evaluate({"xquery", "unobtainium"}, RelFilter{});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+TEST_F(RelEngineTest, EmptyQueryRejected) {
+  auto engine = RelationalEngine::Create(*document_, *index_);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->Evaluate({}, RelFilter{}).ok());
+}
+
+}  // namespace
+}  // namespace xfrag::rel

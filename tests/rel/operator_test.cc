@@ -1,0 +1,176 @@
+#include "rel/operator.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag::rel {
+namespace {
+
+// Small people/dept fixture for operator tests.
+class OperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    people_ = std::make_unique<Table>(
+        "people", Schema({{"id", ValueType::kInt64},
+                          {"name", ValueType::kString},
+                          {"dept", ValueType::kInt64}}));
+    for (auto& [id, name, dept] :
+         std::vector<std::tuple<int64_t, std::string, int64_t>>{
+             {1, "ada", 10}, {2, "bob", 20}, {3, "cyd", 10}, {4, "dee", 30}}) {
+      ASSERT_TRUE(
+          people_->Insert({Value(id), Value(name), Value(dept)}).ok());
+    }
+    ASSERT_TRUE(people_->CreateIndex("id").ok());
+
+    depts_ = std::make_unique<Table>(
+        "depts",
+        Schema({{"dept", ValueType::kInt64}, {"label", ValueType::kString}}));
+    for (auto& [dept, label] : std::vector<std::tuple<int64_t, std::string>>{
+             {10, "eng"}, {20, "ops"}}) {
+      ASSERT_TRUE(depts_->Insert({Value(dept), Value(label)}).ok());
+    }
+  }
+
+  std::unique_ptr<Table> people_;
+  std::unique_ptr<Table> depts_;
+};
+
+TEST_F(OperatorTest, SeqScanReturnsAllRows) {
+  auto scan = SeqScan(*people_);
+  auto rows = Collect(scan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0][1].AsString(), "ada");
+}
+
+TEST_F(OperatorTest, SeqScanReopens) {
+  auto scan = SeqScan(*people_);
+  ASSERT_TRUE(Collect(scan.get()).ok());
+  auto again = Collect(scan.get());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 4u);
+}
+
+TEST_F(OperatorTest, IndexScanSelectsByKey) {
+  auto scan = IndexScan(*people_, "id", Value(int64_t{3}));
+  auto rows = Collect(scan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1].AsString(), "cyd");
+}
+
+TEST_F(OperatorTest, IndexScanWithoutIndexFails) {
+  auto scan = IndexScan(*people_, "name", Value(std::string("ada")));
+  EXPECT_FALSE(Collect(scan.get()).ok());
+}
+
+TEST_F(OperatorTest, FilterByPredicate) {
+  auto op = Filter(SeqScan(*people_),
+                   expr::Compare("dept", CompareOp::kEq, Value(int64_t{10})));
+  auto rows = Collect(op.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(OperatorTest, FilterComposedPredicate) {
+  auto pred = expr::And(
+      expr::Compare("dept", CompareOp::kEq, Value(int64_t{10})),
+      expr::Compare("name", CompareOp::kNe, Value(std::string("ada"))));
+  auto op = Filter(SeqScan(*people_), pred);
+  auto rows = Collect(op.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1].AsString(), "cyd");
+}
+
+TEST_F(OperatorTest, FilterComparisonOperators) {
+  auto count = [&](ExprPtr pred) {
+    auto op = Filter(SeqScan(*people_), std::move(pred));
+    auto rows = Collect(op.get());
+    EXPECT_TRUE(rows.ok());
+    return rows->size();
+  };
+  EXPECT_EQ(count(expr::Compare("id", CompareOp::kLt, Value(int64_t{3}))), 2u);
+  EXPECT_EQ(count(expr::Compare("id", CompareOp::kLe, Value(int64_t{3}))), 3u);
+  EXPECT_EQ(count(expr::Compare("id", CompareOp::kGt, Value(int64_t{3}))), 1u);
+  EXPECT_EQ(count(expr::Compare("id", CompareOp::kGe, Value(int64_t{3}))), 2u);
+  EXPECT_EQ(count(expr::Not(expr::True())), 0u);
+  EXPECT_EQ(count(expr::Or(
+                expr::Compare("id", CompareOp::kEq, Value(int64_t{1})),
+                expr::Compare("id", CompareOp::kEq, Value(int64_t{4})))),
+            2u);
+}
+
+TEST_F(OperatorTest, FilterUnknownColumnFailsAtOpen) {
+  auto op = Filter(SeqScan(*people_),
+                   expr::Compare("ghost", CompareOp::kEq, Value(int64_t{1})));
+  EXPECT_FALSE(Collect(op.get()).ok());
+}
+
+TEST_F(OperatorTest, ProjectSelectsAndReorders) {
+  auto op = Project(SeqScan(*people_), {"name", "id"});
+  auto rows = Collect(op.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0].size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "ada");
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 1);
+}
+
+TEST_F(OperatorTest, ProjectUnknownColumnFails) {
+  auto op = Project(SeqScan(*people_), {"ghost"});
+  EXPECT_FALSE(Collect(op.get()).ok());
+}
+
+TEST_F(OperatorTest, HashJoinMatchesKeys) {
+  auto join =
+      HashJoin(SeqScan(*people_), SeqScan(*depts_), "dept", "dept");
+  auto rows = Collect(join.get());
+  ASSERT_TRUE(rows.ok());
+  // ada/eng, bob/ops, cyd/eng (dee's dept 30 has no match).
+  EXPECT_EQ(rows->size(), 3u);
+  // Output schema is left ++ right (duplicate name prefixed).
+  EXPECT_EQ(join->schema().column_count(), 5u);
+  auto label = join->schema().IndexOf("label");
+  ASSERT_TRUE(label.ok());
+  for (const Row& row : *rows) {
+    int64_t dept = row[2].AsInt64();
+    const std::string& l = row[*label].AsString();
+    EXPECT_EQ(l, dept == 10 ? "eng" : "ops");
+  }
+}
+
+TEST_F(OperatorTest, HashJoinEmptySide) {
+  Table empty("empty", depts_->schema());
+  auto join = HashJoin(SeqScan(*people_), SeqScan(empty), "dept", "dept");
+  auto rows = Collect(join.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(OperatorTest, SortOrdersByColumns) {
+  auto op = Sort(SeqScan(*people_), {"dept", "name"});
+  auto rows = Collect(op.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0][1].AsString(), "ada");   // dept 10.
+  EXPECT_EQ((*rows)[1][1].AsString(), "cyd");   // dept 10.
+  EXPECT_EQ((*rows)[2][1].AsString(), "bob");   // dept 20.
+  EXPECT_EQ((*rows)[3][1].AsString(), "dee");   // dept 30.
+}
+
+TEST_F(OperatorTest, PipelineComposition) {
+  // σ(dept=10) → project(name) → sort(name): classic mini-pipeline.
+  auto op = Sort(
+      Project(Filter(SeqScan(*people_), expr::Compare("dept", CompareOp::kEq,
+                                                      Value(int64_t{10}))),
+              {"name"}),
+      {"name"});
+  auto rows = Collect(op.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "ada");
+  EXPECT_EQ((*rows)[1][0].AsString(), "cyd");
+}
+
+}  // namespace
+}  // namespace xfrag::rel

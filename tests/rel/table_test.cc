@@ -1,0 +1,104 @@
+#include "rel/table.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag::rel {
+namespace {
+
+Schema NodeSchema() {
+  return Schema({{"id", ValueType::kInt64}, {"tag", ValueType::kString}});
+}
+
+TEST(ValueTest, TypesAndComparisons) {
+  Value i(int64_t{42});
+  Value s(std::string("abc"));
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_EQ(s.AsString(), "abc");
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(std::string("a")), Value(std::string("b")));
+  EXPECT_EQ(i.ToString(), "42");
+  EXPECT_EQ(s.ToString(), "'abc'");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value(std::string("xy")).Hash(), Value(std::string("xy")).Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(int64_t{8}).Hash());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema = NodeSchema();
+  EXPECT_EQ(schema.column_count(), 2u);
+  auto id = schema.IndexOf("id");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_FALSE(schema.IndexOf("nope").ok());
+}
+
+TEST(SchemaTest, ConcatPrefixesDuplicates) {
+  Schema left({{"id", ValueType::kInt64}});
+  Schema right({{"id", ValueType::kInt64}, {"tag", ValueType::kString}});
+  Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.column_count(), 3u);
+  EXPECT_EQ(joined.column(0).name, "id");
+  EXPECT_EQ(joined.column(1).name, "right.id");
+  EXPECT_EQ(joined.column(2).name, "tag");
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(NodeSchema().ToString(), "(id INT64, tag STRING)");
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  Table t("node", NodeSchema());
+  EXPECT_TRUE(t.Insert({Value(int64_t{1}), Value(std::string("a"))}).ok());
+  EXPECT_FALSE(t.Insert({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(
+      t.Insert({Value(std::string("x")), Value(std::string("a"))}).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, IndexLookupFindsAllMatches) {
+  Table t("node", NodeSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(std::string("a"))}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{2}), Value(std::string("b"))}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(std::string("c"))}).ok());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  EXPECT_TRUE(t.HasIndex("id"));
+  EXPECT_FALSE(t.HasIndex("tag"));
+
+  auto rows = t.IndexLookup("id", Value(int64_t{1}));
+  EXPECT_EQ(rows, (std::vector<size_t>{0, 2}));
+  EXPECT_TRUE(t.IndexLookup("id", Value(int64_t{9})).empty());
+}
+
+TEST(TableTest, IndexMaintainedAcrossInserts) {
+  Table t("node", NodeSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{5}), Value(std::string("x"))}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{5}), Value(std::string("y"))}).ok());
+  EXPECT_EQ(t.IndexLookup("id", Value(int64_t{5})).size(), 2u);
+}
+
+TEST(TableTest, CreateIndexOnUnknownColumnFails) {
+  Table t("node", NodeSchema());
+  EXPECT_FALSE(t.CreateIndex("ghost").ok());
+}
+
+TEST(TableTest, StringIndex) {
+  Table t("kw", Schema({{"term", ValueType::kString},
+                        {"node", ValueType::kInt64}}));
+  ASSERT_TRUE(t.CreateIndex("term").ok());
+  ASSERT_TRUE(t.Insert({Value(std::string("alpha")), Value(int64_t{3})}).ok());
+  ASSERT_TRUE(t.Insert({Value(std::string("beta")), Value(int64_t{4})}).ok());
+  ASSERT_TRUE(t.Insert({Value(std::string("alpha")), Value(int64_t{9})}).ok());
+  auto rows = t.IndexLookup("term", Value(std::string("alpha")));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xfrag::rel

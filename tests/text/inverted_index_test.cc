@@ -1,0 +1,117 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xfrag::text {
+namespace {
+
+doc::Document MakeDoc(std::string_view xml_text) {
+  auto dom = xml::Parse(xml_text);
+  EXPECT_TRUE(dom.ok()) << dom.status().ToString();
+  auto d = doc::Document::FromDom(*dom);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(InvertedIndexTest, PostingsAreSortedNodeIds) {
+  doc::Document d = MakeDoc(
+      "<a>alpha<b>beta alpha</b><c>gamma</c><d>alpha</d></a>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_EQ(index.Lookup("alpha"), (std::vector<doc::NodeId>{0, 1, 3}));
+  EXPECT_EQ(index.Lookup("beta"), (std::vector<doc::NodeId>{1}));
+  EXPECT_EQ(index.Lookup("gamma"), (std::vector<doc::NodeId>{2}));
+}
+
+TEST(InvertedIndexTest, MissingTermYieldsEmpty) {
+  doc::Document d = MakeDoc("<a>alpha</a>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_TRUE(index.Lookup("nothere").empty());
+  EXPECT_EQ(index.DocumentFrequency("nothere"), 0u);
+}
+
+TEST(InvertedIndexTest, LookupFoldsCase) {
+  doc::Document d = MakeDoc("<a>XQuery Optimization</a>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_EQ(index.Lookup("XQUERY").size(), 1u);
+  EXPECT_EQ(index.Lookup("xquery").size(), 1u);
+  EXPECT_EQ(index.Lookup("Optimization").size(), 1u);
+}
+
+TEST(InvertedIndexTest, TagNamesIndexedByDefault) {
+  doc::Document d = MakeDoc("<article><par>x</par></article>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_EQ(index.Lookup("article"), (std::vector<doc::NodeId>{0}));
+  EXPECT_EQ(index.Lookup("par"), (std::vector<doc::NodeId>{1}));
+}
+
+TEST(InvertedIndexTest, TagNamesExcludedWhenConfigured) {
+  doc::Document d = MakeDoc("<article><par>x</par></article>");
+  IndexOptions options;
+  options.index_tag_names = false;
+  InvertedIndex index = InvertedIndex::Build(d, options);
+  EXPECT_TRUE(index.Lookup("article").empty());
+  EXPECT_EQ(index.Lookup("x"), (std::vector<doc::NodeId>{1}));
+}
+
+TEST(InvertedIndexTest, AttributeValuesIndexed) {
+  doc::Document d = MakeDoc("<a id=\"marker42\">text</a>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_EQ(index.Lookup("marker42"), (std::vector<doc::NodeId>{0}));
+}
+
+TEST(InvertedIndexTest, DuplicateWordsInNodeIndexedOnce) {
+  doc::Document d = MakeDoc("<a>echo echo echo</a>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_EQ(index.Lookup("echo").size(), 1u);
+}
+
+TEST(InvertedIndexTest, ContainsMembership) {
+  doc::Document d = MakeDoc("<a>alpha<b>beta</b></a>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_TRUE(index.Contains("alpha", 0));
+  EXPECT_FALSE(index.Contains("alpha", 1));
+  EXPECT_TRUE(index.Contains("beta", 1));
+  EXPECT_FALSE(index.Contains("beta", 0));  // Parent text is node-local.
+}
+
+TEST(InvertedIndexTest, TextIsNodeLocalNotSubtree) {
+  // The paper's keywords(n) is per-component: a section does not inherit the
+  // words of its paragraphs.
+  doc::Document d = MakeDoc("<sec><par>inner</par></sec>");
+  InvertedIndex index = InvertedIndex::Build(d);
+  EXPECT_EQ(index.Lookup("inner"), (std::vector<doc::NodeId>{1}));
+}
+
+TEST(InvertedIndexTest, PluralFoldingAppliesAtIndexAndQueryTime) {
+  doc::Document d = MakeDoc("<a>relational plans<b>one plan</b></a>");
+  IndexOptions options;
+  options.index_tag_names = false;
+  options.tokenizer.fold_plurals = true;
+  InvertedIndex index = InvertedIndex::Build(d, options);
+  // Both surface forms land on the folded term, queryable by either form.
+  EXPECT_EQ(index.Lookup("plan"), (std::vector<doc::NodeId>{0, 1}));
+  EXPECT_EQ(index.Lookup("plans"), (std::vector<doc::NodeId>{0, 1}));
+  EXPECT_EQ(index.Lookup("PLANS"), (std::vector<doc::NodeId>{0, 1}));
+  // Without folding, the forms stay distinct.
+  IndexOptions plain;
+  plain.index_tag_names = false;
+  InvertedIndex unfolded = InvertedIndex::Build(d, plain);
+  EXPECT_EQ(unfolded.Lookup("plans"), (std::vector<doc::NodeId>{0}));
+  EXPECT_EQ(unfolded.Lookup("plan"), (std::vector<doc::NodeId>{1}));
+}
+
+TEST(InvertedIndexTest, CountsAreConsistent) {
+  doc::Document d = MakeDoc("<a>x y<b>y z</b></a>");
+  IndexOptions options;
+  options.index_tag_names = false;
+  InvertedIndex index = InvertedIndex::Build(d, options);
+  EXPECT_EQ(index.term_count(), 3u);    // x, y, z.
+  EXPECT_EQ(index.posting_count(), 4u); // x@0 y@0 y@1 z@1.
+  auto terms = index.Terms();
+  EXPECT_EQ(terms.size(), 3u);
+}
+
+}  // namespace
+}  // namespace xfrag::text

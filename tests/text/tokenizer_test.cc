@@ -1,0 +1,76 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  auto tokens = Tokenize("XQuery, Optimization; and (joins)!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"xquery", "optimization", "and",
+                                              "joins"}));
+}
+
+TEST(TokenizerTest, DigitsAreTokenChars) {
+  auto tokens = Tokenize("section 2.3 has n17");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"section", "2", "3", "has", "n17"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,;! ").empty());
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  auto tokens = Tokenize("the algebra of the fragments", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"algebra", "fragments"}));
+}
+
+TEST(TokenizerTest, StopwordsKeptByDefault) {
+  auto tokens = Tokenize("the algebra");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "algebra"}));
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  auto tokens = Tokenize("a an and ands", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"and", "ands"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesSurvive) {
+  auto tokens = Tokenize("caf\xC3\xA9 lattes");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "caf\xC3\xA9");
+}
+
+TEST(TokenizerTest, PluralFolding) {
+  TokenizerOptions options;
+  options.fold_plurals = true;
+  auto tokens = Tokenize("plans queries class gas its", options);
+  // "its" is length 3, below the folding threshold.
+  EXPECT_EQ(tokens, (std::vector<std::string>{"plan", "querie", "class",
+                                              "gas", "its"}));
+}
+
+TEST(FoldPluralTest, Rules) {
+  EXPECT_EQ(FoldPlural("plans"), "plan");
+  EXPECT_EQ(FoldPlural("class"), "class");   // "ss" kept.
+  EXPECT_EQ(FoldPlural("gas"), "gas");       // Length <= 3 kept.
+  EXPECT_EQ(FoldPlural("as"), "as");
+  EXPECT_EQ(FoldPlural("trees"), "tree");
+  EXPECT_EQ(FoldPlural("plan"), "plan");     // No trailing s.
+}
+
+TEST(IsStopwordTest, KnownWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_FALSE(IsStopword("xquery"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+}  // namespace
+}  // namespace xfrag::text

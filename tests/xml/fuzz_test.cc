@@ -1,0 +1,123 @@
+// Deterministic fuzzing of the XML parser: random garbage, random
+// mutations of valid documents, and adversarial prefixes must never crash,
+// and every accepted parse must survive a serialize → reparse round trip.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/corpus.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xfrag::xml {
+namespace {
+
+// Accepted documents must be internally consistent: reserialize and reparse.
+void CheckAccepted(const XmlDocument& doc) {
+  std::string serialized = Serialize(doc);
+  auto reparsed = Parse(serialized);
+  ASSERT_TRUE(reparsed.ok())
+      << "accepted parse did not round-trip: " << reparsed.status().ToString()
+      << "\n"
+      << serialized.substr(0, 200);
+}
+
+TEST(XmlFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 400; ++trial) {
+    size_t length = rng.Uniform(200);
+    std::string input;
+    input.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto result = Parse(input);
+    if (result.ok()) CheckAccepted(*result);
+  }
+}
+
+TEST(XmlFuzzTest, MarkupSoupNeverCrashes) {
+  // Garbage built from XML-ish tokens hits deeper parser states than
+  // uniform bytes.
+  constexpr const char* kTokens[] = {
+      "<",    ">",     "</",   "/>",   "<?",   "?>",  "<!--", "-->",
+      "<!",   "a",     "xml",  "=",    "\"",   "'",   " ",    "\n",
+      "&",    ";",     "&lt;", "&#x",  "]]>",  "<![CDATA[",   "name",
+      "<!DOCTYPE", "[", "]",   "v=\"w\"", "text", "&amp;",    "\t"};
+  Rng rng(0x50a9);
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string input;
+    size_t tokens = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < tokens; ++i) {
+      input += kTokens[rng.Uniform(sizeof(kTokens) / sizeof(kTokens[0]))];
+    }
+    auto result = Parse(input);
+    if (result.ok()) CheckAccepted(*result);
+  }
+}
+
+TEST(XmlFuzzTest, MutatedValidDocumentsNeverCrash) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = 60;
+  profile.seed = 0xabc;
+  std::string valid = gen::ToXml(gen::GenerateRaw(profile));
+  Rng rng(0xdef);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = valid;
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // Flip a byte.
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // Delete a span.
+          mutated.erase(pos, rng.Uniform(8) + 1);
+          break;
+        case 2:  // Duplicate a span.
+          mutated.insert(pos, mutated.substr(pos, rng.Uniform(8) + 1));
+          break;
+      }
+      if (mutated.empty()) mutated = "<r/>";
+    }
+    auto result = Parse(mutated);
+    if (result.ok()) CheckAccepted(*result);
+  }
+}
+
+TEST(XmlFuzzTest, TruncationsOfValidDocumentNeverCrash) {
+  std::string valid =
+      "<?xml version=\"1.0\"?><a x=\"1\"><!-- c --><b>text &amp; "
+      "more</b><![CDATA[raw]]><c/></a>";
+  for (size_t keep = 0; keep <= valid.size(); ++keep) {
+    auto result = Parse(std::string_view(valid).substr(0, keep));
+    if (result.ok()) CheckAccepted(*result);
+  }
+}
+
+TEST(XmlFuzzTest, PathologicalNesting) {
+  // A deep but under-limit document parses; one over the limit is rejected
+  // (never a stack overflow).
+  ParseOptions options;
+  options.max_depth = 64;
+  for (int depth : {63, 64, 65, 200}) {
+    std::string input;
+    for (int i = 0; i < depth; ++i) input += "<d>";
+    input += "x";
+    for (int i = 0; i < depth; ++i) input += "</d>";
+    auto result = Parse(input, options);
+    EXPECT_EQ(result.ok(), depth <= 64) << "depth " << depth;
+  }
+}
+
+TEST(XmlFuzzTest, HugeFlatDocument) {
+  std::string input = "<r>";
+  for (int i = 0; i < 20000; ++i) input += "<p/>";
+  input += "</r>";
+  auto result = Parse(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root().SubtreeElementCount(), 20001u);
+}
+
+}  // namespace
+}  // namespace xfrag::xml

@@ -1,0 +1,207 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag::xml {
+namespace {
+
+StatusOr<XmlDocument> ParseOk(std::string_view input) {
+  auto doc = Parse(input);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc;
+}
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = ParseOk("<root/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().tag(), "root");
+  EXPECT_TRUE(doc->root().children().empty());
+}
+
+TEST(ParserTest, Declaration) {
+  auto doc = ParseOk("<?xml version=\"1.1\" encoding=\"UTF-8\"?><r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version(), "1.1");
+  EXPECT_EQ(doc->encoding(), "UTF-8");
+}
+
+TEST(ParserTest, DefaultVersionWithoutDeclaration) {
+  auto doc = ParseOk("<r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version(), "1.0");
+  EXPECT_TRUE(doc->encoding().empty());
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto doc = ParseOk("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(doc.ok());
+  const XmlElement& root = doc->root();
+  auto children = root.ChildElements();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0]->tag(), "b");
+  EXPECT_EQ(children[0]->DirectText(), "hello");
+  EXPECT_EQ(children[1]->tag(), "c");
+  EXPECT_EQ(children[1]->DirectText(), "world");
+  EXPECT_EQ(root.DeepText(), "helloworld");
+}
+
+TEST(ParserTest, Attributes) {
+  auto doc = ParseOk("<p id=\"n1\" class='wide'>x</p>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root().attributes().size(), 2u);
+  EXPECT_EQ(*doc->root().FindAttribute("id"), "n1");
+  EXPECT_EQ(*doc->root().FindAttribute("class"), "wide");
+  EXPECT_EQ(doc->root().FindAttribute("absent"), nullptr);
+}
+
+TEST(ParserTest, DuplicateAttributeRejected) {
+  auto doc = Parse("<p a=\"1\" a=\"2\"/>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, EntityDecoding) {
+  auto doc = ParseOk("<t a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root().FindAttribute("a"), "<&>");
+  EXPECT_EQ(doc->root().DirectText(), "\"x' AB");
+}
+
+TEST(ParserTest, NumericEntityUtf8) {
+  auto doc = ParseOk("<t>&#228;&#x20AC;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().DirectText(), "\xC3\xA4\xE2\x82\xAC");  // ä €
+}
+
+TEST(ParserTest, UnknownEntityRejected) {
+  EXPECT_FALSE(Parse("<t>&nope;</t>").ok());
+}
+
+TEST(ParserTest, SurrogateCharacterReferenceRejected) {
+  EXPECT_FALSE(Parse("<t>&#xD800;</t>").ok());
+}
+
+TEST(ParserTest, Comments) {
+  auto doc = ParseOk("<!-- head --><a><!-- inner -->x</a><!-- tail -->");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root().children().size(), 2u);
+  EXPECT_EQ(doc->root().children()[0]->kind(), XmlNodeKind::kComment);
+  EXPECT_EQ(doc->root().DirectText(), "x");
+}
+
+TEST(ParserTest, CData) {
+  auto doc = ParseOk("<a><![CDATA[<not> &parsed;]]></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root().children().size(), 1u);
+  EXPECT_EQ(doc->root().children()[0]->kind(), XmlNodeKind::kCData);
+  EXPECT_EQ(doc->root().DirectText(), "<not> &parsed;");
+}
+
+TEST(ParserTest, ProcessingInstruction) {
+  auto doc = ParseOk("<a><?target some data?></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root().children().size(), 1u);
+  const auto& pi =
+      static_cast<const XmlCharacterData&>(*doc->root().children()[0]);
+  EXPECT_EQ(pi.kind(), XmlNodeKind::kProcessingInstruction);
+  EXPECT_EQ(pi.pi_target(), "target");
+  EXPECT_EQ(pi.data(), "some data");
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  auto doc = ParseOk(
+      "<!DOCTYPE article [<!ENTITY foo \"bar\">]>\n<article>x</article>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().tag(), "article");
+}
+
+TEST(ParserTest, IgnorableWhitespaceDropped) {
+  auto doc = ParseOk("<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().children().size(), 2u);  // No whitespace text nodes.
+}
+
+TEST(ParserTest, WhitespaceKeptWhenConfigured) {
+  ParseOptions options;
+  options.drop_ignorable_whitespace = false;
+  auto doc = Parse("<a> <b>x</b> </a>", options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root().children().size(), 3u);
+}
+
+TEST(ParserTest, MixedContentTextPreserved) {
+  auto doc = ParseOk("<p>alpha <em>beta</em> gamma</p>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().DeepText(), "alpha beta gamma");
+}
+
+TEST(ParserTest, MismatchedEndTag) {
+  auto doc = Parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, UnterminatedElement) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST(ParserTest, ContentAfterRootRejected) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST(ParserTest, EmptyInputRejected) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   ").ok());
+}
+
+TEST(ParserTest, AttributeValueWithAngleRejected) {
+  EXPECT_FALSE(Parse("<a v=\"x<y\"/>").ok());
+}
+
+TEST(ParserTest, DepthLimitEnforced) {
+  ParseOptions options;
+  options.max_depth = 10;
+  std::string deep;
+  for (int i = 0; i < 20; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < 20; ++i) deep += "</d>";
+  auto doc = Parse(deep, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorPositionsReported) {
+  auto doc = Parse("<a>\n<b></c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  // The mismatch is on line 2.
+  EXPECT_NE(doc.status().message().find("2:"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(ParserTest, NamespacePrefixesKeptLexically) {
+  auto doc = ParseOk("<ns:a xmlns:ns=\"urn:x\"><ns:b/></ns:a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().tag(), "ns:a");
+  EXPECT_EQ(doc->root().ChildElements()[0]->tag(), "ns:b");
+}
+
+TEST(DecodeEntitiesTest, PlainTextPassesThrough) {
+  auto out = DecodeEntities("no entities here");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "no entities here");
+}
+
+TEST(DecodeEntitiesTest, MalformedReferenceRejected) {
+  EXPECT_FALSE(DecodeEntities("broken & alone").ok());
+  EXPECT_FALSE(DecodeEntities("&;").ok());
+  EXPECT_FALSE(DecodeEntities("&#;").ok());
+  EXPECT_FALSE(DecodeEntities("&#x;").ok());
+  EXPECT_FALSE(DecodeEntities("&#xZZ;").ok());
+}
+
+TEST(DecodeEntitiesTest, CodePointOutOfRangeRejected) {
+  EXPECT_FALSE(DecodeEntities("&#x110000;").ok());
+}
+
+}  // namespace
+}  // namespace xfrag::xml

@@ -1,0 +1,98 @@
+// Round-trip property: Parse(Serialize(Parse(x))) produces a tree equal to
+// Parse(x), for hand-written documents and generated corpora.
+
+#include <gtest/gtest.h>
+
+#include "gen/corpus.h"
+#include "gen/paper_document.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xfrag::xml {
+namespace {
+
+// Structural equality of two elements (tags, attributes, textual content,
+// element children), ignoring comments and PIs.
+bool ElementsEqual(const XmlElement& a, const XmlElement& b) {
+  if (a.tag() != b.tag()) return false;
+  if (a.attributes().size() != b.attributes().size()) return false;
+  for (size_t i = 0; i < a.attributes().size(); ++i) {
+    if (a.attributes()[i].name != b.attributes()[i].name) return false;
+    if (a.attributes()[i].value != b.attributes()[i].value) return false;
+  }
+  if (a.DirectText() != b.DirectText()) return false;
+  auto ac = a.ChildElements();
+  auto bc = b.ChildElements();
+  if (ac.size() != bc.size()) return false;
+  for (size_t i = 0; i < ac.size(); ++i) {
+    if (!ElementsEqual(*ac[i], *bc[i])) return false;
+  }
+  return true;
+}
+
+void ExpectRoundTrip(std::string_view input) {
+  auto first = Parse(input);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (bool pretty : {false, true}) {
+    SerializeOptions options;
+    options.pretty = pretty;
+    std::string serialized = Serialize(*first, options);
+    auto second = Parse(serialized);
+    ASSERT_TRUE(second.ok())
+        << second.status().ToString() << "\nserialized: " << serialized;
+    EXPECT_TRUE(ElementsEqual(first->root(), second->root()))
+        << "round-trip mismatch (pretty=" << pretty << ")\n"
+        << serialized;
+  }
+}
+
+TEST(RoundTripTest, SimpleDocuments) {
+  ExpectRoundTrip("<a/>");
+  ExpectRoundTrip("<a x=\"1\" y=\"two\"><b>text</b><c/></a>");
+  ExpectRoundTrip("<a>&lt;escaped&gt; &amp; kept</a>");
+  ExpectRoundTrip("<a><b>x</b>tail<b>y</b></a>");
+}
+
+TEST(RoundTripTest, AttributesWithSpecials) {
+  ExpectRoundTrip("<a v=\"&quot;q&quot; &amp; &lt;tag&gt;\"/>");
+}
+
+TEST(RoundTripTest, PaperDocument) {
+  std::string xml_text = gen::PaperDocumentXml();
+  ExpectRoundTrip(xml_text);
+}
+
+TEST(RoundTripTest, GeneratedCorpora) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    gen::CorpusProfile profile;
+    profile.target_nodes = 300;
+    profile.seed = seed;
+    gen::RawCorpus corpus = gen::GenerateRaw(profile);
+    ExpectRoundTrip(gen::ToXml(corpus));
+  }
+}
+
+TEST(RoundTripTest, GeneratedCorpusMatchesMaterializedDocument) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = 200;
+  profile.seed = 7;
+  gen::RawCorpus corpus = gen::GenerateRaw(profile);
+
+  auto direct = gen::Materialize(corpus);
+  ASSERT_TRUE(direct.ok());
+
+  auto parsed = Parse(gen::ToXml(corpus));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto via_xml = doc::Document::FromDom(*parsed);
+  ASSERT_TRUE(via_xml.ok());
+
+  ASSERT_EQ(direct->size(), via_xml->size());
+  for (doc::NodeId n = 0; n < direct->size(); ++n) {
+    EXPECT_EQ(direct->parent(n), via_xml->parent(n)) << "node " << n;
+    EXPECT_EQ(direct->tag(n), via_xml->tag(n)) << "node " << n;
+    EXPECT_EQ(direct->depth(n), via_xml->depth(n)) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace xfrag::xml

@@ -1,0 +1,124 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xfrag::xml {
+namespace {
+
+TEST(EscapeTest, TextEscapesMarkup) {
+  EXPECT_EQ(EscapeText("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(EscapeText("\"quotes\""), "\"quotes\"");  // Quotes legal in text.
+}
+
+TEST(EscapeTest, AttributeEscapesQuotes) {
+  EXPECT_EQ(EscapeAttribute("say \"hi\" & <go>"),
+            "say &quot;hi&quot; &amp; &lt;go&gt;");
+}
+
+TEST(SerializerTest, EmptyElementSelfCloses) {
+  XmlDocument doc;
+  doc.set_root(std::make_unique<XmlElement>("r"));
+  SerializeOptions options;
+  options.emit_declaration = false;
+  EXPECT_EQ(Serialize(doc, options), "<r/>");
+}
+
+TEST(SerializerTest, DeclarationEmitted) {
+  XmlDocument doc;
+  doc.set_root(std::make_unique<XmlElement>("r"));
+  doc.set_encoding("UTF-8");
+  EXPECT_EQ(Serialize(doc),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+TEST(SerializerTest, AttributesAndText) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("p");
+  root->AddAttribute("id", "n1");
+  root->AddText("body & soul");
+  doc.set_root(std::move(root));
+  SerializeOptions options;
+  options.emit_declaration = false;
+  EXPECT_EQ(Serialize(doc, options), "<p id=\"n1\">body &amp; soul</p>");
+}
+
+TEST(SerializerTest, NestedChildren) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("a");
+  XmlElement* b = root->AddElement("b");
+  b->AddText("x");
+  root->AddElement("c");
+  doc.set_root(std::move(root));
+  SerializeOptions options;
+  options.emit_declaration = false;
+  EXPECT_EQ(Serialize(doc, options), "<a><b>x</b><c/></a>");
+}
+
+TEST(SerializerTest, CommentsAndCData) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("a");
+  root->AddChild(std::make_unique<XmlCharacterData>(XmlNodeKind::kComment,
+                                                    " note "));
+  root->AddChild(std::make_unique<XmlCharacterData>(XmlNodeKind::kCData,
+                                                    "<raw> & stuff"));
+  doc.set_root(std::move(root));
+  SerializeOptions options;
+  options.emit_declaration = false;
+  EXPECT_EQ(Serialize(doc, options),
+            "<a><!-- note --><![CDATA[<raw> & stuff]]></a>");
+}
+
+TEST(SerializerTest, ProcessingInstructionRoundTrip) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("a");
+  auto pi = std::make_unique<XmlCharacterData>(
+      XmlNodeKind::kProcessingInstruction, "href=\"style.css\"");
+  pi->set_pi_target("xml-stylesheet");
+  root->AddChild(std::move(pi));
+  doc.set_root(std::move(root));
+  SerializeOptions options;
+  options.emit_declaration = false;
+  std::string out = Serialize(doc, options);
+  EXPECT_EQ(out, "<a><?xml-stylesheet href=\"style.css\"?></a>");
+  auto reparsed = Parse(out);
+  ASSERT_TRUE(reparsed.ok());
+  const auto& child =
+      static_cast<const XmlCharacterData&>(*reparsed->root().children()[0]);
+  EXPECT_EQ(child.pi_target(), "xml-stylesheet");
+  EXPECT_EQ(child.data(), "href=\"style.css\"");
+}
+
+TEST(SerializerTest, MixedContentIsNeverIndented) {
+  auto parsed = Parse("<p>alpha <em>beta</em> gamma</p>");
+  ASSERT_TRUE(parsed.ok());
+  SerializeOptions options;
+  options.emit_declaration = false;
+  options.pretty = true;
+  // Pretty printing must not inject whitespace into mixed content.
+  EXPECT_EQ(Serialize(*parsed, options),
+            "<p>alpha <em>beta</em> gamma</p>\n");
+}
+
+TEST(SerializerTest, PrettyPrintIndentsElements) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("a");
+  root->AddElement("b")->AddText("x");
+  doc.set_root(std::move(root));
+  SerializeOptions options;
+  options.emit_declaration = false;
+  options.pretty = true;
+  EXPECT_EQ(Serialize(doc, options), "<a>\n  <b>x</b>\n</a>\n");
+}
+
+TEST(SerializerTest, SerializeElementSubtree) {
+  auto parsed = Parse("<a><b><c>x</c></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  const XmlElement* b = parsed->root().FindChild("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(SerializeElement(*b), "<b><c>x</c></b>");
+}
+
+}  // namespace
+}  // namespace xfrag::xml
