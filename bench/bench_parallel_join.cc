@@ -1,0 +1,206 @@
+// Serial vs pooled algebra kernels: sweeps worker count × fragment-set size
+// for PairwiseJoin (plus Reduce and the naive fixed point) and emits both
+// the usual console table and a machine-readable BENCH_parallel.json, the
+// first point of the parallel-kernel perf trajectory. Every timed pair also
+// cross-checks that the pooled result is bit-identical to the serial one.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "algebra/ops_parallel.h"
+#include "bench_util.h"
+#include "common/thread_pool.h"
+
+using namespace xfrag;
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+namespace {
+
+struct Record {
+  std::string op;
+  size_t set1 = 0;
+  size_t set2 = 0;
+  unsigned threads = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool equal = false;
+
+  double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+// Insertion-order-sensitive equality (the kernels' bit-identical contract).
+bool Identical(const FragmentSet& a, const FragmentSet& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+FragmentSet Postings(const std::vector<doc::NodeId>& nodes, size_t limit) {
+  FragmentSet out;
+  for (doc::NodeId n : nodes) {
+    if (out.size() >= limit) break;
+    out.Insert(Fragment::Single(n));
+  }
+  return out;
+}
+
+void WriteJson(const std::vector<Record>& records, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(file,
+                 "  {\"op\": \"%s\", \"set1\": %zu, \"set2\": %zu, "
+                 "\"threads\": %u, \"serial_ms\": %.4f, \"parallel_ms\": "
+                 "%.4f, \"speedup\": %.3f, \"equal\": %s}%s\n",
+                 r.op.c_str(), r.set1, r.set2, r.threads, r.serial_ms,
+                 r.parallel_ms, r.speedup(), r.equal ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(file, "]\n");
+  std::fclose(file);
+  std::printf("\nwrote %zu records to %s\n", records.size(), path);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Parallel algebra kernels: serial vs pooled, threads x |F| sweep");
+  std::printf(
+      "hardware_concurrency: %u (speedups are bounded by physical cores; "
+      "the\nbit-identical check is meaningful at any core count)\n\n",
+      std::thread::hardware_concurrency());
+
+  std::vector<Record> records;
+
+  // --- PairwiseJoin: the headline sweep. --------------------------------
+  bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+      24000, 512, gen::PlantMode::kScattered, 512, gen::PlantMode::kScattered,
+      7);
+  const doc::Document& d = *corpus.document;
+
+  bench::TablePrinter join_table(
+      {"op", "|F1|", "|F2|", "threads", "serial ms", "pooled ms", "speedup",
+       "identical"});
+  for (size_t size : {64u, 128u, 256u, 512u}) {
+    FragmentSet f1 = Postings(corpus.postings1, size);
+    FragmentSet f2 = Postings(corpus.postings2, size);
+    FragmentSet serial_result;
+    double serial_ms = bench::MedianMillis(
+        [&] { serial_result = algebra::PairwiseJoin(d, f1, f2); }, 3);
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      FragmentSet pooled_result;
+      double pooled_ms = bench::MedianMillis(
+          [&] {
+            pooled_result = algebra::PairwiseJoinParallel(d, f1, f2, &pool);
+          },
+          3);
+      Record record{"PairwiseJoin", f1.size(), f2.size(), threads, serial_ms,
+                    pooled_ms, Identical(serial_result, pooled_result)};
+      records.push_back(record);
+      join_table.AddRow({record.op, bench::Cell(record.set1),
+                         bench::Cell(record.set2),
+                         bench::Cell(uint64_t{record.threads}),
+                         bench::Cell(record.serial_ms, 3),
+                         bench::Cell(record.parallel_ms, 3),
+                         bench::Cell(record.speedup(), 2),
+                         record.equal ? "yes" : "NO"});
+    }
+  }
+  join_table.Print();
+
+  // --- Reduce: quadratic joins + cubic subsumption scans. ---------------
+  bench::Banner("Reduce (Definition 10), clustered members");
+  bench::PlantedCorpus reduce_corpus = bench::MakePlantedCorpus(
+      12000, 96, gen::PlantMode::kClustered, 2, gen::PlantMode::kScattered,
+      17);
+  bench::TablePrinter reduce_table(
+      {"op", "|F|", "threads", "serial ms", "pooled ms", "speedup",
+       "identical"});
+  for (size_t size : {48u, 96u}) {
+    FragmentSet f = Postings(reduce_corpus.postings1, size);
+    FragmentSet serial_result;
+    double serial_ms = bench::MedianMillis(
+        [&] { serial_result = algebra::Reduce(*reduce_corpus.document, f); },
+        3);
+    for (unsigned threads : {2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      FragmentSet pooled_result;
+      double pooled_ms = bench::MedianMillis(
+          [&] {
+            pooled_result =
+                algebra::ReduceParallel(*reduce_corpus.document, f, &pool);
+          },
+          3);
+      Record record{"Reduce", f.size(), 0, threads, serial_ms, pooled_ms,
+                    Identical(serial_result, pooled_result)};
+      records.push_back(record);
+      reduce_table.AddRow(
+          {record.op, bench::Cell(record.set1),
+           bench::Cell(uint64_t{record.threads}),
+           bench::Cell(record.serial_ms, 3), bench::Cell(record.parallel_ms, 3),
+           bench::Cell(record.speedup(), 2), record.equal ? "yes" : "NO"});
+    }
+  }
+  reduce_table.Print();
+
+  // --- FixedPointNaive: pooled iterations + interned working set. -------
+  bench::Banner("FixedPointNaive (Definition 9), clustered members");
+  bench::PlantedCorpus fp_corpus = bench::MakePlantedCorpus(
+      12000, 14, gen::PlantMode::kClustered, 2, gen::PlantMode::kScattered,
+      27);
+  bench::TablePrinter fp_table({"op", "|F|", "threads", "serial ms",
+                                "pooled ms", "speedup", "identical"});
+  {
+    FragmentSet f = Postings(fp_corpus.postings1, 14);
+    FragmentSet serial_result;
+    double serial_ms = bench::MedianMillis(
+        [&] {
+          serial_result = algebra::FixedPointNaive(*fp_corpus.document, f);
+        },
+        3);
+    for (unsigned threads : {2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      FragmentSet pooled_result;
+      double pooled_ms = bench::MedianMillis(
+          [&] {
+            pooled_result = algebra::FixedPointNaiveParallel(
+                *fp_corpus.document, f, &pool);
+          },
+          3);
+      Record record{"FixedPointNaive", f.size(), 0, threads, serial_ms,
+                    pooled_ms, Identical(serial_result, pooled_result)};
+      records.push_back(record);
+      fp_table.AddRow(
+          {record.op, bench::Cell(record.set1),
+           bench::Cell(uint64_t{record.threads}),
+           bench::Cell(record.serial_ms, 3), bench::Cell(record.parallel_ms, 3),
+           bench::Cell(record.speedup(), 2), record.equal ? "yes" : "NO"});
+    }
+  }
+  fp_table.Print();
+
+  WriteJson(records, "BENCH_parallel.json");
+
+  for (const Record& record : records) {
+    if (!record.equal) {
+      std::fprintf(stderr, "BIT-IDENTICAL CHECK FAILED: %s threads=%u\n",
+                   record.op.c_str(), record.threads);
+      return 1;
+    }
+  }
+  return 0;
+}

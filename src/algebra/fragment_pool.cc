@@ -1,0 +1,31 @@
+#include "algebra/fragment_pool.h"
+
+namespace xfrag::algebra {
+
+FragmentRef FragmentPool::Intern(Fragment fragment) {
+  uint64_t hash = fragment.Hash();
+  auto it = by_hash_.find(hash);
+  if (it != by_hash_.end()) {
+    for (FragmentRef ref : it->second) {
+      if (storage_[ref] == fragment) return ref;
+    }
+  }
+  FragmentRef ref = static_cast<FragmentRef>(storage_.size());
+  by_hash_[hash].push_back(ref);
+  storage_.push_back(std::move(fragment));
+  return ref;
+}
+
+FragmentSet FragmentRefSet::Materialize(const FragmentPool& pool) const {
+  FragmentSet out;
+  for (FragmentRef ref : ordered_) out.Insert(pool.Get(ref));
+  return out;
+}
+
+FragmentRefSet InternSet(FragmentPool* pool, const FragmentSet& set) {
+  FragmentRefSet out;
+  for (const Fragment& f : set) out.Insert(pool->Intern(f));
+  return out;
+}
+
+}  // namespace xfrag::algebra

@@ -1,0 +1,92 @@
+// Hash-consing of fragments. The serial operators copy whole node-id vectors
+// every time a set is unioned or deduplicated (FixedPointNaive's
+// `current.Union(joined)` copies the entire working set per iteration). A
+// FragmentPool interns each distinct canonical fragment exactly once and
+// hands out small stable FragmentRef handles; a FragmentRefSet is then an
+// ordered dedup set of 32-bit refs, so growing a fixed point moves integers,
+// not vectors. The idea mirrors DAG-compression of repeated XML substructure
+// (Böttcher et al.): identical fragments share one physical representation.
+
+#ifndef XFRAG_ALGEBRA_FRAGMENT_POOL_H_
+#define XFRAG_ALGEBRA_FRAGMENT_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/fragment.h"
+#include "algebra/fragment_set.h"
+
+namespace xfrag::algebra {
+
+/// Stable handle to an interned fragment (index into its FragmentPool).
+using FragmentRef = uint32_t;
+
+/// \brief An interner (hash-consing pool) for canonical fragments.
+///
+/// Equal fragments intern to the same ref, so ref equality is fragment
+/// equality. Interned fragments have stable addresses for the pool's
+/// lifetime (deque storage; nothing is ever erased). Not thread-safe: the
+/// parallel kernels intern only at the single-threaded merge barrier.
+class FragmentPool {
+ public:
+  FragmentPool() = default;
+
+  /// \brief Returns the ref for `fragment`, interning it on first sight.
+  FragmentRef Intern(Fragment fragment);
+
+  /// The interned fragment for `ref`.
+  const Fragment& Get(FragmentRef ref) const { return storage_[ref]; }
+
+  /// Number of distinct interned fragments.
+  size_t size() const { return storage_.size(); }
+
+ private:
+  std::deque<Fragment> storage_;
+  // Hash → refs with that hash (collision chain kept tiny in practice).
+  std::unordered_map<uint64_t, std::vector<FragmentRef>> by_hash_;
+};
+
+/// \brief An insertion-ordered deduplicating set of FragmentRefs.
+///
+/// All refs must come from one FragmentPool. Mirrors FragmentSet semantics
+/// (first occurrence wins, deterministic iteration order) but Insert moves a
+/// 32-bit integer instead of hashing and storing a node vector.
+class FragmentRefSet {
+ public:
+  FragmentRefSet() = default;
+
+  /// \brief Inserts `ref`; returns true when it was not yet present.
+  bool Insert(FragmentRef ref) {
+    if (!members_.insert(ref).second) return false;
+    ordered_.push_back(ref);
+    return true;
+  }
+
+  bool Contains(FragmentRef ref) const { return members_.count(ref) > 0; }
+
+  size_t size() const { return ordered_.size(); }
+  bool empty() const { return ordered_.empty(); }
+
+  /// Refs in insertion order.
+  const std::vector<FragmentRef>& refs() const { return ordered_; }
+  FragmentRef operator[](size_t i) const { return ordered_[i]; }
+
+  /// \brief Copies the referenced fragments into a FragmentSet, preserving
+  /// insertion order — the single materialization copy at an operator's
+  /// output boundary.
+  FragmentSet Materialize(const FragmentPool& pool) const;
+
+ private:
+  std::vector<FragmentRef> ordered_;
+  std::unordered_set<FragmentRef> members_;
+};
+
+/// \brief Interns every member of `set` in iteration order.
+FragmentRefSet InternSet(FragmentPool* pool, const FragmentSet& set);
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_FRAGMENT_POOL_H_

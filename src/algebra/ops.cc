@@ -97,6 +97,13 @@ FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
 StatusOr<FragmentSet> PowersetJoinBruteForce(
     const Document& document, const FragmentSet& set1, const FragmentSet& set2,
     const PowersetJoinOptions& options, OpMetrics* metrics) {
+  if (options.max_set_size > kMaxPowersetSetSize) {
+    return Status::InvalidArgument(StrFormat(
+        "PowersetJoinOptions::max_set_size %zu exceeds the safe bound %zu "
+        "(2^%zu × 2^%zu subset pairs are not practically enumerable)",
+        options.max_set_size, kMaxPowersetSetSize, options.max_set_size,
+        options.max_set_size));
+  }
   if (set1.size() > options.max_set_size ||
       set2.size() > options.max_set_size) {
     return Status::ResourceExhausted(StrFormat(

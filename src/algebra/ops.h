@@ -38,6 +38,25 @@ struct OpMetrics {
   uint64_t fragments_produced = 0;
 
   void Reset() { *this = OpMetrics(); }
+
+  /// Adds `other`'s counters into this one — how the parallel kernels fold
+  /// per-worker metrics together at the barrier, and how the collection
+  /// engine aggregates per-document metrics.
+  void Merge(const OpMetrics& other) {
+    fragment_joins += other.fragment_joins;
+    filter_evals += other.filter_evals;
+    filter_rejections += other.filter_rejections;
+    fixed_point_iterations += other.fixed_point_iterations;
+    fragments_produced += other.fragments_produced;
+  }
+
+  bool operator==(const OpMetrics& other) const {
+    return fragment_joins == other.fragment_joins &&
+           filter_evals == other.filter_evals &&
+           filter_rejections == other.filter_rejections &&
+           fixed_point_iterations == other.fixed_point_iterations &&
+           fragments_produced == other.fragments_produced;
+  }
 };
 
 /// \brief Definition 4: the minimal fragment of `document` containing both
@@ -68,11 +87,20 @@ FragmentSet PairwiseJoinFiltered(const Document& document,
 FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
                    const FilterContext& context, OpMetrics* metrics = nullptr);
 
+/// \brief Hard ceiling on PowersetJoinOptions::max_set_size.
+///
+/// The cross loop joins 2^|set1| × 2^|set2| subset pairs, so at 12 the worst
+/// case is 4096 × 4096 ≈ 1.7·10⁷ fragment joins — bounded seconds. One step
+/// to 13 quadruples that, and the pre-fix default of 20 would admit ~10¹²
+/// joins (years). Limits above the ceiling are rejected as InvalidArgument.
+inline constexpr size_t kMaxPowersetSetSize = 12;
+
 /// Options for brute-force powerset join.
 struct PowersetJoinOptions {
   /// Upper bound on |set1| and |set2|; 2^|set| subsets are enumerated per
-  /// side, so this guards against runaway exponential work.
-  size_t max_set_size = 20;
+  /// side, so this guards against runaway exponential work. Must not exceed
+  /// kMaxPowersetSetSize.
+  size_t max_set_size = kMaxPowersetSetSize;
 };
 
 /// \brief Definition 6, literally: fragment join over every pair of non-empty

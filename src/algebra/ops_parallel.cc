@@ -1,0 +1,220 @@
+#include "algebra/ops_parallel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "algebra/fragment_pool.h"
+
+namespace xfrag::algebra {
+
+namespace {
+
+// One chunk's private output: fragments in pair order plus local counters.
+struct ChunkOut {
+  std::vector<Fragment> produced;
+  OpMetrics metrics;
+};
+
+// The flattened serial pair loop restricted to [begin, end): pair p joins
+// left[p / |right|] with right[p % |right|], exactly the order the serial
+// double loop visits. `filter`, when non-null, drops non-matching results
+// (counting evals/rejections like the serial PassesFilter helper).
+void JoinPairRange(const Document& document, const FragmentPool& frags,
+                   const std::vector<FragmentRef>& left,
+                   const std::vector<FragmentRef>& right, const Filter* filter,
+                   const FilterContext* context, size_t begin, size_t end,
+                   ChunkOut* out) {
+  const size_t nr = right.size();
+  out->produced.reserve(end - begin);
+  for (size_t p = begin; p < end; ++p) {
+    const Fragment& f1 = frags.Get(left[p / nr]);
+    const Fragment& f2 = frags.Get(right[p % nr]);
+    Fragment joined = Join(document, f1, f2, &out->metrics);
+    if (filter != nullptr) {
+      ++out->metrics.filter_evals;
+      if (!filter->Matches(joined, *context)) {
+        ++out->metrics.filter_rejections;
+        continue;
+      }
+    }
+    out->produced.push_back(std::move(joined));
+  }
+}
+
+// Fans |left|·|right| joins out over the pool; at the barrier, interns the
+// surviving fragments chunk by chunk (= serial pair order) and merges each
+// chunk's counters into `metrics` explicitly. Returns refs pre-dedup, in
+// serial production order.
+std::vector<FragmentRef> ParallelPairJoins(
+    const Document& document, FragmentPool* frags,
+    const std::vector<FragmentRef>& left,
+    const std::vector<FragmentRef>& right, const Filter* filter,
+    const FilterContext* context, ThreadPool* pool, OpMetrics* metrics) {
+  const size_t pairs = left.size() * right.size();
+  std::vector<ChunkOut> chunks(pool->parallelism());
+  pool->ParallelFor(pairs, [&](unsigned chunk, size_t begin, size_t end) {
+    JoinPairRange(document, *frags, left, right, filter, context, begin, end,
+                  &chunks[chunk]);
+  });
+  std::vector<FragmentRef> produced;
+  produced.reserve(pairs);
+  for (ChunkOut& chunk : chunks) {
+    if (metrics != nullptr) metrics->Merge(chunk.metrics);
+    for (Fragment& f : chunk.produced) {
+      produced.push_back(frags->Intern(std::move(f)));
+    }
+  }
+  return produced;
+}
+
+FragmentRefSet Deduped(const std::vector<FragmentRef>& produced) {
+  FragmentRefSet out;
+  for (FragmentRef ref : produced) out.Insert(ref);
+  return out;
+}
+
+}  // namespace
+
+FragmentSet PairwiseJoinParallel(const Document& document,
+                                 const FragmentSet& set1,
+                                 const FragmentSet& set2, ThreadPool* pool,
+                                 OpMetrics* metrics) {
+  if (pool == nullptr) return PairwiseJoin(document, set1, set2, metrics);
+  FragmentPool frags;
+  FragmentRefSet s1 = InternSet(&frags, set1);
+  FragmentRefSet s2 = InternSet(&frags, set2);
+  std::vector<FragmentRef> produced =
+      ParallelPairJoins(document, &frags, s1.refs(), s2.refs(),
+                        /*filter=*/nullptr, /*context=*/nullptr, pool, metrics);
+  return Deduped(produced).Materialize(frags);
+}
+
+FragmentSet PairwiseJoinFilteredParallel(const Document& document,
+                                         const FragmentSet& set1,
+                                         const FragmentSet& set2,
+                                         const FilterPtr& filter,
+                                         const FilterContext& context,
+                                         ThreadPool* pool,
+                                         OpMetrics* metrics) {
+  if (pool == nullptr) {
+    return PairwiseJoinFiltered(document, set1, set2, filter, context,
+                                metrics);
+  }
+  FragmentPool frags;
+  FragmentRefSet s1 = InternSet(&frags, set1);
+  FragmentRefSet s2 = InternSet(&frags, set2);
+  std::vector<FragmentRef> produced = ParallelPairJoins(
+      document, &frags, s1.refs(), s2.refs(), filter.get(), &context, pool,
+      metrics);
+  return Deduped(produced).Materialize(frags);
+}
+
+FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
+                           ThreadPool* pool, OpMetrics* metrics) {
+  if (pool == nullptr) return Reduce(document, set, metrics);
+  const size_t n = set.size();
+  // Each chunk owns a slice of the outer i-loop and a private elimination
+  // bitmap; bitmaps are OR-merged at the barrier. A worker may re-derive an
+  // elimination another worker already found — the final bitmap (and the
+  // join count, which covers all n(n−1)/2 pairs either way) is identical to
+  // the serial pass.
+  struct ReduceChunk {
+    std::vector<uint8_t> eliminated;
+    OpMetrics metrics;
+  };
+  std::vector<ReduceChunk> chunks(pool->parallelism());
+  pool->ParallelFor(n, [&](unsigned chunk, size_t begin, size_t end) {
+    ReduceChunk& out = chunks[chunk];
+    out.eliminated.assign(n, 0);
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        Fragment joined = Join(document, set[i], set[j], &out.metrics);
+        for (size_t t = 0; t < n; ++t) {
+          if (t == i || t == j || out.eliminated[t]) continue;
+          if (joined.ContainsFragment(set[t])) out.eliminated[t] = 1;
+        }
+      }
+    }
+  });
+  std::vector<uint8_t> eliminated(n, 0);
+  for (const ReduceChunk& chunk : chunks) {
+    if (metrics != nullptr) metrics->Merge(chunk.metrics);
+    for (size_t t = 0; t < chunk.eliminated.size(); ++t) {
+      eliminated[t] |= chunk.eliminated[t];
+    }
+  }
+  FragmentSet out;
+  for (size_t t = 0; t < n; ++t) {
+    if (!eliminated[t]) out.Insert(set[t]);
+  }
+  return out;
+}
+
+FragmentSet FixedPointNaiveParallel(const Document& document,
+                                    const FragmentSet& set, ThreadPool* pool,
+                                    OpMetrics* metrics) {
+  if (pool == nullptr) return FixedPointNaive(document, set, metrics);
+  FragmentPool frags;
+  FragmentRefSet base = InternSet(&frags, set);
+  FragmentRefSet current = base;
+  while (true) {
+    if (metrics != nullptr) ++metrics->fixed_point_iterations;
+    std::vector<FragmentRef> produced = ParallelPairJoins(
+        document, &frags, current.refs(), base.refs(), /*filter=*/nullptr,
+        /*context=*/nullptr, pool, metrics);
+    // The union step: O(new refs), no vector copies (the serial kernel
+    // re-copies the whole working set here).
+    size_t before = current.size();
+    for (FragmentRef ref : produced) current.Insert(ref);
+    if (current.size() == before) return current.Materialize(frags);
+  }
+}
+
+FragmentSet FixedPointReducedParallel(const Document& document,
+                                      const FragmentSet& set, ThreadPool* pool,
+                                      OpMetrics* metrics) {
+  if (pool == nullptr) return FixedPointReduced(document, set, metrics);
+  if (set.size() <= 1) return set;
+  FragmentSet reduced = ReduceParallel(document, set, pool, metrics);
+  size_t k = std::max<size_t>(reduced.size(), 1);
+  FragmentPool frags;
+  FragmentRefSet base = InternSet(&frags, set);
+  FragmentRefSet current = base;
+  // ⋈_k(F): k−1 unchecked pairwise self-joins (Theorem 1), each fanned out.
+  for (size_t i = 1; i < k; ++i) {
+    if (metrics != nullptr) ++metrics->fixed_point_iterations;
+    std::vector<FragmentRef> produced = ParallelPairJoins(
+        document, &frags, current.refs(), base.refs(), /*filter=*/nullptr,
+        /*context=*/nullptr, pool, metrics);
+    current = Deduped(produced);
+  }
+  return current.Materialize(frags);
+}
+
+FragmentSet FixedPointFilteredParallel(const Document& document,
+                                       const FragmentSet& set,
+                                       const FilterPtr& filter,
+                                       const FilterContext& context,
+                                       ThreadPool* pool, OpMetrics* metrics) {
+  if (pool == nullptr) {
+    return FixedPointFiltered(document, set, filter, context, metrics);
+  }
+  // Base selection first (cheap, |F| filter evals) stays serial so the eval
+  // counters accumulate in the serial order.
+  FragmentSet selected = Select(set, filter, context, metrics);
+  FragmentPool frags;
+  FragmentRefSet base = InternSet(&frags, selected);
+  FragmentRefSet current = base;
+  while (true) {
+    if (metrics != nullptr) ++metrics->fixed_point_iterations;
+    std::vector<FragmentRef> produced =
+        ParallelPairJoins(document, &frags, current.refs(), base.refs(),
+                          filter.get(), &context, pool, metrics);
+    size_t before = current.size();
+    for (FragmentRef ref : produced) current.Insert(ref);
+    if (current.size() == before) return current.Materialize(frags);
+  }
+}
+
+}  // namespace xfrag::algebra

@@ -1,0 +1,80 @@
+// Parallel variants of the hot-path algebra operators (ops.h), built on
+// ThreadPool's deterministic chunked fan-out and FragmentPool interning.
+//
+// Contract: every function here returns a FragmentSet that is *bit-identical*
+// to its serial counterpart — same members, same insertion order — and
+// accumulates *exactly* the same OpMetrics counters, for every thread count.
+// This holds because:
+//  * the |F1|·|F2| join pairs are enumerated in the same flattened order as
+//    the serial double loop, statically partitioned into contiguous chunks;
+//  * each chunk produces into its own output slot and its own OpMetrics;
+//  * chunks are merged at the barrier in chunk order, so first-occurrence
+//    deduplication sees fragments in the serial order and per-worker counters
+//    sum to the serial totals (no racy shared counters anywhere).
+// The property suite (tests/algebra/parallel_equivalence_test.cc) enforces
+// the contract against the serial oracle across seeds × thread counts, and
+// `ctest -L parallel` runs it under TSan (see XFRAG_SANITIZE).
+//
+// Passing a null pool runs the serial kernel — callers can wire a single
+// code path and let configuration choose.
+
+#ifndef XFRAG_ALGEBRA_OPS_PARALLEL_H_
+#define XFRAG_ALGEBRA_OPS_PARALLEL_H_
+
+#include "algebra/filter.h"
+#include "algebra/fragment_set.h"
+#include "algebra/ops.h"
+#include "common/thread_pool.h"
+
+namespace xfrag::algebra {
+
+using xfrag::ThreadPool;
+
+/// \brief Definition 5 in parallel: { f1 ⋈ f2 }, deduplicated, bit-identical
+/// to PairwiseJoin.
+FragmentSet PairwiseJoinParallel(const Document& document,
+                                 const FragmentSet& set1,
+                                 const FragmentSet& set2, ThreadPool* pool,
+                                 OpMetrics* metrics = nullptr);
+
+/// \brief Push-down pairwise join in parallel, bit-identical to
+/// PairwiseJoinFiltered.
+FragmentSet PairwiseJoinFilteredParallel(const Document& document,
+                                         const FragmentSet& set1,
+                                         const FragmentSet& set2,
+                                         const FilterPtr& filter,
+                                         const FilterContext& context,
+                                         ThreadPool* pool,
+                                         OpMetrics* metrics = nullptr);
+
+/// \brief Definition 10 in parallel: chunks the outer pair loop and OR-merges
+/// per-worker elimination bitmaps at the barrier. Bit-identical to Reduce.
+FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
+                           ThreadPool* pool, OpMetrics* metrics = nullptr);
+
+/// \brief §3.1.1 fixed point with the pairwise join of every iteration fanned
+/// out over the pool. The working set lives in a FragmentPool (hash-consed),
+/// so growing it per iteration moves 32-bit refs instead of copying node
+/// vectors. Bit-identical to FixedPointNaive.
+FragmentSet FixedPointNaiveParallel(const Document& document,
+                                    const FragmentSet& set, ThreadPool* pool,
+                                    OpMetrics* metrics = nullptr);
+
+/// \brief Theorem-1 fixed point (k−1 unchecked self-joins) with parallel
+/// reduce and joins. Bit-identical to FixedPointReduced.
+FragmentSet FixedPointReducedParallel(const Document& document,
+                                      const FragmentSet& set, ThreadPool* pool,
+                                      OpMetrics* metrics = nullptr);
+
+/// \brief Theorem-3 filtered fixed point with the filter evaluated inside the
+/// workers. Bit-identical to FixedPointFiltered.
+FragmentSet FixedPointFilteredParallel(const Document& document,
+                                       const FragmentSet& set,
+                                       const FilterPtr& filter,
+                                       const FilterContext& context,
+                                       ThreadPool* pool,
+                                       OpMetrics* metrics = nullptr);
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_OPS_PARALLEL_H_

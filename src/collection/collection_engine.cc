@@ -1,8 +1,9 @@
 #include "collection/collection_engine.h"
 
 #include <algorithm>
-#include <future>
+#include <optional>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace xfrag::collection {
@@ -50,24 +51,27 @@ StatusOr<CollectionResult> CollectionEngine::Evaluate(
   const size_t n = collection_.size();
   std::vector<PerDocumentOutcome> outcomes(n);
 
-  unsigned workers = std::max(1u, options.parallelism);
-  if (workers == 1 || n <= 1) {
+  // Documents fan out over the shared pool (one contiguous chunk per
+  // worker); each outcome lands in its own slot, so the merge below is
+  // deterministic for any parallelism.
+  ThreadPool* pool = options.thread_pool;
+  std::optional<ThreadPool> transient_pool;
+  if (pool == nullptr && std::max(1u, options.parallelism) > 1 && n > 1) {
+    transient_pool.emplace(options.parallelism);
+    pool = &*transient_pool;
+  }
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, [&](unsigned /*chunk*/, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        outcomes[i] =
+            EvaluateOne(collection_.entry(i), query, options.per_document);
+      }
+    });
+  } else {
     for (size_t i = 0; i < n; ++i) {
       outcomes[i] =
           EvaluateOne(collection_.entry(i), query, options.per_document);
     }
-  } else {
-    // Static interleaved partitioning keeps the merge deterministic.
-    std::vector<std::future<void>> futures;
-    for (unsigned w = 0; w < workers; ++w) {
-      futures.push_back(std::async(std::launch::async, [&, w] {
-        for (size_t i = w; i < n; i += workers) {
-          outcomes[i] =
-              EvaluateOne(collection_.entry(i), query, options.per_document);
-        }
-      }));
-    }
-    for (auto& future : futures) future.get();
   }
 
   CollectionResult result;
@@ -79,12 +83,7 @@ StatusOr<CollectionResult> CollectionEngine::Evaluate(
     }
     if (!outcome.status.ok()) return outcome.status;
     ++result.documents_evaluated;
-    result.metrics.fragment_joins += outcome.metrics.fragment_joins;
-    result.metrics.filter_evals += outcome.metrics.filter_evals;
-    result.metrics.filter_rejections += outcome.metrics.filter_rejections;
-    result.metrics.fixed_point_iterations +=
-        outcome.metrics.fixed_point_iterations;
-    result.metrics.fragments_produced += outcome.metrics.fragments_produced;
+    result.metrics.Merge(outcome.metrics);
     for (const algebra::Fragment& fragment : outcome.answers.Sorted()) {
       result.answers.emplace_back(i, collection_.entry(i).name, fragment);
     }

@@ -108,6 +108,15 @@ StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
 
   result.explain = StrFormat("strategy: %s\n",
                              std::string(StrategyName(strategy)).c_str());
+  // Surface the Parallelism option: which kernel layer ran, and how wide.
+  unsigned parallelism =
+      options.executor.thread_pool != nullptr
+          ? options.executor.thread_pool->parallelism()
+          : options.executor.parallelism;
+  if (parallelism > 1) {
+    result.explain +=
+        StrFormat("parallelism: %u (pooled kernels)\n", parallelism);
+  }
   if (!rationale.empty()) {
     result.explain += "rationale: " + rationale + "\n";
   }

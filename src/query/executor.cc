@@ -1,5 +1,8 @@
 #include "query/executor.h"
 
+#include <optional>
+
+#include "algebra/ops_parallel.h"
 #include "common/logging.h"
 
 namespace xfrag::query {
@@ -72,12 +75,13 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
                                    options, context, metrics, cardinalities);
       if (!right.ok()) return right;
       if (node.filter != nullptr) {
-        return algebra::PairwiseJoinFiltered(document, left.value(),
-                                             right.value(), node.filter,
-                                             context, metrics);
+        return algebra::PairwiseJoinFilteredParallel(
+            document, left.value(), right.value(), node.filter, context,
+            options.thread_pool, metrics);
       }
-      return algebra::PairwiseJoin(document, left.value(), right.value(),
-                                   metrics);
+      return algebra::PairwiseJoinParallel(document, left.value(),
+                                           right.value(), options.thread_pool,
+                                           metrics);
     }
     case PlanNodeKind::kPowersetJoin: {
       XFRAG_CHECK(node.children.size() == 2);
@@ -116,13 +120,16 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
       if (!child.ok()) return child;
       StatusOr<FragmentSet> closure = [&]() -> StatusOr<FragmentSet> {
         if (node.filter != nullptr) {
-          return algebra::FixedPointFiltered(document, child.value(),
-                                             node.filter, context, metrics);
+          return algebra::FixedPointFilteredParallel(
+              document, child.value(), node.filter, context,
+              options.thread_pool, metrics);
         }
         if (node.fixed_point_reduced) {
-          return algebra::FixedPointReduced(document, child.value(), metrics);
+          return algebra::FixedPointReducedParallel(
+              document, child.value(), options.thread_pool, metrics);
         }
-        return algebra::FixedPointNaive(document, child.value(), metrics);
+        return algebra::FixedPointNaiveParallel(document, child.value(),
+                                                options.thread_pool, metrics);
       }();
       if (closure.ok() && !cache_key.empty()) {
         options.fixed_point_cache->Insert(cache_key, closure.value());
@@ -142,7 +149,20 @@ StatusOr<FragmentSet> ExecutePlan(const PlanNode& plan,
                                   OpMetrics* metrics,
                                   std::vector<NodeCardinality>* cardinalities) {
   FilterContext context{&document, &index};
-  return ExecuteRecorded(plan, document, index, options, context, metrics,
+  ExecutorOptions resolved = options;
+  // Resolve the Parallelism option: parallelism 1 (or a degenerate pool)
+  // means the serial kernels; otherwise reuse the caller's pool or spin up a
+  // transient one for this plan.
+  std::optional<ThreadPool> transient_pool;
+  if (resolved.thread_pool == nullptr && resolved.parallelism > 1) {
+    transient_pool.emplace(resolved.parallelism);
+    resolved.thread_pool = &*transient_pool;
+  }
+  if (resolved.thread_pool != nullptr &&
+      resolved.thread_pool->parallelism() <= 1) {
+    resolved.thread_pool = nullptr;
+  }
+  return ExecuteRecorded(plan, document, index, resolved, context, metrics,
                          cardinalities);
 }
 

@@ -7,6 +7,7 @@
 
 #include "algebra/fragment_set.h"
 #include "algebra/ops.h"
+#include "common/thread_pool.h"
 #include "query/fixed_point_cache.h"
 #include "query/plan.h"
 #include "text/inverted_index.h"
@@ -19,8 +20,17 @@ struct ExecutorOptions {
   algebra::PowersetJoinOptions powerset;
   /// Optional cross-query memo table for FixedPoint-over-Scan plan
   /// fragments. The pointed-to cache must outlive the execution and must
-  /// only ever be used with one (document, index) pair. Not thread-safe.
+  /// only ever be used with one (document, index) pair. Thread-safe.
   FixedPointCache* fixed_point_cache = nullptr;
+  /// Kernel parallelism for the join and fixed-point operators: 1 runs the
+  /// serial kernels; > 1 runs the pooled kernels of algebra/ops_parallel
+  /// with that many workers. Results are bit-identical either way.
+  unsigned parallelism = 1;
+  /// Optional externally owned pool to run the parallel kernels on (reused
+  /// across queries, e.g. by the collection engine). When null and
+  /// `parallelism` > 1, ExecutePlan spins up a transient pool of
+  /// `parallelism` workers for the duration of the call.
+  ThreadPool* thread_pool = nullptr;
 };
 
 /// Per-node observation recorded during execution (EXPLAIN ANALYZE).

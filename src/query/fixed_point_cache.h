@@ -10,8 +10,10 @@
 #define XFRAG_QUERY_FIXED_POINT_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "algebra/fragment_set.h"
 
@@ -22,37 +24,67 @@ namespace xfrag::query {
 /// Keys encode everything the closure depends on; the executor consults the
 /// cache for FixedPoint-over-Scan plan fragments. The cache holds fragment
 /// sets by value (documents are immutable, so entries never invalidate).
-/// Not thread-safe: use one cache per thread, or none.
+///
+/// Thread-safe: concurrent Find/Insert from any number of threads is
+/// coherent (required once a shared thread pool evaluates many queries at
+/// once). Two guarantees make the returned pointers safe to read without
+/// holding any lock: entries are never erased outside Clear(), and Insert is
+/// first-wins — a key's value never changes once published — so a pointer
+/// obtained from Find stays valid and immutable until Clear(). Clear() must
+/// not race with readers still holding entry pointers.
 class FixedPointCache {
  public:
   FixedPointCache() = default;
 
-  /// Looks up `key`; returns nullptr on miss.
+  /// Looks up `key`; returns nullptr on miss. The pointee is immutable and
+  /// stays valid until Clear().
   const algebra::FragmentSet* Find(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
-    if (it == entries_.end()) return nullptr;
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
     ++hits_;
     return &it->second;
   }
 
-  /// Stores `value` under `key` (overwrites).
-  void Insert(const std::string& key, algebra::FragmentSet value) {
-    entries_[key] = std::move(value);
+  /// \brief Stores `value` under `key` unless the key is already present
+  /// (first publication wins, keeping Find's pointers stable). Returns true
+  /// when this call published the entry.
+  bool Insert(const std::string& key, algebra::FragmentSet value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.try_emplace(key, std::move(value)).second;
   }
 
   /// Number of cached closures.
-  size_t size() const { return entries_.size(); }
-  /// Lookup hits since construction.
-  uint64_t hits() const { return hits_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  /// Lookup hits since construction (or the last Clear).
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  /// Lookup misses since construction (or the last Clear).
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     hits_ = 0;
+    misses_ = 0;
   }
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, algebra::FragmentSet> entries_;
   mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
 };
 
 }  // namespace xfrag::query

@@ -1,0 +1,91 @@
+// FragmentPool hash-consing and FragmentRefSet set semantics: equal
+// fragments share one ref, refs stay stable, and materialization preserves
+// insertion order exactly like FragmentSet.
+
+#include "algebra/fragment_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace xfrag::algebra {
+namespace {
+
+using testutil::Frag;
+using testutil::TreeFromParents;
+
+TEST(FragmentPoolTest, EqualFragmentsInternToOneRef) {
+  doc::Document d = TreeFromParents({doc::kNoNode, 0, 1, 1, 0});
+  FragmentPool pool;
+  FragmentRef a = pool.Intern(Frag(d, {0, 1, 3}));
+  FragmentRef b = pool.Intern(Frag(d, {0, 1, 4}));
+  FragmentRef a2 = pool.Intern(Frag(d, {0, 1, 3}));
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), Frag(d, {0, 1, 3}));
+  EXPECT_EQ(pool.Get(b), Frag(d, {0, 1, 4}));
+}
+
+TEST(FragmentPoolTest, RefsAndAddressesAreStableAcrossGrowth) {
+  doc::Document d = testutil::RandomTree(300, 4, 9);
+  FragmentPool pool;
+  FragmentRef first = pool.Intern(Fragment::Single(7));
+  const Fragment* address = &pool.Get(first);
+  for (doc::NodeId n = 0; n < 300; ++n) {
+    pool.Intern(Fragment::Single(n));
+  }
+  EXPECT_EQ(&pool.Get(first), address);
+  EXPECT_EQ(pool.Get(first), Fragment::Single(7));
+  // Re-interning after growth still finds the original ref.
+  EXPECT_EQ(pool.Intern(Fragment::Single(7)), first);
+}
+
+TEST(FragmentRefSetTest, InsertDeduplicatesAndKeepsOrder) {
+  FragmentRefSet set;
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_TRUE(set.Insert(3));
+  EXPECT_FALSE(set.Insert(5));
+  EXPECT_TRUE(set.Insert(9));
+  EXPECT_FALSE(set.Insert(3));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.Contains(9));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.refs(), (std::vector<FragmentRef>{5, 3, 9}));
+}
+
+TEST(FragmentRefSetTest, MaterializeMatchesFragmentSetInsertionOrder) {
+  doc::Document d = testutil::RandomTree(50, 3, 11);
+  Rng rng(12);
+  // Insert the same random sequence (with duplicates) into both a
+  // FragmentSet and a pool-backed ref set.
+  FragmentPool pool;
+  FragmentRefSet refs;
+  FragmentSet direct;
+  for (int i = 0; i < 200; ++i) {
+    Fragment f = Fragment::Single(
+        static_cast<doc::NodeId>(rng.Uniform(d.size())));
+    refs.Insert(pool.Intern(f));
+    direct.Insert(std::move(f));
+  }
+  FragmentSet materialized = refs.Materialize(pool);
+  ASSERT_EQ(materialized.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(materialized[i], direct[i]) << "position " << i;
+  }
+}
+
+TEST(FragmentPoolTest, InternSetPreservesIterationOrder) {
+  doc::Document d = TreeFromParents({doc::kNoNode, 0, 1, 1, 0, 4});
+  FragmentSet set{Fragment::Single(4), Fragment::Single(1),
+                  Fragment::Single(5)};
+  FragmentPool pool;
+  FragmentRefSet refs = InternSet(&pool, set);
+  ASSERT_EQ(refs.size(), set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(pool.Get(refs[i]), set[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xfrag::algebra

@@ -1,0 +1,251 @@
+// The parallel-kernel contract (ops_parallel.h): for every thread count, the
+// pooled kernels return fragment sets bit-identical to the serial oracle —
+// same members in the same insertion order — and accumulate exactly the same
+// OpMetrics. Property-tested over seeded random corpora (src/gen) × thread
+// counts {1, 2, 4, 8}, plus the executor/engine wiring of the Parallelism
+// option. Runs under TSan via `ctest -L parallel` (see XFRAG_SANITIZE).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "../testutil.h"
+#include "algebra/ops.h"
+#include "algebra/ops_parallel.h"
+#include "common/thread_pool.h"
+#include "gen/corpus.h"
+#include "query/engine.h"
+
+namespace xfrag::algebra {
+namespace {
+
+// A generated document with the two planted keywords' posting lists as
+// single-node fragment sets.
+struct PlantedInput {
+  std::unique_ptr<doc::Document> document;
+  std::unique_ptr<text::InvertedIndex> index;
+  FragmentSet set1;
+  FragmentSet set2;
+};
+
+FragmentSet Singles(const std::vector<doc::NodeId>& nodes) {
+  FragmentSet out;
+  for (doc::NodeId n : nodes) out.Insert(Fragment::Single(n));
+  return out;
+}
+
+PlantedInput MakeInput(uint64_t seed, size_t count1, gen::PlantMode mode1,
+                       size_t count2, gen::PlantMode mode2) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = 400;
+  profile.seed = seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  Rng rng(seed ^ 0x5eedULL);
+  auto planted1 = gen::PlantKeyword(&raw, "kwone", count1, mode1, &rng);
+  auto planted2 = gen::PlantKeyword(&raw, "kwtwo", count2, mode2, &rng);
+  auto document = gen::Materialize(raw);
+  EXPECT_TRUE(document.ok());
+  PlantedInput input;
+  input.document =
+      std::make_unique<doc::Document>(std::move(document).value());
+  input.index = std::make_unique<text::InvertedIndex>(
+      text::InvertedIndex::Build(*input.document));
+  input.set1 = Singles(planted1);
+  input.set2 = Singles(planted2);
+  EXPECT_FALSE(input.set1.empty());
+  EXPECT_FALSE(input.set2.empty());
+  return input;
+}
+
+// Bit-identical: same size, same fragments, same insertion order.
+void ExpectIdenticalSets(const FragmentSet& serial,
+                         const FragmentSet& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i])
+        << "insertion-order divergence at position " << i << ": serial "
+        << serial[i].ToString() << " vs parallel " << parallel[i].ToString();
+  }
+}
+
+void ExpectIdenticalMetrics(const OpMetrics& serial,
+                            const OpMetrics& parallel) {
+  EXPECT_EQ(serial.fragment_joins, parallel.fragment_joins);
+  EXPECT_EQ(serial.filter_evals, parallel.filter_evals);
+  EXPECT_EQ(serial.filter_rejections, parallel.filter_rejections);
+  EXPECT_EQ(serial.fixed_point_iterations, parallel.fixed_point_iterations);
+  EXPECT_EQ(serial.fragments_produced, parallel.fragments_produced);
+}
+
+// (seed, thread count).
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, unsigned>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  unsigned threads() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ParallelEquivalenceTest, PairwiseJoin) {
+  PlantedInput input = MakeInput(seed(), 24, gen::PlantMode::kScattered, 20,
+                                 gen::PlantMode::kScattered);
+  ThreadPool pool(threads());
+  OpMetrics serial_metrics, parallel_metrics;
+  FragmentSet serial =
+      PairwiseJoin(*input.document, input.set1, input.set2, &serial_metrics);
+  FragmentSet parallel = PairwiseJoinParallel(
+      *input.document, input.set1, input.set2, &pool, &parallel_metrics);
+  ExpectIdenticalSets(serial, parallel);
+  ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+  EXPECT_EQ(serial_metrics.fragment_joins,
+            uint64_t{input.set1.size()} * input.set2.size());
+}
+
+TEST_P(ParallelEquivalenceTest, PairwiseJoinFiltered) {
+  PlantedInput input = MakeInput(seed(), 24, gen::PlantMode::kScattered, 20,
+                                 gen::PlantMode::kClustered);
+  ThreadPool pool(threads());
+  FilterPtr filter = filters::SizeAtMost(6);
+  FilterContext context{input.document.get(), input.index.get()};
+  OpMetrics serial_metrics, parallel_metrics;
+  FragmentSet serial =
+      PairwiseJoinFiltered(*input.document, input.set1, input.set2, filter,
+                           context, &serial_metrics);
+  FragmentSet parallel = PairwiseJoinFilteredParallel(
+      *input.document, input.set1, input.set2, filter, context, &pool,
+      &parallel_metrics);
+  ExpectIdenticalSets(serial, parallel);
+  ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+  // The filter must have actually discriminated for the test to mean much.
+  EXPECT_GT(serial_metrics.filter_rejections, 0u);
+}
+
+TEST_P(ParallelEquivalenceTest, Reduce) {
+  PlantedInput input = MakeInput(seed(), 18, gen::PlantMode::kClustered, 1,
+                                 gen::PlantMode::kScattered);
+  ThreadPool pool(threads());
+  OpMetrics serial_metrics, parallel_metrics;
+  FragmentSet serial = Reduce(*input.document, input.set1, &serial_metrics);
+  FragmentSet parallel =
+      ReduceParallel(*input.document, input.set1, &pool, &parallel_metrics);
+  ExpectIdenticalSets(serial, parallel);
+  ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+}
+
+TEST_P(ParallelEquivalenceTest, FixedPointNaive) {
+  PlantedInput input = MakeInput(seed(), 9, gen::PlantMode::kClustered, 1,
+                                 gen::PlantMode::kScattered);
+  ThreadPool pool(threads());
+  OpMetrics serial_metrics, parallel_metrics;
+  FragmentSet serial =
+      FixedPointNaive(*input.document, input.set1, &serial_metrics);
+  FragmentSet parallel = FixedPointNaiveParallel(*input.document, input.set1,
+                                                 &pool, &parallel_metrics);
+  ExpectIdenticalSets(serial, parallel);
+  ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+}
+
+TEST_P(ParallelEquivalenceTest, FixedPointReduced) {
+  PlantedInput input = MakeInput(seed(), 9, gen::PlantMode::kSiblings, 1,
+                                 gen::PlantMode::kScattered);
+  ThreadPool pool(threads());
+  OpMetrics serial_metrics, parallel_metrics;
+  FragmentSet serial =
+      FixedPointReduced(*input.document, input.set1, &serial_metrics);
+  FragmentSet parallel = FixedPointReducedParallel(
+      *input.document, input.set1, &pool, &parallel_metrics);
+  ExpectIdenticalSets(serial, parallel);
+  ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+}
+
+TEST_P(ParallelEquivalenceTest, FixedPointFiltered) {
+  PlantedInput input = MakeInput(seed(), 10, gen::PlantMode::kClustered, 1,
+                                 gen::PlantMode::kScattered);
+  ThreadPool pool(threads());
+  FilterPtr filter = filters::SizeAtMost(8);
+  FilterContext context{input.document.get(), input.index.get()};
+  OpMetrics serial_metrics, parallel_metrics;
+  FragmentSet serial = FixedPointFiltered(*input.document, input.set1, filter,
+                                          context, &serial_metrics);
+  FragmentSet parallel = FixedPointFilteredParallel(
+      *input.document, input.set1, filter, context, &pool, &parallel_metrics);
+  ExpectIdenticalSets(serial, parallel);
+  ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+}
+
+TEST_P(ParallelEquivalenceTest, NullPoolFallsBackToSerial) {
+  PlantedInput input = MakeInput(seed(), 8, gen::PlantMode::kScattered, 8,
+                                 gen::PlantMode::kScattered);
+  OpMetrics serial_metrics, fallback_metrics;
+  FragmentSet serial =
+      PairwiseJoin(*input.document, input.set1, input.set2, &serial_metrics);
+  FragmentSet fallback =
+      PairwiseJoinParallel(*input.document, input.set1, input.set2,
+                           /*pool=*/nullptr, &fallback_metrics);
+  ExpectIdenticalSets(serial, fallback);
+  ExpectIdenticalMetrics(serial_metrics, fallback_metrics);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, ParallelEquivalenceTest,
+    ::testing::Combine(::testing::Values(uint64_t{21}, uint64_t{22},
+                                         uint64_t{23}, uint64_t{24}),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+// End-to-end wiring: the engine's Parallelism option must not change any
+// observable output — answers, metrics, or strategy — and must be surfaced
+// in EXPLAIN.
+TEST(EngineParallelismTest, EvaluationIsBitIdenticalAcrossParallelism) {
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    PlantedInput input = MakeInput(seed, 6, gen::PlantMode::kClustered, 5,
+                                   gen::PlantMode::kScattered);
+    query::QueryEngine engine(*input.document, *input.index);
+    query::Query q;
+    q.terms = {"kwone", "kwtwo"};
+    q.filter = filters::SizeAtMost(10);
+    for (query::Strategy strategy :
+         {query::Strategy::kFixedPointNaive, query::Strategy::kFixedPointReduced,
+          query::Strategy::kPushDown}) {
+      query::EvalOptions serial_options;
+      serial_options.strategy = strategy;
+      auto serial = engine.Evaluate(q, serial_options);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      for (unsigned threads : {2u, 4u, 8u}) {
+        query::EvalOptions parallel_options;
+        parallel_options.strategy = strategy;
+        parallel_options.executor.parallelism = threads;
+        auto parallel = engine.Evaluate(q, parallel_options);
+        ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+        ExpectIdenticalSets(serial->answers, parallel->answers);
+        ExpectIdenticalMetrics(serial->metrics, parallel->metrics);
+        EXPECT_NE(parallel->explain.find("parallelism:"), std::string::npos)
+            << parallel->explain;
+        EXPECT_EQ(serial->explain.find("parallelism:"), std::string::npos);
+      }
+    }
+  }
+}
+
+TEST(EngineParallelismTest, ExternalPoolIsReusedAcrossQueries) {
+  PlantedInput input = MakeInput(41, 6, gen::PlantMode::kClustered, 5,
+                                 gen::PlantMode::kScattered);
+  query::QueryEngine engine(*input.document, *input.index);
+  ThreadPool pool(4);
+  query::Query q;
+  q.terms = {"kwone", "kwtwo"};
+  query::EvalOptions options;
+  options.strategy = query::Strategy::kFixedPointReduced;
+  options.executor.thread_pool = &pool;
+  auto first = engine.Evaluate(q, options);
+  auto second = engine.Evaluate(q, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalSets(first->answers, second->answers);
+  auto serial = engine.Evaluate(q, {});
+  ASSERT_TRUE(serial.ok());
+  // kAuto (default) may resolve to a different strategy; compare as sets.
+  EXPECT_TRUE(serial->answers.SetEquals(first->answers));
+}
+
+}  // namespace
+}  // namespace xfrag::algebra

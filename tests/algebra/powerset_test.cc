@@ -48,10 +48,33 @@ TEST(PowersetJoinTest, SizeGuardTriggersResourceExhausted) {
   Rng rng(62);
   FragmentSet big = testutil::RandomSingles(d, 30, &rng);
   PowersetJoinOptions options;
-  options.max_set_size = 20;
+  options.max_set_size = kMaxPowersetSetSize;
   auto result = PowersetJoinBruteForce(d, big, big, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PowersetJoinTest, LimitAboveSafeBoundIsInvalidArgument) {
+  // Regression: max_set_size used to be accepted up to 20, admitting
+  // 2^20 × 2^20 subset pairs. Anything above kMaxPowersetSetSize must be
+  // rejected up front — even when the actual operands are tiny.
+  doc::Document d = Fig3Tree();
+  FragmentSet f1{Fragment::Single(2)};
+  FragmentSet f2{Fragment::Single(8)};
+  PowersetJoinOptions options;
+  options.max_set_size = kMaxPowersetSetSize + 1;
+  auto result = PowersetJoinBruteForce(d, f1, f2, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  options.max_set_size = 20;  // The old default.
+  result = PowersetJoinBruteForce(d, f1, f2, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // At the bound itself the operator still works.
+  options.max_set_size = kMaxPowersetSetSize;
+  auto ok = PowersetJoinBruteForce(d, f1, f2, options);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
 }
 
 TEST(PowersetJoinTest, SingletonOperands) {

@@ -55,7 +55,7 @@ TEST_P(StrategyEquivalenceTest, AllStrategiesAgree) {
         Strategy::kFixedPointReduced, Strategy::kPushDown}) {
     EvalOptions options;
     options.strategy = strategy;
-    options.executor.powerset.max_set_size = 14;
+    options.executor.powerset.max_set_size = algebra::kMaxPowersetSetSize;
     auto result = engine.Evaluate(q, options);
     if (!result.ok() &&
         result.status().code() == StatusCode::kResourceExhausted) {

@@ -1,0 +1,118 @@
+// FixedPointCache under concurrency: the cache is shared by every worker of
+// the collection engine's pool, so Find/Insert must stay coherent when
+// hammered from many threads — entries are published once, pointers stay
+// valid, and hit/miss counters add up exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/fixed_point_cache.h"
+
+namespace xfrag::query {
+namespace {
+
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+// A distinguishable payload per key: {⟨key⟩, ⟨key+1⟩}.
+FragmentSet PayloadFor(int key) {
+  FragmentSet out;
+  out.Insert(Fragment::Single(static_cast<doc::NodeId>(key)));
+  out.Insert(Fragment::Single(static_cast<doc::NodeId>(key + 1)));
+  return out;
+}
+
+TEST(FixedPointCacheConcurrencyTest, HammeredFindInsertStaysCoherent) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  constexpr int kIterations = 400;
+
+  FixedPointCache cache;
+  std::atomic<uint64_t> observed_misses{0};
+  std::atomic<uint64_t> observed_finds{0};
+  std::atomic<int> wrong_payloads{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        // Every thread walks the keys at its own offset, so each key is
+        // looked up concurrently by several threads at once.
+        int key = (i + t) % kKeys;
+        std::string key_string = "term" + std::to_string(key);
+        observed_finds.fetch_add(1);
+        const FragmentSet* found = cache.Find(key_string);
+        if (found == nullptr) {
+          observed_misses.fetch_add(1);
+          cache.Insert(key_string, PayloadFor(key));
+        } else if (!found->SetEquals(PayloadFor(key))) {
+          // Never expected: an entry must only ever hold its own payload.
+          wrong_payloads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  // Exactly one entry per key, regardless of racing inserts.
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+  // Counter coherence: every Find was either a hit or a miss, and the
+  // cache's own tallies agree with what the threads observed.
+  EXPECT_EQ(cache.hits() + cache.misses(), observed_finds.load());
+  EXPECT_EQ(cache.misses(), observed_misses.load());
+  // At least one miss per key (the first touch), at most kThreads (every
+  // thread missing before any insert published).
+  EXPECT_GE(cache.misses(), static_cast<uint64_t>(kKeys));
+  EXPECT_LE(cache.misses(), static_cast<uint64_t>(kKeys) * kThreads);
+  // Every key ended up with its own payload.
+  for (int key = 0; key < kKeys; ++key) {
+    const FragmentSet* found = cache.Find("term" + std::to_string(key));
+    ASSERT_NE(found, nullptr) << "term" << key;
+    EXPECT_TRUE(found->SetEquals(PayloadFor(key)));
+  }
+}
+
+TEST(FixedPointCacheConcurrencyTest, PointersStayValidWhileOthersInsert) {
+  FixedPointCache cache;
+  cache.Insert("stable", PayloadFor(100));
+  const FragmentSet* pinned = cache.Find("stable");
+  ASSERT_NE(pinned, nullptr);
+
+  // Concurrent writers flood the table with other keys (forcing rehashes)
+  // and racing re-inserts of "stable" with a *different* payload, which
+  // first-wins semantics must ignore.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        cache.Insert("k" + std::to_string(t) + "_" + std::to_string(i),
+                     PayloadFor(i));
+        EXPECT_FALSE(cache.Insert("stable", PayloadFor(999)));
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+
+  // The pinned pointer is still the published entry with the original value.
+  EXPECT_TRUE(pinned->SetEquals(PayloadFor(100)));
+  EXPECT_EQ(cache.Find("stable"), pinned);
+  EXPECT_EQ(cache.size(), 4u * 500u + 1u);
+}
+
+TEST(FixedPointCacheConcurrencyTest, InsertIsFirstWins) {
+  FixedPointCache cache;
+  EXPECT_TRUE(cache.Insert("k", PayloadFor(1)));
+  EXPECT_FALSE(cache.Insert("k", PayloadFor(2)));
+  const FragmentSet* found = cache.Find("k");
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->SetEquals(PayloadFor(1)));
+}
+
+}  // namespace
+}  // namespace xfrag::query
