@@ -1,12 +1,15 @@
-// Figure-3 operation microbenchmarks (google-benchmark): fragment join,
-// pairwise fragment join, and powerset fragment join as functions of
-// fragment size, set cardinality, and tree shape. Establishes the raw
-// operator costs that the strategy-level benches build on.
+// Figure-3 operation microbenchmarks: fragment join, LCA, pairwise fragment
+// join, powerset fragment join (brute-force Definition 6 vs the Theorem-2
+// fixed-point form on identical inputs), and Reduce, as functions of fragment
+// size, set cardinality, and tree shape. Establishes the raw operator costs
+// that the strategy-level benches build on, and contributes its records to
+// BENCH_core.json through the shared bench_util writer.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "algebra/ops.h"
 #include "bench_util.h"
@@ -18,7 +21,7 @@ using algebra::FragmentSet;
 
 namespace {
 
-// Deterministic random tree shared across iterations.
+// Deterministic random tree shared across measurements.
 const doc::Document& SharedTree(size_t nodes) {
   static std::map<size_t, std::unique_ptr<doc::Document>> cache;
   auto it = cache.find(nodes);
@@ -47,106 +50,148 @@ Fragment RandomFragment(const doc::Document& d, size_t joins, Rng* rng) {
       Fragment::Single(static_cast<doc::NodeId>(rng->Uniform(d.size())));
   for (size_t i = 0; i < joins; ++i) {
     f = algebra::Join(
-        d, f, Fragment::Single(static_cast<doc::NodeId>(rng->Uniform(d.size()))));
+        d, f,
+        Fragment::Single(static_cast<doc::NodeId>(rng->Uniform(d.size()))));
   }
   return f;
 }
 
-void BM_FragmentJoin(benchmark::State& state) {
-  const doc::Document& d = SharedTree(static_cast<size_t>(state.range(0)));
-  Rng rng(7);
-  std::vector<std::pair<Fragment, Fragment>> pairs;
-  for (int i = 0; i < 64; ++i) {
-    pairs.emplace_back(RandomFragment(d, static_cast<size_t>(state.range(1)), &rng),
-                       RandomFragment(d, static_cast<size_t>(state.range(1)), &rng));
+FragmentSet RandomSingles(const doc::Document& d, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  FragmentSet out;
+  while (out.size() < count) {
+    out.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
   }
-  size_t cursor = 0;
-  for (auto _ : state) {
-    const auto& [f1, f2] = pairs[cursor++ & 63];
-    benchmark::DoNotOptimize(algebra::Join(d, f1, f2));
-  }
-  state.SetLabel("nodes=" + std::to_string(state.range(0)) +
-                 " frag_joins=" + std::to_string(state.range(1)));
+  return out;
 }
-BENCHMARK(BM_FragmentJoin)
-    ->Args({1000, 0})
-    ->Args({1000, 3})
-    ->Args({1000, 8})
-    ->Args({100000, 0})
-    ->Args({100000, 3})
-    ->Args({100000, 8});
 
-void BM_Lca(benchmark::State& state) {
-  const doc::Document& d = SharedTree(static_cast<size_t>(state.range(0)));
-  Rng rng(11);
-  for (auto _ : state) {
-    doc::NodeId a = static_cast<doc::NodeId>(rng.Uniform(d.size()));
-    doc::NodeId b = static_cast<doc::NodeId>(rng.Uniform(d.size()));
-    benchmark::DoNotOptimize(d.Lca(a, b));
-  }
+// A single-measurement record: baseline and candidate are the same timing.
+bench::BenchRecord Micro(const std::string& op, size_t set1, size_t set2,
+                         double ms) {
+  bench::BenchRecord r{op, set1, set2, /*threads=*/1, ms, ms, /*equal=*/true};
+  return r;
 }
-BENCHMARK(BM_Lca)->Arg(1000)->Arg(100000)->Arg(1000000);
-
-void BM_PairwiseJoin(benchmark::State& state) {
-  const doc::Document& d = SharedTree(10000);
-  Rng rng(13);
-  FragmentSet f1, f2;
-  for (int64_t i = 0; i < state.range(0); ++i) {
-    f1.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-    f2.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(algebra::PairwiseJoin(d, f1, f2));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_PairwiseJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
-
-void BM_PowersetJoinBruteForce(benchmark::State& state) {
-  const doc::Document& d = SharedTree(10000);
-  Rng rng(17);
-  FragmentSet f1, f2;
-  for (int64_t i = 0; i < state.range(0); ++i) {
-    f1.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-    f2.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-  }
-  for (auto _ : state) {
-    auto result = algebra::PowersetJoinBruteForce(d, f1, f2);
-    if (!result.ok()) state.SkipWithError("guard triggered");
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel("exponential in set size");
-}
-BENCHMARK(BM_PowersetJoinBruteForce)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
-
-void BM_PowersetJoinViaFixedPoint(benchmark::State& state) {
-  const doc::Document& d = SharedTree(10000);
-  Rng rng(17);  // Same seed as brute force: identical inputs.
-  FragmentSet f1, f2;
-  for (int64_t i = 0; i < state.range(0); ++i) {
-    f1.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-    f2.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(algebra::PowersetJoinViaFixedPoint(d, f1, f2));
-  }
-  state.SetLabel("Theorem-2 form of the same inputs");
-}
-BENCHMARK(BM_PowersetJoinViaFixedPoint)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
-
-void BM_Reduce(benchmark::State& state) {
-  const doc::Document& d = SharedTree(10000);
-  Rng rng(19);
-  FragmentSet f;
-  for (int64_t i = 0; i < state.range(0); ++i) {
-    f.Insert(Fragment::Single(static_cast<doc::NodeId>(rng.Uniform(d.size()))));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(algebra::Reduce(d, f));
-  }
-}
-BENCHMARK(BM_Reduce)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::vector<bench::BenchRecord> records;
+
+  // --- Fragment join: batched random pairs, nodes × accumulated joins. ----
+  bench::Banner("Fragment join (Definition 4), 4096 joins per cell");
+  bench::TablePrinter join_table({"nodes", "frag joins", "batch ms"});
+  constexpr int kJoinBatch = 4096;
+  for (size_t nodes : {1000u, 100000u}) {
+    const doc::Document& d = SharedTree(nodes);
+    for (size_t frag_joins : {0u, 3u, 8u}) {
+      Rng rng(7);
+      std::vector<std::pair<Fragment, Fragment>> pairs;
+      for (int i = 0; i < 64; ++i) {
+        pairs.emplace_back(RandomFragment(d, frag_joins, &rng),
+                           RandomFragment(d, frag_joins, &rng));
+      }
+      size_t sink = 0;
+      double ms = bench::MedianMillis([&] {
+        for (int i = 0; i < kJoinBatch; ++i) {
+          const auto& [f1, f2] = pairs[static_cast<size_t>(i) & 63];
+          sink += algebra::Join(d, f1, f2).size();
+        }
+      });
+      if (sink == static_cast<size_t>(-1)) std::printf("!");
+      join_table.AddRow({bench::Cell(uint64_t{nodes}),
+                         bench::Cell(uint64_t{frag_joins}),
+                         bench::Cell(ms, 3)});
+      records.push_back(Micro("FragmentJoin", nodes, frag_joins, ms));
+    }
+  }
+  join_table.Print();
+
+  // --- LCA: the O(1) primitive under everything. --------------------------
+  bench::Banner("LCA lookups, 65536 per cell");
+  bench::TablePrinter lca_table({"nodes", "batch ms"});
+  for (size_t nodes : {1000u, 100000u, 1000000u}) {
+    const doc::Document& d = SharedTree(nodes);
+    Rng rng(11);
+    size_t sink = 0;
+    double ms = bench::MedianMillis([&] {
+      for (int i = 0; i < 65536; ++i) {
+        doc::NodeId a = static_cast<doc::NodeId>(rng.Uniform(d.size()));
+        doc::NodeId b = static_cast<doc::NodeId>(rng.Uniform(d.size()));
+        sink += d.Lca(a, b);
+      }
+    });
+    if (sink == static_cast<size_t>(-1)) std::printf("!");
+    lca_table.AddRow({bench::Cell(uint64_t{nodes}), bench::Cell(ms, 3)});
+    records.push_back(Micro("Lca", nodes, 0, ms));
+  }
+  lca_table.Print();
+
+  // --- Pairwise join: |F|² scaling. ---------------------------------------
+  bench::Banner("Pairwise join (Definition 5)");
+  bench::TablePrinter pw_table({"|F|", "ms"});
+  {
+    const doc::Document& d = SharedTree(10000);
+    for (size_t size : {4u, 16u, 64u, 256u}) {
+      FragmentSet f1 = RandomSingles(d, size, 13);
+      FragmentSet f2 = RandomSingles(d, size, 14);
+      double ms =
+          bench::MedianMillis([&] { algebra::PairwiseJoin(d, f1, f2); });
+      pw_table.AddRow({bench::Cell(uint64_t{size}), bench::Cell(ms, 3)});
+      records.push_back(Micro("PairwiseJoin", size, size, ms));
+    }
+  }
+  pw_table.Print();
+
+  // --- Powerset join: brute force vs the Theorem-2 fixed-point form. ------
+  bench::Banner("Powerset join (Definition 6): brute force vs Theorem 2");
+  bench::TablePrinter ps_table(
+      {"|F|", "brute ms", "fixed-point ms", "speedup", "equal"});
+  {
+    const doc::Document& d = SharedTree(10000);
+    for (size_t size : {2u, 4u, 6u, 8u, 10u}) {
+      FragmentSet f1 = RandomSingles(d, size, 17);
+      FragmentSet f2 = RandomSingles(d, size, 18);
+      FragmentSet brute_result;
+      double brute_ms = bench::MedianMillis([&] {
+        auto result = algebra::PowersetJoinBruteForce(d, f1, f2);
+        if (result.ok()) brute_result = std::move(result).value();
+      });
+      FragmentSet fp_result;
+      double fp_ms = bench::MedianMillis(
+          [&] { fp_result = algebra::PowersetJoinViaFixedPoint(d, f1, f2); });
+      bench::BenchRecord record{"PowersetJoin", size,     size, 1,
+                                brute_ms,       fp_ms,
+                                brute_result.SetEquals(fp_result)};
+      ps_table.AddRow({bench::Cell(uint64_t{size}), bench::Cell(brute_ms, 3),
+                       bench::Cell(fp_ms, 3), bench::Cell(record.speedup(), 2),
+                       record.equal ? "yes" : "NO"});
+      records.push_back(record);
+    }
+  }
+  ps_table.Print();
+
+  // --- Reduce: quadratic joins + indexed subsumption. ---------------------
+  bench::Banner("Reduce (Definition 10)");
+  bench::TablePrinter reduce_table({"|F|", "ms"});
+  {
+    const doc::Document& d = SharedTree(10000);
+    for (size_t size : {4u, 8u, 16u, 32u}) {
+      FragmentSet f = RandomSingles(d, size, 19);
+      double ms = bench::MedianMillis([&] { algebra::Reduce(d, f); });
+      reduce_table.AddRow({bench::Cell(uint64_t{size}), bench::Cell(ms, 3)});
+      records.push_back(Micro("Reduce/fig3", size, 0, ms));
+    }
+  }
+  reduce_table.Print();
+
+  bench::WriteBenchJson(records, "BENCH_core.json");
+
+  for (const bench::BenchRecord& record : records) {
+    if (!record.equal) {
+      std::fprintf(stderr, "EQUIVALENCE CHECK FAILED: %s |F|=%zu\n",
+                   record.op.c_str(), record.set1);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 // compares fixed-point computation with convergence checking (naive,
 // §3.1.1) against the Theorem-1 reduced-iteration algorithm (§3.1.2),
 // reporting RF, iteration counts, join counts and wall-clock time.
+// Contributes its records to BENCH_core.json via the shared writer.
 
 #include <cstdio>
 
@@ -76,6 +77,7 @@ int main() {
   bench::TablePrinter table({"members", "RF", "naive iters", "naive joins",
                              "naive ms", "reduced iters", "reduced joins",
                              "reduced ms", "|F+|", "equal"});
+  std::vector<bench::BenchRecord> records;
   const size_t total = 12;
   for (size_t interior = 0; interior + 2 <= total; interior += 2) {
     size_t scattered = total - 2 - interior;
@@ -112,6 +114,18 @@ int main() {
                   bench::Cell(reduced_ms, 3),
                   bench::Cell(naive_result.size()),
                   naive_result.SetEquals(reduced_result) ? "yes" : "NO"});
+    bench::BenchRecord record{"FixedPointReduction",
+                              instance.set.size(),
+                              interior,
+                              1,
+                              naive_ms,
+                              reduced_ms,
+                              naive_result.SetEquals(reduced_result)};
+    record.counters = {
+        {"naive_joins", naive_metrics.fragment_joins},
+        {"reduced_joins", reduced_metrics.fragment_joins},
+        {"subsume_checks_skipped", reduced_metrics.subsume_checks_skipped}};
+    records.push_back(record);
   }
   table.Print();
   std::printf(
@@ -142,7 +156,17 @@ int main() {
     corpus_table.AddRow({label, bench::Cell(f.size()),
                          bench::Cell(reduced.size()), bench::Cell(rf, 2),
                          bench::Cell(ms, 3)});
+    bench::BenchRecord record{std::string("ReduceCorpus/") + label,
+                              f.size(),
+                              reduced.size(),
+                              1,
+                              ms,
+                              ms,
+                              true};
+    records.push_back(record);
   }
   corpus_table.Print();
+
+  bench::WriteBenchJson(records, "BENCH_core.json");
   return 0;
 }

@@ -1,7 +1,9 @@
 // Figure 5 / Theorem 3: value of pushing anti-monotonic selection below the
 // joins. Sweeps (a) the size filter beta at fixed corpus, and (b) the corpus
 // size at fixed beta, comparing late filtering (fixed point + final sigma)
-// against the push-down plan, in joins performed and wall-clock time.
+// against the push-down plan, in joins performed and wall-clock time. The
+// push-down rows also report how many candidate pairs the summary prefilter
+// rejected in O(1); records land in BENCH_core.json via the shared writer.
 
 #include <cstdio>
 
@@ -37,6 +39,7 @@ Measurement Run(query::QueryEngine& engine, const query::Query& q,
 }  // namespace
 
 int main() {
+  std::vector<bench::BenchRecord> records;
   bench::Banner("Push-down vs late filtering: sweep of beta (size filter)");
   {
     bench::PlantedCorpus corpus =
@@ -59,6 +62,14 @@ int main() {
                     bench::Cell(late.ms / (push.ms > 0 ? push.ms : 1e-9), 1),
                     bench::Cell(push.answers),
                     late.answers == push.answers ? "yes" : "NO"});
+      bench::BenchRecord record{"PushDown/beta", beta,    0, 1, late.ms,
+                                push.ms,         late.answers == push.answers};
+      record.counters = {
+          {"late_joins", late.metrics.fragment_joins},
+          {"push_joins", push.metrics.fragment_joins},
+          {"pairs_considered", push.metrics.pairs_considered},
+          {"pairs_rejected_summary", push.metrics.pairs_rejected_summary}};
+      records.push_back(record);
     }
     table.Print();
     std::printf("\nExpected shape (Theorem 3, §4.3): the smaller beta is, "
@@ -94,6 +105,13 @@ int main() {
                     bench::Cell(push.ms, 3),
                     bench::Cell(late.ms / (push.ms > 0 ? push.ms : 1e-9), 1),
                     bench::Cell(push.answers)});
+      bench::BenchRecord record{"PushDown/nodes", nodes,   count,
+                                1,                late.ms, push.ms,
+                                late.answers == push.answers};
+      record.counters = {
+          {"pairs_considered", push.metrics.pairs_considered},
+          {"pairs_rejected_summary", push.metrics.pairs_rejected_summary}};
+      records.push_back(record);
     }
     table.Print();
     std::printf("\nExpected shape (§4.3): \"particularly in a large XML tree "
@@ -126,8 +144,21 @@ int main() {
       table.AddRow({expr, bench::Cell(late.ms, 3), bench::Cell(push.ms, 3),
                     bench::Cell(late.ms / (push.ms > 0 ? push.ms : 1e-9), 1),
                     bench::Cell(push.answers)});
+      bench::BenchRecord record{std::string("PushDown/composite/") + expr,
+                                0,
+                                0,
+                                1,
+                                late.ms,
+                                push.ms,
+                                late.answers == push.answers};
+      record.counters = {
+          {"pairs_considered", push.metrics.pairs_considered},
+          {"pairs_rejected_summary", push.metrics.pairs_rejected_summary}};
+      records.push_back(record);
     }
     table.Print();
   }
+
+  bench::WriteBenchJson(records, "BENCH_core.json");
   return 0;
 }

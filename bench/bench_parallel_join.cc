@@ -1,7 +1,8 @@
 // Serial vs pooled algebra kernels: sweeps worker count × fragment-set size
 // for PairwiseJoin (plus Reduce and the naive fixed point) and emits both
-// the usual console table and a machine-readable BENCH_parallel.json, the
-// first point of the parallel-kernel perf trajectory. Every timed pair also
+// the usual console table and a machine-readable BENCH_parallel.json (via
+// the shared bench_util record writer), the first point of the
+// parallel-kernel perf trajectory. Every timed pair also
 // cross-checks that the pooled result is bit-identical to the serial one.
 
 #include <cstdio>
@@ -18,20 +19,6 @@ using algebra::Fragment;
 using algebra::FragmentSet;
 
 namespace {
-
-struct Record {
-  std::string op;
-  size_t set1 = 0;
-  size_t set2 = 0;
-  unsigned threads = 0;
-  double serial_ms = 0.0;
-  double parallel_ms = 0.0;
-  bool equal = false;
-
-  double speedup() const {
-    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
-  }
-};
 
 // Insertion-order-sensitive equality (the kernels' bit-identical contract).
 bool Identical(const FragmentSet& a, const FragmentSet& b) {
@@ -51,28 +38,6 @@ FragmentSet Postings(const std::vector<doc::NodeId>& nodes, size_t limit) {
   return out;
 }
 
-void WriteJson(const std::vector<Record>& records, const char* path) {
-  std::FILE* file = std::fopen(path, "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(file, "[\n");
-  for (size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    std::fprintf(file,
-                 "  {\"op\": \"%s\", \"set1\": %zu, \"set2\": %zu, "
-                 "\"threads\": %u, \"serial_ms\": %.4f, \"parallel_ms\": "
-                 "%.4f, \"speedup\": %.3f, \"equal\": %s}%s\n",
-                 r.op.c_str(), r.set1, r.set2, r.threads, r.serial_ms,
-                 r.parallel_ms, r.speedup(), r.equal ? "true" : "false",
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(file, "]\n");
-  std::fclose(file);
-  std::printf("\nwrote %zu records to %s\n", records.size(), path);
-}
-
 }  // namespace
 
 int main() {
@@ -83,7 +48,7 @@ int main() {
       "the\nbit-identical check is meaningful at any core count)\n\n",
       std::thread::hardware_concurrency());
 
-  std::vector<Record> records;
+  std::vector<bench::BenchRecord> records;
 
   // --- PairwiseJoin: the headline sweep. --------------------------------
   bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
@@ -108,8 +73,9 @@ int main() {
             pooled_result = algebra::PairwiseJoinParallel(d, f1, f2, &pool);
           },
           3);
-      Record record{"PairwiseJoin", f1.size(), f2.size(), threads, serial_ms,
-                    pooled_ms, Identical(serial_result, pooled_result)};
+      bench::BenchRecord record{"PairwiseJoin",  f1.size(), f2.size(),
+                                threads,         serial_ms, pooled_ms,
+                                Identical(serial_result, pooled_result)};
       records.push_back(record);
       join_table.AddRow({record.op, bench::Cell(record.set1),
                          bench::Cell(record.set2),
@@ -145,8 +111,9 @@ int main() {
                 algebra::ReduceParallel(*reduce_corpus.document, f, &pool);
           },
           3);
-      Record record{"Reduce", f.size(), 0, threads, serial_ms, pooled_ms,
-                    Identical(serial_result, pooled_result)};
+      bench::BenchRecord record{"Reduce",  f.size(),  0,
+                                threads,   serial_ms, pooled_ms,
+                                Identical(serial_result, pooled_result)};
       records.push_back(record);
       reduce_table.AddRow(
           {record.op, bench::Cell(record.set1),
@@ -181,8 +148,9 @@ int main() {
                 *fp_corpus.document, f, &pool);
           },
           3);
-      Record record{"FixedPointNaive", f.size(), 0, threads, serial_ms,
-                    pooled_ms, Identical(serial_result, pooled_result)};
+      bench::BenchRecord record{"FixedPointNaive", f.size(), 0,
+                                threads,           serial_ms, pooled_ms,
+                                Identical(serial_result, pooled_result)};
       records.push_back(record);
       fp_table.AddRow(
           {record.op, bench::Cell(record.set1),
@@ -193,9 +161,9 @@ int main() {
   }
   fp_table.Print();
 
-  WriteJson(records, "BENCH_parallel.json");
+  bench::WriteBenchJson(records, "BENCH_parallel.json", /*merge=*/false);
 
-  for (const Record& record : records) {
+  for (const bench::BenchRecord& record : records) {
     if (!record.equal) {
       std::fprintf(stderr, "BIT-IDENTICAL CHECK FAILED: %s threads=%u\n",
                    record.op.c_str(), record.threads);

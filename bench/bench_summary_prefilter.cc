@@ -1,0 +1,205 @@
+// Ablation of the summary prefilters: the same filtered-join and reduce
+// kernels run with SetSummaryPrefilterEnabled(false) as the baseline
+// ("serial_ms") and enabled as the candidate ("parallel_ms"), on identical
+// inputs. Results must be bit-identical either way — the prefilters only
+// skip physical work the filter would have rejected anyway (Theorem 3's
+// anti-monotonic bounds) or subsumption tests that cannot succeed.
+//
+// The headline rows are the filtered pairwise joins over scattered keywords
+// at tight size filters (β ≤ 8): almost every candidate pair's O(1) size
+// lower bound already exceeds β, so the prefiltered kernel never merges node
+// vectors for them. Records (with the prefilter counters) go to
+// BENCH_core.json via the shared writer.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "bench_util.h"
+
+using namespace xfrag;
+using algebra::Fragment;
+using algebra::FragmentSet;
+
+namespace {
+
+// Insertion-order-sensitive equality (the kernels' bit-identical contract).
+bool Identical(const FragmentSet& a, const FragmentSet& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+FragmentSet Postings(const std::vector<doc::NodeId>& nodes, size_t limit) {
+  FragmentSet out;
+  for (doc::NodeId n : nodes) {
+    if (out.size() >= limit) break;
+    out.Insert(Fragment::Single(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<bench::BenchRecord> records;
+  bool all_identical = true;
+
+  // --- Filtered pairwise join: scattered keywords, tight size filters. ----
+  bench::Banner(
+      "PairwiseJoinFiltered: summary prefilter off vs on (scattered, "
+      "size<=beta)");
+  {
+    bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+        24000, 512, gen::PlantMode::kScattered, 512,
+        gen::PlantMode::kScattered, 7);
+    const doc::Document& d = *corpus.document;
+    algebra::FilterContext context{&d, corpus.index.get()};
+    bench::TablePrinter table({"|F|", "beta", "off ms", "on ms", "speedup",
+                               "pairs", "rejected O(1)", "identical"});
+    for (size_t size : {128u, 256u}) {
+      FragmentSet f1 = Postings(corpus.postings1, size);
+      FragmentSet f2 = Postings(corpus.postings2, size);
+      for (uint32_t beta : {2u, 4u, 8u}) {
+        auto filter = algebra::filters::SizeAtMost(beta);
+        algebra::SetSummaryPrefilterEnabled(false);
+        FragmentSet off_result;
+        double off_ms = bench::MedianMillis([&] {
+          off_result =
+              algebra::PairwiseJoinFiltered(d, f1, f2, filter, context);
+        });
+        algebra::SetSummaryPrefilterEnabled(true);
+        algebra::OpMetrics metrics;
+        FragmentSet on_result;
+        double on_ms = bench::MedianMillis([&] {
+          metrics.Reset();
+          on_result = algebra::PairwiseJoinFiltered(d, f1, f2, filter,
+                                                    context, &metrics);
+        });
+        bool identical = Identical(off_result, on_result);
+        all_identical = all_identical && identical;
+        bench::BenchRecord record{
+            "PrefilterPairwiseJoin/beta=" + std::to_string(beta),
+            size,
+            size,
+            1,
+            off_ms,
+            on_ms,
+            identical};
+        record.counters = {
+            {"pairs_considered", metrics.pairs_considered},
+            {"pairs_rejected_summary", metrics.pairs_rejected_summary}};
+        records.push_back(record);
+        table.AddRow({bench::Cell(uint64_t{size}),
+                      bench::Cell(uint64_t{beta}), bench::Cell(off_ms, 3),
+                      bench::Cell(on_ms, 3), bench::Cell(record.speedup(), 2),
+                      bench::Cell(metrics.pairs_considered),
+                      bench::Cell(metrics.pairs_rejected_summary),
+                      identical ? "yes" : "NO"});
+      }
+    }
+    table.Print();
+  }
+
+  // --- Filtered fixed point: the powerset-join push-down plan's loop. -----
+  bench::Banner(
+      "FixedPointFiltered (powerset-join push-down): prefilter off vs on "
+      "(scattered)");
+  {
+    bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+        24000, 48, gen::PlantMode::kScattered, 2, gen::PlantMode::kScattered,
+        17);
+    const doc::Document& d = *corpus.document;
+    algebra::FilterContext context{&d, corpus.index.get()};
+    bench::TablePrinter table({"|F|", "filter", "off ms", "on ms", "speedup",
+                               "rejected O(1)", "identical"});
+    for (size_t size : {24u, 48u}) {
+      FragmentSet f = Postings(corpus.postings1, size);
+      for (uint32_t beta : {4u, 8u}) {
+        auto filter = algebra::filters::SizeAtMost(beta);
+        algebra::SetSummaryPrefilterEnabled(false);
+        FragmentSet off_result;
+        double off_ms = bench::MedianMillis([&] {
+          off_result = algebra::FixedPointFiltered(d, f, filter, context);
+        });
+        algebra::SetSummaryPrefilterEnabled(true);
+        algebra::OpMetrics metrics;
+        FragmentSet on_result;
+        double on_ms = bench::MedianMillis([&] {
+          metrics.Reset();
+          on_result = algebra::FixedPointFiltered(d, f, filter, context,
+                                                  &metrics);
+        });
+        bool identical = Identical(off_result, on_result);
+        all_identical = all_identical && identical;
+        bench::BenchRecord record{
+            "PrefilterFixedPoint/beta=" + std::to_string(beta),
+            f.size(),
+            0,
+            1,
+            off_ms,
+            on_ms,
+            identical};
+        record.counters = {
+            {"pairs_considered", metrics.pairs_considered},
+            {"pairs_rejected_summary", metrics.pairs_rejected_summary}};
+        records.push_back(record);
+        table.AddRow({bench::Cell(f.size()),
+                      "size<=" + std::to_string(beta),
+                      bench::Cell(off_ms, 3), bench::Cell(on_ms, 3),
+                      bench::Cell(record.speedup(), 2),
+                      bench::Cell(metrics.pairs_rejected_summary),
+                      identical ? "yes" : "NO"});
+      }
+    }
+    table.Print();
+  }
+
+  // --- Reduce: all-pairs std::includes vs the interval/size index. --------
+  bench::Banner("Reduce: candidate index off vs on (clustered members)");
+  {
+    bench::PlantedCorpus corpus = bench::MakePlantedCorpus(
+        12000, 96, gen::PlantMode::kClustered, 2, gen::PlantMode::kScattered,
+        17);
+    const doc::Document& d = *corpus.document;
+    bench::TablePrinter table({"|F|", "off ms", "on ms", "speedup",
+                               "checks skipped", "identical"});
+    for (size_t size : {48u, 96u}) {
+      FragmentSet f = Postings(corpus.postings1, size);
+      algebra::SetSummaryPrefilterEnabled(false);
+      FragmentSet off_result;
+      double off_ms =
+          bench::MedianMillis([&] { off_result = algebra::Reduce(d, f); });
+      algebra::SetSummaryPrefilterEnabled(true);
+      algebra::OpMetrics metrics;
+      FragmentSet on_result;
+      double on_ms = bench::MedianMillis([&] {
+        metrics.Reset();
+        on_result = algebra::Reduce(d, f, &metrics);
+      });
+      bool identical = Identical(off_result, on_result);
+      all_identical = all_identical && identical;
+      bench::BenchRecord record{"PrefilterReduce", size,  0, 1,
+                                off_ms,            on_ms, identical};
+      record.counters = {
+          {"subsume_checks_skipped", metrics.subsume_checks_skipped}};
+      records.push_back(record);
+      table.AddRow({bench::Cell(uint64_t{size}), bench::Cell(off_ms, 3),
+                    bench::Cell(on_ms, 3), bench::Cell(record.speedup(), 2),
+                    bench::Cell(metrics.subsume_checks_skipped),
+                    identical ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  bench::WriteBenchJson(records, "BENCH_core.json");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "ABLATION EQUIVALENCE FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -91,4 +91,91 @@ void Banner(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
 
+namespace {
+
+std::string RecordLine(const BenchRecord& r) {
+  std::string line = StrFormat(
+      "  {\"op\": \"%s\", \"set1\": %zu, \"set2\": %zu, \"threads\": %u, "
+      "\"serial_ms\": %.4f, \"parallel_ms\": %.4f, \"speedup\": %.3f, "
+      "\"equal\": %s",
+      r.op.c_str(), r.set1, r.set2, r.threads, r.serial_ms, r.parallel_ms,
+      r.speedup(), r.equal ? "true" : "false");
+  for (const auto& [name, value] : r.counters) {
+    line += StrFormat(", \"%s\": %llu", name.c_str(),
+                      static_cast<unsigned long long>(value));
+  }
+  line += "}";
+  return line;
+}
+
+// The files are only ever written by RecordLine (one object per line), so
+// the "op" of an existing line can be recovered with plain string search.
+std::string LineOp(const std::string& line) {
+  const std::string key = "\"op\": \"";
+  size_t start = line.find(key);
+  if (start == std::string::npos) return "";
+  start += key.size();
+  size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+std::vector<std::string> ReadRecordLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return lines;
+  std::string content;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, got);
+  }
+  std::fclose(file);
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Strip a trailing comma so kept lines re-serialize cleanly.
+    while (!line.empty() && (line.back() == ',' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.find('{') != std::string::npos) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+void WriteBenchJson(const std::vector<BenchRecord>& records,
+                    const std::string& path, bool merge) {
+  std::vector<std::string> lines;
+  if (merge) {
+    std::vector<std::string> new_ops;
+    for (const BenchRecord& r : records) new_ops.push_back(r.op);
+    for (std::string& line : ReadRecordLines(path)) {
+      const std::string op = LineOp(line);
+      if (std::find(new_ops.begin(), new_ops.end(), op) == new_ops.end()) {
+        lines.push_back(std::move(line));
+      }
+    }
+  }
+  for (const BenchRecord& r : records) lines.push_back(RecordLine(r));
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "[\n");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(file, "%s%s\n", lines[i].c_str(),
+                 i + 1 < lines.size() ? "," : "");
+  }
+  std::fprintf(file, "]\n");
+  std::fclose(file);
+  std::printf("\nwrote %zu records to %s (%zu total)\n", records.size(),
+              path.c_str(), lines.size());
+}
+
 }  // namespace xfrag::bench

@@ -5,9 +5,11 @@
 #ifndef XFRAG_BENCH_BENCH_UTIL_H_
 #define XFRAG_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "doc/document.h"
@@ -15,6 +17,49 @@
 #include "text/inverted_index.h"
 
 namespace xfrag::bench {
+
+/// \brief One machine-readable benchmark measurement — the schema shared by
+/// BENCH_parallel.json and BENCH_core.json.
+///
+/// `serial_ms` is the baseline timing and `parallel_ms` the candidate
+/// (pooled kernel, prefiltered kernel, ...); for plain microbenchmarks both
+/// hold the same measurement and the speedup is 1. `counters` appends extra
+/// integer fields to the JSON object (e.g. "pairs_rejected_summary").
+struct BenchRecord {
+  BenchRecord() = default;
+  BenchRecord(std::string op_in, size_t set1_in, size_t set2_in,
+              unsigned threads_in, double serial_ms_in, double parallel_ms_in,
+              bool equal_in)
+      : op(std::move(op_in)),
+        set1(set1_in),
+        set2(set2_in),
+        threads(threads_in),
+        serial_ms(serial_ms_in),
+        parallel_ms(parallel_ms_in),
+        equal(equal_in) {}
+
+  std::string op;
+  size_t set1 = 0;
+  size_t set2 = 0;
+  unsigned threads = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool equal = false;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+/// \brief Writes `records` to `path` as a JSON array.
+///
+/// With `merge` set (the default), records already in the file whose "op"
+/// does not occur in `records` are kept — the fig3/fig4/fig5 binaries and
+/// bench_summary_prefilter all contribute to one BENCH_core.json, each run
+/// replacing only its own ops.
+void WriteBenchJson(const std::vector<BenchRecord>& records,
+                    const std::string& path, bool merge = true);
 
 /// A generated corpus with two planted query keywords, ready to query.
 struct PlantedCorpus {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass over the algebra kernels.
+#
+#   scripts/check.sh            # build + full ctest + ASan on the algebra suites
+#   scripts/check.sh --fast     # skip the sanitizer build
+#
+# The first stage is exactly the tier-1 contract from ROADMAP.md: configure,
+# build, and run the whole test suite. The second stage rebuilds with
+# -DXFRAG_SANITIZE=address in a separate build dir and runs the algebra and
+# concurrency suites (algebra_test plus everything labelled `parallel`) under
+# ASan — the kernels that do manual arena/buffer work.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== skipping sanitizer stage (--fast) =="
+  exit 0
+fi
+
+echo "== asan: build algebra + parallel suites =="
+cmake -B build-asan -S . -DXFRAG_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target algebra_test parallel_test
+
+echo "== asan: run =="
+./build-asan/tests/algebra_test
+(cd build-asan && ctest -L parallel --output-on-failure -j "$JOBS")
+
+echo "== check.sh: all stages passed =="

@@ -33,6 +33,10 @@ class SizeAtMostFilter final : public Filter {
     return f.size() <= beta_;
   }
   bool anti_monotonic() const override { return true; }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext&) const override {
+    return bounds.size_lower > beta_;
+  }
   std::string ToString() const override {
     return StrFormat("size<=%u", beta_);
   }
@@ -48,6 +52,10 @@ class HeightAtMostFilter final : public Filter {
     return FragmentHeight(f, *ctx.document) <= h_;
   }
   bool anti_monotonic() const override { return true; }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext&) const override {
+    return bounds.height > h_;
+  }
   std::string ToString() const override {
     return StrFormat("height<=%u", h_);
   }
@@ -63,6 +71,10 @@ class SpanAtMostFilter final : public Filter {
     return FragmentSpan(f) <= w_;
   }
   bool anti_monotonic() const override { return true; }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext&) const override {
+    return bounds.span > w_;
+  }
   std::string ToString() const override {
     return StrFormat("span<=%u", w_);
   }
@@ -115,6 +127,13 @@ class DistanceAtMostFilter final : public Filter {
     return diameter <= d_;
   }
   bool anti_monotonic() const override { return true; }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext&) const override {
+    // The joined root and the deepest joined member are `bounds.height`
+    // edges apart, and the two operand roots `bounds.roots_distance` apart —
+    // either already exceeding d proves the diameter does.
+    return bounds.height > d_ || bounds.roots_distance > d_;
+  }
   std::string ToString() const override {
     return StrFormat("distance<=%u", d_);
   }
@@ -159,6 +178,10 @@ class RootDepthAtLeastFilter final : public Filter {
     return ctx.document->depth(f.root()) >= d_;
   }
   bool anti_monotonic() const override { return true; }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext&) const override {
+    return bounds.root_depth < d_;
+  }
   std::string ToString() const override {
     return StrFormat("root_depth>=%u", d_);
   }
@@ -266,6 +289,11 @@ class AndFilter final : public Filter {
   bool anti_monotonic() const override {
     return a_->anti_monotonic() && b_->anti_monotonic();
   }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext& ctx) const override {
+    return a_->RejectsJoinBounds(bounds, ctx) ||
+           b_->RejectsJoinBounds(bounds, ctx);
+  }
   std::string ToString() const override {
     return "(" + a_->ToString() + " & " + b_->ToString() + ")";
   }
@@ -290,6 +318,12 @@ class OrFilter final : public Filter {
   }
   bool anti_monotonic() const override {
     return a_->anti_monotonic() && b_->anti_monotonic();
+  }
+  bool RejectsJoinBounds(const JoinBounds& bounds,
+                         const FilterContext& ctx) const override {
+    // Sound only when BOTH branches prove rejection.
+    return a_->RejectsJoinBounds(bounds, ctx) &&
+           b_->RejectsJoinBounds(bounds, ctx);
   }
   std::string ToString() const override {
     return "(" + a_->ToString() + " | " + b_->ToString() + ")";

@@ -32,6 +32,34 @@ class Filter;
 /// Filters are immutable and shared.
 using FilterPtr = std::shared_ptr<const Filter>;
 
+/// \brief O(1) structural facts about a prospective join f1 ⋈ f2, computed
+/// from the operands' summary headers *before* the join is materialized
+/// (ComputeJoinBounds in ops.h).
+///
+/// `height`, `span` and `root_depth` are exact: the joined fragment is rooted
+/// at lca(r1, r2), its pre-order interval is [lca, max(max1, max2)], and no
+/// connecting-path node is deeper than an operand member. `size_lower` is a
+/// lower bound: the join contains each operand, that operand root's strict
+/// ancestors down to the LCA, and — whenever the operand root is not the LCA
+/// itself — the other root's path below the LCA too (any overlap between
+/// those pieces would imply a common ancestor deeper than the LCA).
+/// `roots_distance` is the exact tree distance between the two operand roots,
+/// both members of the join, so it lower-bounds the join's diameter. Theorem
+/// 3's anti-monotonic filters therefore reject with certainty when a bound
+/// already violates their threshold.
+struct JoinBounds {
+  /// size(f1 ⋈ f2) ≥ size_lower.
+  uint32_t size_lower = 0;
+  /// height(f1 ⋈ f2), exactly.
+  uint32_t height = 0;
+  /// Pre-order span of f1 ⋈ f2, exactly.
+  uint32_t span = 0;
+  /// depth(root(f1 ⋈ f2)) = depth(lca(r1, r2)), exactly.
+  uint32_t root_depth = 0;
+  /// distance(r1, r2) — a lower bound on the join's diameter.
+  uint32_t roots_distance = 0;
+};
+
 /// \brief Abstract selection predicate over fragments.
 class Filter {
  public:
@@ -44,6 +72,21 @@ class Filter {
   /// True iff the filter is anti-monotonic (Definition 11). Conservative:
   /// false means "not guaranteed", not "provably monotone".
   virtual bool anti_monotonic() const = 0;
+
+  /// \brief True when the filter can prove, from the summary bounds alone,
+  /// that the join those bounds describe cannot satisfy it.
+  ///
+  /// Sound, never complete: `true` guarantees Matches(f1 ⋈ f2) is false
+  /// (so the join kernels may skip materializing the join entirely), while
+  /// `false` only means "cannot tell from O(1) facts". The default never
+  /// rejects; conjunction rejects when either operand does, disjunction only
+  /// when both do.
+  virtual bool RejectsJoinBounds(const JoinBounds& bounds,
+                                 const FilterContext& context) const {
+    (void)bounds;
+    (void)context;
+    return false;
+  }
 
   /// Human-readable form, e.g. "size<=3 & height<=2".
   virtual std::string ToString() const = 0;

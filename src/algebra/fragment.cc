@@ -1,11 +1,20 @@
 #include "algebra/fragment.h"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace xfrag::algebra {
+
+namespace {
+
+// Process-wide count of O(|f|) hash scans, exposed through
+// HashComputationsForTest so tests can prove interning never rehashes.
+std::atomic<uint64_t> g_hash_computations{0};
+
+}  // namespace
 
 StatusOr<Fragment> Fragment::Create(const Document& document,
                                     std::vector<NodeId> nodes) {
@@ -32,13 +41,16 @@ StatusOr<Fragment> Fragment::Create(const Document& document,
                     nodes[i]));
     }
   }
-  return Fragment(std::move(nodes));
+  uint32_t max_depth = 0;
+  for (NodeId n : nodes) max_depth = std::max(max_depth, document.depth(n));
+  return Fragment::FromSortedUnchecked(std::move(nodes), max_depth);
 }
 
-uint64_t Fragment::Hash() const {
+uint64_t Fragment::ComputeHash(const std::vector<NodeId>& nodes) {
+  g_hash_computations.fetch_add(1, std::memory_order_relaxed);
   // FNV-1a over node ids with a 64-bit avalanche finisher.
   uint64_t h = 0xcbf29ce484222325ULL;
-  for (NodeId n : nodes_) {
+  for (NodeId n : nodes) {
     h ^= n;
     h *= 0x100000001b3ULL;
   }
@@ -46,6 +58,10 @@ uint64_t Fragment::Hash() const {
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
   return h;
+}
+
+uint64_t Fragment::HashComputationsForTest() {
+  return g_hash_computations.load(std::memory_order_relaxed);
 }
 
 std::string Fragment::ToString() const {
@@ -59,12 +75,9 @@ std::string Fragment::ToString() const {
 }
 
 uint32_t FragmentHeight(const Fragment& fragment, const Document& document) {
-  uint32_t root_depth = document.depth(fragment.root());
-  uint32_t max_depth = root_depth;
-  for (NodeId n : fragment.nodes()) {
-    max_depth = std::max(max_depth, document.depth(n));
-  }
-  return max_depth - root_depth;
+  // O(1) whenever the summary header knows the max depth (kernel-produced
+  // and validated fragments); falls back to one scan otherwise.
+  return fragment.MaxDepth(document) - document.depth(fragment.root());
 }
 
 uint32_t FragmentSpan(const Fragment& fragment) {

@@ -1,6 +1,7 @@
 #include "algebra/ops.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -9,24 +10,25 @@ namespace xfrag::algebra {
 
 namespace {
 
-// Merges two sorted unique id vectors plus extra path nodes into a sorted
-// unique vector.
-std::vector<NodeId> MergeNodes(const std::vector<NodeId>& a,
-                               const std::vector<NodeId>& b,
-                               std::vector<NodeId> extra) {
-  std::vector<NodeId> out;
-  out.reserve(a.size() + b.size() + extra.size());
-  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  out.insert(out.end(), extra.begin(), extra.end());
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
+std::atomic<bool> g_summary_prefilter_enabled{true};
 
 void CountJoin(OpMetrics* metrics) {
   if (metrics != nullptr) {
     ++metrics->fragment_joins;
     ++metrics->fragments_produced;
+  }
+}
+
+// A pair rejected from its summary bounds counts exactly like a join whose
+// result failed the filter — the logical counters stay invariant under the
+// prefilter — plus the prefilter counter recording the avoided work.
+void CountPrefilterRejectedJoin(OpMetrics* metrics) {
+  if (metrics != nullptr) {
+    ++metrics->fragment_joins;
+    ++metrics->fragments_produced;
+    ++metrics->filter_evals;
+    ++metrics->filter_rejections;
+    ++metrics->pairs_rejected_summary;
   }
 }
 
@@ -38,10 +40,85 @@ bool PassesFilter(const Fragment& f, const FilterPtr& filter,
   return ok;
 }
 
+std::vector<FragmentSummary> SummarizeSet(const FragmentSet& set,
+                                          const Document& document) {
+  std::vector<FragmentSummary> out;
+  out.reserve(set.size());
+  for (const Fragment& f : set) out.push_back(f.Summary(document));
+  return out;
+}
+
 }  // namespace
 
-Fragment Join(const Document& document, const Fragment& f1, const Fragment& f2,
-              OpMetrics* metrics) {
+void SetSummaryPrefilterEnabled(bool enabled) {
+  g_summary_prefilter_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SummaryPrefilterEnabled() {
+  return g_summary_prefilter_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<ReduceEntry> BuildReduceIndex(const FragmentSet& set) {
+  std::vector<ReduceEntry> by_min;
+  by_min.reserve(set.size());
+  for (size_t t = 0; t < set.size(); ++t) {
+    const Fragment& f = set[t];
+    by_min.push_back(ReduceEntry{f.min_pre(), f.max_pre(),
+                                 static_cast<uint32_t>(f.size()),
+                                 static_cast<uint32_t>(t)});
+  }
+  std::sort(by_min.begin(), by_min.end(),
+            [](const ReduceEntry& a, const ReduceEntry& b) {
+              return a.min != b.min ? a.min < b.min : a.index < b.index;
+            });
+  return by_min;
+}
+
+std::pair<size_t, size_t> ReduceWindow(const std::vector<ReduceEntry>& by_min,
+                                       NodeId min_pre, NodeId max_pre) {
+  auto lo = std::lower_bound(by_min.begin(), by_min.end(), min_pre,
+                             [](const ReduceEntry& e, NodeId v) {
+                               return e.min < v;
+                             });
+  auto hi = std::upper_bound(lo, by_min.end(), max_pre,
+                             [](NodeId v, const ReduceEntry& e) {
+                               return v < e.min;
+                             });
+  return {static_cast<size_t>(lo - by_min.begin()),
+          static_cast<size_t>(hi - by_min.begin())};
+}
+
+JoinBounds ComputeJoinBounds(const Document& document,
+                             const FragmentSummary& s1,
+                             const FragmentSummary& s2) {
+  NodeId lca = document.Lca(s1.root, s2.root);
+  uint32_t lca_depth = document.depth(lca);
+  JoinBounds bounds;
+  bounds.root_depth = lca_depth;
+  // No connecting-path node is deeper than an operand member, and the LCA is
+  // the joined root, so the height is exact.
+  bounds.height = std::max(s1.max_depth, s2.max_depth) - lca_depth;
+  // The LCA is the minimal pre-order member of the join; path nodes never
+  // exceed the operand maxima, so the span is exact too.
+  bounds.span = std::max(s1.max_pre, s2.max_pre) - lca;
+  // The join contains the operand, its root's strict ancestors down to the
+  // LCA (up_i nodes), and — when that root is not the LCA itself — the other
+  // root's path strictly below the LCA as well: any node on both branches
+  // would be a common ancestor deeper than the LCA, and a member of f_i that
+  // is an ancestor of the other root would force lca = r_i. All three pieces
+  // are therefore disjoint, making each sum a sound lower bound.
+  uint32_t up1 = s1.root_depth - lca_depth;
+  uint32_t up2 = s2.root_depth - lca_depth;
+  bounds.size_lower = std::max(s1.size + up1 + (s1.root != lca ? up2 : 0),
+                               s2.size + up2 + (s2.root != lca ? up1 : 0));
+  // Both roots are members, so their exact distance bounds the diameter.
+  bounds.roots_distance = up1 + up2;
+  return bounds;
+}
+
+Fragment JoinWithArena(const Document& document, const Fragment& f1,
+                       const Fragment& f2, JoinArena* arena,
+                       OpMetrics* metrics) {
   CountJoin(metrics);
   // Absorption fast paths (f1 ⋈ f2 = f1 when f2 ⊆ f1).
   if (f1.ContainsFragment(f2)) return f1;
@@ -49,19 +126,68 @@ Fragment Join(const Document& document, const Fragment& f1, const Fragment& f2,
   NodeId r1 = f1.root();
   NodeId r2 = f2.root();
   NodeId lca = document.Lca(r1, r2);
-  std::vector<NodeId> extra = document.PathToAncestor(r1, lca);
-  std::vector<NodeId> path2 = document.PathToAncestor(r2, lca);
-  extra.insert(extra.end(), path2.begin(), path2.end());
-  return Fragment::FromSortedUnchecked(
-      MergeNodes(f1.nodes(), f2.nodes(), std::move(extra)));
+  // Operand nodes as one sorted run (cross-operand duplicates possible).
+  arena->merged.clear();
+  arena->merged.reserve(f1.size() + f2.size());
+  std::merge(f1.nodes().begin(), f1.nodes().end(), f2.nodes().begin(),
+             f2.nodes().end(), std::back_inserter(arena->merged));
+  // Connecting paths r1→lca and r2→lca. Walking parents yields descending
+  // pre-order, so each run is reversed into ascending order in place.
+  arena->paths.clear();
+  for (NodeId n = r1;; n = document.parent(n)) {
+    arena->paths.push_back(n);
+    if (n == lca) break;
+  }
+  std::reverse(arena->paths.begin(), arena->paths.end());
+  const size_t mid = arena->paths.size();
+  for (NodeId n = r2;; n = document.parent(n)) {
+    arena->paths.push_back(n);
+    if (n == lca) break;
+  }
+  std::reverse(arena->paths.begin() + mid, arena->paths.end());
+  // Three-way merge-with-dedup of the sorted runs straight into the result —
+  // no re-sort, and the only allocation is the fragment's own exact vector.
+  const NodeId* a = arena->paths.data();
+  const NodeId* ae = a + mid;
+  const NodeId* b = arena->paths.data() + mid;
+  const NodeId* be = arena->paths.data() + arena->paths.size();
+  const std::vector<NodeId>& m = arena->merged;
+  std::vector<NodeId> out;
+  out.reserve(m.size() + arena->paths.size());
+  size_t im = 0;
+  while (im < m.size() || a != ae || b != be) {
+    NodeId v = doc::kNoNode;  // kNoNode = max uint32, never a member id.
+    if (im < m.size()) v = std::min(v, m[im]);
+    if (a != ae) v = std::min(v, *a);
+    if (b != be) v = std::min(v, *b);
+    if (im < m.size() && m[im] == v) {
+      ++im;
+    } else if (a != ae && *a == v) {
+      ++a;
+    } else {
+      ++b;
+    }
+    if (out.empty() || out.back() != v) out.push_back(v);
+  }
+  // Path nodes are ancestors of the operand roots, so the deepest member of
+  // the join is the deepest operand member — the summary is O(1) complete.
+  uint32_t max_depth = std::max(f1.MaxDepth(document), f2.MaxDepth(document));
+  return Fragment::FromSortedUnchecked(std::move(out), max_depth);
+}
+
+Fragment Join(const Document& document, const Fragment& f1, const Fragment& f2,
+              OpMetrics* metrics) {
+  thread_local JoinArena arena;
+  return JoinWithArena(document, f1, f2, &arena, metrics);
 }
 
 FragmentSet PairwiseJoin(const Document& document, const FragmentSet& set1,
                          const FragmentSet& set2, OpMetrics* metrics) {
   FragmentSet out;
+  JoinArena arena;
   for (const Fragment& f1 : set1) {
     for (const Fragment& f2 : set2) {
-      out.Insert(Join(document, f1, f2, metrics));
+      out.Insert(JoinWithArena(document, f1, f2, &arena, metrics));
     }
   }
   return out;
@@ -74,9 +200,21 @@ FragmentSet PairwiseJoinFiltered(const Document& document,
                                  const FilterContext& context,
                                  OpMetrics* metrics) {
   FragmentSet out;
-  for (const Fragment& f1 : set1) {
-    for (const Fragment& f2 : set2) {
-      Fragment joined = Join(document, f1, f2, metrics);
+  JoinArena arena;
+  const bool prefilter = SummaryPrefilterEnabled();
+  const std::vector<FragmentSummary> sums1 = SummarizeSet(set1, document);
+  const std::vector<FragmentSummary> sums2 = SummarizeSet(set2, document);
+  for (size_t i = 0; i < set1.size(); ++i) {
+    for (size_t j = 0; j < set2.size(); ++j) {
+      if (metrics != nullptr) ++metrics->pairs_considered;
+      if (prefilter &&
+          filter->RejectsJoinBounds(
+              ComputeJoinBounds(document, sums1[i], sums2[j]), context)) {
+        CountPrefilterRejectedJoin(metrics);
+        continue;
+      }
+      Fragment joined = JoinWithArena(document, set1[i], set2[j], &arena,
+                                      metrics);
       if (PassesFilter(joined, filter, context, metrics)) {
         out.Insert(std::move(joined));
       }
@@ -148,15 +286,48 @@ StatusOr<FragmentSet> PowersetJoinBruteForce(
 FragmentSet Reduce(const Document& document, const FragmentSet& set,
                    OpMetrics* metrics) {
   // A member survives unless two other distinct members join to a fragment
-  // that subsumes it.
+  // that subsumes it. f ⊆ g requires [min_f,max_f] ⊆ [min_g,max_g] and
+  // |f| ≤ |g|, so instead of testing every live member against every joined
+  // fragment, candidates come from an index ordered by min_pre: only members
+  // whose interval fits inside the join's interval are std::includes-tested.
   const size_t n = set.size();
+  std::vector<ReduceEntry> by_min = BuildReduceIndex(set);
+  const bool prefilter = SummaryPrefilterEnabled();
   std::vector<bool> eliminated(n, false);
+  size_t eliminated_count = 0;
+  JoinArena arena;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      Fragment joined = Join(document, set[i], set[j], metrics);
-      for (size_t t = 0; t < n; ++t) {
+      Fragment joined = JoinWithArena(document, set[i], set[j], &arena,
+                                      metrics);
+      if (!prefilter) {
+        for (size_t t = 0; t < n; ++t) {
+          if (t == i || t == j || eliminated[t]) continue;
+          if (joined.ContainsFragment(set[t])) eliminated[t] = true;
+        }
+        continue;
+      }
+      // Every member the unoptimized pass would have checked right now.
+      size_t live_targets = (n - eliminated_count) - (eliminated[i] ? 0 : 1) -
+                            (eliminated[j] ? 0 : 1);
+      size_t checks = 0;
+      auto [lo, hi] = ReduceWindow(by_min, joined.min_pre(), joined.max_pre());
+      for (size_t k = lo; k < hi; ++k) {
+        const ReduceEntry& e = by_min[k];
+        size_t t = e.index;
         if (t == i || t == j || eliminated[t]) continue;
-        if (joined.ContainsFragment(set[t])) eliminated[t] = true;
+        if (e.max > joined.max_pre() ||
+            e.size > static_cast<uint32_t>(joined.size())) {
+          continue;
+        }
+        ++checks;
+        if (joined.ContainsFragment(set[t])) {
+          eliminated[t] = true;
+          ++eliminated_count;
+        }
+      }
+      if (metrics != nullptr) {
+        metrics->subsume_checks_skipped += live_targets - checks;
       }
     }
   }

@@ -17,6 +17,7 @@
 #define XFRAG_ALGEBRA_OPS_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "algebra/filter.h"
 #include "algebra/fragment_set.h"
@@ -25,6 +26,13 @@
 namespace xfrag::algebra {
 
 /// Work counters accumulated by the operators.
+///
+/// The first five counters measure *logical* algebra work — the joins and
+/// filter evaluations the definitions mandate — and are invariant under the
+/// summary prefilters: a pair rejected from its O(1) summary bounds still
+/// counts as one (rejected) filtered join, so these counters match the
+/// unoptimized kernels exactly, for every thread count. The prefilter
+/// counters below them measure *physical* work avoided.
 struct OpMetrics {
   /// Number of binary fragment-join evaluations.
   uint64_t fragment_joins = 0;
@@ -37,6 +45,17 @@ struct OpMetrics {
   /// Fragments produced (pre-dedup) across all join operators.
   uint64_t fragments_produced = 0;
 
+  /// Candidate pairs enumerated by the filtered join kernels (each pair is
+  /// either prefilter-rejected, filter-rejected, or kept).
+  uint64_t pairs_considered = 0;
+  /// Pairs rejected in O(1) from the operands' summary bounds — no node
+  /// vector was merged and no filter ran. Deterministic per input.
+  uint64_t pairs_rejected_summary = 0;
+  /// Subsumption tests (std::includes) that ⊖'s interval/size candidate
+  /// index proved unnecessary. Schedule-dependent (see Reduce): excluded
+  /// from operator== because parallel elimination order differs.
+  uint64_t subsume_checks_skipped = 0;
+
   void Reset() { *this = OpMetrics(); }
 
   /// Adds `other`'s counters into this one — how the parallel kernels fold
@@ -48,15 +67,37 @@ struct OpMetrics {
     filter_rejections += other.filter_rejections;
     fixed_point_iterations += other.fixed_point_iterations;
     fragments_produced += other.fragments_produced;
+    pairs_considered += other.pairs_considered;
+    pairs_rejected_summary += other.pairs_rejected_summary;
+    subsume_checks_skipped += other.subsume_checks_skipped;
   }
 
+  /// Compares every deterministic counter. `subsume_checks_skipped` is
+  /// deliberately excluded: how many checks the ⊖ index skips depends on how
+  /// far elimination had progressed, which differs between the serial pass
+  /// and per-worker chunks without affecting any result.
   bool operator==(const OpMetrics& other) const {
     return fragment_joins == other.fragment_joins &&
            filter_evals == other.filter_evals &&
            filter_rejections == other.filter_rejections &&
            fixed_point_iterations == other.fixed_point_iterations &&
-           fragments_produced == other.fragments_produced;
+           fragments_produced == other.fragments_produced &&
+           pairs_considered == other.pairs_considered &&
+           pairs_rejected_summary == other.pairs_rejected_summary;
   }
+};
+
+/// \brief Reusable scratch buffers for the join kernels.
+///
+/// One arena per worker (or per serial kernel invocation) lets every join
+/// reuse the same grown-once vectors for path extraction and merging instead
+/// of allocating fresh ones per pair. The produced fragment still owns a
+/// fresh exact-size node vector.
+struct JoinArena {
+  /// Operand nodes merged (sorted, possibly with cross-operand duplicates).
+  std::vector<NodeId> merged;
+  /// Connecting-path nodes, sorted ascending.
+  std::vector<NodeId> paths;
 };
 
 /// \brief Definition 4: the minimal fragment of `document` containing both
@@ -66,8 +107,50 @@ struct OpMetrics {
 /// f1 ∪ f2 ∪ path(r1, lca(r1,r2)) ∪ path(r2, lca(r1,r2)): every connecting
 /// path between two disjoint subtrees passes through both roots and their
 /// LCA, and minimal containing node sets in a tree are unique.
+///
+/// Uses a thread-local JoinArena; the kernels pass an explicit one via
+/// JoinWithArena.
 Fragment Join(const Document& document, const Fragment& f1, const Fragment& f2,
               OpMetrics* metrics = nullptr);
+
+/// \brief Join with caller-owned scratch buffers (the kernels' form).
+Fragment JoinWithArena(const Document& document, const Fragment& f1,
+                       const Fragment& f2, JoinArena* arena,
+                       OpMetrics* metrics = nullptr);
+
+/// \brief O(1) bounds on f1 ⋈ f2 from the operands' summary headers (one LCA
+/// lookup plus arithmetic). See JoinBounds for the exactness guarantees.
+JoinBounds ComputeJoinBounds(const Document& document,
+                             const FragmentSummary& s1,
+                             const FragmentSummary& s2);
+
+/// \brief Process-wide switch for the summary prefilters (default on).
+///
+/// Exists for ablation benches and equivalence tests: results are identical
+/// either way, only the physical work (and the prefilter counters) change.
+/// Not intended to be toggled while kernels are running.
+void SetSummaryPrefilterEnabled(bool enabled);
+bool SummaryPrefilterEnabled();
+
+/// \brief One member of ⊖'s interval/size candidate index (see Reduce).
+struct ReduceEntry {
+  NodeId min = 0;
+  NodeId max = 0;
+  uint32_t size = 0;
+  /// Position of the member within the original FragmentSet.
+  uint32_t index = 0;
+};
+
+/// \brief Members of `set` ordered by (min_pre, index) — the read-only
+/// candidate index shared by Reduce and ReduceParallel. f ⊆ g requires
+/// [min_f, max_f] ⊆ [min_g, max_g] and |f| ≤ |g|, so a joined fragment's
+/// subsumption candidates form a contiguous window of this index.
+std::vector<ReduceEntry> BuildReduceIndex(const FragmentSet& set);
+
+/// \brief Half-open window [lo, hi) of `by_min` entries whose min lies in
+/// [min_pre, max_pre].
+std::pair<size_t, size_t> ReduceWindow(const std::vector<ReduceEntry>& by_min,
+                                       NodeId min_pre, NodeId max_pre);
 
 /// \brief Definition 5: { f1 ⋈ f2 | f1 ∈ set1, f2 ∈ set2 }, deduplicated.
 FragmentSet PairwiseJoin(const Document& document, const FragmentSet& set1,

@@ -10,27 +10,60 @@ namespace xfrag::algebra {
 
 namespace {
 
-// One chunk's private output: fragments in pair order plus local counters.
+// One chunk's private output: fragments in pair order, local counters, and
+// the worker's reusable join scratch.
 struct ChunkOut {
   std::vector<Fragment> produced;
   OpMetrics metrics;
+  JoinArena arena;
 };
+
+std::vector<FragmentSummary> SummarizeRefs(const FragmentPool& frags,
+                                           const std::vector<FragmentRef>& refs,
+                                           const Document& document) {
+  std::vector<FragmentSummary> out;
+  out.reserve(refs.size());
+  for (FragmentRef ref : refs) out.push_back(frags.Get(ref).Summary(document));
+  return out;
+}
 
 // The flattened serial pair loop restricted to [begin, end): pair p joins
 // left[p / |right|] with right[p % |right|], exactly the order the serial
-// double loop visits. `filter`, when non-null, drops non-matching results
-// (counting evals/rejections like the serial PassesFilter helper).
+// double loop visits. `filter`, when non-null, drops non-matching results —
+// with `prefilter` set, pairs whose summary bounds already violate the filter
+// are rejected in O(1), counted exactly like the serial kernel counts them
+// (so chunk-merged totals stay identical at every thread count).
 void JoinPairRange(const Document& document, const FragmentPool& frags,
                    const std::vector<FragmentRef>& left,
-                   const std::vector<FragmentRef>& right, const Filter* filter,
+                   const std::vector<FragmentRef>& right,
+                   const std::vector<FragmentSummary>& left_sums,
+                   const std::vector<FragmentSummary>& right_sums,
+                   bool prefilter, const Filter* filter,
                    const FilterContext* context, size_t begin, size_t end,
                    ChunkOut* out) {
   const size_t nr = right.size();
   out->produced.reserve(end - begin);
   for (size_t p = begin; p < end; ++p) {
-    const Fragment& f1 = frags.Get(left[p / nr]);
-    const Fragment& f2 = frags.Get(right[p % nr]);
-    Fragment joined = Join(document, f1, f2, &out->metrics);
+    const size_t li = p / nr;
+    const size_t ri = p % nr;
+    if (filter != nullptr) {
+      ++out->metrics.pairs_considered;
+      if (prefilter &&
+          filter->RejectsJoinBounds(
+              ComputeJoinBounds(document, left_sums[li], right_sums[ri]),
+              *context)) {
+        ++out->metrics.fragment_joins;
+        ++out->metrics.fragments_produced;
+        ++out->metrics.filter_evals;
+        ++out->metrics.filter_rejections;
+        ++out->metrics.pairs_rejected_summary;
+        continue;
+      }
+    }
+    const Fragment& f1 = frags.Get(left[li]);
+    const Fragment& f2 = frags.Get(right[ri]);
+    Fragment joined =
+        JoinWithArena(document, f1, f2, &out->arena, &out->metrics);
     if (filter != nullptr) {
       ++out->metrics.filter_evals;
       if (!filter->Matches(joined, *context)) {
@@ -45,17 +78,25 @@ void JoinPairRange(const Document& document, const FragmentPool& frags,
 // Fans |left|·|right| joins out over the pool; at the barrier, interns the
 // surviving fragments chunk by chunk (= serial pair order) and merges each
 // chunk's counters into `metrics` explicitly. Returns refs pre-dedup, in
-// serial production order.
+// serial production order. Operand summaries are computed once up front so
+// every worker prefilters from the same read-only vectors.
 std::vector<FragmentRef> ParallelPairJoins(
     const Document& document, FragmentPool* frags,
     const std::vector<FragmentRef>& left,
     const std::vector<FragmentRef>& right, const Filter* filter,
     const FilterContext* context, ThreadPool* pool, OpMetrics* metrics) {
   const size_t pairs = left.size() * right.size();
+  const bool prefilter = filter != nullptr && SummaryPrefilterEnabled();
+  std::vector<FragmentSummary> left_sums;
+  std::vector<FragmentSummary> right_sums;
+  if (prefilter) {
+    left_sums = SummarizeRefs(*frags, left, document);
+    right_sums = SummarizeRefs(*frags, right, document);
+  }
   std::vector<ChunkOut> chunks(pool->parallelism());
   pool->ParallelFor(pairs, [&](unsigned chunk, size_t begin, size_t end) {
-    JoinPairRange(document, *frags, left, right, filter, context, begin, end,
-                  &chunks[chunk]);
+    JoinPairRange(document, *frags, left, right, left_sums, right_sums,
+                  prefilter, filter, context, begin, end, &chunks[chunk]);
   });
   std::vector<FragmentRef> produced;
   produced.reserve(pairs);
@@ -118,10 +159,16 @@ FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
   // bitmap; bitmaps are OR-merged at the barrier. A worker may re-derive an
   // elimination another worker already found — the final bitmap (and the
   // join count, which covers all n(n−1)/2 pairs either way) is identical to
-  // the serial pass.
+  // the serial pass. All workers share the read-only candidate index; each
+  // skips subsumption tests its own interval/size window rules out (so
+  // subsume_checks_skipped is per-worker-schedule dependent — see OpMetrics).
+  const bool prefilter = SummaryPrefilterEnabled();
+  const std::vector<ReduceEntry> by_min = BuildReduceIndex(set);
   struct ReduceChunk {
     std::vector<uint8_t> eliminated;
+    size_t eliminated_count = 0;
     OpMetrics metrics;
+    JoinArena arena;
   };
   std::vector<ReduceChunk> chunks(pool->parallelism());
   pool->ParallelFor(n, [&](unsigned chunk, size_t begin, size_t end) {
@@ -129,11 +176,36 @@ FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
     out.eliminated.assign(n, 0);
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        Fragment joined = Join(document, set[i], set[j], &out.metrics);
-        for (size_t t = 0; t < n; ++t) {
-          if (t == i || t == j || out.eliminated[t]) continue;
-          if (joined.ContainsFragment(set[t])) out.eliminated[t] = 1;
+        Fragment joined =
+            JoinWithArena(document, set[i], set[j], &out.arena, &out.metrics);
+        if (!prefilter) {
+          for (size_t t = 0; t < n; ++t) {
+            if (t == i || t == j || out.eliminated[t]) continue;
+            if (joined.ContainsFragment(set[t])) out.eliminated[t] = 1;
+          }
+          continue;
         }
+        size_t live_targets = (n - out.eliminated_count) -
+                              (out.eliminated[i] ? 0 : 1) -
+                              (out.eliminated[j] ? 0 : 1);
+        size_t checks = 0;
+        auto [lo, hi] =
+            ReduceWindow(by_min, joined.min_pre(), joined.max_pre());
+        for (size_t k = lo; k < hi; ++k) {
+          const ReduceEntry& e = by_min[k];
+          size_t t = e.index;
+          if (t == i || t == j || out.eliminated[t]) continue;
+          if (e.max > joined.max_pre() ||
+              e.size > static_cast<uint32_t>(joined.size())) {
+            continue;
+          }
+          ++checks;
+          if (joined.ContainsFragment(set[t])) {
+            out.eliminated[t] = 1;
+            ++out.eliminated_count;
+          }
+        }
+        out.metrics.subsume_checks_skipped += live_targets - checks;
       }
     }
   });

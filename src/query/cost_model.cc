@@ -47,6 +47,17 @@ CostParameters CostModel::Calibrate(const doc::Document& document,
   }
   double joined_ns = static_cast<double>(filter_timer.ElapsedNanos()) / kOps;
   parameters.filter_ns = std::max(1.0, joined_ns - parameters.join_ns);
+
+  // Prefilter cost: the O(1) summary-bounds check the join kernels run on
+  // each candidate pair before materializing anything.
+  Timer prefilter_timer;
+  for (const auto& [f1, f2] : pairs) {
+    algebra::JoinBounds bounds = algebra::ComputeJoinBounds(
+        document, f1.Summary(document), f2.Summary(document));
+    if (filter->RejectsJoinBounds(bounds, context)) ++sink;
+  }
+  parameters.prefilter_ns = std::max(
+      1.0, static_cast<double>(prefilter_timer.ElapsedNanos()) / kOps);
   // Keep the compiler from discarding the measurement loops.
   if (sink == static_cast<size_t>(-1)) parameters.join_ns += 1;
   return parameters;
@@ -192,7 +203,7 @@ std::vector<StrategyCost> CostModel::EstimateAll(
       cost.detail = "inapplicable: no anti-monotonic conjunct";
     } else {
       double s = std::clamp(inputs.anti_monotonic_selectivity, 0.01, 1.0);
-      double joins = 0.0, filters = 0.0;
+      double pairs = 0.0;
       std::vector<double> fp_sizes;
       for (size_t i = 0; i < inputs.base_sizes.size(); ++i) {
         double n = static_cast<double>(inputs.base_sizes[i]);
@@ -204,13 +215,20 @@ std::vector<StrategyCost> CostModel::EstimateAll(
                                        inputs.base_sizes[i], rf));
         fp_sizes.push_back(m);
         double k = std::max(1.0, n * (1.0 - rf));
-        joins += k * m * n;
-        filters += k * m * n;  // Every produced fragment is filtered.
+        pairs += k * m * n;
       }
-      joins += chain_cost(fp_sizes);
-      filters += chain_cost(fp_sizes);
-      cost.nanos = joins * join_ns + filters * parameters_.filter_ns;
-      cost.detail = StrFormat("~%.0f joins at selectivity %.2f", joins, s);
+      double chain = chain_cost(fp_sizes);
+      // Every candidate pair pays the O(1) summary-bounds check; only the
+      // surviving share s materializes the join and runs the real filter
+      // (the prefilter is sound for the pushed-down anti-monotonic part, so
+      // the rejected 1−s share never allocates). Chain joins operate on
+      // already-filtered sets and stay fully priced.
+      cost.nanos = pairs * parameters_.prefilter_ns +
+                   (s * pairs + chain) * join_ns +
+                   (s * pairs + chain) * parameters_.filter_ns;
+      cost.detail = StrFormat(
+          "~%.0f candidate pairs at selectivity %.2f (prefilter-priced)",
+          pairs, s);
     }
     out.push_back(cost);
   }

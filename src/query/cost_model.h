@@ -38,6 +38,9 @@ struct CostParameters {
   double join_ns = 400.0;
   /// Cost of one filter evaluation.
   double filter_ns = 60.0;
+  /// Cost of one O(1) summary-bounds check — what a prefilter-rejected pair
+  /// pays instead of join_ns + filter_ns (one LCA lookup plus arithmetic).
+  double prefilter_ns = 20.0;
   /// Hash-set insert/dedup per produced fragment.
   double dedup_ns = 120.0;
   /// Cap on estimated fixed-point cardinality (mirrors practical limits).

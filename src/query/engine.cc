@@ -117,6 +117,15 @@ StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
     result.explain +=
         StrFormat("parallelism: %u (pooled kernels)\n", parallelism);
   }
+  // Surface what the summary prefilters saved: how many candidate pairs the
+  // filtered join kernels looked at, and how many they rejected in O(1)
+  // without materializing the join.
+  if (result.metrics.pairs_considered > 0) {
+    result.explain += StrFormat(
+        "prefilter: %llu/%llu pairs rejected from summaries\n",
+        static_cast<unsigned long long>(result.metrics.pairs_rejected_summary),
+        static_cast<unsigned long long>(result.metrics.pairs_considered));
+  }
   if (!rationale.empty()) {
     result.explain += "rationale: " + rationale + "\n";
   }

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "../testutil.h"
+#include "algebra/fragment_pool.h"
+#include "algebra/fragment_set.h"
 
 namespace xfrag::algebra {
 namespace {
@@ -117,6 +121,45 @@ TEST(FragmentMetricsTest, Leaves) {
   // though it has children in the document.
   EXPECT_EQ(FragmentLeaves(Frag(d, {0, 1, 2, 5}), d),
             (std::vector<doc::NodeId>{2, 5}));
+}
+
+// The summary header must agree with a brute-force scan of the node vector.
+TEST(FragmentSummaryTest, MatchesBruteForceScan) {
+  doc::Document d = Fixture();
+  for (const auto& nodes : std::vector<std::vector<doc::NodeId>>{
+           {7}, {1, 2, 3, 4}, {0, 1, 5, 6, 7}, {5, 6}}) {
+    Fragment f = Frag(d, nodes);
+    FragmentSummary s = f.Summary(d);
+    EXPECT_EQ(s.size, nodes.size());
+    EXPECT_EQ(s.root, *std::min_element(nodes.begin(), nodes.end()));
+    EXPECT_EQ(s.min_pre, *std::min_element(nodes.begin(), nodes.end()));
+    EXPECT_EQ(s.max_pre, *std::max_element(nodes.begin(), nodes.end()));
+    uint32_t max_depth = 0;
+    for (doc::NodeId n : nodes) max_depth = std::max(max_depth, d.depth(n));
+    EXPECT_EQ(s.max_depth, max_depth);
+    EXPECT_EQ(s.root_depth, d.depth(s.root));
+  }
+}
+
+// The hash is computed once at construction; FragmentSet dedup and
+// FragmentPool interning must reuse it instead of rescanning nodes.
+TEST(FragmentHashTest, InterningDoesNotRecomputeHashes) {
+  doc::Document d = Fixture();
+  std::vector<Fragment> frags;
+  frags.push_back(Frag(d, {1, 2, 3}));
+  frags.push_back(Frag(d, {0, 1, 5}));
+  frags.push_back(Frag(d, {5, 6, 7}));
+  frags.push_back(Frag(d, {1, 2, 3}));  // Duplicate of the first.
+
+  uint64_t before = Fragment::HashComputationsForTest();
+  FragmentSet set;
+  for (const Fragment& f : frags) set.Insert(f);
+  EXPECT_EQ(set.size(), 3u);
+  FragmentPool pool;
+  for (const Fragment& f : set) pool.Intern(f);
+  InternSet(&pool, set);
+  // Copies share the precomputed hash; no node vector was rescanned.
+  EXPECT_EQ(Fragment::HashComputationsForTest(), before);
 }
 
 }  // namespace

@@ -76,6 +76,13 @@ void ExpectIdenticalMetrics(const OpMetrics& serial,
   EXPECT_EQ(serial.filter_rejections, parallel.filter_rejections);
   EXPECT_EQ(serial.fixed_point_iterations, parallel.fixed_point_iterations);
   EXPECT_EQ(serial.fragments_produced, parallel.fragments_produced);
+  // The prefilter pair counters are deterministic per input, so they must
+  // match across thread counts too. subsume_checks_skipped is deliberately
+  // NOT compared: how many checks ⊖'s candidate index skips depends on how
+  // far each worker's private elimination bitmap had progressed (ops.h).
+  EXPECT_EQ(serial.pairs_considered, parallel.pairs_considered);
+  EXPECT_EQ(serial.pairs_rejected_summary, parallel.pairs_rejected_summary);
+  EXPECT_TRUE(serial == parallel);
 }
 
 // (seed, thread count).
