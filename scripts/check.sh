@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass over the algebra kernels.
+# Tier-1 gate plus sanitizer passes over the algebra kernels and the server.
 #
-#   scripts/check.sh            # build + full ctest + ASan on the algebra suites
-#   scripts/check.sh --fast     # skip the sanitizer build
+#   scripts/check.sh            # build + full ctest + ASan + TSan server stage
+#   scripts/check.sh --fast     # skip the sanitizer builds
 #
 # The first stage is exactly the tier-1 contract from ROADMAP.md: configure,
 # build, and run the whole test suite. The second stage rebuilds with
 # -DXFRAG_SANITIZE=address in a separate build dir and runs the algebra and
 # concurrency suites (algebra_test plus everything labelled `parallel`) under
-# ASan — the kernels that do manual arena/buffer work.
+# ASan — the kernels that do manual arena/buffer work. The third stage
+# rebuilds with -DXFRAG_SANITIZE=thread and runs everything labelled `server`
+# (the xfragd loopback integration suite included) under TSan, since the
+# serving path is the one place worker threads share an engine and caches.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,8 +27,11 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== server: ctest -L server (tier-1 build) =="
+(cd build && ctest -L server --output-on-failure -j "$JOBS")
+
 if [[ "$FAST" == 1 ]]; then
-  echo "== skipping sanitizer stage (--fast) =="
+  echo "== skipping sanitizer stages (--fast) =="
   exit 0
 fi
 
@@ -36,5 +42,12 @@ cmake --build build-asan -j "$JOBS" --target algebra_test parallel_test
 echo "== asan: run =="
 ./build-asan/tests/algebra_test
 (cd build-asan && ctest -L parallel --output-on-failure -j "$JOBS")
+
+echo "== tsan: build server suite =="
+cmake -B build-tsan -S . -DXFRAG_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target server_test
+
+echo "== tsan: run =="
+(cd build-tsan && ctest -L server --output-on-failure -j "$JOBS")
 
 echo "== check.sh: all stages passed =="

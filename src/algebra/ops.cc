@@ -259,6 +259,7 @@ StatusOr<FragmentSet> PowersetJoinBruteForce(
     joins.reserve(total);
     joins.push_back(Fragment::Single(0));  // Placeholder for mask 0 (unused).
     for (size_t mask = 1; mask < total; ++mask) {
+      if ((mask & 0xFF) == 0 && ShouldStop(options.cancel)) break;
       size_t low = mask & (~mask + 1);
       size_t low_index = static_cast<size_t>(__builtin_ctzll(mask));
       size_t rest = mask ^ low;
@@ -271,11 +272,22 @@ StatusOr<FragmentSet> PowersetJoinBruteForce(
     return joins;
   };
 
+  // The enumeration is the one place the algebra does exponential work, so a
+  // deadline must be able to interrupt it mid-flight: poll the token once per
+  // outer subset row (≤ 4096 polls) and every 256 precomputed subset joins.
+  auto cancelled = [&] { return ShouldStop(options.cancel); };
+  auto deadline_error = [] {
+    return Status::DeadlineExceeded(
+        "brute-force powerset join cancelled by deadline");
+  };
+
+  if (cancelled()) return deadline_error();
   std::vector<Fragment> joins1 = subset_joins(set1);
   std::vector<Fragment> joins2 = subset_joins(set2);
 
   FragmentSet out;
   for (size_t m1 = 1; m1 < joins1.size(); ++m1) {
+    if (cancelled()) return deadline_error();
     for (size_t m2 = 1; m2 < joins2.size(); ++m2) {
       out.Insert(Join(document, joins1[m1], joins2[m2], metrics));
     }
@@ -339,27 +351,28 @@ FragmentSet Reduce(const Document& document, const FragmentSet& set,
 }
 
 FragmentSet FixedPointNaive(const Document& document, const FragmentSet& set,
-                            OpMetrics* metrics) {
+                            OpMetrics* metrics, const CancelToken* cancel) {
   FragmentSet current = set;
-  while (true) {
+  while (!ShouldStop(cancel)) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     FragmentSet joined = PairwiseJoin(document, current, set, metrics);
     // Fixed-point check: has anything new appeared?
     size_t before = current.size();
     current = current.Union(joined);
-    if (current.size() == before) return current;
+    if (current.size() == before) break;
   }
+  return current;
 }
 
 FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
-                              OpMetrics* metrics) {
+                              OpMetrics* metrics, const CancelToken* cancel) {
   if (set.size() <= 1) return set;
   FragmentSet reduced = Reduce(document, set, metrics);
   size_t k = std::max<size_t>(reduced.size(), 1);
   // ⋈_k(F): pairwise join of k copies of F, i.e. k−1 join operations,
   // with no fixed-point checking (Theorem 1).
   FragmentSet current = set;
-  for (size_t i = 1; i < k; ++i) {
+  for (size_t i = 1; i < k && !ShouldStop(cancel); ++i) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     current = PairwiseJoin(document, current, set, metrics);
   }
@@ -370,27 +383,29 @@ FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
 FragmentSet FixedPointFiltered(const Document& document, const FragmentSet& set,
                                const FilterPtr& filter,
                                const FilterContext& context,
-                               OpMetrics* metrics) {
+                               OpMetrics* metrics, const CancelToken* cancel) {
   // Base selection first (Theorem 3 pushed all the way down).
   FragmentSet current = Select(set, filter, context, metrics);
   FragmentSet base = current;
-  while (true) {
+  while (!ShouldStop(cancel)) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     FragmentSet joined =
         PairwiseJoinFiltered(document, current, base, filter, context, metrics);
     size_t before = current.size();
     current = current.Union(joined);
-    if (current.size() == before) return current;
+    if (current.size() == before) break;
   }
+  return current;
 }
 
 FragmentSet PowersetJoinViaFixedPoint(const Document& document,
                                       const FragmentSet& set1,
                                       const FragmentSet& set2,
-                                      OpMetrics* metrics) {
+                                      OpMetrics* metrics,
+                                      const CancelToken* cancel) {
   if (set1.empty() || set2.empty()) return FragmentSet();
-  FragmentSet fp1 = FixedPointReduced(document, set1, metrics);
-  FragmentSet fp2 = FixedPointReduced(document, set2, metrics);
+  FragmentSet fp1 = FixedPointReduced(document, set1, metrics, cancel);
+  FragmentSet fp2 = FixedPointReduced(document, set2, metrics, cancel);
   return PairwiseJoin(document, fp1, fp2, metrics);
 }
 

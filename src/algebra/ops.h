@@ -21,6 +21,7 @@
 
 #include "algebra/filter.h"
 #include "algebra/fragment_set.h"
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace xfrag::algebra {
@@ -184,6 +185,9 @@ struct PowersetJoinOptions {
   /// side, so this guards against runaway exponential work. Must not exceed
   /// kMaxPowersetSetSize.
   size_t max_set_size = kMaxPowersetSetSize;
+  /// Optional cooperative cancellation, checked periodically inside the
+  /// subset enumeration; a tripped token aborts with DeadlineExceeded.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Definition 6, literally: fragment join over every pair of non-empty
@@ -204,13 +208,20 @@ FragmentSet Reduce(const Document& document, const FragmentSet& set,
 
 /// \brief Definition 9 via §3.1.1: iterate F ← F ∪ (F ⋈ F) with fixed-point
 /// checking until no new fragment appears.
+///
+/// All fixed-point variants poll `cancel` once per iteration: a tripped token
+/// stops the loop and returns the working set *as accumulated so far* — a
+/// subset of the true closure, never garbage. Callers that must not observe a
+/// partial result (the query executor) re-check the token after the call.
 FragmentSet FixedPointNaive(const Document& document, const FragmentSet& set,
-                            OpMetrics* metrics = nullptr);
+                            OpMetrics* metrics = nullptr,
+                            const CancelToken* cancel = nullptr);
 
 /// \brief Definition 9 via Theorem 1: compute k = |⊖(F)| first, then run
 /// exactly k−1 unchecked pairwise self-joins (⋈_k(F) = ⋈_n(F) = F⁺).
 FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
-                              OpMetrics* metrics = nullptr);
+                              OpMetrics* metrics = nullptr,
+                              const CancelToken* cancel = nullptr);
 
 /// \brief Fixed point with an anti-monotonic filter pushed inside every
 /// iteration (Theorem 3 applied to the expansion in §3.3): equals
@@ -218,13 +229,15 @@ FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
 FragmentSet FixedPointFiltered(const Document& document, const FragmentSet& set,
                                const FilterPtr& filter,
                                const FilterContext& context,
-                               OpMetrics* metrics = nullptr);
+                               OpMetrics* metrics = nullptr,
+                               const CancelToken* cancel = nullptr);
 
 /// \brief Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺, using the Theorem-1 fixed point.
 FragmentSet PowersetJoinViaFixedPoint(const Document& document,
                                       const FragmentSet& set1,
                                       const FragmentSet& set2,
-                                      OpMetrics* metrics = nullptr);
+                                      OpMetrics* metrics = nullptr,
+                                      const CancelToken* cancel = nullptr);
 
 }  // namespace xfrag::algebra
 

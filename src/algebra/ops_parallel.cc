@@ -225,12 +225,13 @@ FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
 
 FragmentSet FixedPointNaiveParallel(const Document& document,
                                     const FragmentSet& set, ThreadPool* pool,
-                                    OpMetrics* metrics) {
-  if (pool == nullptr) return FixedPointNaive(document, set, metrics);
+                                    OpMetrics* metrics,
+                                    const CancelToken* cancel) {
+  if (pool == nullptr) return FixedPointNaive(document, set, metrics, cancel);
   FragmentPool frags;
   FragmentRefSet base = InternSet(&frags, set);
   FragmentRefSet current = base;
-  while (true) {
+  while (!ShouldStop(cancel)) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     std::vector<FragmentRef> produced = ParallelPairJoins(
         document, &frags, current.refs(), base.refs(), /*filter=*/nullptr,
@@ -239,14 +240,18 @@ FragmentSet FixedPointNaiveParallel(const Document& document,
     // re-copies the whole working set here).
     size_t before = current.size();
     for (FragmentRef ref : produced) current.Insert(ref);
-    if (current.size() == before) return current.Materialize(frags);
+    if (current.size() == before) break;
   }
+  return current.Materialize(frags);
 }
 
 FragmentSet FixedPointReducedParallel(const Document& document,
                                       const FragmentSet& set, ThreadPool* pool,
-                                      OpMetrics* metrics) {
-  if (pool == nullptr) return FixedPointReduced(document, set, metrics);
+                                      OpMetrics* metrics,
+                                      const CancelToken* cancel) {
+  if (pool == nullptr) {
+    return FixedPointReduced(document, set, metrics, cancel);
+  }
   if (set.size() <= 1) return set;
   FragmentSet reduced = ReduceParallel(document, set, pool, metrics);
   size_t k = std::max<size_t>(reduced.size(), 1);
@@ -254,7 +259,7 @@ FragmentSet FixedPointReducedParallel(const Document& document,
   FragmentRefSet base = InternSet(&frags, set);
   FragmentRefSet current = base;
   // ⋈_k(F): k−1 unchecked pairwise self-joins (Theorem 1), each fanned out.
-  for (size_t i = 1; i < k; ++i) {
+  for (size_t i = 1; i < k && !ShouldStop(cancel); ++i) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     std::vector<FragmentRef> produced = ParallelPairJoins(
         document, &frags, current.refs(), base.refs(), /*filter=*/nullptr,
@@ -268,9 +273,10 @@ FragmentSet FixedPointFilteredParallel(const Document& document,
                                        const FragmentSet& set,
                                        const FilterPtr& filter,
                                        const FilterContext& context,
-                                       ThreadPool* pool, OpMetrics* metrics) {
+                                       ThreadPool* pool, OpMetrics* metrics,
+                                       const CancelToken* cancel) {
   if (pool == nullptr) {
-    return FixedPointFiltered(document, set, filter, context, metrics);
+    return FixedPointFiltered(document, set, filter, context, metrics, cancel);
   }
   // Base selection first (cheap, |F| filter evals) stays serial so the eval
   // counters accumulate in the serial order.
@@ -278,15 +284,16 @@ FragmentSet FixedPointFilteredParallel(const Document& document,
   FragmentPool frags;
   FragmentRefSet base = InternSet(&frags, selected);
   FragmentRefSet current = base;
-  while (true) {
+  while (!ShouldStop(cancel)) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     std::vector<FragmentRef> produced =
         ParallelPairJoins(document, &frags, current.refs(), base.refs(),
                           filter.get(), &context, pool, metrics);
     size_t before = current.size();
     for (FragmentRef ref : produced) current.Insert(ref);
-    if (current.size() == before) return current.Materialize(frags);
+    if (current.size() == before) break;
   }
+  return current.Materialize(frags);
 }
 
 }  // namespace xfrag::algebra

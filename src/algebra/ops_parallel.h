@@ -56,15 +56,21 @@ FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
 /// out over the pool. The working set lives in a FragmentPool (hash-consed),
 /// so growing it per iteration moves 32-bit refs instead of copying node
 /// vectors. Bit-identical to FixedPointNaive.
+///
+/// Like the serial variants, a tripped `cancel` token stops the iteration
+/// loop (checked at iteration granularity, on the driving thread) and the
+/// partial working set is returned; callers re-check the token.
 FragmentSet FixedPointNaiveParallel(const Document& document,
                                     const FragmentSet& set, ThreadPool* pool,
-                                    OpMetrics* metrics = nullptr);
+                                    OpMetrics* metrics = nullptr,
+                                    const CancelToken* cancel = nullptr);
 
 /// \brief Theorem-1 fixed point (k−1 unchecked self-joins) with parallel
 /// reduce and joins. Bit-identical to FixedPointReduced.
 FragmentSet FixedPointReducedParallel(const Document& document,
                                       const FragmentSet& set, ThreadPool* pool,
-                                      OpMetrics* metrics = nullptr);
+                                      OpMetrics* metrics = nullptr,
+                                      const CancelToken* cancel = nullptr);
 
 /// \brief Theorem-3 filtered fixed point with the filter evaluated inside the
 /// workers. Bit-identical to FixedPointFiltered.
@@ -73,7 +79,8 @@ FragmentSet FixedPointFilteredParallel(const Document& document,
                                        const FilterPtr& filter,
                                        const FilterContext& context,
                                        ThreadPool* pool,
-                                       OpMetrics* metrics = nullptr);
+                                       OpMetrics* metrics = nullptr,
+                                       const CancelToken* cancel = nullptr);
 
 }  // namespace xfrag::algebra
 

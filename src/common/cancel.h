@@ -1,0 +1,78 @@
+// Cooperative cancellation for long-running kernels. A CancelToken carries an
+// explicit cancel flag plus an optional monotonic deadline; the query executor
+// checks it between plan nodes, and the unbounded algebra loops (fixed-point
+// iteration, powerset subset enumeration) check it once per outer iteration,
+// so a cancelled evaluation stops within one iteration's worth of work.
+//
+// The token is shared by pointer: the request thread owns it, evaluation code
+// only reads it, and a server shutdown path may Cancel() it from another
+// thread — hence the atomics (relaxed is enough: cancellation is advisory and
+// observing it one check late is fine).
+
+#ifndef XFRAG_COMMON_CANCEL_H_
+#define XFRAG_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace xfrag {
+
+/// \brief Cancellation flag + optional deadline, checked cooperatively.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation (idempotent, thread-safe).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// \brief Arms a deadline `timeout` from now. A non-positive timeout
+  /// expires immediately.
+  void SetDeadlineAfter(std::chrono::nanoseconds timeout) {
+    int64_t now = NowNanos();
+    int64_t deadline = timeout.count() > 0 ? now + timeout.count() : now;
+    deadline_ns_.store(deadline, std::memory_order_relaxed);
+  }
+
+  /// Whether a deadline has been armed.
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// \brief True once Cancel() was called or the armed deadline has passed.
+  /// Cheap enough for per-iteration checks (one atomic load, plus one clock
+  /// read while a deadline is armed and not yet expired).
+  bool ShouldStop() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 && NowNanos() >= deadline) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  mutable std::atomic<bool> cancelled_{false};
+  /// Deadline in steady_clock nanoseconds; 0 = no deadline armed.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+/// \brief ShouldStop for an optional token: null means "never stop" — lets
+/// kernels take `const CancelToken*` defaulting to nullptr.
+inline bool ShouldStop(const CancelToken* token) {
+  return token != nullptr && token->ShouldStop();
+}
+
+}  // namespace xfrag
+
+#endif  // XFRAG_COMMON_CANCEL_H_

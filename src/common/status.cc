@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

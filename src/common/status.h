@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kParseError,
   kResourceExhausted,
+  kDeadlineExceeded,
   kUnimplemented,
   kInternal,
 };
@@ -58,6 +59,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

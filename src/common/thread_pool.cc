@@ -53,6 +53,14 @@ void ThreadPool::HelpWhileWaiting(std::unique_lock<std::mutex>& lock,
   }
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
 std::vector<std::pair<size_t, size_t>> ThreadPool::Chunks(size_t n,
                                                           unsigned parts) {
   std::vector<std::pair<size_t, size_t>> out;

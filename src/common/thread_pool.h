@@ -65,6 +65,18 @@ class ThreadPool {
       const std::function<void(unsigned chunk, size_t begin, size_t end)>&
           body);
 
+  /// \brief Enqueues a free-standing task; some pool thread runs it once.
+  ///
+  /// This is the server's accept→worker pipeline primitive: unlike
+  /// ParallelFor, Post does not block and provides no completion barrier —
+  /// the task tracks its own completion (the server counts in-flight
+  /// requests). Requires a pool with parallelism ≥ 2: with no spawned
+  /// workers there is no thread to ever run the task. Tasks still queued at
+  /// destruction are drained by the exiting workers, not dropped. A thread
+  /// blocked in ParallelFor may also pick a posted task up (help-first
+  /// waiting), so tasks must not assume a dedicated thread.
+  void Post(std::function<void()> task);
+
  private:
   void WorkerLoop();
   /// Pops and runs queued tasks until `done` becomes true (help-first wait).

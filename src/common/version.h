@@ -1,0 +1,34 @@
+// Build identification shared by the CLIs and the server's /version endpoint.
+// Deliberately free of timestamps so identical sources produce identical
+// binaries and test output.
+
+#ifndef XFRAG_COMMON_VERSION_H_
+#define XFRAG_COMMON_VERSION_H_
+
+#include <string>
+
+namespace xfrag {
+
+/// Library version, bumped with each serving-visible change.
+inline constexpr const char* kVersion = "0.3.0";
+
+/// \brief One-line build description: version, compiler, language level.
+inline std::string BuildInfo(const char* binary_name) {
+  std::string info = binary_name;
+  info += " ";
+  info += kVersion;
+  info += " (xfrag algebraic XML fragment retrieval; ";
+#if defined(__clang__)
+  info += "clang " __clang_version__;
+#elif defined(__GNUC__)
+  info += "gcc " __VERSION__;
+#else
+  info += "unknown compiler";
+#endif
+  info += ", C++" + std::to_string(__cplusplus / 100 % 100) + ")";
+  return info;
+}
+
+}  // namespace xfrag
+
+#endif  // XFRAG_COMMON_VERSION_H_

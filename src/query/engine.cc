@@ -93,6 +93,7 @@ StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
   auto answers = ExecutePlan(*plan.value(), document_, index_,
                              options.executor, &result.metrics,
                              options.analyze ? &cardinalities : nullptr);
+  if (options.metrics_sink != nullptr) *options.metrics_sink = result.metrics;
   if (!answers.ok()) return answers.status();
   result.answers = std::move(answers).value();
 

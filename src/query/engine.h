@@ -37,6 +37,11 @@ struct EvalOptions {
   /// When true, the EXPLAIN output is annotated with each plan node's
   /// actual output cardinality (EXPLAIN ANALYZE).
   bool analyze = false;
+  /// Optional sink that receives the operator metrics even when Evaluate
+  /// fails (a StatusOr error carries no EvalResult). A deadline-exceeded
+  /// query reports the work it did before being cut off through this —
+  /// the server's "504 with partial metrics".
+  algebra::OpMetrics* metrics_sink = nullptr;
 };
 
 /// The result of evaluating one query.

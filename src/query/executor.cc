@@ -36,6 +36,10 @@ StatusOr<FragmentSet> ExecuteRecorded(
   return result;
 }
 
+Status DeadlineError() {
+  return Status::DeadlineExceeded("query deadline exceeded during execution");
+}
+
 StatusOr<FragmentSet> Execute(const PlanNode& node,
                               const doc::Document& document,
                               const text::InvertedIndex& index,
@@ -43,6 +47,9 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
                               const FilterContext& context,
                               OpMetrics* metrics,
                               std::vector<NodeCardinality>* cardinalities) {
+  // Cooperative deadline: one check per plan node, plus the finer-grained
+  // checks inside the unbounded kernels below.
+  if (ShouldStop(options.cancel)) return DeadlineError();
   switch (node.kind) {
     case PlanNodeKind::kScanKeyword: {
       FragmentSet out;
@@ -91,9 +98,10 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
       auto right = ExecuteRecorded(*node.children[1], document, index,
                                    options, context, metrics, cardinalities);
       if (!right.ok()) return right;
+      algebra::PowersetJoinOptions powerset = options.powerset;
+      if (powerset.cancel == nullptr) powerset.cancel = options.cancel;
       return algebra::PowersetJoinBruteForce(document, left.value(),
-                                             right.value(), options.powerset,
-                                             metrics);
+                                             right.value(), powerset, metrics);
     }
     case PlanNodeKind::kFixedPoint: {
       XFRAG_CHECK(node.children.size() == 1);
@@ -122,15 +130,21 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
         if (node.filter != nullptr) {
           return algebra::FixedPointFilteredParallel(
               document, child.value(), node.filter, context,
-              options.thread_pool, metrics);
+              options.thread_pool, metrics, options.cancel);
         }
         if (node.fixed_point_reduced) {
           return algebra::FixedPointReducedParallel(
-              document, child.value(), options.thread_pool, metrics);
+              document, child.value(), options.thread_pool, metrics,
+              options.cancel);
         }
         return algebra::FixedPointNaiveParallel(document, child.value(),
-                                                options.thread_pool, metrics);
+                                                options.thread_pool, metrics,
+                                                options.cancel);
       }();
+      // A cancelled kernel returns the partial working set it had; it must
+      // surface as an error, and above all must never be cached as if it
+      // were the true closure.
+      if (ShouldStop(options.cancel)) return DeadlineError();
       if (closure.ok() && !cache_key.empty()) {
         options.fixed_point_cache->Insert(cache_key, closure.value());
       }

@@ -7,6 +7,7 @@
 
 #include "algebra/fragment_set.h"
 #include "algebra/ops.h"
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "query/fixed_point_cache.h"
 #include "query/plan.h"
@@ -31,6 +32,14 @@ struct ExecutorOptions {
   /// `parallelism` > 1, ExecutePlan spins up a transient pool of
   /// `parallelism` workers for the duration of the call.
   ThreadPool* thread_pool = nullptr;
+  /// Optional per-request deadline/cancellation (owned by the caller, e.g.
+  /// one token per server request). Checked before every plan node and
+  /// propagated into the unbounded kernels (fixed-point loops, powerset
+  /// enumeration); a tripped token makes ExecutePlan return DeadlineExceeded.
+  /// Metrics accumulated up to that point remain in `*metrics` — partial
+  /// observability for timed-out queries. Partial closures are never stored
+  /// in the fixed-point cache.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-node observation recorded during execution (EXPLAIN ANALYZE).

@@ -1,0 +1,188 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace xfrag::server {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& header : headers) {
+    if (EqualsIgnoreCase(header.first, name)) return &header.second;
+  }
+  return nullptr;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(data);
+  return TryParse();
+}
+
+HttpRequestParser::State HttpRequestParser::TryParse() {
+  if (body_start_ == 0) {
+    size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      // An attacker (or a confused client) must not grow headers unboundedly.
+      if (buffer_.size() > 64 * 1024) {
+        return Fail("request headers exceed 64 KiB", 400);
+      }
+      return state_;
+    }
+    // Parse the request line + headers in [0, header_end).
+    std::string_view head(buffer_.data(), header_end);
+    size_t line_end = head.find("\r\n");
+    std::string_view request_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    size_t sp1 = request_line.find(' ');
+    size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return Fail("malformed request line");
+    }
+    request_.method = std::string(request_line.substr(0, sp1));
+    request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request_.version = std::string(request_line.substr(sp2 + 1));
+    if (request_.method.empty() || request_.target.empty() ||
+        (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0")) {
+      return Fail("malformed request line");
+    }
+    // Header lines.
+    size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      std::string_view line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return Fail("malformed header line");
+      }
+      std::string_view name = line.substr(0, colon);
+      std::string_view value = StripAsciiWhitespace(line.substr(colon + 1));
+      request_.headers.emplace_back(std::string(name), std::string(value));
+    }
+    if (request_.FindHeader("Transfer-Encoding") != nullptr) {
+      return Fail("chunked transfer encoding is not supported", 501);
+    }
+    if (const std::string* cl = request_.FindHeader("Content-Length")) {
+      uint64_t length = 0;
+      auto [end, ec] =
+          std::from_chars(cl->data(), cl->data() + cl->size(), length);
+      if (ec != std::errc() || end != cl->data() + cl->size()) {
+        return Fail("invalid Content-Length");
+      }
+      if (length > max_body_bytes_) {
+        return Fail(StrFormat("request body of %llu bytes exceeds the %zu "
+                              "byte limit",
+                              static_cast<unsigned long long>(length),
+                              max_body_bytes_),
+                    413);
+      }
+      content_length_ = static_cast<size_t>(length);
+    }
+    body_start_ = header_end + 4;
+  }
+  if (buffer_.size() - body_start_ < content_length_) return state_;
+  request_.body = buffer_.substr(body_start_, content_length_);
+  state_ = State::kComplete;
+  return state_;
+}
+
+std::string_view HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(int status, std::string_view content_type,
+                               std::string_view body,
+                               std::string_view extra_headers) {
+  std::string out = StrFormat("HTTP/1.1 %d ", status);
+  out += HttpStatusReason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += StrFormat("\r\nContent-Length: %zu", body.size());
+  out += "\r\nConnection: close\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw) {
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return Status::ParseError("no header terminator in HTTP response");
+  }
+  HttpResponse response;
+  std::string_view head = raw.substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.substr(0, 5) != "HTTP/") {
+    return Status::ParseError("malformed HTTP status line");
+  }
+  std::string_view code = status_line.substr(sp + 1, 3);
+  auto [end, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), response.status);
+  if (ec != std::errc() || end != code.data() + code.size()) {
+    return Status::ParseError("malformed HTTP status code");
+  }
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    response.headers.emplace_back(
+        std::string(line.substr(0, colon)),
+        std::string(StripAsciiWhitespace(line.substr(colon + 1))));
+  }
+  response.body = std::string(raw.substr(header_end + 4));
+  return response;
+}
+
+}  // namespace xfrag::server

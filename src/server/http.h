@@ -1,0 +1,96 @@
+// Minimal HTTP/1.1 message handling for xfragd: an incremental request
+// parser (feed bytes as they arrive from the socket, stop when a full
+// message is buffered), a response serializer, and a client-side response
+// parser. Deliberately small: no chunked bodies, no keep-alive, no
+// continuation headers — every connection carries exactly one exchange and
+// is closed by the server, which keeps the concurrency model trivial to
+// reason about (and to prove race-free under TSan).
+
+#ifndef XFRAG_SERVER_HTTP_H_
+#define XFRAG_SERVER_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xfrag::server {
+
+/// \brief One parsed request.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// \brief Incremental request parser.
+///
+/// Feed() appends received bytes and attempts to complete the message;
+/// kNeedMore means "read more from the socket". Once kComplete or kError is
+/// reached the parser stays there. On kError, `error()` describes the
+/// problem and `error_status()` is the HTTP status to answer with (400
+/// malformed, 413 oversized body, 501 unsupported framing).
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(size_t max_body_bytes = 1 << 20)
+      : max_body_bytes_(max_body_bytes) {}
+
+  enum class State { kNeedMore, kComplete, kError };
+
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  const std::string& error() const { return error_; }
+  int error_status() const { return error_status_; }
+
+ private:
+  State Fail(std::string message, int status = 400) {
+    error_ = std::move(message);
+    error_status_ = status;
+    state_ = State::kError;
+    return state_;
+  }
+  State TryParse();
+
+  size_t max_body_bytes_;
+  std::string buffer_;
+  /// Offset of the first body byte once headers are parsed; 0 = not yet.
+  size_t body_start_ = 0;
+  size_t content_length_ = 0;
+  HttpRequest request_;
+  std::string error_;
+  int error_status_ = 400;
+  State state_ = State::kNeedMore;
+};
+
+/// Reason phrase for the status codes xfragd emits ("Unknown" otherwise).
+std::string_view HttpStatusReason(int status);
+
+/// \brief Serializes a complete `Connection: close` response.
+std::string RenderHttpResponse(int status, std::string_view content_type,
+                               std::string_view body,
+                               std::string_view extra_headers = {});
+
+/// \brief A parsed client-side view of a response.
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// \brief Parses the raw bytes of one full response (as returned by
+/// HttpRoundTrip). Tolerates a missing Content-Length by taking the rest of
+/// the input as the body (legal for close-delimited messages).
+StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw);
+
+}  // namespace xfrag::server
+
+#endif  // XFRAG_SERVER_HTTP_H_

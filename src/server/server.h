@@ -1,0 +1,111 @@
+// The xfragd socket layer: a poll-driven accept loop feeding a bounded
+// worker pool, with admission control in front of it. The concurrency model
+// is deliberately simple — one connection carries one exchange, each
+// exchange runs entirely on one worker thread, and the only cross-thread
+// state is the stats registry (mutex), the per-document fixed-point caches
+// (internally synchronized), and an in-flight counter (atomic + cv):
+//
+//   accept thread ──admission──▶ ThreadPool::Post ──▶ HandleConnection
+//        │  (at capacity: inline 503 + Retry-After, never queued)
+//        ▼
+//   Shutdown(): stop accepting, wait for in-flight exchanges to finish,
+//   then tear the pool down. In-flight responses are always written.
+
+#ifndef XFRAG_SERVER_SERVER_H_
+#define XFRAG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "collection/collection.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/http.h"
+#include "server/net.h"
+#include "server/service.h"
+#include "server/stats.h"
+
+namespace xfrag::server {
+
+/// Socket-layer configuration (the query policy lives in `service`).
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back with port().
+  uint16_t port = 0;
+  /// Worker threads evaluating queries (>= 1).
+  int workers = 4;
+  /// Connections admitted beyond the ones actively being served. Admission
+  /// rejects (503) once workers + queue_capacity exchanges are in flight.
+  int queue_capacity = 64;
+  /// Per-request socket read/write timeout.
+  int request_timeout_ms = 10000;
+  /// Maximum accepted request body size (413 beyond it).
+  size_t max_body_bytes = 1 << 20;
+  ServiceOptions service;
+};
+
+/// \brief The xfragd HTTP server over one immutable collection.
+///
+/// Lifecycle: construct → Start() → (serve) → Shutdown(). The destructor
+/// calls Shutdown() if needed. The collection must outlive the server.
+class Server {
+ public:
+  Server(const collection::Collection& collection, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Binds, listens, and starts the accept loop + worker pool.
+  Status Start();
+
+  /// The bound port (valid after Start; resolves an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// \brief Graceful drain: stop accepting, wait for every in-flight
+  /// exchange to finish (responses are written), release the threads.
+  /// Idempotent; safe to call from a signal-watching thread.
+  void Shutdown();
+
+  const StatsRegistry& stats() const { return stats_; }
+  const QueryService& service() const { return service_; }
+
+  /// Exchanges currently admitted (serving or queued) — exposed for the
+  /// overload tests and the /metrics gauge.
+  int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(UniqueFd conn);
+  /// Routes one complete request to a handler; returns the response
+  /// (status + body are recorded by the caller).
+  std::string Dispatch(const HttpRequest& request, int* status_out,
+                       algebra::OpMetrics* metrics_out,
+                       bool* has_metrics_out) const;
+  void FinishExchange();
+
+  ServerOptions options_;
+  QueryService service_;
+  StatsRegistry stats_;
+
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int> in_flight_{0};
+  std::mutex shutdown_mutex_;
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+};
+
+}  // namespace xfrag::server
+
+#endif  // XFRAG_SERVER_SERVER_H_

@@ -1,0 +1,347 @@
+#include "server/service.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/cancel.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "common/version.h"
+#include "query/answers.h"
+#include "server/stats.h"
+
+namespace xfrag::server {
+
+using algebra::Fragment;
+using algebra::OpMetrics;
+using query::Strategy;
+
+int HttpStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      // A query that trips the powerset enumeration limits is the client's
+      // to fix (choose another strategy), not a server overload.
+      return 400;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+StatusOr<Strategy> ParseStrategyName(std::string_view name) {
+  if (name == "auto") return Strategy::kAuto;
+  if (name == "brute") return Strategy::kBruteForce;
+  if (name == "naive") return Strategy::kFixedPointNaive;
+  if (name == "reduced") return Strategy::kFixedPointReduced;
+  if (name == "pushdown") return Strategy::kPushDown;
+  return Status::InvalidArgument(
+      StrFormat("unknown strategy '%.*s' (expected auto|brute|naive|reduced|"
+                "pushdown)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+namespace {
+
+// A structured error body: {"error": ..., "code": ...} plus extra fields
+// callers attach (offset, metrics).
+json::Value ErrorBody(const Status& status) {
+  json::Value body = json::Value::Object();
+  body.Set("error", status.message());
+  body.Set("code", std::string(StatusCodeName(status.code())));
+  return body;
+}
+
+QueryOutcome ErrorOutcome(const Status& status) {
+  QueryOutcome outcome;
+  outcome.http_status = HttpStatusForError(status);
+  outcome.body = ErrorBody(status);
+  return outcome;
+}
+
+// The decoded request, after validation.
+struct ParsedRequest {
+  query::Query query;
+  query::EvalOptions eval;
+  double deadline_ms = 0.0;
+  double debug_sleep_ms = 0.0;
+  bool explain = false;
+  bool include_xml = false;
+  int64_t max_answers = -1;  // < 0 = unlimited
+};
+
+Status DecodeRequest(const json::Value& root, bool allow_debug_sleep,
+                     ParsedRequest* out) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  for (const auto& [key, value] : root.members()) {
+    if (key == "terms") {
+      if (!value.is_array() || value.size() == 0) {
+        return Status::InvalidArgument(
+            "\"terms\" must be a non-empty array of strings");
+      }
+      for (const json::Value& term : value.items()) {
+        if (!term.is_string() || term.AsString().empty()) {
+          return Status::InvalidArgument(
+              "\"terms\" must be a non-empty array of strings");
+        }
+        out->query.terms.push_back(term.AsString());
+      }
+    } else if (key == "filter") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("\"filter\" must be a string");
+      }
+      auto filter = query::ParseFilterExpression(value.AsString());
+      if (!filter.ok()) {
+        return Status::InvalidArgument("filter: " + filter.status().message());
+      }
+      out->query.filter = *filter;
+    } else if (key == "strategy") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("\"strategy\" must be a string");
+      }
+      XFRAG_ASSIGN_OR_RETURN(out->eval.strategy,
+                             ParseStrategyName(value.AsString()));
+    } else if (key == "answer_mode") {
+      if (value.is_string() && value.AsString() == "algebraic") {
+        out->eval.answer_mode = query::AnswerMode::kAlgebraic;
+      } else if (value.is_string() && value.AsString() == "leaf_strict") {
+        out->eval.answer_mode = query::AnswerMode::kLeafStrict;
+      } else {
+        return Status::InvalidArgument(
+            "\"answer_mode\" must be \"algebraic\" or \"leaf_strict\"");
+      }
+    } else if (key == "deadline_ms") {
+      if (!value.is_number() || value.AsDouble() <= 0) {
+        return Status::InvalidArgument(
+            "\"deadline_ms\" must be a positive number");
+      }
+      out->deadline_ms = value.AsDouble();
+    } else if (key == "explain") {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("\"explain\" must be a boolean");
+      }
+      out->explain = value.AsBool();
+    } else if (key == "analyze") {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("\"analyze\" must be a boolean");
+      }
+      out->eval.analyze = value.AsBool();
+      if (value.AsBool()) out->explain = true;
+    } else if (key == "xml") {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("\"xml\" must be a boolean");
+      }
+      out->include_xml = value.AsBool();
+    } else if (key == "max_answers") {
+      if (!value.is_integral() || value.AsInt() < 0) {
+        return Status::InvalidArgument(
+            "\"max_answers\" must be a non-negative integer");
+      }
+      out->max_answers = value.AsInt();
+    } else if (key == "debug_sleep_ms" && allow_debug_sleep) {
+      if (!value.is_number() || value.AsDouble() < 0) {
+        return Status::InvalidArgument(
+            "\"debug_sleep_ms\" must be a non-negative number");
+      }
+      out->debug_sleep_ms = value.AsDouble();
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown request field \"%s\"", key.c_str()));
+    }
+  }
+  if (out->query.terms.empty()) {
+    return Status::InvalidArgument("missing required field \"terms\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+QueryService::QueryService(const collection::Collection& collection,
+                           ServiceOptions options)
+    : collection_(collection), options_(options) {
+  caches_.reserve(collection_.size());
+  for (size_t i = 0; i < collection_.size(); ++i) {
+    caches_.push_back(std::make_unique<query::FixedPointCache>());
+  }
+}
+
+json::Value QueryService::AnswerToJson(std::string_view document_name,
+                                       size_t document_index,
+                                       const Fragment& fragment,
+                                       const doc::Document& document,
+                                       bool include_xml) {
+  json::Value answer = json::Value::Object();
+  answer.Set("document", document_name);
+  answer.Set("document_index", static_cast<uint64_t>(document_index));
+  answer.Set("root", static_cast<uint64_t>(fragment.root()));
+  answer.Set("root_tag", document.tag(fragment.root()));
+  answer.Set("size", static_cast<uint64_t>(fragment.size()));
+  json::Value nodes = json::Value::Array();
+  for (doc::NodeId n : fragment.nodes()) {
+    nodes.Append(static_cast<uint64_t>(n));
+  }
+  answer.Set("nodes", std::move(nodes));
+  if (include_xml) {
+    answer.Set("xml", query::FragmentToXml(fragment, document,
+                                           /*mark_elisions=*/true));
+  }
+  return answer;
+}
+
+QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
+  Timer timer;
+  size_t error_offset = 0;
+  auto root = json::Parse(body_text, &error_offset);
+  if (!root.ok()) {
+    QueryOutcome outcome = ErrorOutcome(root.status());
+    outcome.body.Set("offset", static_cast<uint64_t>(error_offset));
+    return outcome;
+  }
+
+  ParsedRequest request;
+  Status decoded =
+      DecodeRequest(*root, options_.enable_debug_sleep, &request);
+  if (!decoded.ok()) return ErrorOutcome(decoded);
+
+  // Resolve the deadline policy: request value, else the server default,
+  // both clamped to the configured ceiling.
+  double deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
+                                               : options_.default_deadline_ms;
+  if (options_.max_deadline_ms > 0 &&
+      (deadline_ms <= 0 || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+  CancelToken cancel;
+  if (deadline_ms > 0) {
+    cancel.SetDeadlineAfter(std::chrono::nanoseconds(
+        static_cast<int64_t>(deadline_ms * 1e6)));
+    request.eval.executor.cancel = &cancel;
+  }
+
+  if (request.debug_sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        static_cast<int64_t>(request.debug_sleep_ms * 1e6)));
+  }
+
+  QueryOutcome outcome;
+  json::Value answers = json::Value::Array();
+  json::Value explains = json::Value::Array();
+  size_t answer_count = 0;
+  size_t documents_evaluated = 0;
+  size_t documents_skipped = 0;
+  bool truncated = false;
+
+  for (size_t i = 0; i < collection_.size(); ++i) {
+    const collection::CollectionEntry& entry = collection_.entry(i);
+    // Conjunctive pre-check, as in CollectionEngine: a document missing any
+    // term cannot contribute answers, so skip it without building a plan.
+    bool has_all_terms = true;
+    for (const std::string& term : request.query.terms) {
+      if (entry.index.Lookup(term).empty()) {
+        has_all_terms = false;
+        break;
+      }
+    }
+    if (!has_all_terms) {
+      ++documents_skipped;
+      continue;
+    }
+
+    query::EvalOptions eval = request.eval;
+    eval.executor.fixed_point_cache = caches_[i].get();
+    OpMetrics partial;
+    eval.metrics_sink = &partial;
+    query::QueryEngine engine(entry.document, entry.index);
+    auto result = engine.Evaluate(request.query, eval);
+    outcome.metrics.Merge(partial);
+    if (!result.ok()) {
+      QueryOutcome error = ErrorOutcome(result.status());
+      error.metrics = outcome.metrics;
+      error.body.Set("documents_evaluated",
+                     static_cast<uint64_t>(documents_evaluated));
+      error.body.Set("metrics", StatsRegistry::OpMetricsToJson(error.metrics));
+      if (error.http_status == 504) {
+        error.body.Set("partial", true);
+      }
+      return error;
+    }
+    ++documents_evaluated;
+    for (const Fragment& fragment : result->answers.Sorted()) {
+      ++answer_count;
+      if (request.max_answers >= 0 &&
+          answers.size() >= static_cast<size_t>(request.max_answers)) {
+        truncated = true;
+        continue;
+      }
+      answers.Append(AnswerToJson(entry.name, i, fragment, entry.document,
+                                  request.include_xml));
+    }
+    if (request.explain) {
+      json::Value explain = json::Value::Object();
+      explain.Set("document", entry.name);
+      explain.Set("strategy_used",
+                  std::string(query::StrategyName(result->strategy_used)));
+      explain.Set("text", result->explain);
+      explains.Append(std::move(explain));
+    }
+  }
+
+  json::Value body = json::Value::Object();
+  body.Set("query", request.query.ToString());
+  body.Set("documents", static_cast<uint64_t>(collection_.size()));
+  body.Set("documents_evaluated", static_cast<uint64_t>(documents_evaluated));
+  body.Set("documents_skipped", static_cast<uint64_t>(documents_skipped));
+  body.Set("answer_count", static_cast<uint64_t>(answer_count));
+  if (truncated) body.Set("truncated", true);
+  body.Set("answers", std::move(answers));
+  body.Set("metrics", StatsRegistry::OpMetricsToJson(outcome.metrics));
+  if (request.explain) body.Set("explain", std::move(explains));
+  body.Set("elapsed_ms", timer.ElapsedMillis());
+  outcome.body = std::move(body);
+  return outcome;
+}
+
+json::Value QueryService::HealthzJson() const {
+  json::Value body = json::Value::Object();
+  body.Set("status", "ok");
+  body.Set("documents", static_cast<uint64_t>(collection_.size()));
+  body.Set("total_nodes", static_cast<uint64_t>(collection_.TotalNodes()));
+  return body;
+}
+
+json::Value QueryService::VersionJson() const {
+  json::Value body = json::Value::Object();
+  body.Set("version", kVersion);
+  body.Set("build", BuildInfo("xfragd"));
+  return body;
+}
+
+json::Value QueryService::CacheStatsJson() const {
+  uint64_t entries = 0, hits = 0, misses = 0;
+  for (const auto& cache : caches_) {
+    entries += cache->size();
+    hits += cache->hits();
+    misses += cache->misses();
+  }
+  json::Value body = json::Value::Object();
+  body.Set("entries", entries);
+  body.Set("hits", hits);
+  body.Set("misses", misses);
+  return body;
+}
+
+}  // namespace xfrag::server

@@ -1,0 +1,105 @@
+// The serving core of xfragd, separated from the socket layer so the whole
+// request→response path is unit-testable without a network: parse a JSON
+// query request, evaluate it per document against the collection (shared
+// per-document FixedPointCaches make concurrent identical queries hit warm
+// closures), and render a JSON response with answers, metrics, and EXPLAIN.
+//
+// The JSON request schema (POST /query):
+//   {
+//     "terms": ["xquery", "optimization"],   // required, non-empty strings
+//     "filter": "size<=5 & height<=3",       // optional, default "true"
+//     "strategy": "auto",                    // auto|brute|naive|reduced|pushdown
+//     "answer_mode": "algebraic",            // algebraic|leaf_strict
+//     "deadline_ms": 250,                    // optional per-request deadline
+//     "explain": false, "analyze": false,    // EXPLAIN / EXPLAIN ANALYZE
+//     "xml": false,                          // render each answer as XML
+//     "max_answers": 100                     // truncate the answer array
+//   }
+// Unknown fields are rejected with a structured 400 — a misspelled option
+// must never be silently ignored.
+
+#ifndef XFRAG_SERVER_SERVICE_H_
+#define XFRAG_SERVER_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collection/collection.h"
+#include "common/json.h"
+#include "query/engine.h"
+#include "query/fixed_point_cache.h"
+
+namespace xfrag::server {
+
+/// Serving-policy knobs, independent of the socket layer.
+struct ServiceOptions {
+  /// Deadline applied when a request does not carry "deadline_ms"
+  /// (0 = unlimited).
+  double default_deadline_ms = 0.0;
+  /// Upper bound on any per-request deadline (0 = uncapped); larger
+  /// requested deadlines are clamped, so a client cannot opt out of the
+  /// operator-configured ceiling.
+  double max_deadline_ms = 0.0;
+  /// Accept the "debug_sleep_ms" request field, which stalls the worker
+  /// before evaluation. Exists for deterministic overload/drain/deadline
+  /// tests and load benches; never enable it on a real deployment.
+  bool enable_debug_sleep = false;
+};
+
+/// \brief Result of handling one /query request.
+struct QueryOutcome {
+  int http_status = 200;
+  json::Value body;
+  /// Aggregated operator metrics (partial when http_status == 504).
+  algebra::OpMetrics metrics;
+};
+
+/// \brief Stateless-per-request query handler over an immutable collection.
+///
+/// Thread-safe: Handle() may run on any number of worker threads at once.
+/// The only shared mutable state is the per-document FixedPointCache set,
+/// which is internally synchronized (first-wins inserts, stable pointers).
+class QueryService {
+ public:
+  explicit QueryService(const collection::Collection& collection,
+                        ServiceOptions options = {});
+
+  /// \brief Handles one POST /query body.
+  QueryOutcome HandleQuery(std::string_view body_text) const;
+
+  /// GET /healthz body.
+  json::Value HealthzJson() const;
+
+  /// GET /version body.
+  json::Value VersionJson() const;
+
+  /// Fixed-point cache statistics, merged into GET /metrics output.
+  json::Value CacheStatsJson() const;
+
+  /// \brief Renders one answer fragment the way /query responses do —
+  /// exposed so tests can build the expected bytes from a direct
+  /// QueryEngine::Evaluate call and compare byte-for-byte.
+  static json::Value AnswerToJson(std::string_view document_name,
+                                  size_t document_index,
+                                  const algebra::Fragment& fragment,
+                                  const doc::Document& document,
+                                  bool include_xml);
+
+ private:
+  const collection::Collection& collection_;
+  ServiceOptions options_;
+  /// One cache per collection entry: closures are document-specific.
+  std::vector<std::unique_ptr<query::FixedPointCache>> caches_;
+};
+
+/// \brief Maps a Status to the HTTP status the server answers with.
+int HttpStatusForError(const Status& status);
+
+/// \brief Parses a strategy name (auto|brute|naive|reduced|pushdown).
+StatusOr<query::Strategy> ParseStrategyName(std::string_view name);
+
+}  // namespace xfrag::server
+
+#endif  // XFRAG_SERVER_SERVICE_H_

@@ -1,0 +1,97 @@
+#include "server/stats.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace xfrag::server {
+
+void LatencyHistogram::Record(uint64_t micros) {
+  size_t bucket =
+      micros == 0 ? 0 : static_cast<size_t>(std::bit_width(micros) - 1);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += micros;
+  if (micros > max_) max_ = micros;
+}
+
+uint64_t LatencyHistogram::PercentileUpperBoundMicros(double p) const {
+  if (count_ == 0) return 0;
+  // Rank of the percentile sample, 1-based (nearest-rank definition:
+  // ceil(p/100 * N), so p95 of 3 samples is the 3rd, not the 2nd).
+  auto rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      uint64_t upper = (uint64_t{1} << (i + 1)) - 1;
+      // The top sample bounds the histogram: never report past the max.
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+void StatsRegistry::RecordRequest(int http_status, uint64_t latency_micros,
+                                  const algebra::OpMetrics* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++by_status_[http_status];
+  latency_.Record(latency_micros);
+  if (metrics != nullptr) op_metrics_.Merge(*metrics);
+}
+
+uint64_t StatsRegistry::TotalRequests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_.count();
+}
+
+uint64_t StatsRegistry::RequestsWithStatus(int http_status) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_status_.find(http_status);
+  return it == by_status_.end() ? 0 : it->second;
+}
+
+json::Value StatsRegistry::OpMetricsToJson(const algebra::OpMetrics& metrics) {
+  json::Value out = json::Value::Object();
+  out.Set("fragment_joins", metrics.fragment_joins);
+  out.Set("filter_evals", metrics.filter_evals);
+  out.Set("filter_rejections", metrics.filter_rejections);
+  out.Set("fixed_point_iterations", metrics.fixed_point_iterations);
+  out.Set("fragments_produced", metrics.fragments_produced);
+  out.Set("pairs_considered", metrics.pairs_considered);
+  out.Set("pairs_rejected_summary", metrics.pairs_rejected_summary);
+  out.Set("subsume_checks_skipped", metrics.subsume_checks_skipped);
+  return out;
+}
+
+json::Value StatsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Value requests = json::Value::Object();
+  requests.Set("total", latency_.count());
+  json::Value by_status = json::Value::Object();
+  for (const auto& [status, count] : by_status_) {
+    by_status.Set(StrFormat("%d", status), count);
+  }
+  requests.Set("by_status", std::move(by_status));
+
+  json::Value latency = json::Value::Object();
+  latency.Set("count", latency_.count());
+  latency.Set("mean", latency_.MeanMicros());
+  latency.Set("p50", latency_.PercentileUpperBoundMicros(50));
+  latency.Set("p95", latency_.PercentileUpperBoundMicros(95));
+  latency.Set("p99", latency_.PercentileUpperBoundMicros(99));
+  latency.Set("max", latency_.max_micros());
+
+  json::Value out = json::Value::Object();
+  out.Set("requests", std::move(requests));
+  out.Set("latency_us", std::move(latency));
+  out.Set("op_metrics", OpMetricsToJson(op_metrics_));
+  return out;
+}
+
+}  // namespace xfrag::server

@@ -1,0 +1,83 @@
+// Server-wide observability: request counts by HTTP status, a log-scaled
+// latency histogram with percentile estimation, and the aggregate of every
+// request's OpMetrics (logical + physical algebra work, including the
+// summary-prefilter counters). One registry per Server, rendered live by
+// GET /metrics; a mutex keeps it simple and provably race-free (recording is
+// a handful of integer adds — contention is negligible next to query work).
+
+#ifndef XFRAG_SERVER_STATS_H_
+#define XFRAG_SERVER_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "algebra/ops.h"
+#include "common/json.h"
+
+namespace xfrag::server {
+
+/// \brief Power-of-two-bucketed latency histogram (microseconds).
+///
+/// Bucket i counts samples in [2^i, 2^(i+1)) µs; bucket 0 additionally
+/// holds sub-microsecond samples. 40 buckets cover up to ~12.7 days.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t micros);
+
+  uint64_t count() const { return count_; }
+  uint64_t max_micros() const { return max_; }
+  double MeanMicros() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+  }
+
+  /// \brief Upper bound of the bucket containing the p-th percentile sample
+  /// (p in (0, 100]); 0 when empty. Error is bounded by the 2× bucket width.
+  uint64_t PercentileUpperBoundMicros(double p) const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// \brief Thread-safe request statistics for one server instance.
+class StatsRegistry {
+ public:
+  /// \brief Records one finished request. `metrics` may be null (health
+  /// checks, rejected requests); when present it is merged into the
+  /// aggregate — 504 responses contribute their partial metrics too.
+  void RecordRequest(int http_status, uint64_t latency_micros,
+                     const algebra::OpMetrics* metrics);
+
+  /// Total requests recorded.
+  uint64_t TotalRequests() const;
+
+  /// Requests recorded with the given HTTP status.
+  uint64_t RequestsWithStatus(int http_status) const;
+
+  /// \brief Renders the whole registry, e.g.
+  /// {"requests": {"total": 12, "by_status": {"200": 10, "503": 2}},
+  ///  "latency_us": {"count": .., "mean": .., "p50": .., "p95": ..,
+  ///                 "p99": .., "max": ..},
+  ///  "op_metrics": {"fragment_joins": .., ...}}
+  json::Value ToJson() const;
+
+  /// JSON rendering of one OpMetrics (also used for per-response metrics).
+  static json::Value OpMetricsToJson(const algebra::OpMetrics& metrics);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int, uint64_t> by_status_;
+  LatencyHistogram latency_;
+  algebra::OpMetrics op_metrics_;
+};
+
+}  // namespace xfrag::server
+
+#endif  // XFRAG_SERVER_STATS_H_

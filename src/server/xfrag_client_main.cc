@@ -1,0 +1,203 @@
+// xfrag_client — command-line client for xfragd.
+//
+//   usage: xfrag_client '{XQuery, optimization}' [options]
+//          xfrag_client --json '{"terms":["xquery"]}' [options]
+//          xfrag_client --get /healthz [options]
+//
+//   The brace form mirrors the paper's Q_P{k1, ..., km} notation: terms in
+//   braces, the predicate via --filter. --json sends a raw request body
+//   instead; --get fetches a GET endpoint (/healthz, /metrics, /version).
+//
+//   options:
+//     --host H          server address         (default 127.0.0.1)
+//     --port N          server port            (default 8378)
+//     --filter EXPR     e.g. --filter 'size<=3 & height<=2'
+//     --strategy S      auto|brute|naive|reduced|pushdown
+//     --leaf-strict     Definition-8 leaf condition
+//     --deadline-ms MS  per-request deadline
+//     --explain         request the executed plan
+//     --xml             request XML renderings of the answers
+//     --max N           cap the answer array
+//     --compact         print the raw compact JSON (default pretty-prints)
+//     --version         print build info and exit
+//
+//   Exit status: 0 on HTTP 200, 1 on transport errors, otherwise the HTTP
+//   status class (4 for 4xx, 5 for 5xx) — scriptable overload/deadline
+//   detection without parsing the body.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/version.h"
+#include "server/http.h"
+#include "server/net.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s '{term1, term2, ...}' [options]\n"
+               "       %s --json '{\"terms\":[...]}' [options]\n"
+               "       %s --get /healthz|/metrics|/version [options]\n"
+               "  --host H | --port N | --filter EXPR | --strategy S\n"
+               "  --leaf-strict | --deadline-ms MS | --explain | --xml\n"
+               "  --max N | --compact | --version\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+// "{XQuery, optimization}" -> ["xquery", "optimization"] (the server folds
+// case; we only split and trim here).
+bool ParseBraceQuery(std::string_view input, std::vector<std::string>* terms) {
+  input = xfrag::StripAsciiWhitespace(input);
+  if (input.size() < 2 || input.front() != '{' || input.back() != '}') {
+    return false;
+  }
+  input.remove_prefix(1);
+  input.remove_suffix(1);
+  while (!input.empty()) {
+    size_t comma = input.find(',');
+    std::string_view term = input.substr(0, comma);
+    term = xfrag::StripAsciiWhitespace(term);
+    if (term.empty()) return false;
+    terms->emplace_back(term);
+    if (comma == std::string_view::npos) break;
+    input.remove_prefix(comma + 1);
+  }
+  return !terms->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 8378;
+  std::string brace_query, raw_json, get_path, filter_expr, strategy;
+  double deadline_ms = 0;
+  long max_answers = -1;
+  bool leaf_strict = false, explain = false, xml = false, compact = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--version") {
+      std::printf("%s\n", xfrag::BuildInfo("xfrag_client").c_str());
+      return 0;
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      raw_json = argv[++i];
+    } else if (arg == "--get" && i + 1 < argc) {
+      get_path = argv[++i];
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter_expr = argv[++i];
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      strategy = argv[++i];
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--max" && i + 1 < argc) {
+      max_answers = std::atol(argv[++i]);
+    } else if (arg == "--leaf-strict") {
+      leaf_strict = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--xml") {
+      xml = true;
+    } else if (arg == "--compact") {
+      compact = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage(argv[0]);
+    } else if (brace_query.empty()) {
+      brace_query = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::string request;
+  if (!get_path.empty()) {
+    request = xfrag::StrFormat("GET %s HTTP/1.1\r\nHost: %s\r\n"
+                               "Connection: close\r\n\r\n",
+                               get_path.c_str(), host.c_str());
+  } else {
+    std::string body;
+    if (!raw_json.empty()) {
+      body = raw_json;
+    } else if (!brace_query.empty()) {
+      std::vector<std::string> terms;
+      if (!ParseBraceQuery(brace_query, &terms)) {
+        std::fprintf(stderr, "cannot parse query %s (expected e.g. "
+                             "'{XQuery, optimization}')\n",
+                     brace_query.c_str());
+        return 2;
+      }
+      xfrag::json::Value req = xfrag::json::Value::Object();
+      xfrag::json::Value term_array = xfrag::json::Value::Array();
+      for (const std::string& term : terms) term_array.Append(term);
+      req.Set("terms", std::move(term_array));
+      if (!filter_expr.empty()) req.Set("filter", filter_expr);
+      if (!strategy.empty()) req.Set("strategy", strategy);
+      if (leaf_strict) req.Set("answer_mode", "leaf_strict");
+      if (deadline_ms > 0) req.Set("deadline_ms", deadline_ms);
+      if (explain) req.Set("explain", true);
+      if (xml) req.Set("xml", true);
+      if (max_answers >= 0) {
+        req.Set("max_answers", static_cast<int64_t>(max_answers));
+      }
+      body = req.Dump();
+    } else {
+      return Usage(argv[0]);
+    }
+    request = xfrag::StrFormat(
+        "POST /query HTTP/1.1\r\nHost: %s\r\n"
+        "Content-Type: application/json\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        host.c_str(), body.size());
+    request += body;
+  }
+
+  auto raw = xfrag::server::HttpRoundTrip(host, port, request);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "xfrag_client: %s (is xfragd running on %s:%u?)\n",
+                 raw.status().ToString().c_str(), host.c_str(), port);
+    return 1;
+  }
+  auto response = xfrag::server::ParseHttpResponse(*raw);
+  if (!response.ok()) {
+    std::fprintf(stderr, "xfrag_client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+
+  if (compact) {
+    std::printf("%s\n", response->body.c_str());
+  } else {
+    auto parsed = xfrag::json::Parse(response->body);
+    if (parsed.ok()) {
+      std::printf("%s\n", parsed->Dump(2).c_str());
+    } else {
+      std::printf("%s\n", response->body.c_str());
+    }
+  }
+  if (response->status == 200) return 0;
+  if (response->status >= 500) {
+    std::fprintf(stderr, "xfrag_client: server answered %d %s\n",
+                 response->status,
+                 std::string(
+                     xfrag::server::HttpStatusReason(response->status))
+                     .c_str());
+    return 5;
+  }
+  std::fprintf(stderr, "xfrag_client: server answered %d %s\n",
+               response->status,
+               std::string(
+                   xfrag::server::HttpStatusReason(response->status))
+                   .c_str());
+  return 4;
+}

@@ -1,0 +1,58 @@
+// common/cancel: flag semantics, deadline arming, and the null-token helper.
+
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace xfrag {
+namespace {
+
+TEST(CancelToken, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelToken, CancelTrips) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_TRUE(token.ShouldStop());  // stays tripped
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotTrip) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancelToken, ExpiredDeadlineTrips) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.ShouldStop());
+  // Expiry is latched: later calls stay tripped without re-reading the clock.
+  EXPECT_TRUE(token.ShouldStop());
+}
+
+TEST(CancelToken, NullTokenNeverStops) {
+  EXPECT_FALSE(ShouldStop(nullptr));
+  CancelToken token;
+  EXPECT_FALSE(ShouldStop(&token));
+  token.Cancel();
+  EXPECT_TRUE(ShouldStop(&token));
+}
+
+TEST(CancelToken, VisibleAcrossThreads) {
+  CancelToken token;
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.ShouldStop());
+}
+
+}  // namespace
+}  // namespace xfrag

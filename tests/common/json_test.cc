@@ -1,0 +1,164 @@
+// common/json: writer round-trips, strict-parser acceptance/rejection with
+// error offsets, and a malformed-input corpus that must never crash.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xfrag::json {
+namespace {
+
+TEST(JsonWriter, ScalarForms) {
+  EXPECT_EQ(Value().Dump(), "null");
+  EXPECT_EQ(Value(true).Dump(), "true");
+  EXPECT_EQ(Value(false).Dump(), "false");
+  EXPECT_EQ(Value(42).Dump(), "42");
+  EXPECT_EQ(Value(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Value(uint64_t{18446744073709551615ULL}).Dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Value(1.5).Dump(), "1.5");
+  EXPECT_EQ(Value("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonWriter, IntegersNeverGrowFractions) {
+  // Node ids and counters must round-trip as "42", not "42.0".
+  Value v(uint64_t{42});
+  EXPECT_TRUE(v.is_integral());
+  EXPECT_EQ(v.Dump(), "42");
+}
+
+TEST(JsonWriter, StringEscapes) {
+  EXPECT_EQ(Value("a\"b\\c\n\t\x01").Dump(),
+            "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonWriter, ObjectsPreserveInsertionOrderAndOverwriteInPlace) {
+  Value obj = Value::Object();
+  obj.Set("b", 1).Set("a", 2).Set("b", 3);
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(JsonWriter, PrettyPrint) {
+  Value obj = Value::Object();
+  obj.Set("xs", Value::Array().Append(1).Append(2));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  EXPECT_EQ(Value::Array().Dump(), "[]");
+  EXPECT_EQ(Value::Object().Dump(), "{}");
+  EXPECT_EQ(Value::Object().Dump(2), "{}");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE((*Parse("null")).is_null());
+  EXPECT_EQ((*Parse("true")).AsBool(), true);
+  EXPECT_EQ((*Parse("-17")).AsInt(), -17);
+  EXPECT_TRUE((*Parse("-17")).is_integral());
+  EXPECT_DOUBLE_EQ((*Parse("2.5e2")).AsDouble(), 250.0);
+  EXPECT_FALSE((*Parse("2.5e2")).is_integral());
+  EXPECT_EQ((*Parse("\"x\"")).AsString(), "x");
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto v = Parse(R"({"a": [1, {"b": "c"}, null], "d": false})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("a")->size(), 3u);
+  EXPECT_EQ((*v->Find("a"))[1].Find("b")->AsString(), "c");
+  EXPECT_EQ(v->Find("d")->AsBool(), false);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ((*Parse("\"\\u0041\"")).AsString(), "A");
+  EXPECT_EQ((*Parse("\"\\u00e9\"")).AsString(), "\xC3\xA9");       // é
+  EXPECT_EQ((*Parse("\"\\u2026\"")).AsString(), "\xE2\x80\xA6");   // …
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ((*Parse("\"\\uD83D\\uDE00\"")).AsString(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RoundTripThroughDump) {
+  const std::string text =
+      R"({"terms":["xquery","optimization"],"deadline_ms":250,)"
+      R"("nested":[{"k":-1.25},[],{},null,true]})";
+  auto v = Parse(text);
+  ASSERT_TRUE(v.ok());
+  auto again = Parse(v->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*v, *again);
+  EXPECT_EQ(v->Dump(), again->Dump());
+}
+
+TEST(JsonParse, ReportsErrorOffsets) {
+  size_t offset = 0;
+  auto v = Parse(R"({"a": })", &offset);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(offset, 6u);
+
+  auto trailing = Parse("1 x", &offset);
+  EXPECT_FALSE(trailing.ok());
+  EXPECT_EQ(offset, 2u);
+}
+
+TEST(JsonParse, RejectsStrictly) {
+  // Each input is malformed under RFC 8259; Parse must fail, never crash.
+  const std::vector<std::string> corpus = {
+      "", " ", "{", "}", "[", "]", "{]", "[}", "{\"a\":1,}", "[1,]",
+      "[1 2]", "{\"a\" 1}", "{1: 2}", "nul", "tru", "falsey", "+1", "01",
+      "1.", ".5", "1e", "1e+", "--1", "\"", "\"\\\"", "\"\\x\"",
+      "\"\\u12\"", "\"\\uD83D\"", "\"\\uDE00\"", "\"\\uD83D\\u0041\"",
+      "\"unterminated", "'single'", "{\"a\": 1} {\"b\": 2}", "[1], [2]",
+      "{\"a\"}", "// comment\n1", "[1, /*c*/ 2]", "NaN", "Infinity",
+      std::string("\"ab\x01ule\""),  // raw control character in a string
+  };
+  for (const std::string& text : corpus) {
+    size_t offset = 0;
+    auto v = Parse(text, &offset);
+    EXPECT_FALSE(v.ok()) << "accepted: " << text;
+    EXPECT_LE(offset, text.size());
+  }
+}
+
+TEST(JsonParse, DepthLimitProtectsTheStack) {
+  std::string deep(kMaxParseDepth + 8, '[');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string ok_depth;
+  for (int i = 0; i < kMaxParseDepth - 1; ++i) ok_depth += '[';
+  std::string closed = ok_depth + std::string(kMaxParseDepth - 1, ']');
+  EXPECT_TRUE(Parse(closed).ok());
+}
+
+TEST(JsonParse, MutationFuzzNeverCrashes) {
+  // Deterministic single-byte mutations of a valid document: every variant
+  // must either parse or fail cleanly with an in-bounds offset.
+  const std::string base =
+      R"({"terms":["a","b"],"deadline_ms":1.5,"explain":true,"n":[1,2]})";
+  const char replacements[] = {'"', '{', '}', '[', ']', ',', ':',
+                               '\\', '0', 'x', ' ', '\n', '\x7f'};
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (char c : replacements) {
+      std::string mutated = base;
+      mutated[i] = c;
+      size_t offset = 0;
+      auto v = Parse(mutated, &offset);
+      if (!v.ok()) {
+        EXPECT_LE(offset, mutated.size());
+      }
+    }
+  }
+}
+
+TEST(JsonValue, Equality) {
+  EXPECT_EQ(Value(1), Value(int64_t{1}));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_EQ(*Parse("{\"a\":[1,2]}"), *Parse("{\"a\":[1,2]}"));
+  EXPECT_NE(*Parse("{\"a\":[1,2]}"), *Parse("{\"a\":[2,1]}"));
+}
+
+}  // namespace
+}  // namespace xfrag::json

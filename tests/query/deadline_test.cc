@@ -1,0 +1,180 @@
+// Per-request deadlines through the whole evaluation stack: a tripped
+// CancelToken turns Evaluate into kDeadlineExceeded, partial metrics still
+// flow through EvalOptions::metrics_sink, partial fixed points never reach
+// the cross-query cache, and the unbounded powerset enumeration honours
+// cancellation mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algebra/ops.h"
+#include "common/cancel.h"
+#include "gen/paper_document.h"
+#include "query/engine.h"
+#include "query/fixed_point_cache.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::query {
+namespace {
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto document = gen::BuildPaperDocument();
+    ASSERT_TRUE(document.ok());
+    document_ = std::make_unique<doc::Document>(std::move(document).value());
+    index_ = std::make_unique<text::InvertedIndex>(
+        text::InvertedIndex::Build(*document_));
+    engine_ = std::make_unique<QueryEngine>(*document_, *index_);
+  }
+
+  Query PaperQuery() const {
+    Query q;
+    q.terms = {"xquery", "optimization"};
+    q.filter = algebra::filters::SizeAtMost(3);
+    return q;
+  }
+
+  std::unique_ptr<doc::Document> document_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(DeadlineTest, TrippedTokenFailsEvaluate) {
+  for (Strategy strategy :
+       {Strategy::kBruteForce, Strategy::kFixedPointNaive,
+        Strategy::kFixedPointReduced, Strategy::kPushDown}) {
+    CancelToken cancel;
+    cancel.Cancel();
+    EvalOptions options;
+    options.strategy = strategy;
+    options.executor.cancel = &cancel;
+    auto result = engine_->Evaluate(PaperQuery(), options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << result.status().ToString();
+  }
+}
+
+TEST_F(DeadlineTest, UntrippedTokenChangesNothing) {
+  CancelToken cancel;  // armed with no deadline: never trips
+  EvalOptions with_token;
+  with_token.executor.cancel = &cancel;
+  auto guarded = engine_->Evaluate(PaperQuery(), with_token);
+  auto plain = engine_->Evaluate(PaperQuery());
+  ASSERT_TRUE(guarded.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(guarded->answers.SetEquals(plain->answers));
+  EXPECT_TRUE(guarded->metrics == plain->metrics);
+}
+
+TEST_F(DeadlineTest, MetricsSinkReceivesMetricsOnFailure) {
+  CancelToken cancel;
+  cancel.Cancel();
+  algebra::OpMetrics sink;
+  sink.fragment_joins = 999;  // must be overwritten, not merged
+  EvalOptions options;
+  options.executor.cancel = &cancel;
+  options.metrics_sink = &sink;
+  auto result = engine_->Evaluate(PaperQuery(), options);
+  ASSERT_FALSE(result.ok());
+  // A token tripped before the first plan node means zero work was done —
+  // and the sink must say so rather than keep its previous contents.
+  EXPECT_EQ(sink.fragment_joins, 0u);
+}
+
+TEST_F(DeadlineTest, MetricsSinkMatchesResultOnSuccess) {
+  algebra::OpMetrics sink;
+  EvalOptions options;
+  options.metrics_sink = &sink;
+  auto result = engine_->Evaluate(PaperQuery(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(sink == result->metrics);
+  EXPECT_GT(sink.fragment_joins, 0u);
+}
+
+TEST_F(DeadlineTest, CancelledRunsNeverPolluteTheCache) {
+  FixedPointCache cache;
+  CancelToken cancel;
+  cancel.Cancel();
+  EvalOptions options;
+  options.strategy = Strategy::kFixedPointReduced;
+  options.executor.fixed_point_cache = &cache;
+  options.executor.cancel = &cancel;
+  auto result = engine_->Evaluate(PaperQuery(), options);
+  ASSERT_FALSE(result.ok());
+  // The cancelled run computed (at most) partial closures; none may be
+  // published where a later query would read them as complete.
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A subsequent un-cancelled run through the same cache must match a run
+  // with no cache at all.
+  EvalOptions clean;
+  clean.strategy = Strategy::kFixedPointReduced;
+  clean.executor.fixed_point_cache = &cache;
+  auto warm = engine_->Evaluate(PaperQuery(), clean);
+  auto reference = engine_->Evaluate(PaperQuery());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(warm->answers.SetEquals(reference->answers));
+  EXPECT_GT(cache.size(), 0u);
+}
+
+algebra::FragmentSet ScanTerm(const text::InvertedIndex& index,
+                              const std::string& term) {
+  algebra::FragmentSet out;
+  for (doc::NodeId n : index.Lookup(term)) {
+    out.Insert(algebra::Fragment::Single(n));
+  }
+  return out;
+}
+
+TEST(PowersetDeadlineTest, BruteForceJoinHonoursCancellation) {
+  // Build operands directly so the kernel (not the executor) is under test.
+  auto document = gen::BuildPaperDocument();
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  algebra::FragmentSet f1 = ScanTerm(index, "xquery");
+  algebra::FragmentSet f2 = ScanTerm(index, "optimization");
+  ASSERT_FALSE(f1.empty());
+  ASSERT_FALSE(f2.empty());
+
+  CancelToken cancel;
+  cancel.Cancel();
+  algebra::PowersetJoinOptions options;
+  options.cancel = &cancel;
+  algebra::OpMetrics metrics;
+  auto joined =
+      algebra::PowersetJoinBruteForce(*document, f1, f2, options, &metrics);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The same call without the token succeeds.
+  algebra::PowersetJoinOptions unbounded;
+  auto full =
+      algebra::PowersetJoinBruteForce(*document, f1, f2, unbounded, &metrics);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->empty());
+}
+
+TEST(PowersetDeadlineTest, FixedPointKernelsReturnPartialSetOnCancel) {
+  auto document = gen::BuildPaperDocument();
+  ASSERT_TRUE(document.ok());
+  auto index = text::InvertedIndex::Build(*document);
+  algebra::FragmentSet seed = ScanTerm(index, "xquery");
+  ASSERT_FALSE(seed.empty());
+
+  CancelToken cancel;
+  cancel.Cancel();
+  algebra::OpMetrics metrics;
+  algebra::FragmentSet partial =
+      algebra::FixedPointNaive(*document, seed, &metrics, &cancel);
+  // A pre-tripped token stops before the first iteration: the kernel hands
+  // back (a subset of) the closure rather than looping to convergence.
+  algebra::FragmentSet full = algebra::FixedPointNaive(*document, seed);
+  EXPECT_LE(partial.size(), full.size());
+}
+
+}  // namespace
+}  // namespace xfrag::query

@@ -1,0 +1,141 @@
+// server/http: incremental request parsing (byte-at-a-time feeds included),
+// framing errors mapped to the right HTTP statuses, and the response
+// serializer/parser round trip.
+
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xfrag::server {
+namespace {
+
+constexpr const char kPost[] =
+    "POST /query HTTP/1.1\r\n"
+    "Host: localhost\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 17\r\n"
+    "\r\n"
+    "{\"terms\":[\"a\"]}!!";
+
+TEST(HttpRequestParser, ParsesACompletePost) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed(kPost), HttpRequestParser::State::kComplete);
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/query");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.body, "{\"terms\":[\"a\"]}!!");
+  ASSERT_NE(req.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*req.FindHeader("CONTENT-TYPE"), "application/json");
+  EXPECT_EQ(req.FindHeader("x-missing"), nullptr);
+}
+
+TEST(HttpRequestParser, ByteAtATimeFeedsReachTheSameResult) {
+  HttpRequestParser parser;
+  std::string_view data(kPost);
+  auto state = HttpRequestParser::State::kNeedMore;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(state, HttpRequestParser::State::kNeedMore) << "early at " << i;
+    state = parser.Feed(data.substr(i, 1));
+  }
+  ASSERT_EQ(state, HttpRequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "{\"terms\":[\"a\"]}!!");
+}
+
+TEST(HttpRequestParser, GetWithoutBodyCompletesAtHeaderEnd) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HttpRequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpRequestParser, ExcessBytesAfterTheBodyAreIgnored) {
+  // One exchange per connection: whatever follows the framed body is not
+  // part of this request.
+  HttpRequestParser parser;
+  std::string message(kPost);
+  ASSERT_EQ(parser.Feed(message + "GET / HTTP/1.1\r\n"),
+            HttpRequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().body.size(), 17u);
+}
+
+TEST(HttpRequestParser, MalformedRequestLineIs400) {
+  for (const char* bad :
+       {"GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / HTTP/2.0\r\n\r\n",
+        "GET / HTTP/1.1 extra\r\n\r\n", " / HTTP/1.1\r\n\r\n"}) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Feed(bad), HttpRequestParser::State::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpRequestParser, MalformedHeaderIs400) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nno colon here\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpRequestParser, BadContentLengthIs400) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpRequestParser, OversizedBodyIs413) {
+  HttpRequestParser parser(/*max_body_bytes=*/8);
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpRequestParser, ChunkedFramingIs501) {
+  HttpRequestParser parser;
+  EXPECT_EQ(
+      parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpRequestParser, UnboundedHeadersAreRejected) {
+  HttpRequestParser parser;
+  std::string flood = "GET / HTTP/1.1\r\n";
+  flood += "X-Filler: " + std::string(80 * 1024, 'a') + "\r\n";
+  EXPECT_EQ(parser.Feed(flood), HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpResponse, RenderAndParseRoundTrip) {
+  std::string raw = RenderHttpResponse(200, "application/json",
+                                       "{\"ok\":true}", "X-Extra: 1\r\n");
+  auto response = ParseHttpResponse(raw);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "{\"ok\":true}");
+  bool found_close = false, found_extra = false;
+  for (const auto& [name, value] : response->headers) {
+    if (name == "Connection" && value == "close") found_close = true;
+    if (name == "X-Extra" && value == "1") found_extra = true;
+  }
+  EXPECT_TRUE(found_close);
+  EXPECT_TRUE(found_extra);
+}
+
+TEST(HttpResponse, ReasonPhrases) {
+  EXPECT_EQ(HttpStatusReason(200), "OK");
+  EXPECT_EQ(HttpStatusReason(503), "Service Unavailable");
+  EXPECT_EQ(HttpStatusReason(504), "Gateway Timeout");
+  EXPECT_EQ(HttpStatusReason(299), "Unknown");
+}
+
+TEST(HttpResponse, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseHttpResponse("not http").ok());
+  EXPECT_FALSE(ParseHttpResponse("BANANA 200 OK\r\n\r\n").ok());
+}
+
+}  // namespace
+}  // namespace xfrag::server

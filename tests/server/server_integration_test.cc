@@ -1,0 +1,411 @@
+// End-to-end tests of the xfragd serving stack over real loopback sockets:
+// concurrent mixed queries whose answers must be byte-identical to direct
+// QueryEngine evaluation, admission-control 503s under overload, per-request
+// deadline 504s, graceful drain with requests in flight, and the error paths
+// (malformed JSON, malformed HTTP, unknown endpoints/methods/fields).
+//
+// Everything runs against an in-process Server on an ephemeral port, so the
+// suite is hermetic and runs under TSan (scripts/check.sh server stage).
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "server/http.h"
+#include "server/net.h"
+
+namespace xfrag::server {
+namespace {
+
+constexpr const char* kDocA = R"(
+  <paper>
+    <title>XQuery optimization</title>
+    <section>algebra for fragments
+      <par>query algebra</par>
+      <par>optimization rules</par>
+    </section>
+  </paper>)";
+constexpr const char* kDocB = R"(
+  <book>
+    <chapter>fragment retrieval
+      <par>xquery engines</par>
+      <par>ranking fragments</par>
+    </chapter>
+    <chapter>cost models
+      <par>optimization of joins</par>
+    </chapter>
+  </book>)";
+constexpr const char* kDocC = R"(
+  <notes>
+    <entry>unrelated vocabulary</entry>
+    <entry>nothing to see</entry>
+  </notes>)";
+
+class ServerIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    collection_ = std::make_unique<collection::Collection>();
+    ASSERT_TRUE(collection_->AddXml("a.xml", kDocA).ok());
+    ASSERT_TRUE(collection_->AddXml("b.xml", kDocB).ok());
+    ASSERT_TRUE(collection_->AddXml("c.xml", kDocC).ok());
+  }
+
+  std::unique_ptr<Server> StartServer(ServerOptions options) {
+    auto server = std::make_unique<Server>(*collection_, options);
+    auto started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  StatusOr<HttpResponse> Post(uint16_t port, const std::string& body,
+                              int timeout_ms = 30000) {
+    std::string request = StrFormat(
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        body.size());
+    request += body;
+    auto raw = HttpRoundTrip("127.0.0.1", port, request, timeout_ms);
+    if (!raw.ok()) return raw.status();
+    return ParseHttpResponse(*raw);
+  }
+
+  StatusOr<HttpResponse> Get(uint16_t port, const std::string& path) {
+    std::string request = StrFormat(
+        "GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        path.c_str());
+    auto raw = HttpRoundTrip("127.0.0.1", port, request);
+    if (!raw.ok()) return raw.status();
+    return ParseHttpResponse(*raw);
+  }
+
+  /// The expected "answers" array for `terms`, built by evaluating directly
+  /// against each document with a fresh QueryEngine — the serving stack must
+  /// reproduce these bytes exactly.
+  std::string ExpectedAnswersJson(const std::vector<std::string>& terms,
+                                  const std::string& filter_expr,
+                                  query::Strategy strategy) {
+    query::Query q;
+    q.terms = terms;
+    if (!filter_expr.empty()) {
+      auto filter = query::ParseFilterExpression(filter_expr);
+      EXPECT_TRUE(filter.ok());
+      q.filter = *filter;
+    }
+    json::Value answers = json::Value::Array();
+    for (size_t i = 0; i < collection_->size(); ++i) {
+      const auto& entry = collection_->entry(i);
+      bool has_all = true;
+      for (const auto& term : terms) {
+        if (entry.index.Lookup(term).empty()) has_all = false;
+      }
+      if (!has_all) continue;
+      query::QueryEngine engine(entry.document, entry.index);
+      query::EvalOptions options;
+      options.strategy = strategy;
+      auto result = engine.Evaluate(q, options);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (!result.ok()) continue;
+      for (const auto& fragment : result->answers.Sorted()) {
+        answers.Append(QueryService::AnswerToJson(
+            entry.name, i, fragment, entry.document, /*include_xml=*/false));
+      }
+    }
+    return answers.Dump();
+  }
+
+  std::unique_ptr<collection::Collection> collection_;
+};
+
+TEST_F(ServerIntegrationTest, SixteenConcurrentClientsMatchDirectEvaluation) {
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 256;  // admit everything: this test is about data
+  auto server = StartServer(options);
+  uint16_t port = server->port();
+
+  struct Variant {
+    std::string body;
+    std::string expected_answers;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {R"({"terms":["xquery","optimization"]})",
+       ExpectedAnswersJson({"xquery", "optimization"}, "",
+                           query::Strategy::kAuto)});
+  variants.push_back(
+      {R"({"terms":["xquery","optimization"],"filter":"size<=3",)"
+       R"("strategy":"pushdown"})",
+       ExpectedAnswersJson({"xquery", "optimization"}, "size<=3",
+                           query::Strategy::kPushDown)});
+  variants.push_back(
+      {R"({"terms":["fragments"],"strategy":"reduced"})",
+       ExpectedAnswersJson({"fragments"}, "",
+                           query::Strategy::kFixedPointReduced)});
+  variants.push_back(
+      {R"({"terms":["algebra","query"],"filter":"height<=2",)"
+       R"("strategy":"naive"})",
+       ExpectedAnswersJson({"algebra", "query"}, "height<=2",
+                           query::Strategy::kFixedPointNaive)});
+
+  constexpr int kClients = 16;
+  constexpr int kRequestsPerClient = 13;  // 16 * 13 = 208 >= 200
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const Variant& variant = variants[(c + r) % variants.size()];
+        auto response = Post(port, variant.body);
+        if (!response.ok() || response->status != 200) {
+          ++failures;
+          continue;
+        }
+        auto parsed = json::Parse(response->body);
+        if (!parsed.ok() || parsed->Find("answers") == nullptr) {
+          ++failures;
+          continue;
+        }
+        if (parsed->Find("answers")->Dump() != variant.expected_answers) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server->stats().RequestsWithStatus(200),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, OverloadedServerSheds503WithoutHanging) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 0;  // exactly one exchange in flight
+  options.service.enable_debug_sleep = true;
+  auto server = StartServer(options);
+  uint16_t port = server->port();
+
+  // Occupy the only slot with a slow request...
+  std::thread occupant([&] {
+    auto response =
+        Post(port, R"({"terms":["xquery"],"debug_sleep_ms":400})");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+  });
+  // ...wait until it is actually admitted...
+  while (server->InFlight() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // ...then every concurrent request must be shed with a fast 503.
+  constexpr int kRejected = 6;
+  std::atomic<int> got503{0};
+  std::vector<std::thread> shed;
+  for (int i = 0; i < kRejected; ++i) {
+    shed.emplace_back([&] {
+      auto response = Post(port, R"({"terms":["xquery"]})");
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      if (response->status == 503) ++got503;
+    });
+  }
+  for (auto& t : shed) t.join();
+  occupant.join();
+  EXPECT_EQ(got503.load(), kRejected);
+  EXPECT_EQ(server->stats().RequestsWithStatus(503),
+            static_cast<uint64_t>(kRejected));
+  EXPECT_EQ(server->stats().RequestsWithStatus(200), 1u);
+
+  // The server sheds load, it does not tip over: it still serves afterwards.
+  auto health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, DeadlineExpiryYields504WithPartialMetrics) {
+  ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  auto server = StartServer(options);
+
+  // The deadline arms before the debug sleep, so a 50 ms stall against a
+  // 10 ms deadline deterministically trips the executor's first check.
+  auto response = Post(server->port(),
+                       R"({"terms":["xquery","optimization"],)"
+                       R"("deadline_ms":10,"debug_sleep_ms":50})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 504);
+  auto body = json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("code")->AsString(), "DeadlineExceeded");
+  EXPECT_EQ(body->Find("partial")->AsBool(), true);
+  ASSERT_NE(body->Find("metrics"), nullptr);
+  EXPECT_NE(body->Find("metrics")->Find("fragment_joins"), nullptr);
+  EXPECT_EQ(server->stats().RequestsWithStatus(504), 1u);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, ServerSideDefaultDeadlineApplies) {
+  ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  options.service.default_deadline_ms = 10;
+  auto server = StartServer(options);
+  auto response = Post(server->port(),
+                       R"({"terms":["xquery"],"debug_sleep_ms":50})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, MaxDeadlineClampsClientRequests) {
+  ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  options.service.max_deadline_ms = 10;
+  auto server = StartServer(options);
+  // The client asks for a generous deadline; the operator ceiling wins.
+  auto response = Post(server->port(),
+                       R"({"terms":["xquery"],"deadline_ms":60000,)"
+                       R"("debug_sleep_ms":50})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, GracefulShutdownFinishesInFlightRequests) {
+  ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  auto server = StartServer(options);
+  uint16_t port = server->port();
+
+  std::atomic<bool> responded{false};
+  std::thread in_flight([&] {
+    auto response =
+        Post(port, R"({"terms":["xquery"],"debug_sleep_ms":300})");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    responded = true;
+  });
+  while (server->InFlight() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server->Shutdown();
+  // Shutdown returning means the exchange is over — response written, slot
+  // released — not merely abandoned.
+  EXPECT_EQ(server->InFlight(), 0);
+  in_flight.join();
+  EXPECT_TRUE(responded.load());
+
+  // And the listener is really gone.
+  auto after = Get(port, "/healthz");
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_F(ServerIntegrationTest, HealthMetricsAndVersionEndpoints) {
+  auto server = StartServer(ServerOptions{});
+  uint16_t port = server->port();
+
+  auto health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  auto health_body = json::Parse(health->body);
+  ASSERT_TRUE(health_body.ok());
+  EXPECT_EQ(health_body->Find("status")->AsString(), "ok");
+  EXPECT_EQ(health_body->Find("documents")->AsInt(), 3);
+
+  auto version = Get(port, "/version");
+  ASSERT_TRUE(version.ok());
+  auto version_body = json::Parse(version->body);
+  ASSERT_TRUE(version_body.ok());
+  EXPECT_FALSE(version_body->Find("version")->AsString().empty());
+
+  ASSERT_TRUE(Post(port, R"({"terms":["xquery"]})").ok());
+  auto metrics = Get(port, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto metrics_body = json::Parse(metrics->body);
+  ASSERT_TRUE(metrics_body.ok());
+  EXPECT_GE(metrics_body->Find("requests")->Find("total")->AsInt(), 3);
+  EXPECT_NE(metrics_body->Find("latency_us")->Find("p99"), nullptr);
+  EXPECT_NE(metrics_body->Find("op_metrics"), nullptr);
+  EXPECT_NE(metrics_body->Find("fixed_point_cache"), nullptr);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, StructuredErrorsForBadRequests) {
+  auto server = StartServer(ServerOptions{});
+  uint16_t port = server->port();
+
+  // Malformed JSON: 400 with the parse offset.
+  auto malformed = Post(port, R"({"terms": )");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed->status, 400);
+  auto body = json::Parse(malformed->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("code")->AsString(), "ParseError");
+  ASSERT_NE(body->Find("offset"), nullptr);
+  EXPECT_GT(body->Find("offset")->AsInt(), 0);
+
+  // A misspelled field must not be silently ignored.
+  auto unknown = Post(port, R"({"terms":["x"],"strtaegy":"auto"})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 400);
+  EXPECT_NE(json::Parse(unknown->body)->Find("error")->AsString().find(
+                "strtaegy"),
+            std::string::npos);
+
+  // Unknown strategy name, missing terms, wrong types.
+  EXPECT_EQ(Post(port, R"({"terms":["x"],"strategy":"quantum"})")->status,
+            400);
+  EXPECT_EQ(Post(port, R"({"filter":"true"})")->status, 400);
+  EXPECT_EQ(Post(port, R"({"terms":"x"})")->status, 400);
+  EXPECT_EQ(Post(port, R"({"terms":[]})")->status, 400);
+  // debug_sleep_ms is rejected when the server does not enable it.
+  EXPECT_EQ(Post(port, R"({"terms":["x"],"debug_sleep_ms":5})")->status, 400);
+
+  // Routing errors.
+  EXPECT_EQ(Get(port, "/nope")->status, 404);
+  auto get_query = Get(port, "/query");
+  EXPECT_EQ(get_query->status, 405);
+
+  // Malformed HTTP framing (not even a request line).
+  auto raw = HttpRoundTrip("127.0.0.1", port, "BANANA\r\n\r\n");
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto parsed = ParseHttpResponse(*raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, 400);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, SharedCacheServesRepeatQueriesWarm) {
+  auto server = StartServer(ServerOptions{});
+  uint16_t port = server->port();
+  // "reduced" forces a FixedPoint-over-Scan plan — the shape the cross-query
+  // cache memoizes (auto may resolve tiny inputs to brute-force, which has
+  // no fixed point to reuse).
+  for (int i = 0; i < 3; ++i) {
+    auto response = Post(
+        port, R"({"terms":["xquery","optimization"],"strategy":"reduced"})");
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  }
+  auto metrics = Get(port, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto body = json::Parse(metrics->body);
+  ASSERT_TRUE(body.ok());
+  // Two evaluated documents × two terms are primed by the first request;
+  // the two repeats hit the per-document caches.
+  EXPECT_GT(body->Find("fixed_point_cache")->Find("hits")->AsInt(), 0);
+  server->Shutdown();
+}
+
+}  // namespace
+}  // namespace xfrag::server

@@ -1,0 +1,106 @@
+// server/stats: histogram bucketing and percentile bounds, registry
+// aggregation (status counts, metrics merging incl. partial-504 metrics),
+// and the /metrics JSON shape.
+
+#include "server/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace xfrag::server {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanMicros(), 0.0);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(50), 0u);
+}
+
+TEST(LatencyHistogram, SingleSample) {
+  LatencyHistogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_micros(), 100u);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 100.0);
+  // Every percentile of one sample is that sample (bounded by the max).
+  EXPECT_EQ(h.PercentileUpperBoundMicros(50), 100u);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(99), 100u);
+}
+
+TEST(LatencyHistogram, PercentilesAreUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);   // bucket [8,16)
+  h.Record(5000);                              // the tail sample
+  uint64_t p50 = h.PercentileUpperBoundMicros(50);
+  EXPECT_GE(p50, 10u);
+  EXPECT_LT(p50, 16u);
+  // p99 of 100 samples is the 99th-ranked one — still a fast sample...
+  EXPECT_LT(h.PercentileUpperBoundMicros(99), 16u);
+  // ...while p100 must reach the slow one.
+  EXPECT_EQ(h.PercentileUpperBoundMicros(100), 5000u);
+}
+
+TEST(LatencyHistogram, NearestRankRoundsUp) {
+  // With 3 samples, p95 is ceil(0.95*3) = the 3rd (slowest) sample, and the
+  // reported bound is clamped to the observed max.
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(120);
+  h.Record(527);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(95), 527u);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(99), 527u);
+}
+
+TEST(LatencyHistogram, ZeroAndHugeSamplesLandSafely) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_micros(), ~uint64_t{0});
+}
+
+TEST(StatsRegistry, CountsByStatusAndMergesMetrics) {
+  StatsRegistry stats;
+  algebra::OpMetrics m;
+  m.fragment_joins = 3;
+  m.pairs_rejected_summary = 2;
+  stats.RecordRequest(200, 120, &m);
+  stats.RecordRequest(200, 80, &m);
+  stats.RecordRequest(503, 5, nullptr);   // rejected: no metrics
+  stats.RecordRequest(504, 900, &m);      // partial metrics still merge
+
+  EXPECT_EQ(stats.TotalRequests(), 4u);
+  EXPECT_EQ(stats.RequestsWithStatus(200), 2u);
+  EXPECT_EQ(stats.RequestsWithStatus(503), 1u);
+  EXPECT_EQ(stats.RequestsWithStatus(504), 1u);
+  EXPECT_EQ(stats.RequestsWithStatus(404), 0u);
+
+  json::Value rendered = stats.ToJson();
+  EXPECT_EQ(rendered.Find("requests")->Find("total")->AsInt(), 4);
+  EXPECT_EQ(
+      rendered.Find("requests")->Find("by_status")->Find("200")->AsInt(), 2);
+  EXPECT_EQ(rendered.Find("latency_us")->Find("count")->AsInt(), 4);
+  EXPECT_EQ(rendered.Find("op_metrics")->Find("fragment_joins")->AsInt(), 9);
+  EXPECT_EQ(
+      rendered.Find("op_metrics")->Find("pairs_rejected_summary")->AsInt(),
+      6);
+}
+
+TEST(StatsRegistry, OpMetricsJsonCoversEveryCounter) {
+  algebra::OpMetrics m;
+  m.fragment_joins = 1;
+  m.filter_evals = 2;
+  m.filter_rejections = 3;
+  m.fixed_point_iterations = 4;
+  m.fragments_produced = 5;
+  m.pairs_considered = 6;
+  m.pairs_rejected_summary = 7;
+  m.subsume_checks_skipped = 8;
+  json::Value rendered = StatsRegistry::OpMetricsToJson(m);
+  EXPECT_EQ(rendered.size(), 8u);
+  EXPECT_EQ(rendered.Find("fragment_joins")->AsInt(), 1);
+  EXPECT_EQ(rendered.Find("subsume_checks_skipped")->AsInt(), 8);
+}
+
+}  // namespace
+}  // namespace xfrag::server
