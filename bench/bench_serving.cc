@@ -98,6 +98,9 @@ RunResult RunClosedLoop(uint16_t port, int clients, int requests_per_client,
 int main(int argc, char** argv) {
   int requests_per_client = argc > 1 ? std::atoi(argv[1]) : 64;
   size_t nodes = argc > 2 ? static_cast<size_t>(std::atol(argv[2])) : 4000;
+  if (xfrag::bench::BenchSmokeMode()) {
+    requests_per_client = std::min(requests_per_client, 4);
+  }
 
   Banner("serving throughput and tail latency (xfragd stack)");
 
@@ -185,8 +188,10 @@ int main(int argc, char** argv) {
   server.Shutdown();
   table.Print();
 
-  std::ofstream out("BENCH_serving.json");
+  const std::string path =
+      xfrag::bench::BenchOutputPath("BENCH_serving.json");
+  std::ofstream out(path);
   out << records.Dump(2) << "\n";
-  std::printf("wrote BENCH_serving.json\n");
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -1,0 +1,271 @@
+// Top-k ablation: score-bounded evaluation (EvalOptions::top_k) against the
+// full pipeline — Evaluate + RankAnswers + take-k — on corpora where most
+// candidate joins produce answers that cannot reach the top of the ranking
+// and a sound score upper bound rejects them in O(1).
+//
+// Corpus shape: a root-to-leaf keyword chain of length L grafted onto a
+// generated document, every chain node carrying both query terms. The
+// filtered closure of the chain is exactly its O(L²) contiguous segments;
+// the join of two segments is their covering segment, so the candidate space
+// is the O(L⁴) pairs of segments, which dedup down to the O(L²) answers. The
+// full pipeline must materialize, dedup, and score every pair. The bounded
+// kernel's upper bound for a pair equals its covering segment's true score
+// (a chain's pre-order interval contains precisely its own postings), and
+// segment scores grow with length — so once the heap holds the k longest
+// segments, the near-diagonal majority of pairs (short covers) is rejected
+// without materializing anything. Both paths share a pre-warmed
+// FixedPointCache — the serving configuration — so the measured difference
+// is enumeration + ranking, not the (identical) closure computation.
+//
+// Rows: top_k ∈ {1, 10, all} × corpus sizes. "all" ranks the complete answer
+// set through the top-k path (k = |A|) — it bounds the heap overhead when
+// nothing can be pruned. Every row asserts that the top-k result is the
+// exact length-k prefix of the full ranked evaluation (scores bit-identical,
+// ties by canonical fragment order); any mismatch fails the run with exit 1.
+//
+// Records go to BENCH_topk.json with the pair counters
+// (pairs_considered / pairs_rejected_summary / pairs_rejected_score).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "doc/document.h"
+#include "gen/corpus.h"
+#include "query/engine.h"
+#include "query/fixed_point_cache.h"
+#include "text/inverted_index.h"
+
+using namespace xfrag;
+
+namespace {
+
+constexpr const char* kTerm1 = "kwone";
+constexpr const char* kTerm2 = "kwtwo";
+
+struct TopKCorpus {
+  std::unique_ptr<doc::Document> document;
+  std::unique_ptr<text::InvertedIndex> index;
+  size_t chains = 0;
+  size_t postings = 0;
+};
+
+// Grafts `chain_count` deep keyword chains onto a generated corpus: each
+// chain is a path of `chain_length` nodes, every node carrying both terms,
+// hanging under a deep host leaf in its own depth-2 subtree.
+//
+// Why chains: the filtered closure of a planted chain is exactly its set of
+// contiguous segments — O(L²) fragments, no combinatorial blow-up — and the
+// join of any two segments is their covering segment, so every candidate
+// pair's score upper bound equals the covering segment's true score (the
+// pre-order interval of a chain contains precisely its own postings).
+// Segment scores grow with length, so once the heap holds the k longest
+// segments, every pair whose cover falls short is rejected in O(1) — the
+// vast near-diagonal majority. The full pipeline still materializes, dedups,
+// and ranks all of them.
+TopKCorpus MakeTopKCorpus(size_t nodes, size_t chain_count,
+                          size_t chain_length, uint64_t seed) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = nodes;
+  profile.seed = seed;
+  gen::RawCorpus raw = gen::GenerateRaw(profile);
+  const size_t n = raw.size();
+
+  std::vector<uint32_t> depth(n, 0);
+  std::vector<uint32_t> subtree(n, 1);
+  for (size_t i = 1; i < n; ++i) depth[i] = depth[raw.parents[i]] + 1;
+  for (size_t i = n; i-- > 1;) subtree[raw.parents[i]] += subtree[i];
+
+  // One host per depth-2 subtree, evenly spread: the deepest node of the
+  // subtree (a leaf, so the chain splices right after it in pre-order).
+  std::vector<doc::NodeId> d2roots;
+  for (size_t i = 0; i < n; ++i) {
+    if (depth[i] == 2) d2roots.push_back(static_cast<doc::NodeId>(i));
+  }
+  chain_count = std::min(chain_count, d2roots.size());
+  std::vector<doc::NodeId> hosts;
+  for (size_t c = 0; c < chain_count; ++c) {
+    doc::NodeId root = d2roots[(2 * c + 1) * d2roots.size() / (2 * chain_count)];
+    doc::NodeId host = root;
+    for (size_t i = root; i < root + subtree[root]; ++i) {
+      if (depth[i] > depth[host]) host = static_cast<doc::NodeId>(i);
+    }
+    hosts.push_back(host);
+  }
+
+  // Splice the chains in (hosts are leaves, so "right after the host" keeps
+  // the numbering a valid pre-order). A short unplanted stem separates the
+  // planted run from the host's own text.
+  gen::RawCorpus grafted;
+  std::vector<doc::NodeId> remap(n);
+  size_t postings = 0;
+  const std::string planted_text = std::string(kTerm1) + " " + kTerm2;
+  for (size_t i = 0; i < n; ++i) {
+    remap[i] = static_cast<doc::NodeId>(grafted.size());
+    grafted.parents.push_back(i == 0 ? raw.parents[0]
+                                     : remap[raw.parents[i]]);
+    grafted.tags.push_back(std::move(raw.tags[i]));
+    grafted.texts.push_back(std::move(raw.texts[i]));
+    for (size_t c = 0; c < hosts.size(); ++c) {
+      if (hosts[c] != i) continue;
+      const size_t stem = 2;
+      doc::NodeId parent = remap[i];
+      for (size_t j = 0; j < stem + chain_length; ++j) {
+        doc::NodeId id = static_cast<doc::NodeId>(grafted.size());
+        grafted.parents.push_back(parent);
+        grafted.tags.push_back("deep");
+        grafted.texts.push_back(j < stem ? std::string() : planted_text);
+        if (j >= stem) ++postings;
+        parent = id;
+      }
+    }
+  }
+
+  TopKCorpus corpus;
+  corpus.chains = hosts.size();
+  corpus.postings = postings;
+  auto document = gen::Materialize(grafted);
+  if (!document.ok()) {
+    std::fprintf(stderr, "corpus materialization failed: %s\n",
+                 document.status().ToString().c_str());
+    std::abort();
+  }
+  corpus.document =
+      std::make_unique<doc::Document>(std::move(document).value());
+  corpus.index = std::make_unique<text::InvertedIndex>(
+      text::InvertedIndex::Build(*corpus.document));
+  return corpus;
+}
+
+// The exact top-k contract: same fragments, bit-identical scores, in order.
+bool PrefixIdentical(const std::vector<query::RankedAnswer>& full,
+                     const std::vector<query::RankedAnswer>& topk, size_t k) {
+  const size_t expect = std::min(k, full.size());
+  if (topk.size() != expect) return false;
+  for (size_t i = 0; i < expect; ++i) {
+    if (topk[i].score != full[i].score) return false;
+    if (!(topk[i].fragment == full[i].fragment)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> sizes = {25000, 50000, 100000};
+  if (argc > 1) {
+    sizes.clear();
+    for (int i = 1; i < argc; ++i) {
+      sizes.push_back(static_cast<size_t>(std::atol(argv[i])));
+    }
+  }
+  const bool smoke = bench::BenchSmokeMode();
+  if (smoke) sizes = {2500};
+
+  std::vector<bench::BenchRecord> records;
+  bool all_identical = true;
+
+  for (size_t nodes : sizes) {
+    // A longer keyword run on bigger corpora: the answer set (and the work
+    // the full pipeline must spend on it) grows, while top-k still only
+    // materializes the pairs that can reach the k best.
+    const size_t chain_count = 1;
+    const size_t chain_length = smoke ? 8 : 28 + 8 * (nodes / 50000);
+    TopKCorpus corpus = MakeTopKCorpus(nodes, chain_count, chain_length,
+                                       /*seed=*/0x70cull + nodes);
+    const doc::Document& d = *corpus.document;
+    query::QueryEngine engine(d, *corpus.index);
+
+    query::Query q;
+    q.terms = {kTerm1, kTerm2};
+    // Anti-monotone, pushed below the joins. Every segment pair passes:
+    // covers are at most chain_length nodes.
+    auto filter = query::ParseFilterExpression(
+        "size<=" + std::to_string(chain_length));
+    if (!filter.ok()) {
+      std::fprintf(stderr, "%s\n", filter.status().ToString().c_str());
+      return 1;
+    }
+    q.filter = *filter;
+
+    // Serving configuration: closures memoized once, shared by both paths.
+    query::FixedPointCache fp_cache;
+    query::EvalOptions options;
+    options.strategy = query::Strategy::kPushDown;
+    options.executor.fixed_point_cache = &fp_cache;
+
+    auto warm = engine.Evaluate(q, options);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "%s\n", warm.status().ToString().c_str());
+      return 1;
+    }
+    const size_t answer_count = warm->answers.size();
+
+    bench::Banner(StrFormat(
+        "top-k vs full ranked evaluation: %zu nodes, %zu postings, "
+        "%zu chains, |A|=%zu",
+        nodes, corpus.postings, corpus.chains, answer_count));
+    bench::TablePrinter table({"k", "full ms", "top-k ms", "speedup", "pairs",
+                               "cut size", "cut score", "identical"});
+
+    // The baseline every row is measured (and checked) against.
+    std::vector<query::RankedAnswer> full_ranked;
+    double full_ms = bench::MedianMillis([&] {
+      auto result = engine.Evaluate(q, options);
+      if (!result.ok()) std::abort();
+      full_ranked =
+          query::RankAnswers(result->answers, q.terms, d, *corpus.index);
+    });
+
+    for (size_t k : {size_t{1}, size_t{10}, answer_count}) {
+      query::EvalOptions topk_options = options;
+      topk_options.top_k = static_cast<int64_t>(k);
+      std::vector<query::RankedAnswer> topk_ranked;
+      algebra::OpMetrics metrics;
+      double topk_ms = bench::MedianMillis([&] {
+        auto result = engine.Evaluate(q, topk_options);
+        if (!result.ok()) std::abort();
+        topk_ranked = std::move(result->ranked);
+        metrics = result->metrics;
+      });
+      const bool identical = PrefixIdentical(full_ranked, topk_ranked, k);
+      all_identical = all_identical && identical;
+
+      const std::string label = k == answer_count ? "all" : std::to_string(k);
+      bench::BenchRecord record{
+          StrFormat("TopK/k=%s/nodes=%zu", label.c_str(), nodes),
+          answer_count,
+          k,
+          1,
+          full_ms,
+          topk_ms,
+          identical};
+      record.counters = {
+          {"pairs_considered", metrics.pairs_considered},
+          {"pairs_rejected_summary", metrics.pairs_rejected_summary},
+          {"pairs_rejected_score", metrics.pairs_rejected_score},
+          {"answers_full", answer_count}};
+      records.push_back(record);
+      table.AddRow({label, bench::Cell(full_ms, 3), bench::Cell(topk_ms, 3),
+                    bench::Cell(record.speedup(), 2),
+                    bench::Cell(metrics.pairs_considered),
+                    bench::Cell(metrics.pairs_rejected_summary),
+                    bench::Cell(metrics.pairs_rejected_score),
+                    identical ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  bench::WriteBenchJson(records, "BENCH_topk.json");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "TOP-K PREFIX EQUIVALENCE FAILED\n");
+    return 1;
+  }
+  return 0;
+}

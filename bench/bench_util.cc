@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "common/rng.h"
 #include "common/strings.h"
@@ -9,9 +11,38 @@
 
 namespace xfrag::bench {
 
+bool BenchSmokeMode() {
+  const char* flag = std::getenv("XFRAG_BENCH_SMOKE");
+  return flag != nullptr && flag[0] == '1' && flag[1] == '\0';
+}
+
+std::string BenchOutputPath(const std::string& filename) {
+  if (filename.find('/') != std::string::npos) return filename;
+  if (const char* dir = std::getenv("XFRAG_BENCH_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return (std::filesystem::path(dir) / filename).string();
+  }
+  std::error_code ec;
+  std::filesystem::path cwd = std::filesystem::current_path(ec);
+  if (!ec) {
+    for (std::filesystem::path dir = cwd;; dir = dir.parent_path()) {
+      if (std::filesystem::exists(dir / "ROADMAP.md", ec)) {
+        return (dir / filename).string();
+      }
+      if (dir == dir.parent_path()) break;
+    }
+  }
+  return filename;
+}
+
 PlantedCorpus MakePlantedCorpus(size_t nodes, size_t count1,
                                 gen::PlantMode mode1, size_t count2,
                                 gen::PlantMode mode2, uint64_t seed) {
+  if (BenchSmokeMode()) {
+    nodes = std::min<size_t>(nodes, 2000);
+    count1 = std::min<size_t>(count1, 128);
+    count2 = std::min<size_t>(count2, 128);
+  }
   gen::CorpusProfile profile;
   profile.target_nodes = nodes;
   profile.seed = seed;
@@ -35,6 +66,7 @@ PlantedCorpus MakePlantedCorpus(size_t nodes, size_t count1,
 }
 
 double MedianMillis(const std::function<void()>& fn, int repeats) {
+  if (BenchSmokeMode()) repeats = 1;
   std::vector<double> samples;
   samples.reserve(static_cast<size_t>(repeats));
   for (int i = 0; i < repeats; ++i) {
@@ -149,7 +181,8 @@ std::vector<std::string> ReadRecordLines(const std::string& path) {
 }  // namespace
 
 void WriteBenchJson(const std::vector<BenchRecord>& records,
-                    const std::string& path, bool merge) {
+                    const std::string& path_in, bool merge) {
+  const std::string path = BenchOutputPath(path_in);
   std::vector<std::string> lines;
   if (merge) {
     std::vector<std::string> new_ops;
@@ -162,6 +195,9 @@ void WriteBenchJson(const std::vector<BenchRecord>& records,
     }
   }
   for (const BenchRecord& r : records) lines.push_back(RecordLine(r));
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());

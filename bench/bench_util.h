@@ -57,9 +57,23 @@ struct BenchRecord {
 /// With `merge` set (the default), records already in the file whose "op"
 /// does not occur in `records` are kept — the fig3/fig4/fig5 binaries and
 /// bench_summary_prefilter all contribute to one BENCH_core.json, each run
-/// replacing only its own ops.
+/// replacing only its own ops. Bare filenames are resolved through
+/// BenchOutputPath() so artifacts land at the repo root, not in build/.
 void WriteBenchJson(const std::vector<BenchRecord>& records,
                     const std::string& path, bool merge = true);
+
+/// \brief Resolves where a BENCH_*.json artifact should be written.
+///
+/// Paths that already contain a '/' are returned unchanged. Otherwise the
+/// precedence is: $XFRAG_BENCH_DIR if set, else the nearest ancestor of the
+/// working directory containing ROADMAP.md (the repo root — benches normally
+/// run from build/), else the working directory itself.
+std::string BenchOutputPath(const std::string& filename);
+
+/// \brief True when $XFRAG_BENCH_SMOKE=1: CI smoke runs that only check the
+/// binaries work. MakePlantedCorpus caps corpora at ~2000 nodes / 128
+/// occurrences and MedianMillis takes a single sample.
+bool BenchSmokeMode();
 
 /// A generated corpus with two planted query keywords, ready to query.
 struct PlantedCorpus {

@@ -5,13 +5,15 @@
 #   scripts/check.sh --fast     # skip the sanitizer builds
 #
 # The first stage is exactly the tier-1 contract from ROADMAP.md: configure,
-# build, and run the whole test suite. The second stage rebuilds with
-# -DXFRAG_SANITIZE=address in a separate build dir and runs the algebra and
-# concurrency suites (algebra_test plus everything labelled `parallel`) under
-# ASan — the kernels that do manual arena/buffer work. The third stage
-# rebuilds with -DXFRAG_SANITIZE=thread and runs everything labelled `server`
-# (the xfragd loopback integration suite included) under TSan, since the
-# serving path is the one place worker threads share an engine and caches.
+# build, and run the whole test suite. Then every bench binary runs once in
+# smoke mode (tiny inputs, one repetition) so the perf trajectory cannot
+# silently rot. The sanitizer stages rebuild with -DXFRAG_SANITIZE=address in
+# a separate build dir and run the algebra, query (top-k engine path), and
+# concurrency suites (plus everything labelled `parallel`) under ASan — the
+# kernels that do manual arena/buffer work — and finally rebuild with
+# -DXFRAG_SANITIZE=thread and run everything labelled `server` (the xfragd
+# loopback integration suite included) under TSan, since the serving path is
+# the one place worker threads share an engine and caches.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,17 +32,32 @@ echo "== tier-1: ctest =="
 echo "== server: ctest -L server (tier-1 build) =="
 (cd build && ctest -L server --output-on-failure -j "$JOBS")
 
+echo "== bench: smoke run (XFRAG_BENCH_SMOKE=1) =="
+# Every bench binary runs end-to-end on tiny inputs so a broken bench fails
+# CI, not the next full perf run. Outputs land in build/bench-smoke, never in
+# the repo-root BENCH_*.json trajectory files (those come from full runs,
+# which resolve bare filenames to the repo root via BenchOutputPath).
+mkdir -p build/bench-smoke
+for bench in build/bench/bench_*; do
+  [[ -x "$bench" ]] || continue
+  echo "-- $(basename "$bench")"
+  XFRAG_BENCH_SMOKE=1 XFRAG_BENCH_DIR="$PWD/build/bench-smoke" "$bench" \
+    > /dev/null
+done
+
 if [[ "$FAST" == 1 ]]; then
   echo "== skipping sanitizer stages (--fast) =="
   exit 0
 fi
 
-echo "== asan: build algebra + parallel suites =="
+echo "== asan: build algebra + query + parallel suites =="
 cmake -B build-asan -S . -DXFRAG_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target algebra_test parallel_test
+cmake --build build-asan -j "$JOBS" --target algebra_test query_test \
+  parallel_test
 
 echo "== asan: run =="
 ./build-asan/tests/algebra_test
+./build-asan/tests/query_test
 (cd build-asan && ctest -L parallel --output-on-failure -j "$JOBS")
 
 echo "== tsan: build server suite =="

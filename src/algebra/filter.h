@@ -50,6 +50,11 @@ using FilterPtr = std::shared_ptr<const Filter>;
 struct JoinBounds {
   /// size(f1 ⋈ f2) ≥ size_lower.
   uint32_t size_lower = 0;
+  /// Minimal pre-order member of f1 ⋈ f2 — lca(r1, r2), exactly. Together
+  /// with `span` this gives the join's exact pre-order interval
+  /// [min_pre, min_pre + span], which the top-k score bound intersects with
+  /// per-term posting lists (see docs/ALGEBRA.md "Top-k and score bounds").
+  uint32_t min_pre = 0;
   /// height(f1 ⋈ f2), exactly.
   uint32_t height = 0;
   /// Pre-order span of f1 ⋈ f2, exactly.

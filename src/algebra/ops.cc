@@ -95,6 +95,7 @@ JoinBounds ComputeJoinBounds(const Document& document,
   uint32_t lca_depth = document.depth(lca);
   JoinBounds bounds;
   bounds.root_depth = lca_depth;
+  bounds.min_pre = lca;
   // No connecting-path node is deeper than an operand member, and the LCA is
   // the joined root, so the height is exact.
   bounds.height = std::max(s1.max_depth, s2.max_depth) - lca_depth;
@@ -221,6 +222,51 @@ FragmentSet PairwiseJoinFiltered(const Document& document,
     }
   }
   return out;
+}
+
+void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
+                      const FragmentSet& set2, const FilterPtr& filter,
+                      const FilterContext& context, const JoinScorer& scorer,
+                      const FragmentPredicate& accept, TopKCollector* collector,
+                      OpMetrics* metrics, const CancelToken* cancel) {
+  JoinArena arena;
+  const bool prefilter = SummaryPrefilterEnabled();
+  const std::vector<FragmentSummary> sums1 = SummarizeSet(set1, document);
+  const std::vector<FragmentSummary> sums2 = SummarizeSet(set2, document);
+  size_t since_poll = 0;
+  for (size_t i = 0; i < set1.size(); ++i) {
+    for (size_t j = 0; j < set2.size(); ++j) {
+      if (++since_poll >= 1024) {
+        since_poll = 0;
+        if (ShouldStop(cancel)) return;
+      }
+      if (metrics != nullptr) ++metrics->pairs_considered;
+      // Bounds serve both prefilters, so they are computed unconditionally
+      // (unlike PairwiseJoinFiltered, which only needs them when the summary
+      // prefilter is on).
+      JoinBounds bounds = ComputeJoinBounds(document, sums1[i], sums2[j]);
+      if (prefilter && filter->RejectsJoinBounds(bounds, context)) {
+        CountPrefilterRejectedJoin(metrics);
+        continue;
+      }
+      // Coarsest bound first: most pairs die on pure arithmetic and never
+      // pay for the posting-interval bound.
+      if (!collector->CouldAccept(scorer.QuickUpperBound(bounds)) ||
+          !collector->CouldAccept(scorer.UpperBound(bounds))) {
+        if (metrics != nullptr) ++metrics->pairs_rejected_score;
+        continue;
+      }
+      Fragment joined = JoinWithArena(document, set1[i], set2[j], &arena,
+                                      metrics);
+      if (!PassesFilter(joined, filter, context, metrics)) continue;
+      if (accept && !accept(joined)) continue;
+      // Duplicate joins are the common case (many pairs collapse to one
+      // answer); a retained duplicate is already scored, so don't rescore.
+      if (collector->Contains(joined)) continue;
+      double score = scorer.Score(joined);
+      collector->Offer(std::move(joined), score);
+    }
+  }
 }
 
 FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,

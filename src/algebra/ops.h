@@ -17,10 +17,12 @@
 #define XFRAG_ALGEBRA_OPS_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 
 #include "algebra/filter.h"
 #include "algebra/fragment_set.h"
+#include "algebra/topk.h"
 #include "common/cancel.h"
 #include "common/status.h"
 
@@ -56,6 +58,12 @@ struct OpMetrics {
   /// index proved unnecessary. Schedule-dependent (see Reduce): excluded
   /// from operator== because parallel elimination order differs.
   uint64_t subsume_checks_skipped = 0;
+  /// Pairs rejected in O(1) by the top-k score upper bound (PairwiseJoinTopK):
+  /// ubound(f1 ⋈ f2) could not beat the current k-th best score, so neither
+  /// the join nor its score was computed. Schedule-dependent like
+  /// subsume_checks_skipped (each worker prunes against its own heap), hence
+  /// excluded from operator==; the *results* stay bit-identical regardless.
+  uint64_t pairs_rejected_score = 0;
 
   void Reset() { *this = OpMetrics(); }
 
@@ -71,12 +79,14 @@ struct OpMetrics {
     pairs_considered += other.pairs_considered;
     pairs_rejected_summary += other.pairs_rejected_summary;
     subsume_checks_skipped += other.subsume_checks_skipped;
+    pairs_rejected_score += other.pairs_rejected_score;
   }
 
-  /// Compares every deterministic counter. `subsume_checks_skipped` is
-  /// deliberately excluded: how many checks the ⊖ index skips depends on how
-  /// far elimination had progressed, which differs between the serial pass
-  /// and per-worker chunks without affecting any result.
+  /// Compares every deterministic counter. `subsume_checks_skipped` and
+  /// `pairs_rejected_score` are deliberately excluded: how many checks the ⊖
+  /// index skips — and how many pairs the top-k bound prunes — depends on how
+  /// far elimination (or the heap) had progressed, which differs between the
+  /// serial pass and per-worker chunks without affecting any result.
   bool operator==(const OpMetrics& other) const {
     return fragment_joins == other.fragment_joins &&
            filter_evals == other.filter_evals &&
@@ -170,6 +180,40 @@ FragmentSet PairwiseJoinFiltered(const Document& document,
 /// \brief Definition 3: members of `set` satisfying `filter`.
 FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
                    const FilterContext& context, OpMetrics* metrics = nullptr);
+
+/// Extra acceptance predicate applied to a materialized join before it is
+/// scored. The executor passes the residual (non-pushed) selection and the
+/// answer-mode condition here so the collector only ever holds true final
+/// answers — a prerequisite for the score bound to prune soundly. An empty
+/// function accepts everything. Must be thread-safe for the parallel kernel.
+using FragmentPredicate = std::function<bool(const Fragment&)>;
+
+/// \brief Score-bounded pairwise join — the top-k early-termination kernel.
+///
+/// Enumerates the |set1|·|set2| candidate pairs in the serial double-loop
+/// order; each pair is (a) rejected in O(1) when the pushed `filter`'s
+/// summary prefilter proves the join cannot match, (b) rejected in O(1) when
+/// scorer.UpperBound(bounds) is *strictly* below the current k-th best score
+/// in `collector` (counted as pairs_rejected_score), or (c) materialized,
+/// filtered, run through `accept`, scored exactly, and offered to the
+/// collector. `filter` must be non-null (use filters::True() for none).
+///
+/// The collector afterwards holds exactly the k best answers of the
+/// unbounded evaluation under (score desc, canonical fragment order asc) —
+/// see docs/ALGEBRA.md for the soundness argument. Unlike the unbounded
+/// kernels, the logical OpMetrics counters here measure the work *actually
+/// performed* (pruned pairs never join or filter), so they are intentionally
+/// not comparable with PairwiseJoinFiltered's.
+///
+/// `cancel` is polled periodically; a tripped token returns early with a
+/// partial collector, and callers that must not observe partial results
+/// (the query executor) re-check the token after the call.
+void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
+                      const FragmentSet& set2, const FilterPtr& filter,
+                      const FilterContext& context, const JoinScorer& scorer,
+                      const FragmentPredicate& accept, TopKCollector* collector,
+                      OpMetrics* metrics = nullptr,
+                      const CancelToken* cancel = nullptr);
 
 /// \brief Hard ceiling on PowersetJoinOptions::max_set_size.
 ///

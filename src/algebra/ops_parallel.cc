@@ -151,6 +151,89 @@ FragmentSet PairwiseJoinFilteredParallel(const Document& document,
   return Deduped(produced).Materialize(frags);
 }
 
+void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
+                              const FragmentSet& set2, const FilterPtr& filter,
+                              const FilterContext& context,
+                              const JoinScorer& scorer,
+                              const FragmentPredicate& accept,
+                              TopKCollector* collector, ThreadPool* pool,
+                              OpMetrics* metrics, const CancelToken* cancel) {
+  if (pool == nullptr) {
+    PairwiseJoinTopK(document, set1, set2, filter, context, scorer, accept,
+                     collector, metrics, cancel);
+    return;
+  }
+  const size_t nr = set2.size();
+  const size_t pairs = set1.size() * nr;
+  const bool prefilter = SummaryPrefilterEnabled();
+  std::vector<FragmentSummary> sums1;
+  std::vector<FragmentSummary> sums2;
+  sums1.reserve(set1.size());
+  sums2.reserve(nr);
+  for (const Fragment& f : set1) sums1.push_back(f.Summary(document));
+  for (const Fragment& f : set2) sums2.push_back(f.Summary(document));
+  struct TopKChunk {
+    explicit TopKChunk(size_t k) : collector(k) {}
+    TopKCollector collector;
+    OpMetrics metrics;
+    JoinArena arena;
+  };
+  std::vector<TopKChunk> chunks;
+  chunks.reserve(pool->parallelism());
+  for (unsigned c = 0; c < pool->parallelism(); ++c) {
+    chunks.emplace_back(collector->k());
+  }
+  pool->ParallelFor(pairs, [&](unsigned chunk, size_t begin, size_t end) {
+    TopKChunk& out = chunks[chunk];
+    size_t since_poll = 0;
+    for (size_t p = begin; p < end; ++p) {
+      if (++since_poll >= 1024) {
+        since_poll = 0;
+        if (ShouldStop(cancel)) return;
+      }
+      const size_t li = p / nr;
+      const size_t ri = p % nr;
+      ++out.metrics.pairs_considered;
+      JoinBounds bounds = ComputeJoinBounds(document, sums1[li], sums2[ri]);
+      if (prefilter && filter->RejectsJoinBounds(bounds, context)) {
+        ++out.metrics.fragment_joins;
+        ++out.metrics.fragments_produced;
+        ++out.metrics.filter_evals;
+        ++out.metrics.filter_rejections;
+        ++out.metrics.pairs_rejected_summary;
+        continue;
+      }
+      // Coarsest bound first, as in the serial kernel.
+      if (!out.collector.CouldAccept(scorer.QuickUpperBound(bounds)) ||
+          !out.collector.CouldAccept(scorer.UpperBound(bounds))) {
+        ++out.metrics.pairs_rejected_score;
+        continue;
+      }
+      Fragment joined = JoinWithArena(document, set1[li], set2[ri], &out.arena,
+                                      &out.metrics);
+      ++out.metrics.filter_evals;
+      if (!filter->Matches(joined, context)) {
+        ++out.metrics.filter_rejections;
+        continue;
+      }
+      if (accept && !accept(joined)) continue;
+      // As in the serial kernel: a retained duplicate is already scored.
+      if (out.collector.Contains(joined)) continue;
+      double score = scorer.Score(joined);
+      out.collector.Offer(std::move(joined), score);
+    }
+  });
+  // Barrier: re-offer each chunk's survivors. The collector's content is
+  // order-independent (see topk.h), so chunk order only matters for
+  // determinism of the metrics merge.
+  for (TopKChunk& chunk : chunks) {
+    if (metrics != nullptr) metrics->Merge(chunk.metrics);
+    for (ScoredFragment& sf : chunk.collector.TakeSorted()) {
+      collector->Offer(std::move(sf.fragment), sf.score);
+    }
+  }
+}
+
 FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,
                            ThreadPool* pool, OpMetrics* metrics) {
   if (pool == nullptr) return Reduce(document, set, metrics);

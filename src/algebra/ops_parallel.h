@@ -47,6 +47,27 @@ FragmentSet PairwiseJoinFilteredParallel(const Document& document,
                                          ThreadPool* pool,
                                          OpMetrics* metrics = nullptr);
 
+/// \brief Score-bounded top-k pairwise join fanned out over the pool
+/// (PairwiseJoinTopK's pooled form).
+///
+/// Each worker owns a private TopKCollector of the same capacity and prunes
+/// against its own heap — sound, because a pair that cannot beat a *partial*
+/// heap's minimum cannot beat the final one either — and the per-chunk
+/// survivors are re-offered into `collector` at the barrier in chunk order.
+/// The retained top-k (fragments *and* scores) is bit-identical to the serial
+/// kernel for every thread count; the pruning counters
+/// (pairs_rejected_score, and consequently fragment_joins/filter_evals under
+/// pruning) are schedule-dependent, unlike the unbounded kernels above.
+/// `scorer` and `accept` are shared across workers and must be thread-safe.
+void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
+                              const FragmentSet& set2, const FilterPtr& filter,
+                              const FilterContext& context,
+                              const JoinScorer& scorer,
+                              const FragmentPredicate& accept,
+                              TopKCollector* collector, ThreadPool* pool,
+                              OpMetrics* metrics = nullptr,
+                              const CancelToken* cancel = nullptr);
+
 /// \brief Definition 10 in parallel: chunks the outer pair loop and OR-merges
 /// per-worker elimination bitmaps at the barrier. Bit-identical to Reduce.
 FragmentSet ReduceParallel(const Document& document, const FragmentSet& set,

@@ -1,0 +1,148 @@
+// Top-k machinery for score-bounded enumeration (docs/ALGEBRA.md, "Top-k and
+// score bounds").
+//
+// A JoinScorer assigns every fragment an exact relevance score and, crucially,
+// can bound from above the score of a *prospective* join f1 ⋈ f2 using only
+// the O(1) JoinBounds computed from the operands' summary headers — before
+// the join is materialized. The bound is anti-monotonic in spirit: growing a
+// fragment can only add penalty and cannot add term hits beyond what its
+// pre-order interval admits, so `UpperBound(bounds) >= Score(f1 ⋈ f2)` always.
+//
+// A TopKCollector is a fixed-capacity min-heap of the current k best scored
+// fragments under the total order (score descending, canonical fragment order
+// ascending). Because the order is total and duplicates are rejected, the
+// collector's final content is a pure function of the *set* of offered
+// (fragment, score) pairs — independent of offer order. That is what makes
+// the parallel top-k kernel bit-identical across thread counts: each worker
+// prunes against its own heap (sound: a pruned pair could not enter even a
+// fuller heap), and the per-chunk survivors are re-offered into one final
+// collector at the barrier.
+
+#ifndef XFRAG_ALGEBRA_TOPK_H_
+#define XFRAG_ALGEBRA_TOPK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/filter.h"
+#include "algebra/fragment.h"
+
+namespace xfrag::algebra {
+
+/// \brief Exact scorer plus a sound O(1) score upper bound for joins.
+///
+/// Implementations must be safe to call concurrently from multiple workers
+/// (the parallel kernel shares one scorer across chunks), so Score and
+/// UpperBound must be logically const and touch only read-only state.
+class JoinScorer {
+ public:
+  virtual ~JoinScorer() = default;
+
+  /// The exact relevance score of `fragment`. Must be deterministic: the
+  /// same fragment always yields the bit-identical double.
+  virtual double Score(const Fragment& fragment) const = 0;
+
+  /// \brief An upper bound on Score(f1 ⋈ f2) computed from the join's
+  /// summary bounds alone.
+  ///
+  /// Soundness contract: for every pair (f1, f2) with bounds
+  /// b = ComputeJoinBounds(doc, s1, s2), UpperBound(b) >= Score(f1 ⋈ f2).
+  /// The kernels reject a pair only when the bound is *strictly* below the
+  /// current k-th best score, so ties are never wrongly pruned.
+  virtual double UpperBound(const JoinBounds& bounds) const = 0;
+
+  /// \brief A cheaper (and weaker) bound tried before UpperBound.
+  ///
+  /// The kernels evaluate bounds coarsest-first: a pair rejected by
+  /// QuickUpperBound never pays for UpperBound (which may, e.g., binary-search
+  /// posting lists). Must satisfy the same soundness contract —
+  /// QuickUpperBound(b) >= Score(f1 ⋈ f2) — which UpperBound already
+  /// guarantees, so overriding is optional; the default is "no information".
+  virtual double QuickUpperBound(const JoinBounds& bounds) const;
+};
+
+/// A fragment with its exact score.
+struct ScoredFragment {
+  Fragment fragment;
+  double score = 0.0;
+};
+
+/// True iff `a` outranks `b`: higher score first, canonical fragment order
+/// (Fragment::operator<) breaking ties. A strict weak (in fact total) order
+/// over distinct fragments.
+inline bool OutranksScored(const ScoredFragment& a, const ScoredFragment& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.fragment < b.fragment;
+}
+
+/// \brief Fixed-capacity collector of the k best distinct scored fragments.
+///
+/// Offers are deduplicated by fragment equality (cached hashes, exact
+/// comparison on collision), so the same fragment produced by many candidate
+/// pairs occupies one slot. The retained set after any sequence of offers is
+/// exactly the k best distinct fragments offered, independent of order.
+class TopKCollector {
+ public:
+  explicit TopKCollector(size_t k) : k_(k) {}
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= k_; }
+
+  /// \brief True iff a candidate whose score is at most `upper` could still
+  /// enter the collector.
+  ///
+  /// False only when the heap is full and `upper` is strictly below the
+  /// current k-th best score — a candidate tying the minimum could still win
+  /// on canonical fragment order, so equality never rejects.
+  bool CouldAccept(double upper) const {
+    if (k_ == 0) return false;
+    if (heap_.size() < k_) return true;
+    return upper >= store_[heap_.front()].score;
+  }
+
+  /// \brief True iff an equal fragment is currently retained.
+  ///
+  /// Lets enumeration kernels skip scoring a joined fragment that is a
+  /// duplicate of a retained answer — Offer rejects duplicates regardless of
+  /// score, and duplicates share the retained entry's score by purity of the
+  /// scorer, so skipping them cannot change the result.
+  bool Contains(const Fragment& fragment) const {
+    auto chain = members_.find(fragment.Hash());
+    if (chain == members_.end()) return false;
+    for (uint32_t slot : chain->second) {
+      if (store_[slot].fragment == fragment) return true;
+    }
+    return false;
+  }
+
+  /// \brief Offers one scored fragment; returns true iff it was retained
+  /// (possibly evicting the previous minimum).
+  bool Offer(Fragment fragment, double score);
+
+  /// \brief Moves the retained fragments out, best first. The collector is
+  /// left empty.
+  std::vector<ScoredFragment> TakeSorted();
+
+ private:
+  /// Heap comparator: "a outranks b" as less-than makes std::*_heap keep the
+  /// *worst* retained entry at heap_.front().
+  bool HeapLess(uint32_t a, uint32_t b) const {
+    return OutranksScored(store_[a], store_[b]);
+  }
+
+  size_t k_;
+  /// Stable slots; heap_ and members_ index into it so fragments never move
+  /// while heap positions shuffle.
+  std::vector<ScoredFragment> store_;
+  std::vector<uint32_t> heap_;
+  /// Fragment hash → slots with that hash (collision chain), for O(1)
+  /// duplicate detection.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> members_;
+};
+
+}  // namespace xfrag::algebra
+
+#endif  // XFRAG_ALGEBRA_TOPK_H_

@@ -74,6 +74,27 @@ double CostModel::EstimateFixedPointSize(size_t n, double rf) const {
   return std::min(independent + absorbed, parameters_.fixed_point_cap);
 }
 
+TopKCostEstimate CostModel::EstimateTopKJoin(double pairs,
+                                             double prune_rate) const {
+  TopKCostEstimate estimate;
+  pairs = std::max(pairs, 0.0);
+  prune_rate = std::min(std::max(prune_rate, 0.0), 1.0);
+  // Unbounded baseline: every pair joins, filters, dedups, and every
+  // produced fragment is scored for the full ranking.
+  estimate.full_ns =
+      pairs * (parameters_.join_ns + parameters_.filter_ns +
+               parameters_.dedup_ns + parameters_.score_ns);
+  // Bounded path: every pair pays the O(1) bound check; only survivors pay
+  // for the join, filter, and exact score (the heap insert is priced as the
+  // dedup unit).
+  double kept = pairs * (1.0 - prune_rate);
+  estimate.bounded_ns =
+      pairs * parameters_.score_bound_ns +
+      kept * (parameters_.join_ns + parameters_.filter_ns +
+              parameters_.dedup_ns + parameters_.score_ns);
+  return estimate;
+}
+
 CostInputs CostModel::GatherInputs(const Query& query,
                                    const doc::Document& document,
                                    const text::InvertedIndex& index,

@@ -43,6 +43,13 @@ struct CostParameters {
   double prefilter_ns = 20.0;
   /// Hash-set insert/dedup per produced fragment.
   double dedup_ns = 120.0;
+  /// Cost of one O(1) score-upper-bound check in the top-k kernels (per-term
+  /// posting-list binary searches; what a score-rejected pair pays instead
+  /// of join + filter + scoring).
+  double score_bound_ns = 80.0;
+  /// Cost of one exact score evaluation (AnswerScorer::Score over a typical
+  /// answer fragment).
+  double score_ns = 500.0;
   /// Cap on estimated fixed-point cardinality (mirrors practical limits).
   double fixed_point_cap = 1e7;
 };
@@ -58,6 +65,15 @@ struct CostInputs {
   double anti_monotonic_selectivity = 1.0;
   /// True when the filter has a non-trivial anti-monotonic conjunct.
   bool has_anti_monotonic = false;
+};
+
+/// Pricing of a score-bounded top-k final join against the unbounded
+/// join-everything-then-rank-everything baseline (EstimateTopKJoin).
+struct TopKCostEstimate {
+  /// Estimated nanoseconds for the bounded kernel.
+  double bounded_ns = 0.0;
+  /// Estimated nanoseconds for full evaluation + ranking of every answer.
+  double full_ns = 0.0;
 };
 
 /// One strategy's estimated cost.
@@ -98,6 +114,12 @@ class CostModel {
   /// \brief Estimated fixed-point cardinality for a base set of size `n`
   /// with reduction factor `rf` (exposed for tests).
   double EstimateFixedPointSize(size_t n, double rf) const;
+
+  /// \brief Prices the score-bounded top-k final join over `pairs` candidate
+  /// pairs, of which a fraction `prune_rate` (in [0, 1]) is rejected by the
+  /// score bound, against the unbounded join + rank-everything baseline.
+  /// Monotone: more pruning can only lower the bounded estimate.
+  TopKCostEstimate EstimateTopKJoin(double pairs, double prune_rate) const;
 
   const CostParameters& parameters() const { return parameters_; }
 

@@ -90,21 +90,49 @@ StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
   if (!plan.ok()) return plan.status();
 
   std::vector<NodeCardinality> cardinalities;
-  auto answers = ExecutePlan(*plan.value(), document_, index_,
-                             options.executor, &result.metrics,
-                             options.analyze ? &cardinalities : nullptr);
-  if (options.metrics_sink != nullptr) *options.metrics_sink = result.metrics;
-  if (!answers.ok()) return answers.status();
-  result.answers = std::move(answers).value();
-
-  if (options.answer_mode == AnswerMode::kLeafStrict) {
-    FragmentSet strict;
-    for (const Fragment& f : result.answers) {
-      if (SatisfiesLeafCondition(f, query.terms, document_, index_)) {
-        strict.Insert(f);
-      }
+  if (options.top_k >= 0) {
+    // Ranked top-k path: the answer-mode condition gates heap admission (the
+    // collector must only hold true final answers for pruning to be sound).
+    AnswerScorer scorer(query.terms, document_, index_, options.ranking);
+    algebra::FragmentPredicate accept;
+    if (options.answer_mode == AnswerMode::kLeafStrict) {
+      accept = [this, &query](const Fragment& f) {
+        return SatisfiesLeafCondition(f, query.terms, document_, index_);
+      };
     }
-    result.answers = std::move(strict);
+    auto topk = ExecutePlanTopK(*plan.value(), document_, index_,
+                                options.executor, scorer,
+                                static_cast<size_t>(options.top_k), accept,
+                                &result.metrics,
+                                options.analyze ? &cardinalities : nullptr);
+    if (options.metrics_sink != nullptr) {
+      *options.metrics_sink = result.metrics;
+    }
+    if (!topk.ok()) return topk.status();
+    result.ranked.reserve(topk->size());
+    for (algebra::ScoredFragment& sf : topk.value()) {
+      result.answers.Insert(sf.fragment);
+      result.ranked.emplace_back(std::move(sf.fragment), sf.score);
+    }
+  } else {
+    auto answers = ExecutePlan(*plan.value(), document_, index_,
+                               options.executor, &result.metrics,
+                               options.analyze ? &cardinalities : nullptr);
+    if (options.metrics_sink != nullptr) {
+      *options.metrics_sink = result.metrics;
+    }
+    if (!answers.ok()) return answers.status();
+    result.answers = std::move(answers).value();
+
+    if (options.answer_mode == AnswerMode::kLeafStrict) {
+      FragmentSet strict;
+      for (const Fragment& f : result.answers) {
+        if (SatisfiesLeafCondition(f, query.terms, document_, index_)) {
+          strict.Insert(f);
+        }
+      }
+      result.answers = std::move(strict);
+    }
   }
 
   result.explain = StrFormat("strategy: %s\n",
@@ -126,6 +154,26 @@ StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
         "prefilter: %llu/%llu pairs rejected from summaries\n",
         static_cast<unsigned long long>(result.metrics.pairs_rejected_summary),
         static_cast<unsigned long long>(result.metrics.pairs_considered));
+  }
+  // Surface the top-k score bound: how many candidate pairs never needed a
+  // join because their score upper bound could not reach the heap, plus the
+  // cost model's pricing of the bounded vs. unbounded final join.
+  if (options.top_k >= 0) {
+    result.explain += StrFormat(
+        "top_k: %lld (%llu/%llu pairs rejected by score bound)\n",
+        static_cast<long long>(options.top_k),
+        static_cast<unsigned long long>(result.metrics.pairs_rejected_score),
+        static_cast<unsigned long long>(result.metrics.pairs_considered));
+    if (result.metrics.pairs_considered > 0) {
+      double prune_rate =
+          static_cast<double>(result.metrics.pairs_rejected_score) /
+          static_cast<double>(result.metrics.pairs_considered);
+      TopKCostEstimate cost = CostModel().EstimateTopKJoin(
+          static_cast<double>(result.metrics.pairs_considered), prune_rate);
+      result.explain += StrFormat(
+          "top_k cost: bounded ~%.3f ms vs full ~%.3f ms (model estimate)\n",
+          cost.bounded_ns / 1e6, cost.full_ns / 1e6);
+    }
   }
   if (!rationale.empty()) {
     result.explain += "rationale: " + rationale + "\n";

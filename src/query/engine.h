@@ -14,6 +14,7 @@
 #include "query/optimizer.h"
 #include "query/plan.h"
 #include "query/query.h"
+#include "query/ranking.h"
 #include "text/inverted_index.h"
 
 namespace xfrag::query {
@@ -37,6 +38,18 @@ struct EvalOptions {
   /// When true, the EXPLAIN output is annotated with each plan node's
   /// actual output cardinality (EXPLAIN ANALYZE).
   bool analyze = false;
+  /// Top-k ranked evaluation. < 0 (the default) disables ranking: Evaluate
+  /// returns the full unordered answer set as before. k >= 0 makes Evaluate
+  /// return exactly the k best answers — the length-min(k, |A|) prefix of
+  /// RankAnswers over the full answer set, ties broken by canonical fragment
+  /// order — in EvalResult::ranked (EvalResult::answers holds the same
+  /// fragments in rank order). When the executed plan ends in a pairwise
+  /// join, the final join runs score-bounded: candidate pairs whose score
+  /// upper bound cannot beat the current k-th best answer are rejected in
+  /// O(1) before the join is materialized (see docs/ALGEBRA.md).
+  int64_t top_k = -1;
+  /// Scoring knobs for the ranked path (ignored when top_k < 0).
+  RankingOptions ranking;
   /// Optional sink that receives the operator metrics even when Evaluate
   /// fails (a StatusOr error carries no EvalResult). A deadline-exceeded
   /// query reports the work it did before being cut off through this —
@@ -46,8 +59,11 @@ struct EvalOptions {
 
 /// The result of evaluating one query.
 struct EvalResult {
-  /// The answer set A (Definition 8 under the chosen AnswerMode).
+  /// The answer set A (Definition 8 under the chosen AnswerMode). Under
+  /// top-k evaluation, the k best answers in rank order.
   algebra::FragmentSet answers;
+  /// Ranked answers, best first; populated only when options.top_k >= 0.
+  std::vector<RankedAnswer> ranked;
   /// Operator work counters.
   algebra::OpMetrics metrics;
   /// The strategy that actually ran (resolved from kAuto).

@@ -118,8 +118,7 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
         cache_key += '\x1f';
         cache_key += node.filter ? node.filter->ToString() : "";
         cache_key += node.fixed_point_reduced ? "\x1fR" : "\x1fN";
-        if (const algebra::FragmentSet* cached =
-                options.fixed_point_cache->Find(cache_key)) {
+        if (auto cached = options.fixed_point_cache->Find(cache_key)) {
           return *cached;
         }
       }
@@ -156,6 +155,27 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
 
 }  // namespace
 
+namespace {
+
+// Resolves the Parallelism option: parallelism 1 (or a degenerate pool)
+// means the serial kernels; otherwise reuse the caller's pool or spin up a
+// transient one (owned by `transient_pool`) for this plan.
+ExecutorOptions ResolvePool(const ExecutorOptions& options,
+                            std::optional<ThreadPool>* transient_pool) {
+  ExecutorOptions resolved = options;
+  if (resolved.thread_pool == nullptr && resolved.parallelism > 1) {
+    transient_pool->emplace(resolved.parallelism);
+    resolved.thread_pool = &**transient_pool;
+  }
+  if (resolved.thread_pool != nullptr &&
+      resolved.thread_pool->parallelism() <= 1) {
+    resolved.thread_pool = nullptr;
+  }
+  return resolved;
+}
+
+}  // namespace
+
 StatusOr<FragmentSet> ExecutePlan(const PlanNode& plan,
                                   const doc::Document& document,
                                   const text::InvertedIndex& index,
@@ -163,21 +183,74 @@ StatusOr<FragmentSet> ExecutePlan(const PlanNode& plan,
                                   OpMetrics* metrics,
                                   std::vector<NodeCardinality>* cardinalities) {
   FilterContext context{&document, &index};
-  ExecutorOptions resolved = options;
-  // Resolve the Parallelism option: parallelism 1 (or a degenerate pool)
-  // means the serial kernels; otherwise reuse the caller's pool or spin up a
-  // transient one for this plan.
   std::optional<ThreadPool> transient_pool;
-  if (resolved.thread_pool == nullptr && resolved.parallelism > 1) {
-    transient_pool.emplace(resolved.parallelism);
-    resolved.thread_pool = &*transient_pool;
-  }
-  if (resolved.thread_pool != nullptr &&
-      resolved.thread_pool->parallelism() <= 1) {
-    resolved.thread_pool = nullptr;
-  }
+  ExecutorOptions resolved = ResolvePool(options, &transient_pool);
   return ExecuteRecorded(plan, document, index, resolved, context, metrics,
                          cardinalities);
+}
+
+StatusOr<std::vector<algebra::ScoredFragment>> ExecutePlanTopK(
+    const PlanNode& plan, const doc::Document& document,
+    const text::InvertedIndex& index, const ExecutorOptions& options,
+    const algebra::JoinScorer& scorer, size_t k,
+    const algebra::FragmentPredicate& accept, OpMetrics* metrics,
+    std::vector<NodeCardinality>* cardinalities) {
+  FilterContext context{&document, &index};
+  std::optional<ThreadPool> transient_pool;
+  ExecutorOptions resolved = ResolvePool(options, &transient_pool);
+
+  // Peel σ_residue off the root; the shape σ(A ⋈ B) gets the bounded kernel.
+  const PlanNode* root = &plan;
+  algebra::FilterPtr residue;
+  if (root->kind == PlanNodeKind::kSelect) {
+    residue = root->filter;
+    root = root->children[0].get();
+  }
+  if (root->kind == PlanNodeKind::kPairwiseJoin) {
+    auto left = ExecuteRecorded(*root->children[0], document, index, resolved,
+                                context, metrics, cardinalities);
+    if (!left.ok()) return left.status();
+    auto right = ExecuteRecorded(*root->children[1], document, index, resolved,
+                                 context, metrics, cardinalities);
+    if (!right.ok()) return right.status();
+    // The collector must only ever hold true final answers (score pruning
+    // compares candidates against heap members), so the residual selection
+    // and the answer-mode condition gate admission. Evaluated inside pool
+    // workers — no metrics counting here (see header).
+    algebra::FragmentPredicate admit;
+    if (residue != nullptr || accept) {
+      admit = [&residue, &accept, context](const Fragment& f) {
+        if (residue != nullptr && !residue->Matches(f, context)) return false;
+        if (accept && !accept(f)) return false;
+        return true;
+      };
+    }
+    algebra::FilterPtr join_filter =
+        root->filter != nullptr ? root->filter : algebra::filters::True();
+    algebra::TopKCollector collector(k);
+    algebra::PairwiseJoinTopKParallel(document, left.value(), right.value(),
+                                      join_filter, context, scorer, admit,
+                                      &collector, resolved.thread_pool, metrics,
+                                      resolved.cancel);
+    if (ShouldStop(resolved.cancel)) return DeadlineError();
+    if (cardinalities != nullptr) {
+      cardinalities->push_back({root, collector.size()});
+      if (root != &plan) cardinalities->push_back({&plan, collector.size()});
+    }
+    return collector.TakeSorted();
+  }
+
+  // Fallback shapes (single-term fixed point, brute-force powerset join):
+  // evaluate the whole plan — residual selection included — then heap-select.
+  auto full = ExecuteRecorded(plan, document, index, resolved, context,
+                              metrics, cardinalities);
+  if (!full.ok()) return full.status();
+  algebra::TopKCollector collector(k);
+  for (const Fragment& f : full.value()) {
+    if (accept && !accept(f)) continue;
+    collector.Offer(f, scorer.Score(f));
+  }
+  return collector.TakeSorted();
 }
 
 }  // namespace xfrag::query

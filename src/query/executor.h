@@ -60,6 +60,32 @@ StatusOr<algebra::FragmentSet> ExecutePlan(
     algebra::OpMetrics* metrics = nullptr,
     std::vector<NodeCardinality>* cardinalities = nullptr);
 
+/// \brief Top-k evaluation of `plan`: returns the `k` best answers under
+/// (scorer score descending, canonical fragment order ascending) — exactly
+/// the length-k prefix of scoring every answer of ExecutePlan and applying
+/// `accept` (the engine's answer-mode condition; empty = accept all).
+///
+/// When the plan root is σ_residue over a final kPairwiseJoin (the shape
+/// every fixed-point strategy produces), the children are evaluated normally
+/// and the final join runs score-bounded (PairwiseJoinTopK / the pooled
+/// variant): pairs whose score upper bound cannot beat the current k-th best
+/// answer are rejected in O(1) before any join is materialized. The residual
+/// selection and `accept` are applied *before* a candidate enters the heap,
+/// so pruning is sound. Any other root shape (single-term fixed point,
+/// brute-force powerset join) falls back to full evaluation followed by
+/// heap-selection — same results, no pruning.
+///
+/// `accept` and `scorer` may be called from pool workers and must be
+/// thread-safe. Residual filter evaluations on the bounded path are not
+/// metered (they are schedule-dependent under pruning; see ops.h).
+StatusOr<std::vector<algebra::ScoredFragment>> ExecutePlanTopK(
+    const PlanNode& plan, const doc::Document& document,
+    const text::InvertedIndex& index, const ExecutorOptions& options,
+    const algebra::JoinScorer& scorer, size_t k,
+    const algebra::FragmentPredicate& accept = {},
+    algebra::OpMetrics* metrics = nullptr,
+    std::vector<NodeCardinality>* cardinalities = nullptr);
+
 }  // namespace xfrag::query
 
 #endif  // XFRAG_QUERY_EXECUTOR_H_

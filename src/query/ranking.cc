@@ -10,45 +10,95 @@ namespace xfrag::query {
 using algebra::Fragment;
 using algebra::FragmentSet;
 
+AnswerScorer::AnswerScorer(const std::vector<std::string>& terms,
+                           const doc::Document& document,
+                           const text::InvertedIndex& index,
+                           const RankingOptions& options)
+    : index_(index), size_penalty_(std::max(options.size_penalty, 0.0)) {
+  const double n = static_cast<double>(document.size());
+  terms_.reserve(terms.size());
+  for (const auto& term : terms) {
+    ScoredTerm t;
+    t.folded = AsciiToLower(term);
+    double df = static_cast<double>(index.DocumentFrequency(t.folded));
+    t.idf = std::log(1.0 + n / std::max(df, 1.0));
+    t.postings = &index.Lookup(t.folded);
+    terms_.push_back(std::move(t));
+  }
+}
+
+double AnswerScorer::Score(const Fragment& fragment) const {
+  double evidence = 0.0;
+  for (const ScoredTerm& t : terms_) {
+    // Count member nodes containing the term by searching the cached posting
+    // list directly — never back through the index's string-keyed lookup.
+    // Iterate the smaller side, binary-search the larger.
+    const auto& postings = *t.postings;
+    size_t hits = 0;
+    if (postings.size() < fragment.size()) {
+      for (doc::NodeId p : postings) {
+        if (fragment.ContainsNode(p)) ++hits;
+      }
+    } else {
+      for (doc::NodeId member : fragment.nodes()) {
+        if (std::binary_search(postings.begin(), postings.end(), member)) {
+          ++hits;
+        }
+      }
+    }
+    evidence += t.idf * static_cast<double>(hits);
+  }
+  double penalty =
+      1.0 + size_penalty_ *
+                std::log(1.0 + static_cast<double>(fragment.size()));
+  return evidence / penalty;
+}
+
+double AnswerScorer::QuickUpperBound(const algebra::JoinBounds& bounds) const {
+  // Same accumulation order and penalty as Score/UpperBound; the per-term
+  // ceiling min(df, span + 1) dominates the interval posting count, so this
+  // bound is sound wherever UpperBound is (every rounding step is monotone).
+  const double width = static_cast<double>(bounds.span) + 1.0;
+  double evidence = 0.0;
+  for (const ScoredTerm& t : terms_) {
+    const double df = static_cast<double>(t.postings->size());
+    evidence += t.idf * std::min(df, width);
+  }
+  double penalty =
+      1.0 + size_penalty_ *
+                std::log(1.0 + static_cast<double>(bounds.size_lower));
+  return evidence / penalty;
+}
+
+double AnswerScorer::UpperBound(const algebra::JoinBounds& bounds) const {
+  // Per-term hit ceiling: postings inside the join's exact pre-order interval
+  // [min_pre, min_pre + span]. Accumulated in Score's term order so every
+  // rounding step dominates its Score counterpart.
+  const doc::NodeId lo = bounds.min_pre;
+  const doc::NodeId hi = bounds.min_pre + bounds.span;
+  double evidence = 0.0;
+  for (const ScoredTerm& t : terms_) {
+    const auto& postings = *t.postings;
+    auto first = std::lower_bound(postings.begin(), postings.end(), lo);
+    auto last = std::upper_bound(first, postings.end(), hi);
+    evidence += t.idf * static_cast<double>(last - first);
+  }
+  double penalty =
+      1.0 + size_penalty_ *
+                std::log(1.0 + static_cast<double>(bounds.size_lower));
+  return evidence / penalty;
+}
+
 std::vector<RankedAnswer> RankAnswers(const FragmentSet& answers,
                                       const std::vector<std::string>& terms,
                                       const doc::Document& document,
                                       const text::InvertedIndex& index,
                                       const RankingOptions& options) {
-  const double n = static_cast<double>(document.size());
-  // idf per term (case-folded once).
-  std::vector<std::pair<std::string, double>> term_idf;
-  term_idf.reserve(terms.size());
-  for (const auto& term : terms) {
-    std::string folded = AsciiToLower(term);
-    double df = static_cast<double>(index.DocumentFrequency(folded));
-    double idf = std::log(1.0 + n / std::max(df, 1.0));
-    term_idf.emplace_back(std::move(folded), idf);
-  }
-
+  AnswerScorer scorer(terms, document, index, options);
   std::vector<RankedAnswer> ranked;
   ranked.reserve(answers.size());
   for (const Fragment& fragment : answers) {
-    double evidence = 0.0;
-    for (const auto& [term, idf] : term_idf) {
-      // Count member nodes containing the term; iterate the smaller side.
-      const auto& postings = index.Lookup(term);
-      size_t hits = 0;
-      if (postings.size() < fragment.size()) {
-        for (doc::NodeId p : postings) {
-          if (fragment.ContainsNode(p)) ++hits;
-        }
-      } else {
-        for (doc::NodeId member : fragment.nodes()) {
-          if (index.Contains(term, member)) ++hits;
-        }
-      }
-      evidence += idf * static_cast<double>(hits);
-    }
-    double penalty =
-        1.0 + options.size_penalty *
-                  std::log(1.0 + static_cast<double>(fragment.size()));
-    ranked.emplace_back(fragment, evidence / penalty);
+    ranked.emplace_back(fragment, scorer.Score(fragment));
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedAnswer& a, const RankedAnswer& b) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algebra/fragment_set.h"
+#include "algebra/topk.h"
 #include "text/inverted_index.h"
 
 namespace xfrag::query {
@@ -19,7 +20,9 @@ namespace xfrag::query {
 /// Scoring knobs.
 struct RankingOptions {
   /// Weight of the size penalty: larger fragments dilute their keyword
-  /// evidence. 0 disables the penalty.
+  /// evidence. 0 disables the penalty. Must be >= 0 (negative values are
+  /// clamped to 0: the top-k score upper bound relies on the penalty growing
+  /// with fragment size).
   double size_penalty = 1.0;
 };
 
@@ -47,6 +50,48 @@ std::vector<RankedAnswer> RankAnswers(const algebra::FragmentSet& answers,
                                       const doc::Document& document,
                                       const text::InvertedIndex& index,
                                       const RankingOptions& options = {});
+
+/// \brief The RankAnswers scorer as an algebra::JoinScorer — the bridge that
+/// lets the score-bounded join kernels (PairwiseJoinTopK) prune against the
+/// exact serving-side ranking.
+///
+/// Score(f) is bit-identical to the score RankAnswers assigns f (RankAnswers
+/// delegates here). UpperBound(b) is sound for any join whose bounds are b:
+/// every member of f1 ⋈ f2 lies in the exact pre-order interval
+/// [b.min_pre, b.min_pre + b.span], so per-term hits are at most the posting
+/// count inside that interval (two binary searches); the size penalty is
+/// monotone in |f| ≥ b.size_lower. Both inequalities survive IEEE rounding
+/// because the bound accumulates terms in the same order as Score and every
+/// rounding step is monotone — see docs/ALGEBRA.md "Top-k and score bounds".
+///
+/// Read-only after construction, hence safe to share across worker threads.
+/// The index (and its posting lists) must outlive the scorer.
+class AnswerScorer : public algebra::JoinScorer {
+ public:
+  AnswerScorer(const std::vector<std::string>& terms,
+               const doc::Document& document, const text::InvertedIndex& index,
+               const RankingOptions& options = {});
+
+  double Score(const algebra::Fragment& fragment) const override;
+  double UpperBound(const algebra::JoinBounds& bounds) const override;
+  /// Arithmetic-only stage: per-term hits can exceed neither the document
+  /// frequency nor the interval width (span + 1 node ids). Dominates
+  /// UpperBound, which replaces the width cap by the actual posting count
+  /// inside the interval at the cost of two binary searches per term.
+  double QuickUpperBound(const algebra::JoinBounds& bounds) const override;
+
+ private:
+  struct ScoredTerm {
+    std::string folded;
+    double idf = 0.0;
+    /// The index's stable posting list for `folded` (sorted node ids).
+    const std::vector<doc::NodeId>* postings = nullptr;
+  };
+
+  const text::InvertedIndex& index_;
+  std::vector<ScoredTerm> terms_;
+  double size_penalty_;
+};
 
 }  // namespace xfrag::query
 

@@ -203,6 +203,7 @@ std::string Server::Dispatch(const HttpRequest& request, int* status_out,
     } else {
       body = stats_.ToJson();
       body.Set("fixed_point_cache", service_.CacheStatsJson());
+      body.Set("result_cache", service_.ResultCacheStatsJson());
       body.Set("in_flight", static_cast<int64_t>(InFlight()));
     }
     *status_out = 200;

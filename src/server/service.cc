@@ -1,6 +1,8 @@
 #include "server/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "common/cancel.h"
@@ -79,6 +81,9 @@ struct ParsedRequest {
   bool explain = false;
   bool include_xml = false;
   int64_t max_answers = -1;  // < 0 = unlimited
+  int64_t top_k = -1;        // < 0 = no top-k cutoff
+  bool rank = false;         // ranked evaluation ("top_k" implies it)
+  bool rank_explicit = false;
 };
 
 Status DecodeRequest(const json::Value& root, bool allow_debug_sleep,
@@ -151,6 +156,18 @@ Status DecodeRequest(const json::Value& root, bool allow_debug_sleep,
             "\"max_answers\" must be a non-negative integer");
       }
       out->max_answers = value.AsInt();
+    } else if (key == "top_k") {
+      if (!value.is_integral() || value.AsInt() < 0) {
+        return Status::InvalidArgument(
+            "\"top_k\" must be a non-negative integer");
+      }
+      out->top_k = value.AsInt();
+    } else if (key == "rank") {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("\"rank\" must be a boolean");
+      }
+      out->rank = value.AsBool();
+      out->rank_explicit = true;
     } else if (key == "debug_sleep_ms" && allow_debug_sleep) {
       if (!value.is_number() || value.AsDouble() < 0) {
         return Status::InvalidArgument(
@@ -165,7 +182,68 @@ Status DecodeRequest(const json::Value& root, bool allow_debug_sleep,
   if (out->query.terms.empty()) {
     return Status::InvalidArgument("missing required field \"terms\"");
   }
+  if (out->top_k >= 0) {
+    if (out->rank_explicit && !out->rank) {
+      return Status::InvalidArgument(
+          "\"rank\": false conflicts with \"top_k\" (top-k answers are "
+          "ranked by definition)");
+    }
+    out->rank = true;
+  }
   return Status::OK();
+}
+
+// The normalized-request cache key: terms case-folded (the index folds them
+// anyway) and sorted (conjunctive semantics are order-free), then every
+// field that can change the response body. '\x1f'/'\x1e' separators keep
+// the key unambiguous. Deadline and debug-sleep are deliberately absent —
+// they change timing, never a successful body, and debug-sleep requests
+// bypass the cache entirely.
+std::string ResultCacheKey(const ParsedRequest& request) {
+  std::vector<std::string> terms;
+  terms.reserve(request.query.terms.size());
+  for (const std::string& term : request.query.terms) {
+    terms.push_back(AsciiToLower(term));
+  }
+  std::sort(terms.begin(), terms.end());
+  std::string key;
+  for (const std::string& term : terms) {
+    key += term;
+    key += '\x1e';
+  }
+  key += '\x1f';
+  key += request.query.filter != nullptr ? request.query.filter->ToString()
+                                         : "";
+  key += '\x1f';
+  key += query::StrategyName(request.eval.strategy);
+  key += '\x1f';
+  key += request.eval.answer_mode == query::AnswerMode::kLeafStrict ? "L" : "A";
+  key += '\x1f';
+  key += StrFormat("%lld", static_cast<long long>(request.top_k));
+  key += request.rank ? "\x1fR" : "\x1fU";
+  key += '\x1f';
+  key += StrFormat("%lld", static_cast<long long>(request.max_answers));
+  key += request.include_xml ? "\x1f" "x" : "\x1f";
+  key += request.explain ? "\x1f" "e" : "\x1f";
+  key += request.eval.analyze ? "\x1f" "a" : "\x1f";
+  return key;
+}
+
+// One globally ranked answer, carrying its source document.
+struct RankedHit {
+  double score = 0.0;
+  size_t document_index = 0;
+  Fragment fragment;
+};
+
+// Cross-document rank order: score descending, then document index, then
+// canonical fragment order — fully deterministic.
+bool OutranksHit(const RankedHit& a, const RankedHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.document_index != b.document_index) {
+    return a.document_index < b.document_index;
+  }
+  return a.fragment < b.fragment;
 }
 
 }  // namespace
@@ -175,8 +253,13 @@ QueryService::QueryService(const collection::Collection& collection,
     : collection_(collection), options_(options) {
   caches_.reserve(collection_.size());
   for (size_t i = 0; i < collection_.size(); ++i) {
-    caches_.push_back(std::make_unique<query::FixedPointCache>());
+    caches_.push_back(std::make_unique<query::FixedPointCache>(
+        options_.fixed_point_cache));
   }
+  ResultCacheOptions cache_options;
+  cache_options.max_bytes = options_.result_cache_bytes;
+  cache_options.shards = options_.result_cache_shards;
+  result_cache_ = std::make_unique<ResultCache>(cache_options);
 }
 
 json::Value QueryService::AnswerToJson(std::string_view document_name,
@@ -217,6 +300,24 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
       DecodeRequest(*root, options_.enable_debug_sleep, &request);
   if (!decoded.ok()) return ErrorOutcome(decoded);
 
+  // Serve from the result cache when possible: a hit costs one key build and
+  // one map lookup, and the engine never runs — the outcome carries zero
+  // metrics, which is how the loopback tests prove the hit was served
+  // without evaluation. Only request-specific echo fields are re-stamped.
+  std::string cache_key;
+  if (result_cache_->enabled() && request.debug_sleep_ms <= 0) {
+    cache_key = ResultCacheKey(request);
+    if (auto cached = result_cache_->Find(cache_key)) {
+      QueryOutcome outcome;
+      outcome.http_status = 200;
+      outcome.body = *cached;
+      outcome.body.Set("query", request.query.ToString());
+      outcome.body.Set("result_cache", "hit");
+      outcome.body.Set("elapsed_ms", timer.ElapsedMillis());
+      return outcome;
+    }
+  }
+
   // Resolve the deadline policy: request value, else the server default,
   // both clamped to the configured ceiling.
   double deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
@@ -245,6 +346,16 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
   size_t documents_skipped = 0;
   bool truncated = false;
 
+  // Ranked evaluation asks each document for its k best answers (the global
+  // top k is a subset of the per-document top k's), then merges. "rank"
+  // without "top_k" ranks everything: an effectively-unbounded k keeps the
+  // engine on the ranked path without ever pruning.
+  const bool ranked_mode = request.rank;
+  const int64_t effective_k = request.top_k >= 0
+                                  ? request.top_k
+                                  : std::numeric_limits<int64_t>::max();
+  std::vector<RankedHit> hits;
+
   for (size_t i = 0; i < collection_.size(); ++i) {
     const collection::CollectionEntry& entry = collection_.entry(i);
     // Conjunctive pre-check, as in CollectionEngine: a document missing any
@@ -263,6 +374,7 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
 
     query::EvalOptions eval = request.eval;
     eval.executor.fixed_point_cache = caches_[i].get();
+    if (ranked_mode) eval.top_k = effective_k;
     OpMetrics partial;
     eval.metrics_sink = &partial;
     query::QueryEngine engine(entry.document, entry.index);
@@ -280,15 +392,21 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
       return error;
     }
     ++documents_evaluated;
-    for (const Fragment& fragment : result->answers.Sorted()) {
-      ++answer_count;
-      if (request.max_answers >= 0 &&
-          answers.size() >= static_cast<size_t>(request.max_answers)) {
-        truncated = true;
-        continue;
+    if (ranked_mode) {
+      for (query::RankedAnswer& answer : result->ranked) {
+        hits.push_back(RankedHit{answer.score, i, std::move(answer.fragment)});
       }
-      answers.Append(AnswerToJson(entry.name, i, fragment, entry.document,
-                                  request.include_xml));
+    } else {
+      for (const Fragment& fragment : result->answers.Sorted()) {
+        ++answer_count;
+        if (request.max_answers >= 0 &&
+            answers.size() >= static_cast<size_t>(request.max_answers)) {
+          truncated = true;
+          continue;
+        }
+        answers.Append(AnswerToJson(entry.name, i, fragment, entry.document,
+                                    request.include_xml));
+      }
     }
     if (request.explain) {
       json::Value explain = json::Value::Object();
@@ -300,8 +418,35 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
     }
   }
 
+  if (ranked_mode) {
+    std::sort(hits.begin(), hits.end(), OutranksHit);
+    if (hits.size() > static_cast<uint64_t>(effective_k)) {
+      hits.erase(hits.begin() + static_cast<ptrdiff_t>(effective_k),
+                 hits.end());
+    }
+    answer_count = hits.size();
+    for (const RankedHit& hit : hits) {
+      if (request.max_answers >= 0 &&
+          answers.size() >= static_cast<size_t>(request.max_answers)) {
+        truncated = true;
+        break;
+      }
+      const collection::CollectionEntry& entry =
+          collection_.entry(hit.document_index);
+      json::Value answer =
+          AnswerToJson(entry.name, hit.document_index, hit.fragment,
+                       entry.document, request.include_xml);
+      answer.Set("score", hit.score);
+      answers.Append(std::move(answer));
+    }
+  }
+
   json::Value body = json::Value::Object();
   body.Set("query", request.query.ToString());
+  if (ranked_mode) {
+    body.Set("ranked", true);
+    if (request.top_k >= 0) body.Set("top_k", request.top_k);
+  }
   body.Set("documents", static_cast<uint64_t>(collection_.size()));
   body.Set("documents_evaluated", static_cast<uint64_t>(documents_evaluated));
   body.Set("documents_skipped", static_cast<uint64_t>(documents_skipped));
@@ -312,6 +457,9 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
   if (request.explain) body.Set("explain", std::move(explains));
   body.Set("elapsed_ms", timer.ElapsedMillis());
   outcome.body = std::move(body);
+  // Only fully successful bodies are cached (errors and deadline
+  // expirations returned above never reach this point).
+  if (!cache_key.empty()) result_cache_->Insert(cache_key, outcome.body);
   return outcome;
 }
 
@@ -331,17 +479,30 @@ json::Value QueryService::VersionJson() const {
 }
 
 json::Value QueryService::CacheStatsJson() const {
-  uint64_t entries = 0, hits = 0, misses = 0;
+  uint64_t entries = 0, bytes = 0, hits = 0, misses = 0, evictions = 0;
   for (const auto& cache : caches_) {
     entries += cache->size();
+    bytes += cache->bytes();
     hits += cache->hits();
     misses += cache->misses();
+    evictions += cache->evictions();
   }
   json::Value body = json::Value::Object();
   body.Set("entries", entries);
+  body.Set("bytes", bytes);
   body.Set("hits", hits);
   body.Set("misses", misses);
+  body.Set("evictions", evictions);
   return body;
+}
+
+json::Value QueryService::ResultCacheStatsJson() const {
+  return result_cache_->StatsJson();
+}
+
+void QueryService::InvalidateCaches() const {
+  result_cache_->Clear();
+  for (const auto& cache : caches_) cache->Clear();
 }
 
 }  // namespace xfrag::server

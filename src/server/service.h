@@ -13,10 +13,20 @@
 //     "deadline_ms": 250,                    // optional per-request deadline
 //     "explain": false, "analyze": false,    // EXPLAIN / EXPLAIN ANALYZE
 //     "xml": false,                          // render each answer as XML
-//     "max_answers": 100                     // truncate the answer array
+//     "max_answers": 100,                    // truncate the answer array
+//     "top_k": 10,                           // k best-ranked answers only
+//     "rank": true                           // rank (all) answers by score
 //   }
 // Unknown fields are rejected with a structured 400 — a misspelled option
 // must never be silently ignored.
+//
+// "top_k" asks for exactly the k best answers by the engine's ranking
+// (docs/SERVING.md) and implies "rank": true; the evaluation itself runs
+// score-bounded, so most candidate joins are rejected in O(1) before being
+// materialized. "rank": true alone ranks the full answer set. Each ranked
+// answer carries a "score" field; answers are ordered by (score desc,
+// document index asc, canonical fragment order). "max_answers" still
+// truncates the rendered array afterwards, as in unranked mode.
 
 #ifndef XFRAG_SERVER_SERVICE_H_
 #define XFRAG_SERVER_SERVICE_H_
@@ -30,6 +40,7 @@
 #include "common/json.h"
 #include "query/engine.h"
 #include "query/fixed_point_cache.h"
+#include "server/result_cache.h"
 
 namespace xfrag::server {
 
@@ -46,6 +57,19 @@ struct ServiceOptions {
   /// before evaluation. Exists for deterministic overload/drain/deadline
   /// tests and load benches; never enable it on a real deployment.
   bool enable_debug_sleep = false;
+  /// Byte budget of the serving-side result cache (0 disables it). Whole
+  /// successful /query bodies are cached by normalized request — terms
+  /// sorted and case-folded, plus filter, strategy, answer mode, top_k, and
+  /// every rendering option — and a hit is served without invoking the
+  /// engine at all. Requests carrying "debug_sleep_ms" bypass the cache.
+  size_t result_cache_bytes = 0;
+  /// Lock-striping shard count of the result cache.
+  size_t result_cache_shards = 8;
+  /// Capacity limits applied to each per-document fixed-point cache. The
+  /// default (both zero) is unlimited — the pre-bounded behaviour; xfragd
+  /// sets real caps so long-running traffic cannot grow the caches without
+  /// bound.
+  query::FixedPointCacheLimits fixed_point_cache;
 };
 
 /// \brief Result of handling one /query request.
@@ -78,6 +102,15 @@ class QueryService {
   /// Fixed-point cache statistics, merged into GET /metrics output.
   json::Value CacheStatsJson() const;
 
+  /// Result cache statistics, merged into GET /metrics output.
+  json::Value ResultCacheStatsJson() const;
+
+  /// \brief Drops every cached result body and fixed-point closure. The
+  /// invalidation hook for a future document-reload path: any change to the
+  /// collection must call this before serving, since both caches assume
+  /// immutable documents.
+  void InvalidateCaches() const;
+
   /// \brief Renders one answer fragment the way /query responses do —
   /// exposed so tests can build the expected bytes from a direct
   /// QueryEngine::Evaluate call and compare byte-for-byte.
@@ -92,6 +125,8 @@ class QueryService {
   ServiceOptions options_;
   /// One cache per collection entry: closures are document-specific.
   std::vector<std::unique_ptr<query::FixedPointCache>> caches_;
+  /// Whole-response cache (internally synchronized; disabled by default).
+  std::unique_ptr<ResultCache> result_cache_;
 };
 
 /// \brief Maps a Status to the HTTP status the server answers with.

@@ -65,6 +65,7 @@ json::Value StatsRegistry::OpMetricsToJson(const algebra::OpMetrics& metrics) {
   out.Set("fragments_produced", metrics.fragments_produced);
   out.Set("pairs_considered", metrics.pairs_considered);
   out.Set("pairs_rejected_summary", metrics.pairs_rejected_summary);
+  out.Set("pairs_rejected_score", metrics.pairs_rejected_score);
   out.Set("subsume_checks_skipped", metrics.subsume_checks_skipped);
   return out;
 }

@@ -18,8 +18,14 @@
 //     --explain         request the executed plan
 //     --xml             request XML renderings of the answers
 //     --max N           cap the answer array
+//     --top N           only the N best-ranked answers (score-bounded eval)
+//     --rank            rank all answers by score
 //     --compact         print the raw compact JSON (default pretty-prints)
 //     --version         print build info and exit
+//
+//   Ranked responses (--top/--rank) print a human-readable scoreboard —
+//   "1. 3.141  paper.xml #17 <section> size=4" per answer — followed by the
+//   pretty JSON; --compact suppresses the scoreboard.
 //
 //   Exit status: 0 on HTTP 200, 1 on transport errors, otherwise the HTTP
 //   status class (4 for 4xx, 5 for 5xx) — scriptable overload/deadline
@@ -46,7 +52,7 @@ int Usage(const char* argv0) {
                "       %s --get /healthz|/metrics|/version [options]\n"
                "  --host H | --port N | --filter EXPR | --strategy S\n"
                "  --leaf-strict | --deadline-ms MS | --explain | --xml\n"
-               "  --max N | --compact | --version\n",
+               "  --max N | --top N | --rank | --compact | --version\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -72,6 +78,32 @@ bool ParseBraceQuery(std::string_view input, std::vector<std::string>* terms) {
   return !terms->empty();
 }
 
+// The human-readable scoreboard for ranked responses: one line per answer,
+// best first, before the JSON body.
+void PrintScoreboard(const xfrag::json::Value& body) {
+  const xfrag::json::Value* ranked = body.Find("ranked");
+  if (ranked == nullptr || !ranked->is_bool() || !ranked->AsBool()) return;
+  const xfrag::json::Value* answers = body.Find("answers");
+  if (answers == nullptr || !answers->is_array()) return;
+  int position = 0;
+  for (const xfrag::json::Value& answer : answers->items()) {
+    const xfrag::json::Value* score = answer.Find("score");
+    const xfrag::json::Value* document = answer.Find("document");
+    const xfrag::json::Value* root = answer.Find("root");
+    const xfrag::json::Value* tag = answer.Find("root_tag");
+    const xfrag::json::Value* size = answer.Find("size");
+    if (score == nullptr || !score->is_number()) continue;
+    std::printf(
+        "%3d. %-10.4f %s #%lld <%s> size=%lld\n", ++position,
+        score->AsDouble(),
+        document != nullptr ? document->AsString().c_str() : "?",
+        root != nullptr ? static_cast<long long>(root->AsInt()) : -1,
+        tag != nullptr ? tag->AsString().c_str() : "?",
+        size != nullptr ? static_cast<long long>(size->AsInt()) : -1);
+  }
+  if (position > 0) std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,8 +111,9 @@ int main(int argc, char** argv) {
   uint16_t port = 8378;
   std::string brace_query, raw_json, get_path, filter_expr, strategy;
   double deadline_ms = 0;
-  long max_answers = -1;
+  long max_answers = -1, top_k = -1;
   bool leaf_strict = false, explain = false, xml = false, compact = false;
+  bool rank = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -103,6 +136,10 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--max" && i + 1 < argc) {
       max_answers = std::atol(argv[++i]);
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_k = std::atol(argv[++i]);
+    } else if (arg == "--rank") {
+      rank = true;
     } else if (arg == "--leaf-strict") {
       leaf_strict = true;
     } else if (arg == "--explain") {
@@ -150,6 +187,8 @@ int main(int argc, char** argv) {
       if (max_answers >= 0) {
         req.Set("max_answers", static_cast<int64_t>(max_answers));
       }
+      if (top_k >= 0) req.Set("top_k", static_cast<int64_t>(top_k));
+      if (rank) req.Set("rank", true);
       body = req.Dump();
     } else {
       return Usage(argv[0]);
@@ -180,6 +219,7 @@ int main(int argc, char** argv) {
   } else {
     auto parsed = xfrag::json::Parse(response->body);
     if (parsed.ok()) {
+      if (response->status == 200) PrintScoreboard(*parsed);
       std::printf("%s\n", parsed->Dump(2).c_str());
     } else {
       std::printf("%s\n", response->body.c_str());

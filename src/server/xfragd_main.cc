@@ -10,6 +10,11 @@
 //     --default-deadline-ms  deadline for requests without one (0 = none)
 //     --max-deadline-ms      ceiling on per-request deadlines  (0 = none)
 //     --request-timeout-ms   socket read/write timeout (default 10000)
+//     --result-cache-mb N    result-cache budget in MiB (default 32, 0 = off)
+//     --fp-cache-entries N   per-document fixed-point cache entry cap
+//                            (default 4096, 0 = unlimited)
+//     --fp-cache-mb N        per-document fixed-point cache budget in MiB
+//                            (default 64, 0 = unlimited)
 //     --debug-sleep          accept the "debug_sleep_ms" request field
 //                            (test/bench hook; do not enable in production)
 //     --version              print build info and exit
@@ -51,7 +56,8 @@ int Usage(const char* argv0) {
       "usage: %s [--collection] <file.xml|file.xdb>... [options]\n"
       "  --host H | --port N | --workers N | --queue N\n"
       "  --default-deadline-ms MS | --max-deadline-ms MS\n"
-      "  --request-timeout-ms MS | --debug-sleep | --version\n",
+      "  --request-timeout-ms MS | --result-cache-mb N\n"
+      "  --fp-cache-entries N | --fp-cache-mb N | --debug-sleep | --version\n",
       argv0);
   return 2;
 }
@@ -70,6 +76,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   xfrag::server::ServerOptions options;
   options.port = 8378;
+  // Daemon defaults differ from the library's: a long-running server wants
+  // the result cache on and the per-document caches bounded.
+  options.service.result_cache_bytes = 32u << 20;
+  options.service.fixed_point_cache.max_entries = 4096;
+  options.service.fixed_point_cache.max_bytes = 64u << 20;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -96,6 +107,15 @@ int main(int argc, char** argv) {
       options.service.max_deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--request-timeout-ms" && i + 1 < argc) {
       options.request_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--result-cache-mb" && i + 1 < argc) {
+      options.service.result_cache_bytes =
+          static_cast<size_t>(std::atol(argv[++i])) << 20;
+    } else if (arg == "--fp-cache-entries" && i + 1 < argc) {
+      options.service.fixed_point_cache.max_entries =
+          static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--fp-cache-mb" && i + 1 < argc) {
+      options.service.fixed_point_cache.max_bytes =
+          static_cast<size_t>(std::atol(argv[++i])) << 20;
     } else if (arg == "--debug-sleep") {
       options.service.enable_debug_sleep = true;
     } else if (arg.rfind("--", 0) == 0) {

@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "gen/corpus.h"
 #include "query/engine.h"
+#include "query/ranking.h"
 
 namespace xfrag::algebra {
 namespace {
@@ -178,6 +179,41 @@ TEST_P(ParallelEquivalenceTest, FixedPointFiltered) {
       *input.document, input.set1, filter, context, &pool, &parallel_metrics);
   ExpectIdenticalSets(serial, parallel);
   ExpectIdenticalMetrics(serial_metrics, parallel_metrics);
+}
+
+TEST_P(ParallelEquivalenceTest, PairwiseJoinTopK) {
+  PlantedInput input = MakeInput(seed(), 24, gen::PlantMode::kScattered, 20,
+                                 gen::PlantMode::kClustered);
+  ThreadPool pool(threads());
+  FilterPtr filter = filters::SizeAtMost(6);
+  FilterContext context{input.document.get(), input.index.get()};
+  // The real serving scorer (read-only, thread-safe by contract).
+  query::AnswerScorer scorer({"kwone", "kwtwo"}, *input.document,
+                             *input.index);
+  for (size_t k : {size_t{1}, size_t{5}, size_t{1000}}) {
+    TopKCollector serial_collector(k);
+    OpMetrics serial_metrics;
+    PairwiseJoinTopK(*input.document, input.set1, input.set2, filter, context,
+                     scorer, {}, &serial_collector, &serial_metrics);
+    TopKCollector parallel_collector(k);
+    PairwiseJoinTopKParallel(*input.document, input.set1, input.set2, filter,
+                             context, scorer, {}, &parallel_collector, &pool);
+    auto serial = serial_collector.TakeSorted();
+    auto parallel = parallel_collector.TakeSorted();
+    ASSERT_EQ(serial.size(), parallel.size()) << "k=" << k;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical: same fragments, same doubles, same order.
+      ASSERT_EQ(serial[i].fragment, parallel[i].fragment)
+          << "k=" << k << " position " << i;
+      ASSERT_EQ(serial[i].score, parallel[i].score)
+          << "k=" << k << " position " << i;
+    }
+    // Every candidate pair is enumerated on both paths (pruning skips work
+    // per pair, never pairs); the pruning counters themselves are
+    // schedule-dependent and deliberately not compared.
+    EXPECT_EQ(serial_metrics.pairs_considered,
+              uint64_t{input.set1.size()} * input.set2.size());
+  }
 }
 
 TEST_P(ParallelEquivalenceTest, NullPoolFallsBackToSerial) {

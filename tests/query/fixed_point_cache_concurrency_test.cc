@@ -46,7 +46,7 @@ TEST(FixedPointCacheConcurrencyTest, HammeredFindInsertStaysCoherent) {
         int key = (i + t) % kKeys;
         std::string key_string = "term" + std::to_string(key);
         observed_finds.fetch_add(1);
-        const FragmentSet* found = cache.Find(key_string);
+        std::shared_ptr<const FragmentSet> found = cache.Find(key_string);
         if (found == nullptr) {
           observed_misses.fetch_add(1);
           cache.Insert(key_string, PayloadFor(key));
@@ -72,7 +72,8 @@ TEST(FixedPointCacheConcurrencyTest, HammeredFindInsertStaysCoherent) {
   EXPECT_LE(cache.misses(), static_cast<uint64_t>(kKeys) * kThreads);
   // Every key ended up with its own payload.
   for (int key = 0; key < kKeys; ++key) {
-    const FragmentSet* found = cache.Find("term" + std::to_string(key));
+    std::shared_ptr<const FragmentSet> found =
+        cache.Find("term" + std::to_string(key));
     ASSERT_NE(found, nullptr) << "term" << key;
     EXPECT_TRUE(found->SetEquals(PayloadFor(key)));
   }
@@ -81,7 +82,7 @@ TEST(FixedPointCacheConcurrencyTest, HammeredFindInsertStaysCoherent) {
 TEST(FixedPointCacheConcurrencyTest, PointersStayValidWhileOthersInsert) {
   FixedPointCache cache;
   cache.Insert("stable", PayloadFor(100));
-  const FragmentSet* pinned = cache.Find("stable");
+  std::shared_ptr<const FragmentSet> pinned = cache.Find("stable");
   ASSERT_NE(pinned, nullptr);
 
   // Concurrent writers flood the table with other keys (forcing rehashes)
@@ -99,9 +100,10 @@ TEST(FixedPointCacheConcurrencyTest, PointersStayValidWhileOthersInsert) {
   }
   for (auto& writer : writers) writer.join();
 
-  // The pinned pointer is still the published entry with the original value.
+  // The pinned pointer is still the published entry with the original value
+  // (unbounded limits: nothing is ever evicted, so identity holds too).
   EXPECT_TRUE(pinned->SetEquals(PayloadFor(100)));
-  EXPECT_EQ(cache.Find("stable"), pinned);
+  EXPECT_EQ(cache.Find("stable").get(), pinned.get());
   EXPECT_EQ(cache.size(), 4u * 500u + 1u);
 }
 
@@ -109,7 +111,7 @@ TEST(FixedPointCacheConcurrencyTest, InsertIsFirstWins) {
   FixedPointCache cache;
   EXPECT_TRUE(cache.Insert("k", PayloadFor(1)));
   EXPECT_FALSE(cache.Insert("k", PayloadFor(2)));
-  const FragmentSet* found = cache.Find("k");
+  std::shared_ptr<const FragmentSet> found = cache.Find("k");
   ASSERT_NE(found, nullptr);
   EXPECT_TRUE(found->SetEquals(PayloadFor(1)));
 }

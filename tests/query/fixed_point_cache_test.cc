@@ -146,5 +146,80 @@ TEST_F(FixedPointCacheTest, ClearResets) {
   EXPECT_EQ(cache.hits(), 0u);
 }
 
+algebra::FragmentSet SingleSet(doc::NodeId n) {
+  algebra::FragmentSet set;
+  set.Insert(algebra::Fragment::Single(n));
+  return set;
+}
+
+TEST(FixedPointCacheLimitsTest, MaxEntriesEvictsLeastRecentlyUsed) {
+  FixedPointCacheLimits limits;
+  limits.max_entries = 2;
+  FixedPointCache cache(limits);
+  EXPECT_TRUE(cache.Insert("a", SingleSet(1)));
+  EXPECT_TRUE(cache.Insert("b", SingleSet(2)));
+  // Touch "a": "b" becomes the coldest entry.
+  ASSERT_NE(cache.Find("a"), nullptr);
+  EXPECT_TRUE(cache.Insert("c", SingleSet(3)));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Find("b"), nullptr);
+  EXPECT_NE(cache.Find("a"), nullptr);
+  EXPECT_NE(cache.Find("c"), nullptr);
+}
+
+TEST(FixedPointCacheLimitsTest, MaxBytesEvictsUntilUnderBudget) {
+  // Measure one entry's approximate footprint, then budget for two.
+  FixedPointCache probe;
+  ASSERT_TRUE(probe.Insert("p", SingleSet(1)));
+  const size_t entry_bytes = probe.bytes();
+  ASSERT_GT(entry_bytes, 0u);
+
+  FixedPointCacheLimits limits;
+  limits.max_bytes = entry_bytes * 2 + entry_bytes / 2;
+  FixedPointCache cache(limits);
+  EXPECT_TRUE(cache.Insert("a", SingleSet(1)));
+  EXPECT_TRUE(cache.Insert("b", SingleSet(2)));
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.Insert("c", SingleSet(3)));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), limits.max_bytes);
+}
+
+TEST(FixedPointCacheLimitsTest, EvictedEntrySurvivesForHolders) {
+  FixedPointCacheLimits limits;
+  limits.max_entries = 1;
+  FixedPointCache cache(limits);
+  ASSERT_TRUE(cache.Insert("a", SingleSet(7)));
+  auto held = cache.Find("a");
+  ASSERT_NE(held, nullptr);
+  ASSERT_TRUE(cache.Insert("b", SingleSet(8)));  // evicts "a"
+  EXPECT_EQ(cache.Find("a"), nullptr);
+  // The shared_ptr keeps the closure alive for the running evaluation.
+  EXPECT_TRUE(held->Contains(algebra::Fragment::Single(7)));
+}
+
+TEST(FixedPointCacheLimitsTest, UnlimitedByDefault) {
+  FixedPointCache cache;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        cache.Insert("k" + std::to_string(i), SingleSet(doc::NodeId(i))));
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(FixedPointCacheLimitsTest, FirstInsertWinsUnderLimits) {
+  FixedPointCacheLimits limits;
+  limits.max_entries = 4;
+  FixedPointCache cache(limits);
+  EXPECT_TRUE(cache.Insert("k", SingleSet(1)));
+  EXPECT_FALSE(cache.Insert("k", SingleSet(2)));
+  auto found = cache.Find("k");
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->Contains(algebra::Fragment::Single(1)));
+}
+
 }  // namespace
 }  // namespace xfrag::query

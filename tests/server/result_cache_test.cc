@@ -1,0 +1,165 @@
+// ResultCache unit tests: LRU eviction under the byte budget, hit/miss/
+// eviction counters, recency refresh, oversized-body rejection, Clear, the
+// disabled (zero-budget) mode, and a multi-threaded hammering smoke test
+// (runs under TSan via `ctest -L server`).
+
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xfrag::server {
+namespace {
+
+json::Value Body(const std::string& payload) {
+  json::Value body = json::Value::Object();
+  body.Set("payload", payload);
+  return body;
+}
+
+// A single shard makes eviction order deterministic for the unit tests.
+ResultCacheOptions SingleShard(size_t max_bytes) {
+  ResultCacheOptions options;
+  options.max_bytes = max_bytes;
+  options.shards = 1;
+  return options;
+}
+
+TEST(ResultCacheTest, DisabledCacheNeverStoresOrCounts) {
+  ResultCache cache(SingleShard(0));
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert("k", Body("v"));
+  EXPECT_EQ(cache.Find("k"), nullptr);
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ResultCacheTest, HitReturnsTheStoredBodyAndCounts) {
+  ResultCache cache(SingleShard(1 << 20));
+  EXPECT_EQ(cache.Find("k"), nullptr);  // miss
+  cache.Insert("k", Body("v"));
+  auto hit = cache.Find("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->Find("payload")->AsString(), "v");
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Size the budget for roughly two entries, then insert three.
+  ResultCache probe(SingleShard(1 << 20));
+  probe.Insert("probe", Body("xxxxxxxx"));
+  const size_t entry_bytes = probe.Stats().bytes;
+  ResultCache cache(SingleShard(entry_bytes * 2 + entry_bytes / 2));
+  cache.Insert("a", Body("xxxxxxxx"));
+  cache.Insert("b", Body("xxxxxxxx"));
+  // Touch "a" so "b" is the least recently used entry.
+  ASSERT_NE(cache.Find("a"), nullptr);
+  cache.Insert("c", Body("xxxxxxxx"));
+  EXPECT_EQ(cache.Find("b"), nullptr);
+  EXPECT_NE(cache.Find("a"), nullptr);
+  EXPECT_NE(cache.Find("c"), nullptr);
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCacheTest, BodyLargerThanShardBudgetIsNotCached) {
+  ResultCache cache(SingleShard(64));
+  cache.Insert("big", Body(std::string(4096, 'x')));
+  EXPECT_EQ(cache.Find("big"), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, InsertReplacesExistingEntry) {
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert("k", Body("old"));
+  cache.Insert("k", Body("new"));
+  auto hit = cache.Find("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->Find("payload")->AsString(), "new");
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, HitSurvivesConcurrentEviction) {
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert("k", Body("pinned"));
+  auto pinned = cache.Find("k");
+  ASSERT_NE(pinned, nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Find("k"), nullptr);
+  // The shared_ptr keeps the evicted body alive for the holder.
+  EXPECT_EQ(pinned->Find("payload")->AsString(), "pinned");
+}
+
+TEST(ResultCacheTest, ClearResetsEntriesAndCounters) {
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert("k", Body("v"));
+  ASSERT_NE(cache.Find("k"), nullptr);
+  cache.Clear();
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.inserts, 0u);
+}
+
+TEST(ResultCacheTest, StatsJsonCarriesEveryCounter) {
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert("k", Body("v"));
+  ASSERT_NE(cache.Find("k"), nullptr);
+  json::Value stats = cache.StatsJson();
+  EXPECT_TRUE(stats.Find("enabled")->AsBool());
+  EXPECT_EQ(stats.Find("entries")->AsInt(), 1);
+  EXPECT_EQ(stats.Find("hits")->AsInt(), 1);
+  ASSERT_NE(stats.Find("misses"), nullptr);
+  ASSERT_NE(stats.Find("evictions"), nullptr);
+  ASSERT_NE(stats.Find("inserts"), nullptr);
+  ASSERT_NE(stats.Find("bytes"), nullptr);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficStaysCoherent) {
+  ResultCache cache([] {
+    ResultCacheOptions options;
+    options.max_bytes = 1 << 14;  // small enough to force evictions
+    options.shards = 4;
+    return options;
+  }());
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::atomic<int> bad_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "key-" + std::to_string((t * 7 + i) % 32);
+        if (i % 3 == 0) {
+          cache.Insert(key, Body(key));
+        } else if (auto hit = cache.Find(key)) {
+          // A hit must always carry the body inserted under that key.
+          if (hit->Find("payload")->AsString() != key) ++bad_hits;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad_hits.load(), 0);
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_EQ(stats.entries, cache.Stats().entries);
+}
+
+}  // namespace
+}  // namespace xfrag::server

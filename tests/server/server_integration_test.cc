@@ -226,6 +226,13 @@ TEST_F(ServerIntegrationTest, OverloadedServerSheds503WithoutHanging) {
             static_cast<uint64_t>(kRejected));
   EXPECT_EQ(server->stats().RequestsWithStatus(200), 1u);
 
+  // A handled connection frees its admission slot only after the lingering
+  // close completes, which can outlast the client's read of the response —
+  // wait for quiescence so the probe below cannot race a closing slot.
+  while (server->InFlight() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
   // The server sheds load, it does not tip over: it still serves afterwards.
   auto health = Get(port, "/healthz");
   ASSERT_TRUE(health.ok());
@@ -404,6 +411,125 @@ TEST_F(ServerIntegrationTest, SharedCacheServesRepeatQueriesWarm) {
   // Two evaluated documents × two terms are primed by the first request;
   // the two repeats hit the per-document caches.
   EXPECT_GT(body->Find("fixed_point_cache")->Find("hits")->AsInt(), 0);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, RankedAndTopKQueriesOverLoopback) {
+  auto server = StartServer(ServerOptions{});
+  uint16_t port = server->port();
+
+  // Rank the full answer set: scores present and non-increasing.
+  auto all = Post(port, R"({"terms":["xquery","optimization"],"rank":true})");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->status, 200);
+  auto all_body = json::Parse(all->body);
+  ASSERT_TRUE(all_body.ok());
+  EXPECT_TRUE(all_body->Find("ranked")->AsBool());
+  const json::Value* answers = all_body->Find("answers");
+  ASSERT_NE(answers, nullptr);
+  ASSERT_GT(answers->size(), 2u);
+  double previous = 0.0;
+  for (size_t i = 0; i < answers->size(); ++i) {
+    const json::Value* score = (*answers)[i].Find("score");
+    ASSERT_NE(score, nullptr) << "unscored ranked answer at " << i;
+    if (i > 0) {
+      EXPECT_LE(score->AsDouble(), previous);
+    }
+    previous = score->AsDouble();
+  }
+
+  // top_k must be byte-identical to the length-k prefix of the full ranking.
+  auto top2 = Post(
+      port, R"({"terms":["xquery","optimization"],"top_k":2})");
+  ASSERT_TRUE(top2.ok());
+  ASSERT_EQ(top2->status, 200);
+  auto top2_body = json::Parse(top2->body);
+  ASSERT_TRUE(top2_body.ok());
+  EXPECT_EQ(top2_body->Find("top_k")->AsInt(), 2);
+  const json::Value* top2_answers = top2_body->Find("answers");
+  ASSERT_NE(top2_answers, nullptr);
+  ASSERT_EQ(top2_answers->size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*top2_answers)[i].Dump(), (*answers)[i].Dump())
+        << "prefix divergence at " << i;
+  }
+
+  // k = 0 is valid and empty; contradictions and bad types are 400s.
+  auto top0 = Post(port, R"({"terms":["xquery"],"top_k":0})");
+  ASSERT_TRUE(top0.ok());
+  EXPECT_EQ(top0->status, 200);
+  EXPECT_EQ(json::Parse(top0->body)->Find("answers")->size(), 0u);
+  EXPECT_EQ(
+      Post(port, R"({"terms":["x"],"top_k":2,"rank":false})")->status, 400);
+  EXPECT_EQ(Post(port, R"({"terms":["x"],"top_k":-1})")->status, 400);
+  EXPECT_EQ(Post(port, R"({"terms":["x"],"top_k":"many"})")->status, 400);
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, TopKQueriesRespectDeadlines) {
+  ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  auto server = StartServer(options);
+  auto response = Post(server->port(),
+                       R"({"terms":["xquery","optimization"],"top_k":3,)"
+                       R"("deadline_ms":10,"debug_sleep_ms":50})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504);
+  auto body = json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("code")->AsString(), "DeadlineExceeded");
+  server->Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, ResultCacheServesRepeatsWithoutTheEngine) {
+  ServerOptions options;
+  options.service.result_cache_bytes = 1 << 20;
+  auto server = StartServer(options);
+  uint16_t port = server->port();
+  const std::string request =
+      R"({"terms":["xquery","optimization"],"top_k":3})";
+
+  auto miss = Post(port, request);
+  ASSERT_TRUE(miss.ok());
+  ASSERT_EQ(miss->status, 200);
+  auto miss_body = json::Parse(miss->body);
+  ASSERT_TRUE(miss_body.ok());
+  EXPECT_EQ(miss_body->Find("result_cache"), nullptr);
+
+  // Snapshot the engine work counters after the miss...
+  auto before = json::Parse(Get(port, "/metrics")->body);
+  ASSERT_TRUE(before.ok());
+  const std::string op_metrics_before = before->Find("op_metrics")->Dump();
+
+  // ...the repeat is served from the cache: same answers, hit marker, and
+  // not a single additional operator invocation.
+  auto hit = Post(port, request);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->status, 200);
+  auto hit_body = json::Parse(hit->body);
+  ASSERT_TRUE(hit_body.ok());
+  EXPECT_EQ(hit_body->Find("result_cache")->AsString(), "hit");
+  EXPECT_EQ(hit_body->Find("answers")->Dump(),
+            miss_body->Find("answers")->Dump());
+
+  auto after = json::Parse(Get(port, "/metrics")->body);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Find("op_metrics")->Dump(), op_metrics_before);
+  const json::Value* cache = after->Find("result_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->Find("enabled")->AsBool());
+  EXPECT_EQ(cache->Find("hits")->AsInt(), 1);
+  EXPECT_EQ(cache->Find("inserts")->AsInt(), 1);
+
+  // A different rendering of the same evaluation is a different cache key.
+  auto other = Post(
+      port, R"({"terms":["xquery","optimization"],"top_k":3,"xml":true})");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->status, 200);
+  auto final_stats = json::Parse(Get(port, "/metrics")->body);
+  ASSERT_TRUE(final_stats.ok());
+  EXPECT_EQ(final_stats->Find("result_cache")->Find("hits")->AsInt(), 1);
+  EXPECT_EQ(final_stats->Find("result_cache")->Find("inserts")->AsInt(), 2);
   server->Shutdown();
 }
 

@@ -96,10 +96,12 @@ TEST(StatsRegistry, OpMetricsJsonCoversEveryCounter) {
   m.pairs_considered = 6;
   m.pairs_rejected_summary = 7;
   m.subsume_checks_skipped = 8;
+  m.pairs_rejected_score = 9;
   json::Value rendered = StatsRegistry::OpMetricsToJson(m);
-  EXPECT_EQ(rendered.size(), 8u);
+  EXPECT_EQ(rendered.size(), 9u);
   EXPECT_EQ(rendered.Find("fragment_joins")->AsInt(), 1);
   EXPECT_EQ(rendered.Find("subsume_checks_skipped")->AsInt(), 8);
+  EXPECT_EQ(rendered.Find("pairs_rejected_score")->AsInt(), 9);
 }
 
 }  // namespace
