@@ -54,8 +54,45 @@ struct RunResult {
   std::vector<double> latencies_ms;
 };
 
+/// One request over a persistent connection: write, then parse one framed
+/// response (keeping pipelined leftovers for the next exchange). Reconnects
+/// when the pooled connection has gone away.
+bool KeepAliveExchange(uint16_t port, const std::string& request,
+                       xfrag::server::UniqueFd* conn, std::string* leftover) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!conn->valid()) {
+      auto fresh = xfrag::server::ConnectTcp("127.0.0.1", port);
+      if (!fresh.ok()) return false;
+      *conn = std::move(*fresh);
+      (void)xfrag::server::SetSocketTimeouts(conn->get(), 30000);
+      leftover->clear();
+    }
+    if (!xfrag::server::WriteAll(conn->get(), request).ok()) {
+      conn->Reset();
+      continue;
+    }
+    xfrag::server::HttpResponseParser parser;
+    auto state = parser.Feed(*leftover);
+    char buf[16 * 1024];
+    while (state == xfrag::server::HttpResponseParser::State::kNeedMore) {
+      auto n = xfrag::server::ReadSome(conn->get(), buf, sizeof(buf));
+      if (!n.ok() || *n == 0) break;
+      state = parser.Feed(std::string_view(buf, *n));
+    }
+    if (state != xfrag::server::HttpResponseParser::State::kComplete) {
+      conn->Reset();
+      continue;  // stale keep-alive connection; retry once on a fresh one
+    }
+    *leftover = parser.TakeRemaining();
+    if (!parser.response().keep_alive) conn->Reset();
+    return parser.response().status == 200;
+  }
+  return false;
+}
+
 RunResult RunClosedLoop(uint16_t port, int clients, int requests_per_client,
-                        const std::vector<std::string>& bodies) {
+                        const std::vector<std::string>& bodies,
+                        bool keep_alive = false) {
   RunResult result;
   result.clients = clients;
   result.requests = clients * requests_per_client;
@@ -67,14 +104,22 @@ RunResult RunClosedLoop(uint16_t port, int clients, int requests_per_client,
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       per_client[c].reserve(requests_per_client);
+      xfrag::server::UniqueFd conn;  // persistent across requests (keep-alive)
+      std::string leftover;
       for (int r = 0; r < requests_per_client; ++r) {
         const std::string& body = bodies[(c + r) % bodies.size()];
         std::string request = xfrag::StrFormat(
             "POST /query HTTP/1.1\r\nHost: b\r\nContent-Length: %zu\r\n"
-            "Connection: close\r\n\r\n",
-            body.size());
+            "Connection: %s\r\n\r\n",
+            body.size(), keep_alive ? "keep-alive" : "close");
         request += body;
         xfrag::Timer timer;
+        if (keep_alive) {
+          bool success = KeepAliveExchange(port, request, &conn, &leftover);
+          per_client[c].push_back(timer.ElapsedMillis());
+          if (success) ++ok;
+          continue;
+        }
         auto raw = xfrag::server::HttpRoundTrip("127.0.0.1", port, request);
         per_client[c].push_back(timer.ElapsedMillis());
         if (!raw.ok()) continue;
@@ -147,43 +192,50 @@ int main(int argc, char** argv) {
   (void)RunClosedLoop(server.port(), 1, static_cast<int>(bodies.size()),
                       bodies);
 
-  TablePrinter table({"clients", "requests", "rps", "mean ms", "p50 ms",
-                      "p95 ms", "p99 ms", "max ms", "ok"});
+  TablePrinter table({"clients", "conn", "requests", "rps", "mean ms",
+                      "p50 ms", "p95 ms", "p99 ms", "max ms", "ok"});
   xfrag::json::Value records = xfrag::json::Value::Array();
   for (int clients : {1, 4, 16}) {
-    RunResult run =
-        RunClosedLoop(server.port(), clients, requests_per_client, bodies);
-    double mean = 0.0;
-    for (double ms : run.latencies_ms) mean += ms;
-    if (!run.latencies_ms.empty()) {
-      mean /= static_cast<double>(run.latencies_ms.size());
+    // Per-request connections vs one keep-alive connection per client: the
+    // delta is the accept/handshake/teardown cost the persistent path saves.
+    for (bool keep_alive : {false, true}) {
+      RunResult run = RunClosedLoop(server.port(), clients,
+                                    requests_per_client, bodies, keep_alive);
+      double mean = 0.0;
+      for (double ms : run.latencies_ms) mean += ms;
+      if (!run.latencies_ms.empty()) {
+        mean /= static_cast<double>(run.latencies_ms.size());
+      }
+      double rps = run.elapsed_s > 0
+                       ? static_cast<double>(run.requests) / run.elapsed_s
+                       : 0.0;
+      double p50 = Percentile(&run.latencies_ms, 50);
+      double p95 = Percentile(&run.latencies_ms, 95);
+      double p99 = Percentile(&run.latencies_ms, 99);
+      double max =
+          run.latencies_ms.empty() ? 0.0 : run.latencies_ms.back();
+
+      table.AddRow({Cell(uint64_t(clients)),
+                    std::string(keep_alive ? "keep-alive" : "close"),
+                    Cell(uint64_t(run.requests)), Cell(rps, 0), Cell(mean),
+                    Cell(p50), Cell(p95), Cell(p99), Cell(max),
+                    Cell(uint64_t(run.ok))});
+
+      xfrag::json::Value record = xfrag::json::Value::Object();
+      record.Set("clients", int64_t{clients});
+      record.Set("keep_alive", keep_alive);
+      record.Set("requests", int64_t{run.requests});
+      record.Set("throughput_rps", rps);
+      xfrag::json::Value latency = xfrag::json::Value::Object();
+      latency.Set("mean", mean);
+      latency.Set("p50", p50);
+      latency.Set("p95", p95);
+      latency.Set("p99", p99);
+      latency.Set("max", max);
+      record.Set("latency_ms", std::move(latency));
+      record.Set("ok", int64_t{run.ok});
+      records.Append(std::move(record));
     }
-    double rps = run.elapsed_s > 0
-                     ? static_cast<double>(run.requests) / run.elapsed_s
-                     : 0.0;
-    double p50 = Percentile(&run.latencies_ms, 50);
-    double p95 = Percentile(&run.latencies_ms, 95);
-    double p99 = Percentile(&run.latencies_ms, 99);
-    double max =
-        run.latencies_ms.empty() ? 0.0 : run.latencies_ms.back();
-
-    table.AddRow({Cell(uint64_t(clients)), Cell(uint64_t(run.requests)),
-                  Cell(rps, 0), Cell(mean), Cell(p50), Cell(p95), Cell(p99),
-                  Cell(max), Cell(uint64_t(run.ok))});
-
-    xfrag::json::Value record = xfrag::json::Value::Object();
-    record.Set("clients", int64_t{clients});
-    record.Set("requests", int64_t{run.requests});
-    record.Set("throughput_rps", rps);
-    xfrag::json::Value latency = xfrag::json::Value::Object();
-    latency.Set("mean", mean);
-    latency.Set("p50", p50);
-    latency.Set("p95", p95);
-    latency.Set("p99", p99);
-    latency.Set("max", max);
-    record.Set("latency_ms", std::move(latency));
-    record.Set("ok", int64_t{run.ok});
-    records.Append(std::move(record));
   }
   server.Shutdown();
   table.Print();

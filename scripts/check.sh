@@ -12,8 +12,9 @@
 # concurrency suites (plus everything labelled `parallel`) under ASan — the
 # kernels that do manual arena/buffer work — and finally rebuild with
 # -DXFRAG_SANITIZE=thread and run everything labelled `server` (the xfragd
-# loopback integration suite included) under TSan, since the serving path is
-# the one place worker threads share an engine and caches.
+# loopback integration suite included) and `router` (the scatter-gather tier
+# with its hedging and cancellation paths) under TSan, since the serving path
+# is the one place worker threads share an engine and caches.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +32,9 @@ echo "== tier-1: ctest =="
 
 echo "== server: ctest -L server (tier-1 build) =="
 (cd build && ctest -L server --output-on-failure -j "$JOBS")
+
+echo "== router: ctest -L router (tier-1 build) =="
+(cd build && ctest -L router --output-on-failure -j "$JOBS")
 
 echo "== bench: smoke run (XFRAG_BENCH_SMOKE=1) =="
 # Every bench binary runs end-to-end on tiny inputs so a broken bench fails
@@ -60,11 +64,12 @@ echo "== asan: run =="
 ./build-asan/tests/query_test
 (cd build-asan && ctest -L parallel --output-on-failure -j "$JOBS")
 
-echo "== tsan: build server suite =="
+echo "== tsan: build server + router suites =="
 cmake -B build-tsan -S . -DXFRAG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target server_test
+cmake --build build-tsan -j "$JOBS" --target server_test router_test
 
 echo "== tsan: run =="
 (cd build-tsan && ctest -L server --output-on-failure -j "$JOBS")
+(cd build-tsan && ctest -L router --output-on-failure -j "$JOBS")
 
 echo "== check.sh: all stages passed =="

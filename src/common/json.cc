@@ -69,6 +69,17 @@ const Value* Value::Find(std::string_view key) const {
   return nullptr;
 }
 
+bool Value::Remove(std::string_view key) {
+  if (kind_ != Kind::kObject) return false;
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 bool Value::operator==(const Value& other) const {
   if (kind_ != other.kind_) return false;
   switch (kind_) {

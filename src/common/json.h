@@ -92,6 +92,11 @@ class Value {
 
   /// Object member lookup; nullptr when absent (or not an object).
   const Value* Find(std::string_view key) const;
+
+  /// \brief Removes `key` from an object, preserving the order of the
+  /// remaining members. Returns whether the key was present (false also for
+  /// non-objects).
+  bool Remove(std::string_view key);
   const std::vector<std::pair<std::string, Value>>& members() const {
     return object_;
   }

@@ -1,0 +1,207 @@
+#include "router/backend_client.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace xfrag::router {
+
+using server::HttpResponseParser;
+using server::ReadSome;
+using server::SetSocketTimeouts;
+using server::UniqueFd;
+using server::WriteAll;
+
+void CallCancel::Cancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  canceled_ = true;
+  if (fd_ >= 0) {
+    // shutdown, not close: the owning Call() still holds the fd open, so the
+    // descriptor number cannot be recycled under us; its blocked recv/send
+    // returns immediately with EOF/EPIPE.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+bool CallCancel::canceled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return canceled_;
+}
+
+bool CallCancel::Arm(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (canceled_) return false;
+  fd_ = fd;
+  return true;
+}
+
+void CallCancel::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_ = -1;
+}
+
+BackendClient::BackendClient(std::string host, uint16_t port, Options options)
+    : host_(std::move(host)), port_(port), options_(options) {
+  if (options_.max_connect_attempts < 1) options_.max_connect_attempts = 1;
+}
+
+BackendClient::~BackendClient() = default;
+
+std::string BackendClient::BuildRequest(std::string_view method,
+                                        std::string_view target,
+                                        std::string_view body) const {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out.append(method);
+  out.append(" ");
+  out.append(target);
+  out.append(" HTTP/1.1\r\nHost: ");
+  out.append(StrFormat("%s:%u", host_.c_str(), unsigned{port_}));
+  out.append("\r\nContent-Type: application/json\r\nContent-Length: ");
+  out.append(StrFormat("%zu", body.size()));
+  out.append("\r\nConnection: keep-alive\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+UniqueFd BackendClient::TakePooled() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_.empty()) return UniqueFd();
+  UniqueFd fd = std::move(pool_.back());
+  pool_.pop_back();
+  ++reuses_;
+  return fd;
+}
+
+void BackendClient::ReturnPooled(UniqueFd fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_.size() < options_.max_pool_size) pool_.push_back(std::move(fd));
+}
+
+BackendClient::PoolStats BackendClient::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PoolStats stats;
+  stats.connects = connects_;
+  stats.reuses = reuses_;
+  stats.stale_retries = stale_retries_;
+  stats.pooled = pool_.size();
+  return stats;
+}
+
+StatusOr<BackendResponse> BackendClient::Exchange(
+    UniqueFd* conn, const std::string& request_bytes, int timeout_ms,
+    const std::shared_ptr<CallCancel>& cancel, bool* saw_bytes) {
+  *saw_bytes = false;
+  if (cancel != nullptr && !cancel->Arm(conn->get())) {
+    return Status::DeadlineExceeded("call canceled");
+  }
+  // Disarm before every return below so Cancel() never touches a descriptor
+  // we have already handed back to the pool (or closed).
+  auto finish = [&](StatusOr<BackendResponse> result) {
+    if (cancel != nullptr) cancel->Disarm();
+    return result;
+  };
+
+  (void)SetSocketTimeouts(conn->get(), timeout_ms);
+  Status written = WriteAll(conn->get(), request_bytes);
+  if (!written.ok()) return finish(std::move(written));
+
+  HttpResponseParser parser(options_.max_response_bytes);
+  char buf[16 * 1024];
+  auto state = HttpResponseParser::State::kNeedMore;
+  while (state == HttpResponseParser::State::kNeedMore) {
+    auto n = ReadSome(conn->get(), buf, sizeof(buf));
+    if (!n.ok()) {
+      *saw_bytes = parser.saw_bytes();
+      return finish(n.status());
+    }
+    if (*n == 0) {
+      state = parser.OnEof();
+      break;
+    }
+    state = parser.Feed(std::string_view(buf, *n));
+    *saw_bytes = parser.saw_bytes();
+  }
+  if (state != HttpResponseParser::State::kComplete) {
+    *saw_bytes = parser.saw_bytes();
+    return finish(Status::Internal(StrFormat(
+        "bad response from %s:%u: %s", host_.c_str(), unsigned{port_},
+        parser.error().empty() ? "connection closed mid-response"
+                               : parser.error().c_str())));
+  }
+  if (cancel != nullptr) cancel->Disarm();
+  if (cancel != nullptr && cancel->canceled()) {
+    // The cancel raced with completion; the response is whole, but the
+    // socket may have been shut down mid-keep-alive. Do not reuse it.
+    BackendResponse response;
+    response.status = parser.response().status;
+    response.body = parser.response().body;
+    return response;
+  }
+
+  BackendResponse response;
+  response.status = parser.response().status;
+  response.body = parser.response().body;
+  if (parser.response().keep_alive) {
+    ReturnPooled(std::move(*conn));
+  }
+  return response;
+}
+
+StatusOr<BackendResponse> BackendClient::Call(
+    const std::string& request_bytes, int deadline_ms,
+    const std::shared_ptr<CallCancel>& cancel) {
+  int timeout_ms = options_.io_timeout_ms;
+  if (deadline_ms > 0) timeout_ms = std::min(timeout_ms, deadline_ms);
+  if (timeout_ms < 1) timeout_ms = 1;
+
+  // First try a pooled connection. A keep-alive peer may close an idle
+  // connection at any time, so a pooled exchange that dies before the first
+  // response byte is retried on a fresh dial — it never reached dispatch.
+  UniqueFd pooled = TakePooled();
+  if (pooled.valid()) {
+    bool saw_bytes = false;
+    bool reused_cancel = cancel != nullptr && cancel->canceled();
+    auto result = Exchange(&pooled, request_bytes, timeout_ms, cancel,
+                           &saw_bytes);
+    if (result.ok()) {
+      result->reused_connection = true;
+      return result;
+    }
+    if (saw_bytes || reused_cancel || (cancel != nullptr && cancel->canceled())) {
+      return result;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stale_retries_;
+  }
+
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 0; attempt < options_.max_connect_attempts; ++attempt) {
+    if (cancel != nullptr && cancel->canceled()) {
+      return Status::DeadlineExceeded("call canceled");
+    }
+    int connect_timeout = std::min(options_.connect_timeout_ms, timeout_ms);
+    auto conn = server::ConnectTcpTimeout(host_, port_, connect_timeout);
+    if (!conn.ok()) {
+      last = conn.status();
+      continue;  // bounded retry on connect failure only
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++connects_;
+    }
+    bool saw_bytes = false;
+    auto result = Exchange(&*conn, request_bytes, timeout_ms, cancel,
+                           &saw_bytes);
+    if (result.ok()) return result;
+    // A fresh connection that failed is not retried: the request may have
+    // reached the server (saw_bytes aside, the write went out).
+    return result.status();
+  }
+  return last;
+}
+
+}  // namespace xfrag::router

@@ -1,0 +1,72 @@
+// Exact cross-shard merge of /query response bodies. The contract that
+// makes the router transparent: for a corpus partitioned over N shards, the
+// merged body is byte-identical (modulo the "elapsed_ms" timing field) to
+// the body a single xfragd hosting the whole corpus would produce for the
+// same request. That holds because:
+//
+//  * documents are disjoint across shards and shard ranges are contiguous,
+//    so full-mode answers concatenate in shard (= document) order;
+//  * ranked order is (score desc, global document index asc, canonical
+//    fragment order); ties within one document land on one shard, which
+//    already ordered them, so a stable k-way merge on (score, doc) alone
+//    reproduces the global order without re-deriving fragment comparisons;
+//  * per-shard truncation at k (or max_answers) keeps every element of the
+//    global prefix: a hit at global rank r < k has shard-local rank <= r,
+//    so it survived its shard's own cut;
+//  * answer_count obeys min(k, Σ min(k, hᵢ)) == min(k, Σ hᵢ), so summing
+//    shard counts and clamping once reproduces the single-node count;
+//  * OpMetrics are per-document sums, so field-wise addition over shards
+//    equals the single node's aggregate.
+//
+// Shard-local "document_index" values are rewritten to global indices by
+// adding the shard's doc_begin from the shard map.
+
+#ifndef XFRAG_ROUTER_MERGE_H_
+#define XFRAG_ROUTER_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace xfrag::router {
+
+/// \brief One shard's successful /query body, tagged with its slice.
+struct ShardBody {
+  size_t shard_index = 0;
+  /// Global index of the shard's first document (from the shard map).
+  size_t doc_base = 0;
+  json::Value body;
+};
+
+/// \brief The request fields the merge must know to reproduce single-node
+/// semantics (extracted from the client request by the router; absent
+/// fields keep the defaults).
+struct MergePlan {
+  int64_t top_k = -1;       // < 0 = no top-k cutoff
+  bool rank = false;        // ranked evaluation ("top_k" implies it)
+  int64_t max_answers = -1; // < 0 = unlimited
+};
+
+/// \brief Merges shard bodies (must be sorted by doc_base; every body a
+/// successful 200 /query response) into the single-node response body.
+///
+/// `total_documents` is the corpus size from the shard map — reported even
+/// when some shards are missing. `missing_shards` lists shard indices that
+/// failed or timed out; when non-empty, a `"partial":
+/// {"missing_shards": [...]}` object is appended (degraded mode). The
+/// caller stamps "elapsed_ms" afterwards.
+///
+/// Returns InvalidArgument when a shard body is missing a required field —
+/// the caller turns that into a 502, never a silently wrong merge.
+StatusOr<json::Value> MergeQueryBodies(std::vector<ShardBody> bodies,
+                                       const MergePlan& plan,
+                                       size_t total_documents,
+                                       const std::vector<size_t>&
+                                           missing_shards);
+
+}  // namespace xfrag::router
+
+#endif  // XFRAG_ROUTER_MERGE_H_

@@ -1,0 +1,179 @@
+// xfrag_router — the scatter-gather serving tier. One Router fronts N
+// xfragd shards holding disjoint document slices (the ShardMap) and exposes
+// the same HTTP surface as a single xfragd: POST /query plus GET
+// /healthz, /metrics, /version. Every /query fans out to every shard
+// concurrently, responses merge exactly (see router/merge.h), and the
+// router's answer is byte-identical — modulo "elapsed_ms" — to a single
+// xfragd hosting the whole corpus.
+//
+// Tail-latency control: after a p95-derived delay with stragglers still
+// outstanding, the router launches at most ONE hedge — a duplicate request
+// to the slowest straggler on a fresh exchange — and the first response
+// wins; the loser is canceled via socket shutdown. Hedging is bounded (one
+// per request) so a busy cluster sees at most 1/N extra load.
+//
+// Degraded mode: a shard that times out, refuses connections, or answers
+// 5xx becomes a "missing shard". By default the router still answers 200
+// with the merged remainder plus "partial": {"missing_shards": [...]};
+// a request carrying "require_complete": true gets 504 instead. 4xx shard
+// responses (validation errors) are forwarded verbatim — every shard
+// validates identically, so the first one speaks for all.
+//
+// A background thread polls every shard's /healthz, maintaining mark-down /
+// mark-up state that /metrics reports alongside per-shard latency
+// histograms, hedge counters, partial counts, and connection-pool stats.
+
+#ifndef XFRAG_ROUTER_ROUTER_H_
+#define XFRAG_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "router/backend_client.h"
+#include "router/shard_map.h"
+#include "server/http_server.h"
+#include "server/latency_histogram.h"
+
+namespace xfrag::router {
+
+struct RouterOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent client requests the router serves (each occupies one worker
+  /// for the whole scatter-gather).
+  int workers = 8;
+  int queue_capacity = 64;
+  int request_timeout_ms = 10000;
+  size_t max_body_bytes = 1 << 20;
+  bool keep_alive = true;
+  int keep_alive_idle_timeout_ms = 5000;
+  int max_requests_per_connection = 1000;
+
+  /// Per-shard budget for requests that carry no "deadline_ms" of their
+  /// own. The router waits this long (plus a small network grace) before
+  /// declaring stragglers missing.
+  int default_shard_deadline_ms = 30000;
+  /// Extra wait beyond the shard deadline for bytes already in flight.
+  int deadline_grace_ms = 100;
+
+  bool enable_hedging = true;
+  /// Floor for the p95-derived hedge delay.
+  int hedge_min_delay_ms = 5;
+  /// Hedge delay used until the latency histograms have enough samples.
+  int hedge_default_delay_ms = 50;
+  /// Samples required before p95 replaces the default delay.
+  uint64_t hedge_warmup_samples = 32;
+
+  /// Interval between background /healthz probes (0 disables the checker).
+  int health_check_interval_ms = 1000;
+  /// Budget for one health probe.
+  int health_check_timeout_ms = 1000;
+
+  BackendClient::Options backend;
+};
+
+/// \brief The router daemon core: HTTP frontend + scatter-gather executor.
+///
+/// Lifecycle: construct → Start() → (serve) → Shutdown(); the destructor
+/// calls Shutdown() if needed.
+class Router : private server::HttpDispatcher {
+ public:
+  Router(ShardMap map, RouterOptions options);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  Status Start();
+  void Shutdown();
+
+  uint16_t port() const { return http_.port(); }
+  const server::StatsRegistry& stats() const { return http_.stats(); }
+  int InFlight() const { return http_.InFlight(); }
+  const ShardMap& shard_map() const { return map_; }
+
+  /// Router-tier counters (also in /metrics under "router").
+  uint64_t hedges_launched() const { return hedges_launched_.load(); }
+  uint64_t hedges_won() const { return hedges_won_.load(); }
+  uint64_t partials_served() const { return partials_served_.load(); }
+
+  /// Healthy-shard count per the background checker (all shards are
+  /// considered healthy before the first probe completes).
+  size_t HealthyShards() const;
+
+ private:
+  /// Mutable per-shard runtime state next to the immutable ShardInfo.
+  struct ShardState {
+    ShardInfo info;
+    std::unique_ptr<BackendClient> client;
+
+    mutable std::mutex mutex;
+    server::LatencyHistogram latency;  // successful exchanges only
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    bool healthy = true;
+    uint64_t mark_downs = 0;
+    uint64_t mark_ups = 0;
+
+    uint64_t P95Micros() const;
+    uint64_t LatencyCount() const;
+  };
+
+  /// Outcome of one shard's scatter leg.
+  struct ShardOutcome {
+    bool resolved = false;  // a response (any HTTP status) arrived
+    int http_status = 0;
+    std::string body;
+    Status error = Status::OK();
+  };
+
+  /// Shared between the coordinator and its in-flight attempt tasks; held
+  /// by shared_ptr so the coordinator may return (deadline) while straggler
+  /// attempts are still finishing in the fan-out pool.
+  struct GatherState;
+
+  std::string Dispatch(const server::HttpRequest& request, bool keep_alive,
+                       int* status_out, algebra::OpMetrics* metrics_out,
+                       bool* has_metrics_out) override;
+
+  /// The /query path: parse, scatter, hedge, gather, merge.
+  /// Returns the response body; `*status_out` carries the HTTP status.
+  std::string HandleQuery(const std::string& request_body, int* status_out);
+
+  /// Runs the scatter-gather for an already-forwardable shard request.
+  std::vector<ShardOutcome> ScatterGather(const std::string& forward_body,
+                                          int shard_deadline_ms);
+
+  int HedgeDelayMs(int shard_deadline_ms) const;
+  json::Value RouterMetricsJson() const;
+  void HealthLoop();
+
+  ShardMap map_;
+  RouterOptions options_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unique_ptr<ThreadPool> fanout_pool_;
+
+  std::atomic<uint64_t> hedges_launched_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> partials_served_{0};
+
+  std::thread health_thread_;
+  std::mutex health_mutex_;
+  std::condition_variable health_cv_;
+  bool health_stop_ = false;
+
+  std::atomic<bool> started_{false};
+  server::HttpServer http_;
+};
+
+}  // namespace xfrag::router
+
+#endif  // XFRAG_ROUTER_ROUTER_H_

@@ -1,0 +1,171 @@
+#include "router/shard_map.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace xfrag::router {
+
+namespace {
+
+Status ShardError(size_t index, const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("shards[%zu]: %s", index, message.c_str()));
+}
+
+}  // namespace
+
+std::string ShardInfo::Endpoint() const {
+  return StrFormat("%s:%u", host.c_str(), unsigned{port});
+}
+
+StatusOr<ShardInfo> ParseEndpoint(std::string_view endpoint) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument(
+        StrFormat("endpoint \"%.*s\" is not host:port",
+                  static_cast<int>(endpoint.size()), endpoint.data()));
+  }
+  ShardInfo info;
+  info.host = std::string(endpoint.substr(0, colon));
+  std::string_view port_text = endpoint.substr(colon + 1);
+  uint32_t port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrFormat("endpoint \"%.*s\" has a non-numeric port",
+                    static_cast<int>(endpoint.size()), endpoint.data()));
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535) break;
+  }
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("endpoint \"%.*s\" port out of range 1..65535",
+                  static_cast<int>(endpoint.size()), endpoint.data()));
+  }
+  info.port = static_cast<uint16_t>(port);
+  return info;
+}
+
+StatusOr<ShardMap> ParseShardMap(std::string_view text) {
+  size_t error_offset = 0;
+  auto root = json::Parse(text, &error_offset);
+  if (!root.ok()) {
+    return Status::ParseError(StrFormat("%s (offset %zu)",
+                                        root.status().message().c_str(),
+                                        error_offset));
+  }
+  if (!root->is_object()) {
+    return Status::InvalidArgument("shard map must be a JSON object");
+  }
+  const json::Value* shards = nullptr;
+  for (const auto& [key, value] : root->members()) {
+    if (key == "shards") {
+      shards = &value;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown shard-map field \"%s\"", key.c_str()));
+    }
+  }
+  if (shards == nullptr || !shards->is_array() || shards->size() == 0) {
+    return Status::InvalidArgument(
+        "\"shards\" must be a non-empty array of shard objects");
+  }
+
+  ShardMap map;
+  std::set<std::string> endpoints;
+  for (size_t i = 0; i < shards->size(); ++i) {
+    const json::Value& entry = (*shards)[i];
+    if (!entry.is_object()) {
+      return ShardError(i, "must be an object");
+    }
+    ShardInfo info;
+    bool have_endpoint = false, have_documents = false;
+    for (const auto& [key, value] : entry.members()) {
+      if (key == "endpoint") {
+        if (!value.is_string()) {
+          return ShardError(i, "\"endpoint\" must be a string");
+        }
+        auto parsed = ParseEndpoint(value.AsString());
+        if (!parsed.ok()) return ShardError(i, parsed.status().message());
+        info.host = parsed->host;
+        info.port = parsed->port;
+        have_endpoint = true;
+      } else if (key == "documents") {
+        if (!value.is_object()) {
+          return ShardError(i, "\"documents\" must be an object");
+        }
+        bool have_begin = false, have_count = false;
+        for (const auto& [dkey, dvalue] : value.members()) {
+          if (dkey == "begin") {
+            if (!dvalue.is_integral() || dvalue.AsInt() < 0) {
+              return ShardError(
+                  i, "\"documents.begin\" must be a non-negative integer");
+            }
+            info.doc_begin = static_cast<size_t>(dvalue.AsInt());
+            have_begin = true;
+          } else if (dkey == "count") {
+            if (!dvalue.is_integral() || dvalue.AsInt() < 1) {
+              return ShardError(
+                  i, "\"documents.count\" must be a positive integer");
+            }
+            info.doc_count = static_cast<size_t>(dvalue.AsInt());
+            have_count = true;
+          } else {
+            return ShardError(
+                i, StrFormat("unknown documents field \"%s\"", dkey.c_str()));
+          }
+        }
+        if (!have_begin || !have_count) {
+          return ShardError(
+              i, "\"documents\" requires both \"begin\" and \"count\"");
+        }
+        have_documents = true;
+      } else if (key == "weight") {
+        if (!value.is_number() || value.AsDouble() <= 0) {
+          return ShardError(i, "\"weight\" must be a positive number");
+        }
+        info.weight = value.AsDouble();
+      } else {
+        return ShardError(i,
+                          StrFormat("unknown shard field \"%s\"", key.c_str()));
+      }
+    }
+    if (!have_endpoint) return ShardError(i, "missing \"endpoint\"");
+    if (!have_documents) return ShardError(i, "missing \"documents\"");
+    if (!endpoints.insert(info.Endpoint()).second) {
+      return ShardError(
+          i, StrFormat("duplicate endpoint \"%s\"", info.Endpoint().c_str()));
+    }
+    map.shards.push_back(std::move(info));
+  }
+
+  std::sort(map.shards.begin(), map.shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) {
+              return a.doc_begin < b.doc_begin;
+            });
+  size_t next = 0;
+  for (size_t i = 0; i < map.shards.size(); ++i) {
+    const ShardInfo& shard = map.shards[i];
+    if (shard.doc_begin > next) {
+      return Status::InvalidArgument(StrFormat(
+          "document ranges leave a gap: documents [%zu, %zu) are served by "
+          "no shard",
+          next, shard.doc_begin));
+    }
+    if (shard.doc_begin < next) {
+      return Status::InvalidArgument(StrFormat(
+          "document ranges overlap at document %zu (shard %s)",
+          shard.doc_begin, shard.Endpoint().c_str()));
+    }
+    next = shard.doc_begin + shard.doc_count;
+  }
+  map.total_documents = next;
+  return map;
+}
+
+}  // namespace xfrag::router

@@ -1,0 +1,74 @@
+// The router's static topology: which xfragd shard serves which contiguous
+// slice of the global document space. Loaded once at startup from a JSON
+// config and validated strictly — a router running with an overlapping or
+// gapped shard map would silently return wrong merges, so every structural
+// defect is a hard startup error with a precise message (JSON syntax errors
+// carry the byte offset, semantic errors name the offending shard).
+//
+// Schema:
+//   {"shards": [
+//     {"endpoint": "127.0.0.1:9001",
+//      "documents": {"begin": 0, "count": 40},
+//      "weight": 1.0},                                  // optional, > 0
+//     ...
+//   ]}
+//
+// Shards must cover [0, total_documents) contiguously without overlap (any
+// order in the file; the parser sorts by `begin`), and endpoints must be
+// unique — two shards on one endpoint would double-count its documents.
+
+#ifndef XFRAG_ROUTER_SHARD_MAP_H_
+#define XFRAG_ROUTER_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xfrag::router {
+
+/// \brief One backend shard: an endpoint plus the contiguous global
+/// document range it serves.
+struct ShardInfo {
+  std::string host;
+  uint16_t port = 0;
+
+  /// First global document index served by this shard.
+  size_t doc_begin = 0;
+  /// Number of documents served (> 0).
+  size_t doc_count = 0;
+
+  /// Relative capacity hint (> 0). Not used for routing — every /query fans
+  /// out to every shard — but reported in /metrics and reserved for
+  /// weighted replica selection.
+  double weight = 1.0;
+
+  std::string Endpoint() const;
+};
+
+/// \brief The validated topology: shards sorted by doc_begin, covering
+/// [0, total_documents) exactly.
+struct ShardMap {
+  std::vector<ShardInfo> shards;
+  size_t total_documents = 0;
+};
+
+/// \brief Parses and validates a shard-map config.
+///
+/// JSON syntax errors return ParseError with "offset N" appended to the
+/// message (byte offset into `text`); structural errors return
+/// InvalidArgument naming the shard index in file order. Validation rules:
+/// non-empty shard list, well-formed `host:port` endpoints, positive
+/// document counts, unique endpoints, and ranges that tile [0, total)
+/// with no gap or overlap.
+StatusOr<ShardMap> ParseShardMap(std::string_view text);
+
+/// \brief Parses `host:port` (IPv4 literal or hostname, port 1..65535).
+StatusOr<ShardInfo> ParseEndpoint(std::string_view endpoint);
+
+}  // namespace xfrag::router
+
+#endif  // XFRAG_ROUTER_SHARD_MAP_H_

@@ -29,6 +29,13 @@ const std::string* HttpRequest::FindHeader(std::string_view name) const {
   return nullptr;
 }
 
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
+  for (const auto& header : headers) {
+    if (EqualsIgnoreCase(header.first, name)) return &header.second;
+  }
+  return nullptr;
+}
+
 HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
   if (state_ != State::kNeedMore) return state_;
   buffer_.append(data);
@@ -106,6 +113,11 @@ HttpRequestParser::State HttpRequestParser::TryParse() {
   return state_;
 }
 
+std::string HttpRequestParser::TakeRemaining() {
+  if (state_ != State::kComplete) return {};
+  return buffer_.substr(body_start_ + content_length_);
+}
+
 std::string_view HttpStatusReason(int status) {
   switch (status) {
     case 200:
@@ -124,6 +136,8 @@ std::string_view HttpStatusReason(int status) {
       return "Internal Server Error";
     case 501:
       return "Not Implemented";
+    case 502:
+      return "Bad Gateway";
     case 503:
       return "Service Unavailable";
     case 504:
@@ -135,13 +149,15 @@ std::string_view HttpStatusReason(int status) {
 
 std::string RenderHttpResponse(int status, std::string_view content_type,
                                std::string_view body,
-                               std::string_view extra_headers) {
+                               std::string_view extra_headers,
+                               bool keep_alive) {
   std::string out = StrFormat("HTTP/1.1 %d ", status);
   out += HttpStatusReason(status);
   out += "\r\nContent-Type: ";
   out += content_type;
   out += StrFormat("\r\nContent-Length: %zu", body.size());
-  out += "\r\nConnection: close\r\n";
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n"
+                    : "\r\nConnection: close\r\n";
   out += extra_headers;
   out += "\r\n";
   out += body;
@@ -183,6 +199,103 @@ StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw) {
   }
   response.body = std::string(raw.substr(header_end + 4));
   return response;
+}
+
+HttpResponseParser::State HttpResponseParser::Feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  if (!data.empty()) saw_bytes_ = true;
+  buffer_.append(data);
+  return TryParse();
+}
+
+HttpResponseParser::State HttpResponseParser::TryParse() {
+  if (body_start_ == 0) {
+    size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > 64 * 1024) {
+        return Fail("response headers exceed 64 KiB");
+      }
+      return state_;
+    }
+    std::string_view head(buffer_.data(), header_end);
+    size_t line_end = head.find("\r\n");
+    std::string_view status_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    size_t sp = status_line.find(' ');
+    if (sp == std::string_view::npos || status_line.substr(0, 5) != "HTTP/") {
+      return Fail("malformed HTTP status line");
+    }
+    std::string_view code = status_line.substr(sp + 1, 3);
+    auto [end, ec] = std::from_chars(code.data(), code.data() + code.size(),
+                                     response_.status);
+    if (ec != std::errc() || end != code.data() + code.size()) {
+      return Fail("malformed HTTP status code");
+    }
+    size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      std::string_view line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) continue;
+      response_.headers.emplace_back(
+          std::string(line.substr(0, colon)),
+          std::string(StripAsciiWhitespace(line.substr(colon + 1))));
+    }
+    if (const std::string* cl = response_.FindHeader("Content-Length")) {
+      uint64_t length = 0;
+      auto [cl_end, cl_ec] =
+          std::from_chars(cl->data(), cl->data() + cl->size(), length);
+      if (cl_ec != std::errc() || cl_end != cl->data() + cl->size()) {
+        return Fail("invalid Content-Length in response");
+      }
+      if (length > max_body_bytes_) {
+        return Fail(StrFormat("response body of %llu bytes exceeds the %zu "
+                              "byte limit",
+                              static_cast<unsigned long long>(length),
+                              max_body_bytes_));
+      }
+      content_length_ = static_cast<size_t>(length);
+      has_content_length_ = true;
+    }
+    body_start_ = header_end + 4;
+  }
+  if (!has_content_length_) {
+    // Close-delimited: only OnEof() can complete the message. Still bound
+    // the buffered body.
+    if (buffer_.size() - body_start_ > max_body_bytes_) {
+      return Fail("close-delimited response body exceeds the byte limit");
+    }
+    return state_;
+  }
+  if (buffer_.size() - body_start_ < content_length_) return state_;
+  response_.body = buffer_.substr(body_start_, content_length_);
+  const std::string* connection = response_.FindHeader("Connection");
+  response_.keep_alive =
+      connection == nullptr || !EqualsIgnoreCase(*connection, "close");
+  state_ = State::kComplete;
+  return state_;
+}
+
+HttpResponseParser::State HttpResponseParser::OnEof() {
+  if (state_ != State::kNeedMore) return state_;
+  if (body_start_ == 0) {
+    return Fail(saw_bytes_ ? "connection closed mid-headers"
+                           : "connection closed before any response");
+  }
+  if (has_content_length_) {
+    return Fail("connection closed mid-body");
+  }
+  response_.body = buffer_.substr(body_start_);
+  response_.keep_alive = false;
+  state_ = State::kComplete;
+  return state_;
+}
+
+std::string HttpResponseParser::TakeRemaining() {
+  if (state_ != State::kComplete || !has_content_length_) return {};
+  return buffer_.substr(body_start_ + content_length_);
 }
 
 }  // namespace xfrag::server

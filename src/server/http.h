@@ -1,10 +1,11 @@
-// Minimal HTTP/1.1 message handling for xfragd: an incremental request
-// parser (feed bytes as they arrive from the socket, stop when a full
-// message is buffered), a response serializer, and a client-side response
-// parser. Deliberately small: no chunked bodies, no keep-alive, no
-// continuation headers — every connection carries exactly one exchange and
-// is closed by the server, which keeps the concurrency model trivial to
-// reason about (and to prove race-free under TSan).
+// Minimal HTTP/1.1 message handling for xfragd and xfrag_router: an
+// incremental request parser (feed bytes as they arrive from the socket,
+// stop when a full message is buffered), a response serializer, and both a
+// whole-message and an incremental client-side response parser. Deliberately
+// small: no chunked bodies, no continuation headers. Connections may carry
+// several exchanges (HTTP/1.1 keep-alive with Content-Length framing); the
+// parsers expose the bytes left over after a complete message so a pipelined
+// follow-up request survives the hand-off to the next parser instance.
 
 #ifndef XFRAG_SERVER_HTTP_H_
 #define XFRAG_SERVER_HTTP_H_
@@ -51,6 +52,10 @@ class HttpRequestParser {
   const std::string& error() const { return error_; }
   int error_status() const { return error_status_; }
 
+  /// \brief Bytes fed beyond the completed message (the start of a pipelined
+  /// follow-up request). Only meaningful in state kComplete.
+  std::string TakeRemaining();
+
  private:
   State Fail(std::string message, int status = 400) {
     error_ = std::move(message);
@@ -74,22 +79,86 @@ class HttpRequestParser {
 /// Reason phrase for the status codes xfragd emits ("Unknown" otherwise).
 std::string_view HttpStatusReason(int status);
 
-/// \brief Serializes a complete `Connection: close` response.
+/// \brief Serializes a complete response. `keep_alive` selects the
+/// Connection header; the body is always Content-Length framed, so a
+/// keep-alive response leaves the connection ready for the next exchange.
 std::string RenderHttpResponse(int status, std::string_view content_type,
                                std::string_view body,
-                               std::string_view extra_headers = {});
+                               std::string_view extra_headers = {},
+                               bool keep_alive = false);
 
 /// \brief A parsed client-side view of a response.
 struct HttpResponse {
   int status = 0;
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// \brief Whether the server committed to keeping the connection open:
+  /// HTTP/1.1 semantics — keep-alive unless `Connection: close` — as
+  /// reported by the parser that produced this response.
+  bool keep_alive = false;
 };
 
 /// \brief Parses the raw bytes of one full response (as returned by
 /// HttpRoundTrip). Tolerates a missing Content-Length by taking the rest of
 /// the input as the body (legal for close-delimited messages).
 StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw);
+
+/// \brief Incremental client-side response parser for keep-alive
+/// connections, where "read until the peer closes" is not an option.
+///
+/// Feed bytes as they arrive; kComplete means `response()` is a full
+/// message framed by Content-Length. A response without Content-Length is
+/// close-delimited: the parser stays in kNeedMore until OnEof() seals the
+/// body (such a connection cannot be reused, and `response().keep_alive`
+/// reports false).
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(size_t max_body_bytes = 64u << 20)
+      : max_body_bytes_(max_body_bytes) {}
+
+  enum class State { kNeedMore, kComplete, kError };
+
+  State Feed(std::string_view data);
+
+  /// \brief Signals that the peer closed the connection. Completes a
+  /// close-delimited body; anything else mid-message becomes kError.
+  State OnEof();
+
+  State state() const { return state_; }
+  const HttpResponse& response() const { return response_; }
+  const std::string& error() const { return error_; }
+
+  /// \brief True once any response byte has been consumed — the caller's
+  /// signal that a failed exchange cannot be retried transparently.
+  bool saw_bytes() const { return saw_bytes_; }
+
+  /// \brief Bytes fed beyond the completed message (pipelined data; normally
+  /// empty for request/response clients). Only meaningful in kComplete.
+  std::string TakeRemaining();
+
+ private:
+  State Fail(std::string message) {
+    error_ = std::move(message);
+    state_ = State::kError;
+    return state_;
+  }
+  State TryParse();
+
+  size_t max_body_bytes_;
+  std::string buffer_;
+  /// Offset of the first body byte once headers are parsed; 0 = not yet.
+  size_t body_start_ = 0;
+  size_t content_length_ = 0;
+  bool has_content_length_ = false;
+  bool saw_bytes_ = false;
+  HttpResponse response_;
+  std::string error_;
+  State state_ = State::kNeedMore;
+};
 
 }  // namespace xfrag::server
 

@@ -1,0 +1,170 @@
+// The generic HTTP socket layer shared by xfragd and xfrag_router: a
+// poll-driven accept loop feeding a bounded worker pool, with admission
+// control in front of it and HTTP/1.1 keep-alive inside it. What to do with
+// a parsed request is delegated through HttpDispatcher, so the daemons
+// differ only in their dispatch logic, never in socket handling.
+//
+//   accept thread ──admission──▶ ThreadPool::Post ──▶ HandleConnection
+//        │  (at capacity: inline 503 + Retry-After, never queued)
+//        ▲ parked keep-alive connections re-enter the poll set here
+//        ▼
+//   Shutdown(): stop accepting, wait for in-flight exchanges to finish,
+//   then tear the pool down. In-flight responses are always written.
+//
+// Keep-alive model: one admitted connection may carry several sequential
+// exchanges (HTTP/1.1 default, `Connection: keep-alive` for 1.0), bounded
+// by an idle timeout between requests and a max-requests-per-connection
+// cap. Between requests the connection does NOT hold a worker: the worker
+// hands it back to the accept thread's poll set ("parking") and returns to
+// the pool, so a client that keeps more connections open than the server
+// has workers cannot starve other connections' pending requests. The
+// poller re-dispatches a parked connection the moment it turns readable
+// (a self-pipe wakes the poll immediately on park), closes it silently at
+// the idle deadline, and closes all parked connections during drain. The
+// connection holds its admission slot for its whole lifetime — parked or
+// serving — so the single-atomic admission invariant is unchanged.
+
+#ifndef XFRAG_SERVER_HTTP_SERVER_H_
+#define XFRAG_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/http.h"
+#include "server/net.h"
+#include "server/stats.h"
+
+namespace xfrag::server {
+
+/// \brief Routes one complete request to a handler. Implementations must be
+/// thread-safe: Dispatch runs concurrently on every worker thread.
+class HttpDispatcher {
+ public:
+  virtual ~HttpDispatcher() = default;
+
+  /// \brief Returns the full response bytes for `request`. `keep_alive` is
+  /// the connection disposition the server has already decided — the
+  /// rendered response's Connection header must match it (pass it through
+  /// to RenderHttpResponse). `status_out` is recorded in the stats
+  /// registry; `metrics_out`/`has_metrics_out` optionally attach operator
+  /// metrics to the aggregate.
+  virtual std::string Dispatch(const HttpRequest& request, bool keep_alive,
+                               int* status_out,
+                               algebra::OpMetrics* metrics_out,
+                               bool* has_metrics_out) = 0;
+};
+
+/// Socket-layer configuration.
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back with port().
+  uint16_t port = 0;
+  /// Worker threads running Dispatch (>= 1).
+  int workers = 4;
+  /// Connections admitted beyond the ones actively being served. Admission
+  /// rejects (503) once workers + queue_capacity connections are in flight.
+  int queue_capacity = 64;
+  /// Per-request socket read/write timeout (also bounds the wait for the
+  /// first request on a new connection; expiry answers 408).
+  int request_timeout_ms = 10000;
+  /// Maximum accepted request body size (413 beyond it).
+  size_t max_body_bytes = 1 << 20;
+  /// Honor HTTP/1.1 persistent connections. Off = one exchange per
+  /// connection, as before keep-alive support existed.
+  bool keep_alive = true;
+  /// How long a kept-alive connection may sit idle between requests before
+  /// the server closes it silently.
+  int keep_alive_idle_timeout_ms = 5000;
+  /// Exchanges served per connection before the server answers the last one
+  /// with `Connection: close` (0 = unlimited).
+  int max_requests_per_connection = 1000;
+};
+
+/// \brief A dispatcher-agnostic HTTP/1.1 server.
+///
+/// Lifecycle: construct → Start() → (serve) → Shutdown(). The destructor
+/// calls Shutdown() if needed. The dispatcher must outlive the server.
+class HttpServer {
+ public:
+  HttpServer(HttpDispatcher& dispatcher, HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// \brief Binds, listens, and starts the accept loop + worker pool.
+  Status Start();
+
+  /// The bound port (valid after Start; resolves an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// \brief Graceful drain: stop accepting, wait for every in-flight
+  /// exchange to finish (responses are written), release the threads.
+  /// Idempotent; safe to call from a signal-watching thread.
+  void Shutdown();
+
+  const StatsRegistry& stats() const { return stats_; }
+
+  /// Connections currently admitted (serving, between keep-alive requests,
+  /// or queued) — exposed for the overload tests and the /metrics gauge.
+  int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+ private:
+  /// A keep-alive connection waiting for its next request, owned by the
+  /// poller rather than a worker thread.
+  struct ParkedConnection {
+    UniqueFd conn;
+    int served = 0;
+    std::chrono::steady_clock::time_point idle_deadline;
+  };
+
+  void AcceptLoop();
+  /// Serves sequential exchanges on `conn` until it closes or goes quiet
+  /// between requests, in which case ownership moves to the poller via
+  /// ParkConnection. `served` is the exchanges already served on this
+  /// connection (non-zero when resuming a parked one).
+  void HandleConnection(UniqueFd conn, int served);
+  /// Hands a between-requests connection to the poller and wakes it. If the
+  /// server is draining, closes the connection and releases its slot
+  /// instead. Either way ownership is taken.
+  void ParkConnection(UniqueFd conn, int served);
+  void LingeringClose(UniqueFd* conn);
+  void FinishExchange();
+
+  HttpDispatcher& dispatcher_;
+  HttpServerOptions options_;
+  StatsRegistry stats_;
+
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Self-pipe: ParkConnection writes a byte so the poll in AcceptLoop sees
+  /// freshly parked connections immediately instead of at the next tick.
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::mutex park_mutex_;
+  std::vector<ParkedConnection> park_inbox_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int> in_flight_{0};
+  std::mutex shutdown_mutex_;
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+};
+
+}  // namespace xfrag::server
+
+#endif  // XFRAG_SERVER_HTTP_SERVER_H_

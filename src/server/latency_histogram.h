@@ -1,0 +1,74 @@
+// A power-of-two-bucketed latency histogram with nearest-rank percentile
+// upper bounds — shared by the xfragd stats registry (one histogram per
+// server) and the router's per-shard backend latency tracking, so both tiers
+// report percentiles with identical semantics. Header-only and
+// synchronization-free: callers wrap it in whatever locking their registry
+// already uses.
+
+#ifndef XFRAG_SERVER_LATENCY_HISTOGRAM_H_
+#define XFRAG_SERVER_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace xfrag::server {
+
+/// \brief Power-of-two-bucketed latency histogram (microseconds).
+///
+/// Bucket i counts samples in [2^i, 2^(i+1)) µs; bucket 0 additionally
+/// holds sub-microsecond samples. 40 buckets cover up to ~12.7 days.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t micros) {
+    size_t bucket =
+        micros == 0 ? 0 : static_cast<size_t>(std::bit_width(micros) - 1);
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+    ++buckets_[bucket];
+    ++count_;
+    sum_ += micros;
+    if (micros > max_) max_ = micros;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max_micros() const { return max_; }
+  double MeanMicros() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+  }
+
+  /// \brief Upper bound of the bucket containing the p-th percentile sample
+  /// (p in (0, 100]); 0 when empty. Error is bounded by the 2× bucket width.
+  uint64_t PercentileUpperBoundMicros(double p) const {
+    if (count_ == 0) return 0;
+    // Rank of the percentile sample, 1-based (nearest-rank definition:
+    // ceil(p/100 * N), so p95 of 3 samples is the 3rd, not the 2nd).
+    auto rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        uint64_t upper = (uint64_t{1} << (i + 1)) - 1;
+        // The top sample bounds the histogram: never report past the max.
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace xfrag::server
+
+#endif  // XFRAG_SERVER_LATENCY_HISTOGRAM_H_

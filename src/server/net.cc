@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -69,6 +71,43 @@ StatusOr<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
       0) {
     return Status::NotFound(StrFormat("connect %s:%u: %s", host.c_str(),
                                       unsigned{port}, std::strerror(errno)));
+  }
+  return fd;
+}
+
+StatusOr<UniqueFd> ConnectTcpTimeout(const std::string& host, uint16_t port,
+                                     int timeout_ms) {
+  XFRAG_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return Errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      return Status::NotFound(StrFormat("connect %s:%u: %s", host.c_str(),
+                                        unsigned{port}, std::strerror(errno)));
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      return Status::DeadlineExceeded(StrFormat(
+          "connect %s:%u timed out after %d ms", host.c_str(), unsigned{port},
+          timeout_ms));
+    }
+    if (ready < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::NotFound(StrFormat("connect %s:%u: %s", host.c_str(),
+                                        unsigned{port}, std::strerror(err)));
+    }
+  }
+  // Back to blocking mode: callers bound further I/O with SetSocketTimeouts.
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    return Errno("fcntl");
   }
   return fd;
 }

@@ -62,6 +62,11 @@ StatusOr<uint16_t> LocalPort(int fd);
 /// \brief Blocking connect to `host:port`.
 StatusOr<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
 
+/// \brief Connect bounded by `timeout_ms` (non-blocking connect + poll).
+/// A timeout reports DeadlineExceeded; a refused/unreachable peer NotFound.
+StatusOr<UniqueFd> ConnectTcpTimeout(const std::string& host, uint16_t port,
+                                     int timeout_ms);
+
 /// \brief Sets SO_RCVTIMEO / SO_SNDTIMEO (bounds every recv/send).
 Status SetSocketTimeouts(int fd, int timeout_ms);
 

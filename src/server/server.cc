@@ -1,15 +1,8 @@
 #include "server/server.h"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <utility>
 
 #include "common/json.h"
-#include "common/logging.h"
-#include "common/timer.h"
-#include "server/http.h"
 
 namespace xfrag::server {
 
@@ -17,160 +10,32 @@ namespace {
 
 constexpr std::string_view kJsonType = "application/json";
 
-std::string JsonError(int status, std::string_view message) {
-  json::Value body = json::Value::Object();
-  body.Set("error", message);
-  body.Set("status", static_cast<int64_t>(status));
-  return RenderHttpResponse(status, kJsonType, body.Dump());
-}
-
 }  // namespace
 
-Server::Server(const collection::Collection& collection, ServerOptions options)
-    : options_(std::move(options)), service_(collection, options_.service) {
-  if (options_.workers < 1) options_.workers = 1;
-  if (options_.queue_capacity < 0) options_.queue_capacity = 0;
+HttpServerOptions Server::ToHttpOptions(const ServerOptions& options) {
+  HttpServerOptions http;
+  http.host = options.host;
+  http.port = options.port;
+  http.workers = options.workers;
+  http.queue_capacity = options.queue_capacity;
+  http.request_timeout_ms = options.request_timeout_ms;
+  http.max_body_bytes = options.max_body_bytes;
+  http.keep_alive = options.keep_alive;
+  http.keep_alive_idle_timeout_ms = options.keep_alive_idle_timeout_ms;
+  http.max_requests_per_connection = options.max_requests_per_connection;
+  return http;
 }
+
+Server::Server(const collection::Collection& collection, ServerOptions options)
+    : options_(std::move(options)),
+      service_(collection, options_.service),
+      http_(*this, ToHttpOptions(options_)) {}
 
 Server::~Server() { Shutdown(); }
 
-Status Server::Start() {
-  XFRAG_CHECK(!started_.load() && "Server::Start called twice");
-  XFRAG_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.host, options_.port));
-  XFRAG_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
-  // +1: ThreadPool(p) spawns p-1 OS threads, and Post()ed work only runs on
-  // spawned threads — the accept loop never calls into the pool's run loop.
-  pool_ = std::make_unique<ThreadPool>(
-      static_cast<unsigned>(options_.workers) + 1);
-  started_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
-}
-
-void Server::Shutdown() {
-  if (!started_.load()) return;
-  // Serialize concurrent Shutdown calls; the second caller blocks until the
-  // first has fully drained, so "Shutdown returned" always means "quiet".
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
-  stopping_.store(true);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    drained_.wait(lock, [this] {
-      return in_flight_.load(std::memory_order_acquire) == 0;
-    });
-  }
-  pool_.reset();
-  listen_fd_.Reset();
-}
-
-void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_.get(), POLLIN, 0};
-    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
-    UniqueFd conn(::accept(listen_fd_.get(), nullptr, nullptr));
-    if (!conn.valid()) continue;
-
-    int capacity = options_.workers + options_.queue_capacity;
-    // Optimistically claim a slot; release it again if over capacity. The
-    // counter is the single admission authority, so two racing accepts can
-    // never both squeeze past a full server.
-    int admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (admitted > capacity) {
-      FinishExchange();
-      Timer timer;
-      (void)SetSocketTimeouts(conn.get(), /*timeout_ms=*/250);
-      std::string response = RenderHttpResponse(
-          503, kJsonType,
-          "{\"error\":\"server at capacity, retry later\",\"status\":503}",
-          "Retry-After: 1\r\n");
-      // Record before the bytes go out: once the client has its response it
-      // may immediately ask /metrics, which must already include this one.
-      stats_.RecordRequest(503,
-                           static_cast<uint64_t>(timer.ElapsedMicros()),
-                           nullptr);
-      (void)WriteAll(conn.get(), response);
-      // The request was never read; closing now would RST the 503 out from
-      // under the client. Half-close and drain until the client has read the
-      // response and hung up (bounded by the short socket timeout above).
-      ::shutdown(conn.get(), SHUT_WR);
-      char drain[4096];
-      while (true) {
-        auto n = ReadSome(conn.get(), drain, sizeof(drain));
-        if (!n.ok() || *n == 0) break;
-      }
-      continue;
-    }
-    int fd = conn.Release();
-    pool_->Post([this, fd] { HandleConnection(UniqueFd(fd)); });
-  }
-}
-
-void Server::FinishExchange() {
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(drain_mutex_);
-    drained_.notify_all();
-  }
-}
-
-void Server::HandleConnection(UniqueFd conn) {
-  Timer timer;
-  (void)SetSocketTimeouts(conn.get(), options_.request_timeout_ms);
-
-  HttpRequestParser parser(options_.max_body_bytes);
-  char buf[16 * 1024];
-  auto state = HttpRequestParser::State::kNeedMore;
-  bool timed_out = false;
-  while (state == HttpRequestParser::State::kNeedMore) {
-    auto n = ReadSome(conn.get(), buf, sizeof(buf));
-    if (!n.ok()) {
-      timed_out = n.status().code() == StatusCode::kDeadlineExceeded;
-      break;
-    }
-    if (*n == 0) break;  // peer closed before a complete request
-    state = parser.Feed(std::string_view(buf, *n));
-  }
-
-  std::string response;
-  int status = 0;
-  algebra::OpMetrics metrics;
-  bool has_metrics = false;
-  if (state == HttpRequestParser::State::kComplete) {
-    response = Dispatch(parser.request(), &status, &metrics, &has_metrics);
-  } else if (state == HttpRequestParser::State::kError) {
-    status = parser.error_status();
-    response = JsonError(status, parser.error());
-  } else if (timed_out) {
-    status = 408;
-    response = JsonError(408, "timed out waiting for the request");
-  }
-  // An EOF mid-request gets no response (there is no one left to read it)
-  // and is not recorded — it never became a request.
-  if (status != 0) {
-    // Record before the bytes go out: a client that has read its response
-    // may immediately ask /metrics, which must already include this one.
-    stats_.RecordRequest(status, static_cast<uint64_t>(timer.ElapsedMicros()),
-                         has_metrics ? &metrics : nullptr);
-    (void)WriteAll(conn.get(), response);
-    // Lingering close: if the client is still mid-send (parser error cut the
-    // read short), a bare close() would RST the response away. Half-close,
-    // then drain until the peer has read the response and hung up.
-    ::shutdown(conn.get(), SHUT_WR);
-    (void)SetSocketTimeouts(conn.get(), /*timeout_ms=*/250);
-    char drain[4096];
-    while (true) {
-      auto n = ReadSome(conn.get(), drain, sizeof(drain));
-      if (!n.ok() || *n == 0) break;
-    }
-  }
-  conn.Reset();  // close before releasing the slot: Shutdown implies flushed
-  FinishExchange();
-}
-
-std::string Server::Dispatch(const HttpRequest& request, int* status_out,
-                             algebra::OpMetrics* metrics_out,
-                             bool* has_metrics_out) const {
+std::string Server::Dispatch(const HttpRequest& request, bool keep_alive,
+                             int* status_out, algebra::OpMetrics* metrics_out,
+                             bool* has_metrics_out) {
   const std::string& target = request.target;
   if (target == "/query") {
     if (request.method != "POST") {
@@ -178,14 +43,14 @@ std::string Server::Dispatch(const HttpRequest& request, int* status_out,
       return RenderHttpResponse(
           405, kJsonType,
           "{\"error\":\"use POST for /query\",\"status\":405}",
-          "Allow: POST\r\n");
+          "Allow: POST\r\n", keep_alive);
     }
     QueryOutcome outcome = service_.HandleQuery(request.body);
     *status_out = outcome.http_status;
     *metrics_out = outcome.metrics;
     *has_metrics_out = true;
     return RenderHttpResponse(outcome.http_status, kJsonType,
-                              outcome.body.Dump());
+                              outcome.body.Dump(), {}, keep_alive);
   }
   if (target == "/healthz" || target == "/metrics" || target == "/version") {
     if (request.method != "GET") {
@@ -193,7 +58,7 @@ std::string Server::Dispatch(const HttpRequest& request, int* status_out,
       return RenderHttpResponse(
           405, kJsonType,
           "{\"error\":\"use GET for this endpoint\",\"status\":405}",
-          "Allow: GET\r\n");
+          "Allow: GET\r\n", keep_alive);
     }
     json::Value body;
     if (target == "/healthz") {
@@ -201,17 +66,18 @@ std::string Server::Dispatch(const HttpRequest& request, int* status_out,
     } else if (target == "/version") {
       body = service_.VersionJson();
     } else {
-      body = stats_.ToJson();
+      body = http_.stats().ToJson();
       body.Set("fixed_point_cache", service_.CacheStatsJson());
       body.Set("result_cache", service_.ResultCacheStatsJson());
       body.Set("in_flight", static_cast<int64_t>(InFlight()));
     }
     *status_out = 200;
-    return RenderHttpResponse(200, kJsonType, body.Dump());
+    return RenderHttpResponse(200, kJsonType, body.Dump(), {}, keep_alive);
   }
   *status_out = 404;
   return RenderHttpResponse(404, kJsonType,
-                            "{\"error\":\"no such endpoint\",\"status\":404}");
+                            "{\"error\":\"no such endpoint\",\"status\":404}",
+                            {}, keep_alive);
 }
 
 }  // namespace xfrag::server

@@ -1,32 +1,21 @@
-// The xfragd socket layer: a poll-driven accept loop feeding a bounded
-// worker pool, with admission control in front of it. The concurrency model
-// is deliberately simple — one connection carries one exchange, each
-// exchange runs entirely on one worker thread, and the only cross-thread
-// state is the stats registry (mutex), the per-document fixed-point caches
-// (internally synchronized), and an in-flight counter (atomic + cv):
-//
-//   accept thread ──admission──▶ ThreadPool::Post ──▶ HandleConnection
-//        │  (at capacity: inline 503 + Retry-After, never queued)
-//        ▼
-//   Shutdown(): stop accepting, wait for in-flight exchanges to finish,
-//   then tear the pool down. In-flight responses are always written.
+// The xfragd server: a QueryService behind the shared HttpServer socket
+// layer (accept loop, admission control, HTTP/1.1 keep-alive — see
+// server/http_server.h). This class only supplies the dispatch logic:
+// routing /query, /healthz, /metrics, /version to the service. Each exchange
+// runs entirely on one worker thread; the only cross-thread state is the
+// stats registry (mutex) and the per-document fixed-point caches
+// (internally synchronized).
 
 #ifndef XFRAG_SERVER_SERVER_H_
 #define XFRAG_SERVER_SERVER_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "collection/collection.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "server/http.h"
-#include "server/net.h"
+#include "server/http_server.h"
 #include "server/service.h"
 #include "server/stats.h"
 
@@ -40,12 +29,16 @@ struct ServerOptions {
   /// Worker threads evaluating queries (>= 1).
   int workers = 4;
   /// Connections admitted beyond the ones actively being served. Admission
-  /// rejects (503) once workers + queue_capacity exchanges are in flight.
+  /// rejects (503) once workers + queue_capacity connections are in flight.
   int queue_capacity = 64;
   /// Per-request socket read/write timeout.
   int request_timeout_ms = 10000;
   /// Maximum accepted request body size (413 beyond it).
   size_t max_body_bytes = 1 << 20;
+  /// HTTP/1.1 persistent connections (see HttpServerOptions for semantics).
+  bool keep_alive = true;
+  int keep_alive_idle_timeout_ms = 5000;
+  int max_requests_per_connection = 1000;
   ServiceOptions service;
 };
 
@@ -53,57 +46,43 @@ struct ServerOptions {
 ///
 /// Lifecycle: construct → Start() → (serve) → Shutdown(). The destructor
 /// calls Shutdown() if needed. The collection must outlive the server.
-class Server {
+class Server : private HttpDispatcher {
  public:
   Server(const collection::Collection& collection, ServerOptions options);
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   /// \brief Binds, listens, and starts the accept loop + worker pool.
-  Status Start();
+  Status Start() { return http_.Start(); }
 
   /// The bound port (valid after Start; resolves an ephemeral bind).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return http_.port(); }
 
   /// \brief Graceful drain: stop accepting, wait for every in-flight
   /// exchange to finish (responses are written), release the threads.
   /// Idempotent; safe to call from a signal-watching thread.
-  void Shutdown();
+  void Shutdown() { http_.Shutdown(); }
 
-  const StatsRegistry& stats() const { return stats_; }
+  const StatsRegistry& stats() const { return http_.stats(); }
   const QueryService& service() const { return service_; }
 
-  /// Exchanges currently admitted (serving or queued) — exposed for the
+  /// Connections currently admitted (serving or queued) — exposed for the
   /// overload tests and the /metrics gauge.
-  int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+  int InFlight() const { return http_.InFlight(); }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(UniqueFd conn);
-  /// Routes one complete request to a handler; returns the response
-  /// (status + body are recorded by the caller).
-  std::string Dispatch(const HttpRequest& request, int* status_out,
-                       algebra::OpMetrics* metrics_out,
-                       bool* has_metrics_out) const;
-  void FinishExchange();
+  /// Routes one complete request to a handler (HttpDispatcher).
+  std::string Dispatch(const HttpRequest& request, bool keep_alive,
+                       int* status_out, algebra::OpMetrics* metrics_out,
+                       bool* has_metrics_out) override;
+
+  static HttpServerOptions ToHttpOptions(const ServerOptions& options);
 
   ServerOptions options_;
   QueryService service_;
-  StatsRegistry stats_;
-
-  UniqueFd listen_fd_;
-  uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::unique_ptr<ThreadPool> pool_;
-
-  std::atomic<bool> stopping_{false};
-  std::atomic<bool> started_{false};
-  std::atomic<int> in_flight_{0};
-  std::mutex shutdown_mutex_;
-  std::mutex drain_mutex_;
-  std::condition_variable drained_;
+  HttpServer http_;
 };
 
 }  // namespace xfrag::server

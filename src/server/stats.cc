@@ -1,41 +1,8 @@
 #include "server/stats.h"
 
-#include <bit>
-#include <cmath>
-
 #include "common/strings.h"
 
 namespace xfrag::server {
-
-void LatencyHistogram::Record(uint64_t micros) {
-  size_t bucket =
-      micros == 0 ? 0 : static_cast<size_t>(std::bit_width(micros) - 1);
-  if (bucket >= kBuckets) bucket = kBuckets - 1;
-  ++buckets_[bucket];
-  ++count_;
-  sum_ += micros;
-  if (micros > max_) max_ = micros;
-}
-
-uint64_t LatencyHistogram::PercentileUpperBoundMicros(double p) const {
-  if (count_ == 0) return 0;
-  // Rank of the percentile sample, 1-based (nearest-rank definition:
-  // ceil(p/100 * N), so p95 of 3 samples is the 3rd, not the 2nd).
-  auto rank = static_cast<uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
-  if (rank < 1) rank = 1;
-  if (rank > count_) rank = count_;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) {
-      uint64_t upper = (uint64_t{1} << (i + 1)) - 1;
-      // The top sample bounds the histogram: never report past the max.
-      return upper < max_ ? upper : max_;
-    }
-  }
-  return max_;
-}
 
 void StatsRegistry::RecordRequest(int http_status, uint64_t latency_micros,
                                   const algebra::OpMetrics* metrics) {
@@ -70,6 +37,17 @@ json::Value StatsRegistry::OpMetricsToJson(const algebra::OpMetrics& metrics) {
   return out;
 }
 
+json::Value StatsRegistry::LatencyToJson(const LatencyHistogram& histogram) {
+  json::Value latency = json::Value::Object();
+  latency.Set("count", histogram.count());
+  latency.Set("mean", histogram.MeanMicros());
+  latency.Set("p50", histogram.PercentileUpperBoundMicros(50));
+  latency.Set("p95", histogram.PercentileUpperBoundMicros(95));
+  latency.Set("p99", histogram.PercentileUpperBoundMicros(99));
+  latency.Set("max", histogram.max_micros());
+  return latency;
+}
+
 json::Value StatsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   json::Value requests = json::Value::Object();
@@ -80,17 +58,9 @@ json::Value StatsRegistry::ToJson() const {
   }
   requests.Set("by_status", std::move(by_status));
 
-  json::Value latency = json::Value::Object();
-  latency.Set("count", latency_.count());
-  latency.Set("mean", latency_.MeanMicros());
-  latency.Set("p50", latency_.PercentileUpperBoundMicros(50));
-  latency.Set("p95", latency_.PercentileUpperBoundMicros(95));
-  latency.Set("p99", latency_.PercentileUpperBoundMicros(99));
-  latency.Set("max", latency_.max_micros());
-
   json::Value out = json::Value::Object();
   out.Set("requests", std::move(requests));
-  out.Set("latency_us", std::move(latency));
+  out.Set("latency_us", LatencyToJson(latency_));
   out.Set("op_metrics", OpMetricsToJson(op_metrics_));
   return out;
 }

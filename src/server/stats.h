@@ -8,43 +8,15 @@
 #ifndef XFRAG_SERVER_STATS_H_
 #define XFRAG_SERVER_STATS_H_
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
 
 #include "algebra/ops.h"
 #include "common/json.h"
+#include "server/latency_histogram.h"
 
 namespace xfrag::server {
-
-/// \brief Power-of-two-bucketed latency histogram (microseconds).
-///
-/// Bucket i counts samples in [2^i, 2^(i+1)) µs; bucket 0 additionally
-/// holds sub-microsecond samples. 40 buckets cover up to ~12.7 days.
-class LatencyHistogram {
- public:
-  static constexpr size_t kBuckets = 40;
-
-  void Record(uint64_t micros);
-
-  uint64_t count() const { return count_; }
-  uint64_t max_micros() const { return max_; }
-  double MeanMicros() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
-                                   static_cast<double>(count_);
-  }
-
-  /// \brief Upper bound of the bucket containing the p-th percentile sample
-  /// (p in (0, 100]); 0 when empty. Error is bounded by the 2× bucket width.
-  uint64_t PercentileUpperBoundMicros(double p) const;
-
- private:
-  std::array<uint64_t, kBuckets> buckets_{};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t max_ = 0;
-};
 
 /// \brief Thread-safe request statistics for one server instance.
 class StatsRegistry {
@@ -70,6 +42,11 @@ class StatsRegistry {
 
   /// JSON rendering of one OpMetrics (also used for per-response metrics).
   static json::Value OpMetricsToJson(const algebra::OpMetrics& metrics);
+
+  /// \brief Renders a histogram as the {"count", "mean", "p50", "p95",
+  /// "p99", "max"} object used under "latency_us" — shared with the
+  /// router's per-shard metrics so both tiers report identically.
+  static json::Value LatencyToJson(const LatencyHistogram& histogram);
 
  private:
   mutable std::mutex mutex_;

@@ -11,6 +11,11 @@
 //   options:
 //     --host H          server address         (default 127.0.0.1)
 //     --port N          server port            (default 8378)
+//     --router LIST     comma-separated xfrag_router endpoints tried in
+//                       order until one answers, e.g.
+//                       --router 127.0.0.1:8377,127.0.0.1:8380
+//                       (a bare host defaults to port 8377)
+//     --require-complete  ask the router for all-shards-or-504 semantics
 //     --filter EXPR     e.g. --filter 'size<=3 & height<=2'
 //     --strategy S      auto|brute|naive|reduced|pushdown
 //     --leaf-strict     Definition-8 leaf condition
@@ -26,6 +31,10 @@
 //   Ranked responses (--top/--rank) print a human-readable scoreboard —
 //   "1. 3.141  paper.xml #17 <section> size=4" per answer — followed by the
 //   pretty JSON; --compact suppresses the scoreboard.
+//
+//   Degraded router responses (a 200 whose body carries "partial") print a
+//   stderr warning naming the missing shards, so scripts piping stdout still
+//   get clean JSON but an operator sees the gap.
 //
 //   Exit status: 0 on HTTP 200, 1 on transport errors, otherwise the HTTP
 //   status class (4 for 4xx, 5 for 5xx) — scriptable overload/deadline
@@ -50,11 +59,62 @@ int Usage(const char* argv0) {
                "usage: %s '{term1, term2, ...}' [options]\n"
                "       %s --json '{\"terms\":[...]}' [options]\n"
                "       %s --get /healthz|/metrics|/version [options]\n"
-               "  --host H | --port N | --filter EXPR | --strategy S\n"
-               "  --leaf-strict | --deadline-ms MS | --explain | --xml\n"
-               "  --max N | --top N | --rank | --compact | --version\n",
+               "  --host H | --port N | --router H:P[,H:P...] | --filter EXPR\n"
+               "  --strategy S | --leaf-strict | --deadline-ms MS | --explain\n"
+               "  --xml | --max N | --top N | --rank | --require-complete\n"
+               "  --compact | --version\n",
                argv0, argv0, argv0);
   return 2;
+}
+
+// One try-in-order target ("--router a:1,b:2" or plain --host/--port).
+struct Target {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// "h1:p1,h2:p2,h3" -> targets (a bare host gets the router default port).
+bool ParseRouterList(std::string_view list, std::vector<Target>* targets) {
+  while (!list.empty()) {
+    size_t comma = list.find(',');
+    std::string_view entry = xfrag::StripAsciiWhitespace(list.substr(0, comma));
+    if (!entry.empty()) {
+      Target target;
+      target.port = 8377;  // xfrag_router's default port
+      size_t colon = entry.rfind(':');
+      if (colon != std::string_view::npos) {
+        long port = std::atol(std::string(entry.substr(colon + 1)).c_str());
+        if (port < 1 || port > 65535) return false;
+        target.port = static_cast<uint16_t>(port);
+        entry = entry.substr(0, colon);
+      }
+      if (entry.empty()) return false;
+      target.host = std::string(entry);
+      targets->push_back(std::move(target));
+    }
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return !targets->empty();
+}
+
+// The degraded-mode warning: a 200 with "partial" means some shards are
+// missing from the merge; say which, on stderr, so stdout stays clean JSON.
+void WarnIfPartial(const xfrag::json::Value& body) {
+  const xfrag::json::Value* partial = body.Find("partial");
+  if (partial == nullptr || !partial->is_object()) return;
+  const xfrag::json::Value* missing = partial->Find("missing_shards");
+  std::string list;
+  if (missing != nullptr && missing->is_array()) {
+    for (const xfrag::json::Value& index : missing->items()) {
+      if (!list.empty()) list += ", ";
+      list += xfrag::StrFormat("%lld",
+                               static_cast<long long>(index.AsInt()));
+    }
+  }
+  std::fprintf(stderr,
+               "xfrag_client: PARTIAL result — missing shard(s): [%s]\n",
+               list.c_str());
 }
 
 // "{XQuery, optimization}" -> ["xquery", "optimization"] (the server folds
@@ -109,21 +169,31 @@ void PrintScoreboard(const xfrag::json::Value& body) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 8378;
+  std::vector<Target> routers;
   std::string brace_query, raw_json, get_path, filter_expr, strategy;
   double deadline_ms = 0;
   long max_answers = -1, top_k = -1;
   bool leaf_strict = false, explain = false, xml = false, compact = false;
-  bool rank = false;
+  bool rank = false, require_complete = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--version") {
-      std::printf("%s\n", xfrag::BuildInfo("xfrag_client").c_str());
+      std::printf("%s (router protocol revision %d)\n",
+                  xfrag::BuildInfo("xfrag_client").c_str(),
+                  xfrag::kRouterProtocolRevision);
       return 0;
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--router" && i + 1 < argc) {
+      if (!ParseRouterList(argv[++i], &routers)) {
+        std::fprintf(stderr, "cannot parse --router list \"%s\"\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--require-complete") {
+      require_complete = true;
     } else if (arg == "--json" && i + 1 < argc) {
       raw_json = argv[++i];
     } else if (arg == "--get" && i + 1 < argc) {
@@ -157,15 +227,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string request;
-  if (!get_path.empty()) {
-    request = xfrag::StrFormat("GET %s HTTP/1.1\r\nHost: %s\r\n"
-                               "Connection: close\r\n\r\n",
-                               get_path.c_str(), host.c_str());
-  } else {
-    std::string body;
+  std::string body;
+  if (get_path.empty()) {
     if (!raw_json.empty()) {
       body = raw_json;
+      if (require_complete) {
+        auto parsed = xfrag::json::Parse(body);
+        if (parsed.ok() && parsed->is_object()) {
+          parsed->Set("require_complete", true);
+          body = parsed->Dump();
+        }
+      }
     } else if (!brace_query.empty()) {
       std::vector<std::string> terms;
       if (!ParseBraceQuery(brace_query, &terms)) {
@@ -189,22 +261,53 @@ int main(int argc, char** argv) {
       }
       if (top_k >= 0) req.Set("top_k", static_cast<int64_t>(top_k));
       if (rank) req.Set("rank", true);
+      if (require_complete) req.Set("require_complete", true);
       body = req.Dump();
     } else {
       return Usage(argv[0]);
     }
-    request = xfrag::StrFormat(
-        "POST /query HTTP/1.1\r\nHost: %s\r\n"
-        "Content-Type: application/json\r\nContent-Length: %zu\r\n"
-        "Connection: close\r\n\r\n",
-        host.c_str(), body.size());
-    request += body;
   }
 
-  auto raw = xfrag::server::HttpRoundTrip(host, port, request);
-  if (!raw.ok()) {
-    std::fprintf(stderr, "xfrag_client: %s (is xfragd running on %s:%u?)\n",
-                 raw.status().ToString().c_str(), host.c_str(), port);
+  // --router gives an ordered failover list; otherwise the single
+  // --host/--port target. Transport errors advance to the next endpoint;
+  // an HTTP response of any status ends the search.
+  std::vector<Target> targets = routers;
+  if (targets.empty()) targets.push_back(Target{host, port});
+
+  xfrag::StatusOr<std::string> raw =
+      xfrag::Status::Internal("no targets tried");
+  const Target* answered = nullptr;
+  for (const Target& target : targets) {
+    std::string request;
+    if (!get_path.empty()) {
+      request = xfrag::StrFormat("GET %s HTTP/1.1\r\nHost: %s\r\n"
+                                 "Connection: close\r\n\r\n",
+                                 get_path.c_str(), target.host.c_str());
+    } else {
+      request = xfrag::StrFormat(
+          "POST /query HTTP/1.1\r\nHost: %s\r\n"
+          "Content-Type: application/json\r\nContent-Length: %zu\r\n"
+          "Connection: close\r\n\r\n",
+          target.host.c_str(), body.size());
+      request += body;
+    }
+    raw = xfrag::server::HttpRoundTrip(target.host, target.port, request);
+    if (raw.ok()) {
+      answered = &target;
+      break;
+    }
+    if (targets.size() > 1) {
+      std::fprintf(stderr, "xfrag_client: %s:%u unreachable (%s), trying "
+                           "next endpoint\n",
+                   target.host.c_str(), target.port,
+                   raw.status().ToString().c_str());
+    }
+  }
+  if (!raw.ok() || answered == nullptr) {
+    std::fprintf(stderr, "xfrag_client: %s (is %s running on %s:%u?)\n",
+                 raw.status().ToString().c_str(),
+                 routers.empty() ? "xfragd" : "xfrag_router",
+                 targets.back().host.c_str(), targets.back().port);
     return 1;
   }
   auto response = xfrag::server::ParseHttpResponse(*raw);
@@ -216,10 +319,17 @@ int main(int argc, char** argv) {
 
   if (compact) {
     std::printf("%s\n", response->body.c_str());
+    if (response->status == 200) {
+      auto parsed = xfrag::json::Parse(response->body);
+      if (parsed.ok()) WarnIfPartial(*parsed);
+    }
   } else {
     auto parsed = xfrag::json::Parse(response->body);
     if (parsed.ok()) {
-      if (response->status == 200) PrintScoreboard(*parsed);
+      if (response->status == 200) {
+        PrintScoreboard(*parsed);
+        WarnIfPartial(*parsed);
+      }
       std::printf("%s\n", parsed->Dump(2).c_str());
     } else {
       std::printf("%s\n", response->body.c_str());

@@ -152,6 +152,20 @@ TEST(JsonParse, MutationFuzzNeverCrashes) {
   }
 }
 
+TEST(JsonValue, RemoveDropsKeyAndPreservesOrder) {
+  Value v = *Parse(R"({"a":1,"b":2,"c":3})");
+  EXPECT_TRUE(v.Remove("b"));
+  EXPECT_EQ(v.Dump(), R"({"a":1,"c":3})");
+  EXPECT_FALSE(v.Remove("b"));  // already gone
+  EXPECT_FALSE(v.Remove("zz"));
+  EXPECT_TRUE(v.Remove("a"));
+  EXPECT_TRUE(v.Remove("c"));
+  EXPECT_EQ(v.Dump(), "{}");
+  Value arr = *Parse("[1,2]");
+  EXPECT_FALSE(arr.Remove("a"));  // non-objects never remove
+  EXPECT_FALSE(Value(7).Remove("a"));
+}
+
 TEST(JsonValue, Equality) {
   EXPECT_EQ(Value(1), Value(int64_t{1}));
   EXPECT_NE(Value(1), Value(2));

@@ -1,0 +1,152 @@
+// BackendClient against a live in-process xfragd: keep-alive pool reuse,
+// transparent retry on a stale pooled connection (server idle-closed it),
+// bounded connect-failure retries, per-call deadlines, and cross-thread
+// cancellation of an in-flight exchange via shutdown(2).
+
+#include "router/backend_client.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "collection/collection.h"
+#include "common/json.h"
+#include "server/server.h"
+
+namespace xfrag::router {
+namespace {
+
+class BackendClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        collection_.AddXml("a.xml", "<doc><par>alpha beta</par></doc>").ok());
+  }
+
+  std::unique_ptr<server::Server> StartServer(server::ServerOptions options) {
+    auto srv = std::make_unique<server::Server>(collection_, options);
+    auto started = srv->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return srv;
+  }
+
+  collection::Collection collection_;
+};
+
+TEST_F(BackendClientTest, ReusesPooledConnectionAcrossCalls) {
+  auto srv = StartServer({});
+  BackendClient client("127.0.0.1", srv->port(), {});
+  std::string request = client.BuildRequest("GET", "/healthz", "");
+
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.Call(request, /*deadline_ms=*/5000, nullptr);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->reused_connection, i > 0);
+    auto body = json::Parse(response->body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body->Find("status")->AsString(), "ok");
+  }
+  auto stats = client.Stats();
+  EXPECT_EQ(stats.connects, 1u);
+  EXPECT_EQ(stats.reuses, 2u);
+  EXPECT_EQ(stats.stale_retries, 0u);
+  EXPECT_EQ(stats.pooled, 1u);
+  srv->Shutdown();
+}
+
+TEST_F(BackendClientTest, RetriesTransparentlyWhenPooledConnectionWentStale) {
+  server::ServerOptions options;
+  options.keep_alive_idle_timeout_ms = 100;
+  auto srv = StartServer(options);
+  BackendClient client("127.0.0.1", srv->port(), {});
+  std::string request = client.BuildRequest("GET", "/healthz", "");
+
+  ASSERT_TRUE(client.Call(request, 5000, nullptr).ok());
+  // Let the server idle-close the pooled connection, then call again: the
+  // client must detect the dead connection before any response byte and
+  // silently redial instead of surfacing an error.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto response = client.Call(request, 5000, nullptr);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_FALSE(response->reused_connection);
+  auto stats = client.Stats();
+  EXPECT_EQ(stats.stale_retries, 1u);
+  EXPECT_EQ(stats.connects, 2u);
+  srv->Shutdown();
+}
+
+TEST_F(BackendClientTest, ConnectFailureIsBoundedAndAttributed) {
+  // Bind-then-close to get a port with (almost certainly) no listener.
+  uint16_t dead_port;
+  {
+    auto srv = StartServer({});
+    dead_port = srv->port();
+    srv->Shutdown();
+  }
+  BackendClient::Options options;
+  options.connect_timeout_ms = 200;
+  options.max_connect_attempts = 2;
+  BackendClient client("127.0.0.1", dead_port, options);
+  auto response =
+      client.Call(client.BuildRequest("GET", "/healthz", ""), 1000, nullptr);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(client.Stats().connects, 0u);
+}
+
+TEST_F(BackendClientTest, DeadlineCapsSlowExchange) {
+  server::ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  auto srv = StartServer(options);
+  BackendClient client("127.0.0.1", srv->port(), {});
+  std::string request = client.BuildRequest(
+      "POST", "/query", R"({"terms":["alpha"],"debug_sleep_ms":2000})");
+
+  auto start = std::chrono::steady_clock::now();
+  auto response = client.Call(request, /*deadline_ms=*/200, nullptr);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_LT(elapsed, 1500) << "deadline did not cap the exchange";
+  srv->Shutdown();
+}
+
+TEST_F(BackendClientTest, CancelFromAnotherThreadAbortsInFlightCall) {
+  server::ServerOptions options;
+  options.service.enable_debug_sleep = true;
+  auto srv = StartServer(options);
+  BackendClient client("127.0.0.1", srv->port(), {});
+  std::string request = client.BuildRequest(
+      "POST", "/query", R"({"terms":["alpha"],"debug_sleep_ms":5000})");
+
+  auto cancel = std::make_shared<CallCancel>();
+  StatusOr<BackendResponse> response = Status::Internal("not run");
+  std::thread caller([&] { response = client.Call(request, 30000, cancel); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cancel->Cancel();
+  caller.join();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(cancel->canceled());
+  // A canceled connection must never be returned to the pool.
+  EXPECT_EQ(client.Stats().pooled, 0u);
+  srv->Shutdown();
+}
+
+TEST_F(BackendClientTest, PreCanceledCallFailsWithoutTouchingTheNetwork) {
+  auto srv = StartServer({});
+  BackendClient client("127.0.0.1", srv->port(), {});
+  auto cancel = std::make_shared<CallCancel>();
+  cancel->Cancel();
+  auto response =
+      client.Call(client.BuildRequest("GET", "/healthz", ""), 5000, cancel);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(client.Stats().connects, 0u);
+  srv->Shutdown();
+}
+
+}  // namespace
+}  // namespace xfrag::router

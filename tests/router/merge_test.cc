@@ -1,0 +1,248 @@
+// Cross-shard merge unit tests: full-mode concatenation with document-index
+// globalization, exact top-k (score, doc) merge order, the answer_count /
+// truncated identities under per-shard truncation, field-wise metric sums,
+// explain concatenation, the partial object, and shard-attributed errors
+// for malformed shard bodies. The end-to-end byte-identity contract is
+// covered separately by router_test against live servers.
+
+#include "router/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace xfrag::router {
+namespace {
+
+json::Value ParseOrDie(const std::string& text) {
+  auto value = json::Parse(text);
+  EXPECT_TRUE(value.ok()) << value.status().ToString() << " in " << text;
+  return std::move(*value);
+}
+
+/// A minimal well-formed shard /query body.
+json::Value ShardBodyJson(const std::string& answers,
+                          int evaluated, int skipped, int count,
+                          const std::string& metrics =
+                              R"({"ops": 1, "nodes": 10})") {
+  return ParseOrDie(
+      std::string(R"({"query": "//a", "documents": 0, )") +
+      R"("documents_evaluated": )" + std::to_string(evaluated) +
+      R"(, "documents_skipped": )" + std::to_string(skipped) +
+      R"(, "answer_count": )" + std::to_string(count) +
+      R"(, "answers": )" + answers + R"(, "metrics": )" + metrics +
+      R"(, "elapsed_ms": 3})");
+}
+
+TEST(MergeTest, FullModeConcatenatesAndGlobalizesDocumentIndexes) {
+  std::vector<ShardBody> bodies;
+  bodies.push_back(
+      {0, 0,
+       ShardBodyJson(R"([{"document_index": 0, "path": "/a"},
+                         {"document_index": 1, "path": "/a/b"}])",
+                     2, 0, 2)});
+  bodies.push_back(
+      {1, 2,
+       ShardBodyJson(R"([{"document_index": 1, "path": "/a/c"}])", 2, 1, 1)});
+
+  auto merged = MergeQueryBodies(std::move(bodies), MergePlan{}, 4, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->Find("documents")->AsInt(), 4);
+  EXPECT_EQ(merged->Find("documents_evaluated")->AsInt(), 4);
+  EXPECT_EQ(merged->Find("documents_skipped")->AsInt(), 1);
+  EXPECT_EQ(merged->Find("answer_count")->AsInt(), 3);
+  const json::Value* answers = merged->Find("answers");
+  ASSERT_EQ(answers->size(), 3u);
+  EXPECT_EQ((*answers)[0].Find("document_index")->AsInt(), 0);
+  EXPECT_EQ((*answers)[1].Find("document_index")->AsInt(), 1);
+  EXPECT_EQ((*answers)[2].Find("document_index")->AsInt(), 3);  // 1 + base 2
+  EXPECT_EQ((*answers)[2].Find("path")->AsString(), "/a/c");
+  EXPECT_EQ(merged->Find("ranked"), nullptr);
+  EXPECT_EQ(merged->Find("truncated"), nullptr);
+  EXPECT_EQ(merged->Find("partial"), nullptr);
+  EXPECT_EQ(merged->Find("elapsed_ms"), nullptr);  // stamped by the caller
+}
+
+TEST(MergeTest, RankedMergeOrdersByScoreThenGlobalDocument) {
+  // Shard 0 (docs 0-1) and shard 1 (docs 2-3); scores interleave and tie.
+  std::vector<ShardBody> bodies;
+  bodies.push_back(
+      {0, 0,
+       ShardBodyJson(R"([{"document_index": 1, "score": 0.9},
+                         {"document_index": 0, "score": 0.5}])",
+                     2, 0, 2)});
+  bodies.push_back(
+      {1, 2,
+       ShardBodyJson(R"([{"document_index": 0, "score": 0.9},
+                         {"document_index": 1, "score": 0.7}])",
+                     2, 0, 2)});
+
+  MergePlan plan;
+  plan.rank = true;
+  auto merged = MergeQueryBodies(std::move(bodies), plan, 4, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(merged->Find("ranked")->AsBool());
+  EXPECT_EQ(merged->Find("top_k"), nullptr);  // rank without top_k
+  const json::Value* answers = merged->Find("answers");
+  ASSERT_EQ(answers->size(), 4u);
+  // 0.9@doc1 before 0.9@doc2 (score tie → lower global doc first).
+  EXPECT_EQ((*answers)[0].Find("document_index")->AsInt(), 1);
+  EXPECT_EQ((*answers)[1].Find("document_index")->AsInt(), 2);
+  EXPECT_EQ((*answers)[2].Find("document_index")->AsInt(), 3);
+  EXPECT_EQ((*answers)[3].Find("document_index")->AsInt(), 0);
+}
+
+TEST(MergeTest, TopKClampsAnswerCountAndEmission) {
+  // Σ shard counts = 5 but k = 3: answer_count must clamp to 3 and only the
+  // global top 3 emit, exercising min(k, Σ min(k, hᵢ)) == min(k, Σ hᵢ).
+  std::vector<ShardBody> bodies;
+  bodies.push_back(
+      {0, 0,
+       ShardBodyJson(R"([{"document_index": 0, "score": 0.8},
+                         {"document_index": 1, "score": 0.4},
+                         {"document_index": 2, "score": 0.2}])",
+                     3, 0, 3)});
+  bodies.push_back(
+      {1, 3,
+       ShardBodyJson(R"([{"document_index": 0, "score": 0.6},
+                         {"document_index": 1, "score": 0.3}])",
+                     2, 0, 2)});
+
+  MergePlan plan;
+  plan.rank = true;
+  plan.top_k = 3;
+  auto merged = MergeQueryBodies(std::move(bodies), plan, 5, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->Find("top_k")->AsInt(), 3);
+  EXPECT_EQ(merged->Find("answer_count")->AsInt(), 3);
+  const json::Value* answers = merged->Find("answers");
+  ASSERT_EQ(answers->size(), 3u);
+  EXPECT_EQ((*answers)[0].Find("score")->AsDouble(), 0.8);
+  EXPECT_EQ((*answers)[1].Find("document_index")->AsInt(), 3);  // 0.6
+  EXPECT_EQ((*answers)[2].Find("document_index")->AsInt(), 1);  // 0.4
+}
+
+TEST(MergeTest, MaxAnswersTruncatesAndSetsFlag) {
+  std::vector<ShardBody> bodies;
+  bodies.push_back(
+      {0, 0,
+       ShardBodyJson(R"([{"document_index": 0}, {"document_index": 1}])", 2, 0,
+                     2)});
+  bodies.push_back(
+      {1, 2, ShardBodyJson(R"([{"document_index": 0}])", 1, 0, 1)});
+
+  MergePlan plan;
+  plan.max_answers = 2;
+  auto merged = MergeQueryBodies(std::move(bodies), plan, 3, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // answer_count reports the full total; answers emit only max_answers.
+  EXPECT_EQ(merged->Find("answer_count")->AsInt(), 3);
+  EXPECT_TRUE(merged->Find("truncated")->AsBool());
+  EXPECT_EQ(merged->Find("answers")->size(), 2u);
+}
+
+TEST(MergeTest, MetricsSumFieldWiseInFirstShardKeyOrder) {
+  std::vector<ShardBody> bodies;
+  bodies.push_back({0, 0,
+                    ShardBodyJson("[]", 1, 0, 0,
+                                  R"({"ops": 2, "nodes": 100, "joins": 3})")});
+  bodies.push_back({1, 1,
+                    ShardBodyJson("[]", 1, 0, 0,
+                                  R"({"ops": 5, "nodes": 40, "joins": 0})")});
+
+  auto merged = MergeQueryBodies(std::move(bodies), MergePlan{}, 2, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const json::Value* metrics = merged->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("ops")->AsInt(), 7);
+  EXPECT_EQ(metrics->Find("nodes")->AsInt(), 140);
+  EXPECT_EQ(metrics->Find("joins")->AsInt(), 3);
+  // Key order must match the shard (= single-node) rendering exactly.
+  EXPECT_EQ(metrics->Dump(), R"({"ops":7,"nodes":140,"joins":3})");
+}
+
+TEST(MergeTest, ExplainEntriesConcatenateInShardOrder) {
+  auto with_explain = [](json::Value body, const std::string& explain) {
+    body.Set("explain", ParseOrDie(explain));
+    return body;
+  };
+  std::vector<ShardBody> bodies;
+  bodies.push_back({0, 0,
+                    with_explain(ShardBodyJson("[]", 1, 0, 0),
+                                 R"([{"op": "scan", "rows": 1}])")});
+  bodies.push_back({1, 1,
+                    with_explain(ShardBodyJson("[]", 1, 0, 0),
+                                 R"([{"op": "scan", "rows": 2}])")});
+
+  auto merged = MergeQueryBodies(std::move(bodies), MergePlan{}, 2, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const json::Value* explain = merged->Find("explain");
+  ASSERT_NE(explain, nullptr);
+  ASSERT_EQ(explain->size(), 2u);
+  EXPECT_EQ((*explain)[0].Find("rows")->AsInt(), 1);
+  EXPECT_EQ((*explain)[1].Find("rows")->AsInt(), 2);
+}
+
+TEST(MergeTest, MissingShardsProducePartialObject) {
+  std::vector<ShardBody> bodies;
+  bodies.push_back({1, 5, ShardBodyJson("[]", 5, 0, 0)});
+
+  auto merged = MergeQueryBodies(std::move(bodies), MergePlan{}, 15, {0, 2});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // documents still reports the full corpus size from the shard map.
+  EXPECT_EQ(merged->Find("documents")->AsInt(), 15);
+  const json::Value* partial = merged->Find("partial");
+  ASSERT_NE(partial, nullptr);
+  const json::Value* missing = partial->Find("missing_shards");
+  ASSERT_NE(missing, nullptr);
+  ASSERT_EQ(missing->size(), 2u);
+  EXPECT_EQ((*missing)[0].AsInt(), 0);
+  EXPECT_EQ((*missing)[1].AsInt(), 2);
+  // partial is the last field so a caller-stamped elapsed_ms follows it.
+  std::string dump = merged->Dump();
+  const std::string tail = R"("partial":{"missing_shards":[0,2]}})";
+  ASSERT_GE(dump.size(), tail.size());
+  EXPECT_EQ(dump.substr(dump.size() - tail.size()), tail) << dump;
+}
+
+TEST(MergeTest, RejectsZeroBodies) {
+  auto merged = MergeQueryBodies({}, MergePlan{}, 0, {});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, RejectsBodyMissingRequiredField) {
+  json::Value body = ShardBodyJson("[]", 1, 0, 0);
+  body.Remove("answer_count");
+  std::vector<ShardBody> bodies;
+  bodies.push_back({3, 0, std::move(body)});
+  auto merged = MergeQueryBodies(std::move(bodies), MergePlan{}, 1, {});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("shard 3"), std::string::npos);
+  EXPECT_NE(merged.status().message().find("answer_count"), std::string::npos);
+}
+
+TEST(MergeTest, RejectsRankedAnswerWithoutScore) {
+  std::vector<ShardBody> bodies;
+  bodies.push_back({0, 0, ShardBodyJson(R"([{"document_index": 0}])", 1, 0, 1)});
+  MergePlan plan;
+  plan.top_k = 5;
+  auto merged = MergeQueryBodies(std::move(bodies), plan, 1, {});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("score"), std::string::npos);
+}
+
+TEST(MergeTest, RejectsAnswerWithoutDocumentIndex) {
+  std::vector<ShardBody> bodies;
+  bodies.push_back({0, 0, ShardBodyJson(R"([{"path": "/a"}])", 1, 0, 1)});
+  auto merged = MergeQueryBodies(std::move(bodies), MergePlan{}, 1, {});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("document_index"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xfrag::router

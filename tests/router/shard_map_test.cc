@@ -1,0 +1,240 @@
+// Shard-map config parser: the valid forms, every structured-error class
+// (malformed JSON with byte offsets, overlapping/gapped document ranges,
+// duplicate endpoints, zero shards, bad endpoints/weights/fields), and a
+// deterministic mutation-fuzz corpus — truncations, byte flips, and token
+// swaps of a valid config must produce a clean error or a valid map, never
+// a crash or a structurally broken ShardMap. Mirrors the strictness bar set
+// by tests/common/json_test.cc for the wire parser.
+
+#include "router/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace xfrag::router {
+namespace {
+
+constexpr const char* kValidMap = R"({"shards": [
+  {"endpoint": "127.0.0.1:9001", "documents": {"begin": 0, "count": 40}},
+  {"endpoint": "127.0.0.1:9002", "documents": {"begin": 40, "count": 30},
+   "weight": 2.5},
+  {"endpoint": "127.0.0.1:9003", "documents": {"begin": 70, "count": 50}}
+]})";
+
+/// Checks the invariants every successfully parsed map must satisfy —
+/// the mutation fuzzer leans on this to catch "parsed but broken" outcomes.
+void ExpectWellFormed(const ShardMap& map) {
+  ASSERT_FALSE(map.shards.empty());
+  size_t next = 0;
+  for (const ShardInfo& shard : map.shards) {
+    EXPECT_EQ(shard.doc_begin, next);
+    EXPECT_GT(shard.doc_count, 0u);
+    EXPECT_GE(shard.port, 1u);
+    EXPECT_FALSE(shard.host.empty());
+    EXPECT_GT(shard.weight, 0.0);
+    next = shard.doc_begin + shard.doc_count;
+  }
+  EXPECT_EQ(map.total_documents, next);
+}
+
+TEST(ShardMapTest, ParsesValidMap) {
+  auto map = ParseShardMap(kValidMap);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  ASSERT_EQ(map->shards.size(), 3u);
+  EXPECT_EQ(map->total_documents, 120u);
+  EXPECT_EQ(map->shards[0].Endpoint(), "127.0.0.1:9001");
+  EXPECT_EQ(map->shards[1].weight, 2.5);
+  EXPECT_EQ(map->shards[2].doc_begin, 70u);
+  EXPECT_EQ(map->shards[2].doc_count, 50u);
+  ExpectWellFormed(*map);
+}
+
+TEST(ShardMapTest, SortsShardsListedOutOfOrder) {
+  auto map = ParseShardMap(R"({"shards": [
+    {"endpoint": "h:2", "documents": {"begin": 10, "count": 5}},
+    {"endpoint": "h:1", "documents": {"begin": 0, "count": 10}}
+  ]})");
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->shards[0].port, 1u);
+  EXPECT_EQ(map->shards[1].port, 2u);
+  ExpectWellFormed(*map);
+}
+
+TEST(ShardMapTest, MalformedJsonReportsByteOffset) {
+  // The parse stops at the stray ']' — the error must carry that offset,
+  // matching the {"error", "offset"} contract of the /query 400 bodies.
+  std::string text = R"({"shards": ]})";
+  auto map = ParseShardMap(text);
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kParseError);
+  EXPECT_NE(map.status().message().find("offset 11"), std::string::npos)
+      << map.status().ToString();
+}
+
+TEST(ShardMapTest, TruncatedJsonReportsOffsetAtEnd) {
+  std::string text = R"({"shards": [{"endpoint": "a:1")";
+  auto map = ParseShardMap(text);
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kParseError);
+  EXPECT_NE(map.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsZeroShards) {
+  auto map = ParseShardMap(R"({"shards": []})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(map.status().message().find("non-empty"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsMissingShardsField) {
+  auto map = ParseShardMap(R"({})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardMapTest, RejectsUnknownTopLevelField) {
+  auto map = ParseShardMap(
+      R"({"shards": [{"endpoint": "a:1",
+          "documents": {"begin": 0, "count": 1}}], "replicas": 2})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_NE(map.status().message().find("replicas"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsOverlappingRanges) {
+  auto map = ParseShardMap(R"({"shards": [
+    {"endpoint": "a:1", "documents": {"begin": 0, "count": 10}},
+    {"endpoint": "b:2", "documents": {"begin": 5, "count": 10}}
+  ]})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(map.status().message().find("overlap"), std::string::npos);
+  EXPECT_NE(map.status().message().find("document 5"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsGapBetweenRanges) {
+  auto map = ParseShardMap(R"({"shards": [
+    {"endpoint": "a:1", "documents": {"begin": 0, "count": 10}},
+    {"endpoint": "b:2", "documents": {"begin": 12, "count": 3}}
+  ]})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_NE(map.status().message().find("gap"), std::string::npos);
+  EXPECT_NE(map.status().message().find("[10, 12)"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsRangeNotStartingAtZero) {
+  auto map = ParseShardMap(R"({"shards": [
+    {"endpoint": "a:1", "documents": {"begin": 1, "count": 10}}
+  ]})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_NE(map.status().message().find("gap"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsDuplicateEndpoints) {
+  auto map = ParseShardMap(R"({"shards": [
+    {"endpoint": "a:1", "documents": {"begin": 0, "count": 10}},
+    {"endpoint": "a:1", "documents": {"begin": 10, "count": 10}}
+  ]})");
+  ASSERT_FALSE(map.ok());
+  EXPECT_NE(map.status().message().find("duplicate endpoint"),
+            std::string::npos);
+  EXPECT_NE(map.status().message().find("shards[1]"), std::string::npos);
+}
+
+TEST(ShardMapTest, RejectsBadEndpoints) {
+  for (const char* endpoint :
+       {"", "nohost", ":80", "h:", "h:0", "h:65536", "h:12x", "h:-1"}) {
+    auto map = ParseShardMap(StrFormat(
+        R"({"shards": [{"endpoint": "%s",
+            "documents": {"begin": 0, "count": 1}}]})",
+        endpoint));
+    EXPECT_FALSE(map.ok()) << "endpoint '" << endpoint << "' accepted";
+    if (!map.ok()) {
+      EXPECT_EQ(map.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(map.status().message().find("shards[0]"), std::string::npos);
+    }
+  }
+}
+
+TEST(ShardMapTest, RejectsBadDocumentRanges) {
+  for (const char* documents :
+       {R"({"begin": 0})", R"({"count": 1})", R"({"begin": -1, "count": 1})",
+        R"({"begin": 0, "count": 0})", R"({"begin": 0.5, "count": 1})",
+        R"({"begin": 0, "count": 1, "end": 2})", R"([0, 1])"}) {
+    auto map = ParseShardMap(StrFormat(
+        R"({"shards": [{"endpoint": "a:1", "documents": %s}]})", documents));
+    EXPECT_FALSE(map.ok()) << "documents " << documents << " accepted";
+  }
+}
+
+TEST(ShardMapTest, RejectsBadWeightsAndUnknownShardFields) {
+  for (const char* extra :
+       {R"("weight": 0)", R"("weight": -1)", R"("weight": "heavy")",
+        R"("replica_of": "a:2")"}) {
+    auto map = ParseShardMap(StrFormat(
+        R"({"shards": [{"endpoint": "a:1",
+            "documents": {"begin": 0, "count": 1}, %s}]})",
+        extra));
+    EXPECT_FALSE(map.ok()) << "shard field " << extra << " accepted";
+  }
+}
+
+TEST(ShardMapTest, RejectsMissingEndpointOrDocuments) {
+  EXPECT_FALSE(
+      ParseShardMap(
+          R"({"shards": [{"documents": {"begin": 0, "count": 1}}]})")
+          .ok());
+  EXPECT_FALSE(ParseShardMap(R"({"shards": [{"endpoint": "a:1"}]})").ok());
+  EXPECT_FALSE(ParseShardMap(R"({"shards": [42]})").ok());
+}
+
+// ---- Mutation fuzzing -----------------------------------------------------
+
+TEST(ShardMapFuzzTest, EveryTruncationIsErrorOrValid) {
+  std::string base = kValidMap;
+  for (size_t len = 0; len < base.size(); ++len) {
+    auto map = ParseShardMap(base.substr(0, len));
+    if (map.ok()) ExpectWellFormed(*map);  // parsed ⇒ structurally sound
+  }
+}
+
+TEST(ShardMapFuzzTest, RandomByteFlipsNeverCrashOrYieldBrokenMaps) {
+  std::string base = kValidMap;
+  Rng rng(0x5eed5a17ULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    int flips = 1 + static_cast<int>(rng.Next() % 3);
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Next() % mutated.size();
+      mutated[pos] = static_cast<char>(rng.Next() % 256);
+    }
+    auto map = ParseShardMap(mutated);
+    if (map.ok()) ExpectWellFormed(*map);
+  }
+}
+
+TEST(ShardMapFuzzTest, RandomTokenSwapsNeverCrashOrYieldBrokenMaps) {
+  // Structure-aware mutations: splice JSON-ish tokens into random positions
+  // — more likely than byte flips to reach the semantic validators.
+  const char* tokens[] = {"\"begin\"", "\"count\"", "0",      "40",
+                          "-3",        "{",         "}",      "[",
+                          "]",         ",",         ":",      "\"\"",
+                          "null",      "1e99",      "\"a:1\"", "true"};
+  std::string base = kValidMap;
+  Rng rng(0xf00dcafe);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const char* token = tokens[rng.Next() % (sizeof(tokens) /
+                                             sizeof(tokens[0]))];
+    size_t pos = rng.Next() % mutated.size();
+    mutated = mutated.substr(0, pos) + token + mutated.substr(pos);
+    auto map = ParseShardMap(mutated);
+    if (map.ok()) ExpectWellFormed(*map);
+  }
+}
+
+}  // namespace
+}  // namespace xfrag::router

@@ -1,0 +1,307 @@
+// HTTP/1.1 persistent-connection behavior of the serving socket layer:
+// several exchanges over one connection, pipelined requests, the
+// Connection-header negotiation matrix (1.1 default keep-alive, 1.0 default
+// close, explicit overrides both ways), the idle timeout, the
+// max-requests-per-connection cap, and keep-alive interacting with graceful
+// drain. Runs against an in-process xfragd on loopback.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "collection/collection.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "server/http.h"
+#include "server/net.h"
+#include "server/server.h"
+
+namespace xfrag::server {
+namespace {
+
+class KeepAliveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        collection_.AddXml("a.xml", "<doc><par>alpha beta</par></doc>").ok());
+  }
+
+  std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+    auto server = std::make_unique<Server>(collection_, options);
+    auto started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  static std::string QueryRequest(const std::string& extra_headers = "",
+                                  const std::string& version = "HTTP/1.1") {
+    const std::string body = R"({"terms":["alpha"]})";
+    return StrFormat("POST /query %s\r\nHost: t\r\nContent-Length: %zu\r\n%s\r\n",
+                     version.c_str(), body.size(), extra_headers.c_str()) +
+           body;
+  }
+
+  /// Reads exactly one Content-Length framed response off `fd`, seeding the
+  /// parser with `leftover` bytes from the previous exchange.
+  static StatusOr<HttpResponse> ReadResponse(int fd, std::string* leftover) {
+    HttpResponseParser parser;
+    auto state = parser.Feed(*leftover);
+    char buf[4096];
+    while (state == HttpResponseParser::State::kNeedMore) {
+      auto n = ReadSome(fd, buf, sizeof(buf));
+      if (!n.ok()) return n.status();
+      if (*n == 0) {
+        state = parser.OnEof();
+        break;
+      }
+      state = parser.Feed(std::string_view(buf, *n));
+    }
+    if (state != HttpResponseParser::State::kComplete) {
+      return Status::Internal("incomplete response: " + parser.error());
+    }
+    *leftover = parser.TakeRemaining();
+    return parser.response();
+  }
+
+  collection::Collection collection_;
+};
+
+TEST_F(KeepAliveTest, ServesManyExchangesOverOneConnection) {
+  auto server = StartServer();
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+
+  std::string leftover;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(WriteAll(conn->get(), QueryRequest()).ok());
+    auto response = ReadResponse(conn->get(), &leftover);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_TRUE(response->keep_alive);
+    auto body = json::Parse(response->body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body->Find("answer_count")->AsInt(), 1);
+  }
+  // All five exchanges really used one connection: the server admitted a
+  // single connection in total.
+  EXPECT_EQ(server->stats().RequestsWithStatus(200), 5u);
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, PipelinedRequestsAreServedInOrder) {
+  auto server = StartServer();
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+
+  // Two complete requests in a single write; the second must survive the
+  // parser hand-off (TakeRemaining) and be answered on the same connection.
+  ASSERT_TRUE(
+      WriteAll(conn->get(), QueryRequest() + QueryRequest()).ok());
+  std::string leftover;
+  for (int i = 0; i < 2; ++i) {
+    auto response = ReadResponse(conn->get(), &leftover);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_TRUE(response->keep_alive);
+  }
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, ConnectionCloseIsHonored) {
+  auto server = StartServer();
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+
+  ASSERT_TRUE(
+      WriteAll(conn->get(), QueryRequest("Connection: close\r\n")).ok());
+  std::string leftover;
+  auto response = ReadResponse(conn->get(), &leftover);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_FALSE(response->keep_alive);
+  // The server closes after the response.
+  char buf[64];
+  auto n = ReadSome(conn->get(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 0u);
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, Http10DefaultsToCloseUnlessExplicitKeepAlive) {
+  auto server = StartServer();
+  {
+    auto conn = ConnectTcp("127.0.0.1", server->port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+    ASSERT_TRUE(
+        WriteAll(conn->get(), QueryRequest("", "HTTP/1.0")).ok());
+    std::string leftover;
+    auto response = ReadResponse(conn->get(), &leftover);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+    EXPECT_FALSE(response->keep_alive);
+  }
+  {
+    auto conn = ConnectTcp("127.0.0.1", server->port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+    std::string leftover;
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(WriteAll(conn->get(),
+                           QueryRequest("Connection: keep-alive\r\n",
+                                        "HTTP/1.0"))
+                      .ok());
+      auto response = ReadResponse(conn->get(), &leftover);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->status, 200);
+      EXPECT_TRUE(response->keep_alive);
+    }
+  }
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, KeepAliveDisabledServerClosesEveryConnection) {
+  ServerOptions options;
+  options.keep_alive = false;
+  auto server = StartServer(options);
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+  ASSERT_TRUE(WriteAll(conn->get(), QueryRequest()).ok());
+  std::string leftover;
+  auto response = ReadResponse(conn->get(), &leftover);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->keep_alive);
+  char buf[64];
+  auto n = ReadSome(conn->get(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, IdleConnectionsAreReapedAfterTheIdleTimeout) {
+  ServerOptions options;
+  options.keep_alive_idle_timeout_ms = 100;
+  auto server = StartServer(options);
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+
+  ASSERT_TRUE(WriteAll(conn->get(), QueryRequest()).ok());
+  std::string leftover;
+  ASSERT_TRUE(ReadResponse(conn->get(), &leftover).ok());
+
+  // Exceed the idle timeout: the server must close (a silent close, not a
+  // 408 — no request was in progress).
+  char buf[64];
+  auto n = ReadSome(conn->get(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 0u);
+  // An idle-reaped connection must also free its admission slot.
+  EXPECT_TRUE([&] {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (server->InFlight() == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return server->InFlight() == 0;
+  }());
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, MaxRequestsPerConnectionCapsTheConnection) {
+  ServerOptions options;
+  options.max_requests_per_connection = 2;
+  auto server = StartServer(options);
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+
+  std::string leftover;
+  ASSERT_TRUE(WriteAll(conn->get(), QueryRequest()).ok());
+  auto first = ReadResponse(conn->get(), &leftover);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->keep_alive);
+
+  ASSERT_TRUE(WriteAll(conn->get(), QueryRequest()).ok());
+  auto second = ReadResponse(conn->get(), &leftover);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->keep_alive) << "cap not announced on the last response";
+
+  char buf[64];
+  auto n = ReadSome(conn->get(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, ParkedConnectionsDoNotHoldWorkers) {
+  // With one worker and a long idle timeout, two keep-alive connections can
+  // only make progress if the worker is released between requests. If the
+  // worker instead sat in the idle wait of whichever connection it served
+  // last, every alternation below would stall until that wait expired
+  // (~5s each), and connections would starve whenever they outnumber
+  // workers — the regression this test pins down.
+  ServerOptions options;
+  options.workers = 1;
+  options.keep_alive_idle_timeout_ms = 5000;
+  auto server = StartServer(options);
+
+  auto a = ConnectTcp("127.0.0.1", server->port());
+  auto b = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(SetSocketTimeouts(a->get(), 5000).ok());
+  ASSERT_TRUE(SetSocketTimeouts(b->get(), 5000).ok());
+
+  auto start = std::chrono::steady_clock::now();
+  std::string leftover_a;
+  std::string leftover_b;
+  for (int i = 0; i < 4; ++i) {
+    for (auto [fd, leftover] : {std::pair<int, std::string*>{a->get(),
+                                                             &leftover_a},
+                                {b->get(), &leftover_b}}) {
+      ASSERT_TRUE(WriteAll(fd, QueryRequest()).ok());
+      auto response = ReadResponse(fd, leftover);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->status, 200);
+      EXPECT_TRUE(response->keep_alive);
+    }
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_LT(elapsed, 4000)
+      << "alternating between two connections waited on the idle timeout";
+  EXPECT_EQ(server->stats().RequestsWithStatus(200), 8u);
+  server->Shutdown();
+}
+
+TEST_F(KeepAliveTest, ShutdownDrainsKeepAliveConnections) {
+  auto server = StartServer();
+  auto conn = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(SetSocketTimeouts(conn->get(), 5000).ok());
+  ASSERT_TRUE(WriteAll(conn->get(), QueryRequest()).ok());
+  std::string leftover;
+  ASSERT_TRUE(ReadResponse(conn->get(), &leftover).ok());
+
+  // Shutdown with a keep-alive connection parked in its idle wait: the
+  // drain must not hang on it.
+  auto start = std::chrono::steady_clock::now();
+  server->Shutdown();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_LT(elapsed, 4000) << "drain waited for an idle keep-alive connection";
+}
+
+}  // namespace
+}  // namespace xfrag::server
