@@ -5,12 +5,25 @@
 // sits behind a flaky TCP proxy that randomly stalls connections, showing
 // what the single bounded hedge buys at the tail versus no hedging.
 //
+// Top-k runs twice per shard count: with the two-phase bound exchange
+// ("topk10", the default) and without ("topk10-noexchange", the plain
+// scatter that enumerates each shard's full bounded join) — the ablation
+// that motivates distributed top-k (docs/SERVING.md). Every row posts its
+// query once more after the measured run and asserts the router's response
+// is byte-identical (modulo "elapsed_ms" and the work "metrics") to a
+// combined single node holding the whole corpus, so a throughput number can
+// never come from a wrong answer; the assertion also runs in smoke mode
+// (XFRAG_BENCH_SMOKE=1, scripts/check.sh).
+//
 //   ./bench_router [requests_per_client] [total_nodes]
 //
 // Emits BENCH_router.json:
 //   [{"shards": 2, "mode": "topk10", "clients": 8, "requests": 256,
 //     "throughput_rps": ..., "latency_ms": {...}, "ok": 256,
-//     "hedging": false, "hedges_launched": 0, "hedges_won": 0}, ...]
+//     "hedging": false, "hedges_launched": 0, "hedges_won": 0,
+//     "bound_exchange": true, "exact": true,
+//     "distributed_topk": {"bounds_pushed": ..., "probe_latency_us": {...},
+//                          "refine_latency_us": {...}, ...}}, ...]
 
 #include <sys/socket.h>
 
@@ -261,6 +274,68 @@ xfrag::json::Value LatencyJson(const RunResult& run) {
   return latency;
 }
 
+xfrag::StatusOr<xfrag::server::HttpResponse> PostQuery(
+    uint16_t port, const std::string& body) {
+  std::string request = xfrag::StrFormat(
+      "POST /query HTTP/1.1\r\nHost: b\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      body.size());
+  request += body;
+  auto raw = xfrag::server::HttpRoundTrip("127.0.0.1", port, request);
+  if (!raw.ok()) return raw.status();
+  return xfrag::server::ParseHttpResponse(*raw);
+}
+
+/// Answer normalization for the exactness assertion: the timing and the
+/// work "metrics" are the only fields a distributed evaluation may change.
+std::string NormalizedBody(const std::string& body) {
+  auto parsed = xfrag::json::Parse(body);
+  if (!parsed.ok()) return body;
+  parsed->Set("elapsed_ms", 0);
+  parsed->Remove("metrics");
+  return parsed->Dump();
+}
+
+/// Posts `body` to the router and the combined single node and compares the
+/// normalized responses. A throughput row with a wrong answer is a bug, so
+/// a mismatch aborts the benchmark (smoke mode included).
+bool AssertExactAgainstCombined(uint16_t router_port, uint16_t combined_port,
+                                const std::string& body, const char* label) {
+  auto from_router = PostQuery(router_port, body);
+  auto from_combined = PostQuery(combined_port, body);
+  if (!from_router.ok() || from_router->status != 200 || !from_combined.ok() ||
+      from_combined->status != 200) {
+    std::fprintf(stderr, "exactness probe failed for %s\n", label);
+    return false;
+  }
+  if (NormalizedBody(from_router->body) !=
+      NormalizedBody(from_combined->body)) {
+    std::fprintf(stderr,
+                 "EXACTNESS VIOLATION (%s):\n  router:   %s\n  combined: %s\n",
+                 label, from_router->body.c_str(),
+                 from_combined->body.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The "distributed_topk" section of the router's /metrics — bound-exchange
+/// counters plus per-phase probe/refine/update latency histograms.
+xfrag::json::Value RouterDistributedTopKMetrics(uint16_t port) {
+  std::string request =
+      "GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n";
+  auto raw = xfrag::server::HttpRoundTrip("127.0.0.1", port, request);
+  if (!raw.ok()) return xfrag::json::Value::Object();
+  auto response = xfrag::server::ParseHttpResponse(*raw);
+  if (!response.ok()) return xfrag::json::Value::Object();
+  auto parsed = xfrag::json::Parse(response->body);
+  if (!parsed.ok()) return xfrag::json::Value::Object();
+  const xfrag::json::Value* router_section = parsed->Find("router");
+  if (router_section == nullptr) return xfrag::json::Value::Object();
+  const xfrag::json::Value* topk = router_section->Find("distributed_topk");
+  return topk != nullptr ? *topk : xfrag::json::Value::Object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,7 +362,37 @@ int main(int argc, char** argv) {
                       "ok"});
   xfrag::json::Value records = xfrag::json::Value::Array();
 
-  // ---- Throughput scaling: 1 / 2 / 4 shards × {full, topk10} ------------
+  // ---- Throughput scaling: 1 / 2 / 4 shards ------------------------------
+  // Modes per shard count: full scatter, top-k with the two-phase bound
+  // exchange (the default), and top-k with the exchange ablated. Every row
+  // is exactness-checked against this combined single node.
+  auto combined_collections = BuildShards(1, nodes_per_doc);
+  xfrag::server::ServerOptions combined_options;
+  combined_options.workers = 4;
+  combined_options.queue_capacity = 1024;
+  xfrag::server::Server combined_node(*combined_collections[0],
+                                      combined_options);
+  {
+    auto started = combined_node.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+  bool all_exact = true;
+
+  struct ScalingMode {
+    const char* name;
+    const std::string* body;
+    bool bound_exchange;
+    bool is_topk;
+  };
+  const ScalingMode modes[] = {
+      {"full", &full_body, true, false},
+      {"topk10", &topk_body, true, true},
+      {"topk10-noexchange", &topk_body, false, true},
+  };
+
   for (size_t shard_count : {1u, 2u, 4u}) {
     auto collections = BuildShards(shard_count, nodes_per_doc);
     std::vector<std::unique_ptr<xfrag::server::Server>> shard_servers;
@@ -306,30 +411,35 @@ int main(int argc, char** argv) {
       ports.push_back(shard_servers.back()->port());
     }
 
-    xfrag::router::RouterOptions router_options;
-    router_options.workers = 16;
-    router_options.queue_capacity = 1024;
-    router_options.enable_hedging = false;  // scaling rows measure fan-out
-    router_options.health_check_interval_ms = 0;
-    xfrag::router::Router router(MapForPorts(ports, kDocs / shard_count),
-                                 router_options);
-    auto started = router.Start();
-    if (!started.ok()) {
-      std::fprintf(stderr, "%s\n", started.ToString().c_str());
-      return 1;
-    }
+    for (const ScalingMode& mode : modes) {
+      xfrag::router::RouterOptions router_options;
+      router_options.workers = 16;
+      router_options.queue_capacity = 1024;
+      router_options.enable_hedging = false;  // scaling rows measure fan-out
+      router_options.health_check_interval_ms = 0;
+      router_options.enable_bound_exchange = mode.bound_exchange;
+      xfrag::router::Router router(MapForPorts(ports, kDocs / shard_count),
+                                   router_options);
+      auto started = router.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.ToString().c_str());
+        return 1;
+      }
 
-    for (const auto& [mode, body] :
-         {std::pair<std::string, const std::string*>{"full", &full_body},
-          {"topk10", &topk_body}}) {
       // Warm every shard's fixed-point caches before measuring.
-      (void)RunClosedLoop(router.port(), 1, 2, *body);
-      RunResult run =
-          RunClosedLoop(router.port(), clients, requests_per_client, *body);
+      (void)RunClosedLoop(router.port(), 1, 2, *mode.body);
+      RunResult run = RunClosedLoop(router.port(), clients,
+                                    requests_per_client, *mode.body);
       double rps = run.elapsed_s > 0
                        ? static_cast<double>(run.requests) / run.elapsed_s
                        : 0.0;
-      table.AddRow({Cell(uint64_t(shard_count)), mode,
+      // No row ships without proof: the router's answer for this row's
+      // query must match the combined node exactly.
+      bool exact = AssertExactAgainstCombined(
+          router.port(), combined_node.port(), *mode.body, mode.name);
+      all_exact = all_exact && exact;
+
+      table.AddRow({Cell(uint64_t(shard_count)), mode.name,
                     Cell(uint64_t(clients)), Cell(uint64_t(run.requests)),
                     Cell(rps, 0), Cell(MeanMs(run)),
                     Cell(Percentile(run.latencies_ms, 50)),
@@ -341,20 +451,27 @@ int main(int argc, char** argv) {
                     Cell(uint64_t(run.ok))});
       xfrag::json::Value record = xfrag::json::Value::Object();
       record.Set("shards", static_cast<uint64_t>(shard_count));
-      record.Set("mode", mode);
+      record.Set("mode", mode.name);
       record.Set("clients", int64_t{clients});
       record.Set("requests", int64_t{run.requests});
       record.Set("throughput_rps", rps);
       record.Set("latency_ms", LatencyJson(run));
       record.Set("ok", int64_t{run.ok});
       record.Set("hedging", false);
-      record.Set("hedges_launched", uint64_t{0});
-      record.Set("hedges_won", uint64_t{0});
+      record.Set("hedges_launched", router.hedges_launched());
+      record.Set("hedges_won", router.hedges_won());
+      record.Set("bound_exchange", mode.bound_exchange);
+      record.Set("exact", exact);
+      if (mode.is_topk) {
+        record.Set("distributed_topk",
+                   RouterDistributedTopKMetrics(router.port()));
+      }
       records.Append(std::move(record));
+      router.Shutdown();
     }
-    router.Shutdown();
     for (auto& shard : shard_servers) shard->Shutdown();
   }
+  combined_node.Shutdown();
 
   // ---- Hedging ablation: 2 shards, one behind a flaky proxy --------------
   // The proxied shard answers instantly most of the time but a random 2%
@@ -452,5 +569,10 @@ int main(int argc, char** argv) {
   std::ofstream out(path);
   out << records.Dump(2) << "\n";
   std::printf("wrote %s\n", path.c_str());
+  if (!all_exact) {
+    std::fprintf(stderr,
+                 "bench_router: scaling row(s) failed the exactness check\n");
+    return 1;
+  }
   return 0;
 }

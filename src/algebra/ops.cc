@@ -224,6 +224,78 @@ FragmentSet PairwiseJoinFiltered(const Document& document,
   return out;
 }
 
+void WarmupTopKFloor(const Document& document, const FragmentSet& set1,
+                     const FragmentSet& set2,
+                     const std::vector<FragmentSummary>& sums1,
+                     const std::vector<FragmentSummary>& sums2,
+                     const std::vector<std::vector<double>>& ev1,
+                     const std::vector<std::vector<double>>& ev2,
+                     const FilterPtr& filter, const FilterContext& context,
+                     const JoinScorer& scorer, const FragmentPredicate& accept,
+                     TopKCollector* collector) {
+  const size_t k = collector->k();
+  if (k == 0 || k > 64 || set1.empty() || set2.empty()) return;
+  const size_t breadth = std::max<size_t>(8, k);
+  // Standalone evidence reach: what the fragment could contribute with no
+  // partner at all, penalized by its own size. Ordering by it surfaces the
+  // dense, term-rich fragments whose joins dominate the score distribution.
+  auto top_by_reach = [&scorer, breadth](
+                          const std::vector<std::vector<double>>& ev,
+                          const std::vector<FragmentSummary>& sums) {
+    std::vector<size_t> idx(ev.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    if (idx.size() <= breadth) return idx;  // floor is order-independent
+    const std::vector<double> none(ev[0].size(), 0.0);
+    std::vector<double> reach(ev.size());
+    for (size_t i = 0; i < ev.size(); ++i) {
+      reach[i] = scorer.EvidenceUpperBoundFromSize(ev[i], none, sums[i].size);
+    }
+    std::partial_sort(idx.begin(),
+                      idx.begin() + static_cast<ptrdiff_t>(breadth), idx.end(),
+                      [&reach](size_t a, size_t b) {
+                        if (reach[a] != reach[b]) return reach[a] > reach[b];
+                        return a < b;
+                      });
+    idx.resize(breadth);
+    return idx;
+  };
+  const std::vector<size_t> top1 = top_by_reach(ev1, sums1);
+  const std::vector<size_t> top2 = top_by_reach(ev2, sums2);
+  // The scratch inherits the caller's floor: a witness below it could never
+  // raise the seed (SeedFloor is monotone), so under a strong external floor
+  // the bound checks below collapse the warmup to pure arithmetic.
+  TopKCollector scratch(k);
+  scratch.SeedFloor(collector->EffectiveFloor());
+  JoinArena arena;
+  const bool prefilter = SummaryPrefilterEnabled();
+  for (size_t i : top1) {
+    for (size_t j : top2) {
+      if (!scratch.CouldAccept(scorer.EvidenceUpperBoundFromSize(
+              ev1[i], ev2[j], std::max(sums1[i].size, sums2[j].size)))) {
+        continue;
+      }
+      JoinBounds bounds = ComputeJoinBounds(document, sums1[i], sums2[j]);
+      if (prefilter && filter->RejectsJoinBounds(bounds, context)) continue;
+      if (!scratch.CouldAccept(scorer.QuickUpperBound(bounds)) ||
+          !scratch.CouldAccept(
+              scorer.EvidenceUpperBound(ev1[i], ev2[j], bounds)) ||
+          !scratch.CouldAccept(scorer.UpperBound(bounds))) {
+        continue;
+      }
+      Fragment joined =
+          JoinWithArena(document, set1[i], set2[j], &arena, nullptr);
+      if (!filter->Matches(joined, context)) continue;
+      if (accept && !accept(joined)) continue;
+      if (scratch.Contains(joined)) continue;
+      double score = scorer.Score(joined);
+      scratch.Offer(std::move(joined), score);
+    }
+  }
+  // k distinct true answers found: their k-th best score is a sound floor
+  // (ties are never pruned, so equal-scoring answers still compete).
+  if (scratch.full()) collector->SeedFloor(scratch.TakeSorted().back().score);
+}
+
 void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
                       const FragmentSet& set2, const FilterPtr& filter,
                       const FilterContext& context, const JoinScorer& scorer,
@@ -233,14 +305,66 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
   const bool prefilter = SummaryPrefilterEnabled();
   const std::vector<FragmentSummary> sums1 = SummarizeSet(set1, document);
   const std::vector<FragmentSummary> sums2 = SummarizeSet(set2, document);
+  // Evidence summaries are per *input* fragment, so the O(|set1| + |set2|)
+  // precompute amortizes over the O(|set1| × |set2|) pair loop. The termwise
+  // maximum over set2 plus a row-wide join-size lower bound power the
+  // row-level bound that skips whole rows of pairs.
+  const bool evidence = scorer.HasEvidenceBound() && !set2.empty();
+  std::vector<std::vector<double>> ev1;
+  std::vector<std::vector<double>> ev2;
+  std::vector<double> ev2_max;
+  uint32_t min_size2 = 0;
+  if (evidence) {
+    ev1.reserve(set1.size());
+    for (const Fragment& f : set1) ev1.push_back(scorer.FragmentEvidence(f));
+    ev2.reserve(set2.size());
+    for (const Fragment& f : set2) ev2.push_back(scorer.FragmentEvidence(f));
+    ev2_max = ev2[0];
+    for (const std::vector<double>& e : ev2) {
+      for (size_t t = 0; t < e.size(); ++t) ev2_max[t] = std::max(ev2_max[t], e[t]);
+    }
+    min_size2 = sums2[0].size;
+    for (const FragmentSummary& s : sums2) min_size2 = std::min(min_size2, s.size);
+    // Floor bootstrap: without an external floor the bounds are inert until
+    // k answers happen to accumulate — which for the first document of a
+    // serving query means an unpruned quadratic pass. A handful of
+    // high-evidence joins seed a sound floor up front (see ops.h).
+    WarmupTopKFloor(document, set1, set2, sums1, sums2, ev1, ev2, filter,
+                    context, scorer, accept, collector);
+  }
   size_t since_poll = 0;
   for (size_t i = 0; i < set1.size(); ++i) {
+    // One arithmetic test retires the whole row when nothing f1 can reach
+    // clears the collector's floor; bulk-account the skipped pairs.
+    if (evidence &&
+        !collector->CouldAccept(scorer.EvidenceUpperBoundFromSize(
+            ev1[i], ev2_max, std::max(sums1[i].size, min_size2)))) {
+      if (metrics != nullptr) {
+        metrics->pairs_considered += set2.size();
+        metrics->pairs_rejected_score += set2.size();
+      }
+      since_poll += set2.size();
+      if (since_poll >= 1024) {
+        since_poll = 0;
+        if (ShouldStop(cancel)) return;
+      }
+      continue;
+    }
     for (size_t j = 0; j < set2.size(); ++j) {
       if (++since_poll >= 1024) {
         since_poll = 0;
         if (ShouldStop(cancel)) return;
       }
       if (metrics != nullptr) ++metrics->pairs_considered;
+      // Pair-level evidence pre-check from the operand sizes alone — the
+      // join is at least as large as its larger operand — so a doomed pair
+      // dies on pure arithmetic before paying for ComputeJoinBounds' LCA.
+      if (evidence &&
+          !collector->CouldAccept(scorer.EvidenceUpperBoundFromSize(
+              ev1[i], ev2[j], std::max(sums1[i].size, sums2[j].size)))) {
+        if (metrics != nullptr) ++metrics->pairs_rejected_score;
+        continue;
+      }
       // Bounds serve both prefilters, so they are computed unconditionally
       // (unlike PairwiseJoinFiltered, which only needs them when the summary
       // prefilter is on).
@@ -250,8 +374,12 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
         continue;
       }
       // Coarsest bound first: most pairs die on pure arithmetic and never
-      // pay for the posting-interval bound.
+      // pay for the posting-interval bound. The evidence bound sits between
+      // the two — O(summary) arithmetic, usually far tighter than either
+      // interval bound — so pairs it kills never pay for binary searches.
       if (!collector->CouldAccept(scorer.QuickUpperBound(bounds)) ||
+          (evidence && !collector->CouldAccept(scorer.EvidenceUpperBound(
+                           ev1[i], ev2[j], bounds))) ||
           !collector->CouldAccept(scorer.UpperBound(bounds))) {
         if (metrics != nullptr) ++metrics->pairs_rejected_score;
         continue;

@@ -188,6 +188,37 @@ FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
 /// function accepts everything. Must be thread-safe for the parallel kernel.
 using FragmentPredicate = std::function<bool(const Fragment&)>;
 
+/// \brief Bootstraps a top-k collector's score floor from a few
+/// high-evidence candidate pairs before the full pair loop runs.
+///
+/// Ranks each operand set by its standalone evidence reach (the scorer's
+/// evidence summary with no partner, penalized by the fragment's own size),
+/// joins the top max(8, k) fragments of one side with the top of the other
+/// through the kernels' exact pair path (summary prefilter, filter, `accept`,
+/// duplicate rejection), and — when that yields k distinct true answers —
+/// seeds `collector` with their k-th best score. Sound: the witnesses are
+/// genuine answers of this very enumeration and the main loop offers them
+/// again, so the floor's promise (k distinct answers at or above it) holds
+/// and the collector's final content is unchanged; the warmup only lets the
+/// bounds bite from the first row instead of after k accidental acceptances.
+/// Costs at most max(8, k)² joins; skipped when k is 0 or above 64 (a
+/// scratch that size rarely fills, and large-k floors rarely bite anyway).
+/// Warmup work is deliberately invisible in OpMetrics: the main loop
+/// re-counts every pair it visits, so the counters stay deterministic and
+/// identical between the serial and parallel kernels.
+///
+/// `sums*`/`ev*` are the operand summaries and evidence vectors the calling
+/// kernel already computed (parallel order: sums1[i] describes set1[i]).
+void WarmupTopKFloor(const Document& document, const FragmentSet& set1,
+                     const FragmentSet& set2,
+                     const std::vector<FragmentSummary>& sums1,
+                     const std::vector<FragmentSummary>& sums2,
+                     const std::vector<std::vector<double>>& ev1,
+                     const std::vector<std::vector<double>>& ev2,
+                     const FilterPtr& filter, const FilterContext& context,
+                     const JoinScorer& scorer, const FragmentPredicate& accept,
+                     TopKCollector* collector);
+
 /// \brief Score-bounded pairwise join — the top-k early-termination kernel.
 ///
 /// Enumerates the |set1|·|set2| candidate pairs in the serial double-loop

@@ -172,6 +172,33 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
   sums2.reserve(nr);
   for (const Fragment& f : set1) sums1.push_back(f.Summary(document));
   for (const Fragment& f : set2) sums2.push_back(f.Summary(document));
+  // Evidence summaries, precomputed once and shared read-only by every
+  // chunk (as in the serial kernel, including the row-skip inputs).
+  const bool evidence = scorer.HasEvidenceBound() && nr > 0;
+  std::vector<std::vector<double>> ev1;
+  std::vector<std::vector<double>> ev2;
+  std::vector<double> ev2_max;
+  uint32_t min_size2 = 0;
+  if (evidence) {
+    ev1.reserve(set1.size());
+    for (const Fragment& f : set1) ev1.push_back(scorer.FragmentEvidence(f));
+    ev2.reserve(nr);
+    for (const Fragment& f : set2) ev2.push_back(scorer.FragmentEvidence(f));
+    ev2_max = ev2[0];
+    for (const std::vector<double>& e : ev2) {
+      for (size_t t = 0; t < e.size(); ++t) {
+        ev2_max[t] = std::max(ev2_max[t], e[t]);
+      }
+    }
+    min_size2 = sums2[0].size;
+    for (const FragmentSummary& s : sums2) {
+      min_size2 = std::min(min_size2, s.size);
+    }
+    // Floor bootstrap before the chunks copy the output collector's floor,
+    // so every worker prunes against it from its first pair (see ops.h).
+    WarmupTopKFloor(document, set1, set2, sums1, sums2, ev1, ev2, filter,
+                    context, scorer, accept, collector);
+  }
   struct TopKChunk {
     explicit TopKChunk(size_t k) : collector(k) {}
     TopKCollector collector;
@@ -182,10 +209,16 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
   chunks.reserve(pool->parallelism());
   for (unsigned c = 0; c < pool->parallelism(); ++c) {
     chunks.emplace_back(collector->k());
+    // Private collectors inherit the output collector's external floor so
+    // every worker prunes against it; sound because the floor's witnesses
+    // need not be offered to any particular chunk.
+    chunks.back().collector.SeedFloor(collector->seeded_floor());
+    chunks.back().collector.AttachLiveFloor(collector->live_floor());
   }
   pool->ParallelFor(pairs, [&](unsigned chunk, size_t begin, size_t end) {
     TopKChunk& out = chunks[chunk];
     size_t since_poll = 0;
+    size_t row_checked = std::numeric_limits<size_t>::max();
     for (size_t p = begin; p < end; ++p) {
       if (++since_poll >= 1024) {
         since_poll = 0;
@@ -193,7 +226,35 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
       }
       const size_t li = p / nr;
       const size_t ri = p % nr;
+      // Row-level bound, tested once per row entered (as in the serial
+      // kernel): when it fails against this chunk's floor, bulk-account the
+      // chunk's remaining slice of the row and jump past it.
+      if (evidence && li != row_checked) {
+        row_checked = li;
+        if (!out.collector.CouldAccept(scorer.EvidenceUpperBoundFromSize(
+                ev1[li], ev2_max, std::max(sums1[li].size, min_size2)))) {
+          const size_t row_end = std::min(end, (li + 1) * nr);
+          const size_t skipped = row_end - p;
+          out.metrics.pairs_considered += skipped;
+          out.metrics.pairs_rejected_score += skipped;
+          since_poll += skipped - 1;
+          if (since_poll >= 1024) {
+            since_poll = 0;
+            if (ShouldStop(cancel)) return;
+          }
+          p = row_end - 1;  // the loop increment lands on the next row
+          continue;
+        }
+      }
       ++out.metrics.pairs_considered;
+      // Pair-level evidence pre-check from sizes alone, before the LCA (as
+      // in the serial kernel).
+      if (evidence &&
+          !out.collector.CouldAccept(scorer.EvidenceUpperBoundFromSize(
+              ev1[li], ev2[ri], std::max(sums1[li].size, sums2[ri].size)))) {
+        ++out.metrics.pairs_rejected_score;
+        continue;
+      }
       JoinBounds bounds = ComputeJoinBounds(document, sums1[li], sums2[ri]);
       if (prefilter && filter->RejectsJoinBounds(bounds, context)) {
         ++out.metrics.fragment_joins;
@@ -203,8 +264,11 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
         ++out.metrics.pairs_rejected_summary;
         continue;
       }
-      // Coarsest bound first, as in the serial kernel.
+      // Coarsest bound first, as in the serial kernel (evidence between the
+      // two interval bounds).
       if (!out.collector.CouldAccept(scorer.QuickUpperBound(bounds)) ||
+          (evidence && !out.collector.CouldAccept(scorer.EvidenceUpperBound(
+                           ev1[li], ev2[ri], bounds))) ||
           !out.collector.CouldAccept(scorer.UpperBound(bounds))) {
         ++out.metrics.pairs_rejected_score;
         continue;
@@ -228,6 +292,7 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
   // determinism of the metrics merge.
   for (TopKChunk& chunk : chunks) {
     if (metrics != nullptr) metrics->Merge(chunk.metrics);
+    collector->MergeFloorAudit(chunk.collector);
     for (ScoredFragment& sf : chunk.collector.TakeSorted()) {
       collector->Offer(std::move(sf.fragment), sf.score);
     }

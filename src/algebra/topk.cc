@@ -11,6 +11,23 @@ double JoinScorer::QuickUpperBound(const JoinBounds&) const {
 
 bool TopKCollector::Offer(Fragment fragment, double score) {
   if (k_ == 0) return false;
+  if (score < EffectiveFloor()) {
+    // The floor promises k distinct answers at or above it exist globally,
+    // so this candidate cannot be among the k best. Count it only when the
+    // heap alone would have retained it (conservatively ignoring possible
+    // duplication against a retained entry).
+    bool heap_would_retain = heap_.size() < k_;
+    if (!heap_would_retain) {
+      const ScoredFragment& min = store_[heap_.front()];
+      heap_would_retain =
+          score > min.score || (score == min.score && fragment < min.fragment);
+    }
+    if (heap_would_retain) {
+      ++floor_rejections_;
+      if (score > max_floor_rejected_) max_floor_rejected_ = score;
+    }
+    return false;
+  }
   ScoredFragment candidate{std::move(fragment), score};
   if (full() && !OutranksScored(candidate, store_[heap_.front()])) {
     // Beaten by (or equal to) the current minimum. Covers duplicates of the

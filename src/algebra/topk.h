@@ -21,7 +21,9 @@
 #ifndef XFRAG_ALGEBRA_TOPK_H_
 #define XFRAG_ALGEBRA_TOPK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -61,6 +63,74 @@ class JoinScorer {
   /// QuickUpperBound(b) >= Score(f1 ⋈ f2) — which UpperBound already
   /// guarantees, so overriding is optional; the default is "no information".
   virtual double QuickUpperBound(const JoinBounds& bounds) const;
+
+  /// \brief Opt-in to the per-fragment *evidence* bound (see below).
+  ///
+  /// Interval bounds (QuickUpperBound / UpperBound) look only at where a
+  /// join could sit; they charge it for every scoring opportunity inside its
+  /// pre-order interval, which is hopeless for pairs that straddle most of a
+  /// document. The evidence bound instead charges a prospective join only
+  /// for what its *operands* can actually reach: every member of f1 ⋈ f2 is
+  /// an ancestor-or-self of some member of f1 ∪ f2 (the join is a union of
+  /// tree paths, and each node on a path between u and v is an ancestor of
+  /// u or of v), so any per-fragment score contribution of the join is
+  /// bounded by the operands' ancestor-closure contributions. Scorers that
+  /// can express their score that way return true here; the kernels then
+  /// precompute FragmentEvidence once per *input* fragment and combine two
+  /// summaries per pair in O(summary size).
+  virtual bool HasEvidenceBound() const { return false; }
+
+  /// \brief A per-fragment evidence summary for EvidenceUpperBound.
+  ///
+  /// Opaque to the kernels: they only pass it back to EvidenceUpperBound of
+  /// the same scorer. Called once per input fragment (never per pair), so it
+  /// may do real work — e.g. count, per query term, the posting nodes whose
+  /// subtree contains a member of `fragment`. Only consulted when
+  /// HasEvidenceBound() is true.
+  virtual std::vector<double> FragmentEvidence(
+      const Fragment& /*fragment*/) const {
+    return {};
+  }
+
+  /// \brief An upper bound on Score(f1 ⋈ f2) from the operands' evidence
+  /// summaries plus the join's summary bounds.
+  ///
+  /// Soundness contract: for every pair (f1, f2),
+  /// EvidenceUpperBound(FragmentEvidence(f1), FragmentEvidence(f2), b)
+  /// >= Score(f1 ⋈ f2). The kernels take the minimum with the interval
+  /// bounds implicitly by testing each against the collector separately.
+  virtual double EvidenceUpperBound(const std::vector<double>& left,
+                                    const std::vector<double>& right,
+                                    const JoinBounds& bounds) const {
+    (void)left;
+    (void)right;
+    (void)bounds;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// \brief An upper bound on Score(f1 ⋈ f2) for a fixed f1 and f2 ranging
+  /// over a whole set.
+  ///
+  /// `right_max` is the termwise maximum of the set's FragmentEvidence
+  /// summaries and `join_size_lower` a lower bound on |f1 ⋈ f2| valid for
+  /// every f2 in the set (e.g. |f1|). Soundness contract: the result
+  /// dominates EvidenceUpperBound(left, FragmentEvidence(f2), b) — and hence
+  /// Score(f1 ⋈ f2) — for every f2 in the set, at the computed-doubles
+  /// level. The kernels use it twice: with the true termwise maximum to skip
+  /// an entire row of pairs in one arithmetic test once the collector's
+  /// floor outgrows everything f1 could reach (the skipped row is counted in
+  /// bulk: pairs_considered and pairs_rejected_score advance by the row
+  /// width, deterministically), and with a single fragment's evidence as a
+  /// per-pair pre-check that rejects doomed pairs before ComputeJoinBounds
+  /// pays for an LCA.
+  virtual double EvidenceUpperBoundFromSize(
+      const std::vector<double>& left, const std::vector<double>& right_max,
+      uint32_t join_size_lower) const {
+    (void)left;
+    (void)right_max;
+    (void)join_size_lower;
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 /// A fragment with its exact score.
@@ -83,6 +153,16 @@ inline bool OutranksScored(const ScoredFragment& a, const ScoredFragment& b) {
 /// comparison on collision), so the same fragment produced by many candidate
 /// pairs occupies one slot. The retained set after any sequence of offers is
 /// exactly the k best distinct fragments offered, independent of order.
+///
+/// A collector may additionally be seeded with an external *score floor*
+/// (SeedFloor / AttachLiveFloor): a promise by the caller that at least k
+/// distinct answers with score >= floor exist globally, even if they will
+/// never be offered to this collector. Candidates strictly below the floor
+/// are rejected as if the heap were already full of floor-scoring entries.
+/// Soundness: if the promise holds, every rejected candidate is outranked by
+/// k others, so the global k best are unaffected; candidates *tying* the
+/// floor are never rejected because they could still win on canonical
+/// fragment order against the floor's witnesses.
 class TopKCollector {
  public:
   explicit TopKCollector(size_t k) : k_(k) {}
@@ -91,14 +171,79 @@ class TopKCollector {
   size_t size() const { return heap_.size(); }
   bool full() const { return heap_.size() >= k_; }
 
+  /// \brief Raises the static score floor to at least `floor` (monotonic:
+  /// a lower value than the current floor is ignored).
+  void SeedFloor(double floor) {
+    if (floor > floor_) floor_ = floor;
+  }
+
+  /// \brief Attaches an external, concurrently-raised floor. The collector
+  /// reads it with memory_order_relaxed on each bound check; the pointee
+  /// must outlive the collector (or be detached by passing nullptr). A racy
+  /// stale read is always sound — floors only ever rise through sound
+  /// values, so acting on an older (lower) floor merely prunes less.
+  void AttachLiveFloor(const std::atomic<double>* live) { live_floor_ = live; }
+
+  /// The static floor seeded so far (-inf when never seeded).
+  double seeded_floor() const { return floor_; }
+
+  /// The attached live floor, or nullptr when none (see AttachLiveFloor).
+  const std::atomic<double>* live_floor() const { return live_floor_; }
+
+  /// \brief The floor currently in force: max of the seeded static floor and
+  /// the attached live floor (if any).
+  double EffectiveFloor() const {
+    double floor = floor_;
+    if (live_floor_ != nullptr) {
+      double live = live_floor_->load(std::memory_order_relaxed);
+      if (live > floor) floor = live;
+    }
+    return floor;
+  }
+
+  /// Number of candidates rejected *because of the external floor* (i.e.
+  /// they would have been retained by an unseeded collector in the same
+  /// state). Offers the heap itself would reject anyway are not counted.
+  uint64_t floor_rejections() const { return floor_rejections_; }
+
+  /// The best score among floor-rejected candidates (-inf when none).
+  double max_floor_rejected() const { return max_floor_rejected_; }
+
+  /// \brief Debug audit: true iff the floor provably never suppressed a
+  /// top-k answer *of this collector's offer stream*.
+  ///
+  /// Clean when nothing was floor-rejected, or when the heap filled to
+  /// capacity with every retained score at or above the best rejected score
+  /// (then each rejected candidate is outranked by k retained ones). A dirty
+  /// audit does not prove the floor unsound — a distributed shard legally
+  /// ends with fewer than k local answers — so callers opt in only where the
+  /// full answer stream is offered locally (see ExecutorOptions).
+  bool FloorAuditClean() const {
+    if (floor_rejections_ == 0) return true;
+    if (heap_.size() < k_) return false;
+    return store_[heap_.front()].score >= max_floor_rejected_;
+  }
+
   /// \brief True iff a candidate whose score is at most `upper` could still
   /// enter the collector.
   ///
-  /// False only when the heap is full and `upper` is strictly below the
-  /// current k-th best score — a candidate tying the minimum could still win
-  /// on canonical fragment order, so equality never rejects.
+  /// False when the heap is full and `upper` is strictly below the current
+  /// k-th best score — a candidate tying the minimum could still win on
+  /// canonical fragment order, so equality never rejects. An external floor
+  /// (see SeedFloor) rejects strictly-below candidates the same way even
+  /// before the heap fills.
   bool CouldAccept(double upper) const {
     if (k_ == 0) return false;
+    if (upper < EffectiveFloor()) {
+      // Count only rejections the heap alone would not have produced, so
+      // floor_rejections() isolates the floor's effect. `upper` bounds the
+      // true score from above, so max_floor_rejected_ stays conservative.
+      if (heap_.size() < k_ || upper >= store_[heap_.front()].score) {
+        ++floor_rejections_;
+        if (upper > max_floor_rejected_) max_floor_rejected_ = upper;
+      }
+      return false;
+    }
     if (heap_.size() < k_) return true;
     return upper >= store_[heap_.front()].score;
   }
@@ -119,8 +264,21 @@ class TopKCollector {
   }
 
   /// \brief Offers one scored fragment; returns true iff it was retained
-  /// (possibly evicting the previous minimum).
+  /// (possibly evicting the previous minimum). Candidates with score
+  /// strictly below the effective floor are rejected (see SeedFloor).
   bool Offer(Fragment fragment, double score);
+
+  /// \brief Folds another collector's floor-audit counters into this one.
+  ///
+  /// The parallel kernel prunes inside per-worker private collectors; the
+  /// barrier calls this so the output collector's floor_rejections() /
+  /// FloorAuditClean() cover every chunk's rejections, not just its own.
+  void MergeFloorAudit(const TopKCollector& other) {
+    floor_rejections_ += other.floor_rejections_;
+    if (other.max_floor_rejected_ > max_floor_rejected_) {
+      max_floor_rejected_ = other.max_floor_rejected_;
+    }
+  }
 
   /// \brief Moves the retained fragments out, best first. The collector is
   /// left empty.
@@ -134,6 +292,15 @@ class TopKCollector {
   }
 
   size_t k_;
+  /// External score floor (see SeedFloor); -inf means "no floor".
+  double floor_ = -std::numeric_limits<double>::infinity();
+  /// Optional concurrently-raised floor (see AttachLiveFloor); not owned.
+  const std::atomic<double>* live_floor_ = nullptr;
+  /// Floor-audit state; mutable because CouldAccept is logically const but
+  /// must record rejections the heap alone would not have produced.
+  mutable uint64_t floor_rejections_ = 0;
+  mutable double max_floor_rejected_ =
+      -std::numeric_limits<double>::infinity();
   /// Stable slots; heap_ and members_ index into it so fragments never move
   /// while heap positions shuffle.
   std::vector<ScoredFragment> store_;

@@ -10,13 +10,15 @@
 namespace xfrag {
 
 /// Library version, bumped with each serving-visible change.
-inline constexpr const char* kVersion = "0.4.0";
+inline constexpr const char* kVersion = "0.5.0";
 
 /// \brief Revision of the router↔shard and client↔router protocol: the
-/// /query request fields the router understands (`require_complete`), the
-/// `"partial"` response contract, and the cross-shard merge ordering.
-/// Bumped whenever any of those change shape.
-inline constexpr int kRouterProtocolRevision = 1;
+/// /query request fields the router understands (`require_complete`,
+/// `bound_exchange`), the shard-side distributed top-k fields
+/// (`score_floor`, `probe_documents`, `skip_documents`, `query_id`), the
+/// POST /threshold endpoint, the `"partial"` response contract, and the
+/// cross-shard merge ordering. Bumped whenever any of those change shape.
+inline constexpr int kRouterProtocolRevision = 3;
 
 /// \brief One-line build description: version, compiler, language level.
 inline std::string BuildInfo(const char* binary_name) {

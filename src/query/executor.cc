@@ -228,11 +228,17 @@ StatusOr<std::vector<algebra::ScoredFragment>> ExecutePlanTopK(
     algebra::FilterPtr join_filter =
         root->filter != nullptr ? root->filter : algebra::filters::True();
     algebra::TopKCollector collector(k);
+    collector.SeedFloor(resolved.score_floor);
+    collector.AttachLiveFloor(resolved.live_score_floor);
     algebra::PairwiseJoinTopKParallel(document, left.value(), right.value(),
                                       join_filter, context, scorer, admit,
                                       &collector, resolved.thread_pool, metrics,
                                       resolved.cancel);
     if (ShouldStop(resolved.cancel)) return DeadlineError();
+    if (resolved.audit_score_floor && !collector.FloorAuditClean()) {
+      return Status::Internal(
+          "seeded score floor pruned a top-k answer (unsound floor)");
+    }
     if (cardinalities != nullptr) {
       cardinalities->push_back({root, collector.size()});
       if (root != &plan) cardinalities->push_back({&plan, collector.size()});
@@ -246,9 +252,15 @@ StatusOr<std::vector<algebra::ScoredFragment>> ExecutePlanTopK(
                               metrics, cardinalities);
   if (!full.ok()) return full.status();
   algebra::TopKCollector collector(k);
+  collector.SeedFloor(resolved.score_floor);
+  collector.AttachLiveFloor(resolved.live_score_floor);
   for (const Fragment& f : full.value()) {
     if (accept && !accept(f)) continue;
     collector.Offer(f, scorer.Score(f));
+  }
+  if (resolved.audit_score_floor && !collector.FloorAuditClean()) {
+    return Status::Internal(
+        "seeded score floor pruned a top-k answer (unsound floor)");
   }
   return collector.TakeSorted();
 }

@@ -3,6 +3,8 @@
 #ifndef XFRAG_QUERY_EXECUTOR_H_
 #define XFRAG_QUERY_EXECUTOR_H_
 
+#include <atomic>
+#include <limits>
 #include <vector>
 
 #include "algebra/fragment_set.h"
@@ -40,6 +42,23 @@ struct ExecutorOptions {
   /// observability for timed-out queries. Partial closures are never stored
   /// in the fixed-point cache.
   const CancelToken* cancel = nullptr;
+  /// Initial score floor seeded into the top-k collector (ExecutePlanTopK
+  /// only; -inf = none). Soundness is the caller's promise: at least k
+  /// distinct answers *somewhere in the query's global scope* — other
+  /// documents, other shards — score at or above the floor. Candidates
+  /// strictly below it are pruned; the returned prefix is then exactly the
+  /// answers of the unseeded evaluation that score >= the floor.
+  double score_floor = -std::numeric_limits<double>::infinity();
+  /// Optional concurrently-raised floor (distributed threshold updates).
+  /// Read with relaxed ordering during the bounded join; must only ever
+  /// rise, through sound values, and must outlive the call.
+  const std::atomic<double>* live_score_floor = nullptr;
+  /// Debug audit of the seeded floor: when true, ExecutePlanTopK fails with
+  /// Internal if the floor provably suppressed a top-k answer of *this*
+  /// plan's own answer stream (fewer than k retained, or a rejected
+  /// candidate outscoring a retained one). Leave false when the floor's
+  /// witnesses legitimately live elsewhere (other documents or shards).
+  bool audit_score_floor = false;
 };
 
 /// Per-node observation recorded during execution (EXPLAIN ANALYZE).

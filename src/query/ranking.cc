@@ -14,7 +14,9 @@ AnswerScorer::AnswerScorer(const std::vector<std::string>& terms,
                            const doc::Document& document,
                            const text::InvertedIndex& index,
                            const RankingOptions& options)
-    : index_(index), size_penalty_(std::max(options.size_penalty, 0.0)) {
+    : document_(document),
+      index_(index),
+      size_penalty_(std::max(options.size_penalty, 0.0)) {
   const double n = static_cast<double>(document.size());
   terms_.reserve(terms.size());
   for (const auto& term : terms) {
@@ -67,6 +69,108 @@ double AnswerScorer::QuickUpperBound(const algebra::JoinBounds& bounds) const {
   double penalty =
       1.0 + size_penalty_ *
                 std::log(1.0 + static_cast<double>(bounds.size_lower));
+  return evidence / penalty;
+}
+
+void AnswerScorer::BuildAncestorCounts() const {
+  // anc_counts_[t][n] = |{p ∈ postings_t : p ancestor-or-self of n}| — one
+  // pre-order sweep per term, each node inheriting its parent's count
+  // (parents precede children in pre-order). Postings are visited in step
+  // because both node ids and posting lists are pre-order sorted.
+  anc_counts_.resize(terms_.size());
+  const size_t n = document_.size();
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    const auto& postings = *terms_[t].postings;
+    std::vector<uint32_t>& counts = anc_counts_[t];
+    counts.resize(n);
+    size_t pi = 0;
+    for (size_t node = 0; node < n; ++node) {
+      const doc::NodeId id = static_cast<doc::NodeId>(node);
+      const bool is_posting = pi < postings.size() && postings[pi] == id;
+      if (is_posting) ++pi;
+      counts[node] =
+          (node == 0 ? 0 : counts[document_.parent(id)]) + (is_posting ? 1 : 0);
+    }
+  }
+}
+
+std::vector<double> AnswerScorer::FragmentEvidence(
+    const Fragment& fragment) const {
+  // Per term: how many posting nodes have a member of `fragment` in their
+  // subtree (are an ancestor-or-self of a member)? For a *connected*
+  // fragment with root r this has a closed form: such a posting is either an
+  // ancestor-or-self of r, or lies on the path from r down to the member it
+  // covers — a path contained in the fragment, so the posting is itself a
+  // member. Hence
+  //
+  //   hitsAnc_t(f) = anc_counts_[t][r] + hits_t(f) − [r ∈ postings_t]
+  //
+  // (the last term undoes double-counting r). hits_t is the same
+  // smaller-side count Score uses, so an evidence summary costs about one
+  // Score call — and it runs once per input fragment, never per pair.
+  std::call_once(evidence_once_, [this] { BuildAncestorCounts(); });
+  std::vector<double> evidence;
+  evidence.reserve(terms_.size());
+  const doc::NodeId root = fragment.nodes().front();
+  for (size_t ti = 0; ti < terms_.size(); ++ti) {
+    const ScoredTerm& t = terms_[ti];
+    const auto& postings = *t.postings;
+    size_t hits = 0;
+    if (postings.size() < fragment.size()) {
+      for (doc::NodeId p : postings) {
+        if (fragment.ContainsNode(p)) ++hits;
+      }
+    } else {
+      for (doc::NodeId member : fragment.nodes()) {
+        if (std::binary_search(postings.begin(), postings.end(), member)) {
+          ++hits;
+        }
+      }
+    }
+    const bool root_posting =
+        std::binary_search(postings.begin(), postings.end(), root);
+    evidence.push_back(static_cast<double>(
+        anc_counts_[ti][root] + hits - (root_posting ? 1 : 0)));
+  }
+  return evidence;
+}
+
+double AnswerScorer::EvidenceUpperBound(
+    const std::vector<double>& left, const std::vector<double>& right,
+    const algebra::JoinBounds& bounds) const {
+  // Soundness: f1 ⋈ f2 is a union of tree paths between members of f1 ∪ f2,
+  // and every node on a path between u and v is an ancestor-or-self of u or
+  // of v. So a join member that is a posting of term t is a posting node
+  // covering f1 or covering f2: hits_t(f1 ⋈ f2) <= left[t] + right[t]. The
+  // per-term counts are integers held exactly in doubles, the accumulation
+  // order matches Score, every multiply/add rounding step is monotone, and
+  // the denominator uses size_lower <= |f1 ⋈ f2| — so the IEEE result
+  // dominates Score's exactly as UpperBound's does.
+  double evidence = 0.0;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    evidence += terms_[t].idf * (left[t] + right[t]);
+  }
+  double penalty =
+      1.0 + size_penalty_ *
+                std::log(1.0 + static_cast<double>(bounds.size_lower));
+  return evidence / penalty;
+}
+
+double AnswerScorer::EvidenceUpperBoundFromSize(
+    const std::vector<double>& left, const std::vector<double>& right_max,
+    uint32_t join_size_lower) const {
+  // EvidenceUpperBound with a set-wide (or single-pair) right summary and a
+  // size lower bound derived without the LCA: right_max[t] >= right[t] and
+  // join_size_lower <= bounds.size_lower for every covered f2, and every
+  // arithmetic step is monotone, so this dominates each covered pair's
+  // evidence bound (hence each pair's score) at the computed-doubles level.
+  double evidence = 0.0;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    evidence += terms_[t].idf * (left[t] + right_max[t]);
+  }
+  double penalty =
+      1.0 + size_penalty_ *
+                std::log(1.0 + static_cast<double>(join_size_lower));
   return evidence / penalty;
 }
 

@@ -8,11 +8,13 @@
 #ifndef XFRAG_QUERY_RANKING_H_
 #define XFRAG_QUERY_RANKING_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "algebra/fragment_set.h"
 #include "algebra/topk.h"
+#include "doc/document.h"
 #include "text/inverted_index.h"
 
 namespace xfrag::query {
@@ -64,8 +66,22 @@ std::vector<RankedAnswer> RankAnswers(const algebra::FragmentSet& answers,
 /// because the bound accumulates terms in the same order as Score and every
 /// rounding step is monotone — see docs/ALGEBRA.md "Top-k and score bounds".
 ///
+/// The scorer also opts into the kernels' *evidence* bound, which is what
+/// makes serving-side top-k floors bite: every member of f1 ⋈ f2 lies on a
+/// tree path between members of f1 ∪ f2 and is therefore an ancestor-or-self
+/// of a member of f1 or of f2, so the join's per-term hit count is at most
+/// hitsAnc(f1) + hitsAnc(f2), where hitsAnc(f) counts the term's posting
+/// nodes whose subtree contains a member of f. hitsAnc(f) is computed once
+/// per *input* fragment (FragmentEvidence); each pair then costs O(#terms)
+/// arithmetic (EvidenceUpperBound) — and, unlike the interval bounds, it
+/// stays tight for pairs that straddle most of a document. Soundness under
+/// IEEE rounding follows the same argument as UpperBound: per-term counts
+/// dominate integer-exactly, and every multiply/add/divide step is monotone
+/// and ordered as in Score.
+///
 /// Read-only after construction, hence safe to share across worker threads.
-/// The index (and its posting lists) must outlive the scorer.
+/// The document and the index (and its posting lists) must outlive the
+/// scorer.
 class AnswerScorer : public algebra::JoinScorer {
  public:
   AnswerScorer(const std::vector<std::string>& terms,
@@ -80,6 +96,18 @@ class AnswerScorer : public algebra::JoinScorer {
   /// inside the interval at the cost of two binary searches per term.
   double QuickUpperBound(const algebra::JoinBounds& bounds) const override;
 
+  bool HasEvidenceBound() const override { return true; }
+  /// One entry per query term: the number of posting nodes of that term
+  /// whose subtree contains a member of `fragment` (integer-valued doubles).
+  std::vector<double> FragmentEvidence(
+      const algebra::Fragment& fragment) const override;
+  double EvidenceUpperBound(const std::vector<double>& left,
+                            const std::vector<double>& right,
+                            const algebra::JoinBounds& bounds) const override;
+  double EvidenceUpperBoundFromSize(const std::vector<double>& left,
+                                    const std::vector<double>& right_max,
+                                    uint32_t join_size_lower) const override;
+
  private:
   struct ScoredTerm {
     std::string folded;
@@ -88,9 +116,20 @@ class AnswerScorer : public algebra::JoinScorer {
     const std::vector<doc::NodeId>* postings = nullptr;
   };
 
+  /// Builds anc_counts_ (called once, lazily, from FragmentEvidence).
+  void BuildAncestorCounts() const;
+
+  const doc::Document& document_;
   const text::InvertedIndex& index_;
   std::vector<ScoredTerm> terms_;
   double size_penalty_;
+  /// Lazy evidence precompute: anc_counts_[t][n] is the number of postings
+  /// of term t on n's root path (ancestors-or-self of n). Built on first
+  /// FragmentEvidence call — full-mode ranking never pays for it — under
+  /// call_once, which keeps the scorer logically const and shareable across
+  /// worker threads.
+  mutable std::once_flag evidence_once_;
+  mutable std::vector<std::vector<uint32_t>> anc_counts_;
 };
 
 }  // namespace xfrag::query

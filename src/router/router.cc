@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <random>
+#include <set>
+#include <string_view>
 #include <utility>
 
 #include "common/json.h"
@@ -50,6 +53,45 @@ json::Value MissingShardsJson(const std::vector<size_t>& missing) {
   return out;
 }
 
+/// The global k-th-score threshold. Feeding it every answer score seen so
+/// far (probe answers, completed refine bodies), its floor — the smallest of
+/// the k best — is sound by construction: k real, distinct answers score at
+/// or above it (shards hold disjoint documents, and each shard's list is
+/// already deduplicated), so a shard may prune strictly-below candidates
+/// without losing any global top-k answer. Coordinator-thread only.
+class ThresholdTracker {
+ public:
+  explicit ThresholdTracker(size_t k) : k_(k) {}
+
+  void Add(double score) {
+    if (k_ == 0) return;
+    best_.insert(score);
+    if (best_.size() > k_) best_.erase(best_.begin());
+  }
+
+  bool HasFloor() const { return k_ > 0 && best_.size() >= k_; }
+  double Floor() const { return *best_.begin(); }
+
+ private:
+  size_t k_;
+  std::multiset<double> best_;
+};
+
+/// Feeds every answer score of a /query body into the tracker. Bodies may
+/// truncate answers below k ("max_answers") — that only starves the tracker,
+/// never unsounds it, since a floor needs k *collected* scores.
+void AddAnswerScores(const json::Value& body, ThresholdTracker* tracker) {
+  const json::Value* answers = body.Find("answers");
+  if (answers == nullptr || !answers->is_array()) return;
+  for (const json::Value& answer : answers->items()) {
+    if (!answer.is_object()) continue;
+    const json::Value* score = answer.Find("score");
+    if (score != nullptr && score->is_number()) {
+      tracker->Add(score->AsDouble());
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t Router::ShardState::P95Micros() const {
@@ -82,6 +124,9 @@ struct Router::GatherState {
   std::condition_variable cv;
   size_t outstanding = 0;
   std::vector<PerShard> shards;
+  /// Shards that resolved with HTTP 200, in arrival order — the coordinator
+  /// drains this to fire the response hook without missing a resolution.
+  std::vector<size_t> resolve_order;
 };
 
 Router::Router(ShardMap map, RouterOptions options)
@@ -96,13 +141,20 @@ Router::Router(ShardMap map, RouterOptions options)
                                                     options_.backend);
     shards_.push_back(std::move(state));
   }
-  // Sized so every worker can have all its shard legs plus a hedge in
-  // flight without queuing behind another request's fan-out.
+  // Sized so every worker can have all its shard legs plus a hedge and a
+  // round of threshold-update tasks in flight without queuing behind
+  // another request's fan-out.
   size_t fanout = static_cast<size_t>(std::max(1, options_.workers)) *
-                      (shards_.size() + 1) +
+                      (shards_.size() + 2) +
                   1;
   fanout_pool_ = std::make_unique<ThreadPool>(
       static_cast<unsigned>(std::clamp<size_t>(fanout, 2, 128)));
+  // A per-instance tag keeps query ids distinct across routers sharing the
+  // same shard fleet — a collision would merge two queries' floors in the
+  // shard-side registry, and another query's floor is not sound for this
+  // one.
+  std::random_device rd;
+  query_tag_ = StrFormat("%08x%08x", rd(), rd());
 }
 
 Router::~Router() { Shutdown(); }
@@ -179,7 +231,16 @@ int Router::HedgeDelayMs(int shard_deadline_ms) const {
 }
 
 std::vector<Router::ShardOutcome> Router::ScatterGather(
-    const std::string& forward_body, int shard_deadline_ms) {
+    const std::string& forward_body, int shard_deadline_ms,
+    const ResponseHook& on_response) {
+  return ScatterGather(
+      std::vector<std::string>(shards_.size(), forward_body),
+      shard_deadline_ms, on_response);
+}
+
+std::vector<Router::ShardOutcome> Router::ScatterGather(
+    const std::vector<std::string>& forward_bodies, int shard_deadline_ms,
+    const ResponseHook& on_response) {
   const size_t n = shards_.size();
   auto state = std::make_shared<GatherState>();
   state->shards.resize(n);
@@ -212,6 +273,7 @@ std::vector<Router::ShardOutcome> Router::ScatterGather(
         per.outcome.resolved = true;
         per.outcome.http_status = result->status;
         per.outcome.body = std::move(result->body);
+        if (result->status == 200) state->resolve_order.push_back(i);
         per.hedge_won = is_hedge;
         // The loser's socket is shut down, not closed: its attempt still
         // owns the fd and fails out promptly instead of waiting for data.
@@ -234,7 +296,7 @@ std::vector<Router::ShardOutcome> Router::ScatterGather(
   requests.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     requests.push_back(
-        shards_[i]->client->BuildRequest("POST", "/query", forward_body));
+        shards_[i]->client->BuildRequest("POST", "/query", forward_bodies[i]));
   }
   {
     std::lock_guard<std::mutex> lock(state->mutex);
@@ -256,11 +318,33 @@ std::vector<Router::ShardOutcome> Router::ScatterGather(
   bool hedged = !options_.enable_hedging || n == 0;
 
   std::unique_lock<std::mutex> lock(state->mutex);
+  // Fires the response hook for every 200 body that has arrived since the
+  // last drain. The hook runs unlocked (it may parse bodies and post update
+  // tasks); resolve_order only ever grows, so re-checking its size after
+  // relocking never skips or repeats a shard.
+  size_t hook_drained = 0;
+  auto drain_hook = [&] {
+    while (on_response && hook_drained < state->resolve_order.size()) {
+      size_t shard = state->resolve_order[hook_drained++];
+      std::string body = state->shards[shard].outcome.body;
+      std::vector<size_t> running;
+      for (size_t j = 0; j < state->shards.size(); ++j) {
+        if (!state->shards[j].done) running.push_back(j);
+      }
+      lock.unlock();
+      on_response(shard, body, running);
+      lock.lock();
+    }
+  };
   while (state->outstanding > 0) {
     auto wake = hedged ? deadline_tp : std::min(deadline_tp, hedge_tp);
-    bool all_done = state->cv.wait_until(
-        lock, wake, [&] { return state->outstanding == 0; });
-    if (all_done) break;
+    state->cv.wait_until(lock, wake, [&] {
+      return state->outstanding == 0 ||
+             (on_response != nullptr &&
+              hook_drained < state->resolve_order.size());
+    });
+    drain_hook();
+    if (state->outstanding == 0) break;
     auto now = Clock::now();
     if (!hedged && now >= hedge_tp) {
       hedged = true;
@@ -325,6 +409,7 @@ std::string Router::HandleQuery(const std::string& request_body,
   }
 
   bool require_complete = false;
+  bool bound_exchange = options_.enable_bound_exchange;
   MergePlan plan;
   int shard_deadline_ms = options_.default_shard_deadline_ms;
   if (root->is_object()) {
@@ -339,6 +424,33 @@ std::string Router::HandleQuery(const std::string& request_body,
       }
       require_complete = rc->AsBool();
       root->Remove("require_complete");
+    }
+    // bound_exchange is router-protocol too: a per-request override of the
+    // two-phase top-k machinery (ablation / debugging).
+    if (const json::Value* be = root->Find("bound_exchange")) {
+      if (!be->is_bool()) {
+        *status_out = 400;
+        return ErrorJson(Status::InvalidArgument(
+                             "\"bound_exchange\" must be a boolean"))
+            .Dump();
+      }
+      bound_exchange = be->AsBool();
+      root->Remove("bound_exchange");
+    }
+    // The shard-side distributed top-k fields are internal to the
+    // router↔shard protocol; a client must not inject floors (an unsound
+    // floor would silently drop answers) or collide with router query ids.
+    for (std::string_view internal :
+         {"score_floor", "probe_documents", "skip_documents", "query_id"}) {
+      if (root->Find(internal) != nullptr) {
+        *status_out = 400;
+        return ErrorJson(Status::InvalidArgument(StrFormat(
+                             "\"%.*s\" is internal to the router-shard "
+                             "protocol and not accepted from clients",
+                             static_cast<int>(internal.size()),
+                             internal.data())))
+            .Dump();
+      }
     }
     // Best-effort extraction of the fields the merge needs; requests the
     // shards would reject keep the defaults (the 4xx is forwarded anyway).
@@ -361,30 +473,181 @@ std::string Router::HandleQuery(const std::string& request_body,
     }
   }
 
+  // Two-phase distributed top-k (docs/SERVING.md): probe → global k-th
+  // score → refine with the floor pushed down, plus mid-query raises as
+  // fast shards finish. k == 0 and single-shard deployments gain nothing
+  // from a floor, so they stay single-phase.
+  const bool two_phase = bound_exchange && root->is_object() &&
+                         plan.top_k >= 1 && shards_.size() > 1;
+  std::string query_id;
+  ThresholdTracker tracker(
+      two_phase ? static_cast<size_t>(plan.top_k) : 0);
+  double best_floor_sent = -std::numeric_limits<double>::infinity();
+  // Probe reuse: a shard's successful probe body is kept and merged into
+  // the final response, and that shard's refine request resumes after the
+  // probed documents ("skip_documents") instead of re-evaluating them — the
+  // probe's work is never paid twice. Exact because the probe is the shard's
+  // true top-k over its first documents, the resume is the (floored) top-k
+  // over the rest, and the k-way merge of disjoint-document top-k lists is
+  // the global top-k.
+  struct ProbeReuse {
+    bool use = false;
+    uint64_t evaluated = 0;
+    json::Value body;
+  };
+  std::vector<ProbeReuse> probe_reuse(shards_.size());
+
+  if (two_phase) {
+    Timer probe_timer;
+    // The probe evaluates only each shard's first documents — cheap by
+    // construction, so it keeps the client's rendering options (its answers
+    // are served, not discarded). Only "max_answers" is stripped: the floor
+    // needs all k probe scores, and the merge re-truncates.
+    json::Value probe = *root;
+    probe.Remove("max_answers");
+    probe.Set("probe_documents",
+              static_cast<int64_t>(std::max(1, options_.probe_documents)));
+    std::vector<ShardOutcome> probe_outcomes =
+        ScatterGather(probe.Dump(), shard_deadline_ms);
+    // A failed or invalid probe response only costs pruning, never
+    // correctness — and a probe 4xx is *not* forwarded: the probe body
+    // differs from the client's, so only the refine phase (which carries
+    // every client field) may speak for validation.
+    for (size_t i = 0; i < probe_outcomes.size(); ++i) {
+      const ShardOutcome& outcome = probe_outcomes[i];
+      if (!outcome.resolved || outcome.http_status != 200) continue;
+      auto parsed = json::Parse(outcome.body);
+      if (parsed.ok() && parsed->is_object()) {
+        AddAnswerScores(*parsed, &tracker);
+        const json::Value* evaluated = parsed->Find("documents_evaluated");
+        if (evaluated != nullptr && evaluated->is_integral() &&
+            evaluated->AsInt() >= 1) {
+          probe_reuse[i].use = true;
+          probe_reuse[i].evaluated =
+              static_cast<uint64_t>(evaluated->AsInt());
+          probe_reuse[i].body = std::move(*parsed);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(phase_mutex_);
+      probe_latency_.Record(
+          static_cast<uint64_t>(probe_timer.ElapsedMicros()));
+    }
+    query_id = StrFormat(
+        "xr-%s-%llu", query_tag_.c_str(),
+        static_cast<unsigned long long>(
+            query_id_counter_.fetch_add(1, std::memory_order_relaxed)));
+    root->Set("query_id", query_id);
+    if (tracker.HasFloor()) {
+      best_floor_sent = tracker.Floor();
+      root->Set("score_floor", best_floor_sent);
+      bounds_pushed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // As refine responses land, fold their answer scores into the tracker and
+  // push any improved global k-th score to the shards still running. All on
+  // the coordinator thread — the tracker needs no lock.
+  ResponseHook hook;
+  if (two_phase) {
+    hook = [this, &tracker, &query_id, &best_floor_sent](
+               size_t, const std::string& body_text,
+               const std::vector<size_t>& running) {
+      if (running.empty()) return;
+      auto parsed = json::Parse(body_text);
+      if (!parsed.ok() || !parsed->is_object()) return;
+      AddAnswerScores(*parsed, &tracker);
+      if (!tracker.HasFloor()) return;
+      double floor = tracker.Floor();
+      if (floor <= best_floor_sent) return;
+      best_floor_sent = floor;
+      SendThresholdUpdates(running, query_id, floor);
+    };
+  }
+
+  // Refine bodies are per shard: a shard whose probe is being reused gets
+  // its own resume point; the others get the plain request.
+  std::vector<std::string> refine_bodies;
+  refine_bodies.reserve(shards_.size());
+  {
+    const std::string plain = root->Dump();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (probe_reuse[i].use) {
+        root->Set("skip_documents",
+                  static_cast<int64_t>(probe_reuse[i].evaluated));
+        refine_bodies.push_back(root->Dump());
+        root->Remove("skip_documents");
+      } else {
+        refine_bodies.push_back(plain);
+      }
+    }
+  }
+
+  Timer refine_timer;
   std::vector<ShardOutcome> outcomes =
-      ScatterGather(root->Dump(), shard_deadline_ms);
+      ScatterGather(refine_bodies, shard_deadline_ms, hook);
+  if (two_phase) {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    refine_latency_.Record(
+        static_cast<uint64_t>(refine_timer.ElapsedMicros()));
+  }
 
   std::vector<ShardBody> bodies;
   std::vector<size_t> missing;
-  for (size_t i = 0; i < outcomes.size(); ++i) {
-    ShardOutcome& outcome = outcomes[i];
-    if (outcome.resolved && outcome.http_status == 200) {
-      auto parsed = json::Parse(outcome.body);
-      if (parsed.ok() && parsed->is_object()) {
-        bodies.push_back(ShardBody{i, shards_[i]->info.doc_begin,
-                                   std::move(*parsed)});
+  int forwarded_status = 0;
+  std::string forwarded_body;
+  auto classify = [&](std::vector<ShardOutcome>& outs) {
+    bodies.clear();
+    missing.clear();
+    forwarded_status = 0;
+    for (size_t i = 0; i < outs.size(); ++i) {
+      ShardOutcome& outcome = outs[i];
+      if (outcome.resolved && outcome.http_status == 200) {
+        auto parsed = json::Parse(outcome.body);
+        if (parsed.ok() && parsed->is_object()) {
+          bodies.push_back(ShardBody{i, shards_[i]->info.doc_begin,
+                                     std::move(*parsed)});
+        } else {
+          missing.push_back(i);
+        }
+      } else if (outcome.resolved && outcome.http_status >= 400 &&
+                 outcome.http_status < 500) {
+        // Validation errors are deterministic across shards (identical
+        // request, identical decoder) — the first one speaks for the corpus.
+        forwarded_status = outcome.http_status;
+        forwarded_body = std::move(outcome.body);
+        return;
       } else {
+        // 5xx, shard-side 504, transport error, or gather deadline.
         missing.push_back(i);
       }
-    } else if (outcome.resolved && outcome.http_status >= 400 &&
-               outcome.http_status < 500) {
-      // Validation errors are deterministic across shards (identical
-      // request, identical decoder) — the first one speaks for the corpus.
-      *status_out = outcome.http_status;
-      return std::move(outcome.body);
-    } else {
-      // 5xx, shard-side 504, transport error, or gather deadline.
-      missing.push_back(i);
+    }
+  };
+  classify(outcomes);
+  if (forwarded_status != 0) {
+    *status_out = forwarded_status;
+    return forwarded_body;
+  }
+
+  // Degraded-mode exactness: the floor pushed at refine (and any mid-query
+  // raise) is justified by answers that may have lived on a shard that just
+  // went missing — survivors pruned against witnesses nobody merged would
+  // be silently wrong. Re-scatter the plain single-phase request so every
+  // surviving shard's output is self-justified, then merge that.
+  if (two_phase && !missing.empty() && !require_complete && !bodies.empty()) {
+    bound_exchange_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    root->Remove("score_floor");
+    root->Remove("query_id");
+    // The fallback bodies are complete single-phase evaluations, so every
+    // probe body must be discarded: merging one next to a full body for the
+    // same shard would duplicate the probed documents' answers.
+    for (ProbeReuse& reuse : probe_reuse) reuse.use = false;
+    outcomes = ScatterGather(root->Dump(), shard_deadline_ms);
+    classify(outcomes);
+    if (forwarded_status != 0) {
+      *status_out = forwarded_status;
+      return forwarded_body;
     }
   }
 
@@ -395,6 +658,24 @@ std::string Router::HandleQuery(const std::string& request_body,
     body.Set("missing_shards", MissingShardsJson(missing));
     *status_out = 504;
     return body.Dump();
+  }
+
+  // Interleave each reused probe body ahead of its shard's resume body: the
+  // two partition the shard's documents (probe first, in document order), so
+  // the merge treats them as two mini-shards sharing one doc_base.
+  if (two_phase) {
+    std::vector<ShardBody> with_probes;
+    with_probes.reserve(bodies.size() * 2);
+    for (ShardBody& body : bodies) {
+      ProbeReuse& reuse = probe_reuse[body.shard_index];
+      if (reuse.use) {
+        probe_answers_reused_.fetch_add(1, std::memory_order_relaxed);
+        with_probes.push_back(ShardBody{body.shard_index, body.doc_base,
+                                        std::move(reuse.body)});
+      }
+      with_probes.push_back(std::move(body));
+    }
+    bodies = std::move(with_probes);
   }
 
   auto merged = MergeQueryBodies(std::move(bodies), plan,
@@ -408,9 +689,57 @@ std::string Router::HandleQuery(const std::string& request_body,
   if (!missing.empty()) {
     partials_served_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (plan.top_k >= 0) {
+    // Observability for the bench: how many candidate pairs the score
+    // bounds (seeded floors included) rejected fleet-wide for this query.
+    if (const json::Value* metrics = merged->Find("metrics")) {
+      if (const json::Value* rejected =
+              metrics->Find("pairs_rejected_score");
+          rejected != nullptr && rejected->is_integral() &&
+          rejected->AsInt() >= 0) {
+        topk_pairs_rejected_.fetch_add(
+            static_cast<uint64_t>(rejected->AsInt()),
+            std::memory_order_relaxed);
+      }
+    }
+  }
   merged->Set("elapsed_ms", timer.ElapsedMillis());
   *status_out = 200;
   return merged->Dump();
+}
+
+void Router::SendThresholdUpdates(const std::vector<size_t>& targets,
+                                  const std::string& query_id, double floor) {
+  json::Value update = json::Value::Object();
+  update.Set("query_id", query_id);
+  update.Set("score_floor", floor);
+  const std::string body = update.Dump();
+  for (size_t target : targets) {
+    threshold_updates_sent_.fetch_add(1, std::memory_order_relaxed);
+    std::string request =
+        shards_[target]->client->BuildRequest("POST", "/threshold", body);
+    // Fire and forget: a lost or late update only costs pruning. The task
+    // runs on the fan-out pool (sized with headroom for it) and never
+    // blocks the query's coordinator.
+    fanout_pool_->Post([this, target, request] {
+      Timer timer;
+      auto result = shards_[target]->client->Call(
+          request, options_.threshold_update_timeout_ms, nullptr);
+      {
+        std::lock_guard<std::mutex> lock(phase_mutex_);
+        update_latency_.Record(
+            static_cast<uint64_t>(timer.ElapsedMicros()));
+      }
+      if (!result.ok() || result->status != 200) return;
+      auto parsed = json::Parse(result->body);
+      if (parsed.ok() && parsed->is_object()) {
+        const json::Value* updated = parsed->Find("updated");
+        if (updated != nullptr && updated->is_bool() && updated->AsBool()) {
+          threshold_updates_applied_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
 }
 
 json::Value Router::RouterMetricsJson() const {
@@ -447,10 +776,34 @@ json::Value Router::RouterMetricsJson() const {
     shards.Append(std::move(entry));
   }
 
+  json::Value topk = json::Value::Object();
+  topk.Set("bounds_pushed",
+           bounds_pushed_.load(std::memory_order_relaxed));
+  topk.Set("threshold_updates_sent",
+           threshold_updates_sent_.load(std::memory_order_relaxed));
+  topk.Set("threshold_updates_applied",
+           threshold_updates_applied_.load(std::memory_order_relaxed));
+  topk.Set("fallback_rescatter",
+           bound_exchange_fallbacks_.load(std::memory_order_relaxed));
+  topk.Set("pairs_rejected_score",
+           topk_pairs_rejected_.load(std::memory_order_relaxed));
+  topk.Set("probe_reused",
+           probe_answers_reused_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    topk.Set("probe_latency_us",
+             server::StatsRegistry::LatencyToJson(probe_latency_));
+    topk.Set("refine_latency_us",
+             server::StatsRegistry::LatencyToJson(refine_latency_));
+    topk.Set("update_latency_us",
+             server::StatsRegistry::LatencyToJson(update_latency_));
+  }
+
   json::Value out = json::Value::Object();
   out.Set("hedges", std::move(hedges));
   out.Set("partials_served",
           partials_served_.load(std::memory_order_relaxed));
+  out.Set("distributed_topk", std::move(topk));
   out.Set("shards", std::move(shards));
   return out;
 }

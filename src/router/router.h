@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -77,6 +78,22 @@ struct RouterOptions {
   /// Budget for one health probe.
   int health_check_timeout_ms = 1000;
 
+  /// Distributed top-k bound exchange (docs/SERVING.md): top-k queries run
+  /// two-phase — a cheap probe over the first `probe_documents` documents of
+  /// every shard yields a global k-th-score floor that the refine phase
+  /// pushes down ("score_floor"), and a fast shard's improved k-th score is
+  /// propagated to still-running shards via POST /threshold. Probe bodies
+  /// are reused: each shard's refine request resumes after its probed
+  /// documents ("skip_documents") and the merge interleaves the probe and
+  /// resume answer streams, so the probe's work is never paid twice.
+  /// Answers are byte-identical either way; this is purely a work saver. A
+  /// request may opt out with "bound_exchange": false.
+  bool enable_bound_exchange = true;
+  /// Documents each shard evaluates during the probe phase.
+  int probe_documents = 1;
+  /// Budget for one fire-and-forget threshold-update call.
+  int threshold_update_timeout_ms = 200;
+
   BackendClient::Options backend;
 };
 
@@ -104,6 +121,25 @@ class Router : private server::HttpDispatcher {
   uint64_t hedges_launched() const { return hedges_launched_.load(); }
   uint64_t hedges_won() const { return hedges_won_.load(); }
   uint64_t partials_served() const { return partials_served_.load(); }
+
+  /// Distributed top-k counters (also in /metrics under
+  /// "router"."distributed_topk").
+  uint64_t bounds_pushed() const { return bounds_pushed_.load(); }
+  uint64_t threshold_updates_sent() const {
+    return threshold_updates_sent_.load();
+  }
+  uint64_t threshold_updates_applied() const {
+    return threshold_updates_applied_.load();
+  }
+  uint64_t bound_exchange_fallbacks() const {
+    return bound_exchange_fallbacks_.load();
+  }
+  uint64_t topk_pairs_rejected() const {
+    return topk_pairs_rejected_.load();
+  }
+  uint64_t probe_answers_reused() const {
+    return probe_answers_reused_.load();
+  }
 
   /// Healthy-shard count per the background checker (all shards are
   /// considered healthy before the first probe completes).
@@ -144,13 +180,32 @@ class Router : private server::HttpDispatcher {
                        int* status_out, algebra::OpMetrics* metrics_out,
                        bool* has_metrics_out) override;
 
-  /// The /query path: parse, scatter, hedge, gather, merge.
-  /// Returns the response body; `*status_out` carries the HTTP status.
+  /// The /query path: parse, scatter (two-phase for top-k), hedge, gather,
+  /// merge. Returns the response body; `*status_out` carries the HTTP
+  /// status.
   std::string HandleQuery(const std::string& request_body, int* status_out);
+
+  /// Coordinator-thread callback fired as each shard's 200 body arrives:
+  /// (shard index, body text, shards still outstanding). Used by the
+  /// two-phase top-k path to raise the global threshold mid-query.
+  using ResponseHook =
+      std::function<void(size_t, const std::string&, const std::vector<size_t>&)>;
 
   /// Runs the scatter-gather for an already-forwardable shard request.
   std::vector<ShardOutcome> ScatterGather(const std::string& forward_body,
-                                          int shard_deadline_ms);
+                                          int shard_deadline_ms,
+                                          const ResponseHook& on_response = {});
+
+  /// Per-shard-body form: `forward_bodies[i]` goes to shard i (the refine
+  /// phase sends each shard its own "skip_documents" resume point). Must
+  /// have exactly one body per shard.
+  std::vector<ShardOutcome> ScatterGather(
+      const std::vector<std::string>& forward_bodies, int shard_deadline_ms,
+      const ResponseHook& on_response = {});
+
+  /// Posts fire-and-forget POST /threshold raises to `targets`.
+  void SendThresholdUpdates(const std::vector<size_t>& targets,
+                            const std::string& query_id, double floor);
 
   int HedgeDelayMs(int shard_deadline_ms) const;
   json::Value RouterMetricsJson() const;
@@ -164,6 +219,28 @@ class Router : private server::HttpDispatcher {
   std::atomic<uint64_t> hedges_launched_{0};
   std::atomic<uint64_t> hedges_won_{0};
   std::atomic<uint64_t> partials_served_{0};
+
+  /// Distributed top-k state: unique per-query ids for the /threshold
+  /// channel, counters, and per-phase latency histograms.
+  std::atomic<uint64_t> query_id_counter_{0};
+  std::atomic<uint64_t> bounds_pushed_{0};
+  std::atomic<uint64_t> threshold_updates_sent_{0};
+  std::atomic<uint64_t> threshold_updates_applied_{0};
+  std::atomic<uint64_t> bound_exchange_fallbacks_{0};
+  /// Sum of merged "pairs_rejected_score" over top-k responses — the pairs
+  /// the score bounds (including pushed floors) saved across the fleet.
+  std::atomic<uint64_t> topk_pairs_rejected_{0};
+  /// Probe bodies merged into final responses (one per shard per query):
+  /// the refine phase resumed after those documents instead of re-evaluating
+  /// them.
+  std::atomic<uint64_t> probe_answers_reused_{0};
+  mutable std::mutex phase_mutex_;
+  server::LatencyHistogram probe_latency_;
+  server::LatencyHistogram refine_latency_;
+  server::LatencyHistogram update_latency_;
+
+  /// Per-instance random tag embedded in generated query ids.
+  std::string query_tag_;
 
   std::thread health_thread_;
   std::mutex health_mutex_;

@@ -52,6 +52,19 @@ std::string Server::Dispatch(const HttpRequest& request, bool keep_alive,
     return RenderHttpResponse(outcome.http_status, kJsonType,
                               outcome.body.Dump(), {}, keep_alive);
   }
+  if (target == "/threshold") {
+    if (request.method != "POST") {
+      *status_out = 405;
+      return RenderHttpResponse(
+          405, kJsonType,
+          "{\"error\":\"use POST for /threshold\",\"status\":405}",
+          "Allow: POST\r\n", keep_alive);
+    }
+    QueryOutcome outcome = service_.HandleThresholdUpdate(request.body);
+    *status_out = outcome.http_status;
+    return RenderHttpResponse(outcome.http_status, kJsonType,
+                              outcome.body.Dump(), {}, keep_alive);
+  }
   if (target == "/healthz" || target == "/metrics" || target == "/version") {
     if (request.method != "GET") {
       *status_out = 405;
@@ -69,6 +82,7 @@ std::string Server::Dispatch(const HttpRequest& request, bool keep_alive,
       body = http_.stats().ToJson();
       body.Set("fixed_point_cache", service_.CacheStatsJson());
       body.Set("result_cache", service_.ResultCacheStatsJson());
+      body.Set("distributed_topk", service_.DistributedTopKStatsJson());
       body.Set("in_flight", static_cast<int64_t>(InFlight()));
     }
     *status_out = 200;

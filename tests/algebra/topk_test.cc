@@ -228,5 +228,161 @@ TEST(TopKKernelTest, SmallKPrunesPairsOnChains) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TopKKernelTest,
                          ::testing::Values(1ull, 17ull, 2026ull));
 
+// ---------------------------------------------------------------------------
+// Seeded score floors (the distributed top-k shard contract): a collector
+// seeded with a sound floor — the k-th best score over >= k real answers —
+// must produce exactly the answers a cold collector produces, while
+// rejecting at least as many pairs. An unsound (too high) floor must be
+// detectable via the floor audit.
+// ---------------------------------------------------------------------------
+
+class SeededFloorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededFloorTest, SoundFloorKeepsTheTopKPrefixByteForByte) {
+  doc::Document document = RandomTree(110, 3, GetParam());
+  Rng rng(GetParam() ^ 0x5eed);
+  FragmentSet set1 = RandomSingles(document, 12, &rng);
+  FragmentSet set2 = RandomSingles(document, 12, &rng);
+  FilterPtr filter = filters::SizeAtMost(12);
+  FilterContext context{&document, nullptr};
+  InverseSizeScorer scorer;
+
+  for (size_t k : {size_t{1}, size_t{3}, size_t{10}}) {
+    auto oracle = OracleTopK(document, set1, set2, filter, scorer, {}, k);
+    if (oracle.size() < k) continue;  // floor only sound with >= k answers
+    const double sound_floor = oracle.back().score;  // true k-th best score
+
+    TopKCollector cold(k);
+    OpMetrics cold_metrics;
+    PairwiseJoinTopK(document, set1, set2, filter, context, scorer, {},
+                     &cold, &cold_metrics);
+
+    TopKCollector seeded(k);
+    seeded.SeedFloor(sound_floor);
+    OpMetrics seeded_metrics;
+    PairwiseJoinTopK(document, set1, set2, filter, context, scorer, {},
+                     &seeded, &seeded_metrics);
+
+    EXPECT_TRUE(seeded.FloorAuditClean()) << "k=" << k;
+    auto expect = cold.TakeSorted();
+    auto got = seeded.TakeSorted();
+    ASSERT_EQ(got.size(), expect.size()) << "k=" << k;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].fragment, expect[i].fragment) << "k=" << k;
+      EXPECT_EQ(got[i].score, expect[i].score) << "k=" << k;
+    }
+    // The floor can only add pruning power, never remove it.
+    EXPECT_GE(seeded_metrics.pairs_rejected_score,
+              cold_metrics.pairs_rejected_score)
+        << "k=" << k;
+  }
+}
+
+TEST_P(SeededFloorTest, UnsoundFloorIsCaughtByTheAudit) {
+  doc::Document document = RandomTree(90, 3, GetParam());
+  Rng rng(GetParam() ^ 0xbad);
+  FragmentSet set1 = RandomSingles(document, 10, &rng);
+  FragmentSet set2 = RandomSingles(document, 10, &rng);
+  FilterPtr filter = filters::True();
+  FilterContext context{&document, nullptr};
+  InverseSizeScorer scorer;
+
+  const size_t k = 5;
+  auto oracle = OracleTopK(document, set1, set2, filter, scorer, {}, k);
+  ASSERT_GE(oracle.size(), k);
+  // Deliberately unsound: strictly above the true best score, so every real
+  // answer is pruned and the audit must flag the loss.
+  TopKCollector seeded(k);
+  seeded.SeedFloor(oracle.front().score + 1.0);
+  PairwiseJoinTopK(document, set1, set2, filter, context, scorer, {},
+                   &seeded);
+  EXPECT_EQ(seeded.size(), 0u);
+  EXPECT_FALSE(seeded.FloorAuditClean());
+  EXPECT_GT(seeded.floor_rejections(), 0u);
+  EXPECT_GE(seeded.max_floor_rejected(), oracle.front().score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededFloorTest,
+                         ::testing::Values(1ull, 17ull, 2026ull));
+
+TEST(SeededFloorTest, FloorPrunesStrictlyBelowButNeverTies) {
+  // Floor semantics: an offer strictly below the floor is rejected; one
+  // *tying* the floor must survive (it could still win on fragment order).
+  TopKCollector collector(2);
+  collector.SeedFloor(2.0);
+  EXPECT_FALSE(collector.Offer(Single(1), 1.99));
+  EXPECT_TRUE(collector.Offer(Single(2), 2.0));
+  EXPECT_TRUE(collector.Offer(Single(3), 5.0));
+  auto sorted = collector.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].fragment, Single(3));
+  EXPECT_EQ(sorted[1].fragment, Single(2));
+}
+
+TEST(SeededFloorTest, SeedFloorIsMonotonic) {
+  TopKCollector collector(4);
+  collector.SeedFloor(3.0);
+  collector.SeedFloor(1.0);  // lowering attempt: ignored
+  EXPECT_EQ(collector.seeded_floor(), 3.0);
+  EXPECT_FALSE(collector.Offer(Single(1), 2.0));
+  collector.SeedFloor(4.0);  // raising: applied
+  EXPECT_EQ(collector.seeded_floor(), 4.0);
+  EXPECT_FALSE(collector.Offer(Single(2), 3.5));
+  EXPECT_TRUE(collector.Offer(Single(3), 4.0));
+}
+
+TEST(SeededFloorTest, AuditDistinguishesHarmlessFromLossyRejections) {
+  // Rejections strictly below the final k-th score are harmless: the cold
+  // collector would have evicted those answers anyway.
+  TopKCollector harmless(1);
+  harmless.SeedFloor(2.0);
+  EXPECT_FALSE(harmless.Offer(Single(1), 1.0));  // counted, but...
+  EXPECT_TRUE(harmless.Offer(Single(2), 3.0));   // ...outranked in the end
+  EXPECT_GE(harmless.floor_rejections(), 1u);
+  EXPECT_TRUE(harmless.FloorAuditClean());
+
+  // A rejection at or above the final k-th score is a real loss.
+  TopKCollector lossy(2);
+  lossy.SeedFloor(2.0);
+  EXPECT_FALSE(lossy.Offer(Single(1), 1.0));  // would have been kept (k=2)
+  EXPECT_TRUE(lossy.Offer(Single(2), 3.0));
+  EXPECT_FALSE(lossy.FloorAuditClean());  // heap never filled: answer lost
+}
+
+TEST(SeededFloorTest, LiveFloorRaisesPruningMidStream) {
+  std::atomic<double> live{-1e300};
+  TopKCollector collector(2);
+  collector.AttachLiveFloor(&live);
+  EXPECT_EQ(collector.live_floor(), &live);
+  EXPECT_TRUE(collector.Offer(Single(1), 1.0));  // floor not raised yet
+  live.store(2.0, std::memory_order_relaxed);    // remote shard reports 2.0
+  EXPECT_FALSE(collector.CouldAccept(1.5));
+  EXPECT_FALSE(collector.Offer(Single(2), 1.5));
+  EXPECT_TRUE(collector.Offer(Single(3), 2.0));  // ties the floor: kept
+  EXPECT_TRUE(collector.Offer(Single(4), 9.0));
+  auto sorted = collector.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].fragment, Single(4));
+  EXPECT_EQ(sorted[1].fragment, Single(3));
+}
+
+TEST(SeededFloorTest, MergeFloorAuditCarriesChunkRejections) {
+  // Parallel chunks audit locally; the barrier folds their counters into
+  // the shared collector so FloorAuditClean() sees the whole document.
+  TopKCollector parent(1);
+  parent.SeedFloor(5.0);
+  TopKCollector chunk(1);
+  chunk.SeedFloor(5.0);
+  EXPECT_FALSE(chunk.Offer(Single(1), 4.0));  // lossy in the chunk
+  EXPECT_FALSE(chunk.FloorAuditClean());
+  parent.MergeFloorAudit(chunk);
+  EXPECT_GT(parent.floor_rejections(), 0u);
+  EXPECT_FALSE(parent.FloorAuditClean());
+  // Once the parent retains an answer outranking every rejection, the merged
+  // audit is clean again: nothing in the final top-k was lost.
+  EXPECT_TRUE(parent.Offer(Single(2), 6.0));
+  EXPECT_TRUE(parent.FloorAuditClean());
+}
+
 }  // namespace
 }  // namespace xfrag::algebra

@@ -1,0 +1,646 @@
+// The distributed top-k equivalence suite: the router's two-phase bound
+// exchange (probe → global k-th-score floor → refine with "score_floor" +
+// mid-query POST /threshold raises) is a pure work saver — answers must be
+// byte-identical to a single combined xfragd with the exchange on AND off,
+// over randomized queries, shard counts {1, 2, 4}, k in {1, 3, 10, 50}, and
+// a deliberately ties-heavy corpus (replicated document shapes, so score
+// ties straddle shard boundaries and floors equal real answer scores).
+//
+// Work metrics legitimately differ under the exchange (that is the point),
+// so comparisons here normalize "metrics" away; the strict metric-inclusive
+// contract lives in router_integration_test.cc with the exchange disabled.
+//
+// Fault injection rides along: a shard killed before or during the exchange
+// must yield either the complete byte-identical answer or an exact partial
+// (the true top-k over the surviving shards' documents) — never a wrong
+// result — and dropped threshold updates must be harmless. The POST
+// /threshold endpoint contract (unknown ids, strict 400s) is pinned here
+// too. Everything is loopback and hermetic, so the whole file runs under
+// TSan (scripts/check.sh router stage).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collection/collection.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "router/router.h"
+#include "server/http.h"
+#include "server/net.h"
+#include "server/server.h"
+
+namespace xfrag::router {
+namespace {
+
+constexpr size_t kTotalDocs = 16;
+
+const char* Word(size_t n) {
+  static const char* vocab[] = {"algebra", "query",   "fragment",
+                                "ranking", "xml",     "join"};
+  return vocab[n % (sizeof(vocab) / sizeof(vocab[0]))];
+}
+
+/// Ties-heavy document `i`: only four distinct bodies replicated across the
+/// corpus, so identical fragments (and identical scores) appear on every
+/// shard and the global k-th score is usually a multi-way tie.
+std::string MakeTiesDoc(size_t i) {
+  size_t shape = i % 4;
+  std::string xml = StrFormat("<paper><title>%s %s</title>", Word(shape),
+                              Word(shape + 2));
+  size_t sections = 2 + shape % 2;
+  for (size_t s = 0; s < sections; ++s) {
+    xml += StrFormat("<section>%s", Word(shape + s));
+    for (size_t p = 0; p < 2 + (shape + s) % 2; ++p) {
+      xml += StrFormat("<par>%s %s</par>", Word(shape * 2 + s + p),
+                       Word(shape + p));
+    }
+    xml += "</section>";
+  }
+  xml += "</paper>";
+  return xml;
+}
+
+class DistributedTopKTestBase : public ::testing::Test {
+ protected:
+  /// Builds the 16-document corpus partitioned contiguously over
+  /// `shard_count` shards, plus the combined single-node collection.
+  void BuildCorpus(size_t shard_count) {
+    ASSERT_EQ(kTotalDocs % shard_count, 0u);
+    docs_per_shard_ = kTotalDocs / shard_count;
+    combined_ = std::make_unique<collection::Collection>();
+    shard_collections_.clear();
+    for (size_t s = 0; s < shard_count; ++s) {
+      shard_collections_.push_back(
+          std::make_unique<collection::Collection>());
+    }
+    for (size_t i = 0; i < kTotalDocs; ++i) {
+      std::string name = StrFormat("d%02zu.xml", i);
+      std::string xml = MakeTiesDoc(i);
+      ASSERT_TRUE(combined_->AddXml(name, xml).ok());
+      ASSERT_TRUE(
+          shard_collections_[i / docs_per_shard_]->AddXml(name, xml).ok());
+    }
+  }
+
+  std::unique_ptr<server::Server> StartNode(
+      const collection::Collection& collection,
+      server::ServerOptions options = {}) {
+    auto node = std::make_unique<server::Server>(collection, options);
+    auto started = node->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return node;
+  }
+
+  std::vector<std::unique_ptr<server::Server>> StartShards(
+      server::ServerOptions options = {}) {
+    std::vector<std::unique_ptr<server::Server>> shards;
+    for (auto& collection : shard_collections_) {
+      shards.push_back(StartNode(*collection, options));
+    }
+    return shards;
+  }
+
+  ShardMap MapFor(
+      const std::vector<std::unique_ptr<server::Server>>& shards) const {
+    ShardMap map;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      ShardInfo info;
+      info.host = "127.0.0.1";
+      info.port = shards[s]->port();
+      info.doc_begin = s * docs_per_shard_;
+      info.doc_count = docs_per_shard_;
+      map.shards.push_back(std::move(info));
+    }
+    map.total_documents = kTotalDocs;
+    return map;
+  }
+
+  static std::unique_ptr<Router> StartRouter(ShardMap map,
+                                             RouterOptions options) {
+    auto router = std::make_unique<Router>(std::move(map), options);
+    auto started = router->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return router;
+  }
+
+  /// Hedging and health probes off: this suite isolates the bound exchange.
+  static RouterOptions QuietRouterOptions() {
+    RouterOptions options;
+    options.enable_hedging = false;
+    options.health_check_interval_ms = 0;
+    return options;
+  }
+
+  static StatusOr<server::HttpResponse> Post(uint16_t port,
+                                             const std::string& path,
+                                             const std::string& body,
+                                             int timeout_ms = 30000) {
+    std::string request = StrFormat(
+        "POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        path.c_str(), body.size());
+    request += body;
+    auto raw = server::HttpRoundTrip("127.0.0.1", port, request, timeout_ms);
+    if (!raw.ok()) return raw.status();
+    return server::ParseHttpResponse(*raw);
+  }
+
+  static StatusOr<server::HttpResponse> Get(uint16_t port,
+                                            const std::string& path) {
+    std::string request = StrFormat(
+        "GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        path.c_str());
+    auto raw = server::HttpRoundTrip("127.0.0.1", port, request);
+    if (!raw.ok()) return raw.status();
+    return server::ParseHttpResponse(*raw);
+  }
+
+  /// The answer-exactness normalization: zero the timing and drop the work
+  /// "metrics" (the exchange changes work, never answers). Everything else —
+  /// answers, scores, order, counts, truncation — must agree byte for byte.
+  static std::string NormalizedTopK(const std::string& body) {
+    auto parsed = json::Parse(body);
+    EXPECT_TRUE(parsed.ok()) << body;
+    if (!parsed.ok()) return body;
+    parsed->Set("elapsed_ms", 0);
+    parsed->Remove("metrics");
+    return parsed->Dump();
+  }
+
+  /// The "answers" array alone, for comparisons where the top-level corpus
+  /// fields legitimately differ (partial results vs a survivors-only node).
+  /// "document_index" is dropped too: the survivors-only oracle renumbers
+  /// its documents, while names, fragments, and scores must agree exactly.
+  static std::string AnswersOnly(const std::string& body) {
+    auto parsed = json::Parse(body);
+    EXPECT_TRUE(parsed.ok()) << body;
+    if (!parsed.ok()) return body;
+    const json::Value* answers = parsed->Find("answers");
+    EXPECT_NE(answers, nullptr) << body;
+    if (answers == nullptr) return body;
+    json::Value normalized = json::Value::Array();
+    for (const json::Value& answer : answers->items()) {
+      json::Value copy = json::Value::Object();
+      for (const auto& [key, value] : answer.members()) {
+        if (key != "document_index") copy.Set(key, value);
+      }
+      normalized.Append(std::move(copy));
+    }
+    return normalized.Dump();
+  }
+
+  static int64_t FragmentJoins(const std::string& body) {
+    auto parsed = json::Parse(body);
+    EXPECT_TRUE(parsed.ok()) << body;
+    if (!parsed.ok()) return -1;
+    const json::Value* metrics = parsed->Find("metrics");
+    EXPECT_NE(metrics, nullptr) << body;
+    if (metrics == nullptr) return -1;
+    return metrics->Find("fragment_joins")->AsInt();
+  }
+
+  /// One randomized ranked query with the given k. No "explain" here (the
+  /// strict suite covers it); term/filter/strategy/max_answers all vary.
+  static std::string RandomTopKBody(Rng* rng, int64_t k) {
+    json::Value body = json::Value::Object();
+    json::Value terms = json::Value::Array();
+    size_t term_count = 1 + rng->Uniform(2);
+    for (size_t t = 0; t < term_count; ++t) {
+      terms.Append(std::string(Word(rng->Uniform(6))));
+    }
+    body.Set("terms", std::move(terms));
+    if (rng->Chance(0.3)) {
+      static const char* filters[] = {"size<=3", "height<=2", "size<=5"};
+      body.Set("filter", std::string(filters[rng->Uniform(3)]));
+    }
+    if (rng->Chance(0.4)) {
+      static const char* strategies[] = {"pushdown", "reduced", "naive"};
+      body.Set("strategy", std::string(strategies[rng->Uniform(3)]));
+    }
+    if (rng->Chance(0.5)) body.Set("rank", true);
+    body.Set("top_k", k);
+    if (rng->Chance(0.2)) {
+      body.Set("max_answers", static_cast<int64_t>(rng->Uniform(5)));
+    }
+    return body.Dump();
+  }
+
+  static bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  }
+
+  std::unique_ptr<collection::Collection> combined_;
+  std::vector<std::unique_ptr<collection::Collection>> shard_collections_;
+  size_t docs_per_shard_ = 0;
+};
+
+class DistributedTopKTest : public DistributedTopKTestBase,
+                            public ::testing::WithParamInterface<size_t> {
+ protected:
+  void SetUp() override { BuildCorpus(GetParam()); }
+};
+
+// The core distributed-equivalence contract: for every shard count and every
+// k, the router's top-k — exchange on and exchange off — is byte-identical
+// to the combined node after dropping the work metrics, and across the run
+// the exchange materializes no more joins than the plain scatter.
+TEST_P(DistributedTopKTest, RandomizedTopKByteIdenticalExchangeOnAndOff) {
+  auto combined_node = StartNode(*combined_);
+  auto shards = StartShards();
+  RouterOptions exchange_off = QuietRouterOptions();
+  exchange_off.enable_bound_exchange = false;
+  auto router_on = StartRouter(MapFor(shards), QuietRouterOptions());
+  auto router_off = StartRouter(MapFor(shards), exchange_off);
+
+  Rng rng(0xd15e ^ GetParam());
+  int compared = 0;
+  int64_t joins_on = 0;
+  int64_t joins_off = 0;
+  for (int64_t k : {int64_t{1}, int64_t{3}, int64_t{10}, int64_t{50}}) {
+    for (int q = 0; q < 18; ++q) {
+      std::string body = RandomTopKBody(&rng, k);
+      // Warm the shards' fixed-point caches through both routers first: the
+      // join-count comparison below must reflect floor pruning, not which
+      // router happened to pay the one-time closure cost.
+      (void)Post(router_on->port(), "/query", body);
+      (void)Post(router_off->port(), "/query", body);
+      auto from_combined = Post(combined_node->port(), "/query", body);
+      auto from_on = Post(router_on->port(), "/query", body);
+      auto from_off = Post(router_off->port(), "/query", body);
+      ASSERT_TRUE(from_combined.ok()) << from_combined.status().ToString();
+      ASSERT_TRUE(from_on.ok()) << from_on.status().ToString();
+      ASSERT_TRUE(from_off.ok()) << from_off.status().ToString();
+      ASSERT_EQ(from_on->status, 200) << body << "\n" << from_on->body;
+      ASSERT_EQ(from_off->status, 200) << body;
+      ASSERT_EQ(from_combined->status, 200) << body;
+      std::string want = NormalizedTopK(from_combined->body);
+      EXPECT_EQ(NormalizedTopK(from_on->body), want)
+          << "exchange on, k=" << k << ": " << body;
+      EXPECT_EQ(NormalizedTopK(from_off->body), want)
+          << "exchange off, k=" << k << ": " << body;
+      // The exchange is a work saver: across the run it must materialize no
+      // more joins than the plain scatter. (Aggregate, not per query — the
+      // resume phase's self-seeded floor restarts after the probe documents,
+      // so a single query may locally do a handful of extra joins.)
+      joins_on += FragmentJoins(from_on->body);
+      joins_off += FragmentJoins(from_off->body);
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 72);
+  EXPECT_LE(joins_on, joins_off);
+
+  if (GetParam() > 1) {
+    // The exchange actually engaged: probes yielded floors that were pushed.
+    EXPECT_GT(router_on->bounds_pushed(), 0u);
+  }
+  EXPECT_EQ(router_off->bounds_pushed(), 0u);
+  // Fire-and-forget raises may be dropped, never over-counted.
+  EXPECT_GE(router_on->threshold_updates_sent(),
+            router_on->threshold_updates_applied());
+  EXPECT_EQ(router_on->bound_exchange_fallbacks(), 0u);
+  EXPECT_EQ(router_on->partials_served(), 0u);
+
+  router_on->Shutdown();
+  router_off->Shutdown();
+  for (auto& shard : shards) shard->Shutdown();
+  combined_node->Shutdown();
+}
+
+// Ties straddling shard boundaries: with four replicated document shapes,
+// the k-th score is a multi-way tie, the pushed floor equals a real answer
+// score, and the canonical (score desc, document order asc) merge must still
+// reproduce the combined node exactly — floors prune strictly below only.
+TEST_P(DistributedTopKTest, TiesAtTheFloorSurviveTheExchange) {
+  auto combined_node = StartNode(*combined_);
+  auto shards = StartShards();
+  auto router = StartRouter(MapFor(shards), QuietRouterOptions());
+
+  for (int64_t k : {int64_t{1}, int64_t{3}, int64_t{10}, int64_t{50}}) {
+    for (const char* term : {"algebra", "query", "join"}) {
+      std::string body = StrFormat(
+          R"({"terms":["%s"],"top_k":%lld})", term,
+          static_cast<long long>(k));
+      auto from_combined = Post(combined_node->port(), "/query", body);
+      auto from_router = Post(router->port(), "/query", body);
+      ASSERT_TRUE(from_combined.ok() && from_router.ok());
+      ASSERT_EQ(from_router->status, 200) << from_router->body;
+      EXPECT_EQ(NormalizedTopK(from_router->body),
+                NormalizedTopK(from_combined->body))
+          << "k=" << k << " term=" << term;
+    }
+  }
+
+  router->Shutdown();
+  for (auto& shard : shards) shard->Shutdown();
+  combined_node->Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DistributedTopKTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{4}));
+
+/// Fault injection and protocol-contract tests at a fixed four-shard layout.
+class DistributedTopKFaultTest : public DistributedTopKTestBase {
+ protected:
+  void SetUp() override { BuildCorpus(4); }
+
+  /// A combined node over the documents of the surviving shards only — the
+  /// oracle for "exact partial" answers.
+  std::unique_ptr<collection::Collection> SurvivorsWithout(
+      size_t dead_shard) const {
+    auto survivors = std::make_unique<collection::Collection>();
+    for (size_t i = 0; i < kTotalDocs; ++i) {
+      if (i / docs_per_shard_ == dead_shard) continue;
+      auto added = survivors->AddXml(StrFormat("d%02zu.xml", i),
+                                     MakeTiesDoc(i));
+      EXPECT_TRUE(added.ok());
+    }
+    return survivors;
+  }
+};
+
+// A shard dead before the query: the probe and the refine both miss it, the
+// router falls back to a plain re-scatter (floors seeded from the dead
+// shard's probe could be unsound for a partial answer), and the partial
+// result must be the exact top-k over the surviving documents.
+TEST_F(DistributedTopKFaultTest, DeadShardFallsBackToExactPartial) {
+  auto shards = StartShards();
+  auto router = StartRouter(MapFor(shards), QuietRouterOptions());
+  constexpr size_t kDead = 2;
+  shards[kDead]->Shutdown();
+
+  auto survivors = SurvivorsWithout(kDead);
+  auto survivor_node = StartNode(*survivors);
+  const std::string body = R"({"terms":["algebra","query"],"top_k":5})";
+
+  auto degraded = Post(router->port(), "/query", body);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_EQ(degraded->status, 200) << degraded->body;
+  auto parsed = json::Parse(degraded->body);
+  ASSERT_TRUE(parsed.ok());
+  const json::Value* partial = parsed->Find("partial");
+  ASSERT_NE(partial, nullptr) << degraded->body;
+  ASSERT_EQ(partial->Find("missing_shards")->size(), 1u);
+  EXPECT_EQ((*partial->Find("missing_shards"))[0].AsInt(),
+            static_cast<int64_t>(kDead));
+  EXPECT_GE(router->bound_exchange_fallbacks(), 1u);
+
+  auto oracle = Post(survivor_node->port(), "/query", body);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_EQ(oracle->status, 200);
+  EXPECT_EQ(AnswersOnly(degraded->body), AnswersOnly(oracle->body))
+      << "partial answers are not the exact top-k over the survivors";
+
+  // The same query under require_complete refuses the partial instead.
+  auto refused = Post(
+      router->port(), "/query",
+      R"({"terms":["algebra","query"],"top_k":5,"require_complete":true})");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 504) << refused->body;
+
+  router->Shutdown();
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (s != kDead) shards[s]->Shutdown();
+  }
+  survivor_node->Shutdown();
+}
+
+// A shard killed mid-exchange (after probing started, racing the refine and
+// any in-flight threshold updates): the result must be either the complete
+// byte-identical answer or an exact partial over the survivors — never a
+// wrong or mixed result. Dropped threshold updates must be harmless.
+TEST_F(DistributedTopKFaultTest, ShardKilledMidExchangeIsNeverWrong) {
+  server::ServerOptions slow;
+  slow.service.enable_debug_sleep = true;
+  auto shards = StartShards(slow);
+  auto router = StartRouter(MapFor(shards), QuietRouterOptions());
+  constexpr size_t kVictim = 3;
+
+  const std::string slow_body =
+      R"({"terms":["algebra","query"],"top_k":5,"debug_sleep_ms":150})";
+  const std::string plain_body = R"({"terms":["algebra","query"],"top_k":5})";
+
+  StatusOr<server::HttpResponse> response = Status::Internal("unset");
+  std::thread client([&] {
+    response = Post(router->port(), "/query", slow_body);
+  });
+  // Let the exchange get under way, then yank the victim shard. Depending on
+  // timing the kill lands during the probe, the refine, or after resolution.
+  WaitUntil([&] { return router->bounds_pushed() > 0; }, 2000);
+  shards[kVictim]->Shutdown();
+  client.join();
+
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto parsed = json::Parse(response->body);
+  ASSERT_TRUE(parsed.ok());
+
+  if (parsed->Find("partial") == nullptr) {
+    // The victim resolved before dying: the answer must be complete & exact.
+    auto combined_node = StartNode(*combined_);
+    auto oracle = Post(combined_node->port(), "/query", plain_body);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(NormalizedTopK(response->body), NormalizedTopK(oracle->body));
+    combined_node->Shutdown();
+  } else {
+    const json::Value* missing = parsed->Find("partial")->Find("missing_shards");
+    ASSERT_EQ(missing->size(), 1u);
+    EXPECT_EQ((*missing)[0].AsInt(), static_cast<int64_t>(kVictim));
+    auto survivors = SurvivorsWithout(kVictim);
+    auto survivor_node = StartNode(*survivors);
+    auto oracle = Post(survivor_node->port(), "/query", plain_body);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(AnswersOnly(response->body), AnswersOnly(oracle->body))
+        << "mid-exchange kill produced a non-exact partial";
+    survivor_node->Shutdown();
+  }
+  EXPECT_GE(router->threshold_updates_sent(),
+            router->threshold_updates_applied());
+
+  router->Shutdown();
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (s != kVictim) shards[s]->Shutdown();
+  }
+}
+
+// The shard-side POST /threshold contract: unknown query ids are a no-op
+// acknowledgement (the query may have finished already), malformed bodies
+// are strict 400s, and the endpoint is POST-only.
+TEST_F(DistributedTopKFaultTest, ThresholdEndpointContract) {
+  auto node = StartNode(*shard_collections_[0]);
+
+  auto unknown = Post(node->port(), "/threshold",
+                      R"({"query_id":"xr-nope-1","score_floor":1.5})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 200) << unknown->body;
+  auto parsed = json::Parse(unknown->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Find("updated")->AsBool());
+
+  for (const char* bad : {
+           R"({"query_id":"x"})",                       // missing floor
+           R"({"score_floor":1.0})",                    // missing id
+           R"({"query_id":"","score_floor":1.0})",      // empty id
+           R"({"query_id":"x","score_floor":"high"})",  // non-numeric floor
+           R"({"query_id":"x","score_floor":1.0,"extra":true})",
+           R"([1,2,3])",
+           R"({"query_id": )",
+       }) {
+    auto response = Post(node->port(), "/threshold", bad);
+    ASSERT_TRUE(response.ok()) << bad;
+    EXPECT_EQ(response->status, 400) << bad << " -> " << response->body;
+  }
+
+  auto wrong_method = Get(node->port(), "/threshold");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  node->Shutdown();
+}
+
+// The resume half of the probe/resume split: "skip_documents" is validated
+// like the other shard-protocol fields, and a probe over the first N
+// eligible documents plus a resume skipping them partition the node's work —
+// the counters sum field by field to the plain request's, and every plain
+// top-k answer appears in one of the two answer streams.
+TEST_F(DistributedTopKFaultTest, SkipDocumentsResumePartitionsTheCorpus) {
+  auto node = StartNode(*combined_);
+
+  for (const char* bad : {
+           R"({"terms":["algebra"],"skip_documents":1})",  // requires top_k
+           R"({"terms":["algebra"],"top_k":3,"skip_documents":0})",
+           R"({"terms":["algebra"],"top_k":3,"skip_documents":-2})",
+           R"({"terms":["algebra"],"top_k":3,"skip_documents":1.5})",
+           R"({"terms":["algebra"],"top_k":3,"skip_documents":"2"})",
+           // A probe evaluates the first documents; a resume skips them.
+           R"({"terms":["algebra"],"top_k":3,"probe_documents":1,)"
+           R"("skip_documents":1})",
+       }) {
+    auto response = Post(node->port(), "/query", bad);
+    ASSERT_TRUE(response.ok()) << bad;
+    EXPECT_EQ(response->status, 400) << bad << " -> " << response->body;
+  }
+
+  auto body_for = [&](const char* extra) {
+    return StrFormat(
+        R"({"terms":["algebra","query"],"top_k":5%s})", extra);
+  };
+  auto plain = Post(node->port(), "/query", body_for(""));
+  auto probe = Post(node->port(), "/query", body_for(",\"probe_documents\":3"));
+  auto resume = Post(node->port(), "/query", body_for(",\"skip_documents\":3"));
+  ASSERT_TRUE(plain.ok() && probe.ok() && resume.ok());
+  ASSERT_EQ(plain->status, 200) << plain->body;
+  ASSERT_EQ(probe->status, 200) << probe->body;
+  ASSERT_EQ(resume->status, 200) << resume->body;
+  auto plain_body = json::Parse(plain->body);
+  auto probe_body = json::Parse(probe->body);
+  auto resume_body = json::Parse(resume->body);
+  ASSERT_TRUE(plain_body.ok() && probe_body.ok() && resume_body.ok());
+  EXPECT_NE(probe_body->Find("probe"), nullptr);
+  EXPECT_NE(resume_body->Find("resume"), nullptr);
+  EXPECT_EQ(plain_body->Find("resume"), nullptr);
+
+  // ("answer_count" is excluded: each half reports its own top-k cap, not a
+  // partition of the plain count.)
+  for (const char* counter : {"documents_evaluated", "documents_skipped"}) {
+    EXPECT_EQ(probe_body->Find(counter)->AsInt() +
+                  resume_body->Find(counter)->AsInt(),
+              plain_body->Find(counter)->AsInt())
+        << counter;
+  }
+
+  // Every plain top-k answer lives in exactly one half of the split (the
+  // halves cover disjoint documents), rendered with identical bytes.
+  std::vector<std::string> halves;
+  for (const json::Value* answers :
+       {probe_body->Find("answers"), resume_body->Find("answers")}) {
+    ASSERT_NE(answers, nullptr);
+    for (const json::Value& answer : answers->items()) {
+      halves.push_back(answer.Dump());
+    }
+  }
+  const json::Value* plain_answers = plain_body->Find("answers");
+  ASSERT_NE(plain_answers, nullptr);
+  EXPECT_GT(plain_answers->items().size(), 0u);
+  for (const json::Value& answer : plain_answers->items()) {
+    EXPECT_EQ(1, std::count(halves.begin(), halves.end(), answer.Dump()))
+        << answer.Dump();
+  }
+
+  node->Shutdown();
+}
+
+// The router owns the shard-side protocol fields: clients may not inject
+// them, and "bound_exchange" must be a proper bool.
+TEST_F(DistributedTopKFaultTest, RouterRejectsClientSuppliedProtocolFields) {
+  auto shards = StartShards();
+  auto router = StartRouter(MapFor(shards), QuietRouterOptions());
+
+  for (const char* bad : {
+           R"({"terms":["algebra"],"top_k":3,"score_floor":1.0})",
+           R"({"terms":["algebra"],"top_k":3,"probe_documents":1})",
+           R"({"terms":["algebra"],"top_k":3,"skip_documents":1})",
+           R"({"terms":["algebra"],"top_k":3,"query_id":"mine"})",
+           R"({"terms":["algebra"],"top_k":3,"bound_exchange":"yes"})",
+       }) {
+    auto response = Post(router->port(), "/query", bad);
+    ASSERT_TRUE(response.ok()) << bad;
+    EXPECT_EQ(response->status, 400) << bad << " -> " << response->body;
+    auto parsed = json::Parse(response->body);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_NE(parsed->Find("error"), nullptr);
+  }
+
+  router->Shutdown();
+  for (auto& shard : shards) shard->Shutdown();
+}
+
+// Per-request opt-out: "bound_exchange": false routes the query through the
+// plain single-phase scatter (no probes, no pushed floors) and still matches
+// the combined node exactly.
+TEST_F(DistributedTopKFaultTest, BoundExchangeOptOutPerRequest) {
+  auto combined_node = StartNode(*combined_);
+  auto shards = StartShards();
+  auto router = StartRouter(MapFor(shards), QuietRouterOptions());
+
+  auto opted_out = Post(
+      router->port(), "/query",
+      R"({"terms":["algebra","query"],"top_k":5,"bound_exchange":false})");
+  ASSERT_TRUE(opted_out.ok());
+  ASSERT_EQ(opted_out->status, 200) << opted_out->body;
+  EXPECT_EQ(router->bounds_pushed(), 0u);
+
+  auto oracle = Post(combined_node->port(), "/query",
+                     R"({"terms":["algebra","query"],"top_k":5})");
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(NormalizedTopK(opted_out->body), NormalizedTopK(oracle->body));
+
+  // Without the opt-out the same query engages the exchange.
+  auto exchanged = Post(router->port(), "/query",
+                        R"({"terms":["algebra","query"],"top_k":5})");
+  ASSERT_TRUE(exchanged.ok());
+  ASSERT_EQ(exchanged->status, 200);
+  EXPECT_GT(router->bounds_pushed(), 0u);
+  EXPECT_EQ(NormalizedTopK(exchanged->body), NormalizedTopK(oracle->body));
+
+  router->Shutdown();
+  for (auto& shard : shards) shard->Shutdown();
+  combined_node->Shutdown();
+}
+
+}  // namespace
+}  // namespace xfrag::router

@@ -227,9 +227,18 @@ class RouterIntegrationTest : public ::testing::Test {
 };
 
 TEST_F(RouterIntegrationTest, RandomizedQueriesByteIdenticalToCombinedNode) {
-  auto combined_node = StartNode(*combined_);
-  auto shards = StartShards();
-  auto router = StartRouter(MapFor(shards), QuietRouterOptions());
+  // This is the strict legacy contract: full bodies — including the work
+  // "metrics" — must agree byte for byte. Bound exchange and cross-document
+  // floor seeding legitimately change the work counters (answers stay
+  // identical; tests/router/distributed_topk_test.cc proves that), so both
+  // are disabled here to keep the metric comparison meaningful.
+  server::ServerOptions node_options;
+  node_options.service.enable_cross_document_floor = false;
+  auto combined_node = StartNode(*combined_, node_options);
+  auto shards = StartShards(node_options);
+  RouterOptions router_options = QuietRouterOptions();
+  router_options.enable_bound_exchange = false;
+  auto router = StartRouter(MapFor(shards), router_options);
 
   // Identical query sequences keep the per-document fixed-point caches on
   // both sides equally warm, so even the "metrics" object must agree.
