@@ -233,6 +233,7 @@ int main(int argc, char** argv) {
   if (explain && collection.size() == 1) {
     const auto& entry = collection.entry(0);
     xfrag::query::QueryEngine single(entry.document, entry.index);
+    options.executor.subtree_classes = &entry.classes;
     auto single_result = single.Evaluate(query, options);
     if (single_result.ok()) {
       std::printf("\nEXPLAIN:\n%s", single_result->explain.c_str());

@@ -9,12 +9,15 @@
 # smoke mode (tiny inputs, one repetition) so the perf trajectory cannot
 # silently rot. The sanitizer stages rebuild with -DXFRAG_SANITIZE=address in
 # a separate build dir and run the algebra, query (top-k engine path), and
-# concurrency suites (plus everything labelled `parallel`) under ASan — the
-# kernels that do manual arena/buffer work — and finally rebuild with
+# concurrency suites (plus everything labelled `parallel`, which includes
+# the DAG-equivalence property suite) under ASan — the kernels that do
+# manual arena/buffer work — and finally rebuild with
 # -DXFRAG_SANITIZE=thread and run everything labelled `server` (the xfragd
-# loopback integration suite included) and `router` (the scatter-gather tier
-# with its hedging and cancellation paths) under TSan, since the serving path
-# is the one place worker threads share an engine and caches.
+# loopback integration suite included), `router` (the scatter-gather tier
+# with its hedging and cancellation paths), and `parallel` (the pooled
+# class-aware kernels with their per-chunk DAG caches) under TSan, since
+# those are the places worker threads share an engine, caches, or replay
+# state.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,12 +67,16 @@ echo "== asan: run =="
 ./build-asan/tests/query_test
 (cd build-asan && ctest -L parallel --output-on-failure -j "$JOBS")
 
-echo "== tsan: build server + router suites =="
+echo "== tsan: build server + router + parallel suites =="
 cmake -B build-tsan -S . -DXFRAG_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target server_test router_test
+cmake --build build-tsan -j "$JOBS" --target server_test router_test \
+  parallel_test
 
 echo "== tsan: run =="
 (cd build-tsan && ctest -L server --output-on-failure -j "$JOBS")
 (cd build-tsan && ctest -L router --output-on-failure -j "$JOBS")
+# The DAG-equivalence stage: pooled class-aware kernels (per-chunk replay
+# caches) must be data-race-free at every thread count the suite sweeps.
+(cd build-tsan && ctest -L parallel --output-on-failure -j "$JOBS")
 
 echo "== check.sh: all stages passed =="

@@ -294,6 +294,9 @@ class AndFilter final : public Filter {
     return a_->RejectsJoinBounds(bounds, ctx) ||
            b_->RejectsJoinBounds(bounds, ctx);
   }
+  bool TranslationInvariant() const override {
+    return a_->TranslationInvariant() && b_->TranslationInvariant();
+  }
   std::string ToString() const override {
     return "(" + a_->ToString() + " & " + b_->ToString() + ")";
   }
@@ -325,6 +328,9 @@ class OrFilter final : public Filter {
     return a_->RejectsJoinBounds(bounds, ctx) &&
            b_->RejectsJoinBounds(bounds, ctx);
   }
+  bool TranslationInvariant() const override {
+    return a_->TranslationInvariant() && b_->TranslationInvariant();
+  }
   std::string ToString() const override {
     return "(" + a_->ToString() + " | " + b_->ToString() + ")";
   }
@@ -341,6 +347,9 @@ class NotFilter final : public Filter {
     return !inner_->Matches(f, ctx);
   }
   bool anti_monotonic() const override { return false; }
+  bool TranslationInvariant() const override {
+    return inner_->TranslationInvariant();
+  }
   std::string ToString() const override {
     return "!" + inner_->ToString();
   }

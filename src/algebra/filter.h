@@ -93,6 +93,22 @@ class Filter {
     return false;
   }
 
+  /// \brief True when the predicate commutes with subtree translation: for
+  /// fragments f, f' at the same offsets inside isomorphic, equally-deep
+  /// copies of one subtree (same tags, texts, and shape — a subtree
+  /// equivalence class of doc/subtree_classes.h), Matches(f) == Matches(f')
+  /// and RejectsJoinBounds agrees on their pairs' bounds.
+  ///
+  /// This licenses DAG-compressed evaluation (docs/ALGEBRA.md): a filter
+  /// verdict computed for one occurrence is replayed for every other. Every
+  /// built-in filter qualifies — they depend only on fragment shape, member
+  /// depths, content, and keyword containment, all preserved by the
+  /// isomorphism — so the default is true; a custom filter that reads
+  /// absolute pre-order positions (beyond what depth/shape determine) must
+  /// override this to false, and composites must not claim invariance
+  /// unless every child does.
+  virtual bool TranslationInvariant() const { return true; }
+
   /// Human-readable form, e.g. "size<=3 & height<=2".
   virtual std::string ToString() const = 0;
 

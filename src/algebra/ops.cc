@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
+#include "algebra/dag_cache.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -11,6 +13,7 @@ namespace xfrag::algebra {
 namespace {
 
 std::atomic<bool> g_summary_prefilter_enabled{true};
+std::atomic<bool> g_dag_compression_enabled{true};
 
 void CountJoin(OpMetrics* metrics) {
   if (metrics != nullptr) {
@@ -48,6 +51,122 @@ std::vector<FragmentSummary> SummarizeSet(const FragmentSet& set,
   return out;
 }
 
+// Per-invocation state of the class-aware (DAG-compressed) join path: the
+// local-form interner plus parallel form/anchor arrays for both operand
+// sets. FixedPointFiltered keeps one alive across its iterations so cached
+// outcomes survive from round to round.
+struct DagJoinState {
+  DagJoinState(const Document& document, const doc::SubtreeClassIndex& dag)
+      : forms(document, dag) {}
+  DagFormTable forms;
+  DagOutcomeMap outcomes;
+  std::vector<uint32_t> forms1, forms2;
+  std::vector<NodeId> anchors1, anchors2;
+
+  void InternSets(const FragmentSet& set1, const FragmentSet& set2) {
+    forms.InternSet(set1, &forms1, &anchors1);
+    forms.InternSet(set2, &forms2, &anchors2);
+  }
+
+  // The pair (i, j) is cacheable iff both fragments have a local form and
+  // share one duplication anchor (i.e. live in the same occurrence); the
+  // outcome then transfers to every other occurrence of the anchor's class.
+  bool PairCacheable(size_t i, size_t j, uint64_t* key) const {
+    if (forms1[i] == kNoLocalForm || forms2[j] == kNoLocalForm ||
+        anchors1[i] != anchors2[j]) {
+      return false;
+    }
+    *key = DagPairKey(forms1[i], forms2[j]);
+    return true;
+  }
+};
+
+// Replays a cached outcome for the filtered-join kernel: exactly the
+// counter deltas the real evaluation produces, plus the translated survivor.
+void ReplayFilteredOutcome(const DagPairOutcome& outcome, NodeId anchor,
+                           uint32_t anchor_depth, FragmentSet* dest,
+                           OpMetrics* metrics) {
+  if (metrics != nullptr) ++metrics->class_pairs_considered;
+  switch (outcome.kind) {
+    case DagPairOutcome::kPrefilterRejected:
+      CountPrefilterRejectedJoin(metrics);
+      return;
+    case DagPairOutcome::kFilterRejected:
+      CountJoin(metrics);
+      if (metrics != nullptr) {
+        ++metrics->filter_evals;
+        ++metrics->filter_rejections;
+      }
+      return;
+    case DagPairOutcome::kSurvived:
+      CountJoin(metrics);
+      if (metrics != nullptr) {
+        ++metrics->filter_evals;
+        ++metrics->answers_multiplied_out;
+      }
+      dest->Insert(TranslateOutcome(outcome, anchor, anchor_depth));
+      return;
+    case DagPairOutcome::kAcceptRejected:  // Top-k kernel only.
+      return;
+  }
+}
+
+FragmentSet PairwiseJoinFilteredImpl(const Document& document,
+                                     const FragmentSet& set1,
+                                     const FragmentSet& set2,
+                                     const FilterPtr& filter,
+                                     const FilterContext& context,
+                                     OpMetrics* metrics, DagJoinState* dag) {
+  FragmentSet out;
+  JoinArena arena;
+  const bool prefilter = SummaryPrefilterEnabled();
+  const std::vector<FragmentSummary> sums1 = SummarizeSet(set1, document);
+  const std::vector<FragmentSummary> sums2 = SummarizeSet(set2, document);
+  if (dag != nullptr) dag->InternSets(set1, set2);
+  for (size_t i = 0; i < set1.size(); ++i) {
+    for (size_t j = 0; j < set2.size(); ++j) {
+      if (metrics != nullptr) ++metrics->pairs_considered;
+      uint64_t key = 0;
+      bool cacheable = dag != nullptr && dag->PairCacheable(i, j, &key);
+      if (cacheable) {
+        auto it = dag->outcomes.find(key);
+        if (it != dag->outcomes.end()) {
+          ReplayFilteredOutcome(it->second, dag->anchors1[i],
+                                document.depth(dag->anchors1[i]), &out,
+                                metrics);
+          continue;
+        }
+      }
+      if (prefilter &&
+          filter->RejectsJoinBounds(
+              ComputeJoinBounds(document, sums1[i], sums2[j]), context)) {
+        CountPrefilterRejectedJoin(metrics);
+        if (cacheable) {
+          dag->outcomes[key].kind = DagPairOutcome::kPrefilterRejected;
+        }
+        continue;
+      }
+      Fragment joined = JoinWithArena(document, set1[i], set2[j], &arena,
+                                      metrics);
+      if (PassesFilter(joined, filter, context, metrics)) {
+        if (cacheable) {
+          DagPairOutcome& rec = dag->outcomes[key];
+          rec.kind = DagPairOutcome::kSurvived;
+          const NodeId anchor = dag->anchors1[i];
+          rec.rel_nodes.reserve(joined.size());
+          for (NodeId n : joined.nodes()) rec.rel_nodes.push_back(n - anchor);
+          rec.rel_max_depth =
+              joined.MaxDepth(document) - document.depth(anchor);
+        }
+        out.Insert(std::move(joined));
+      } else if (cacheable) {
+        dag->outcomes[key].kind = DagPairOutcome::kFilterRejected;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void SetSummaryPrefilterEnabled(bool enabled) {
@@ -56,6 +175,14 @@ void SetSummaryPrefilterEnabled(bool enabled) {
 
 bool SummaryPrefilterEnabled() {
   return g_summary_prefilter_enabled.load(std::memory_order_relaxed);
+}
+
+void SetDagCompressionEnabled(bool enabled) {
+  g_dag_compression_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool DagCompressionEnabled() {
+  return g_dag_compression_enabled.load(std::memory_order_relaxed);
 }
 
 std::vector<ReduceEntry> BuildReduceIndex(const FragmentSet& set) {
@@ -199,28 +326,16 @@ FragmentSet PairwiseJoinFiltered(const Document& document,
                                  const FragmentSet& set2,
                                  const FilterPtr& filter,
                                  const FilterContext& context,
-                                 OpMetrics* metrics) {
-  FragmentSet out;
-  JoinArena arena;
-  const bool prefilter = SummaryPrefilterEnabled();
-  const std::vector<FragmentSummary> sums1 = SummarizeSet(set1, document);
-  const std::vector<FragmentSummary> sums2 = SummarizeSet(set2, document);
-  for (size_t i = 0; i < set1.size(); ++i) {
-    for (size_t j = 0; j < set2.size(); ++j) {
-      if (metrics != nullptr) ++metrics->pairs_considered;
-      if (prefilter &&
-          filter->RejectsJoinBounds(
-              ComputeJoinBounds(document, sums1[i], sums2[j]), context)) {
-        CountPrefilterRejectedJoin(metrics);
-        continue;
-      }
-      Fragment joined = JoinWithArena(document, set1[i], set2[j], &arena,
-                                      metrics);
-      if (PassesFilter(joined, filter, context, metrics)) {
-        out.Insert(std::move(joined));
-      }
-    }
+                                 OpMetrics* metrics,
+                                 const doc::SubtreeClassIndex* dag) {
+  if (!DagUsable(dag, filter)) {
+    return PairwiseJoinFilteredImpl(document, set1, set2, filter, context,
+                                    metrics, nullptr);
   }
+  DagJoinState state(document, *dag);
+  FragmentSet out = PairwiseJoinFilteredImpl(document, set1, set2, filter,
+                                             context, metrics, &state);
+  if (metrics != nullptr) metrics->classes_total += state.forms.size();
   return out;
 }
 
@@ -300,9 +415,23 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
                       const FragmentSet& set2, const FilterPtr& filter,
                       const FilterContext& context, const JoinScorer& scorer,
                       const FragmentPredicate& accept, TopKCollector* collector,
-                      OpMetrics* metrics, const CancelToken* cancel) {
+                      OpMetrics* metrics, const CancelToken* cancel,
+                      const doc::SubtreeClassIndex* dag) {
   JoinArena arena;
   const bool prefilter = SummaryPrefilterEnabled();
+  // Class-aware path. The cache is consulted only after the pair clears the
+  // collector-dependent score bounds (which are never cached — a pruned pair
+  // depends on the heap's state, not on the pair's class), so the decision
+  // sequence, every counter, and every Offer are identical to the uncached
+  // run at any fixed thread count.
+  std::optional<DagJoinState> dag_state;
+  if (DagUsable(dag, filter)) {
+    dag_state.emplace(document, *dag);
+    dag_state->InternSets(set1, set2);
+    // All interning happens up front (replays never intern), so the class
+    // count is final here — recorded now so cancel paths stay consistent.
+    if (metrics != nullptr) metrics->classes_total += dag_state->forms.size();
+  }
   const std::vector<FragmentSummary> sums1 = SummarizeSet(set1, document);
   const std::vector<FragmentSummary> sums2 = SummarizeSet(set2, document);
   // Evidence summaries are per *input* fragment, so the O(|set1| + |set2|)
@@ -369,8 +498,28 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
       // (unlike PairwiseJoinFiltered, which only needs them when the summary
       // prefilter is on).
       JoinBounds bounds = ComputeJoinBounds(document, sums1[i], sums2[j]);
-      if (prefilter && filter->RejectsJoinBounds(bounds, context)) {
+      uint64_t key = 0;
+      const bool cacheable =
+          dag_state.has_value() && dag_state->PairCacheable(i, j, &key);
+      const DagPairOutcome* hit = nullptr;
+      if (cacheable) {
+        auto it = dag_state->outcomes.find(key);
+        if (it != dag_state->outcomes.end()) hit = &it->second;
+      }
+      if (hit != nullptr && hit->kind == DagPairOutcome::kPrefilterRejected) {
+        if (metrics != nullptr) ++metrics->class_pairs_considered;
         CountPrefilterRejectedJoin(metrics);
+        continue;
+      }
+      // A non-prefilter hit proves the representative cleared the summary
+      // prefilter, and RejectsJoinBounds is translation-invariant, so the
+      // re-check is skipped — it could only agree.
+      if (hit == nullptr && prefilter &&
+          filter->RejectsJoinBounds(bounds, context)) {
+        CountPrefilterRejectedJoin(metrics);
+        if (cacheable) {
+          dag_state->outcomes[key].kind = DagPairOutcome::kPrefilterRejected;
+        }
         continue;
       }
       // Coarsest bound first: most pairs die on pure arithmetic and never
@@ -384,10 +533,57 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
         if (metrics != nullptr) ++metrics->pairs_rejected_score;
         continue;
       }
+      // The pair is going to be evaluated (or replayed) in full: the score
+      // bounds above ran against the live collector exactly as the uncached
+      // kernel runs them, so from here the cached outcome substitutes for
+      // the join + filter + accept + score pipeline verbatim.
+      if (hit != nullptr) {
+        if (metrics != nullptr) ++metrics->class_pairs_considered;
+        CountJoin(metrics);
+        if (metrics != nullptr) ++metrics->filter_evals;
+        if (hit->kind == DagPairOutcome::kFilterRejected) {
+          if (metrics != nullptr) ++metrics->filter_rejections;
+          continue;
+        }
+        if (hit->kind == DagPairOutcome::kAcceptRejected) continue;
+        if (metrics != nullptr) ++metrics->answers_multiplied_out;
+        const NodeId anchor = dag_state->anchors1[i];
+        Fragment translated =
+            TranslateOutcome(*hit, anchor, document.depth(anchor));
+        if (collector->Contains(translated)) continue;
+        collector->Offer(std::move(translated), hit->score);
+        continue;
+      }
       Fragment joined = JoinWithArena(document, set1[i], set2[j], &arena,
                                       metrics);
-      if (!PassesFilter(joined, filter, context, metrics)) continue;
-      if (accept && !accept(joined)) continue;
+      if (!PassesFilter(joined, filter, context, metrics)) {
+        if (cacheable) {
+          dag_state->outcomes[key].kind = DagPairOutcome::kFilterRejected;
+        }
+        continue;
+      }
+      if (accept && !accept(joined)) {
+        if (cacheable) {
+          dag_state->outcomes[key].kind = DagPairOutcome::kAcceptRejected;
+        }
+        continue;
+      }
+      if (cacheable) {
+        // Record the survivor with its exact score (scored before the
+        // duplicate check — a retained duplicate shares the score by purity
+        // of the scorer, and replays need it either way).
+        double score = scorer.Score(joined);
+        DagPairOutcome& rec = dag_state->outcomes[key];
+        rec.kind = DagPairOutcome::kSurvived;
+        const NodeId anchor = dag_state->anchors1[i];
+        rec.rel_nodes.reserve(joined.size());
+        for (NodeId n : joined.nodes()) rec.rel_nodes.push_back(n - anchor);
+        rec.rel_max_depth = joined.MaxDepth(document) - document.depth(anchor);
+        rec.score = score;
+        if (collector->Contains(joined)) continue;
+        collector->Offer(std::move(joined), score);
+        continue;
+      }
       // Duplicate joins are the common case (many pairs collapse to one
       // answer); a retained duplicate is already scored, so don't rescore.
       if (collector->Contains(joined)) continue;
@@ -398,8 +594,38 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
 }
 
 FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
-                   const FilterContext& context, OpMetrics* metrics) {
+                   const FilterContext& context, OpMetrics* metrics,
+                   const doc::SubtreeClassIndex* dag) {
   FragmentSet out;
+  if (DagUsable(dag, filter) && context.document != nullptr) {
+    // Class-aware selection: Matches is evaluated once per local form; the
+    // verdict is replayed (with exact filter_evals/filter_rejections deltas)
+    // for every other fragment of the form. The member fragment itself is
+    // inserted — selection never materializes new nodes, so no translation.
+    DagFormTable forms(*context.document, *dag);
+    std::unordered_map<uint32_t, bool> verdicts;
+    for (const Fragment& f : set) {
+      NodeId anchor = doc::kNoNode;
+      uint32_t form = forms.Intern(f, &anchor);
+      if (form != kNoLocalForm) {
+        auto it = verdicts.find(form);
+        if (it != verdicts.end()) {
+          if (metrics != nullptr) {
+            ++metrics->class_pairs_considered;
+            ++metrics->filter_evals;
+            if (!it->second) ++metrics->filter_rejections;
+          }
+          if (it->second) out.Insert(f);
+          continue;
+        }
+      }
+      bool ok = PassesFilter(f, filter, context, metrics);
+      if (form != kNoLocalForm) verdicts.emplace(form, ok);
+      if (ok) out.Insert(f);
+    }
+    if (metrics != nullptr) metrics->classes_total += forms.size();
+    return out;
+  }
   for (const Fragment& f : set) {
     if (PassesFilter(f, filter, context, metrics)) out.Insert(f);
   }
@@ -557,17 +783,27 @@ FragmentSet FixedPointReduced(const Document& document, const FragmentSet& set,
 FragmentSet FixedPointFiltered(const Document& document, const FragmentSet& set,
                                const FilterPtr& filter,
                                const FilterContext& context,
-                               OpMetrics* metrics, const CancelToken* cancel) {
+                               OpMetrics* metrics, const CancelToken* cancel,
+                               const doc::SubtreeClassIndex* dag) {
   // Base selection first (Theorem 3 pushed all the way down).
-  FragmentSet current = Select(set, filter, context, metrics);
+  FragmentSet current = Select(set, filter, context, metrics, dag);
   FragmentSet base = current;
+  // One class-aware state shared across the iterations: forms and pair
+  // outcomes computed in round r stay valid in round r+1 (same document,
+  // filter, and context), so later rounds replay most of their pairs.
+  std::optional<DagJoinState> dag_state;
+  if (DagUsable(dag, filter)) dag_state.emplace(document, *dag);
   while (!ShouldStop(cancel)) {
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
-    FragmentSet joined =
-        PairwiseJoinFiltered(document, current, base, filter, context, metrics);
+    FragmentSet joined = PairwiseJoinFilteredImpl(
+        document, current, base, filter, context, metrics,
+        dag_state.has_value() ? &*dag_state : nullptr);
     size_t before = current.size();
     current = current.Union(joined);
     if (current.size() == before) break;
+  }
+  if (dag_state.has_value() && metrics != nullptr) {
+    metrics->classes_total += dag_state->forms.size();
   }
   return current;
 }

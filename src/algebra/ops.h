@@ -26,6 +26,10 @@
 #include "common/cancel.h"
 #include "common/status.h"
 
+namespace xfrag::doc {
+class SubtreeClassIndex;
+}  // namespace xfrag::doc
+
 namespace xfrag::algebra {
 
 /// Work counters accumulated by the operators.
@@ -65,6 +69,24 @@ struct OpMetrics {
   /// excluded from operator==; the *results* stay bit-identical regardless.
   uint64_t pairs_rejected_score = 0;
 
+  // DAG-compressed evaluation counters (docs/ALGEBRA.md, "DAG-compressed
+  // evaluation"). Physical like the two above — they measure work *shared*
+  // by the class-aware path, which replays the exact logical counter deltas
+  // of the evaluation it avoided, so every logical counter stays invariant
+  // with DAG compression on or off. Excluded from operator== because cache
+  // population is schedule-dependent (per-worker caches in the parallel
+  // kernels) and zero with compression off.
+  /// Distinct subtree equivalence classes (fragment local forms at the
+  /// kernel level, document root classes at the collection level) the
+  /// class-aware path interned.
+  uint64_t classes_total = 0;
+  /// Candidate evaluations (join pairs, or unary selection checks) answered
+  /// from a cached class-level outcome instead of being evaluated.
+  uint64_t class_pairs_considered = 0;
+  /// Concrete answers materialized by re-basing a cached class-level
+  /// survivor onto another occurrence of its subtree class.
+  uint64_t answers_multiplied_out = 0;
+
   void Reset() { *this = OpMetrics(); }
 
   /// Adds `other`'s counters into this one — how the parallel kernels fold
@@ -80,6 +102,9 @@ struct OpMetrics {
     pairs_rejected_summary += other.pairs_rejected_summary;
     subsume_checks_skipped += other.subsume_checks_skipped;
     pairs_rejected_score += other.pairs_rejected_score;
+    classes_total += other.classes_total;
+    class_pairs_considered += other.class_pairs_considered;
+    answers_multiplied_out += other.answers_multiplied_out;
   }
 
   /// Compares every deterministic counter. `subsume_checks_skipped` and
@@ -143,6 +168,18 @@ JoinBounds ComputeJoinBounds(const Document& document,
 void SetSummaryPrefilterEnabled(bool enabled);
 bool SummaryPrefilterEnabled();
 
+/// \brief Process-wide switch for DAG-compressed (class-aware) evaluation
+/// (default on).
+///
+/// Mirrors SetSummaryPrefilterEnabled: an ablation switch for benches and
+/// equivalence tests. Results and every logical OpMetrics counter are
+/// identical either way; only the wall clock and the dag counters change.
+/// The switch additionally gates the collection/serving-level document
+/// deduplication (collection_engine.cc, service.cc). Not intended to be
+/// toggled while kernels are running.
+void SetDagCompressionEnabled(bool enabled);
+bool DagCompressionEnabled();
+
 /// \brief One member of ⊖'s interval/size candidate index (see Reduce).
 struct ReduceEntry {
   NodeId min = 0;
@@ -170,16 +207,28 @@ FragmentSet PairwiseJoin(const Document& document, const FragmentSet& set1,
 /// \brief Pairwise join with an anti-monotonic filter applied to every
 /// produced fragment — the push-down building block (Theorem 3). Fragments
 /// failing `filter` are dropped immediately.
+///
+/// `dag` (optional, here and on Select / FixedPointFiltered /
+/// PairwiseJoinTopK) enables the class-aware path: candidate pairs living in
+/// duplicated subtrees are evaluated once per local-form pair and replayed —
+/// with exact logical counter deltas and translated survivors — for every
+/// other occurrence (algebra/dag_cache.h). Results and logical counters are
+/// identical with or without it; pass the document's SubtreeClassIndex only
+/// when every predicate involved is translation-invariant
+/// (Filter::TranslationInvariant — the kernels re-check the pushed filter
+/// themselves, opaque predicates are the caller's responsibility).
 FragmentSet PairwiseJoinFiltered(const Document& document,
                                  const FragmentSet& set1,
                                  const FragmentSet& set2,
                                  const FilterPtr& filter,
                                  const FilterContext& context,
-                                 OpMetrics* metrics = nullptr);
+                                 OpMetrics* metrics = nullptr,
+                                 const doc::SubtreeClassIndex* dag = nullptr);
 
 /// \brief Definition 3: members of `set` satisfying `filter`.
 FragmentSet Select(const FragmentSet& set, const FilterPtr& filter,
-                   const FilterContext& context, OpMetrics* metrics = nullptr);
+                   const FilterContext& context, OpMetrics* metrics = nullptr,
+                   const doc::SubtreeClassIndex* dag = nullptr);
 
 /// Extra acceptance predicate applied to a materialized join before it is
 /// scored. The executor passes the residual (non-pushed) selection and the
@@ -244,7 +293,8 @@ void PairwiseJoinTopK(const Document& document, const FragmentSet& set1,
                       const FilterContext& context, const JoinScorer& scorer,
                       const FragmentPredicate& accept, TopKCollector* collector,
                       OpMetrics* metrics = nullptr,
-                      const CancelToken* cancel = nullptr);
+                      const CancelToken* cancel = nullptr,
+                      const doc::SubtreeClassIndex* dag = nullptr);
 
 /// \brief Hard ceiling on PowersetJoinOptions::max_set_size.
 ///
@@ -305,7 +355,8 @@ FragmentSet FixedPointFiltered(const Document& document, const FragmentSet& set,
                                const FilterPtr& filter,
                                const FilterContext& context,
                                OpMetrics* metrics = nullptr,
-                               const CancelToken* cancel = nullptr);
+                               const CancelToken* cancel = nullptr,
+                               const doc::SubtreeClassIndex* dag = nullptr);
 
 /// \brief Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺, using the Theorem-1 fixed point.
 FragmentSet PowersetJoinViaFixedPoint(const Document& document,

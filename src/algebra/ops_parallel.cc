@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <utility>
 
+#include "algebra/dag_cache.h"
 #include "algebra/fragment_pool.h"
 
 namespace xfrag::algebra {
@@ -16,6 +18,29 @@ struct ChunkOut {
   std::vector<Fragment> produced;
   OpMetrics metrics;
   JoinArena arena;
+};
+
+// One chunk's private class-aware state (see algebra/dag_cache.h). Each
+// worker interns forms and caches outcomes independently — lock-free, and
+// sound because a cached outcome replays the evaluation exactly, so only
+// the schedule-dependent dag counters differ between thread counts, never
+// results or logical counters.
+struct ChunkDag {
+  ChunkDag(const Document& document, const doc::SubtreeClassIndex& dag)
+      : forms(document, dag) {}
+  DagFormTable forms;
+  DagOutcomeMap outcomes;
+  std::vector<uint32_t> forms_left, forms_right;
+  std::vector<NodeId> anchors_left, anchors_right;
+
+  bool PairCacheable(size_t li, size_t ri, uint64_t* key) const {
+    if (forms_left[li] == kNoLocalForm || forms_right[ri] == kNoLocalForm ||
+        anchors_left[li] != anchors_right[ri]) {
+      return false;
+    }
+    *key = DagPairKey(forms_left[li], forms_right[ri]);
+    return true;
+  }
 };
 
 std::vector<FragmentSummary> SummarizeRefs(const FragmentPool& frags,
@@ -39,15 +64,60 @@ void JoinPairRange(const Document& document, const FragmentPool& frags,
                    const std::vector<FragmentSummary>& left_sums,
                    const std::vector<FragmentSummary>& right_sums,
                    bool prefilter, const Filter* filter,
-                   const FilterContext* context, size_t begin, size_t end,
+                   const FilterContext* context,
+                   const doc::SubtreeClassIndex* dag, size_t begin, size_t end,
                    ChunkOut* out) {
   const size_t nr = right.size();
   out->produced.reserve(end - begin);
+  std::optional<ChunkDag> cd;
+  if (dag != nullptr && filter != nullptr && begin < end) {
+    cd.emplace(document, *dag);
+    cd->forms_left.assign(left.size(), kNoLocalForm);
+    cd->anchors_left.assign(left.size(), doc::kNoNode);
+    cd->forms_right.assign(nr, kNoLocalForm);
+    cd->anchors_right.assign(nr, doc::kNoNode);
+    // Only the rows this chunk's pair range touches need left forms.
+    for (size_t li = begin / nr; li <= (end - 1) / nr; ++li) {
+      cd->forms_left[li] =
+          cd->forms.Intern(frags.Get(left[li]), &cd->anchors_left[li]);
+    }
+    for (size_t ri = 0; ri < nr; ++ri) {
+      cd->forms_right[ri] =
+          cd->forms.Intern(frags.Get(right[ri]), &cd->anchors_right[ri]);
+    }
+    out->metrics.classes_total += cd->forms.size();
+  }
   for (size_t p = begin; p < end; ++p) {
     const size_t li = p / nr;
     const size_t ri = p % nr;
+    uint64_t key = 0;
+    bool cacheable = false;
     if (filter != nullptr) {
       ++out->metrics.pairs_considered;
+      cacheable = cd.has_value() && cd->PairCacheable(li, ri, &key);
+      if (cacheable) {
+        auto it = cd->outcomes.find(key);
+        if (it != cd->outcomes.end()) {
+          // Replay: exactly the counter deltas of the serial path below.
+          const DagPairOutcome& o = it->second;
+          ++out->metrics.class_pairs_considered;
+          ++out->metrics.fragment_joins;
+          ++out->metrics.fragments_produced;
+          ++out->metrics.filter_evals;
+          if (o.kind == DagPairOutcome::kPrefilterRejected) {
+            ++out->metrics.filter_rejections;
+            ++out->metrics.pairs_rejected_summary;
+          } else if (o.kind == DagPairOutcome::kFilterRejected) {
+            ++out->metrics.filter_rejections;
+          } else {
+            ++out->metrics.answers_multiplied_out;
+            const NodeId anchor = cd->anchors_left[li];
+            out->produced.push_back(
+                TranslateOutcome(o, anchor, document.depth(anchor)));
+          }
+          continue;
+        }
+      }
       if (prefilter &&
           filter->RejectsJoinBounds(
               ComputeJoinBounds(document, left_sums[li], right_sums[ri]),
@@ -57,6 +127,9 @@ void JoinPairRange(const Document& document, const FragmentPool& frags,
         ++out->metrics.filter_evals;
         ++out->metrics.filter_rejections;
         ++out->metrics.pairs_rejected_summary;
+        if (cacheable) {
+          cd->outcomes[key].kind = DagPairOutcome::kPrefilterRejected;
+        }
         continue;
       }
     }
@@ -68,7 +141,18 @@ void JoinPairRange(const Document& document, const FragmentPool& frags,
       ++out->metrics.filter_evals;
       if (!filter->Matches(joined, *context)) {
         ++out->metrics.filter_rejections;
+        if (cacheable) {
+          cd->outcomes[key].kind = DagPairOutcome::kFilterRejected;
+        }
         continue;
+      }
+      if (cacheable) {
+        DagPairOutcome& rec = cd->outcomes[key];
+        rec.kind = DagPairOutcome::kSurvived;
+        const NodeId anchor = cd->anchors_left[li];
+        rec.rel_nodes.reserve(joined.size());
+        for (NodeId n : joined.nodes()) rec.rel_nodes.push_back(n - anchor);
+        rec.rel_max_depth = joined.MaxDepth(document) - document.depth(anchor);
       }
     }
     out->produced.push_back(std::move(joined));
@@ -84,7 +168,8 @@ std::vector<FragmentRef> ParallelPairJoins(
     const Document& document, FragmentPool* frags,
     const std::vector<FragmentRef>& left,
     const std::vector<FragmentRef>& right, const Filter* filter,
-    const FilterContext* context, ThreadPool* pool, OpMetrics* metrics) {
+    const FilterContext* context, const doc::SubtreeClassIndex* dag,
+    ThreadPool* pool, OpMetrics* metrics) {
   const size_t pairs = left.size() * right.size();
   const bool prefilter = filter != nullptr && SummaryPrefilterEnabled();
   std::vector<FragmentSummary> left_sums;
@@ -96,7 +181,7 @@ std::vector<FragmentRef> ParallelPairJoins(
   std::vector<ChunkOut> chunks(pool->parallelism());
   pool->ParallelFor(pairs, [&](unsigned chunk, size_t begin, size_t end) {
     JoinPairRange(document, *frags, left, right, left_sums, right_sums,
-                  prefilter, filter, context, begin, end, &chunks[chunk]);
+                  prefilter, filter, context, dag, begin, end, &chunks[chunk]);
   });
   std::vector<FragmentRef> produced;
   produced.reserve(pairs);
@@ -127,7 +212,8 @@ FragmentSet PairwiseJoinParallel(const Document& document,
   FragmentRefSet s2 = InternSet(&frags, set2);
   std::vector<FragmentRef> produced =
       ParallelPairJoins(document, &frags, s1.refs(), s2.refs(),
-                        /*filter=*/nullptr, /*context=*/nullptr, pool, metrics);
+                        /*filter=*/nullptr, /*context=*/nullptr,
+                        /*dag=*/nullptr, pool, metrics);
   return Deduped(produced).Materialize(frags);
 }
 
@@ -137,17 +223,18 @@ FragmentSet PairwiseJoinFilteredParallel(const Document& document,
                                          const FilterPtr& filter,
                                          const FilterContext& context,
                                          ThreadPool* pool,
-                                         OpMetrics* metrics) {
+                                         OpMetrics* metrics,
+                                         const doc::SubtreeClassIndex* dag) {
   if (pool == nullptr) {
     return PairwiseJoinFiltered(document, set1, set2, filter, context,
-                                metrics);
+                                metrics, dag);
   }
   FragmentPool frags;
   FragmentRefSet s1 = InternSet(&frags, set1);
   FragmentRefSet s2 = InternSet(&frags, set2);
   std::vector<FragmentRef> produced = ParallelPairJoins(
-      document, &frags, s1.refs(), s2.refs(), filter.get(), &context, pool,
-      metrics);
+      document, &frags, s1.refs(), s2.refs(), filter.get(), &context,
+      DagUsable(dag, filter) ? dag : nullptr, pool, metrics);
   return Deduped(produced).Materialize(frags);
 }
 
@@ -157,15 +244,17 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
                               const JoinScorer& scorer,
                               const FragmentPredicate& accept,
                               TopKCollector* collector, ThreadPool* pool,
-                              OpMetrics* metrics, const CancelToken* cancel) {
+                              OpMetrics* metrics, const CancelToken* cancel,
+                              const doc::SubtreeClassIndex* dag) {
   if (pool == nullptr) {
     PairwiseJoinTopK(document, set1, set2, filter, context, scorer, accept,
-                     collector, metrics, cancel);
+                     collector, metrics, cancel, dag);
     return;
   }
   const size_t nr = set2.size();
   const size_t pairs = set1.size() * nr;
   const bool prefilter = SummaryPrefilterEnabled();
+  const doc::SubtreeClassIndex* chunk_dag = DagUsable(dag, filter) ? dag : nullptr;
   std::vector<FragmentSummary> sums1;
   std::vector<FragmentSummary> sums2;
   sums1.reserve(set1.size());
@@ -217,6 +306,24 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
   }
   pool->ParallelFor(pairs, [&](unsigned chunk, size_t begin, size_t end) {
     TopKChunk& out = chunks[chunk];
+    // Per-chunk class-aware cache (see JoinPairRange): consulted only after
+    // the collector-dependent score bounds, exactly like the serial kernel.
+    std::optional<ChunkDag> cd;
+    if (chunk_dag != nullptr && begin < end) {
+      cd.emplace(document, *chunk_dag);
+      cd->forms_left.assign(set1.size(), kNoLocalForm);
+      cd->anchors_left.assign(set1.size(), doc::kNoNode);
+      cd->forms_right.assign(nr, kNoLocalForm);
+      cd->anchors_right.assign(nr, doc::kNoNode);
+      for (size_t li = begin / nr; li <= (end - 1) / nr; ++li) {
+        cd->forms_left[li] = cd->forms.Intern(set1[li], &cd->anchors_left[li]);
+      }
+      for (size_t ri = 0; ri < nr; ++ri) {
+        cd->forms_right[ri] =
+            cd->forms.Intern(set2[ri], &cd->anchors_right[ri]);
+      }
+      out.metrics.classes_total += cd->forms.size();
+    }
     size_t since_poll = 0;
     size_t row_checked = std::numeric_limits<size_t>::max();
     for (size_t p = begin; p < end; ++p) {
@@ -256,12 +363,33 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
         continue;
       }
       JoinBounds bounds = ComputeJoinBounds(document, sums1[li], sums2[ri]);
-      if (prefilter && filter->RejectsJoinBounds(bounds, context)) {
+      uint64_t key = 0;
+      const bool cacheable =
+          cd.has_value() && cd->PairCacheable(li, ri, &key);
+      const DagPairOutcome* hit = nullptr;
+      if (cacheable) {
+        auto it = cd->outcomes.find(key);
+        if (it != cd->outcomes.end()) hit = &it->second;
+      }
+      if (hit != nullptr && hit->kind == DagPairOutcome::kPrefilterRejected) {
+        ++out.metrics.class_pairs_considered;
         ++out.metrics.fragment_joins;
         ++out.metrics.fragments_produced;
         ++out.metrics.filter_evals;
         ++out.metrics.filter_rejections;
         ++out.metrics.pairs_rejected_summary;
+        continue;
+      }
+      if (hit == nullptr && prefilter &&
+          filter->RejectsJoinBounds(bounds, context)) {
+        ++out.metrics.fragment_joins;
+        ++out.metrics.fragments_produced;
+        ++out.metrics.filter_evals;
+        ++out.metrics.filter_rejections;
+        ++out.metrics.pairs_rejected_summary;
+        if (cacheable) {
+          cd->outcomes[key].kind = DagPairOutcome::kPrefilterRejected;
+        }
         continue;
       }
       // Coarsest bound first, as in the serial kernel (evidence between the
@@ -273,14 +401,53 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
         ++out.metrics.pairs_rejected_score;
         continue;
       }
+      if (hit != nullptr) {
+        ++out.metrics.class_pairs_considered;
+        ++out.metrics.fragment_joins;
+        ++out.metrics.fragments_produced;
+        ++out.metrics.filter_evals;
+        if (hit->kind == DagPairOutcome::kFilterRejected) {
+          ++out.metrics.filter_rejections;
+          continue;
+        }
+        if (hit->kind == DagPairOutcome::kAcceptRejected) continue;
+        ++out.metrics.answers_multiplied_out;
+        const NodeId anchor = cd->anchors_left[li];
+        Fragment translated =
+            TranslateOutcome(*hit, anchor, document.depth(anchor));
+        if (out.collector.Contains(translated)) continue;
+        out.collector.Offer(std::move(translated), hit->score);
+        continue;
+      }
       Fragment joined = JoinWithArena(document, set1[li], set2[ri], &out.arena,
                                       &out.metrics);
       ++out.metrics.filter_evals;
       if (!filter->Matches(joined, context)) {
         ++out.metrics.filter_rejections;
+        if (cacheable) {
+          cd->outcomes[key].kind = DagPairOutcome::kFilterRejected;
+        }
         continue;
       }
-      if (accept && !accept(joined)) continue;
+      if (accept && !accept(joined)) {
+        if (cacheable) {
+          cd->outcomes[key].kind = DagPairOutcome::kAcceptRejected;
+        }
+        continue;
+      }
+      if (cacheable) {
+        double score = scorer.Score(joined);
+        DagPairOutcome& rec = cd->outcomes[key];
+        rec.kind = DagPairOutcome::kSurvived;
+        const NodeId anchor = cd->anchors_left[li];
+        rec.rel_nodes.reserve(joined.size());
+        for (NodeId n : joined.nodes()) rec.rel_nodes.push_back(n - anchor);
+        rec.rel_max_depth = joined.MaxDepth(document) - document.depth(anchor);
+        rec.score = score;
+        if (out.collector.Contains(joined)) continue;
+        out.collector.Offer(std::move(joined), score);
+        continue;
+      }
       // As in the serial kernel: a retained duplicate is already scored.
       if (out.collector.Contains(joined)) continue;
       double score = scorer.Score(joined);
@@ -383,7 +550,7 @@ FragmentSet FixedPointNaiveParallel(const Document& document,
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     std::vector<FragmentRef> produced = ParallelPairJoins(
         document, &frags, current.refs(), base.refs(), /*filter=*/nullptr,
-        /*context=*/nullptr, pool, metrics);
+        /*context=*/nullptr, /*dag=*/nullptr, pool, metrics);
     // The union step: O(new refs), no vector copies (the serial kernel
     // re-copies the whole working set here).
     size_t before = current.size();
@@ -411,7 +578,7 @@ FragmentSet FixedPointReducedParallel(const Document& document,
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     std::vector<FragmentRef> produced = ParallelPairJoins(
         document, &frags, current.refs(), base.refs(), /*filter=*/nullptr,
-        /*context=*/nullptr, pool, metrics);
+        /*context=*/nullptr, /*dag=*/nullptr, pool, metrics);
     current = Deduped(produced);
   }
   return current.Materialize(frags);
@@ -422,13 +589,17 @@ FragmentSet FixedPointFilteredParallel(const Document& document,
                                        const FilterPtr& filter,
                                        const FilterContext& context,
                                        ThreadPool* pool, OpMetrics* metrics,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       const doc::SubtreeClassIndex* dag) {
   if (pool == nullptr) {
-    return FixedPointFiltered(document, set, filter, context, metrics, cancel);
+    return FixedPointFiltered(document, set, filter, context, metrics, cancel,
+                              dag);
   }
+  const doc::SubtreeClassIndex* usable_dag =
+      DagUsable(dag, filter) ? dag : nullptr;
   // Base selection first (cheap, |F| filter evals) stays serial so the eval
   // counters accumulate in the serial order.
-  FragmentSet selected = Select(set, filter, context, metrics);
+  FragmentSet selected = Select(set, filter, context, metrics, usable_dag);
   FragmentPool frags;
   FragmentRefSet base = InternSet(&frags, selected);
   FragmentRefSet current = base;
@@ -436,7 +607,7 @@ FragmentSet FixedPointFilteredParallel(const Document& document,
     if (metrics != nullptr) ++metrics->fixed_point_iterations;
     std::vector<FragmentRef> produced =
         ParallelPairJoins(document, &frags, current.refs(), base.refs(),
-                          filter.get(), &context, pool, metrics);
+                          filter.get(), &context, usable_dag, pool, metrics);
     size_t before = current.size();
     for (FragmentRef ref : produced) current.Insert(ref);
     if (current.size() == before) break;

@@ -39,13 +39,15 @@ FragmentSet PairwiseJoinParallel(const Document& document,
 
 /// \brief Push-down pairwise join in parallel, bit-identical to
 /// PairwiseJoinFiltered.
-FragmentSet PairwiseJoinFilteredParallel(const Document& document,
-                                         const FragmentSet& set1,
-                                         const FragmentSet& set2,
-                                         const FilterPtr& filter,
-                                         const FilterContext& context,
-                                         ThreadPool* pool,
-                                         OpMetrics* metrics = nullptr);
+///
+/// `dag` enables the class-aware path (see ops.h): each chunk keeps its own
+/// outcome cache over the pairs it owns, so results and logical counters stay
+/// bit-identical to the serial kernel while the dag counters (classes_total,
+/// class_pairs_considered, answers_multiplied_out) become schedule-dependent.
+FragmentSet PairwiseJoinFilteredParallel(
+    const Document& document, const FragmentSet& set1, const FragmentSet& set2,
+    const FilterPtr& filter, const FilterContext& context, ThreadPool* pool,
+    OpMetrics* metrics = nullptr, const doc::SubtreeClassIndex* dag = nullptr);
 
 /// \brief Score-bounded top-k pairwise join fanned out over the pool
 /// (PairwiseJoinTopK's pooled form).
@@ -66,7 +68,8 @@ void PairwiseJoinTopKParallel(const Document& document, const FragmentSet& set1,
                               const FragmentPredicate& accept,
                               TopKCollector* collector, ThreadPool* pool,
                               OpMetrics* metrics = nullptr,
-                              const CancelToken* cancel = nullptr);
+                              const CancelToken* cancel = nullptr,
+                              const doc::SubtreeClassIndex* dag = nullptr);
 
 /// \brief Definition 10 in parallel: chunks the outer pair loop and OR-merges
 /// per-worker elimination bitmaps at the barrier. Bit-identical to Reduce.
@@ -101,7 +104,8 @@ FragmentSet FixedPointFilteredParallel(const Document& document,
                                        const FilterContext& context,
                                        ThreadPool* pool,
                                        OpMetrics* metrics = nullptr,
-                                       const CancelToken* cancel = nullptr);
+                                       const CancelToken* cancel = nullptr,
+                                       const doc::SubtreeClassIndex* dag = nullptr);
 
 }  // namespace xfrag::algebra
 

@@ -10,9 +10,12 @@ Status Collection::Add(std::string name, doc::Document document) {
   }
   text::InvertedIndex index =
       text::InvertedIndex::Build(document, index_options_);
+  doc::SubtreeClassIndex classes =
+      doc::SubtreeClassIndex::Build(document, &interner_);
   by_name_[name] = entries_.size();
   entries_.push_back(std::make_unique<CollectionEntry>(
-      std::move(name), std::move(document), std::move(index)));
+      std::move(name), std::move(document), std::move(index),
+      std::move(classes)));
   return Status::OK();
 }
 

@@ -16,18 +16,28 @@
 
 #include "common/status.h"
 #include "doc/document.h"
+#include "doc/subtree_classes.h"
 #include "text/inverted_index.h"
 
 namespace xfrag::collection {
 
-/// \brief One member document with its index.
+/// \brief One member document with its index and subtree-class view.
 struct CollectionEntry {
   std::string name;
   doc::Document document;
   text::InvertedIndex index;
+  /// Subtree equivalence classes of `document`, interned against the
+  /// collection-global interner at Add time (doc/subtree_classes.h). Drives
+  /// DAG-compressed evaluation: `classes.root_class()` identifies duplicate
+  /// documents, and the kernels consume the per-node class structure.
+  doc::SubtreeClassIndex classes;
 
-  CollectionEntry(std::string n, doc::Document d, text::InvertedIndex i)
-      : name(std::move(n)), document(std::move(d)), index(std::move(i)) {}
+  CollectionEntry(std::string n, doc::Document d, text::InvertedIndex i,
+                  doc::SubtreeClassIndex c)
+      : name(std::move(n)),
+        document(std::move(d)),
+        index(std::move(i)),
+        classes(std::move(c)) {}
 };
 
 /// \brief An ordered, name-addressable set of documents.
@@ -64,8 +74,15 @@ class Collection {
   /// Total nodes across all documents.
   size_t TotalNodes() const;
 
+  /// The collection-global subtree-class interner (class ids are comparable
+  /// across member documents).
+  const doc::SubtreeClassInterner& subtree_classes() const {
+    return interner_;
+  }
+
  private:
   text::IndexOptions index_options_;
+  doc::SubtreeClassInterner interner_;
   std::vector<std::unique_ptr<CollectionEntry>> entries_;
   std::unordered_map<std::string, size_t> by_name_;
 };

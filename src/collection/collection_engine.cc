@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -30,7 +31,11 @@ PerDocumentOutcome EvaluateOne(const CollectionEntry& entry,
     }
   }
   query::QueryEngine engine(entry.document, entry.index);
-  auto result = engine.Evaluate(query, options);
+  // Hand the kernels this document's subtree classes; they self-gate on the
+  // global compression switch and on per-document duplication.
+  query::EvalOptions doc_options = options;
+  doc_options.executor.subtree_classes = &entry.classes;
+  auto result = engine.Evaluate(query, doc_options);
   if (!result.ok()) {
     outcome.status = result.status();
     return outcome;
@@ -51,7 +56,24 @@ StatusOr<CollectionResult> CollectionEngine::Evaluate(
   const size_t n = collection_.size();
   std::vector<PerDocumentOutcome> outcomes(n);
 
-  // Documents fan out over the shared pool (one contiguous chunk per
+  // Document-class dedup: documents whose roots intern to the same subtree
+  // class are byte-identical, so only the first member of each class (the
+  // representative) is evaluated; the others replay its outcome after the
+  // barrier. Identical documents produce identical answers (node ids are
+  // document-local) and identical work counters, so the merged result is
+  // bit-identical to evaluating every member.
+  std::vector<size_t> representative(n);
+  const bool dedup = algebra::DagCompressionEnabled();
+  std::unordered_map<doc::SubtreeClassId, size_t> first_of_class;
+  for (size_t i = 0; i < n; ++i) {
+    representative[i] = i;
+    if (!dedup) continue;
+    auto [it, inserted] =
+        first_of_class.emplace(collection_.entry(i).classes.root_class(), i);
+    if (!inserted) representative[i] = it->second;
+  }
+
+  // Representatives fan out over the shared pool (one contiguous chunk per
   // worker); each outcome lands in its own slot, so the merge below is
   // deterministic for any parallelism.
   ThreadPool* pool = options.thread_pool;
@@ -63,12 +85,14 @@ StatusOr<CollectionResult> CollectionEngine::Evaluate(
   if (pool != nullptr && n > 1) {
     pool->ParallelFor(n, [&](unsigned /*chunk*/, size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
+        if (representative[i] != i) continue;
         outcomes[i] =
             EvaluateOne(collection_.entry(i), query, options.per_document);
       }
     });
   } else {
     for (size_t i = 0; i < n; ++i) {
+      if (representative[i] != i) continue;
       outcomes[i] =
           EvaluateOne(collection_.entry(i), query, options.per_document);
     }
@@ -76,13 +100,15 @@ StatusOr<CollectionResult> CollectionEngine::Evaluate(
 
   CollectionResult result;
   for (size_t i = 0; i < n; ++i) {
-    PerDocumentOutcome& outcome = outcomes[i];
+    const bool replayed = representative[i] != i;
+    PerDocumentOutcome& outcome = outcomes[representative[i]];
     if (outcome.skipped) {
       ++result.documents_skipped;
       continue;
     }
     if (!outcome.status.ok()) return outcome.status;
     ++result.documents_evaluated;
+    if (replayed) ++result.documents_deduplicated;
     result.metrics.Merge(outcome.metrics);
     for (const algebra::Fragment& fragment : outcome.answers.Sorted()) {
       result.answers.emplace_back(i, collection_.entry(i).name, fragment);

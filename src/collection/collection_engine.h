@@ -32,10 +32,16 @@ struct CollectionAnswer {
 struct CollectionResult {
   /// Answers in document order, then the per-document canonical order.
   std::vector<CollectionAnswer> answers;
-  /// Documents that contained all query terms (hence were evaluated).
+  /// Documents that contained all query terms (hence produced answers).
   size_t documents_evaluated = 0;
   /// Documents skipped by the term-presence pre-check.
   size_t documents_skipped = 0;
+  /// Of the evaluated documents, how many were *replayed* from a
+  /// byte-identical representative (same subtree root class) instead of
+  /// being evaluated themselves. Identical documents yield identical
+  /// answers, node ids, and work counters, so every other field of this
+  /// result is unchanged by the dedup; 0 when DAG compression is disabled.
+  size_t documents_deduplicated = 0;
   /// Aggregated operator metrics across evaluated documents.
   algebra::OpMetrics metrics;
   /// Wall-clock time for the whole evaluation.

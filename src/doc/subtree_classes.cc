@@ -1,0 +1,95 @@
+#include "doc/subtree_classes.h"
+
+#include <unordered_set>
+
+namespace xfrag::doc {
+
+namespace {
+
+inline size_t HashCombine(size_t seed, size_t value) {
+  // Boost-style mix; good enough for hash-cons bucketing (equality is exact).
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t SubtreeClassInterner::ClassKeyHash::operator()(const ClassKey& k) const {
+  size_t h = HashCombine(k.tag_id, k.text_id);
+  for (SubtreeClassId c : k.children) h = HashCombine(h, c);
+  return h;
+}
+
+uint32_t SubtreeClassInterner::InternString(std::string_view s) {
+  auto it = strings_.find(std::string(s));
+  if (it != strings_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace(std::string(s), id);
+  return id;
+}
+
+SubtreeClassId SubtreeClassInterner::Intern(
+    std::string_view tag, std::string_view text,
+    const std::vector<SubtreeClassId>& children, uint64_t subtree_nodes) {
+  ClassKey key;
+  key.tag_id = InternString(tag);
+  key.text_id = InternString(text);
+  key.children = children;
+  auto it = classes_.find(key);
+  if (it != classes_.end()) {
+    ++occurrences_[it->second];
+    return it->second;
+  }
+  SubtreeClassId id = static_cast<SubtreeClassId>(class_nodes_.size());
+  classes_.emplace(std::move(key), id);
+  class_nodes_.push_back(subtree_nodes);
+  occurrences_.push_back(1);
+  unique_subtree_nodes_ += subtree_nodes;
+  return id;
+}
+
+SubtreeClassIndex SubtreeClassIndex::Build(const Document& document,
+                                           SubtreeClassInterner* interner) {
+  SubtreeClassIndex index;
+  const size_t n = document.size();
+  index.class_of_.resize(n);
+  index.dup_anchor_.assign(n, kNoNode);
+  if (n == 0) return index;
+
+  // Bottom-up interning: in pre-order every child id exceeds its parent's,
+  // so a reverse scan sees all children classes before the parent.
+  std::vector<SubtreeClassId> child_classes;
+  for (size_t i = n; i-- > 0;) {
+    const NodeId node = static_cast<NodeId>(i);
+    const auto& kids = document.children(node);
+    child_classes.clear();
+    child_classes.reserve(kids.size());
+    for (NodeId c : kids) child_classes.push_back(index.class_of_[c]);
+    index.class_of_[node] =
+        interner->Intern(document.tag(node), document.text(node),
+                         child_classes, document.subtree_size(node));
+  }
+
+  // In-document occurrence counts decide duplication anchors: the kernel
+  // pair cache only pays off when a class repeats within one document.
+  std::unordered_map<SubtreeClassId, uint32_t> local_count;
+  local_count.reserve(n);
+  for (size_t i = 0; i < n; ++i) ++local_count[index.class_of_[i]];
+
+  std::unordered_set<SubtreeClassId> dup_classes;
+  for (NodeId node = 0; node < n; ++node) {
+    const NodeId parent = document.parent(node);
+    NodeId anchor = (parent == kNoNode) ? kNoNode : index.dup_anchor_[parent];
+    if (anchor == kNoNode && local_count[index.class_of_[node]] >= 2) {
+      anchor = node;
+    }
+    index.dup_anchor_[node] = anchor;
+    if (anchor != kNoNode) {
+      ++index.duplicated_nodes_;
+      if (anchor == node) dup_classes.insert(index.class_of_[node]);
+    }
+  }
+  index.duplicated_classes_ = dup_classes.size();
+  return index;
+}
+
+}  // namespace xfrag::doc

@@ -1,0 +1,141 @@
+// Build-time subtree hash-consing (DAG compression of the corpus forest).
+//
+// Document-centric corpora are highly repetitive — generated pages,
+// boilerplate sections, syndicated articles. Following "Efficient XML
+// Keyword Search based on DAG-Compression" (arXiv:1311.6714), we hash-cons
+// structurally identical subtrees at collection build time: two nodes are in
+// the same *subtree equivalence class* iff their subtrees are isomorphic
+// including tags and textual content. The class structure lets the algebra
+// evaluate once per class and multiply surviving answers out per occurrence:
+//
+//  * collection level — two documents whose roots share a class are
+//    byte-identical documents; the engine evaluates one representative and
+//    replays its answers (node ids, scores, and work counters are identical
+//    by construction) for every member;
+//  * kernel level — within one document, fragments living in duplicated
+//    subtrees are keyed by their *local form* (class of the duplication
+//    anchor + offsets relative to it); a join/selection outcome computed for
+//    one occurrence is replayed, translated, for every other occurrence.
+//
+// Classes are interned bottom-up: class(n) = intern(tag(n), text(n),
+// [class(c) for c in children(n)]). Equal classes therefore imply equal
+// subtree size, equal content, and positionally isomorphic descendants —
+// the soundness basis for representative evaluation (docs/ALGEBRA.md,
+// "DAG-compressed evaluation").
+
+#ifndef XFRAG_DOC_SUBTREE_CLASSES_H_
+#define XFRAG_DOC_SUBTREE_CLASSES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "doc/document.h"
+
+namespace xfrag::doc {
+
+/// Identifier of a subtree equivalence class, dense from 0.
+using SubtreeClassId = uint32_t;
+
+/// \brief Collection-global interner of subtree equivalence classes.
+///
+/// One interner is shared by every document of a collection, so class ids
+/// are comparable across documents (two documents are identical iff their
+/// roots intern to the same class). Not thread-safe; collection build is
+/// single-threaded.
+class SubtreeClassInterner {
+ public:
+  /// Interns the class keyed by (tag, text, children classes); returns the
+  /// existing id when an identical subtree was seen before. `subtree_nodes`
+  /// is the node count of the subtree (1 + children subtree sizes), recorded
+  /// once per class for compression statistics.
+  SubtreeClassId Intern(std::string_view tag, std::string_view text,
+                        const std::vector<SubtreeClassId>& children,
+                        uint64_t subtree_nodes);
+
+  /// Number of distinct classes interned so far.
+  size_t size() const { return class_nodes_.size(); }
+
+  /// Total occurrences recorded across all documents for `cls`.
+  uint64_t occurrences(SubtreeClassId cls) const { return occurrences_[cls]; }
+
+  /// Node count of the subtree every member of `cls` roots.
+  uint64_t class_nodes(SubtreeClassId cls) const { return class_nodes_[cls]; }
+
+  /// Sum over classes of the per-class subtree node count — the node count
+  /// of the deduplicated forest ("unique nodes"). The collection-wide
+  /// compression ratio is total corpus nodes / unique subtree nodes... but
+  /// since nested duplicates share structure, the headline ratio reported by
+  /// /metrics uses total nodes vs nodes outside duplicated subtrees; this
+  /// accessor feeds the raw class table stats.
+  uint64_t unique_subtree_nodes() const { return unique_subtree_nodes_; }
+
+ private:
+  struct ClassKey {
+    uint32_t tag_id = 0;
+    uint32_t text_id = 0;
+    std::vector<SubtreeClassId> children;
+    bool operator==(const ClassKey& o) const {
+      return tag_id == o.tag_id && text_id == o.text_id &&
+             children == o.children;
+    }
+  };
+  struct ClassKeyHash {
+    size_t operator()(const ClassKey& k) const;
+  };
+
+  uint32_t InternString(std::string_view s);
+
+  std::unordered_map<std::string, uint32_t> strings_;
+  std::unordered_map<ClassKey, SubtreeClassId, ClassKeyHash> classes_;
+  std::vector<uint64_t> class_nodes_;  // Subtree node count per class.
+  std::vector<uint64_t> occurrences_;  // Total members per class.
+  uint64_t unique_subtree_nodes_ = 0;
+};
+
+/// \brief Per-document view of the subtree class structure.
+///
+/// Immutable once built; safe to share across query threads. `class_of(n)`
+/// is n's subtree class. `dup_anchor(n)` is the *duplication anchor*: the
+/// highest ancestor-or-self of n whose class occurs at least twice in this
+/// document, or kNoNode when no such ancestor exists. Fragments whose roots
+/// share a duplication anchor live inside isomorphic copies of the same
+/// subtree, which is what the kernel-level class-aware path keys on;
+/// documents where every dup_anchor is kNoNode take a zero-cost bypass
+/// (has_duplication() == false).
+class SubtreeClassIndex {
+ public:
+  /// Builds the index for `document`, interning into `interner` (shared
+  /// across the collection). Records one occurrence per node.
+  static SubtreeClassIndex Build(const Document& document,
+                                 SubtreeClassInterner* interner);
+
+  SubtreeClassId class_of(NodeId n) const { return class_of_[n]; }
+  NodeId dup_anchor(NodeId n) const { return dup_anchor_[n]; }
+
+  /// Class of the document root — equal across byte-identical documents.
+  SubtreeClassId root_class() const { return class_of_[0]; }
+
+  /// True iff some subtree occurs >= 2 times within this document.
+  bool has_duplication() const { return duplicated_nodes_ > 0; }
+
+  /// Nodes covered by a duplicated subtree (dup_anchor != kNoNode).
+  uint64_t duplicated_nodes() const { return duplicated_nodes_; }
+
+  /// Distinct classes occurring >= 2 times within this document.
+  uint64_t duplicated_classes() const { return duplicated_classes_; }
+
+  size_t size() const { return class_of_.size(); }
+
+ private:
+  std::vector<SubtreeClassId> class_of_;
+  std::vector<NodeId> dup_anchor_;
+  uint64_t duplicated_nodes_ = 0;
+  uint64_t duplicated_classes_ = 0;
+};
+
+}  // namespace xfrag::doc
+
+#endif  // XFRAG_DOC_SUBTREE_CLASSES_H_

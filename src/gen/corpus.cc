@@ -85,7 +85,54 @@ RawCorpus GenerateRaw(const CorpusProfile& profile) {
   };
   NodeId root = emit_node(doc::kNoNode, TagForDepth(0), paragraph_text());
   grow(grow, root, 0);
+  if (profile.duplication > 0.0) {
+    StampDuplicateSubtrees(&corpus, profile.duplication, &rng);
+  }
   return corpus;
+}
+
+void StampDuplicateSubtrees(RawCorpus* corpus, double duplication, Rng* rng) {
+  XFRAG_CHECK(corpus != nullptr && rng != nullptr);
+  XFRAG_CHECK(duplication >= 0.0 && duplication <= 1.0);
+  const size_t n = corpus->size();
+  if (duplication <= 0.0 || n < 3) return;
+
+  std::vector<std::vector<NodeId>> children(n);
+  for (size_t i = 1; i < n; ++i) {
+    children[corpus->parents[i]].push_back(static_cast<NodeId>(i));
+  }
+
+  // Decide the stamps in pre-order: redirect[c] = d means "emit node c as a
+  // copy of node d's subtree". A stamped family deeper inside a donor's
+  // subtree is shared by every copy (the re-emission below resolves
+  // redirects recursively); one inside a replaced sibling is simply
+  // unreachable and harmless.
+  std::vector<NodeId> redirect(n, doc::kNoNode);
+  for (size_t p = 0; p < n; ++p) {
+    if (children[p].size() < 2) continue;
+    if (!rng->Chance(duplication)) continue;
+    NodeId donor = children[p][0];
+    for (size_t c = 1; c < children[p].size(); ++c) {
+      redirect[children[p][c]] = donor;
+    }
+  }
+
+  // Re-emit the tree in pre-order, following redirects. Recursion depth is
+  // the tree depth (bounded by the generation profile).
+  RawCorpus out;
+  out.parents.reserve(n);
+  out.tags.reserve(n);
+  out.texts.reserve(n);
+  auto emit = [&](auto&& self, NodeId orig, NodeId parent) -> void {
+    NodeId src = redirect[orig] != doc::kNoNode ? redirect[orig] : orig;
+    out.parents.push_back(parent);
+    out.tags.push_back(corpus->tags[src]);
+    out.texts.push_back(corpus->texts[src]);
+    NodeId id = static_cast<NodeId>(out.parents.size() - 1);
+    for (NodeId child : children[src]) self(self, child, id);
+  };
+  emit(emit, 0, doc::kNoNode);
+  *corpus = std::move(out);
 }
 
 std::vector<NodeId> PlantKeyword(RawCorpus* corpus, const std::string& keyword,

@@ -39,6 +39,14 @@ struct CorpusProfile {
   /// Words per paragraph, drawn uniformly from [min, max].
   uint32_t min_words = 8;
   uint32_t max_words = 24;
+  /// Subtree duplication rate in [0, 1]: the probability that a container's
+  /// children are stamped into copies of the first child (see
+  /// StampDuplicateSubtrees). 0 leaves the corpus as drawn; values near 1
+  /// make most sibling families repeated templates — the regime
+  /// DAG-compressed evaluation (docs/ALGEBRA.md) exploits. Applied as the
+  /// last step of GenerateRaw; callers that plant keywords and want the
+  /// copies to carry them call StampDuplicateSubtrees themselves instead.
+  double duplication = 0.0;
   /// RNG seed; equal seeds produce identical corpora.
   uint64_t seed = 1;
 };
@@ -75,6 +83,19 @@ RawCorpus GenerateRaw(const CorpusProfile& profile);
 std::vector<doc::NodeId> PlantKeyword(RawCorpus* corpus,
                                       const std::string& keyword, size_t count,
                                       PlantMode mode, Rng* rng);
+
+/// \brief Stamps repeated subtree templates over the corpus: with
+/// probability `duplication` per container with >= 2 children, every child
+/// subtree is replaced by a copy of the first child's subtree. Sibling
+/// subtrees are disjoint and equally deep, so the result is a valid
+/// pre-order corpus whose stamped families are byte-identical subtrees —
+/// exactly what doc::SubtreeClassIndex detects as in-document duplication.
+///
+/// Node ids are re-assigned (the tree is re-emitted in pre-order), so
+/// posting lists returned by earlier PlantKeyword calls no longer name the
+/// right nodes; plant first when the copies should carry the keywords, and
+/// look occurrences up through the index afterwards.
+void StampDuplicateSubtrees(RawCorpus* corpus, double duplication, Rng* rng);
 
 /// \brief Materializes a RawCorpus as a doc::Document.
 StatusOr<doc::Document> Materialize(const RawCorpus& corpus);

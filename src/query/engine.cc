@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "common/timer.h"
+#include "doc/subtree_classes.h"
 #include "query/cost_model.h"
 
 namespace xfrag::query {
@@ -154,6 +155,26 @@ StatusOr<EvalResult> QueryEngine::Evaluate(const Query& query,
         "prefilter: %llu/%llu pairs rejected from summaries\n",
         static_cast<unsigned long long>(result.metrics.pairs_rejected_summary),
         static_cast<unsigned long long>(result.metrics.pairs_considered));
+  }
+  // Surface DAG compression: how much pair work was replayed from subtree
+  // equivalence-class representatives instead of re-evaluated. Only emitted
+  // when the caller attached a class index, so single-document EXPLAIN output
+  // is unchanged.
+  if (options.executor.subtree_classes != nullptr) {
+    if (!algebra::DagCompressionEnabled()) {
+      result.explain += "dag: off (compression disabled)\n";
+    } else if (!options.executor.subtree_classes->has_duplication()) {
+      result.explain += "dag: bypass (no duplicated subtrees)\n";
+    } else {
+      result.explain += StrFormat(
+          "dag: %llu classes, %llu pairs replayed, %llu answers multiplied "
+          "out\n",
+          static_cast<unsigned long long>(result.metrics.classes_total),
+          static_cast<unsigned long long>(
+              result.metrics.class_pairs_considered),
+          static_cast<unsigned long long>(
+              result.metrics.answers_multiplied_out));
+    }
   }
   // Surface the top-k score bound: how many candidate pairs never needed a
   // join because their score upper bound could not reach the heap, plus the

@@ -71,7 +71,8 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
       auto child = ExecuteRecorded(*node.children[0], document, index,
                                    options, context, metrics, cardinalities);
       if (!child.ok()) return child;
-      return algebra::Select(child.value(), node.filter, context, metrics);
+      return algebra::Select(child.value(), node.filter, context, metrics,
+                             options.subtree_classes);
     }
     case PlanNodeKind::kPairwiseJoin: {
       XFRAG_CHECK(node.children.size() == 2);
@@ -84,7 +85,7 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
       if (node.filter != nullptr) {
         return algebra::PairwiseJoinFilteredParallel(
             document, left.value(), right.value(), node.filter, context,
-            options.thread_pool, metrics);
+            options.thread_pool, metrics, options.subtree_classes);
       }
       return algebra::PairwiseJoinParallel(document, left.value(),
                                            right.value(), options.thread_pool,
@@ -129,7 +130,8 @@ StatusOr<FragmentSet> Execute(const PlanNode& node,
         if (node.filter != nullptr) {
           return algebra::FixedPointFilteredParallel(
               document, child.value(), node.filter, context,
-              options.thread_pool, metrics, options.cancel);
+              options.thread_pool, metrics, options.cancel,
+              options.subtree_classes);
         }
         if (node.fixed_point_reduced) {
           return algebra::FixedPointReducedParallel(
@@ -230,10 +232,17 @@ StatusOr<std::vector<algebra::ScoredFragment>> ExecutePlanTopK(
     algebra::TopKCollector collector(k);
     collector.SeedFloor(resolved.score_floor);
     collector.AttachLiveFloor(resolved.live_score_floor);
+    // The bounded kernel caches accept-verdicts too, so DAG compression is
+    // only licensed when the residual selection is translation-invariant
+    // (the `accept` callback is the caller's promise; see ExecutorOptions).
+    const doc::SubtreeClassIndex* dag =
+        (residue == nullptr || residue->TranslationInvariant())
+            ? resolved.subtree_classes
+            : nullptr;
     algebra::PairwiseJoinTopKParallel(document, left.value(), right.value(),
                                       join_filter, context, scorer, admit,
                                       &collector, resolved.thread_pool, metrics,
-                                      resolved.cancel);
+                                      resolved.cancel, dag);
     if (ShouldStop(resolved.cancel)) return DeadlineError();
     if (resolved.audit_score_floor && !collector.FloorAuditClean()) {
       return Status::Internal(

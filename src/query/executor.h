@@ -59,6 +59,18 @@ struct ExecutorOptions {
   /// candidate outscoring a retained one). Leave false when the floor's
   /// witnesses legitimately live elsewhere (other documents or shards).
   bool audit_score_floor = false;
+  /// Optional subtree-class index of `document` (doc/subtree_classes.h).
+  /// When set — and the global SetDagCompressionEnabled switch is on — the
+  /// join/select/fixed-point kernels evaluate filters and joins once per
+  /// subtree equivalence class and replay the outcome for every other
+  /// occurrence (DAG-compressed evaluation, docs/ALGEBRA.md). Results and
+  /// logical counters are bit-identical to the uncompressed run; only the
+  /// dag:* counters of OpMetrics depend on it. The kernels self-gate on each
+  /// plan filter's TranslationInvariant(); the top-k path additionally
+  /// requires the residue filter to be invariant, and callers must only set
+  /// this when their scorer/accept callbacks are translation-invariant too
+  /// (the engine's built-ins all are).
+  const doc::SubtreeClassIndex* subtree_classes = nullptr;
 };
 
 /// Per-node observation recorded during execution (EXPLAIN ANALYZE).

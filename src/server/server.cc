@@ -83,6 +83,7 @@ std::string Server::Dispatch(const HttpRequest& request, bool keep_alive,
       body.Set("fixed_point_cache", service_.CacheStatsJson());
       body.Set("result_cache", service_.ResultCacheStatsJson());
       body.Set("distributed_topk", service_.DistributedTopKStatsJson());
+      body.Set("dag", service_.DagStatsJson());
       body.Set("in_flight", static_cast<int64_t>(InFlight()));
     }
     *status_out = 200;

@@ -351,6 +351,16 @@ std::string ResultCacheKey(const ParsedRequest& request) {
   return key;
 }
 
+// Per-request store of one evaluated document's result, keyed by the
+// document's subtree root class: a later document with the same root class
+// is byte-identical, so its evaluation is replayed from here (same answers
+// — node ids are document-local — same scores, same work counters).
+struct StoredDocResult {
+  algebra::OpMetrics metrics;
+  std::vector<query::RankedAnswer> ranked;
+  algebra::FragmentSet answers;
+};
+
 // One globally ranked answer, carrying its source document.
 struct RankedHit {
   double score = 0.0;
@@ -376,9 +386,14 @@ QueryService::QueryService(const collection::Collection& collection,
       options_(options),
       floor_registry_(options.floor_registry_capacity) {
   caches_.reserve(collection_.size());
+  std::unordered_map<doc::SubtreeClassId, size_t> root_class_counts;
   for (size_t i = 0; i < collection_.size(); ++i) {
     caches_.push_back(std::make_unique<query::FixedPointCache>(
         options_.fixed_point_cache));
+    if (++root_class_counts[collection_.entry(i).classes.root_class()] == 2) {
+      duplicate_root_classes_.insert(
+          collection_.entry(i).classes.root_class());
+    }
   }
   ResultCacheOptions cache_options;
   cache_options.max_bytes = options_.result_cache_bytes;
@@ -512,6 +527,16 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
       options_.enable_cross_document_floor && request.top_k > 0;
   std::multiset<double> best_scores;
 
+  // Document-class dedup (DAG compression): documents whose roots intern to
+  // the same subtree class are byte-identical, so the first one evaluated in
+  // this request serves as the representative and later members replay its
+  // stored result. EXPLAIN requests evaluate every document (each body
+  // carries a per-document explain entry), so they skip the dedup.
+  const bool dedup_documents =
+      algebra::DagCompressionEnabled() && !request.explain;
+  std::unordered_map<doc::SubtreeClassId, StoredDocResult> evaluated_classes;
+  size_t documents_deduplicated = 0;
+
   // Resume half of a probe/resume split: pass over the first N eligible
   // documents without evaluating them. Counter bookkeeping is exactly
   // complementary to the probe's (which breaks right after its N-th eligible
@@ -543,8 +568,48 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
       continue;
     }
 
+    const bool dedup_this_document =
+        dedup_documents &&
+        duplicate_root_classes_.count(entry.classes.root_class()) > 0;
+    if (dedup_this_document) {
+      auto it = evaluated_classes.find(entry.classes.root_class());
+      if (it != evaluated_classes.end()) {
+        // Replay the representative: identical documents yield identical
+        // answers (node ids are document-local), scores, and counters, so
+        // the response body is bit-identical to evaluating this document.
+        const StoredDocResult& stored = it->second;
+        outcome.metrics.Merge(stored.metrics);
+        ++documents_evaluated;
+        ++documents_deduplicated;
+        if (ranked_mode) {
+          for (const query::RankedAnswer& answer : stored.ranked) {
+            if (self_seed) {
+              best_scores.insert(answer.score);
+              if (best_scores.size() > static_cast<size_t>(request.top_k)) {
+                best_scores.erase(best_scores.begin());
+              }
+            }
+            hits.push_back(RankedHit{answer.score, i, answer.fragment});
+          }
+        } else {
+          for (const Fragment& fragment : stored.answers.Sorted()) {
+            ++answer_count;
+            if (request.max_answers >= 0 &&
+                answers.size() >= static_cast<size_t>(request.max_answers)) {
+              truncated = true;
+              continue;
+            }
+            answers.Append(AnswerToJson(entry.name, i, fragment,
+                                        entry.document, request.include_xml));
+          }
+        }
+        continue;
+      }
+    }
+
     query::EvalOptions eval = request.eval;
     eval.executor.fixed_point_cache = caches_[i].get();
+    eval.executor.subtree_classes = &entry.classes;
     if (ranked_mode) eval.top_k = effective_k;
     if (request.has_score_floor) {
       eval.executor.score_floor = request.score_floor;
@@ -575,6 +640,14 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
       return error;
     }
     ++documents_evaluated;
+    if (dedup_this_document) {
+      StoredDocResult stored;
+      stored.metrics = partial;
+      stored.ranked = result->ranked;
+      stored.answers = result->answers;
+      evaluated_classes.emplace(entry.classes.root_class(),
+                                std::move(stored));
+    }
     if (ranked_mode) {
       for (query::RankedAnswer& answer : result->ranked) {
         if (self_seed) {
@@ -647,6 +720,12 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
   body.Set("metrics", StatsRegistry::OpMetricsToJson(outcome.metrics));
   if (request.explain) body.Set("explain", std::move(explains));
   body.Set("elapsed_ms", timer.ElapsedMillis());
+  dag_documents_deduplicated_.fetch_add(documents_deduplicated,
+                                        std::memory_order_relaxed);
+  dag_class_pairs_considered_.fetch_add(
+      outcome.metrics.class_pairs_considered, std::memory_order_relaxed);
+  dag_answers_multiplied_out_.fetch_add(
+      outcome.metrics.answers_multiplied_out, std::memory_order_relaxed);
   outcome.body = std::move(body);
   // Only fully successful bodies are cached (errors and deadline
   // expirations returned above never reach this point).
@@ -724,6 +803,34 @@ json::Value QueryService::DistributedTopKStatsJson() const {
            floor_updates_applied_.load(std::memory_order_relaxed));
   body.Set("active_floor_entries",
            static_cast<uint64_t>(floor_registry_.size()));
+  return body;
+}
+
+json::Value QueryService::DagStatsJson() const {
+  const doc::SubtreeClassInterner& interner = collection_.subtree_classes();
+  json::Value body = json::Value::Object();
+  body.Set("enabled", algebra::DagCompressionEnabled());
+  body.Set("classes", static_cast<uint64_t>(interner.size()));
+  const uint64_t total_nodes = collection_.TotalNodes();
+  body.Set("total_nodes", total_nodes);
+  body.Set("unique_subtree_nodes", interner.unique_subtree_nodes());
+  body.Set("compression_ratio",
+           interner.unique_subtree_nodes() > 0
+               ? static_cast<double>(total_nodes) /
+                     static_cast<double>(interner.unique_subtree_nodes())
+               : 1.0);
+  std::set<doc::SubtreeClassId> root_classes;
+  for (size_t i = 0; i < collection_.size(); ++i) {
+    root_classes.insert(collection_.entry(i).classes.root_class());
+  }
+  body.Set("documents", static_cast<uint64_t>(collection_.size()));
+  body.Set("distinct_documents", static_cast<uint64_t>(root_classes.size()));
+  body.Set("documents_deduplicated",
+           dag_documents_deduplicated_.load(std::memory_order_relaxed));
+  body.Set("class_pairs_considered",
+           dag_class_pairs_considered_.load(std::memory_order_relaxed));
+  body.Set("answers_multiplied_out",
+           dag_answers_multiplied_out_.load(std::memory_order_relaxed));
   return body;
 }
 

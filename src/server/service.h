@@ -56,6 +56,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "collection/collection.h"
@@ -169,6 +170,10 @@ class QueryService {
   /// Distributed top-k counters, merged into GET /metrics output.
   json::Value DistributedTopKStatsJson() const;
 
+  /// DAG-compression statistics (subtree classes, compression ratio, replay
+  /// counters), merged into GET /metrics output.
+  json::Value DagStatsJson() const;
+
   /// GET /healthz body.
   json::Value HealthzJson() const;
 
@@ -203,6 +208,10 @@ class QueryService {
   std::vector<std::unique_ptr<query::FixedPointCache>> caches_;
   /// Whole-response cache (internally synchronized; disabled by default).
   std::unique_ptr<ResultCache> result_cache_;
+  /// Root classes shared by >= 2 member documents: only these can ever be
+  /// deduplicated, so requests over a duplicate-free collection skip the
+  /// replay bookkeeping (no result copies, no map) entirely.
+  std::unordered_set<doc::SubtreeClassId> duplicate_root_classes_;
   /// Live floors for in-flight queries carrying "query_id".
   mutable FloorRegistry floor_registry_;
   /// Distributed top-k observability (GET /metrics).
@@ -211,6 +220,12 @@ class QueryService {
   mutable std::atomic<uint64_t> resume_requests_{0};
   mutable std::atomic<uint64_t> floor_updates_received_{0};
   mutable std::atomic<uint64_t> floor_updates_applied_{0};
+  /// DAG-compression observability (GET /metrics): documents served by
+  /// replaying a byte-identical representative, and the kernel-level replay
+  /// counters accumulated across successful /query requests.
+  mutable std::atomic<uint64_t> dag_documents_deduplicated_{0};
+  mutable std::atomic<uint64_t> dag_class_pairs_considered_{0};
+  mutable std::atomic<uint64_t> dag_answers_multiplied_out_{0};
 };
 
 /// \brief Maps a Status to the HTTP status the server answers with.

@@ -34,6 +34,9 @@ json::Value StatsRegistry::OpMetricsToJson(const algebra::OpMetrics& metrics) {
   out.Set("pairs_rejected_summary", metrics.pairs_rejected_summary);
   out.Set("pairs_rejected_score", metrics.pairs_rejected_score);
   out.Set("subsume_checks_skipped", metrics.subsume_checks_skipped);
+  out.Set("classes_total", metrics.classes_total);
+  out.Set("class_pairs_considered", metrics.class_pairs_considered);
+  out.Set("answers_multiplied_out", metrics.answers_multiplied_out);
   return out;
 }
 

@@ -1,0 +1,127 @@
+// Build-time subtree hash-consing (doc/subtree_classes.h): interning is
+// structural (tags + texts + child classes), class ids are comparable across
+// documents sharing one interner, and the per-document index exposes the
+// duplication anchors the class-aware kernels key on.
+
+#include "doc/subtree_classes.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/corpus.h"
+
+namespace xfrag::doc {
+namespace {
+
+// Fixture with two byte-identical subtrees (ids are pre-order):
+//        0 r
+//      / | \.
+//  1 a   4 a   7 c
+//  / \   / \.
+// 2b 3b 5b 6b
+// Nodes 1..3 and 4..6 are isomorphic including texts; node 7 is unique.
+Document MakeTwinFixture() {
+  auto doc = Document::FromParents(
+      {kNoNode, 0, 1, 1, 0, 4, 4, 0},
+      {"r", "a", "b", "b", "a", "b", "b", "c"},
+      {"", "x", "y", "z", "x", "y", "z", "w"});
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+TEST(SubtreeClassesTest, IsomorphicSubtreesShareAClass) {
+  Document d = MakeTwinFixture();
+  SubtreeClassInterner interner;
+  SubtreeClassIndex index = SubtreeClassIndex::Build(d, &interner);
+  ASSERT_EQ(index.size(), d.size());
+  EXPECT_EQ(index.class_of(1), index.class_of(4));
+  EXPECT_EQ(index.class_of(2), index.class_of(5));
+  EXPECT_EQ(index.class_of(3), index.class_of(6));
+  // Same tag, different text → different class.
+  EXPECT_NE(index.class_of(2), index.class_of(3));
+  // Distinct-content nodes get distinct classes.
+  EXPECT_NE(index.class_of(7), index.class_of(1));
+  EXPECT_NE(index.class_of(0), index.class_of(1));
+}
+
+TEST(SubtreeClassesTest, DupAnchorIsTheHighestDuplicatedAncestor) {
+  Document d = MakeTwinFixture();
+  SubtreeClassInterner interner;
+  SubtreeClassIndex index = SubtreeClassIndex::Build(d, &interner);
+  EXPECT_TRUE(index.has_duplication());
+  // Everything inside a duplicated 'a' subtree anchors at that subtree root.
+  EXPECT_EQ(index.dup_anchor(1), 1u);
+  EXPECT_EQ(index.dup_anchor(2), 1u);
+  EXPECT_EQ(index.dup_anchor(3), 1u);
+  EXPECT_EQ(index.dup_anchor(4), 4u);
+  EXPECT_EQ(index.dup_anchor(5), 4u);
+  EXPECT_EQ(index.dup_anchor(6), 4u);
+  // The root and the unique 'c' child are outside every duplicated subtree.
+  EXPECT_EQ(index.dup_anchor(0), kNoNode);
+  EXPECT_EQ(index.dup_anchor(7), kNoNode);
+  EXPECT_EQ(index.duplicated_nodes(), 6u);
+  // Only the *anchor* class counts: the duplicated "y"/"z" leaves live
+  // inside the duplicated 'a' subtrees and are covered by that anchor.
+  EXPECT_EQ(index.duplicated_classes(), 1u);
+}
+
+TEST(SubtreeClassesTest, DuplicateFreeDocumentBypasses) {
+  auto doc = Document::FromParents({kNoNode, 0, 1, 0},
+                                   {"r", "a", "b", "c"},
+                                   {"", "p", "q", "s"});
+  ASSERT_TRUE(doc.ok());
+  SubtreeClassInterner interner;
+  SubtreeClassIndex index = SubtreeClassIndex::Build(*doc, &interner);
+  EXPECT_FALSE(index.has_duplication());
+  EXPECT_EQ(index.duplicated_nodes(), 0u);
+  EXPECT_EQ(index.duplicated_classes(), 0u);
+  for (NodeId n = 0; n < doc->size(); ++n) {
+    EXPECT_EQ(index.dup_anchor(n), kNoNode) << "node " << n;
+  }
+}
+
+TEST(SubtreeClassesTest, RootClassEqualAcrossIdenticalDocuments) {
+  SubtreeClassInterner interner;
+  Document a = MakeTwinFixture();
+  Document b = MakeTwinFixture();
+  SubtreeClassIndex ia = SubtreeClassIndex::Build(a, &interner);
+  SubtreeClassIndex ib = SubtreeClassIndex::Build(b, &interner);
+  EXPECT_EQ(ia.root_class(), ib.root_class());
+
+  auto other = Document::FromParents({kNoNode, 0}, {"r", "a"}, {"", "other"});
+  ASSERT_TRUE(other.ok());
+  SubtreeClassIndex ic = SubtreeClassIndex::Build(*other, &interner);
+  EXPECT_NE(ia.root_class(), ic.root_class());
+
+  // Two interned copies of the twin fixture: every class occurs at least
+  // twice collection-wide, and the root class exactly twice.
+  EXPECT_EQ(interner.occurrences(ia.root_class()), 2u);
+  EXPECT_EQ(interner.class_nodes(ia.root_class()), a.size());
+}
+
+TEST(SubtreeClassesTest, UniqueSubtreeNodesCountsDeduplicatedForest) {
+  Document d = MakeTwinFixture();
+  SubtreeClassInterner interner;
+  SubtreeClassIndex index = SubtreeClassIndex::Build(d, &interner);
+  // Classes: r(8 nodes), a(3), b"y"(1), b"z"(1), c(1) → 14 unique nodes of
+  // 8 corpus nodes (nested duplicates share structure; see the accessor's
+  // doc comment for why this is the raw class-table sum, not the headline
+  // ratio).
+  EXPECT_EQ(interner.size(), 5u);
+  EXPECT_EQ(interner.unique_subtree_nodes(), 14u);
+}
+
+TEST(SubtreeClassesTest, GeneratedStampedCorpusHasDuplication) {
+  gen::CorpusProfile profile;
+  profile.target_nodes = 300;
+  profile.seed = 77;
+  profile.duplication = 0.5;
+  auto document = gen::Materialize(gen::GenerateRaw(profile));
+  ASSERT_TRUE(document.ok());
+  SubtreeClassInterner interner;
+  SubtreeClassIndex index = SubtreeClassIndex::Build(*document, &interner);
+  EXPECT_TRUE(index.has_duplication());
+  EXPECT_GT(index.duplicated_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace xfrag::doc

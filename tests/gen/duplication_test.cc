@@ -1,0 +1,113 @@
+// The --duplication corpus knob (gen::StampDuplicateSubtrees): stamping
+// replaces whole sibling families with copies of the first child, so the
+// result is still a valid pre-order tree, is deterministic per seed, and
+// actually contains the duplicated subtrees the DAG-compressed evaluation
+// path keys on.
+
+#include <gtest/gtest.h>
+
+#include "doc/subtree_classes.h"
+#include "gen/corpus.h"
+
+namespace xfrag::gen {
+namespace {
+
+using doc::NodeId;
+
+RawCorpus MakeRaw(size_t nodes, uint64_t seed) {
+  CorpusProfile profile;
+  profile.target_nodes = nodes;
+  profile.seed = seed;
+  return GenerateRaw(profile);
+}
+
+TEST(StampDuplicateSubtreesTest, DeterministicForSeed) {
+  RawCorpus a = MakeRaw(300, 11);
+  RawCorpus b = MakeRaw(300, 11);
+  Rng rng_a(99), rng_b(99);
+  StampDuplicateSubtrees(&a, 0.6, &rng_a);
+  StampDuplicateSubtrees(&b, 0.6, &rng_b);
+  EXPECT_EQ(a.parents, b.parents);
+  EXPECT_EQ(a.tags, b.tags);
+  EXPECT_EQ(a.texts, b.texts);
+}
+
+TEST(StampDuplicateSubtreesTest, ZeroRateIsIdentity) {
+  RawCorpus raw = MakeRaw(200, 12);
+  RawCorpus before = raw;
+  Rng rng(5);
+  StampDuplicateSubtrees(&raw, 0.0, &rng);
+  EXPECT_EQ(raw.parents, before.parents);
+  EXPECT_EQ(raw.texts, before.texts);
+}
+
+TEST(StampDuplicateSubtreesTest, StampedCorpusIsAValidPreOrderTree) {
+  RawCorpus raw = MakeRaw(400, 13);
+  Rng rng(7);
+  StampDuplicateSubtrees(&raw, 0.9, &rng);
+  ASSERT_GT(raw.size(), 0u);
+  EXPECT_EQ(raw.parents[0], doc::kNoNode);
+  // Parent ids precede their children — the pre-order invariant Materialize
+  // validates too.
+  for (size_t i = 1; i < raw.size(); ++i) {
+    EXPECT_LT(raw.parents[i], i) << "node " << i;
+  }
+  auto document = Materialize(raw);
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+}
+
+TEST(StampDuplicateSubtreesTest, ProducesDuplicationTheIndexDetects) {
+  RawCorpus raw = MakeRaw(400, 14);
+  Rng rng(8);
+  StampDuplicateSubtrees(&raw, 0.7, &rng);
+  auto document = Materialize(raw);
+  ASSERT_TRUE(document.ok());
+  doc::SubtreeClassInterner interner;
+  auto index = doc::SubtreeClassIndex::Build(*document, &interner);
+  EXPECT_TRUE(index.has_duplication());
+  EXPECT_GT(index.duplicated_classes(), 0u);
+  // A substantial share of the corpus sits inside duplicated subtrees.
+  EXPECT_GT(index.duplicated_nodes(), document->size() / 10);
+}
+
+TEST(StampDuplicateSubtreesTest, PlantedKeywordsSurviveInsideCopies) {
+  RawCorpus raw = MakeRaw(400, 15);
+  Rng rng(9);
+  PlantKeyword(&raw, "needle", 24, PlantMode::kScattered, &rng);
+  StampDuplicateSubtrees(&raw, 0.5, &rng);
+  // Stamping can wipe planted occurrences (a replaced sibling carried them)
+  // or multiply them (the donor did); either way the text mechanism keeps
+  // working — re-planting after the stamp always lands.
+  PlantKeyword(&raw, "anchor", 8, PlantMode::kScattered, &rng);
+  size_t anchors = 0;
+  for (const std::string& text : raw.texts) {
+    if (text.find("anchor") != std::string::npos) ++anchors;
+  }
+  EXPECT_GE(anchors, 8u);
+  ASSERT_TRUE(Materialize(raw).ok());
+}
+
+TEST(CorpusProfileTest, DuplicationKnobStampsDuringGeneration) {
+  CorpusProfile profile;
+  profile.target_nodes = 300;
+  profile.seed = 16;
+  profile.duplication = 0.8;
+  auto document = Materialize(GenerateRaw(profile));
+  ASSERT_TRUE(document.ok());
+  doc::SubtreeClassInterner interner;
+  auto index = doc::SubtreeClassIndex::Build(*document, &interner);
+  EXPECT_TRUE(index.has_duplication());
+
+  profile.duplication = 0.0;
+  auto plain = Materialize(GenerateRaw(profile));
+  ASSERT_TRUE(plain.ok());
+  doc::SubtreeClassInterner plain_interner;
+  auto plain_index = doc::SubtreeClassIndex::Build(*plain, &plain_interner);
+  // Random paragraph texts collide with negligible probability: the
+  // unstamped corpus is duplicate-free, which is what arms the kernels'
+  // zero-cost bypass.
+  EXPECT_FALSE(plain_index.has_duplication());
+}
+
+}  // namespace
+}  // namespace xfrag::gen

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "algebra/ops.h"
 #include "collection/collection.h"
 #include "common/json.h"
 #include "common/rng.h"
@@ -228,10 +229,19 @@ class RouterIntegrationTest : public ::testing::Test {
 
 TEST_F(RouterIntegrationTest, RandomizedQueriesByteIdenticalToCombinedNode) {
   // This is the strict legacy contract: full bodies — including the work
-  // "metrics" — must agree byte for byte. Bound exchange and cross-document
-  // floor seeding legitimately change the work counters (answers stay
-  // identical; tests/router/distributed_topk_test.cc proves that), so both
-  // are disabled here to keep the metric comparison meaningful.
+  // "metrics" — must agree byte for byte. Bound exchange, cross-document
+  // floor seeding, and document-class dedup legitimately change the work
+  // counters (answers stay identical; tests/router/distributed_topk_test.cc
+  // and RandomizedQueriesAnswersIdenticalWithDagCompression below prove
+  // that), so all three are disabled here to keep the metric comparison
+  // meaningful. Dedup in particular skips duplicate documents entirely on
+  // the combined node, so their fixed-point caches run colder than the
+  // shards' — visible in the metrics of EXPLAIN requests, which bypass
+  // dedup.
+  algebra::SetDagCompressionEnabled(false);
+  struct SwitchRestore {
+    ~SwitchRestore() { algebra::SetDagCompressionEnabled(true); }
+  } restore;
   server::ServerOptions node_options;
   node_options.service.enable_cross_document_floor = false;
   auto combined_node = StartNode(*combined_, node_options);
@@ -258,6 +268,56 @@ TEST_F(RouterIntegrationTest, RandomizedQueriesByteIdenticalToCombinedNode) {
   EXPECT_GE(compared, 200);
   EXPECT_EQ(router->partials_served(), 0u);
   EXPECT_EQ(router->hedges_launched(), 0u);  // hedging disabled
+
+  router->Shutdown();
+  for (auto& shard : shards) shard->Shutdown();
+  combined_node->Shutdown();
+}
+
+// DAG compression on (the default): this corpus has byte-identical document
+// pairs (d10 == d00, d11 == d01) that the combined node deduplicates but the
+// shards cannot (each shard holds one copy), so work metrics may drift on
+// EXPLAIN requests — but every rendered answer must stay byte-identical.
+TEST_F(RouterIntegrationTest, RandomizedQueriesAnswersIdenticalWithDagCompression) {
+  server::ServerOptions node_options;
+  node_options.service.enable_cross_document_floor = false;
+  auto combined_node = StartNode(*combined_, node_options);
+  auto shards = StartShards(node_options);
+  RouterOptions router_options = QuietRouterOptions();
+  router_options.enable_bound_exchange = false;
+  auto router = StartRouter(MapFor(shards), router_options);
+
+  // Work counters drift with dedup (the "metrics" object, and the physical
+  // prefilter/top-k counts embedded in per-document EXPLAIN text, which
+  // reflect fixed-point cache warmth); everything the answers are made of
+  // must not.
+  auto answers_only = [](const std::string& body) {
+    auto parsed = json::Parse(body);
+    EXPECT_TRUE(parsed.ok()) << body;
+    if (!parsed.ok()) return body;
+    parsed->Set("elapsed_ms", 0);
+    parsed->Set("metrics", json::Value::Object());
+    if (parsed->Find("explain") != nullptr) {
+      parsed->Set("explain", json::Value::Array());
+    }
+    return parsed->Dump();
+  };
+
+  Rng rng(20260808);
+  int compared = 0;
+  for (int i = 0; i < 120; ++i) {
+    std::string body = RandomQueryBody(&rng);
+    auto from_combined = Post(combined_node->port(), body);
+    auto from_router = Post(router->port(), body);
+    ASSERT_TRUE(from_combined.ok()) << from_combined.status().ToString();
+    ASSERT_TRUE(from_router.ok()) << from_router.status().ToString();
+    ASSERT_EQ(from_router->status, from_combined->status) << body;
+    EXPECT_EQ(answers_only(from_router->body),
+              answers_only(from_combined->body))
+        << "query " << i << ": " << body;
+    ++compared;
+  }
+  EXPECT_GE(compared, 100);
 
   router->Shutdown();
   for (auto& shard : shards) shard->Shutdown();

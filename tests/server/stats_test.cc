@@ -97,11 +97,17 @@ TEST(StatsRegistry, OpMetricsJsonCoversEveryCounter) {
   m.pairs_rejected_summary = 7;
   m.subsume_checks_skipped = 8;
   m.pairs_rejected_score = 9;
+  m.classes_total = 10;
+  m.class_pairs_considered = 11;
+  m.answers_multiplied_out = 12;
   json::Value rendered = StatsRegistry::OpMetricsToJson(m);
-  EXPECT_EQ(rendered.size(), 9u);
+  EXPECT_EQ(rendered.size(), 12u);
   EXPECT_EQ(rendered.Find("fragment_joins")->AsInt(), 1);
   EXPECT_EQ(rendered.Find("subsume_checks_skipped")->AsInt(), 8);
   EXPECT_EQ(rendered.Find("pairs_rejected_score")->AsInt(), 9);
+  EXPECT_EQ(rendered.Find("classes_total")->AsInt(), 10);
+  EXPECT_EQ(rendered.Find("class_pairs_considered")->AsInt(), 11);
+  EXPECT_EQ(rendered.Find("answers_multiplied_out")->AsInt(), 12);
 }
 
 }  // namespace
