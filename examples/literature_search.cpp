@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     std::printf("  %s rooted at <%s> (size %zu, height %u, +%zu overlapping "
                 "sub-answers)\n",
                 group.target.ToString().c_str(),
-                document->tag(group.target.root()).c_str(),
+                std::string(document->tag(group.target.root())).c_str(),
                 group.target.size(),
                 xfrag::algebra::FragmentHeight(group.target, *document),
                 group.overlaps.size());

@@ -34,7 +34,7 @@ int main() {
   const auto& d = *document;
 
   std::printf("== The Figure-1 document ==\n");
-  std::printf("%zu nodes; n17 = \"%s\"\n\n", d.size(), d.text(17).c_str());
+  std::printf("%zu nodes; n17 = \"%s\"\n\n", d.size(), std::string(d.text(17)).c_str());
 
   std::printf("== Base selections (Section 4) ==\n");
   FragmentSet f1, f2;

@@ -69,7 +69,7 @@ int main() {
               result->elapsed_ms);
   for (const auto& fragment : result->answers.Sorted()) {
     std::printf("  %s  (root <%s>)\n", fragment.ToString().c_str(),
-                document->tag(fragment.root()).c_str());
+                std::string(document->tag(fragment.root())).c_str());
   }
   return 0;
 }

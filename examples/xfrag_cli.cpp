@@ -213,7 +213,7 @@ int main(int argc, char** argv) {
     std::printf("\n-- %s %s (root <%s>, size %zu) --\n",
                 answer.document_name.c_str(),
                 answer.fragment.ToString().c_str(),
-                entry.document.tag(answer.fragment.root()).c_str(),
+                std::string(entry.document.tag(answer.fragment.root())).c_str(),
                 answer.fragment.size());
     if (print_xml) {
       std::printf("%s", xfrag::query::FragmentToXml(
@@ -222,9 +222,9 @@ int main(int argc, char** argv) {
                             .c_str());
     } else {
       for (auto n : answer.fragment.nodes()) {
-        std::string text = entry.document.text(n);
+        std::string text(entry.document.text(n));
         if (text.size() > 70) text = text.substr(0, 67) + "...";
-        std::printf("  n%-5u <%s> %s\n", n, entry.document.tag(n).c_str(),
+        std::printf("  n%-5u <%s> %s\n", n, std::string(entry.document.tag(n)).c_str(),
                     text.c_str());
       }
     }

@@ -10,14 +10,15 @@
 # silently rot. The sanitizer stages rebuild with -DXFRAG_SANITIZE=address in
 # a separate build dir and run the algebra, query (top-k engine path), and
 # concurrency suites (plus everything labelled `parallel`, which includes
-# the DAG-equivalence property suite) under ASan — the kernels that do
-# manual arena/buffer work — and finally rebuild with
+# the DAG-equivalence property suite, and `storage`, the mmap snapshot
+# corruption/fuzz suites) under ASan — the kernels that do manual
+# arena/buffer/mmap work — and finally rebuild with
 # -DXFRAG_SANITIZE=thread and run everything labelled `server` (the xfragd
-# loopback integration suite included), `router` (the scatter-gather tier
-# with its hedging and cancellation paths), and `parallel` (the pooled
-# class-aware kernels with their per-chunk DAG caches) under TSan, since
-# those are the places worker threads share an engine, caches, or replay
-# state.
+# loopback integration suite and the /admin/reload epoch-swap suite
+# included), `router` (the scatter-gather tier with its hedging and
+# cancellation paths), and `parallel` (the pooled class-aware kernels with
+# their per-chunk DAG caches) under TSan, since those are the places worker
+# threads share an engine, caches, or replay state.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +36,9 @@ echo "== tier-1: ctest =="
 
 echo "== server: ctest -L server (tier-1 build) =="
 (cd build && ctest -L server --output-on-failure -j "$JOBS")
+
+echo "== storage: ctest -L storage (tier-1 build) =="
+(cd build && ctest -L storage --output-on-failure -j "$JOBS")
 
 echo "== router: ctest -L router (tier-1 build) =="
 (cd build && ctest -L router --output-on-failure -j "$JOBS")
@@ -57,15 +61,19 @@ if [[ "$FAST" == 1 ]]; then
   exit 0
 fi
 
-echo "== asan: build algebra + query + parallel suites =="
+echo "== asan: build algebra + query + parallel + storage suites =="
 cmake -B build-asan -S . -DXFRAG_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" --target algebra_test query_test \
-  parallel_test
+  parallel_test storage_test
 
 echo "== asan: run =="
 ./build-asan/tests/algebra_test
 ./build-asan/tests/query_test
 (cd build-asan && ctest -L parallel --output-on-failure -j "$JOBS")
+# The storage label is the mmap snapshot surface: corruption/truncation
+# fuzzing, structural-attack rejection, and zero-copy column views — exactly
+# where an out-of-bounds read past a mapped section would hide.
+(cd build-asan && ctest -L storage --output-on-failure -j "$JOBS")
 
 echo "== tsan: build server + router + parallel suites =="
 cmake -B build-tsan -S . -DXFRAG_SANITIZE=thread >/dev/null

@@ -5,6 +5,11 @@
 namespace xfrag::collection {
 
 Status Collection::Add(std::string name, doc::Document document) {
+  if (frozen_) {
+    return Status::InvalidArgument(
+        "collection is snapshot-backed (immutable); rebuild the snapshot to "
+        "add documents");
+  }
   if (by_name_.count(name) > 0) {
     return Status::InvalidArgument("duplicate document name '" + name + "'");
   }
@@ -12,6 +17,19 @@ Status Collection::Add(std::string name, doc::Document document) {
       text::InvertedIndex::Build(document, index_options_);
   doc::SubtreeClassIndex classes =
       doc::SubtreeClassIndex::Build(document, &interner_);
+  by_name_[name] = entries_.size();
+  entries_.push_back(std::make_unique<CollectionEntry>(
+      std::move(name), std::move(document), std::move(index),
+      std::move(classes)));
+  return Status::OK();
+}
+
+Status Collection::AddPrebuilt(std::string name, doc::Document document,
+                               text::InvertedIndex index,
+                               doc::SubtreeClassIndex classes) {
+  if (by_name_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate document name '" + name + "'");
+  }
   by_name_[name] = entries_.size();
   entries_.push_back(std::make_unique<CollectionEntry>(
       std::move(name), std::move(document), std::move(index),

@@ -50,10 +50,35 @@ class Collection {
       : index_options_(index_options) {}
 
   /// \brief Adds a document under `name` (must be unique). Builds its index.
+  /// Fails on a frozen (snapshot-backed) collection.
   Status Add(std::string name, doc::Document document);
 
   /// \brief Parses `xml_text` and adds it under `name`.
   Status AddXml(std::string name, std::string_view xml_text);
+
+  /// \brief Adds an already-constructed entry (the snapshot load path:
+  /// document, index, and classes were rebuilt zero-copy over the mapping,
+  /// so nothing is re-derived here). `name` must still be unique.
+  Status AddPrebuilt(std::string name, doc::Document document,
+                     text::InvertedIndex index, doc::SubtreeClassIndex classes);
+
+  /// \brief Replaces the collection-global interner (snapshot load path —
+  /// the per-class statistics come from the file's class table). Only valid
+  /// while the collection is empty of interned state, i.e. before any Add.
+  void AdoptSubtreeClassStats(doc::SubtreeClassInterner interner) {
+    interner_ = std::move(interner);
+  }
+
+  /// \brief Anchors an external resource (the snapshot mapping) for the
+  /// collection's lifetime. Entries built over mmap-ed columns borrow from
+  /// it, so it must die after them.
+  void HoldResource(std::shared_ptr<void> resource) {
+    resources_.push_back(std::move(resource));
+    frozen_ = true;
+  }
+
+  /// True when the collection is snapshot-backed and thus immutable.
+  bool frozen() const { return frozen_; }
 
   /// Number of documents.
   size_t size() const { return entries_.size(); }
@@ -83,8 +108,12 @@ class Collection {
  private:
   text::IndexOptions index_options_;
   doc::SubtreeClassInterner interner_;
+  // Declared before entries_ so the mapping outlives the views during
+  // destruction (members are destroyed in reverse declaration order).
+  std::vector<std::shared_ptr<void>> resources_;
   std::vector<std::unique_ptr<CollectionEntry>> entries_;
   std::unordered_map<std::string, size_t> by_name_;
+  bool frozen_ = false;
 };
 
 }  // namespace xfrag::collection

@@ -10,7 +10,7 @@
 namespace xfrag {
 
 /// Library version, bumped with each serving-visible change.
-inline constexpr const char* kVersion = "0.5.0";
+inline constexpr const char* kVersion = "0.6.0";
 
 /// \brief Revision of the router↔shard and client↔router protocol: the
 /// /query request fields the router understands (`require_complete`,

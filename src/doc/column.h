@@ -1,0 +1,146 @@
+// Column storage primitives shared by the document/text/class modules: a
+// typed column and a byte blob that either OWN their data (built in memory
+// by the parse/index path) or are a zero-copy VIEW over externally owned
+// bytes (a storage::MmapFile holding an immutable snapshot — see
+// docs/STORAGE.md). Accessors are branch-free either way: consumers read
+// through one raw pointer, so a snapshot-backed document pays no abstraction
+// tax over the in-memory one.
+//
+// Views never own lifetime: whoever constructs a view-backed object must
+// keep the backing bytes alive (collections anchor the mmap with
+// Collection::HoldResource).
+
+#ifndef XFRAG_DOC_COLUMN_H_
+#define XFRAG_DOC_COLUMN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xfrag::doc {
+
+/// \brief A read-only typed column: owned vector or borrowed pointer.
+///
+/// Copy and move keep the invariant that `data()` points at this object's
+/// own vector when owning (vector moves preserve the heap buffer, copies
+/// re-point).
+template <typename T>
+class ColumnView {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "columns hold raw fixed-width values");
+
+ public:
+  ColumnView() = default;
+
+  /// Takes ownership of `values`.
+  static ColumnView Own(std::vector<T> values) {
+    ColumnView c;
+    c.owned_ = std::move(values);
+    c.data_ = c.owned_.data();
+    c.size_ = c.owned_.size();
+    c.owns_ = true;
+    return c;
+  }
+
+  /// Borrows `size` values at `data` (caller keeps them alive).
+  static ColumnView View(const T* data, size_t size) {
+    ColumnView c;
+    c.data_ = data;
+    c.size_ = size;
+    c.owns_ = false;
+    return c;
+  }
+
+  ColumnView(const ColumnView& other) { *this = other; }
+  ColumnView& operator=(const ColumnView& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    size_ = other.size_;
+    owns_ = other.owns_;
+    data_ = owns_ ? owned_.data() : other.data_;
+    return *this;
+  }
+  ColumnView(ColumnView&& other) noexcept { *this = std::move(other); }
+  ColumnView& operator=(ColumnView&& other) noexcept {
+    if (this == &other) return *this;
+    owned_ = std::move(other.owned_);
+    size_ = other.size_;
+    owns_ = other.owns_;
+    data_ = owns_ ? owned_.data() : other.data_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.owns_ = false;
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool owns_ = false;
+  std::vector<T> owned_;
+};
+
+/// \brief A read-only byte blob: owned string or borrowed string_view.
+class BlobView {
+ public:
+  BlobView() = default;
+
+  static BlobView Own(std::string bytes) {
+    BlobView b;
+    b.owned_ = std::move(bytes);
+    b.view_ = b.owned_;
+    b.owns_ = true;
+    return b;
+  }
+
+  static BlobView View(std::string_view bytes) {
+    BlobView b;
+    b.view_ = bytes;
+    b.owns_ = false;
+    return b;
+  }
+
+  BlobView(const BlobView& other) { *this = other; }
+  BlobView& operator=(const BlobView& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    owns_ = other.owns_;
+    view_ = owns_ ? std::string_view(owned_) : other.view_;
+    return *this;
+  }
+  BlobView(BlobView&& other) noexcept { *this = std::move(other); }
+  BlobView& operator=(BlobView&& other) noexcept {
+    if (this == &other) return *this;
+    owned_ = std::move(other.owned_);
+    owns_ = other.owns_;
+    view_ = owns_ ? std::string_view(owned_) : other.view_;
+    other.view_ = {};
+    other.owns_ = false;
+    return *this;
+  }
+
+  std::string_view view() const { return view_; }
+  size_t size() const { return view_.size(); }
+
+  /// The substring [begin, end) of the blob.
+  std::string_view Slice(uint64_t begin, uint64_t end) const {
+    return view_.substr(begin, end - begin);
+  }
+
+ private:
+  std::string_view view_;
+  bool owns_ = false;
+  std::string owned_;
+};
+
+}  // namespace xfrag::doc
+
+#endif  // XFRAG_DOC_COLUMN_H_

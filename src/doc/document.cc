@@ -1,6 +1,7 @@
 #include "doc/document.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -30,6 +31,35 @@ void FlattenElement(const xml::XmlElement& element, NodeId parent,
   }
 }
 
+// Checks that `parents` is a valid depth-first pre-order numbering: node i's
+// parent must lie on the current rightmost path (otherwise subtrees would
+// not be contiguous id ranges, breaking the interval-based ancestor tests).
+Status ValidatePreorderParents(const NodeId* parents, size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("document must have at least one node");
+  }
+  if (parents[0] != kNoNode) {
+    return Status::InvalidArgument("node 0 must be the root (parent kNoNode)");
+  }
+  std::vector<NodeId> path{0};
+  for (size_t i = 1; i < n; ++i) {
+    if (parents[i] >= i) {
+      return Status::InvalidArgument(StrFormat(
+          "parent of node %zu is %u; pre-order requires parent < node", i,
+          parents[i]));
+    }
+    while (!path.empty() && path.back() != parents[i]) path.pop_back();
+    if (path.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "node %zu has parent %u, which is not on the rightmost path; "
+          "the numbering is not a depth-first pre-order",
+          i, parents[i]));
+    }
+    path.push_back(static_cast<NodeId>(i));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<Document> Document::FromDom(const xml::XmlDocument& dom) {
@@ -52,52 +82,196 @@ StatusOr<Document> Document::FromParents(std::vector<NodeId> parents,
   if (parents.size() != tags.size() || parents.size() != texts.size()) {
     return Status::InvalidArgument("parents/tags/texts sizes differ");
   }
-  if (parents[0] != kNoNode) {
-    return Status::InvalidArgument("node 0 must be the root (parent kNoNode)");
-  }
-  // Pre-order validity: node i's parent must lie on the current rightmost
-  // path (otherwise subtrees would not be contiguous id ranges, breaking
-  // the interval-based ancestor tests).
-  {
-    std::vector<NodeId> path{0};
-    for (size_t i = 1; i < parents.size(); ++i) {
-      if (parents[i] >= i) {
-        return Status::InvalidArgument(StrFormat(
-            "parent of node %zu is %u; pre-order requires parent < node", i,
-            parents[i]));
-      }
-      while (!path.empty() && path.back() != parents[i]) path.pop_back();
-      if (path.empty()) {
-        return Status::InvalidArgument(StrFormat(
-            "node %zu has parent %u, which is not on the rightmost path; "
-            "the numbering is not a depth-first pre-order",
-            i, parents[i]));
-      }
-      path.push_back(static_cast<NodeId>(i));
-    }
-  }
+  XFRAG_RETURN_NOT_OK(ValidatePreorderParents(parents.data(), parents.size()));
+  const size_t n = parents.size();
+
   Document docm;
-  docm.parent_ = std::move(parents);
-  docm.tag_ = std::move(tags);
-  docm.text_ = std::move(texts);
-  docm.BuildIndexes();
+
+  // Dictionary-encode tags (first-occurrence order) into an offsets + blob
+  // pair — the same shape a snapshot stores, so accessors are uniform.
+  {
+    std::unordered_map<std::string_view, uint32_t> ids;
+    std::vector<uint32_t> tag_ids;
+    std::vector<uint64_t> offsets{0};
+    std::string blob;
+    tag_ids.reserve(n);
+    for (const std::string& tag : tags) {
+      auto [it, inserted] =
+          ids.emplace(tag, static_cast<uint32_t>(offsets.size() - 1));
+      if (inserted) {
+        blob += tag;
+        offsets.push_back(blob.size());
+        // The map key views `tag` (the caller's vector), which stays alive
+        // until the end of this scope — by then the map is done.
+      }
+      tag_ids.push_back(it->second);
+    }
+    docm.tag_ids_ = ColumnView<uint32_t>::Own(std::move(tag_ids));
+    docm.tag_offsets_ = ColumnView<uint64_t>::Own(std::move(offsets));
+    docm.tag_blob_ = BlobView::Own(std::move(blob));
+  }
+
+  // Concatenate texts into a blob with n+1 cumulative offsets.
+  {
+    std::vector<uint64_t> offsets;
+    offsets.reserve(n + 1);
+    offsets.push_back(0);
+    std::string blob;
+    for (const std::string& text : texts) {
+      blob += text;
+      offsets.push_back(blob.size());
+    }
+    docm.text_offsets_ = ColumnView<uint64_t>::Own(std::move(offsets));
+    docm.text_blob_ = BlobView::Own(std::move(blob));
+  }
+
+  docm.BuildIndexes(parents);
+  docm.parent_ = ColumnView<NodeId>::Own(std::move(parents));
   return docm;
 }
 
-void Document::BuildIndexes() {
-  const size_t n = parent_.size();
-  children_.assign(n, {});
-  depth_.assign(n, 0);
-  subtree_size_.assign(n, 1);
+StatusOr<Document> Document::FromSnapshotColumns(
+    const SnapshotDocumentColumns& c) {
+  const size_t n = c.node_count;
+  if (n == 0) {
+    return Status::ParseError("snapshot document with zero nodes");
+  }
+  if (c.parents == nullptr || c.depths == nullptr ||
+      c.subtree_sizes == nullptr || c.child_offsets == nullptr ||
+      c.child_ids == nullptr || c.tag_ids == nullptr ||
+      c.tag_offsets == nullptr || c.text_offsets == nullptr) {
+    return Status::InvalidArgument("snapshot document column missing");
+  }
+
+  if (c.validate) {
+    {
+      Status preorder = ValidatePreorderParents(c.parents, n);
+      if (!preorder.ok()) {
+        return Status::ParseError("snapshot document parents invalid: " +
+                                  preorder.message());
+      }
+    }
+    // Depths follow parents; subtree sizes match a bottom-up recount.
+    if (c.depths[0] != 0) {
+      return Status::ParseError("snapshot root depth is not 0");
+    }
+    for (size_t i = 1; i < n; ++i) {
+      if (c.depths[i] != c.depths[c.parents[i]] + 1) {
+        return Status::ParseError(
+            StrFormat("snapshot depth of node %zu is inconsistent", i));
+      }
+    }
+    {
+      std::vector<uint32_t> sizes(n, 1);
+      for (size_t i = n; i-- > 1;) sizes[c.parents[i]] += sizes[i];
+      for (size_t i = 0; i < n; ++i) {
+        if (c.subtree_sizes[i] != sizes[i]) {
+          return Status::ParseError(
+              StrFormat("snapshot subtree size of node %zu is inconsistent",
+                        i));
+        }
+      }
+    }
+    // Children CSR: monotone offsets covering exactly n-1 child slots, each
+    // list sorted and agreeing with the parent column. Together with the
+    // pre-order check above this pins the CSR to the unique children lists.
+    const uint64_t child_base = c.child_offsets[0];
+    for (size_t i = 0; i < n; ++i) {
+      if (c.child_offsets[i + 1] < c.child_offsets[i]) {
+        return Status::ParseError("snapshot child offsets not monotone");
+      }
+    }
+    if (c.child_offsets[n] - child_base != n - 1) {
+      return Status::ParseError("snapshot child count != node count - 1");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      NodeId previous = 0;
+      for (uint32_t k = c.child_offsets[i]; k < c.child_offsets[i + 1]; ++k) {
+        NodeId child = c.child_ids[k];
+        if (child >= n || c.parents[child] != i) {
+          return Status::ParseError(
+              StrFormat("snapshot child list of node %zu names a non-child",
+                        i));
+        }
+        if (k > c.child_offsets[i] && child <= previous) {
+          return Status::ParseError(
+              StrFormat("snapshot child list of node %zu is not sorted", i));
+        }
+        previous = child;
+      }
+    }
+    // Tag ids stay inside the dictionary; dictionary offsets stay inside
+    // the blob.
+    for (size_t t = 0; t < c.tag_dict_count; ++t) {
+      if (c.tag_offsets[t + 1] < c.tag_offsets[t]) {
+        return Status::ParseError("snapshot tag dictionary not monotone");
+      }
+    }
+    if (c.tag_dict_count == 0 ||
+        c.tag_offsets[c.tag_dict_count] > c.tag_blob.size()) {
+      return Status::ParseError("snapshot tag dictionary exceeds its blob");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (c.tag_ids[i] >= c.tag_dict_count) {
+        return Status::ParseError(
+            StrFormat("snapshot tag id of node %zu out of range", i));
+      }
+    }
+    // Text offsets are monotone and inside the blob.
+    for (size_t i = 0; i < n; ++i) {
+      if (c.text_offsets[i + 1] < c.text_offsets[i]) {
+        return Status::ParseError("snapshot text offsets not monotone");
+      }
+    }
+    if (c.text_offsets[n] > c.text_blob.size()) {
+      return Status::ParseError("snapshot text offsets exceed the blob");
+    }
+  }
+
+  Document docm;
+  docm.snapshot_backed_ = true;
+  docm.parent_ = ColumnView<NodeId>::View(c.parents, n);
+  docm.depth_ = ColumnView<uint32_t>::View(c.depths, n);
+  docm.subtree_size_ = ColumnView<uint32_t>::View(c.subtree_sizes, n);
+  docm.child_offsets_ = ColumnView<uint32_t>::View(c.child_offsets, n + 1);
+  // The ids column is indexed through the (possibly global) offsets, so keep
+  // the global base; its logical extent for this document is [offsets[0],
+  // offsets[n]).
+  docm.child_ids_ =
+      ColumnView<NodeId>::View(c.child_ids, c.child_offsets[n]);
+  docm.tag_ids_ = ColumnView<uint32_t>::View(c.tag_ids, n);
+  docm.tag_offsets_ =
+      ColumnView<uint64_t>::View(c.tag_offsets, c.tag_dict_count + 1);
+  docm.tag_blob_ = BlobView::View(c.tag_blob);
+  docm.text_offsets_ = ColumnView<uint64_t>::View(c.text_offsets, n + 1);
+  docm.text_blob_ = BlobView::View(c.text_blob);
+  uint32_t height = 0;
+  for (size_t i = 0; i < n; ++i) height = std::max(height, c.depths[i]);
+  docm.height_ = height;
+  return docm;
+}
+
+void Document::BuildIndexes(const std::vector<NodeId>& parents) {
+  const size_t n = parents.size();
+  std::vector<uint32_t> depth(n, 0);
+  std::vector<uint32_t> subtree(n, 1);
+  std::vector<uint32_t> child_offsets(n + 1, 0);
+  std::vector<NodeId> child_ids(n > 0 ? n - 1 : 0);
   height_ = 0;
-  for (NodeId i = 1; i < n; ++i) {
-    children_[parent_[i]].push_back(i);
-    depth_[i] = depth_[parent_[i]] + 1;
-    height_ = std::max(height_, depth_[i]);
+  for (size_t i = 1; i < n; ++i) {
+    depth[i] = depth[parents[i]] + 1;
+    height_ = std::max(height_, depth[i]);
+    ++child_offsets[parents[i] + 1];
   }
-  for (NodeId i = static_cast<NodeId>(n); i-- > 1;) {
-    subtree_size_[parent_[i]] += subtree_size_[i];
+  for (size_t i = 0; i < n; ++i) child_offsets[i + 1] += child_offsets[i];
+  {
+    std::vector<uint32_t> cursor(child_offsets.begin(),
+                                 child_offsets.end() - 1);
+    for (size_t i = 1; i < n; ++i) {
+      child_ids[cursor[parents[i]]++] = static_cast<NodeId>(i);
+    }
   }
+  for (size_t i = n; i-- > 1;) subtree[parents[i]] += subtree[i];
 
   // Euler tour (iterative DFS): 2n-1 entries.
   euler_.clear();
@@ -109,8 +283,9 @@ void Document::BuildIndexes() {
   euler_.push_back(0);
   while (!stack.empty()) {
     auto& [node, next_child] = stack.back();
-    if (next_child < children_[node].size()) {
-      NodeId child = children_[node][next_child++];
+    size_t child_count = child_offsets[node + 1] - child_offsets[node];
+    if (next_child < child_count) {
+      NodeId child = child_ids[child_offsets[node] + next_child++];
       first_visit_[child] = static_cast<uint32_t>(euler_.size());
       euler_.push_back(child);
       stack.emplace_back(child, 0);
@@ -133,14 +308,28 @@ void Document::BuildIndexes() {
       uint32_t left = sparse_[level - 1][i];
       uint32_t right = sparse_[level - 1][i + half];
       sparse_[level][i] =
-          depth_[euler_[left]] <= depth_[euler_[right]] ? left : right;
+          depth[euler_[left]] <= depth[euler_[right]] ? left : right;
     }
   }
+
+  depth_ = ColumnView<uint32_t>::Own(std::move(depth));
+  subtree_size_ = ColumnView<uint32_t>::Own(std::move(subtree));
+  child_offsets_ = ColumnView<uint32_t>::Own(std::move(child_offsets));
+  child_ids_ = ColumnView<NodeId>::Own(std::move(child_ids));
 }
 
 NodeId Document::Lca(NodeId a, NodeId b) const {
   XFRAG_DCHECK(a < size() && b < size());
   if (a == b) return a;
+  if (sparse_.empty()) {
+    // Snapshot-backed: climb from `a` until its subtree interval covers `b`.
+    // The first such ancestor-or-self is the LCA; document trees are
+    // shallow, so this is effectively constant time without the Euler
+    // tables' O(n log n) snapshot footprint.
+    NodeId up = a;
+    while (!IsAncestorOrSelf(up, b)) up = parent_[up];
+    return up;
+  }
   uint32_t i = first_visit_[a];
   uint32_t j = first_visit_[b];
   if (i > j) std::swap(i, j);

@@ -4,16 +4,32 @@
 // fragment algebra needs: parent/depth lookups, ancestor tests in O(1) via
 // pre/post intervals, O(1) LCA via an Euler tour + sparse table, and
 // root-to-node path extraction.
+//
+// Storage model: every per-node attribute is a flat column (doc/column.h) —
+// parents, depths, subtree sizes, a CSR children list, dictionary-encoded
+// tags, and a text blob with per-node offsets. Columns either own their data
+// (FromDom/FromParents: the parse path) or borrow it zero-copy from an
+// mmap-ed immutable snapshot (FromSnapshotColumns — see docs/STORAGE.md), so
+// a multi-GB corpus opens without rebuilding anything; the columns double as
+// the precomputed inputs of fragment summary headers (size/depth/interval
+// bounds), which is why snapshots persist the derived columns too.
+//
+// Snapshot-backed documents answer Lca by climbing parents from the deeper
+// node (O(depth), and document trees are shallow) instead of carrying the
+// Euler/sparse tables, whose O(n log n) footprint would dominate the
+// snapshot; both implementations return the identical node.
 
 #ifndef XFRAG_DOC_DOCUMENT_H_
 #define XFRAG_DOC_DOCUMENT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "doc/column.h"
 #include "xml/dom.h"
 
 namespace xfrag::doc {
@@ -24,6 +40,35 @@ using NodeId = uint32_t;
 
 /// Sentinel for "no node" (the root's parent).
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// \brief The raw columns of one document inside an immutable snapshot —
+/// the zero-copy construction path (storage::SnapshotReader produces these).
+///
+/// All pointers borrow from the snapshot mapping and must stay valid for the
+/// document's lifetime. `child_offsets`/`text_offsets` may be slices of
+/// collection-global cumulative arrays: `child_ids` and `text_blob` are then
+/// the *global* base so that `child_ids + child_offsets[n]` and
+/// `text_blob[text_offsets[n]]` land inside this document's range. The tag
+/// dictionary is collection-global.
+struct SnapshotDocumentColumns {
+  size_t node_count = 0;
+  const NodeId* parents = nullptr;         // [node_count], local ids
+  const uint32_t* depths = nullptr;        // [node_count]
+  const uint32_t* subtree_sizes = nullptr; // [node_count]
+  const uint32_t* child_offsets = nullptr; // [node_count + 1], cumulative
+  const NodeId* child_ids = nullptr;       // base of the child-id column
+  const uint32_t* tag_ids = nullptr;       // [node_count], into the dict
+  const uint64_t* tag_offsets = nullptr;   // [tag_dict_count + 1]
+  size_t tag_dict_count = 0;
+  std::string_view tag_blob;
+  const uint64_t* text_offsets = nullptr;  // [node_count + 1], cumulative
+  std::string_view text_blob;
+  /// Validate every structural invariant (pre-order parents, CSR/depth/
+  /// subtree consistency, offset monotonicity) before trusting the columns.
+  /// Leave on unless the snapshot comes from a trusted local build; off
+  /// skips the O(n) scans for true O(1) opens.
+  bool validate = true;
+};
 
 /// \brief Immutable tree model of one XML document.
 ///
@@ -46,6 +91,13 @@ class Document {
                                         std::vector<std::string> tags,
                                         std::vector<std::string> texts);
 
+  /// \brief Builds a zero-copy Document over snapshot columns. With
+  /// `columns.validate` set (default), every structural invariant is checked
+  /// so no subsequent accessor can read out of bounds even on an adversarial
+  /// snapshot; corrupt columns yield ParseError, never UB.
+  static StatusOr<Document> FromSnapshotColumns(
+      const SnapshotDocumentColumns& columns);
+
   /// Number of nodes.
   size_t size() const { return parent_.size(); }
 
@@ -58,15 +110,23 @@ class Document {
   /// Depth of `n`; the root has depth 0.
   uint32_t depth(NodeId n) const { return depth_[n]; }
 
-  /// Tag name of `n`.
-  const std::string& tag(NodeId n) const { return tag_[n]; }
+  /// Tag name of `n` (a view into the tag dictionary).
+  std::string_view tag(NodeId n) const {
+    uint32_t id = tag_ids_[n];
+    return tag_blob_.Slice(tag_offsets_[id], tag_offsets_[id + 1]);
+  }
 
   /// Direct textual content of `n` (own text + attribute values, not
-  /// descendants' text).
-  const std::string& text(NodeId n) const { return text_[n]; }
+  /// descendants' text). A view into the text blob.
+  std::string_view text(NodeId n) const {
+    return text_blob_.Slice(text_offsets_[n], text_offsets_[n + 1]);
+  }
 
   /// Ids of `n`'s children, in document order.
-  const std::vector<NodeId>& children(NodeId n) const { return children_[n]; }
+  std::span<const NodeId> children(NodeId n) const {
+    uint32_t begin = child_offsets_[n];
+    return {child_ids_.data() + begin, child_offsets_[n + 1] - begin};
+  }
 
   /// Number of nodes in the subtree rooted at `n` (including `n`).
   uint32_t subtree_size(NodeId n) const { return subtree_size_[n]; }
@@ -81,7 +141,8 @@ class Document {
     return a != d && IsAncestorOrSelf(a, d);
   }
 
-  /// Lowest common ancestor of `a` and `b`. O(1).
+  /// Lowest common ancestor of `a` and `b`. O(1) for built documents
+  /// (Euler + sparse table); O(depth) parent climb for snapshot-backed ones.
   NodeId Lca(NodeId a, NodeId b) const;
 
   /// Lowest common ancestor of all nodes in `nodes` (must be non-empty).
@@ -97,21 +158,34 @@ class Document {
   /// Height of the whole tree (max depth).
   uint32_t height() const { return height_; }
 
+  /// Number of distinct tags (the tag dictionary size).
+  size_t tag_dictionary_size() const { return tag_offsets_.size() - 1; }
+
+  /// True when the columns borrow from a snapshot mapping (zero-copy mode).
+  bool snapshot_backed() const { return snapshot_backed_; }
+
  private:
   Document() = default;
 
-  // Builds derived structures (children lists, subtree sizes, Euler/LCA).
-  void BuildIndexes();
+  // Builds derived structures for owned columns (children CSR, subtree
+  // sizes, Euler/LCA) from parents/depths.
+  void BuildIndexes(const std::vector<NodeId>& parents);
 
-  std::vector<NodeId> parent_;
-  std::vector<uint32_t> depth_;
-  std::vector<std::string> tag_;
-  std::vector<std::string> text_;
-  std::vector<std::vector<NodeId>> children_;
-  std::vector<uint32_t> subtree_size_;
+  ColumnView<NodeId> parent_;
+  ColumnView<uint32_t> depth_;
+  ColumnView<uint32_t> subtree_size_;
+  ColumnView<uint32_t> child_offsets_;  // size()+1 cumulative positions.
+  ColumnView<NodeId> child_ids_;        // Base of the child-id array.
+  ColumnView<uint32_t> tag_ids_;        // Per-node dictionary ids.
+  ColumnView<uint64_t> tag_offsets_;    // Dictionary entry boundaries.
+  BlobView tag_blob_;
+  ColumnView<uint64_t> text_offsets_;   // size()+1 cumulative byte offsets.
+  BlobView text_blob_;
   uint32_t height_ = 0;
+  bool snapshot_backed_ = false;
 
-  // Euler tour + sparse table for O(1) LCA.
+  // Euler tour + sparse table for O(1) LCA (owned documents only; snapshot
+  // documents climb parents instead).
   std::vector<uint32_t> euler_;        // Node ids in Euler-tour order.
   std::vector<uint32_t> first_visit_;  // First index of node in euler_.
   std::vector<std::vector<uint32_t>> sparse_;  // Min-depth index table.

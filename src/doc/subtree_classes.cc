@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "common/logging.h"
+#include "common/strings.h"
+
 namespace xfrag::doc {
 
 namespace {
@@ -27,9 +30,32 @@ uint32_t SubtreeClassInterner::InternString(std::string_view s) {
   return id;
 }
 
+StatusOr<SubtreeClassInterner> SubtreeClassInterner::FromSnapshotStats(
+    const uint64_t* class_nodes, const uint64_t* occurrences,
+    size_t class_count) {
+  if ((class_nodes == nullptr || occurrences == nullptr) && class_count > 0) {
+    return Status::InvalidArgument("snapshot class stats column missing");
+  }
+  SubtreeClassInterner interner;
+  interner.frozen_ = true;
+  interner.view_class_nodes_ =
+      ColumnView<uint64_t>::View(class_nodes, class_count);
+  interner.view_occurrences_ =
+      ColumnView<uint64_t>::View(occurrences, class_count);
+  for (size_t c = 0; c < class_count; ++c) {
+    if (class_nodes[c] == 0 || occurrences[c] == 0) {
+      return Status::ParseError(
+          StrFormat("snapshot class %zu has zero nodes or occurrences", c));
+    }
+    interner.unique_subtree_nodes_ += class_nodes[c];
+  }
+  return interner;
+}
+
 SubtreeClassId SubtreeClassInterner::Intern(
     std::string_view tag, std::string_view text,
     const std::vector<SubtreeClassId>& children, uint64_t subtree_nodes) {
+  XFRAG_CHECK(!frozen_);  // Snapshot-backed class tables are immutable.
   ClassKey key;
   key.tag_id = InternString(tag);
   key.text_id = InternString(text);
@@ -51,20 +77,19 @@ SubtreeClassIndex SubtreeClassIndex::Build(const Document& document,
                                            SubtreeClassInterner* interner) {
   SubtreeClassIndex index;
   const size_t n = document.size();
-  index.class_of_.resize(n);
-  index.dup_anchor_.assign(n, kNoNode);
-  if (n == 0) return index;
+  std::vector<SubtreeClassId> class_of(n);
+  std::vector<NodeId> dup_anchor(n, kNoNode);
 
   // Bottom-up interning: in pre-order every child id exceeds its parent's,
   // so a reverse scan sees all children classes before the parent.
   std::vector<SubtreeClassId> child_classes;
   for (size_t i = n; i-- > 0;) {
     const NodeId node = static_cast<NodeId>(i);
-    const auto& kids = document.children(node);
+    auto kids = document.children(node);
     child_classes.clear();
     child_classes.reserve(kids.size());
-    for (NodeId c : kids) child_classes.push_back(index.class_of_[c]);
-    index.class_of_[node] =
+    for (NodeId c : kids) child_classes.push_back(class_of[c]);
+    class_of[node] =
         interner->Intern(document.tag(node), document.text(node),
                          child_classes, document.subtree_size(node));
   }
@@ -73,22 +98,62 @@ SubtreeClassIndex SubtreeClassIndex::Build(const Document& document,
   // pair cache only pays off when a class repeats within one document.
   std::unordered_map<SubtreeClassId, uint32_t> local_count;
   local_count.reserve(n);
-  for (size_t i = 0; i < n; ++i) ++local_count[index.class_of_[i]];
+  for (size_t i = 0; i < n; ++i) ++local_count[class_of[i]];
 
   std::unordered_set<SubtreeClassId> dup_classes;
   for (NodeId node = 0; node < n; ++node) {
     const NodeId parent = document.parent(node);
-    NodeId anchor = (parent == kNoNode) ? kNoNode : index.dup_anchor_[parent];
-    if (anchor == kNoNode && local_count[index.class_of_[node]] >= 2) {
+    NodeId anchor = (parent == kNoNode) ? kNoNode : dup_anchor[parent];
+    if (anchor == kNoNode && local_count[class_of[node]] >= 2) {
       anchor = node;
     }
-    index.dup_anchor_[node] = anchor;
+    dup_anchor[node] = anchor;
     if (anchor != kNoNode) {
       ++index.duplicated_nodes_;
-      if (anchor == node) dup_classes.insert(index.class_of_[node]);
+      if (anchor == node) dup_classes.insert(class_of[node]);
     }
   }
   index.duplicated_classes_ = dup_classes.size();
+  index.class_of_ = ColumnView<SubtreeClassId>::Own(std::move(class_of));
+  index.dup_anchor_ = ColumnView<NodeId>::Own(std::move(dup_anchor));
+  return index;
+}
+
+StatusOr<SubtreeClassIndex> SubtreeClassIndex::FromSnapshotColumns(
+    const SnapshotColumns& c, const Document& document) {
+  const size_t n = c.node_count;
+  if (n != document.size()) {
+    return Status::ParseError("snapshot class columns disagree with document");
+  }
+  if (n > 0 && (c.class_of == nullptr || c.dup_anchor == nullptr)) {
+    return Status::InvalidArgument("snapshot class column missing");
+  }
+  if (c.validate) {
+    uint64_t duplicated_nodes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (c.class_of[i] >= c.class_count) {
+        return Status::ParseError(
+            StrFormat("snapshot class of node %zu out of range", i));
+      }
+      const NodeId anchor = c.dup_anchor[i];
+      if (anchor != kNoNode) {
+        ++duplicated_nodes;
+        if (anchor >= n ||
+            !document.IsAncestorOrSelf(anchor, static_cast<NodeId>(i))) {
+          return Status::ParseError(StrFormat(
+              "snapshot dup anchor of node %zu is not an ancestor", i));
+        }
+      }
+    }
+    if (duplicated_nodes != c.duplicated_nodes) {
+      return Status::ParseError("snapshot duplicated-node count mismatch");
+    }
+  }
+  SubtreeClassIndex index;
+  index.class_of_ = ColumnView<SubtreeClassId>::View(c.class_of, n);
+  index.dup_anchor_ = ColumnView<NodeId>::View(c.dup_anchor, n);
+  index.duplicated_nodes_ = c.duplicated_nodes;
+  index.duplicated_classes_ = c.duplicated_classes;
   return index;
 }
 

@@ -50,19 +50,33 @@ class SubtreeClassInterner {
   /// Interns the class keyed by (tag, text, children classes); returns the
   /// existing id when an identical subtree was seen before. `subtree_nodes`
   /// is the node count of the subtree (1 + children subtree sizes), recorded
-  /// once per class for compression statistics.
+  /// once per class for compression statistics. Must not be called on a
+  /// snapshot-backed interner (the class table is frozen in the file).
   SubtreeClassId Intern(std::string_view tag, std::string_view text,
                         const std::vector<SubtreeClassId>& children,
                         uint64_t subtree_nodes);
 
+  /// \brief Zero-copy interner over a snapshot's class table. Only the
+  /// per-class statistics survive serialization (the hash-cons keys are a
+  /// build-time artifact); Intern is forbidden on the result.
+  static StatusOr<SubtreeClassInterner> FromSnapshotStats(
+      const uint64_t* class_nodes, const uint64_t* occurrences,
+      size_t class_count);
+
   /// Number of distinct classes interned so far.
-  size_t size() const { return class_nodes_.size(); }
+  size_t size() const {
+    return frozen_ ? view_class_nodes_.size() : class_nodes_.size();
+  }
 
   /// Total occurrences recorded across all documents for `cls`.
-  uint64_t occurrences(SubtreeClassId cls) const { return occurrences_[cls]; }
+  uint64_t occurrences(SubtreeClassId cls) const {
+    return frozen_ ? view_occurrences_[cls] : occurrences_[cls];
+  }
 
   /// Node count of the subtree every member of `cls` roots.
-  uint64_t class_nodes(SubtreeClassId cls) const { return class_nodes_[cls]; }
+  uint64_t class_nodes(SubtreeClassId cls) const {
+    return frozen_ ? view_class_nodes_[cls] : class_nodes_[cls];
+  }
 
   /// Sum over classes of the per-class subtree node count — the node count
   /// of the deduplicated forest ("unique nodes"). The collection-wide
@@ -93,6 +107,11 @@ class SubtreeClassInterner {
   std::vector<uint64_t> class_nodes_;  // Subtree node count per class.
   std::vector<uint64_t> occurrences_;  // Total members per class.
   uint64_t unique_subtree_nodes_ = 0;
+  // Snapshot view mode: the stats columns borrow from the mapping and the
+  // interner rejects further Intern calls.
+  bool frozen_ = false;
+  ColumnView<uint64_t> view_class_nodes_;
+  ColumnView<uint64_t> view_occurrences_;
 };
 
 /// \brief Per-document view of the subtree class structure.
@@ -107,10 +126,29 @@ class SubtreeClassInterner {
 /// (has_duplication() == false).
 class SubtreeClassIndex {
  public:
+  /// \brief The raw class columns of one document inside a snapshot (see
+  /// doc/document.h SnapshotDocumentColumns for the borrowing contract).
+  struct SnapshotColumns {
+    size_t node_count = 0;
+    const SubtreeClassId* class_of = nullptr;  // [node_count]
+    const NodeId* dup_anchor = nullptr;        // [node_count]
+    uint64_t duplicated_nodes = 0;
+    uint64_t duplicated_classes = 0;
+    size_t class_count = 0;  // Collection-global class table size.
+    bool validate = true;
+  };
+
   /// Builds the index for `document`, interning into `interner` (shared
   /// across the collection). Records one occurrence per node.
   static SubtreeClassIndex Build(const Document& document,
                                  SubtreeClassInterner* interner);
+
+  /// \brief Zero-copy index over snapshot columns. With `columns.validate`
+  /// (default) every class id is ranged against the class table and every
+  /// duplication anchor is checked to be an ancestor-or-self, so corrupt
+  /// columns yield ParseError rather than out-of-bounds reads later.
+  static StatusOr<SubtreeClassIndex> FromSnapshotColumns(
+      const SnapshotColumns& columns, const Document& document);
 
   SubtreeClassId class_of(NodeId n) const { return class_of_[n]; }
   NodeId dup_anchor(NodeId n) const { return dup_anchor_[n]; }
@@ -130,8 +168,8 @@ class SubtreeClassIndex {
   size_t size() const { return class_of_.size(); }
 
  private:
-  std::vector<SubtreeClassId> class_of_;
-  std::vector<NodeId> dup_anchor_;
+  ColumnView<SubtreeClassId> class_of_;
+  ColumnView<NodeId> dup_anchor_;
   uint64_t duplicated_nodes_ = 0;
   uint64_t duplicated_classes_ = 0;
 };

@@ -64,7 +64,7 @@ void RenderNode(const Fragment& fragment, const doc::Document& document,
   out->push_back('<');
   out->append(document.tag(node));
   out->push_back('>');
-  const std::string& text = document.text(node);
+  std::string_view text = document.text(node);
   if (!text.empty()) {
     out->append(xml::EscapeText(text));
   }

@@ -21,7 +21,7 @@ StatusOr<ShreddedDocument> Shred(const doc::Document& document,
         {Value(static_cast<int64_t>(n)), Value(parent),
          Value(static_cast<int64_t>(document.depth(n))),
          Value(static_cast<int64_t>(document.subtree_size(n))),
-         Value(document.tag(n))}));
+         Value(std::string(document.tag(n)))}));
   }
   XFRAG_RETURN_NOT_OK(out.node->CreateIndex("id"));
 

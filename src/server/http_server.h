@@ -114,6 +114,9 @@ class HttpServer {
   void Shutdown();
 
   const StatsRegistry& stats() const { return stats_; }
+  /// Mutable registry access for dispatcher-level events that are not
+  /// requests (e.g. xfragd recording snapshot opens). Thread-safe.
+  StatsRegistry& mutable_stats() { return stats_; }
 
   /// Connections currently admitted (serving, between keep-alive requests,
   /// or queued) — exposed for the overload tests and the /metrics gauge.

@@ -1,15 +1,28 @@
 // The xfragd server: a QueryService behind the shared HttpServer socket
 // layer (accept loop, admission control, HTTP/1.1 keep-alive — see
-// server/http_server.h). This class only supplies the dispatch logic:
-// routing /query, /healthz, /metrics, /version to the service. Each exchange
-// runs entirely on one worker thread; the only cross-thread state is the
-// stats registry (mutex) and the per-document fixed-point caches
-// (internally synchronized).
+// server/http_server.h). This class supplies the dispatch logic — routing
+// /query, /healthz, /metrics, /version, /admin/reload to the service — and
+// owns the swappable serving state.
+//
+// Serving state and atomic reload: the collection, its QueryService, and
+// the snapshot bookkeeping live together in one immutable ServingState held
+// through a shared_ptr. Every dispatched request copies the pointer once at
+// entry and uses that state for its whole exchange, so POST /admin/reload
+// can build a replacement state off to the side (parse nothing — just mmap
+// and validate the new snapshot) and publish it with a pointer swap. In-
+// flight requests finish against the epoch they started on; new requests
+// see the new one; nobody ever blocks on a reload, and the old state is
+// destroyed by the last request that holds it (its mapping is anchored via
+// Collection::HoldResource). The old service's caches are invalidated at
+// swap so a drained epoch releases its memory immediately.
 
 #ifndef XFRAG_SERVER_SERVER_H_
 #define XFRAG_SERVER_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "collection/collection.h"
@@ -18,6 +31,7 @@
 #include "server/http_server.h"
 #include "server/service.h"
 #include "server/stats.h"
+#include "storage/snapshot.h"
 
 namespace xfrag::server {
 
@@ -39,16 +53,30 @@ struct ServerOptions {
   bool keep_alive = true;
   int keep_alive_idle_timeout_ms = 5000;
   int max_requests_per_connection = 1000;
+  /// Run the structural column scans when /admin/reload opens a snapshot
+  /// (mirrors SnapshotOpenOptions::validate_structure). Leave on unless the
+  /// snapshot pipeline is fully trusted.
+  bool validate_snapshot_on_reload = true;
   ServiceOptions service;
 };
 
-/// \brief The xfragd HTTP server over one immutable collection.
+/// \brief The xfragd HTTP server over one immutable collection epoch.
 ///
-/// Lifecycle: construct → Start() → (serve) → Shutdown(). The destructor
-/// calls Shutdown() if needed. The collection must outlive the server.
+/// Lifecycle: construct → Start() → (serve, possibly reload) → Shutdown().
+/// The destructor calls Shutdown() if needed. With the borrowed-collection
+/// constructor the collection must outlive the server; with the snapshot
+/// constructor the server owns the mapping and POST /admin/reload works.
 class Server : private HttpDispatcher {
  public:
+  /// Serves a caller-owned collection (no reload support — there is no
+  /// snapshot file to re-open).
   Server(const collection::Collection& collection, ServerOptions options);
+
+  /// Serves a snapshot-backed collection; `path` is re-opened by
+  /// POST /admin/reload (or replaced by the path in the reload body).
+  Server(std::string snapshot_path, storage::SnapshotCollection snapshot,
+         ServerOptions options);
+
   ~Server() override;
 
   Server(const Server&) = delete;
@@ -66,22 +94,64 @@ class Server : private HttpDispatcher {
   void Shutdown() { http_.Shutdown(); }
 
   const StatsRegistry& stats() const { return http_.stats(); }
-  const QueryService& service() const { return service_; }
+
+  /// The current epoch's service. The reference is invalidated by a
+  /// concurrent /admin/reload — single-threaded tests only; request
+  /// handling goes through the per-request state snapshot instead.
+  const QueryService& service() const { return CurrentState()->service(); }
+
+  /// Monotonic serving-state generation; starts at 1, +1 per reload.
+  uint64_t Epoch() const { return CurrentState()->epoch; }
+
+  /// \brief Re-opens `path` (empty = the path currently served) and swaps
+  /// it in as the next epoch. Exposed for tests; /admin/reload calls this.
+  /// Fails without touching the serving state when the server was not
+  /// constructed from a snapshot or the new snapshot fails validation.
+  StatusOr<json::Value> ReloadSnapshot(const std::string& path);
 
   /// Connections currently admitted (serving or queued) — exposed for the
   /// overload tests and the /metrics gauge.
   int InFlight() const { return http_.InFlight(); }
 
  private:
+  /// One immutable generation of serving state. `snapshot.collection` (or
+  /// the borrowed pointer) must not move after construction, hence the
+  /// in-place service construction and the shared_ptr indirection.
+  struct ServingState {
+    storage::SnapshotCollection snapshot;  // Owner when from_snapshot.
+    const collection::Collection* borrowed = nullptr;
+    std::unique_ptr<QueryService> query_service;
+    uint64_t epoch = 1;
+    bool from_snapshot = false;
+    std::string snapshot_path;
+
+    const collection::Collection& collection() const {
+      return borrowed != nullptr ? *borrowed : snapshot.collection;
+    }
+    const QueryService& service() const { return *query_service; }
+  };
+
   /// Routes one complete request to a handler (HttpDispatcher).
   std::string Dispatch(const HttpRequest& request, bool keep_alive,
                        int* status_out, algebra::OpMetrics* metrics_out,
                        bool* has_metrics_out) override;
 
+  std::shared_ptr<const ServingState> CurrentState() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_;
+  }
+
+  /// Snapshot block of GET /metrics for `state` (live resident bytes).
+  json::Value SnapshotMetricsJson(const ServingState& state) const;
+
   static HttpServerOptions ToHttpOptions(const ServerOptions& options);
 
   ServerOptions options_;
-  QueryService service_;
+  mutable std::mutex state_mutex_;   // Guards the state_ pointer only.
+  std::shared_ptr<const ServingState> state_;
+  std::mutex reload_mutex_;          // Serializes concurrent reloads.
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
   HttpServer http_;
 };
 

@@ -12,6 +12,23 @@ void StatsRegistry::RecordRequest(int http_status, uint64_t latency_micros,
   if (metrics != nullptr) op_metrics_.Merge(*metrics);
 }
 
+void StatsRegistry::RecordSnapshotOpen(double open_ms, uint64_t file_bytes,
+                                       uint64_t mapped_bytes,
+                                       uint64_t resident_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++snapshot_open_.count;
+  snapshot_open_.last_open_ms = open_ms;
+  snapshot_open_.total_open_ms += open_ms;
+  snapshot_open_.file_bytes = file_bytes;
+  snapshot_open_.mapped_bytes = mapped_bytes;
+  snapshot_open_.resident_bytes = resident_bytes;
+}
+
+StatsRegistry::SnapshotOpen StatsRegistry::snapshot_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_open_;
+}
+
 uint64_t StatsRegistry::TotalRequests() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return latency_.count();
@@ -51,6 +68,17 @@ json::Value StatsRegistry::LatencyToJson(const LatencyHistogram& histogram) {
   return latency;
 }
 
+json::Value StatsRegistry::SnapshotOpenToJson(const SnapshotOpen& open) {
+  json::Value out = json::Value::Object();
+  out.Set("count", open.count);
+  out.Set("last_open_ms", open.last_open_ms);
+  out.Set("total_open_ms", open.total_open_ms);
+  out.Set("file_bytes", open.file_bytes);
+  out.Set("mapped_bytes", open.mapped_bytes);
+  out.Set("resident_bytes", open.resident_bytes);
+  return out;
+}
+
 json::Value StatsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   json::Value requests = json::Value::Object();
@@ -65,6 +93,9 @@ json::Value StatsRegistry::ToJson() const {
   out.Set("requests", std::move(requests));
   out.Set("latency_us", LatencyToJson(latency_));
   out.Set("op_metrics", OpMetricsToJson(op_metrics_));
+  if (snapshot_open_.count > 0) {
+    out.Set("snapshot_open", SnapshotOpenToJson(snapshot_open_));
+  }
   return out;
 }
 

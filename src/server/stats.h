@@ -21,11 +21,31 @@ namespace xfrag::server {
 /// \brief Thread-safe request statistics for one server instance.
 class StatsRegistry {
  public:
+  /// \brief Aggregate of every snapshot open this process performed
+  /// (startup + each /admin/reload). The byte fields describe the most
+  /// recent open. Rendered by SnapshotOpenToJson — the one rendering shared
+  /// by GET /metrics and bench_snapshot, so the numbers an operator reads
+  /// and the numbers the bench records can never drift apart.
+  struct SnapshotOpen {
+    uint64_t count = 0;
+    double last_open_ms = 0.0;
+    double total_open_ms = 0.0;
+    uint64_t file_bytes = 0;
+    uint64_t mapped_bytes = 0;
+    uint64_t resident_bytes = 0;
+  };
+
   /// \brief Records one finished request. `metrics` may be null (health
   /// checks, rejected requests); when present it is merged into the
   /// aggregate — 504 responses contribute their partial metrics too.
   void RecordRequest(int http_status, uint64_t latency_micros,
                      const algebra::OpMetrics* metrics);
+
+  /// \brief Records one snapshot open (startup or reload).
+  void RecordSnapshotOpen(double open_ms, uint64_t file_bytes,
+                          uint64_t mapped_bytes, uint64_t resident_bytes);
+
+  SnapshotOpen snapshot_open() const;
 
   /// Total requests recorded.
   uint64_t TotalRequests() const;
@@ -48,11 +68,16 @@ class StatsRegistry {
   /// router's per-shard metrics so both tiers report identically.
   static json::Value LatencyToJson(const LatencyHistogram& histogram);
 
+  /// \brief Renders a SnapshotOpen as {"count", "last_open_ms",
+  /// "total_open_ms", "file_bytes", "mapped_bytes", "resident_bytes"}.
+  static json::Value SnapshotOpenToJson(const SnapshotOpen& open);
+
  private:
   mutable std::mutex mutex_;
   std::map<int, uint64_t> by_status_;
   LatencyHistogram latency_;
   algebra::OpMetrics op_metrics_;
+  SnapshotOpen snapshot_open_;
 };
 
 }  // namespace xfrag::server

@@ -1,8 +1,13 @@
 // xfragd — the XML-fragment query daemon.
 //
 //   usage: xfragd [--collection] <file.xml|file.xdb>... [options]
+//          xfragd --snapshot <file.snap> [options]
 //
 //   options:
+//     --snapshot F           serve an mmap snapshot (xfrag_snapshot build);
+//                            O(1) startup, POST /admin/reload swaps epochs
+//     --trust-snapshot       skip the structural column scans when opening
+//                            (only for snapshots from a trusted pipeline)
 //     --host H               bind address      (default 127.0.0.1)
 //     --port N               TCP port          (default 8378, 0 = ephemeral)
 //     --workers N            query worker threads        (default 4)
@@ -20,7 +25,8 @@
 //     --version              print build info and exit
 //
 //   $ xfragd --collection paper.xml &
-//   xfragd listening on 127.0.0.1:8378 (1 document, 132 nodes)
+//   xfragd: loaded 1 document (132 nodes)
+//   xfragd listening on 127.0.0.1:8378
 //   $ xfrag_client '{XQuery, optimization}'
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
@@ -41,6 +47,7 @@
 #include "common/strings.h"
 #include "common/version.h"
 #include "server/server.h"
+#include "storage/snapshot.h"
 #include "storage/storage.h"
 
 namespace {
@@ -54,11 +61,13 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--collection] <file.xml|file.xdb>... [options]\n"
+      "       %s --snapshot <file.snap> [options]\n"
+      "  --snapshot F | --trust-snapshot\n"
       "  --host H | --port N | --workers N | --queue N\n"
       "  --default-deadline-ms MS | --max-deadline-ms MS\n"
       "  --request-timeout-ms MS | --result-cache-mb N\n"
       "  --fp-cache-entries N | --fp-cache-mb N | --debug-sleep | --version\n",
-      argv0);
+      argv0, argv0);
   return 2;
 }
 
@@ -70,10 +79,36 @@ xfrag::StatusOr<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+// Starts `server` and blocks until SIGINT/SIGTERM, then drains gracefully.
+int ServeUntilSignalled(xfrag::server::Server& server,
+                        const xfrag::server::ServerOptions& options) {
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "xfragd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("xfragd listening on %s:%u\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("xfragd: draining %d in-flight request(s)...\n",
+              server.InFlight());
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("xfragd: served %llu request(s), bye\n",
+              static_cast<unsigned long long>(server.stats().TotalRequests()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::string snapshot_path;
+  bool trust_snapshot = false;
   xfrag::server::ServerOptions options;
   options.port = 8378;
   // Daemon defaults differ from the library's: a long-running server wants
@@ -89,6 +124,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--collection") {
       // Cosmetic marker; the files that follow are positional anyway.
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (arg == "--trust-snapshot") {
+      trust_snapshot = true;
     } else if (arg == "--host" && i + 1 < argc) {
       options.host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
@@ -124,7 +163,35 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) return Usage(argv[0]);
+  if (files.empty() == snapshot_path.empty()) {
+    // Exactly one of --snapshot and positional files must be given.
+    return Usage(argv[0]);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!snapshot_path.empty()) {
+    xfrag::storage::SnapshotOpenOptions open_options;
+    open_options.validate_structure = !trust_snapshot;
+    auto loaded = xfrag::storage::LoadCollectionFromSnapshot(snapshot_path,
+                                                             open_options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "xfragd: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("xfragd: opened snapshot %s in %.3f ms "
+                "(%zu document%s, %zu nodes, %llu bytes mapped)\n",
+                snapshot_path.c_str(), loaded->stats.open_ms,
+                loaded->collection.size(),
+                loaded->collection.size() == 1 ? "" : "s",
+                loaded->collection.TotalNodes(),
+                static_cast<unsigned long long>(loaded->stats.mapped_bytes));
+    xfrag::server::Server server(snapshot_path, std::move(*loaded), options);
+    return ServeUntilSignalled(server, options);
+  }
 
   xfrag::collection::Collection collection;
   for (const std::string& path : files) {
@@ -155,29 +222,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  std::signal(SIGPIPE, SIG_IGN);
-
-  xfrag::server::Server server(collection, options);
-  auto started = server.Start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "xfragd: %s\n", started.ToString().c_str());
-    return 1;
-  }
-  std::printf("xfragd listening on %s:%u (%zu document%s, %zu nodes)\n",
-              options.host.c_str(), server.port(), collection.size(),
+  std::printf("xfragd: loaded %zu document%s (%zu nodes)\n", collection.size(),
               collection.size() == 1 ? "" : "s", collection.TotalNodes());
-  std::fflush(stdout);
-
-  while (g_shutdown_requested == 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
-  std::printf("xfragd: draining %d in-flight request(s)...\n",
-              server.InFlight());
-  std::fflush(stdout);
-  server.Shutdown();
-  std::printf("xfragd: served %llu request(s), bye\n",
-              static_cast<unsigned long long>(server.stats().TotalRequests()));
-  return 0;
+  xfrag::server::Server server(collection, options);
+  return ServeUntilSignalled(server, options);
 }

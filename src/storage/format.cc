@@ -22,20 +22,25 @@ void PutFixed64(uint64_t value, std::string* out) {
 }
 
 StatusOr<uint64_t> Reader::ReadVarint() {
+  // Hardened against adversarial input: the shift is bounded by the explicit
+  // 10-byte LEB128 cap (10 * 7 = 70 > 64), so it can never reach the width
+  // of uint64_t and shift-overflow UB is structurally impossible. The 10th
+  // byte may only contribute the single remaining bit.
   uint64_t value = 0;
   int shift = 0;
-  while (true) {
+  for (int length = 1; length <= kMaxVarintBytes; ++length, shift += 7) {
     if (pos_ >= data_.size()) {
       return Status::ParseError("truncated varint");
     }
     uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
-    if (shift >= 63 && byte > 1) {
+    if (shift == 63 && (byte & 0x7F) > 1) {
       return Status::ParseError("varint overflows 64 bits");
     }
     value |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return value;
-    shift += 7;
   }
+  return Status::ParseError(
+      "varint continues past 10 bytes (malformed LEB128)");
 }
 
 StatusOr<std::string> Reader::ReadString() {

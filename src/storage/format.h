@@ -14,6 +14,11 @@
 
 namespace xfrag::storage {
 
+/// Longest valid LEB128 encoding of a uint64_t (10 * 7 bits >= 64). Reader
+/// rejects longer runs of continuation bytes with ParseError instead of
+/// shifting past the word width.
+inline constexpr int kMaxVarintBytes = 10;
+
 /// \brief Appends an unsigned LEB128 varint.
 void PutVarint(uint64_t value, std::string* out);
 
@@ -40,6 +45,8 @@ class Reader {
   /// Bytes remaining.
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ >= data_.size(); }
+  /// Bytes consumed so far (offset of the next read).
+  size_t position() const { return pos_; }
 
  private:
   std::string_view data_;

@@ -1,0 +1,76 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace xfrag::storage {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  return *this;
+}
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::Internal("cannot stat '" + path +
+                                     "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::ParseError("'" + path + "' is empty");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping holds its own reference to the file.
+  if (data == MAP_FAILED) {
+    return Status::Internal("cannot mmap '" + path +
+                            "': " + std::strerror(errno));
+  }
+  MmapFile file;
+  file.data_ = data;
+  file.size_ = size;
+  return file;
+}
+
+uint64_t MmapFile::ResidentBytes() const {
+  if (data_ == nullptr) return 0;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> residency(pages);
+  if (::mincore(data_, size_, residency.data()) != 0) return 0;
+  uint64_t resident_pages = 0;
+  for (unsigned char r : residency) resident_pages += (r & 1u);
+  return resident_pages * page;
+}
+
+void MmapFile::AdviseSequential() const {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_SEQUENTIAL);
+}
+
+}  // namespace xfrag::storage

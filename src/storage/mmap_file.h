@@ -1,0 +1,56 @@
+// RAII read-only memory mapping of a snapshot file. The mapping is private
+// and read-only (PROT_READ, MAP_PRIVATE): the kernel pages bytes in on
+// demand, so opening a multi-GB snapshot costs milliseconds and a corpus
+// larger than RAM is served from page cache with the OS doing eviction.
+
+#ifndef XFRAG_STORAGE_MMAP_FILE_H_
+#define XFRAG_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xfrag::storage {
+
+/// \brief A read-only mmap of one file, unmapped on destruction.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// \brief Maps `path` read-only. Empty files are rejected (a snapshot is
+  /// never empty). The fd is closed after mapping; the mapping persists.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  /// The mapped bytes.
+  std::string_view bytes() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+  /// \brief Bytes of the mapping currently resident in memory (via
+  /// mincore); an observability number, not a guarantee. Returns 0 when the
+  /// probe fails.
+  uint64_t ResidentBytes() const;
+
+  /// \brief Advises the kernel the mapping will be read sequentially soon
+  /// (used by full-file checksum verification).
+  void AdviseSequential() const;
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace xfrag::storage
+
+#endif  // XFRAG_STORAGE_MMAP_FILE_H_

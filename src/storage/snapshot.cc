@@ -1,0 +1,615 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "common/version.h"
+#include "storage/format.h"
+
+namespace xfrag::storage {
+
+// Typed column access casts mapped bytes directly; the format is defined
+// little-endian, so a big-endian host would need byte-swapping shims.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot columns are little-endian");
+
+namespace {
+
+constexpr size_t kSectionKindCount = 21;  // Highest SectionKind value + 1.
+constexpr size_t kSuperblockBytes = 64;   // Used bytes of page 0.
+
+// Superblock field offsets (all u64 little-endian after the 8-byte magic).
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffPageSize = 16;
+constexpr size_t kOffFileBytes = 24;
+constexpr size_t kOffTocOffset = 32;
+constexpr size_t kOffTocBytes = 40;
+constexpr size_t kOffTocChecksum = 48;
+constexpr size_t kOffHeaderChecksum = 56;
+
+void WriteU64LE(uint64_t value, char* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>(value >> (8 * i));
+}
+
+uint64_t ReadU64LE(const char* in) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(in[i])) << (8 * i);
+  }
+  return value;
+}
+
+void AppendU32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(value >> (8 * i)));
+  }
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(value >> (8 * i)));
+  }
+}
+
+std::string EncodeMeta(const SnapshotMeta& m) {
+  std::string out;
+  PutString(m.tool_version, &out);
+  PutVarint(m.doc_count, &out);
+  PutVarint(m.node_count, &out);
+  PutVarint(m.child_count, &out);
+  PutVarint(m.tag_dict_count, &out);
+  PutVarint(m.tag_blob_bytes, &out);
+  PutVarint(m.text_bytes, &out);
+  PutVarint(m.term_entry_count, &out);
+  PutVarint(m.term_blob_bytes, &out);
+  PutVarint(m.postings_bytes, &out);
+  PutVarint(m.posting_count, &out);
+  PutVarint(m.class_count, &out);
+  PutVarint(m.index_options.tokenizer.remove_stopwords ? 1 : 0, &out);
+  PutVarint(m.index_options.tokenizer.min_token_length, &out);
+  PutVarint(m.index_options.tokenizer.fold_plurals ? 1 : 0, &out);
+  PutVarint(m.index_options.index_tag_names ? 1 : 0, &out);
+  return out;
+}
+
+StatusOr<SnapshotMeta> DecodeMeta(std::string_view payload) {
+  Reader r(payload);
+  SnapshotMeta m;
+  XFRAG_ASSIGN_OR_RETURN(m.tool_version, r.ReadString());
+  XFRAG_ASSIGN_OR_RETURN(m.doc_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.node_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.child_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.tag_dict_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.tag_blob_bytes, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.text_bytes, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.term_entry_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.term_blob_bytes, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.postings_bytes, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.posting_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(m.class_count, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(uint64_t stopwords, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(uint64_t min_token, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(uint64_t plurals, r.ReadVarint());
+  XFRAG_ASSIGN_OR_RETURN(uint64_t tag_names, r.ReadVarint());
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes in snapshot meta");
+  }
+  m.index_options.tokenizer.remove_stopwords = stopwords != 0;
+  m.index_options.tokenizer.min_token_length =
+      static_cast<size_t>(min_token);
+  m.index_options.tokenizer.fold_plurals = plurals != 0;
+  m.index_options.index_tag_names = tag_names != 0;
+  return m;
+}
+
+std::string EncodeDirectory(const std::vector<SnapshotDocRecord>& docs) {
+  std::string out;
+  for (const SnapshotDocRecord& d : docs) {
+    PutString(d.name, &out);
+    PutVarint(d.node_count, &out);
+    PutVarint(d.term_count, &out);
+    PutVarint(d.posting_count, &out);
+    PutVarint(d.duplicated_nodes, &out);
+    PutVarint(d.duplicated_classes, &out);
+    PutVarint(d.node_base, &out);
+    PutVarint(d.term_base, &out);
+  }
+  return out;
+}
+
+StatusOr<std::vector<SnapshotDocRecord>> DecodeDirectory(
+    std::string_view payload, const SnapshotMeta& meta) {
+  Reader r(payload);
+  std::vector<SnapshotDocRecord> docs;
+  docs.reserve(meta.doc_count);
+  uint64_t node_base = 0, term_base = 0, postings = 0;
+  for (uint64_t i = 0; i < meta.doc_count; ++i) {
+    SnapshotDocRecord d;
+    XFRAG_ASSIGN_OR_RETURN(d.name, r.ReadString());
+    XFRAG_ASSIGN_OR_RETURN(d.node_count, r.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(d.term_count, r.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(d.posting_count, r.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(d.duplicated_nodes, r.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(d.duplicated_classes, r.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(d.node_base, r.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(d.term_base, r.ReadVarint());
+    if (d.name.empty()) {
+      return Status::ParseError("snapshot directory has an unnamed document");
+    }
+    if (d.node_count == 0) {
+      return Status::ParseError("snapshot document '" + d.name +
+                                "' has zero nodes");
+    }
+    // The stored bases are redundant with accumulation; a mismatch means
+    // the directory and the columns disagree about where slices start.
+    if (d.node_base != node_base || d.term_base != term_base) {
+      return Status::ParseError("snapshot directory bases are inconsistent");
+    }
+    node_base += d.node_count;
+    term_base += d.term_count;
+    postings += d.posting_count;
+    docs.push_back(std::move(d));
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes in snapshot directory");
+  }
+  if (node_base != meta.node_count || term_base != meta.term_entry_count ||
+      postings != meta.posting_count) {
+    return Status::ParseError(
+        "snapshot directory totals disagree with the meta section");
+  }
+  return docs;
+}
+
+}  // namespace
+
+Status WriteSnapshot(const collection::Collection& collection,
+                     const text::IndexOptions& index_options,
+                     const std::string& path) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("refusing to snapshot an empty collection");
+  }
+
+  SnapshotMeta meta;
+  meta.tool_version = kVersion;
+  meta.doc_count = collection.size();
+  meta.index_options = index_options;
+
+  // Column buffers, concatenated across documents (layout comment in the
+  // header). Buffers are raw little-endian bytes, appended in one pass.
+  std::string parents, depths, subtrees, child_offsets, child_ids, tag_ids;
+  std::string tag_dict_offsets, tag_blob;
+  std::string text_offsets, text_blob;
+  std::string term_offsets, term_blob, posting_offsets, postings_blob;
+  std::string class_of, dup_anchor, class_nodes, class_occurrences;
+  std::vector<SnapshotDocRecord> docs;
+  docs.reserve(collection.size());
+
+  std::unordered_map<std::string_view, uint32_t> tag_dict;
+  std::vector<uint64_t> tag_dict_ends;  // Blob end per dictionary entry.
+  uint64_t node_base = 0, child_total = 0, term_base = 0;
+
+  for (size_t di = 0; di < collection.size(); ++di) {
+    const collection::CollectionEntry& entry = collection.entry(di);
+    const doc::Document& document = entry.document;
+    const size_t n = document.size();
+
+    SnapshotDocRecord record;
+    record.name = entry.name;
+    record.node_count = n;
+    record.node_base = node_base;
+    record.term_base = term_base;
+    record.duplicated_nodes = entry.classes.duplicated_nodes();
+    record.duplicated_classes = entry.classes.duplicated_classes();
+
+    for (doc::NodeId node = 0; node < n; ++node) {
+      AppendU32(document.parent(node), &parents);
+      AppendU32(document.depth(node), &depths);
+      AppendU32(document.subtree_size(node), &subtrees);
+      AppendU32(static_cast<uint32_t>(child_total), &child_offsets);
+      for (doc::NodeId child : document.children(node)) {
+        AppendU32(child, &child_ids);
+        ++child_total;
+      }
+      // The dictionary keys view the documents' own tag storage, which
+      // outlives this function (the collection stays alive).
+      std::string_view tag = document.tag(node);
+      auto [it, inserted] =
+          tag_dict.emplace(tag, static_cast<uint32_t>(tag_dict_ends.size()));
+      if (inserted) {
+        tag_blob.append(tag);
+        tag_dict_ends.push_back(tag_blob.size());
+      }
+      AppendU32(it->second, &tag_ids);
+      AppendU64(text_blob.size(), &text_offsets);
+      text_blob.append(document.text(node));
+      AppendU32(entry.classes.class_of(node), &class_of);
+      AppendU32(entry.classes.dup_anchor(node), &dup_anchor);
+    }
+
+    std::vector<std::string> terms = entry.index.Terms();
+    std::sort(terms.begin(), terms.end());
+    record.term_count = terms.size();
+    for (const std::string& term : terms) {
+      AppendU64(term_blob.size(), &term_offsets);
+      term_blob.append(term);
+      AppendU64(postings_blob.size(), &posting_offsets);
+      const auto& list = entry.index.Lookup(term);
+      doc::NodeId previous = 0;
+      for (doc::NodeId id : list) {
+        PutVarint(id - previous, &postings_blob);  // First run is absolute.
+        previous = id;
+      }
+      record.posting_count += list.size();
+    }
+
+    node_base += n;
+    term_base += record.term_count;
+    docs.push_back(std::move(record));
+  }
+  // Shared trailing boundary entries.
+  AppendU32(static_cast<uint32_t>(child_total), &child_offsets);
+  AppendU64(text_blob.size(), &text_offsets);
+  AppendU64(term_blob.size(), &term_offsets);
+  AppendU64(postings_blob.size(), &posting_offsets);
+
+  tag_dict_offsets.reserve(8 * (tag_dict_ends.size() + 1));
+  AppendU64(0, &tag_dict_offsets);
+  for (uint64_t end : tag_dict_ends) AppendU64(end, &tag_dict_offsets);
+
+  const doc::SubtreeClassInterner& interner = collection.subtree_classes();
+  meta.class_count = interner.size();
+  for (doc::SubtreeClassId c = 0; c < meta.class_count; ++c) {
+    AppendU64(interner.class_nodes(c), &class_nodes);
+    AppendU64(interner.occurrences(c), &class_occurrences);
+  }
+
+  meta.node_count = node_base;
+  meta.child_count = child_total;
+  meta.tag_dict_count = tag_dict_ends.size();
+  meta.tag_blob_bytes = tag_blob.size();
+  meta.text_bytes = text_blob.size();
+  meta.term_entry_count = term_base;
+  meta.term_blob_bytes = term_blob.size();
+  meta.postings_bytes = postings_blob.size();
+  for (const SnapshotDocRecord& d : docs) meta.posting_count += d.posting_count;
+  if (meta.node_count >= (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("snapshot node count exceeds 32 bits");
+  }
+
+  // Assemble the file: superblock page, page-aligned sections, tail TOC.
+  struct PendingSection {
+    SectionKind kind;
+    const std::string* payload;
+  };
+  const std::string meta_payload = EncodeMeta(meta);
+  const std::string directory_payload = EncodeDirectory(docs);
+  const PendingSection layout[] = {
+      {SectionKind::kMeta, &meta_payload},
+      {SectionKind::kDirectory, &directory_payload},
+      {SectionKind::kParents, &parents},
+      {SectionKind::kDepth, &depths},
+      {SectionKind::kSubtreeSize, &subtrees},
+      {SectionKind::kChildOffsets, &child_offsets},
+      {SectionKind::kChildIds, &child_ids},
+      {SectionKind::kTagIds, &tag_ids},
+      {SectionKind::kTagDictOffsets, &tag_dict_offsets},
+      {SectionKind::kTagDictBlob, &tag_blob},
+      {SectionKind::kTextOffsets, &text_offsets},
+      {SectionKind::kTextBlob, &text_blob},
+      {SectionKind::kTermOffsets, &term_offsets},
+      {SectionKind::kTermBlob, &term_blob},
+      {SectionKind::kPostingOffsets, &posting_offsets},
+      {SectionKind::kPostingsBlob, &postings_blob},
+      {SectionKind::kClassOf, &class_of},
+      {SectionKind::kDupAnchor, &dup_anchor},
+      {SectionKind::kClassNodes, &class_nodes},
+      {SectionKind::kClassOccurrences, &class_occurrences},
+  };
+
+  std::string file(kSnapshotPageSize, '\0');  // Superblock filled below.
+  std::string toc;
+  PutVarint(std::size(layout), &toc);
+  for (const PendingSection& s : layout) {
+    file.resize((file.size() + kSnapshotPageSize - 1) / kSnapshotPageSize *
+                kSnapshotPageSize);
+    PutVarint(static_cast<uint64_t>(s.kind), &toc);
+    PutVarint(file.size(), &toc);
+    PutVarint(s.payload->size(), &toc);
+    PutFixed64(Checksum(*s.payload), &toc);
+    file.append(*s.payload);
+  }
+  file.resize((file.size() + kSnapshotPageSize - 1) / kSnapshotPageSize *
+              kSnapshotPageSize);
+  const uint64_t toc_offset = file.size();
+  file.append(toc);
+
+  char* super = file.data();
+  std::memcpy(super, kSnapshotMagic.data(), kSnapshotMagic.size());
+  WriteU64LE(kSnapshotFormatVersion, super + kOffVersion);
+  WriteU64LE(kSnapshotPageSize, super + kOffPageSize);
+  WriteU64LE(file.size(), super + kOffFileBytes);
+  WriteU64LE(toc_offset, super + kOffTocOffset);
+  WriteU64LE(toc.size(), super + kOffTocBytes);
+  WriteU64LE(Checksum(toc), super + kOffTocChecksum);
+  WriteU64LE(Checksum(std::string_view(super, kOffHeaderChecksum)),
+             super + kOffHeaderChecksum);
+
+  std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open '" + temp + "' for writing");
+    }
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      return Status::Internal("short write to '" + temp + "'");
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<SnapshotReader>> SnapshotReader::Open(
+    const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  XFRAG_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  std::string_view bytes = file.bytes();
+
+  auto fail = [&path](const std::string& what) {
+    return Status::ParseError("snapshot '" + path + "': " + what);
+  };
+
+  if (bytes.size() < kSnapshotPageSize) {
+    return fail("file smaller than one page");
+  }
+  if (bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return fail("bad magic (not a snapshot)");
+  }
+  const char* super = bytes.data();
+  if (ReadU64LE(super + kOffHeaderChecksum) !=
+      Checksum(std::string_view(super, kOffHeaderChecksum))) {
+    return fail("superblock checksum mismatch");
+  }
+  const uint64_t version = ReadU64LE(super + kOffVersion);
+  if (version != kSnapshotFormatVersion) {
+    return fail(StrFormat("unsupported format version %llu",
+                          static_cast<unsigned long long>(version)));
+  }
+  if (ReadU64LE(super + kOffPageSize) != kSnapshotPageSize) {
+    return fail("unexpected page size");
+  }
+  if (ReadU64LE(super + kOffFileBytes) != bytes.size()) {
+    return fail("file size disagrees with superblock (truncated?)");
+  }
+  const uint64_t toc_offset = ReadU64LE(super + kOffTocOffset);
+  const uint64_t toc_bytes = ReadU64LE(super + kOffTocBytes);
+  if (toc_offset < kSnapshotPageSize || toc_offset > bytes.size() ||
+      toc_bytes > bytes.size() - toc_offset) {
+    return fail("TOC out of bounds");
+  }
+  std::string_view toc = bytes.substr(toc_offset, toc_bytes);
+  if (ReadU64LE(super + kOffTocChecksum) != Checksum(toc)) {
+    return fail("TOC checksum mismatch");
+  }
+
+  auto reader = std::shared_ptr<SnapshotReader>(new SnapshotReader());
+  reader->path_ = path;
+  reader->sections_.resize(kSectionKindCount);
+
+  Reader toc_reader(toc);
+  XFRAG_ASSIGN_OR_RETURN(uint64_t section_count, toc_reader.ReadVarint());
+  if (section_count > 1024) return fail("implausible section count");
+  for (uint64_t i = 0; i < section_count; ++i) {
+    XFRAG_ASSIGN_OR_RETURN(uint64_t kind, toc_reader.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(uint64_t offset, toc_reader.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(uint64_t size, toc_reader.ReadVarint());
+    XFRAG_ASSIGN_OR_RETURN(uint64_t checksum, toc_reader.ReadFixed64());
+    if (offset % kSnapshotPageSize != 0) {
+      return fail("section not page-aligned");
+    }
+    if (offset > bytes.size() || size > bytes.size() - offset) {
+      return fail("section out of bounds");
+    }
+    if (kind >= kSectionKindCount) continue;  // Future kinds are skipped.
+    Section& s = reader->sections_[kind];
+    if (s.present) return fail("duplicate section in TOC");
+    s.offset = offset;
+    s.bytes = size;
+    s.checksum = checksum;
+    s.present = true;
+  }
+  if (!toc_reader.AtEnd()) return fail("trailing bytes in TOC");
+
+  for (size_t kind = 1; kind < kSectionKindCount; ++kind) {
+    if (!reader->sections_[kind].present) {
+      return fail(StrFormat("required section %zu missing", kind));
+    }
+  }
+
+  XFRAG_ASSIGN_OR_RETURN(reader->meta_,
+                         DecodeMeta(bytes.substr(
+                             reader->sections_[1].offset,
+                             reader->sections_[1].bytes)));
+  const SnapshotMeta& meta = reader->meta_;
+  if (meta.doc_count == 0) return fail("empty snapshot");
+  if (meta.node_count >= (uint64_t{1} << 32)) {
+    return fail("node count exceeds 32 bits");
+  }
+  if (meta.doc_count > meta.node_count ||
+      meta.child_count != meta.node_count - meta.doc_count) {
+    return fail("child count disagrees with node/document counts");
+  }
+  // Caps keep the 4*/8* expected-size arithmetic below from overflowing on
+  // adversarial counts; real corpora sit far under 2^48 of anything.
+  for (uint64_t count :
+       {meta.tag_dict_count, meta.term_entry_count, meta.class_count,
+        meta.posting_count, meta.tag_blob_bytes, meta.text_bytes,
+        meta.term_blob_bytes, meta.postings_bytes}) {
+    if (count > (uint64_t{1} << 48)) return fail("implausible meta count");
+  }
+
+  // Every typed column's byte size is pinned by the meta counts; checking
+  // them here means the accessors can never index past a section.
+  struct Expect {
+    SectionKind kind;
+    uint64_t bytes;
+  };
+  const Expect expected[] = {
+      {SectionKind::kParents, 4 * meta.node_count},
+      {SectionKind::kDepth, 4 * meta.node_count},
+      {SectionKind::kSubtreeSize, 4 * meta.node_count},
+      {SectionKind::kChildOffsets, 4 * (meta.node_count + 1)},
+      {SectionKind::kChildIds, 4 * meta.child_count},
+      {SectionKind::kTagIds, 4 * meta.node_count},
+      {SectionKind::kTagDictOffsets, 8 * (meta.tag_dict_count + 1)},
+      {SectionKind::kTagDictBlob, meta.tag_blob_bytes},
+      {SectionKind::kTextOffsets, 8 * (meta.node_count + 1)},
+      {SectionKind::kTextBlob, meta.text_bytes},
+      {SectionKind::kTermOffsets, 8 * (meta.term_entry_count + 1)},
+      {SectionKind::kTermBlob, meta.term_blob_bytes},
+      {SectionKind::kPostingOffsets, 8 * (meta.term_entry_count + 1)},
+      {SectionKind::kPostingsBlob, meta.postings_bytes},
+      {SectionKind::kClassOf, 4 * meta.node_count},
+      {SectionKind::kDupAnchor, 4 * meta.node_count},
+      {SectionKind::kClassNodes, 8 * meta.class_count},
+      {SectionKind::kClassOccurrences, 8 * meta.class_count},
+  };
+  for (const Expect& e : expected) {
+    if (reader->sections_[static_cast<size_t>(e.kind)].bytes != e.bytes) {
+      return fail(StrFormat("section %llu has unexpected size",
+                            static_cast<unsigned long long>(e.kind)));
+    }
+  }
+
+  XFRAG_ASSIGN_OR_RETURN(
+      reader->docs_,
+      DecodeDirectory(bytes.substr(reader->sections_[2].offset,
+                                   reader->sections_[2].bytes),
+                      meta));
+
+  reader->file_ = std::move(file);
+  reader->stats_.file_bytes = reader->file_.size();
+  reader->stats_.mapped_bytes = reader->file_.size();
+  reader->stats_.resident_bytes = reader->file_.ResidentBytes();
+  reader->stats_.open_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return reader;
+}
+
+Status SnapshotReader::VerifyChecksums() const {
+  file_.AdviseSequential();
+  for (size_t kind = 1; kind < kSectionKindCount; ++kind) {
+    const Section& s = sections_[kind];
+    if (!s.present) continue;
+    if (Checksum(file_.bytes().substr(s.offset, s.bytes)) != s.checksum) {
+      return Status::ParseError(
+          StrFormat("snapshot '%s': section %zu checksum mismatch",
+                    path_.c_str(), kind));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<SnapshotCollection> LoadCollectionFromSnapshot(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  XFRAG_ASSIGN_OR_RETURN(std::shared_ptr<SnapshotReader> reader,
+                         SnapshotReader::Open(path));
+  const SnapshotMeta& meta = reader->meta();
+  const bool validate = options.validate_structure;
+
+  SnapshotCollection out;
+  XFRAG_ASSIGN_OR_RETURN(
+      doc::SubtreeClassInterner interner,
+      doc::SubtreeClassInterner::FromSnapshotStats(
+          reader->class_nodes(), reader->class_occurrences(),
+          meta.class_count));
+  out.collection.AdoptSubtreeClassStats(std::move(interner));
+
+  for (const SnapshotDocRecord& record : reader->documents()) {
+    const uint64_t b = record.node_base;
+
+    doc::SnapshotDocumentColumns dc;
+    dc.node_count = record.node_count;
+    dc.parents = reader->parents() + b;
+    dc.depths = reader->depths() + b;
+    dc.subtree_sizes = reader->subtree_sizes() + b;
+    dc.child_offsets = reader->child_offsets() + b;
+    dc.child_ids = reader->child_ids();  // Global base; offsets are global.
+    dc.tag_ids = reader->tag_ids() + b;
+    dc.tag_offsets = reader->tag_dict_offsets();
+    dc.tag_dict_count = meta.tag_dict_count;
+    dc.tag_blob = reader->tag_dict_blob();
+    dc.text_offsets = reader->text_offsets() + b;
+    dc.text_blob = reader->text_blob();
+    dc.validate = validate;
+    auto document = doc::Document::FromSnapshotColumns(dc);
+    if (!document.ok()) {
+      return Status(document.status().code(),
+                    "snapshot '" + path + "' document '" + record.name +
+                        "': " + document.status().message());
+    }
+
+    text::InvertedIndex::SnapshotColumns ic;
+    ic.term_count = record.term_count;
+    ic.term_offsets = reader->term_offsets() + record.term_base;
+    ic.term_blob = reader->term_blob();
+    ic.posting_offsets = reader->posting_offsets() + record.term_base;
+    ic.postings_blob = reader->postings_blob();
+    ic.node_count = record.node_count;
+    ic.posting_count = record.posting_count;
+    ic.validate = validate;
+    auto index = text::InvertedIndex::FromSnapshotColumns(
+        ic, meta.index_options.tokenizer);
+    if (!index.ok()) {
+      return Status(index.status().code(),
+                    "snapshot '" + path + "' index for '" + record.name +
+                        "': " + index.status().message());
+    }
+
+    doc::SubtreeClassIndex::SnapshotColumns cc;
+    cc.node_count = record.node_count;
+    cc.class_of = reader->class_of() + b;
+    cc.dup_anchor = reader->dup_anchors() + b;
+    cc.duplicated_nodes = record.duplicated_nodes;
+    cc.duplicated_classes = record.duplicated_classes;
+    cc.class_count = meta.class_count;
+    cc.validate = validate;
+    auto classes = doc::SubtreeClassIndex::FromSnapshotColumns(cc, *document);
+    if (!classes.ok()) {
+      return Status(classes.status().code(),
+                    "snapshot '" + path + "' classes for '" + record.name +
+                        "': " + classes.status().message());
+    }
+
+    XFRAG_RETURN_NOT_OK(out.collection.AddPrebuilt(
+        record.name, std::move(*document), std::move(*index),
+        std::move(*classes)));
+  }
+
+  out.collection.HoldResource(reader);
+  out.meta = meta;
+  out.stats = reader->open_stats();
+  out.stats.resident_bytes = reader->ResidentBytesNow();
+  out.stats.open_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  out.reader = std::move(reader);
+  return out;
+}
+
+}  // namespace xfrag::storage

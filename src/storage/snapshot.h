@@ -1,0 +1,246 @@
+// Memory-mapped immutable collection snapshots: the parse → index →
+// hash-cons pipeline runs once (offline, or in xfrag_snapshot), and every
+// subsequent process start mmaps the result and serves zero-copy. Format
+// spec and rationale: docs/STORAGE.md.
+//
+// File layout (all offsets page-aligned, integers little-endian):
+//
+//   page 0   superblock: magic "XFSNAP01", format version, page size,
+//            file bytes, TOC location + checksum, header checksum
+//   ...      sections (columnar, one per SectionKind), page-aligned
+//   tail     TOC: per section (kind, offset, bytes, checksum), varint-coded
+//            with the hardened storage/format.h primitives
+//
+// Node columns are concatenated across documents with shared boundary
+// entries: `child_offsets` is u32[total_nodes + 1] cumulative into the
+// global child-id column (values are document-local node ids), and
+// `text_offsets` is u64[total_nodes + 1] absolute into one global text
+// blob, so a document's view is a pointer slice plus the global data base.
+// The tag dictionary and the subtree-class table are collection-global;
+// term dictionaries and delta-coded posting runs are per-document slices of
+// global blobs located through the directory's cumulative bases.
+//
+// Opening costs O(superblock + TOC + directory): section bounds, alignment,
+// and byte sizes are checked against the meta counts without touching data
+// pages. Structural validation of the columns themselves (pre-order
+// parents, CSR consistency, offset monotonicity, posting runs) happens per
+// document in the zero-copy constructors when
+// SnapshotOpenOptions::validate_structure is set (the default — cheap
+// integer scans that make adversarial files fail with ParseError instead of
+// undefined behavior). VerifyChecksums() is the explicit full-file pass.
+
+#ifndef XFRAG_STORAGE_SNAPSHOT_H_
+#define XFRAG_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collection/collection.h"
+#include "common/status.h"
+#include "storage/mmap_file.h"
+#include "text/inverted_index.h"
+
+namespace xfrag::storage {
+
+inline constexpr uint64_t kSnapshotFormatVersion = 1;
+inline constexpr uint64_t kSnapshotPageSize = 4096;
+inline constexpr std::string_view kSnapshotMagic = "XFSNAP01";
+
+/// Section identifiers. Unknown kinds are skipped on read (forward
+/// compatibility); all kinds below are required.
+enum class SectionKind : uint64_t {
+  kMeta = 1,
+  kDirectory = 2,
+  kParents = 3,
+  kDepth = 4,
+  kSubtreeSize = 5,
+  kChildOffsets = 6,
+  kChildIds = 7,
+  kTagIds = 8,
+  kTagDictOffsets = 9,
+  kTagDictBlob = 10,
+  kTextOffsets = 11,
+  kTextBlob = 12,
+  kTermOffsets = 13,
+  kTermBlob = 14,
+  kPostingOffsets = 15,
+  kPostingsBlob = 16,
+  kClassOf = 17,
+  kDupAnchor = 18,
+  kClassNodes = 19,
+  kClassOccurrences = 20,
+};
+
+/// \brief Collection-level counts and build configuration, from the meta
+/// section. The counts pin every column's expected byte size at open time.
+struct SnapshotMeta {
+  std::string tool_version;  // Library version that wrote the file.
+  uint64_t doc_count = 0;
+  uint64_t node_count = 0;     // Sum over documents.
+  uint64_t child_count = 0;    // node_count - doc_count.
+  uint64_t tag_dict_count = 0;
+  uint64_t tag_blob_bytes = 0;
+  uint64_t text_bytes = 0;
+  uint64_t term_entry_count = 0;  // Sum of per-document term counts.
+  uint64_t term_blob_bytes = 0;
+  uint64_t postings_bytes = 0;
+  uint64_t posting_count = 0;  // Total postings across documents.
+  uint64_t class_count = 0;
+  /// Tokenizer/indexing configuration the postings were built with; query
+  /// normalization must match it, so it travels in the file.
+  text::IndexOptions index_options;
+};
+
+/// \brief One document's directory record: counts plus cumulative bases
+/// (stored redundantly and cross-checked against accumulation at open).
+struct SnapshotDocRecord {
+  std::string name;
+  uint64_t node_count = 0;
+  uint64_t term_count = 0;
+  uint64_t posting_count = 0;
+  uint64_t duplicated_nodes = 0;
+  uint64_t duplicated_classes = 0;
+  uint64_t node_base = 0;  // Sum of preceding node_counts.
+  uint64_t term_base = 0;  // Sum of preceding term_counts.
+};
+
+struct SnapshotOpenOptions {
+  /// Run the per-document structural scans when constructing the zero-copy
+  /// views (LoadCollectionFromSnapshot). Off = trusted mode: O(1) open, for
+  /// snapshots this process (or a trusted pipeline) just wrote.
+  bool validate_structure = true;
+};
+
+/// \brief Observability record of one open: wall time, size, and how much
+/// of the mapping was resident once the collection was constructed.
+struct SnapshotOpenStats {
+  double open_ms = 0.0;
+  uint64_t file_bytes = 0;
+  uint64_t mapped_bytes = 0;
+  uint64_t resident_bytes = 0;
+};
+
+/// \brief Writes `collection` as a snapshot at `path`, atomically
+/// (temp file + rename; the temp file is removed on failure).
+/// `index_options` must be the configuration the collection's indexes were
+/// built with — it is persisted so readers normalize queries identically.
+Status WriteSnapshot(const collection::Collection& collection,
+                     const text::IndexOptions& index_options,
+                     const std::string& path);
+
+/// \brief An open snapshot: the mapping plus the parsed metadata/TOC.
+///
+/// Construction (Open) validates the superblock, the TOC checksum, section
+/// bounds/alignment/presence, and the directory — everything needed to make
+/// subsequent typed column access in-bounds — without faulting data pages.
+class SnapshotReader {
+ public:
+  static StatusOr<std::shared_ptr<SnapshotReader>> Open(
+      const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const SnapshotMeta& meta() const { return meta_; }
+  const std::vector<SnapshotDocRecord>& documents() const { return docs_; }
+  const SnapshotOpenStats& open_stats() const { return stats_; }
+
+  /// Bytes of the mapping resident right now (observability).
+  uint64_t ResidentBytesNow() const { return file_.ResidentBytes(); }
+
+  /// \brief Recomputes every section checksum against the TOC — the full
+  /// O(file) integrity pass (xfrag_snapshot verify, fuzz tests).
+  Status VerifyChecksums() const;
+
+  // Typed column bases (collection-global; see the layout comment above).
+  // Bounds were established at Open from the meta counts.
+  const uint32_t* parents() const { return U32(SectionKind::kParents); }
+  const uint32_t* depths() const { return U32(SectionKind::kDepth); }
+  const uint32_t* subtree_sizes() const {
+    return U32(SectionKind::kSubtreeSize);
+  }
+  const uint32_t* child_offsets() const {
+    return U32(SectionKind::kChildOffsets);
+  }
+  const uint32_t* child_ids() const { return U32(SectionKind::kChildIds); }
+  const uint32_t* tag_ids() const { return U32(SectionKind::kTagIds); }
+  const uint64_t* tag_dict_offsets() const {
+    return U64(SectionKind::kTagDictOffsets);
+  }
+  std::string_view tag_dict_blob() const {
+    return Bytes(SectionKind::kTagDictBlob);
+  }
+  const uint64_t* text_offsets() const {
+    return U64(SectionKind::kTextOffsets);
+  }
+  std::string_view text_blob() const { return Bytes(SectionKind::kTextBlob); }
+  const uint64_t* term_offsets() const {
+    return U64(SectionKind::kTermOffsets);
+  }
+  std::string_view term_blob() const { return Bytes(SectionKind::kTermBlob); }
+  const uint64_t* posting_offsets() const {
+    return U64(SectionKind::kPostingOffsets);
+  }
+  std::string_view postings_blob() const {
+    return Bytes(SectionKind::kPostingsBlob);
+  }
+  const uint32_t* class_of() const { return U32(SectionKind::kClassOf); }
+  const uint32_t* dup_anchors() const { return U32(SectionKind::kDupAnchor); }
+  const uint64_t* class_nodes() const { return U64(SectionKind::kClassNodes); }
+  const uint64_t* class_occurrences() const {
+    return U64(SectionKind::kClassOccurrences);
+  }
+
+ private:
+  struct Section {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    uint64_t checksum = 0;
+    bool present = false;
+  };
+
+  SnapshotReader() = default;
+
+  const Section& Sec(SectionKind kind) const {
+    return sections_[static_cast<size_t>(kind)];
+  }
+  std::string_view Bytes(SectionKind kind) const {
+    const Section& s = Sec(kind);
+    return file_.bytes().substr(s.offset, s.bytes);
+  }
+  const uint32_t* U32(SectionKind kind) const {
+    return reinterpret_cast<const uint32_t*>(file_.data() + Sec(kind).offset);
+  }
+  const uint64_t* U64(SectionKind kind) const {
+    return reinterpret_cast<const uint64_t*>(file_.data() + Sec(kind).offset);
+  }
+
+  std::string path_;
+  MmapFile file_;
+  SnapshotMeta meta_;
+  std::vector<SnapshotDocRecord> docs_;
+  std::vector<Section> sections_;  // Indexed by SectionKind value.
+  SnapshotOpenStats stats_;
+};
+
+/// \brief A collection served zero-copy from an open snapshot. The reader
+/// is anchored inside the collection (Collection::HoldResource), so moving
+/// the struct or dropping `reader` is safe.
+struct SnapshotCollection {
+  collection::Collection collection;
+  SnapshotMeta meta;
+  SnapshotOpenStats stats;
+  std::shared_ptr<SnapshotReader> reader;
+};
+
+/// \brief Opens `path` and constructs the zero-copy collection over it.
+/// With `options.validate_structure` (default) every document's columns are
+/// structurally validated during construction; a corrupt snapshot fails
+/// here with ParseError and never causes out-of-bounds reads later.
+StatusOr<SnapshotCollection> LoadCollectionFromSnapshot(
+    const std::string& path, const SnapshotOpenOptions& options = {});
+
+}  // namespace xfrag::storage
+
+#endif  // XFRAG_STORAGE_SNAPSHOT_H_

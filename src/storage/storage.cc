@@ -35,7 +35,7 @@ void EncodeDocument(const doc::Document& document, std::string* out) {
   node_tags.reserve(document.size());
   for (doc::NodeId n = 0; n < document.size(); ++n) {
     auto [it, inserted] = tag_ids.emplace(document.tag(n), dictionary.size());
-    if (inserted) dictionary.push_back(document.tag(n));
+    if (inserted) dictionary.emplace_back(document.tag(n));
     node_tags.push_back(it->second);
   }
   PutVarint(dictionary.size(), out);
@@ -230,9 +230,14 @@ Status SaveBundleToFile(const std::string& path,
       return Status::Internal("cannot open '" + temp + "' for writing");
     }
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) return Status::Internal("short write to '" + temp + "'");
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      return Status::Internal("short write to '" + temp + "'");
+    }
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
     return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
   }
   return Status::OK();
@@ -243,7 +248,13 @@ StatusOr<Bundle> LoadBundleFromFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ReadBundle(buffer.str());
+  auto bundle = ReadBundle(buffer.str());
+  if (!bundle.ok()) {
+    // Re-wrap with the path so a failed multi-file startup names the culprit.
+    return Status(bundle.status().code(),
+                  "'" + path + "': " + bundle.status().message());
+  }
+  return bundle;
 }
 
 }  // namespace xfrag::storage

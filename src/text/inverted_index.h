@@ -10,6 +10,9 @@
 #ifndef XFRAG_TEXT_INVERTED_INDEX_H_
 #define XFRAG_TEXT_INVERTED_INDEX_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -43,6 +46,33 @@ class InvertedIndex {
   static StatusOr<InvertedIndex> FromPostings(
       std::unordered_map<std::string, std::vector<doc::NodeId>> postings);
 
+  /// \brief The raw term-dictionary + postings columns of one document
+  /// inside a snapshot. Terms are stored sorted (binary-searchable) in a
+  /// blob with offsets; each term's posting list is a varint delta run in
+  /// `postings_blob` over the byte range
+  /// [posting_offsets[t], posting_offsets[t+1]).
+  struct SnapshotColumns {
+    size_t term_count = 0;
+    const uint64_t* term_offsets = nullptr;     // [term_count + 1]
+    std::string_view term_blob;                 // Sorted unique terms.
+    const uint64_t* posting_offsets = nullptr;  // [term_count + 1], bytes
+    std::string_view postings_blob;             // Varint delta runs.
+    size_t node_count = 0;      // Posting ids must stay below this.
+    size_t posting_count = 0;   // Total postings (from the directory).
+    bool validate = true;
+  };
+
+  /// \brief Zero-copy index over snapshot columns. Posting lists stay
+  /// delta-encoded in the mapping and are decoded lazily on the first
+  /// Lookup of each term (first-wins publication; thread-safe), so only
+  /// queried terms ever materialize. `normalization` must be the tokenizer
+  /// configuration the index was built with (persisted in snapshot meta).
+  /// With `columns.validate` (default) the term dictionary is checked to be
+  /// sorted/lowercase and every delta run is scan-validated, so a corrupt
+  /// snapshot yields ParseError here, never UB later.
+  static StatusOr<InvertedIndex> FromSnapshotColumns(
+      const SnapshotColumns& columns, const TokenizerOptions& normalization);
+
   /// Sorted node ids whose keywords(n) contains `term`. The term is
   /// normalized exactly as the index's tokenizer normalized node text
   /// (lowercasing, and plural folding when enabled), so query terms match
@@ -53,7 +83,9 @@ class InvertedIndex {
   bool Contains(std::string_view term, doc::NodeId node) const;
 
   /// Number of distinct terms.
-  size_t term_count() const { return postings_.size(); }
+  size_t term_count() const {
+    return snapshot_ ? snapshot_->term_count : postings_.size();
+  }
 
   /// Total number of postings.
   size_t posting_count() const { return posting_count_; }
@@ -67,10 +99,36 @@ class InvertedIndex {
   std::vector<std::string> Terms() const;
 
  private:
+  // Snapshot view mode: postings live delta-encoded in the mapping; decoded
+  // lists are cached per term with first-wins atomic publication so
+  // concurrent Lookups of the same term are race-free and later calls keep
+  // returning the same stable reference.
+  struct SnapshotState {
+    size_t term_count = 0;
+    const uint64_t* term_offsets = nullptr;
+    std::string_view term_blob;
+    const uint64_t* posting_offsets = nullptr;
+    std::string_view postings_blob;
+    size_t node_count = 0;
+
+    std::unique_ptr<std::atomic<const std::vector<doc::NodeId>*>[]> slots;
+    std::mutex publish_mutex;
+    std::vector<std::unique_ptr<std::vector<doc::NodeId>>> owned;
+
+    std::string_view term(size_t t) const {
+      return term_blob.substr(term_offsets[t],
+                              term_offsets[t + 1] - term_offsets[t]);
+    }
+  };
+
+  const std::vector<doc::NodeId>& SnapshotLookup(const std::string& term)
+      const;
+
   std::unordered_map<std::string, std::vector<doc::NodeId>> postings_;
   size_t posting_count_ = 0;
   TokenizerOptions normalization_;
   std::vector<doc::NodeId> empty_;
+  std::shared_ptr<SnapshotState> snapshot_;  // Null for built indexes.
 };
 
 }  // namespace xfrag::text

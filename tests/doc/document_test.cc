@@ -40,8 +40,11 @@ TEST(DocumentTest, BasicShape) {
 
 TEST(DocumentTest, ChildrenInOrder) {
   Document d = MakeFixture();
-  EXPECT_EQ(d.children(0), (std::vector<NodeId>{1, 5}));
-  EXPECT_EQ(d.children(1), (std::vector<NodeId>{2, 3, 4}));
+  auto as_vector = [](std::span<const NodeId> span) {
+    return std::vector<NodeId>(span.begin(), span.end());
+  };
+  EXPECT_EQ(as_vector(d.children(0)), (std::vector<NodeId>{1, 5}));
+  EXPECT_EQ(as_vector(d.children(1)), (std::vector<NodeId>{2, 3, 4}));
   EXPECT_TRUE(d.children(2).empty());
 }
 

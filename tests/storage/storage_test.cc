@@ -4,8 +4,12 @@
 #include "storage/storage.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "../testutil.h"
 #include "gen/corpus.h"
@@ -41,6 +45,47 @@ TEST(FormatTest, TruncatedVarintRejected) {
   std::string buffer;
   PutVarint(300, &buffer);
   Reader reader(std::string_view(buffer).substr(0, 1));
+  EXPECT_FALSE(reader.ReadVarint().ok());
+}
+
+TEST(FormatTest, MaxLengthVarintAccepted) {
+  // UINT64_MAX encodes to exactly kMaxVarintBytes bytes.
+  std::string buffer;
+  PutVarint(0xFFFFFFFFFFFFFFFFull, &buffer);
+  EXPECT_EQ(buffer.size(), static_cast<size_t>(kMaxVarintBytes));
+  Reader reader(buffer);
+  auto decoded = reader.ReadVarint();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(FormatTest, OverlongVarintRejected) {
+  // Eleven continuation bytes: a malicious encoding that would decode to a
+  // value no 64-bit varint can hold. The reader must stop at the 10-byte
+  // cap with ParseError instead of looping or wrapping.
+  std::string buffer(11, '\x80');
+  buffer.push_back('\x01');
+  Reader reader(buffer);
+  auto decoded = reader.ReadVarint();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(FormatTest, VarintHighBitOverflowRejected) {
+  // Ten bytes whose final byte carries more than the single bit that fits
+  // into bit 63: accepting it would silently truncate the value.
+  std::string buffer(9, '\x80');
+  buffer.push_back('\x02');  // Shift 63, payload 2 > 1.
+  Reader reader(buffer);
+  auto decoded = reader.ReadVarint();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(FormatTest, AllContinuationBytesRejected) {
+  // No terminator at all — must be truncation/overflow, never a hang.
+  std::string buffer(64, '\x80');
+  Reader reader(buffer);
   EXPECT_FALSE(reader.ReadVarint().ok());
 }
 
@@ -171,6 +216,37 @@ TEST(BundleTest, FileRoundTrip) {
   ExpectDocumentsEqual(*document, bundle->document);
   ASSERT_TRUE(bundle->index.has_value());
   std::remove(path.c_str());
+}
+
+TEST(BundleTest, LoadErrorNamesThePath) {
+  std::string path = ::testing::TempDir() + "/xfrag_bundle_corrupt.xdb";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "XFRAGDB1 but then garbage";
+  }
+  auto bundle = LoadBundleFromFile(path);
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_NE(bundle.status().message().find(path), std::string::npos)
+      << bundle.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, FailedSaveLeavesNoTempFile) {
+  auto document = gen::BuildPaperDocument();
+  ASSERT_TRUE(document.ok());
+  // Target an occupied directory: the temp file writes fine but the final
+  // rename must fail, and the temp must be cleaned up afterwards.
+  std::string dir = ::testing::TempDir() + "/xfrag_save_target_dir";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  std::string inner = dir + "/occupant";
+  { std::ofstream out(inner); out << "x"; }
+  auto saved = SaveBundleToFile(dir, *document, nullptr);
+  EXPECT_FALSE(saved.ok());
+  struct ::stat st{};
+  EXPECT_NE(::stat((dir + ".tmp").c_str(), &st), 0)
+      << "temp file survived a failed save";
+  std::remove(inner.c_str());
+  ::rmdir(dir.c_str());
 }
 
 TEST(BundleTest, MissingFileIsNotFound) {
