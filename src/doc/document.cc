@@ -184,6 +184,13 @@ StatusOr<Document> Document::FromSnapshotColumns(
     if (c.child_offsets[n] - child_base != n - 1) {
       return Status::ParseError("snapshot child count != node count - 1");
     }
+    // The offsets are data: anchor them to the child-id column's extent
+    // before dereferencing, or a crafted file could shift the whole slice
+    // past the mapped section. Monotonicity then bounds every k below.
+    if (c.child_offsets[n] > c.child_id_count) {
+      return Status::ParseError(
+          "snapshot child offsets exceed the child-id column");
+    }
     for (size_t i = 0; i < n; ++i) {
       NodeId previous = 0;
       for (uint32_t k = c.child_offsets[i]; k < c.child_offsets[i + 1]; ++k) {

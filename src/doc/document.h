@@ -57,6 +57,10 @@ struct SnapshotDocumentColumns {
   const uint32_t* subtree_sizes = nullptr; // [node_count]
   const uint32_t* child_offsets = nullptr; // [node_count + 1], cumulative
   const NodeId* child_ids = nullptr;       // base of the child-id column
+  /// Entries in the child-id column. `child_offsets` indexes into it, so
+  /// validation must know its extent: offsets are data, and a crafted file
+  /// could otherwise point them arbitrarily far past the mapped section.
+  size_t child_id_count = 0;
   const uint32_t* tag_ids = nullptr;       // [node_count], into the dict
   const uint64_t* tag_offsets = nullptr;   // [tag_dict_count + 1]
   size_t tag_dict_count = 0;

@@ -1,5 +1,12 @@
 #include "storage/format.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
 namespace xfrag::storage {
 
 void PutVarint(uint64_t value, std::string* out) {
@@ -74,6 +81,54 @@ uint64_t Checksum(std::string_view data) {
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
   return h;
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view data) {
+  const std::string temp = path + ".tmp";
+  auto fail = [&temp](const std::string& what) {
+    Status status =
+        Status::Internal(what + " '" + temp + "': " + std::strerror(errno));
+    ::unlink(temp.c_str());
+    return status;
+  };
+
+  int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + temp +
+                            "' for writing: " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail("short write to");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return fail("cannot fsync");
+  }
+  if (::close(fd) != 0) {
+    return fail("cannot close");
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    return fail("cannot rename to '" + path + "' from");
+  }
+  // The rename itself lives in the directory; fsync it so the swap is on
+  // disk. Best-effort: some filesystems refuse directory fds.
+  std::string dir = ".";
+  if (size_t slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
 }
 
 }  // namespace xfrag::storage

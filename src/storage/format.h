@@ -56,6 +56,14 @@ class Reader {
 /// \brief 64-bit checksum (FNV-1a with avalanche) of `data`.
 uint64_t Checksum(std::string_view data);
 
+/// \brief Atomically and durably replaces `path` with `data`: writes a
+/// sibling temp file, fsyncs it, renames it over `path`, then fsyncs the
+/// parent directory so the rename survives power loss. Without the fsyncs
+/// the rename can legally land with empty or partial contents after a
+/// crash, destroying the previously-good file at `path`. On failure the
+/// temp file is removed and `path` is untouched.
+Status WriteFileDurable(const std::string& path, std::string_view data);
+
 }  // namespace xfrag::storage
 
 #endif  // XFRAG_STORAGE_FORMAT_H_

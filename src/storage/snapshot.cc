@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <unordered_map>
 
 #include "common/strings.h"
@@ -341,24 +339,7 @@ Status WriteSnapshot(const collection::Collection& collection,
   WriteU64LE(Checksum(std::string_view(super, kOffHeaderChecksum)),
              super + kOffHeaderChecksum);
 
-  std::string temp = path + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot open '" + temp + "' for writing");
-    }
-    out.write(file.data(), static_cast<std::streamsize>(file.size()));
-    if (!out) {
-      out.close();
-      std::remove(temp.c_str());
-      return Status::Internal("short write to '" + temp + "'");
-    }
-  }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
-  }
-  return Status::OK();
+  return WriteFileDurable(path, file);
 }
 
 StatusOr<std::shared_ptr<SnapshotReader>> SnapshotReader::Open(
@@ -435,6 +416,20 @@ StatusOr<std::shared_ptr<SnapshotReader>> SnapshotReader::Open(
   for (size_t kind = 1; kind < kSectionKindCount; ++kind) {
     if (!reader->sections_[kind].present) {
       return fail(StrFormat("required section %zu missing", kind));
+    }
+  }
+
+  // The meta and directory sections are interpreted right here at open —
+  // before any VerifyChecksums pass could run — and a bit flip in the
+  // persisted tokenizer options or document names would otherwise parse
+  // cleanly and silently change query normalization. Both sections are
+  // tiny, so verify their checksums now; the data columns stay covered by
+  // structural validation and the explicit full-file pass.
+  for (SectionKind kind : {SectionKind::kMeta, SectionKind::kDirectory}) {
+    const Section& s = reader->sections_[static_cast<size_t>(kind)];
+    if (Checksum(bytes.substr(s.offset, s.bytes)) != s.checksum) {
+      return fail(StrFormat("section %llu checksum mismatch",
+                            static_cast<unsigned long long>(kind)));
     }
   }
 
@@ -540,6 +535,17 @@ StatusOr<SnapshotCollection> LoadCollectionFromSnapshot(
           meta.class_count));
   out.collection.AdoptSubtreeClassStats(std::move(interner));
 
+  // Anchor the child CSR to the column it indexes: the first offset must be
+  // 0. With the per-document span checks (each covers node_count - 1 slots)
+  // and the shared boundary entries this pins child_offsets[node_count] ==
+  // meta.child_count, so no validated document can steer child-id reads past
+  // the section. The per-document bound below is the second, independent
+  // line of defense.
+  if (validate && reader->child_offsets()[0] != 0) {
+    return Status::ParseError("snapshot '" + path +
+                              "': child offsets do not start at 0");
+  }
+
   for (const SnapshotDocRecord& record : reader->documents()) {
     const uint64_t b = record.node_base;
 
@@ -550,6 +556,7 @@ StatusOr<SnapshotCollection> LoadCollectionFromSnapshot(
     dc.subtree_sizes = reader->subtree_sizes() + b;
     dc.child_offsets = reader->child_offsets() + b;
     dc.child_ids = reader->child_ids();  // Global base; offsets are global.
+    dc.child_id_count = meta.child_count;
     dc.tag_ids = reader->tag_ids() + b;
     dc.tag_offsets = reader->tag_dict_offsets();
     dc.tag_dict_count = meta.tag_dict_count;

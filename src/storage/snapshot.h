@@ -22,8 +22,11 @@
 //
 // Opening costs O(superblock + TOC + directory): section bounds, alignment,
 // and byte sizes are checked against the meta counts without touching data
-// pages. Structural validation of the columns themselves (pre-order
-// parents, CSR consistency, offset monotonicity, posting runs) happens per
+// pages; the meta and directory sections — the only bytes interpreted at
+// open — are also checksum-verified then, so flipped tokenizer options or
+// document names never parse cleanly. Structural validation of the columns
+// themselves (pre-order parents, CSR consistency, offset monotonicity,
+// posting runs) happens per
 // document in the zero-copy constructors when
 // SnapshotOpenOptions::validate_structure is set (the default — cheap
 // integer scans that make adversarial files fail with ParseError instead of
@@ -123,8 +126,10 @@ struct SnapshotOpenStats {
   uint64_t resident_bytes = 0;
 };
 
-/// \brief Writes `collection` as a snapshot at `path`, atomically
-/// (temp file + rename; the temp file is removed on failure).
+/// \brief Writes `collection` as a snapshot at `path`, atomically and
+/// durably (temp file + fsync + rename + directory fsync, so a crash never
+/// replaces a good snapshot with a partial one; the temp file is removed on
+/// failure).
 /// `index_options` must be the configuration the collection's indexes were
 /// built with — it is persisted so readers normalize queries identically.
 Status WriteSnapshot(const collection::Collection& collection,

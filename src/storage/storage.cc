@@ -1,7 +1,6 @@
 #include "storage/storage.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -222,25 +221,7 @@ StatusOr<Bundle> ReadBundle(std::string_view data) {
 Status SaveBundleToFile(const std::string& path,
                         const doc::Document& document,
                         const text::InvertedIndex* index) {
-  std::string data = WriteBundle(document, index);
-  std::string temp = path + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot open '" + temp + "' for writing");
-    }
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) {
-      out.close();
-      std::remove(temp.c_str());
-      return Status::Internal("short write to '" + temp + "'");
-    }
-  }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return Status::Internal("cannot rename '" + temp + "' to '" + path + "'");
-  }
-  return Status::OK();
+  return WriteFileDurable(path, WriteBundle(document, index));
 }
 
 StatusOr<Bundle> LoadBundleFromFile(const std::string& path) {

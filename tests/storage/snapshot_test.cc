@@ -325,6 +325,40 @@ TEST(SnapshotTest, TrailingGarbageRejected) {
   EXPECT_FALSE(SnapshotReader::Open(path).ok());
 }
 
+// The meta and directory sections are interpreted at open, before any
+// VerifyChecksums pass could run, so a flip inside them must be rejected by
+// Open itself — not parsed cleanly (a flipped tokenizer option would
+// silently change query normalization).
+TEST(SnapshotTest, MetaFlipRejectedAtOpen) {
+  auto collection = BuildCollection();
+  std::string path = WriteTestSnapshot(collection, "metaflip.snap");
+  std::string data = ReadWholeFile(path);
+  std::vector<TocEntry> toc = ParseToc(data);
+  const TocEntry& meta = FindSection(toc, SectionKind::kMeta);
+  // The section's last byte is the index_tag_names flag varint; the flip
+  // yields an equally well-formed record, so only the checksum can object.
+  data[meta.offset + meta.bytes - 1] ^= 0x01;
+  WriteWholeFile(path, data);
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, DirectoryFlipRejectedAtOpen) {
+  auto collection = BuildCollection();
+  std::string path = WriteTestSnapshot(collection, "dirflip.snap");
+  std::string data = ReadWholeFile(path);
+  std::vector<TocEntry> toc = ParseToc(data);
+  const TocEntry& directory = FindSection(toc, SectionKind::kDirectory);
+  // Flip a byte of the first document's name ("a.xml" follows its length
+  // prefix): still a well-formed record, a silently different name.
+  data[directory.offset + 1] ^= 0x02;
+  WriteWholeFile(path, data);
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kParseError);
+}
+
 // Flip the first byte of every page. Page starts are never padding (the
 // superblock starts page 0, each section starts its own page, the TOC
 // starts the last), so every flip lands in a checksummed region and must be
@@ -433,6 +467,38 @@ TEST_F(SnapshotStructuralAttackTest, WrongSubtreeSizeRejected) {
 
 TEST_F(SnapshotStructuralAttackTest, BrokenChildOffsetsRejected) {
   AttackU32(SectionKind::kChildOffsets, 1, 0x40000000, "CSR offset jump");
+}
+
+TEST_F(SnapshotStructuralAttackTest, InflatedFirstChildOffsetRejected) {
+  // Inflate only the CSR base: the first document's slice would start ~4GB
+  // into the child-id column.
+  AttackU32(SectionKind::kChildOffsets, 0, 0x40000000, "inflated CSR base");
+}
+
+TEST_F(SnapshotStructuralAttackTest, ShiftedChildOffsetColumnRejected) {
+  // Add a constant to *every* child_offsets entry. Every per-document
+  // relative check (monotonicity, span == node_count - 1, shared
+  // boundaries) still passes, so only the global anchor
+  // (child_offsets[0] == 0) and the per-document column-extent bound stand
+  // between the validator and dereferencing child_ids ~4GB past the mapped
+  // section — this is the crafted file that used to SIGSEGV the validated
+  // load.
+  std::string mutated = pristine_;
+  const TocEntry& section = FindSection(toc_, SectionKind::kChildOffsets);
+  for (size_t i = 0; i * sizeof(uint32_t) < section.bytes; ++i) {
+    char* at = mutated.data() + section.offset + i * sizeof(uint32_t);
+    uint32_t value;
+    std::memcpy(&value, at, sizeof(value));
+    value += 0x40000000;
+    std::memcpy(at, &value, sizeof(value));
+  }
+  FixupChecksums(&mutated);
+  std::string mutated_path = TestPath("attack_shifted_csr.snap");
+  WriteWholeFile(mutated_path, mutated);
+  auto loaded = LoadCollectionFromSnapshot(mutated_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(mutated_path.c_str());
 }
 
 TEST_F(SnapshotStructuralAttackTest, OutOfRangeChildIdRejected) {
