@@ -175,6 +175,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A second server with the worker linger disabled (park immediately
+  // between keep-alive requests) isolates the reactor-churn regression the
+  // linger fixes: at high client counts every exchange used to pay a park,
+  // a self-pipe poll wakeup, and a fresh pool dispatch, which made
+  // keep-alive SLOWER than per-request connections.
+  xfrag::server::ServerOptions no_linger_options = options;
+  no_linger_options.keep_alive_linger_ms = 0;
+  xfrag::server::Server no_linger_server(collection, no_linger_options);
+  started = no_linger_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
   // Every body carries a filter and an answer cap: an unfiltered single-term
   // query materialises (and renders) the entire fixed-point closure, which
   // measures JSON throughput rather than the serving stack.
@@ -191,16 +205,33 @@ int main(int argc, char** argv) {
   // sees the same steady state.
   (void)RunClosedLoop(server.port(), 1, static_cast<int>(bodies.size()),
                       bodies);
+  (void)RunClosedLoop(no_linger_server.port(), 1,
+                      static_cast<int>(bodies.size()), bodies);
 
+  struct Config {
+    const char* label;
+    bool keep_alive;
+    bool linger;
+  };
+  const Config configs[] = {
+      // Per-request connections vs one keep-alive connection per client: the
+      // delta is the accept/handshake/teardown cost the persistent path
+      // saves. The no-linger row is the regression guard — without the
+      // worker linger, keep-alive loses to close at high client counts.
+      {"close", false, true},
+      {"ka-nolinger", true, false},
+      {"keep-alive", true, true},
+  };
   TablePrinter table({"clients", "conn", "requests", "rps", "mean ms",
                       "p50 ms", "p95 ms", "p99 ms", "max ms", "ok"});
   xfrag::json::Value records = xfrag::json::Value::Array();
   for (int clients : {1, 4, 16}) {
-    // Per-request connections vs one keep-alive connection per client: the
-    // delta is the accept/handshake/teardown cost the persistent path saves.
-    for (bool keep_alive : {false, true}) {
-      RunResult run = RunClosedLoop(server.port(), clients,
-                                    requests_per_client, bodies, keep_alive);
+    for (const Config& config : configs) {
+      const bool keep_alive = config.keep_alive;
+      uint16_t port =
+          config.linger ? server.port() : no_linger_server.port();
+      RunResult run = RunClosedLoop(port, clients, requests_per_client,
+                                    bodies, keep_alive);
       double mean = 0.0;
       for (double ms : run.latencies_ms) mean += ms;
       if (!run.latencies_ms.empty()) {
@@ -215,8 +246,7 @@ int main(int argc, char** argv) {
       double max =
           run.latencies_ms.empty() ? 0.0 : run.latencies_ms.back();
 
-      table.AddRow({Cell(uint64_t(clients)),
-                    std::string(keep_alive ? "keep-alive" : "close"),
+      table.AddRow({Cell(uint64_t(clients)), std::string(config.label),
                     Cell(uint64_t(run.requests)), Cell(rps, 0), Cell(mean),
                     Cell(p50), Cell(p95), Cell(p99), Cell(max),
                     Cell(uint64_t(run.ok))});
@@ -224,6 +254,7 @@ int main(int argc, char** argv) {
       xfrag::json::Value record = xfrag::json::Value::Object();
       record.Set("clients", int64_t{clients});
       record.Set("keep_alive", keep_alive);
+      record.Set("linger", config.linger);
       record.Set("requests", int64_t{run.requests});
       record.Set("throughput_rps", rps);
       xfrag::json::Value latency = xfrag::json::Value::Object();
@@ -238,6 +269,7 @@ int main(int argc, char** argv) {
     }
   }
   server.Shutdown();
+  no_linger_server.Shutdown();
   table.Print();
 
   const std::string path =

@@ -14,11 +14,16 @@
 # corruption/fuzz suites) under ASan — the kernels that do manual
 # arena/buffer/mmap work — and finally rebuild with
 # -DXFRAG_SANITIZE=thread and run everything labelled `server` (the xfragd
-# loopback integration suite and the /admin/reload epoch-swap suite
-# included), `router` (the scatter-gather tier with its hedging and
-# cancellation paths), and `parallel` (the pooled class-aware kernels with
-# their per-chunk DAG caches) under TSan, since those are the places worker
-# threads share an engine, caches, or replay state.
+# loopback integration suite, the /admin/reload epoch-swap suite, and the
+# /query_batch byte-identity suite included), `router` (the scatter-gather
+# tier with its hedging, cancellation, and batch-scatter paths), and
+# `parallel` (the pooled class-aware kernels with their per-chunk DAG
+# caches) under TSan, since those are the places worker threads share an
+# engine, caches, or replay state. The batched-evaluation suites ride the
+# existing stages: query/batch_test in tier-1 ctest and the ASan query_test
+# run, server/batch_equivalence_test under `-L server`, and
+# router/router_batch_test under `-L router` — both in tier-1 and again
+# under TSan.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -35,6 +35,8 @@ server::HttpServerOptions ToHttpOptions(const RouterOptions& options) {
   http.keep_alive = options.keep_alive;
   http.keep_alive_idle_timeout_ms = options.keep_alive_idle_timeout_ms;
   http.max_requests_per_connection = options.max_requests_per_connection;
+  http.keep_alive_linger_ms = options.keep_alive_linger_ms;
+  http.keep_alive_linger_burst = options.keep_alive_linger_burst;
   return http;
 }
 
@@ -232,15 +234,15 @@ int Router::HedgeDelayMs(int shard_deadline_ms) const {
 
 std::vector<Router::ShardOutcome> Router::ScatterGather(
     const std::string& forward_body, int shard_deadline_ms,
-    const ResponseHook& on_response) {
+    const ResponseHook& on_response, const std::string& target) {
   return ScatterGather(
       std::vector<std::string>(shards_.size(), forward_body),
-      shard_deadline_ms, on_response);
+      shard_deadline_ms, on_response, target);
 }
 
 std::vector<Router::ShardOutcome> Router::ScatterGather(
     const std::vector<std::string>& forward_bodies, int shard_deadline_ms,
-    const ResponseHook& on_response) {
+    const ResponseHook& on_response, const std::string& target) {
   const size_t n = shards_.size();
   auto state = std::make_shared<GatherState>();
   state->shards.resize(n);
@@ -296,7 +298,7 @@ std::vector<Router::ShardOutcome> Router::ScatterGather(
   requests.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     requests.push_back(
-        shards_[i]->client->BuildRequest("POST", "/query", forward_bodies[i]));
+        shards_[i]->client->BuildRequest("POST", target, forward_bodies[i]));
   }
   {
     std::lock_guard<std::mutex> lock(state->mutex);
@@ -708,6 +710,286 @@ std::string Router::HandleQuery(const std::string& request_body,
   return merged->Dump();
 }
 
+std::string Router::HandleQueryBatch(const std::string& request_body,
+                                     int* status_out) {
+  Timer timer;
+  size_t error_offset = 0;
+  auto root = json::Parse(request_body, &error_offset);
+  if (!root.ok()) {
+    json::Value body = ErrorJson(root.status());
+    body.Set("offset", static_cast<uint64_t>(error_offset));
+    *status_out = 400;
+    return body.Dump();
+  }
+  // Envelope: a bare array of query objects, or {"queries": [...],
+  // "require_complete": bool}. require_complete is batch-wide — the gather
+  // has one deadline budget per shard per batch, so completeness is a
+  // property of the whole scatter, applied per item at merge time.
+  bool require_complete = false;
+  const json::Value* queries = nullptr;
+  if (root->is_array()) {
+    queries = &*root;
+  } else if (root->is_object()) {
+    for (const auto& [key, value] : root->members()) {
+      if (key == "queries") {
+        if (!value.is_array()) {
+          *status_out = 400;
+          return ErrorJson(Status::InvalidArgument(
+                               "\"queries\" must be an array of query "
+                               "objects"))
+              .Dump();
+        }
+        queries = &value;
+      } else if (key == "require_complete") {
+        if (!value.is_bool()) {
+          *status_out = 400;
+          return ErrorJson(Status::InvalidArgument(
+                               "\"require_complete\" must be a boolean"))
+              .Dump();
+        }
+        require_complete = value.AsBool();
+      } else {
+        *status_out = 400;
+        return ErrorJson(Status::InvalidArgument(StrFormat(
+                             "unknown batch field \"%s\"", key.c_str())))
+            .Dump();
+      }
+    }
+    if (queries == nullptr) {
+      *status_out = 400;
+      return ErrorJson(
+                 Status::InvalidArgument("missing required field \"queries\""))
+          .Dump();
+    }
+  } else {
+    *status_out = 400;
+    return ErrorJson(Status::InvalidArgument(
+                         "batch body must be a JSON array or "
+                         "{\"queries\": [...]}"))
+        .Dump();
+  }
+  if (queries->size() == 0) {
+    *status_out = 400;
+    return ErrorJson(
+               Status::InvalidArgument("batch must contain at least one query"))
+        .Dump();
+  }
+  if (queries->size() > options_.batch_max_items) {
+    *status_out = 400;
+    return ErrorJson(Status::InvalidArgument(StrFormat(
+                         "batch of %zu items exceeds the %zu-item limit",
+                         queries->size(), options_.batch_max_items)))
+        .Dump();
+  }
+
+  const size_t n_items = queries->size();
+  struct ItemState {
+    bool forwarded = false;
+    size_t forward_position = 0;
+    int status = 0;
+    json::Value body;
+    MergePlan plan;
+  };
+  std::vector<ItemState> items(n_items);
+  json::Value forward = json::Value::Array();
+  size_t forwarded_count = 0;
+  int shard_deadline_ms = options_.default_shard_deadline_ms;
+  for (size_t i = 0; i < n_items; ++i) {
+    const json::Value& q = (*queries)[i];
+    ItemState& item = items[i];
+    if (!q.is_object()) {
+      item.status = 400;
+      item.body = ErrorJson(Status::InvalidArgument(
+          "each batch item must be a JSON object"));
+      continue;
+    }
+    // Per-item router-protocol policing mirrors /query; a bad item is a
+    // per-item structured 400, never a rejection of the whole batch.
+    bool rejected = false;
+    for (std::string_view internal :
+         {"score_floor", "probe_documents", "skip_documents", "query_id"}) {
+      if (q.Find(internal) != nullptr) {
+        item.status = 400;
+        item.body = ErrorJson(Status::InvalidArgument(StrFormat(
+            "\"%.*s\" is internal to the router-shard protocol and not "
+            "accepted from clients",
+            static_cast<int>(internal.size()), internal.data())));
+        rejected = true;
+        break;
+      }
+    }
+    if (rejected) continue;
+    // require_complete lives on the batch envelope; accepting it per item
+    // would silently apply to nothing.
+    if (q.Find("require_complete") != nullptr) {
+      item.status = 400;
+      item.body = ErrorJson(Status::InvalidArgument(
+          "\"require_complete\" applies to the whole batch; set it on the "
+          "batch envelope, not on an item"));
+      continue;
+    }
+    // The batch path merges each shard's local top-k directly (exact over
+    // disjoint documents), so the bound-exchange switch has nothing to
+    // control here; accepting it would be a silent no-op.
+    if (q.Find("bound_exchange") != nullptr) {
+      item.status = 400;
+      item.body = ErrorJson(Status::InvalidArgument(
+          "\"bound_exchange\" is not supported on /query_batch; batch top-k "
+          "merges are exact without the exchange"));
+      continue;
+    }
+    // Best-effort extraction of the per-item merge plan; items the shards
+    // would reject keep the defaults (their per-item 4xx is forwarded).
+    if (const json::Value* v = q.Find("top_k");
+        v != nullptr && v->is_integral() && v->AsInt() >= 0) {
+      item.plan.top_k = v->AsInt();
+    }
+    if (const json::Value* v = q.Find("rank");
+        v != nullptr && v->is_bool()) {
+      item.plan.rank = v->AsBool();
+    }
+    if (const json::Value* v = q.Find("max_answers");
+        v != nullptr && v->is_integral() && v->AsInt() >= 0) {
+      item.plan.max_answers = v->AsInt();
+    }
+    // One deadline budget per shard per batch: wide enough for the most
+    // patient item.
+    if (const json::Value* v = q.Find("deadline_ms");
+        v != nullptr && v->is_number() && v->AsDouble() > 0) {
+      shard_deadline_ms = std::max(
+          shard_deadline_ms, static_cast<int>(std::ceil(v->AsDouble())));
+    }
+    item.forwarded = true;
+    item.forward_position = forwarded_count++;
+    forward.Append(q);
+  }
+  batches_routed_.fetch_add(1, std::memory_order_relaxed);
+  batch_items_routed_.fetch_add(n_items, std::memory_order_relaxed);
+
+  auto render = [&]() -> std::string {
+    json::Value results = json::Value::Array();
+    for (ItemState& item : items) {
+      json::Value entry = json::Value::Object();
+      entry.Set("status", static_cast<int64_t>(item.status));
+      entry.Set("body", std::move(item.body));
+      results.Append(std::move(entry));
+    }
+    json::Value body = json::Value::Object();
+    body.Set("results", std::move(results));
+    body.Set("elapsed_ms", timer.ElapsedMillis());
+    *status_out = 200;
+    return body.Dump();
+  };
+  if (forwarded_count == 0) return render();
+
+  // ONE scatter of the whole forwarded sub-batch to every shard: one
+  // connection acquisition, one request/response parse, one deadline budget
+  // per shard per batch. The two-phase bound exchange is skipped on purpose
+  // — the per-item merge of per-shard top-k lists over disjoint documents
+  // is already the exact global answer; floors only save shard-side work
+  // and would cost a second scatter round-trip per batch.
+  std::vector<ShardOutcome> outcomes =
+      ScatterGather(forward.Dump(), shard_deadline_ms, {}, "/query_batch");
+
+  const size_t n_shards = shards_.size();
+  struct ShardBatch {
+    bool ok = false;  // parsed envelope with one result per forwarded item
+    json::Value parsed;
+  };
+  std::vector<ShardBatch> shard_batches(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    ShardOutcome& outcome = outcomes[s];
+    if (outcome.resolved && outcome.http_status == 200) {
+      auto parsed = json::Parse(outcome.body);
+      const json::Value* results =
+          parsed.ok() && parsed->is_object() ? parsed->Find("results")
+                                             : nullptr;
+      if (results != nullptr && results->is_array() &&
+          results->size() == forwarded_count) {
+        shard_batches[s].ok = true;
+        shard_batches[s].parsed = std::move(*parsed);
+      }
+      // A malformed 200 envelope degrades to a missing shard per item.
+    } else if (outcome.resolved && outcome.http_status >= 400 &&
+               outcome.http_status < 500) {
+      // A batch-envelope 4xx is deterministic across shards (identical
+      // envelope, identical decoder) — the first speaks for the fleet.
+      *status_out = outcome.http_status;
+      return std::move(outcome.body);
+    }
+    // Transport errors / 5xx / gather deadline: missing shard per item.
+  }
+
+  for (size_t i = 0; i < n_items; ++i) {
+    ItemState& item = items[i];
+    if (!item.forwarded) continue;
+    const size_t p = item.forward_position;
+    std::vector<ShardBody> bodies;
+    std::vector<size_t> missing;
+    int item_4xx_status = 0;
+    json::Value item_4xx_body;
+    for (size_t s = 0; s < n_shards; ++s) {
+      if (!shard_batches[s].ok) {
+        missing.push_back(s);
+        continue;
+      }
+      const json::Value& result =
+          (*shard_batches[s].parsed.Find("results"))[p];
+      const json::Value* status =
+          result.is_object() ? result.Find("status") : nullptr;
+      const json::Value* body =
+          result.is_object() ? result.Find("body") : nullptr;
+      if (status == nullptr || !status->is_integral() || body == nullptr) {
+        missing.push_back(s);
+        continue;
+      }
+      const int64_t code = status->AsInt();
+      if (code == 200 && body->is_object()) {
+        bodies.push_back(
+            ShardBody{s, shards_[s]->info.doc_begin, *body});
+      } else if (code >= 400 && code < 500) {
+        // Per-item validation errors are deterministic across shards too.
+        if (item_4xx_status == 0) {
+          item_4xx_status = static_cast<int>(code);
+          item_4xx_body = *body;
+        }
+      } else {
+        // Per-item 504/5xx (e.g. an expired item deadline on that shard).
+        missing.push_back(s);
+      }
+    }
+    if (item_4xx_status != 0) {
+      item.status = item_4xx_status;
+      item.body = std::move(item_4xx_body);
+      continue;
+    }
+    if (bodies.empty() || (require_complete && !missing.empty())) {
+      json::Value err = ErrorJson(Status::DeadlineExceeded(
+          bodies.empty() ? "no shard answered"
+                         : "incomplete result refused (require_complete)"));
+      err.Set("missing_shards", MissingShardsJson(missing));
+      item.status = 504;
+      item.body = std::move(err);
+      continue;
+    }
+    auto merged = MergeQueryBodies(std::move(bodies), item.plan,
+                                   map_.total_documents, missing);
+    if (!merged.ok()) {
+      item.status = 502;
+      item.body = ErrorJson(
+          Status::Internal("merge failed: " + merged.status().message()));
+      continue;
+    }
+    if (!missing.empty()) {
+      partials_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    merged->Set("elapsed_ms", timer.ElapsedMillis());
+    item.status = 200;
+    item.body = std::move(*merged);
+  }
+  return render();
+}
+
 void Router::SendThresholdUpdates(const std::vector<size_t>& targets,
                                   const std::string& query_id, double floor) {
   json::Value update = json::Value::Object();
@@ -799,11 +1081,16 @@ json::Value Router::RouterMetricsJson() const {
              server::StatsRegistry::LatencyToJson(update_latency_));
   }
 
+  json::Value batch = json::Value::Object();
+  batch.Set("batches", batches_routed_.load(std::memory_order_relaxed));
+  batch.Set("items", batch_items_routed_.load(std::memory_order_relaxed));
+
   json::Value out = json::Value::Object();
   out.Set("hedges", std::move(hedges));
   out.Set("partials_served",
           partials_served_.load(std::memory_order_relaxed));
   out.Set("distributed_topk", std::move(topk));
+  out.Set("batch", std::move(batch));
   out.Set("shards", std::move(shards));
   return out;
 }
@@ -824,6 +1111,18 @@ std::string Router::Dispatch(const server::HttpRequest& request,
           "Allow: POST\r\n", keep_alive);
     }
     std::string body = HandleQuery(request.body, status_out);
+    return server::RenderHttpResponse(*status_out, kJsonType, body, {},
+                                      keep_alive);
+  }
+  if (target == "/query_batch") {
+    if (request.method != "POST") {
+      *status_out = 405;
+      return server::RenderHttpResponse(
+          405, kJsonType,
+          "{\"error\":\"use POST for /query_batch\",\"status\":405}",
+          "Allow: POST\r\n", keep_alive);
+    }
+    std::string body = HandleQueryBatch(request.body, status_out);
     return server::RenderHttpResponse(*status_out, kJsonType, body, {},
                                       keep_alive);
   }

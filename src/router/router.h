@@ -57,6 +57,10 @@ struct RouterOptions {
   bool keep_alive = true;
   int keep_alive_idle_timeout_ms = 5000;
   int max_requests_per_connection = 1000;
+  /// Worker linger before parking a kept-alive connection (see
+  /// HttpServerOptions::keep_alive_linger_ms; 0 = park immediately).
+  int keep_alive_linger_ms = 1;
+  int keep_alive_linger_burst = 32;
 
   /// Per-shard budget for requests that carry no "deadline_ms" of their
   /// own. The router waits this long (plus a small network grace) before
@@ -93,6 +97,12 @@ struct RouterOptions {
   int probe_documents = 1;
   /// Budget for one fire-and-forget threshold-update call.
   int threshold_update_timeout_ms = 200;
+
+  /// Maximum items one POST /query_batch request may carry; larger batches
+  /// are rejected whole with a structured 400. Keep at or below the shards'
+  /// own batch_max_items — a shard-side envelope rejection is forwarded
+  /// verbatim for the whole batch.
+  size_t batch_max_items = 256;
 
   BackendClient::Options backend;
 };
@@ -185,6 +195,19 @@ class Router : private server::HttpDispatcher {
   /// status.
   std::string HandleQuery(const std::string& request_body, int* status_out);
 
+  /// The /query_batch path: the whole batch goes to every shard in ONE
+  /// backend request (one connection acquisition, one JSON parse, one
+  /// deadline budget per shard per batch), each item merges with the exact
+  /// per-item merge, and degraded/partial semantics apply per item. The
+  /// two-phase top-k bound exchange is deliberately skipped: merging
+  /// per-shard local top-k lists over disjoint documents is already the
+  /// exact global top-k — floors are only a work-saver, and would cost a
+  /// second scatter round-trip per batch. Envelope fields: a bare array, or
+  /// {"queries": [...], "require_complete": bool} (require_complete applies
+  /// to every item; per-item occurrences are per-item 400s).
+  std::string HandleQueryBatch(const std::string& request_body,
+                               int* status_out);
+
   /// Coordinator-thread callback fired as each shard's 200 body arrives:
   /// (shard index, body text, shards still outstanding). Used by the
   /// two-phase top-k path to raise the global threshold mid-query.
@@ -192,16 +215,19 @@ class Router : private server::HttpDispatcher {
       std::function<void(size_t, const std::string&, const std::vector<size_t>&)>;
 
   /// Runs the scatter-gather for an already-forwardable shard request.
+  /// `target` is the shard-side endpoint ("/query", "/query_batch").
   std::vector<ShardOutcome> ScatterGather(const std::string& forward_body,
                                           int shard_deadline_ms,
-                                          const ResponseHook& on_response = {});
+                                          const ResponseHook& on_response = {},
+                                          const std::string& target = "/query");
 
   /// Per-shard-body form: `forward_bodies[i]` goes to shard i (the refine
   /// phase sends each shard its own "skip_documents" resume point). Must
   /// have exactly one body per shard.
   std::vector<ShardOutcome> ScatterGather(
       const std::vector<std::string>& forward_bodies, int shard_deadline_ms,
-      const ResponseHook& on_response = {});
+      const ResponseHook& on_response = {},
+      const std::string& target = "/query");
 
   /// Posts fire-and-forget POST /threshold raises to `targets`.
   void SendThresholdUpdates(const std::vector<size_t>& targets,
@@ -219,6 +245,10 @@ class Router : private server::HttpDispatcher {
   std::atomic<uint64_t> hedges_launched_{0};
   std::atomic<uint64_t> hedges_won_{0};
   std::atomic<uint64_t> partials_served_{0};
+
+  /// Batch routing observability (/metrics "router"."batch").
+  std::atomic<uint64_t> batches_routed_{0};
+  std::atomic<uint64_t> batch_items_routed_{0};
 
   /// Distributed top-k state: unique per-query ids for the /threshold
   /// channel, counters, and per-phase latency histograms.

@@ -17,6 +17,7 @@
 //     --no-bound-exchange    disable two-phase distributed top-k (ablation)
 //     --probe-documents N    documents per shard in the top-k probe phase
 //                            (default 1)
+//     --batch-max-items N    per-request /query_batch item cap (default 256)
 //     --version              print build info and exit
 //
 //   $ xfrag_router --shard-map cluster.json &
@@ -49,7 +50,7 @@ int Usage(const char* argv0) {
       "  --host H | --port N | --workers N | --queue N\n"
       "  --shard-deadline-ms MS | --connect-timeout-ms MS\n"
       "  --no-hedging | --hedge-delay-ms MS | --health-interval-ms MS\n"
-      "  --no-bound-exchange | --probe-documents N\n"
+      "  --no-bound-exchange | --probe-documents N | --batch-max-items N\n"
       "  --version\n",
       argv0);
   return 2;
@@ -95,6 +96,8 @@ int main(int argc, char** argv) {
       options.health_check_interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--no-bound-exchange") {
       options.enable_bound_exchange = false;
+    } else if (arg == "--batch-max-items" && i + 1 < argc) {
+      options.batch_max_items = static_cast<size_t>(std::atol(argv[++i]));
     } else if (arg == "--probe-documents" && i + 1 < argc) {
       options.probe_documents = std::atoi(argv[++i]);
       if (options.probe_documents < 1) {

@@ -251,21 +251,32 @@ void HttpServer::HandleConnection(UniqueFd conn, int served) {
   }
 
   std::string leftover;
+  int linger_streak = 0;
   while (conn.valid()) {
-    // Between keep-alive requests, hand the connection back to the poller
-    // instead of holding this worker: the poller enforces the idle timeout
-    // and redispatches on the next request. Holding the worker here would
-    // let idle connections starve ones with requests pending whenever live
-    // connections outnumber workers. Pipelined leftover bytes (and a
-    // request that has already arrived) skip the round trip.
+    // Between keep-alive requests, linger briefly for the next request
+    // before handing the connection back to the poller. A busy closed-loop
+    // client has the next request on the wire within microseconds; serving
+    // it on this same worker skips the park → self-pipe wakeup → poll
+    // dispatch → ThreadPool::Post round trip that otherwise taxes every
+    // keep-alive exchange. A connection that stays quiet past the linger
+    // still parks, so the poller keeps enforcing the idle timeout, and a
+    // burst cap force-parks hot connections so they cannot pin a worker
+    // while parked connections with requests pending wait. Pipelined
+    // leftover bytes (a request that already arrived) skip the wait.
     if (served > 0 && leftover.empty()) {
+      const bool burst_exhausted =
+          options_.keep_alive_linger_burst > 0 &&
+          linger_streak >= options_.keep_alive_linger_burst;
       pollfd pfd{conn.get(), POLLIN, 0};
-      int ready = ::poll(&pfd, 1, /*timeout_ms=*/0);
-      if (ready == 0) {
+      int ready = ::poll(
+          &pfd, 1,
+          burst_exhausted ? 0 : std::max(0, options_.keep_alive_linger_ms));
+      if (ready == 0 || (ready > 0 && burst_exhausted)) {
         ParkConnection(std::move(conn), served);
         return;  // the admission slot travels with the parked connection
       }
       if (ready < 0) break;  // poll error: silent close
+      ++linger_streak;
     }
 
     Timer timer;

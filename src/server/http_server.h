@@ -88,6 +88,19 @@ struct HttpServerOptions {
   /// Exchanges served per connection before the server answers the last one
   /// with `Connection: close` (0 = unlimited).
   int max_requests_per_connection = 1000;
+  /// How long the worker that just wrote a response lingers on the
+  /// connection waiting for its next request before parking it with the
+  /// poller. Busy closed-loop clients send the next request within
+  /// microseconds; lingering turns that into a same-worker continuation
+  /// with zero poller handoffs, where parking would pay a self-pipe wakeup,
+  /// a poll dispatch, and a fresh ThreadPool::Post per exchange — under
+  /// enough concurrent keep-alive connections that reactor churn costs more
+  /// than one-exchange-per-connection close mode. 0 restores park-immediately.
+  int keep_alive_linger_ms = 1;
+  /// Consecutive lingered continuations before the worker force-parks the
+  /// connection anyway, so one hot client cannot pin a worker forever while
+  /// parked connections with requests pending wait (0 = no cap).
+  int keep_alive_linger_burst = 32;
 };
 
 /// \brief A dispatcher-agnostic HTTP/1.1 server.

@@ -32,6 +32,8 @@ HttpServerOptions Server::ToHttpOptions(const ServerOptions& options) {
   http.keep_alive = options.keep_alive;
   http.keep_alive_idle_timeout_ms = options.keep_alive_idle_timeout_ms;
   http.max_requests_per_connection = options.max_requests_per_connection;
+  http.keep_alive_linger_ms = options.keep_alive_linger_ms;
+  http.keep_alive_linger_burst = options.keep_alive_linger_burst;
   return http;
 }
 
@@ -162,6 +164,21 @@ std::string Server::Dispatch(const HttpRequest& request, bool keep_alive,
     return RenderHttpResponse(outcome.http_status, kJsonType,
                               outcome.body.Dump(), {}, keep_alive);
   }
+  if (target == "/query_batch") {
+    if (request.method != "POST") {
+      *status_out = 405;
+      return RenderHttpResponse(
+          405, kJsonType,
+          "{\"error\":\"use POST for /query_batch\",\"status\":405}",
+          "Allow: POST\r\n", keep_alive);
+    }
+    QueryOutcome outcome = state->service().HandleQueryBatch(request.body);
+    *status_out = outcome.http_status;
+    *metrics_out = outcome.metrics;
+    *has_metrics_out = true;
+    return RenderHttpResponse(outcome.http_status, kJsonType,
+                              outcome.body.Dump(), {}, keep_alive);
+  }
   if (target == "/threshold") {
     if (request.method != "POST") {
       *status_out = 405;
@@ -255,6 +272,7 @@ std::string Server::Dispatch(const HttpRequest& request, bool keep_alive,
       body.Set("result_cache", state->service().ResultCacheStatsJson());
       body.Set("distributed_topk", state->service().DistributedTopKStatsJson());
       body.Set("dag", state->service().DagStatsJson());
+      body.Set("batch", state->service().BatchStatsJson());
       body.Set("snapshot", SnapshotMetricsJson(*state));
       body.Set("in_flight", static_cast<int64_t>(InFlight()));
     }

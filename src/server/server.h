@@ -53,6 +53,10 @@ struct ServerOptions {
   bool keep_alive = true;
   int keep_alive_idle_timeout_ms = 5000;
   int max_requests_per_connection = 1000;
+  /// Worker linger before parking a kept-alive connection (see
+  /// HttpServerOptions::keep_alive_linger_ms; 0 = park immediately).
+  int keep_alive_linger_ms = 1;
+  int keep_alive_linger_burst = 32;
   /// Run the structural column scans when /admin/reload opens a snapshot
   /// (mirrors SnapshotOpenOptions::validate_structure). Leave on unless the
   /// snapshot pipeline is fully trusted.

@@ -9,9 +9,11 @@
 
 #include "common/cancel.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/version.h"
 #include "query/answers.h"
+#include "query/batch.h"
 #include "server/stats.h"
 
 namespace xfrag::server {
@@ -118,7 +120,10 @@ QueryOutcome ErrorOutcome(const Status& status) {
   return outcome;
 }
 
-// The decoded request, after validation.
+}  // namespace
+
+// The decoded request, after validation. Namespace-scope (not anonymous) so
+// the RunParsed declaration in service.h can forward-declare it.
 struct ParsedRequest {
   query::Query query;
   query::EvalOptions eval;
@@ -137,6 +142,22 @@ struct ParsedRequest {
   int64_t skip_documents = 0;    // skip the first N eligible documents
   std::string query_id;
 };
+
+// Sharing state of one term-connected batch group, threaded into RunParsed
+// for every item of the group. One instance per group, used by one thread.
+struct BatchShared {
+  // Scan-result memo shared by the group's items (query/batch.h).
+  query::ScanMemo* scan_memo = nullptr;
+  // Hoisted conjunctive pre-check verdicts, keyed "<doc>\x1f<folded term>":
+  // whether the document's postings for the term are non-empty. The
+  // pre-check is unmetered, so reusing a verdict is invisible to per-item
+  // metrics.
+  std::unordered_map<std::string, bool>* term_presence = nullptr;
+  // Pre-check lookups answered from term_presence.
+  uint64_t postings_shared = 0;
+};
+
+namespace {
 
 Status DecodeRequest(const json::Value& root, bool allow_debug_sleep,
                      ParsedRequest* out) {
@@ -447,7 +468,12 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
   if (request.skip_documents > 0) {
     resume_requests_.fetch_add(1, std::memory_order_relaxed);
   }
+  return RunParsed(request, timer, nullptr);
+}
 
+QueryOutcome QueryService::RunParsed(ParsedRequest& request,
+                                     const Timer& timer,
+                                     BatchShared* shared) const {
   // Serve from the result cache when possible: a hit costs one key build and
   // one map lookup, and the engine never runs — the outcome carries zero
   // metrics, which is how the loopback tests prove the hit was served
@@ -552,9 +578,27 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
     const collection::CollectionEntry& entry = collection_.entry(i);
     // Conjunctive pre-check, as in CollectionEngine: a document missing any
     // term cannot contribute answers, so skip it without building a plan.
+    // Within a batch group the verdict is hoisted into the shared presence
+    // map, so the group's items probe each (document, term) pair once.
     bool has_all_terms = true;
     for (const std::string& term : request.query.terms) {
-      if (entry.index.Lookup(term).empty()) {
+      bool present;
+      if (shared != nullptr) {
+        std::string presence_key = StrFormat("%zu", i);
+        presence_key += '\x1f';
+        presence_key += AsciiToLower(term);
+        auto it = shared->term_presence->find(presence_key);
+        if (it != shared->term_presence->end()) {
+          ++shared->postings_shared;
+          present = it->second;
+        } else {
+          present = !entry.index.Lookup(term).empty();
+          shared->term_presence->emplace(std::move(presence_key), present);
+        }
+      } else {
+        present = !entry.index.Lookup(term).empty();
+      }
+      if (!present) {
         has_all_terms = false;
         break;
       }
@@ -610,6 +654,10 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
     query::EvalOptions eval = request.eval;
     eval.executor.fixed_point_cache = caches_[i].get();
     eval.executor.subtree_classes = &entry.classes;
+    if (shared != nullptr) {
+      eval.executor.scan_memo = shared->scan_memo;
+      eval.executor.scan_memo_document = i;
+    }
     if (ranked_mode) eval.top_k = effective_k;
     if (request.has_score_floor) {
       eval.executor.score_floor = request.score_floor;
@@ -733,6 +781,184 @@ QueryOutcome QueryService::HandleQuery(std::string_view body_text) const {
   return outcome;
 }
 
+QueryOutcome QueryService::HandleQueryBatch(std::string_view body_text) const {
+  Timer timer;
+  size_t error_offset = 0;
+  auto root = json::Parse(body_text, &error_offset);
+  if (!root.ok()) {
+    QueryOutcome outcome = ErrorOutcome(root.status());
+    outcome.body.Set("offset", static_cast<uint64_t>(error_offset));
+    return outcome;
+  }
+  // Accept a bare array of query objects or the {"queries": [...]} envelope.
+  const json::Value* queries = nullptr;
+  if (root->is_array()) {
+    queries = &*root;
+  } else if (root->is_object()) {
+    for (const auto& [key, value] : root->members()) {
+      if (key == "queries") {
+        if (!value.is_array()) {
+          return ErrorOutcome(Status::InvalidArgument(
+              "\"queries\" must be an array of query objects"));
+        }
+        queries = &value;
+      } else {
+        return ErrorOutcome(Status::InvalidArgument(
+            StrFormat("unknown batch field \"%s\"", key.c_str())));
+      }
+    }
+    if (queries == nullptr) {
+      return ErrorOutcome(
+          Status::InvalidArgument("missing required field \"queries\""));
+    }
+  } else {
+    return ErrorOutcome(Status::InvalidArgument(
+        "batch body must be a JSON array or {\"queries\": [...]}"));
+  }
+  if (queries->size() == 0) {
+    return ErrorOutcome(
+        Status::InvalidArgument("batch must contain at least one query"));
+  }
+  if (queries->size() > options_.batch_max_items) {
+    return ErrorOutcome(Status::InvalidArgument(
+        StrFormat("batch of %zu items exceeds the %zu-item limit",
+                  queries->size(), options_.batch_max_items)));
+  }
+
+  struct Item {
+    ParsedRequest request;
+    bool runnable = false;
+    int http_status = 0;
+    json::Value body;
+    algebra::OpMetrics metrics;
+    bool result_cache_hit = false;
+  };
+  std::vector<Item> items(queries->size());
+  // Decode every item up front, in submission order, so the distributed
+  // top-k observability counters tick exactly as N sequential /query
+  // requests would have ticked them. A malformed item becomes a per-item
+  // structured 400 — it never poisons the rest of the batch.
+  std::vector<size_t> runnable;  // original index per runnable position
+  for (size_t i = 0; i < queries->size(); ++i) {
+    Item& item = items[i];
+    Status decoded = DecodeRequest((*queries)[i], options_.enable_debug_sleep,
+                                   &item.request);
+    if (!decoded.ok()) {
+      QueryOutcome error = ErrorOutcome(decoded);
+      item.http_status = error.http_status;
+      item.body = std::move(error.body);
+      continue;
+    }
+    if (item.request.has_score_floor) {
+      floors_seeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (item.request.probe_documents >= 0) {
+      probe_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (item.request.skip_documents > 0) {
+      resume_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    item.runnable = true;
+    runnable.push_back(i);
+  }
+
+  // Partition the runnable items into term-connected groups. Items inside a
+  // group run sequentially in submission order, so every piece of shared
+  // mutable state they can observe (fixed-point cache, result cache)
+  // evolves exactly as under sequential /query requests; distinct groups
+  // touch disjoint term sets — hence disjoint cache keys — and may run on
+  // different workers.
+  std::vector<const query::Query*> runnable_queries;
+  runnable_queries.reserve(runnable.size());
+  for (size_t i : runnable) {
+    runnable_queries.push_back(&items[i].request.query);
+  }
+  std::vector<std::vector<size_t>> groups =
+      query::GroupQueriesByTerms(runnable_queries);
+
+  std::atomic<uint64_t> subplans_shared{0};
+  std::atomic<uint64_t> postings_shared{0};
+  auto run_group = [&](const std::vector<size_t>& members) {
+    query::ScanMemo memo;
+    std::unordered_map<std::string, bool> term_presence;
+    BatchShared shared{&memo, &term_presence, 0};
+    for (size_t member : members) {
+      Item& item = items[runnable[member]];
+      Timer item_timer;
+      QueryOutcome outcome = RunParsed(item.request, item_timer, &shared);
+      item.result_cache_hit = outcome.http_status == 200 &&
+                              outcome.body.Find("result_cache") != nullptr;
+      item.http_status = outcome.http_status;
+      item.body = std::move(outcome.body);
+      item.metrics = outcome.metrics;
+    }
+    // A memo hit is a scan sub-plan answered without touching the postings:
+    // it counts once as a shared sub-plan and once as a shared posting
+    // decode; hoisted pre-check reuses add to the latter.
+    subplans_shared.fetch_add(memo.hits(), std::memory_order_relaxed);
+    postings_shared.fetch_add(memo.hits() + shared.postings_shared,
+                              std::memory_order_relaxed);
+  };
+  const size_t group_parallelism = std::min<size_t>(
+      options_.batch_parallelism == 0 ? 1 : options_.batch_parallelism,
+      groups.size());
+  if (group_parallelism > 1) {
+    ThreadPool pool(static_cast<unsigned>(group_parallelism));
+    pool.ParallelFor(groups.size(),
+                     [&](unsigned /*chunk*/, size_t begin, size_t end) {
+                       for (size_t g = begin; g < end; ++g) {
+                         run_group(groups[g]);
+                       }
+                     });
+  } else {
+    for (const std::vector<size_t>& members : groups) run_group(members);
+  }
+
+  QueryOutcome outcome;
+  outcome.http_status = 200;
+  uint64_t cache_hits = 0;
+  json::Value results = json::Value::Array();
+  for (Item& item : items) {
+    if (item.result_cache_hit) ++cache_hits;
+    json::Value entry = json::Value::Object();
+    entry.Set("status", static_cast<int64_t>(item.http_status));
+    entry.Set("body", std::move(item.body));
+    results.Append(std::move(entry));
+    outcome.metrics.Merge(item.metrics);
+  }
+  const uint64_t evaluated =
+      static_cast<uint64_t>(runnable.size()) - cache_hits;
+  json::Value batch = json::Value::Object();
+  batch.Set("items", static_cast<uint64_t>(items.size()));
+  batch.Set("groups", static_cast<uint64_t>(groups.size()));
+  batch.Set("evaluated", evaluated);
+  batch.Set("result_cache_hits", cache_hits);
+  batch.Set("subplans_shared",
+            subplans_shared.load(std::memory_order_relaxed));
+  batch.Set("postings_shared",
+            postings_shared.load(std::memory_order_relaxed));
+  json::Value body = json::Value::Object();
+  body.Set("results", std::move(results));
+  body.Set("batch", std::move(batch));
+  body.Set("elapsed_ms", timer.ElapsedMillis());
+  outcome.body = std::move(body);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_items_.fetch_add(items.size(), std::memory_order_relaxed);
+  batch_result_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
+  batch_subplans_shared_.fetch_add(
+      subplans_shared.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  batch_postings_shared_.fetch_add(
+      postings_shared.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_sizes_.Record(items.size());
+  }
+  return outcome;
+}
+
 QueryOutcome QueryService::HandleThresholdUpdate(
     std::string_view body_text) const {
   floor_updates_received_.fetch_add(1, std::memory_order_relaxed);
@@ -803,6 +1029,23 @@ json::Value QueryService::DistributedTopKStatsJson() const {
            floor_updates_applied_.load(std::memory_order_relaxed));
   body.Set("active_floor_entries",
            static_cast<uint64_t>(floor_registry_.size()));
+  return body;
+}
+
+json::Value QueryService::BatchStatsJson() const {
+  json::Value body = json::Value::Object();
+  body.Set("batches", batches_.load(std::memory_order_relaxed));
+  body.Set("items", batch_items_.load(std::memory_order_relaxed));
+  body.Set("result_cache_hits",
+           batch_result_cache_hits_.load(std::memory_order_relaxed));
+  body.Set("subplans_shared",
+           batch_subplans_shared_.load(std::memory_order_relaxed));
+  body.Set("postings_shared",
+           batch_postings_shared_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    body.Set("size", StatsRegistry::LatencyToJson(batch_sizes_));
+  }
   return body;
 }
 

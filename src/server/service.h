@@ -61,8 +61,10 @@
 
 #include "collection/collection.h"
 #include "common/json.h"
+#include "common/timer.h"
 #include "query/engine.h"
 #include "query/fixed_point_cache.h"
+#include "server/latency_histogram.h"
 #include "server/result_cache.h"
 
 namespace xfrag::server {
@@ -103,6 +105,19 @@ struct ServiceOptions {
   /// "query_id"); registrations beyond it are refused, which only disables
   /// mid-flight updates for those queries, never correctness.
   size_t floor_registry_capacity = 4096;
+  /// Maximum items one POST /query_batch request may carry; a larger batch
+  /// is rejected whole with a structured 400 (the batch holds exactly one
+  /// admission slot, so the cap bounds the work a slot can claim).
+  size_t batch_max_items = 256;
+  /// Worker threads a batch may use to evaluate term-disjoint query groups
+  /// concurrently (1 = serial). Parallelism never crosses a group boundary:
+  /// items sharing any term evaluate sequentially in submission order, so
+  /// the fixed-point and result caches evolve exactly as under sequential
+  /// /query requests and every per-item body stays byte-identical. Groups
+  /// touch disjoint cache keys; the only cross-group coupling is LRU
+  /// eviction order when a cache is at capacity (entries kept may differ,
+  /// bodies never do).
+  unsigned batch_parallelism = 1;
 };
 
 /// \brief Registry of per-query live score floors, keyed by "query_id".
@@ -141,6 +156,9 @@ class FloorRegistry {
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
 };
 
+struct ParsedRequest;  // service.cc: one decoded /query request
+struct BatchShared;    // service.cc: per-group sharing state of one batch
+
 /// \brief Result of handling one /query request.
 struct QueryOutcome {
   int http_status = 200;
@@ -162,6 +180,21 @@ class QueryService {
   /// \brief Handles one POST /query body.
   QueryOutcome HandleQuery(std::string_view body_text) const;
 
+  /// \brief Handles one POST /query_batch body: a JSON array of standard
+  /// /query objects (or {"queries": [...]}) evaluated with cross-query
+  /// sharing. The response is always HTTP 200 with
+  ///   {"results": [{"status": N, "body": {...}}, ...],
+  ///    "batch": {items, groups, evaluated, result_cache_hits,
+  ///              subplans_shared, postings_shared},
+  ///    "elapsed_ms": ...}
+  /// where results[i].body is byte-identical (modulo elapsed_ms) to what a
+  /// sequential POST /query of item i would have returned — including
+  /// per-item 400s for malformed items and per-item 504s for expired
+  /// deadlines; one bad item never poisons the batch. Envelope-level
+  /// errors (unparseable body, not an array, empty, above batch_max_items)
+  /// are a structured 400 for the whole request.
+  QueryOutcome HandleQueryBatch(std::string_view body_text) const;
+
   /// \brief Handles one POST /threshold body ({"query_id", "score_floor"}):
   /// raises the registered query's live floor. Replies {"updated": bool};
   /// an unknown query_id is not an error (the query already finished).
@@ -169,6 +202,10 @@ class QueryService {
 
   /// Distributed top-k counters, merged into GET /metrics output.
   json::Value DistributedTopKStatsJson() const;
+
+  /// Batch-execution counters (batch-size histogram, sharing counters),
+  /// merged into GET /metrics output as the "batch" section.
+  json::Value BatchStatsJson() const;
 
   /// DAG-compression statistics (subtree classes, compression ratio, replay
   /// counters), merged into GET /metrics output.
@@ -202,6 +239,13 @@ class QueryService {
                                   bool include_xml);
 
  private:
+  /// \brief Runs one decoded request end to end (result-cache lookup,
+  /// deadline, per-document evaluation, rendering, cache fill). `shared`,
+  /// when non-null, wires the batch sharing state of the item's group into
+  /// the evaluation (scan memo, hoisted term-presence prechecks).
+  QueryOutcome RunParsed(ParsedRequest& request, const Timer& timer,
+                         BatchShared* shared) const;
+
   const collection::Collection& collection_;
   ServiceOptions options_;
   /// One cache per collection entry: closures are document-specific.
@@ -226,6 +270,16 @@ class QueryService {
   mutable std::atomic<uint64_t> dag_documents_deduplicated_{0};
   mutable std::atomic<uint64_t> dag_class_pairs_considered_{0};
   mutable std::atomic<uint64_t> dag_answers_multiplied_out_{0};
+  /// Batch-execution observability (GET /metrics "batch" section).
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> batch_items_{0};
+  mutable std::atomic<uint64_t> batch_result_cache_hits_{0};
+  mutable std::atomic<uint64_t> batch_subplans_shared_{0};
+  mutable std::atomic<uint64_t> batch_postings_shared_{0};
+  /// Batch-size histogram ("size" in the batch metrics section); guarded by
+  /// batch_mu_ (LatencyHistogram is synchronization-free by design).
+  mutable std::mutex batch_mu_;
+  mutable LatencyHistogram batch_sizes_;
 };
 
 /// \brief Maps a Status to the HTTP status the server answers with.

@@ -3,10 +3,18 @@
 //   usage: xfrag_client '{XQuery, optimization}' [options]
 //          xfrag_client --json '{"terms":["xquery"]}' [options]
 //          xfrag_client --get /healthz [options]
+//          xfrag_client --batch-file queries.txt [options]
 //
 //   The brace form mirrors the paper's Q_P{k1, ..., km} notation: terms in
 //   braces, the predicate via --filter. --json sends a raw request body
 //   instead; --get fetches a GET endpoint (/healthz, /metrics, /version).
+//
+//   --batch-file FILE sends every query in FILE as ONE POST /query_batch
+//   request (shared-scan evaluation server-side). If the file starts with
+//   '[' it is a JSON array of query objects; otherwise each non-blank,
+//   non-# line is one query — either a JSON object or the brace form
+//   ('{XQuery, optimization}'). Results print per item in input order,
+//   prefixed "item N: HTTP S". The exit status is the worst item's.
 //
 //   options:
 //     --host H          server address         (default 127.0.0.1)
@@ -43,6 +51,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -59,11 +69,12 @@ int Usage(const char* argv0) {
                "usage: %s '{term1, term2, ...}' [options]\n"
                "       %s --json '{\"terms\":[...]}' [options]\n"
                "       %s --get /healthz|/metrics|/version [options]\n"
+               "       %s --batch-file FILE [options]\n"
                "  --host H | --port N | --router H:P[,H:P...] | --filter EXPR\n"
                "  --strategy S | --leaf-strict | --deadline-ms MS | --explain\n"
                "  --xml | --max N | --top N | --rank | --require-complete\n"
                "  --compact | --version\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -164,6 +175,119 @@ void PrintScoreboard(const xfrag::json::Value& body) {
   if (position > 0) std::printf("\n");
 }
 
+// Reads FILE into the batch request body: a leading '[' means the file is
+// already a JSON array of query objects; otherwise every non-blank,
+// non-'#' line is one query — a JSON object, or the paper's brace form
+// (which becomes {"terms": [...]}). Returns false (with a message) on
+// unreadable files or unparseable lines.
+bool BuildBatchBody(const std::string& path, bool require_complete,
+                    std::string* body) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "xfrag_client: cannot read --batch-file %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  xfrag::json::Value queries;
+  std::string_view trimmed = xfrag::StripAsciiWhitespace(text);
+  if (!trimmed.empty() && trimmed.front() == '[') {
+    auto parsed = xfrag::json::Parse(text);
+    if (!parsed.ok() || !parsed->is_array()) {
+      std::fprintf(stderr,
+                   "xfrag_client: %s does not hold a JSON array (%s)\n",
+                   path.c_str(),
+                   parsed.ok() ? "not an array"
+                               : parsed.status().ToString().c_str());
+      return false;
+    }
+    queries = std::move(*parsed);
+  } else {
+    queries = xfrag::json::Value::Array();
+    size_t line_number = 0;
+    std::string_view rest = text;
+    while (!rest.empty()) {
+      size_t newline = rest.find('\n');
+      std::string_view line =
+          xfrag::StripAsciiWhitespace(rest.substr(0, newline));
+      rest = newline == std::string_view::npos ? std::string_view()
+                                               : rest.substr(newline + 1);
+      ++line_number;
+      if (line.empty() || line.front() == '#') continue;
+      auto parsed = xfrag::json::Parse(std::string(line));
+      if (parsed.ok() && parsed->is_object()) {
+        queries.Append(std::move(*parsed));
+        continue;
+      }
+      std::vector<std::string> terms;
+      if (ParseBraceQuery(line, &terms)) {
+        xfrag::json::Value query = xfrag::json::Value::Object();
+        xfrag::json::Value term_array = xfrag::json::Value::Array();
+        for (const std::string& term : terms) term_array.Append(term);
+        query.Set("terms", std::move(term_array));
+        queries.Append(std::move(query));
+        continue;
+      }
+      std::fprintf(stderr,
+                   "xfrag_client: %s:%zu is neither a JSON object nor a "
+                   "brace query\n",
+                   path.c_str(), line_number);
+      return false;
+    }
+  }
+  if (queries.size() == 0) {
+    std::fprintf(stderr, "xfrag_client: %s holds no queries\n", path.c_str());
+    return false;
+  }
+  if (require_complete) {
+    xfrag::json::Value envelope = xfrag::json::Value::Object();
+    envelope.Set("queries", std::move(queries));
+    envelope.Set("require_complete", true);
+    *body = envelope.Dump();
+  } else {
+    *body = queries.Dump();
+  }
+  return true;
+}
+
+// Per-item rendering of a /query_batch response. Returns the worst item's
+// exit code under the same scheme as single-query mode (0 / 4 / 5).
+int PrintBatchResults(const xfrag::json::Value& envelope, bool compact) {
+  const xfrag::json::Value* results = envelope.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    std::fprintf(stderr,
+                 "xfrag_client: batch response carries no results array\n");
+    return 1;
+  }
+  int exit_code = 0;
+  size_t index = 0;
+  for (const xfrag::json::Value& entry : results->items()) {
+    const xfrag::json::Value* status = entry.Find("status");
+    const xfrag::json::Value* body = entry.Find("body");
+    const long long code =
+        status != nullptr && status->is_integral() ? status->AsInt() : 0;
+    std::printf("item %zu: HTTP %lld\n", index++, code);
+    if (body != nullptr) {
+      if (compact) {
+        std::printf("%s\n", body->Dump().c_str());
+      } else {
+        if (code == 200) PrintScoreboard(*body);
+        std::printf("%s\n", body->Dump(2).c_str());
+      }
+      if (code == 200) WarnIfPartial(*body);
+    }
+    if (code >= 500) {
+      exit_code = 5;
+    } else if (code >= 400 && exit_code != 5) {
+      exit_code = 4;
+    } else if (code != 200 && exit_code == 0) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +295,7 @@ int main(int argc, char** argv) {
   uint16_t port = 8378;
   std::vector<Target> routers;
   std::string brace_query, raw_json, get_path, filter_expr, strategy;
+  std::string batch_file;
   double deadline_ms = 0;
   long max_answers = -1, top_k = -1;
   bool leaf_strict = false, explain = false, xml = false, compact = false;
@@ -198,6 +323,8 @@ int main(int argc, char** argv) {
       raw_json = argv[++i];
     } else if (arg == "--get" && i + 1 < argc) {
       get_path = argv[++i];
+    } else if (arg == "--batch-file" && i + 1 < argc) {
+      batch_file = argv[++i];
     } else if (arg == "--filter" && i + 1 < argc) {
       filter_expr = argv[++i];
     } else if (arg == "--strategy" && i + 1 < argc) {
@@ -228,7 +355,12 @@ int main(int argc, char** argv) {
   }
 
   std::string body;
-  if (get_path.empty()) {
+  if (!batch_file.empty()) {
+    if (!brace_query.empty() || !raw_json.empty() || !get_path.empty()) {
+      return Usage(argv[0]);
+    }
+    if (!BuildBatchBody(batch_file, require_complete, &body)) return 2;
+  } else if (get_path.empty()) {
     if (!raw_json.empty()) {
       body = raw_json;
       if (require_complete) {
@@ -285,9 +417,10 @@ int main(int argc, char** argv) {
                                  get_path.c_str(), target.host.c_str());
     } else {
       request = xfrag::StrFormat(
-          "POST /query HTTP/1.1\r\nHost: %s\r\n"
+          "POST %s HTTP/1.1\r\nHost: %s\r\n"
           "Content-Type: application/json\r\nContent-Length: %zu\r\n"
           "Connection: close\r\n\r\n",
+          batch_file.empty() ? "/query" : "/query_batch",
           target.host.c_str(), body.size());
       request += body;
     }
@@ -317,6 +450,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!batch_file.empty() && response->status == 200) {
+    auto parsed = xfrag::json::Parse(response->body);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "xfrag_client: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    return PrintBatchResults(*parsed, compact);
+  }
   if (compact) {
     std::printf("%s\n", response->body.c_str());
     if (response->status == 200) {

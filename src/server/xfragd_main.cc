@@ -20,6 +20,9 @@
 //                            (default 4096, 0 = unlimited)
 //     --fp-cache-mb N        per-document fixed-point cache budget in MiB
 //                            (default 64, 0 = unlimited)
+//     --batch-max-items N    per-request /query_batch item cap (default 256)
+//     --batch-parallelism N  worker threads across term-disjoint groups of
+//                            one batch (default 1; identity holds at any N)
 //     --debug-sleep          accept the "debug_sleep_ms" request field
 //                            (test/bench hook; do not enable in production)
 //     --version              print build info and exit
@@ -66,7 +69,9 @@ int Usage(const char* argv0) {
       "  --host H | --port N | --workers N | --queue N\n"
       "  --default-deadline-ms MS | --max-deadline-ms MS\n"
       "  --request-timeout-ms MS | --result-cache-mb N\n"
-      "  --fp-cache-entries N | --fp-cache-mb N | --debug-sleep | --version\n",
+      "  --fp-cache-entries N | --fp-cache-mb N\n"
+      "  --batch-max-items N | --batch-parallelism N\n"
+      "  --debug-sleep | --version\n",
       argv0, argv0);
   return 2;
 }
@@ -155,6 +160,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--fp-cache-mb" && i + 1 < argc) {
       options.service.fixed_point_cache.max_bytes =
           static_cast<size_t>(std::atol(argv[++i])) << 20;
+    } else if (arg == "--batch-max-items" && i + 1 < argc) {
+      options.service.batch_max_items =
+          static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--batch-parallelism" && i + 1 < argc) {
+      options.service.batch_parallelism =
+          static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--debug-sleep") {
       options.service.enable_debug_sleep = true;
     } else if (arg.rfind("--", 0) == 0) {
